@@ -1,0 +1,22 @@
+//! # baselines — native-Rust analogues of the paper's C and C++ programs
+//!
+//! The primary reproduction measures every series on the same NIR engine
+//! so that the only variable is the dispatch/representation strategy
+//! (DESIGN.md §3). This crate is the *native cross-check*: the same four
+//! styles expressed directly in Rust machine code —
+//!
+//! * `c_style` — hand-flattened, no abstraction (the paper's *C*),
+//! * `virtual_style` — `dyn Trait` dispatch per element (*C++*),
+//! * `template_style` — generics/monomorphization (*Template*),
+//! * `template_no_virt` — method bodies manually copied inline
+//!   (*Template w/o virt.*),
+//!
+//! for both evaluation workloads (3-D diffusion and matrix
+//! multiplication). The Criterion benches in the `bench` crate measure
+//! these in wall time; their ordering should match the engine-level
+//! ordering of the translated series.
+
+#![forbid(unsafe_code)]
+
+pub mod diffusion;
+pub mod matmul;

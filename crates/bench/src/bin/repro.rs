@@ -1,0 +1,51 @@
+//! The reproduction driver: regenerate any table or figure of the paper.
+//!
+//! ```text
+//! repro <id>       run one experiment (fig3, fig4, ..., tab3, ablate-comm)
+//! repro all        run everything in paper order
+//! repro list       list experiment ids
+//! ```
+//!
+//! Output: an aligned table on stdout plus `results/<id>.json`.
+
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dir = Path::new("results");
+    match args.first().map(|s| s.as_str()) {
+        None | Some("list") => {
+            println!("experiments:");
+            for id in bench::all_ids() {
+                println!("  {id}");
+            }
+            println!("usage: repro <id> | all | list");
+        }
+        Some("all") => {
+            for id in bench::all_ids() {
+                run_one(id, dir);
+            }
+        }
+        Some(id) => run_one(id, dir),
+    }
+}
+
+fn run_one(id: &str, dir: &Path) {
+    let start = std::time::Instant::now();
+    match bench::run_experiment(id) {
+        Some(fig) => {
+            // Save before printing: stdout may be a pipe that closes
+            // early (e.g. `repro fig4 | head`), and the JSON artifact
+            // must survive that.
+            if let Err(e) = fig.save(dir) {
+                eprintln!("warning: could not save {id}: {e}");
+            }
+            print!("{}", fig.render());
+            println!("    ({}: completed in {:?})\n", id, start.elapsed());
+        }
+        None => {
+            eprintln!("unknown experiment `{id}`; try `repro list`");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,480 @@
+//! The paper's *C* baseline programs: "the same algorithm ... without
+//! considering code reuse or modularity of components" (§4).
+//!
+//! Each program is a single `@WootinJ` class with everything hand-inlined
+//! — no solver components, no kernels shared between runners, no `Matrix`
+//! abstraction. Translated in Full mode they lower to exactly the flat
+//! code a C programmer would write, and they execute on the same engine
+//! as every other series, so the comparison isolates what the paper
+//! isolates: the residual cost of the library abstractions.
+
+/// Hand-inlined diffusion programs (CPU, MPI, GPU, GPU+MPI).
+pub const C_DIFFUSION: &str = r#"
+@WootinJ final class CDiffusion {
+  float cc; float cn;
+  CDiffusion(float c0, float n0) { cc = c0; cn = n0; }
+
+  float invoke(int nx, int ny, int nz, int steps) {
+    int total = nx * ny * (nz + 2);
+    float[] a = new float[total];
+    float[] b = new float[total];
+    for (int z = 1; z <= nz; z++) {
+      for (int y = 0; y < ny; y++) {
+        int rowBase = (z * ny + y) * nx;
+        for (int x = 0; x < nx; x++) {
+          int h = x * 31 + y * 17 + (z - 1) * 7;
+          a[rowBase + x] = (h % 97) * 0.01f;
+        }
+      }
+    }
+    WJ.arraycopyF(a, 0, b, 0, total);
+    float[] src = a;
+    float[] dst = b;
+    int plane = nx * ny;
+    for (int t = 0; t < steps; t++) {
+      for (int z = 1; z <= nz; z++) {
+        for (int y = 1; y < ny - 1; y++) {
+          int rowBase = (z * ny + y) * nx;
+          for (int x = 1; x < nx - 1; x++) {
+            int idx = rowBase + x;
+            dst[idx] = cc * src[idx]
+              + cn * (src[idx - 1] + src[idx + 1]
+                    + src[idx - nx] + src[idx + nx]
+                    + src[idx - plane] + src[idx + plane]);
+          }
+        }
+      }
+      float[] tmp = src;
+      src = dst;
+      dst = tmp;
+    }
+    float sum = 0f;
+    for (int z = 1; z <= nz; z++) {
+      for (int y = 0; y < ny; y++) {
+        int rowBase = (z * ny + y) * nx;
+        for (int x = 0; x < nx; x++) {
+          sum += src[rowBase + x];
+        }
+      }
+    }
+    return sum;
+  }
+}
+
+@WootinJ final class CDiffusionMPI {
+  float cc; float cn;
+  CDiffusionMPI(float c0, float n0) { cc = c0; cn = n0; }
+
+  float invoke(int nx, int ny, int nz, int steps) {
+    int rank = MPI.rank();
+    int size = MPI.size();
+    int nzl = nz / size;
+    int plane = nx * ny;
+    int total = plane * (nzl + 2);
+    float[] a = new float[total];
+    float[] b = new float[total];
+    int zOff = rank * nzl;
+    for (int z = 1; z <= nzl; z++) {
+      for (int y = 0; y < ny; y++) {
+        int rowBase = (z * ny + y) * nx;
+        for (int x = 0; x < nx; x++) {
+          int h = x * 31 + y * 17 + (zOff + z - 1) * 7;
+          a[rowBase + x] = (h % 97) * 0.01f;
+        }
+      }
+    }
+    WJ.arraycopyF(a, 0, b, 0, total);
+    float[] src = a;
+    float[] dst = b;
+    for (int t = 0; t < steps; t++) {
+      if (rank > 0) { MPI.sendF(src, plane, plane, rank - 1, 0); }
+      if (rank < size - 1) { MPI.sendF(src, nzl * plane, plane, rank + 1, 1); }
+      if (rank < size - 1) { MPI.recvF(src, (nzl + 1) * plane, plane, rank + 1, 0); }
+      if (rank > 0) { MPI.recvF(src, 0, plane, rank - 1, 1); }
+      for (int z = 1; z <= nzl; z++) {
+        for (int y = 1; y < ny - 1; y++) {
+          int rowBase = (z * ny + y) * nx;
+          for (int x = 1; x < nx - 1; x++) {
+            int idx = rowBase + x;
+            dst[idx] = cc * src[idx]
+              + cn * (src[idx - 1] + src[idx + 1]
+                    + src[idx - nx] + src[idx + nx]
+                    + src[idx - plane] + src[idx + plane]);
+          }
+        }
+      }
+      WJ.arraycopyF(src, 0, dst, 0, plane);
+      WJ.arraycopyF(src, (nzl + 1) * plane, dst, (nzl + 1) * plane, plane);
+      float[] tmp = src;
+      src = dst;
+      dst = tmp;
+    }
+    float sum = 0f;
+    for (int z = 1; z <= nzl; z++) {
+      for (int y = 0; y < ny; y++) {
+        int rowBase = (z * ny + y) * nx;
+        for (int x = 0; x < nx; x++) {
+          sum += src[rowBase + x];
+        }
+      }
+    }
+    return MPI.allreduceSumF(sum);
+  }
+}
+
+@WootinJ final class CDiffusionGPU {
+  float cc; float cn;
+  CDiffusionGPU(float c0, float n0) { cc = c0; cn = n0; }
+
+  float invoke(int nx, int ny, int nz, int steps) {
+    int total = nx * ny * (nz + 2);
+    float[] host = new float[total];
+    for (int z = 1; z <= nz; z++) {
+      for (int y = 0; y < ny; y++) {
+        int rowBase = (z * ny + y) * nx;
+        for (int x = 0; x < nx; x++) {
+          int h = x * 31 + y * 17 + (z - 1) * 7;
+          host[rowBase + x] = (h % 97) * 0.01f;
+        }
+      }
+    }
+    float[] dSrc = CUDA.copyToGPU(host);
+    float[] dDst = CUDA.copyToGPU(host);
+    int cells = nx * ny * nz;
+    int threads = 64;
+    int blocks = (cells + threads - 1) / threads;
+    CudaConfig conf = new CudaConfig(new dim3(blocks, 1, 1), new dim3(threads, 1, 1));
+    for (int t = 0; t < steps; t++) {
+      stepGPU(conf, dSrc, dDst, nx, ny, nz);
+      float[] tmp = dSrc;
+      dSrc = dDst;
+      dDst = tmp;
+    }
+    CUDA.copyFromGPU(host, dSrc);
+    CUDA.free(dSrc);
+    CUDA.free(dDst);
+    float sum = 0f;
+    for (int z = 1; z <= nz; z++) {
+      for (int y = 0; y < ny; y++) {
+        int rowBase = (z * ny + y) * nx;
+        for (int x = 0; x < nx; x++) {
+          sum += host[rowBase + x];
+        }
+      }
+    }
+    return sum;
+  }
+
+  @Global void stepGPU(CudaConfig conf, float[] src, float[] dst, int nx, int ny, int nz) {
+    int gid = CUDA.blockIdxX() * CUDA.blockDimX() + CUDA.threadIdxX();
+    int cells = nx * ny * nz;
+    if (gid < cells) {
+      int x = gid % nx;
+      int rest = gid / nx;
+      int y = rest % ny;
+      int z = rest / ny + 1;
+      if (x > 0 && x < nx - 1 && y > 0 && y < ny - 1) {
+        int idx = (z * ny + y) * nx + x;
+        int plane = nx * ny;
+        dst[idx] = cc * src[idx]
+          + cn * (src[idx - 1] + src[idx + 1]
+                + src[idx - nx] + src[idx + nx]
+                + src[idx - plane] + src[idx + plane]);
+      }
+    }
+  }
+}
+
+@WootinJ final class CDiffusionGPUMPI {
+  float cc; float cn;
+  CDiffusionGPUMPI(float c0, float n0) { cc = c0; cn = n0; }
+
+  float invoke(int nx, int ny, int nz, int steps) {
+    int rank = MPI.rank();
+    int size = MPI.size();
+    int nzl = nz / size;
+    int plane = nx * ny;
+    int total = plane * (nzl + 2);
+    float[] host = new float[total];
+    int zOff = rank * nzl;
+    for (int z = 1; z <= nzl; z++) {
+      for (int y = 0; y < ny; y++) {
+        int rowBase = (z * ny + y) * nx;
+        for (int x = 0; x < nx; x++) {
+          int h = x * 31 + y * 17 + (zOff + z - 1) * 7;
+          host[rowBase + x] = (h % 97) * 0.01f;
+        }
+      }
+    }
+    float[] dSrc = CUDA.copyToGPU(host);
+    float[] dDst = CUDA.copyToGPU(host);
+    float[] lo = new float[plane];
+    float[] hi = new float[plane];
+    int cells = plane * nzl;
+    int threads = 64;
+    int blocks = (cells + threads - 1) / threads;
+    CudaConfig conf = new CudaConfig(new dim3(blocks, 1, 1), new dim3(threads, 1, 1));
+    for (int t = 0; t < steps; t++) {
+      if (rank > 0) {
+        CUDA.copyOutRange(lo, 0, dSrc, plane, plane);
+        MPI.sendF(lo, 0, plane, rank - 1, 0);
+      }
+      if (rank < size - 1) {
+        CUDA.copyOutRange(hi, 0, dSrc, nzl * plane, plane);
+        MPI.sendF(hi, 0, plane, rank + 1, 1);
+      }
+      if (rank < size - 1) {
+        MPI.recvF(hi, 0, plane, rank + 1, 0);
+        CUDA.copyInRange(dSrc, (nzl + 1) * plane, hi, 0, plane);
+        CUDA.copyInRange(dDst, (nzl + 1) * plane, hi, 0, plane);
+      }
+      if (rank > 0) {
+        MPI.recvF(lo, 0, plane, rank - 1, 1);
+        CUDA.copyInRange(dSrc, 0, lo, 0, plane);
+        CUDA.copyInRange(dDst, 0, lo, 0, plane);
+      }
+      stepGPU(conf, dSrc, dDst, nx, ny, nzl);
+      float[] tmp = dSrc;
+      dSrc = dDst;
+      dDst = tmp;
+    }
+    CUDA.copyFromGPU(host, dSrc);
+    CUDA.free(dSrc);
+    CUDA.free(dDst);
+    float sum = 0f;
+    for (int z = 1; z <= nzl; z++) {
+      for (int y = 0; y < ny; y++) {
+        int rowBase = (z * ny + y) * nx;
+        for (int x = 0; x < nx; x++) {
+          sum += host[rowBase + x];
+        }
+      }
+    }
+    return MPI.allreduceSumF(sum);
+  }
+
+  @Global void stepGPU(CudaConfig conf, float[] src, float[] dst, int nx, int ny, int nz) {
+    int gid = CUDA.blockIdxX() * CUDA.blockDimX() + CUDA.threadIdxX();
+    int cells = nx * ny * nz;
+    if (gid < cells) {
+      int x = gid % nx;
+      int rest = gid / nx;
+      int y = rest % ny;
+      int z = rest / ny + 1;
+      if (x > 0 && x < nx - 1 && y > 0 && y < ny - 1) {
+        int idx = (z * ny + y) * nx + x;
+        int plane = nx * ny;
+        dst[idx] = cc * src[idx]
+          + cn * (src[idx - 1] + src[idx + 1]
+                + src[idx - nx] + src[idx + nx]
+                + src[idx - plane] + src[idx + plane]);
+      }
+    }
+  }
+}
+"#;
+
+/// Hand-inlined matrix-multiplication programs (CPU, Fox/MPI, GPU).
+pub const C_MATMUL: &str = r#"
+@WootinJ final class CMatmul {
+  CMatmul() { }
+  float start(int n) {
+    float[] a = new float[n * n];
+    float[] b = new float[n * n];
+    float[] c = new float[n * n];
+    for (int r = 0; r < n; r++) {
+      for (int cc = 0; cc < n; cc++) {
+        int h0 = r * 13 + cc * 7;
+        a[r * n + cc] = ((h0 % 19) - 9) * 0.125f;
+        int h1 = r * 13 + cc * 7 + 101;
+        b[r * n + cc] = ((h1 % 19) - 9) * 0.125f;
+      }
+    }
+    for (int i = 0; i < n; i++) {
+      int irow = i * n;
+      for (int k = 0; k < n; k++) {
+        float aik = a[irow + k];
+        int krow = k * n;
+        for (int j = 0; j < n; j++) {
+          c[irow + j] += aik * b[krow + j];
+        }
+      }
+    }
+    float sum = 0f;
+    for (int i = 0; i < n * n; i++) { sum += c[i]; }
+    return sum;
+  }
+}
+
+@WootinJ final class CMatmulFox {
+  CMatmulFox() { }
+  float start(int n) {
+    int rank = MPI.rank();
+    int size = MPI.size();
+    int q = 0;
+    while ((q + 1) * (q + 1) <= size) { q = q + 1; }
+    int row = rank / q;
+    int col = rank % q;
+    int m = n / q;
+    int mm = m * m;
+    float[] a = new float[mm];
+    float[] b = new float[mm];
+    float[] c = new float[mm];
+    float[] abuf = new float[mm];
+    for (int r = 0; r < m; r++) {
+      for (int cc = 0; cc < m; cc++) {
+        int gr = row * m + r;
+        int gc = col * m + cc;
+        int h0 = gr * 13 + gc * 7;
+        a[r * m + cc] = ((h0 % 19) - 9) * 0.125f;
+        int h1 = gr * 13 + gc * 7 + 101;
+        b[r * m + cc] = ((h1 % 19) - 9) * 0.125f;
+      }
+    }
+    for (int k = 0; k < q; k++) {
+      int rootCol = (row + k) % q;
+      if (col == rootCol) {
+        WJ.arraycopyF(a, 0, abuf, 0, mm);
+        for (int j = 0; j < q; j++) {
+          if (j != col) { MPI.sendF(abuf, 0, mm, row * q + j, 10 + k); }
+        }
+      } else {
+        MPI.recvF(abuf, 0, mm, row * q + rootCol, 10 + k);
+      }
+      for (int i = 0; i < m; i++) {
+        int irow = i * m;
+        for (int kk = 0; kk < m; kk++) {
+          float aik = abuf[irow + kk];
+          int krow = kk * m;
+          for (int j = 0; j < m; j++) {
+            c[irow + j] += aik * b[krow + j];
+          }
+        }
+      }
+      int up = ((row + q - 1) % q) * q + col;
+      int down = ((row + 1) % q) * q + col;
+      MPI.sendF(b, 0, mm, up, 100 + k);
+      MPI.recvF(b, 0, mm, down, 100 + k);
+    }
+    float local = 0f;
+    for (int i = 0; i < mm; i++) { local += c[i]; }
+    return MPI.allreduceSumF(local);
+  }
+}
+
+@WootinJ final class CMatmulFoxGPU {
+  CMatmulFoxGPU() { }
+  float start(int n) {
+    int rank = MPI.rank();
+    int size = MPI.size();
+    int q = 0;
+    while ((q + 1) * (q + 1) <= size) { q = q + 1; }
+    int row = rank / q;
+    int col = rank % q;
+    int m = n / q;
+    int mm = m * m;
+    float[] a = new float[mm];
+    float[] b = new float[mm];
+    float[] c = new float[mm];
+    float[] abuf = new float[mm];
+    for (int r = 0; r < m; r++) {
+      for (int cc = 0; cc < m; cc++) {
+        int gr = row * m + r;
+        int gc = col * m + cc;
+        int h0 = gr * 13 + gc * 7;
+        a[r * m + cc] = ((h0 % 19) - 9) * 0.125f;
+        int h1 = gr * 13 + gc * 7 + 101;
+        b[r * m + cc] = ((h1 % 19) - 9) * 0.125f;
+      }
+    }
+    float[] dA = CUDA.allocF32(mm);
+    float[] dB = CUDA.allocF32(mm);
+    float[] dC = CUDA.copyToGPU(c);
+    int threads = 64;
+    int blocks = (mm + threads - 1) / threads;
+    CudaConfig conf = new CudaConfig(new dim3(blocks, 1, 1), new dim3(threads, 1, 1));
+    for (int k = 0; k < q; k++) {
+      int rootCol = (row + k) % q;
+      if (col == rootCol) {
+        WJ.arraycopyF(a, 0, abuf, 0, mm);
+        for (int j = 0; j < q; j++) {
+          if (j != col) { MPI.sendF(abuf, 0, mm, row * q + j, 10 + k); }
+        }
+      } else {
+        MPI.recvF(abuf, 0, mm, row * q + rootCol, 10 + k);
+      }
+      CUDA.copyInRange(dA, 0, abuf, 0, mm);
+      CUDA.copyInRange(dB, 0, b, 0, mm);
+      mmAcc(conf, dA, dB, dC, m);
+      int up = ((row + q - 1) % q) * q + col;
+      int down = ((row + 1) % q) * q + col;
+      MPI.sendF(b, 0, mm, up, 100 + k);
+      MPI.recvF(b, 0, mm, down, 100 + k);
+    }
+    CUDA.copyFromGPU(c, dC);
+    CUDA.free(dA);
+    CUDA.free(dB);
+    CUDA.free(dC);
+    float local = 0f;
+    for (int i = 0; i < mm; i++) { local += c[i]; }
+    return MPI.allreduceSumF(local);
+  }
+
+  @Global void mmAcc(CudaConfig conf, float[] a, float[] b, float[] c, int m) {
+    int gid = CUDA.blockIdxX() * CUDA.blockDimX() + CUDA.threadIdxX();
+    if (gid < m * m) {
+      int i = gid / m;
+      int j = gid % m;
+      float acc = c[gid];
+      for (int k = 0; k < m; k++) {
+        acc += a[i * m + k] * b[k * m + j];
+      }
+      c[gid] = acc;
+    }
+  }
+}
+
+@WootinJ final class CMatmulGPU {
+  CMatmulGPU() { }
+  float start(int n) {
+    float[] a = new float[n * n];
+    float[] b = new float[n * n];
+    float[] c = new float[n * n];
+    for (int r = 0; r < n; r++) {
+      for (int cc = 0; cc < n; cc++) {
+        int h0 = r * 13 + cc * 7;
+        a[r * n + cc] = ((h0 % 19) - 9) * 0.125f;
+        int h1 = r * 13 + cc * 7 + 101;
+        b[r * n + cc] = ((h1 % 19) - 9) * 0.125f;
+      }
+    }
+    float[] da = CUDA.copyToGPU(a);
+    float[] db = CUDA.copyToGPU(b);
+    float[] dc = CUDA.copyToGPU(c);
+    int threads = 64;
+    int blocks = (n * n + threads - 1) / threads;
+    CudaConfig conf = new CudaConfig(new dim3(blocks, 1, 1), new dim3(threads, 1, 1));
+    mm(conf, da, db, dc, n);
+    CUDA.copyFromGPU(c, dc);
+    CUDA.free(da);
+    CUDA.free(db);
+    CUDA.free(dc);
+    float sum = 0f;
+    for (int i = 0; i < n * n; i++) { sum += c[i]; }
+    return sum;
+  }
+
+  @Global void mm(CudaConfig conf, float[] a, float[] b, float[] c, int n) {
+    int gid = CUDA.blockIdxX() * CUDA.blockDimX() + CUDA.threadIdxX();
+    if (gid < n * n) {
+      int i = gid / n;
+      int j = gid % n;
+      float acc = 0f;
+      for (int k = 0; k < n; k++) {
+        acc += a[i * n + k] * b[k * n + j];
+      }
+      c[gid] = acc;
+    }
+  }
+}
+"#;

@@ -1,0 +1,827 @@
+//! One function per table/figure of the paper's evaluation (§4).
+//!
+//! Workloads are scaled down from TSUBAME 2.0 size to laptop size; every
+//! figure records its scaling in `notes`. Scaling figures are reported in
+//! deterministic virtual cycles (see `exec`/`mpi-sim`); the serial
+//! figures additionally get wall-clock Criterion benches in `benches/`.
+//!
+//! Per the paper, the scaling figures (4–12) *include* WootinJ's runtime
+//! compilation in the WootinJ series (converted to cycles at the paper's
+//! 2.9 GHz), while Figures 13–16 repeat the strong-scaling figures with
+//! compilation excluded.
+
+use std::time::Duration;
+
+use hpclib::{MatmulApp, MatmulBody, MatmulCalc, MatmulThread, StencilApp, StencilPlatform};
+use jvm::Value;
+use nir::OptConfig;
+use wootinj::{GpuConfig, JitOptions, MpiCostModel, Val, WootinJ};
+
+use crate::cprogs::{C_DIFFUSION, C_MATMUL};
+use crate::series::{Figure, Series};
+
+/// The paper's Xeon clock: converts measured compile seconds to cycles.
+pub const CPU_HZ: f64 = 2.9e9;
+
+/// Deterministic model of the external compiler's cost (the icc/nvcc
+/// invocation in the paper's Table 3): a fixed process-startup term plus a
+/// per-generated-instruction term. Used for the "incl. compile" series so
+/// the scaling figures stay reproducible; the *measured* translation wall
+/// time is reported separately in Table 3.
+pub const COMPILE_FIXED_CYCLES: f64 = 2.0e6;
+pub const COMPILE_CYCLES_PER_INSTR: f64 = 3.0e3;
+
+/// Modeled cost of one interpreter step in cycles (a bytecode-interpreter
+/// dispatch on a 2010s x86 — documented model parameter for the *Java*
+/// series, which the interpreter reports in steps).
+pub const JAVA_STEP_CYCLES: u64 = 28;
+
+/// The evaluation series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    Java,
+    Cpp,
+    Template,
+    TemplateNoVirt,
+    WootinJ,
+    C,
+}
+
+impl Kind {
+    pub fn name(self) -> &'static str {
+        match self {
+            Kind::Java => "Java",
+            Kind::Cpp => "C++",
+            Kind::Template => "Template",
+            Kind::TemplateNoVirt => "Template w/o virt.",
+            Kind::WootinJ => "WootinJ",
+            Kind::C => "C",
+        }
+    }
+
+    fn jit_options(self) -> JitOptions {
+        match self {
+            Kind::Cpp => JitOptions::cpp(),
+            Kind::Template => JitOptions::template(),
+            Kind::TemplateNoVirt => JitOptions::template_no_virt(),
+            // The hand-inlined C programs go through the same full
+            // pipeline; there is nothing left to devirtualize or inline.
+            Kind::WootinJ | Kind::C => JitOptions::wootinj(),
+            Kind::Java => unreachable!("Java runs on the interpreter"),
+        }
+    }
+}
+
+/// One measured run.
+#[derive(Debug, Clone, Copy)]
+pub struct Outcome {
+    pub vtime: u64,
+    pub compile: Duration,
+    pub result: f32,
+    /// Generated NIR instructions (drives the modeled compile cost).
+    pub instrs: usize,
+}
+
+impl Outcome {
+    /// Virtual time plus the modeled runtime-compilation cost — applied to
+    /// the WootinJ series only: the baselines are compiled ahead of time.
+    pub fn with_compile(&self, kind: Kind) -> f64 {
+        match kind {
+            Kind::WootinJ => {
+                self.vtime as f64
+                    + COMPILE_FIXED_CYCLES
+                    + COMPILE_CYCLES_PER_INSTR * self.instrs as f64
+            }
+            _ => self.vtime as f64,
+        }
+    }
+}
+
+fn f32_of(v: Option<Val>) -> f32 {
+    match v {
+        Some(Val::F32(x)) => x,
+        other => panic!("expected f32 result, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Runners
+// ---------------------------------------------------------------------
+
+/// Run the diffusion workload in one series/platform configuration.
+pub fn run_stencil(
+    kind: Kind,
+    platform: StencilPlatform,
+    ranks: u32,
+    dims: (i32, i32, i32),
+    steps: i32,
+    boxed: bool,
+) -> Outcome {
+    let table = hpclib::stencil_table(&[("c_diffusion.jl", C_DIFFUSION)]).expect("compile");
+    let mut env = WootinJ::new(&table).expect("env");
+    let args =
+        [Value::Int(dims.0), Value::Int(dims.1), Value::Int(dims.2), Value::Int(steps)];
+
+    if kind == Kind::Java {
+        assert_eq!(platform, StencilPlatform::Cpu, "the Java series is CPU-only");
+        let runner = if boxed {
+            StencilApp::compose_boxed(&mut env, 0.4, 0.1).unwrap()
+        } else {
+            StencilApp::compose(&mut env, platform, StencilApp::default_model()).unwrap()
+        };
+        let r = env.run_interpreted(&runner, "invoke", &args).unwrap();
+        let result = match r.result {
+            Value::Float(v) => v,
+            other => panic!("unexpected {other}"),
+        };
+        return Outcome {
+            vtime: r.steps * JAVA_STEP_CYCLES,
+            compile: Duration::ZERO,
+            result,
+            instrs: 0,
+        };
+    }
+
+    let runner = if kind == Kind::C {
+        let class = match platform {
+            StencilPlatform::Cpu => "CDiffusion",
+            StencilPlatform::CpuMpi => "CDiffusionMPI",
+            StencilPlatform::Gpu => "CDiffusionGPU",
+            StencilPlatform::GpuMpi => "CDiffusionGPUMPI",
+        };
+        env.new_instance(class, &[Value::Float(0.4), Value::Float(0.1)]).unwrap()
+    } else if boxed {
+        assert_eq!(platform, StencilPlatform::Cpu, "the boxed runner is CPU-only");
+        StencilApp::compose_boxed(&mut env, 0.4, 0.1).unwrap()
+    } else {
+        StencilApp::compose(&mut env, platform, StencilApp::default_model()).unwrap()
+    };
+
+    let mut code = env.jit(&runner, "invoke", &args, kind.jit_options()).unwrap();
+    if platform.uses_mpi() {
+        code.set_mpi(ranks, MpiCostModel::default());
+    }
+    if platform.uses_gpu() {
+        code.set_gpu(GpuConfig::default());
+    }
+    let report = code.invoke(&env).unwrap();
+    Outcome {
+        vtime: report.vtime_cycles,
+        compile: code.compile_time,
+        result: f32_of(report.result),
+        instrs: code.translated.program.instr_count(),
+    }
+}
+
+/// Matmul execution target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatTarget {
+    Cpu,
+    Fox,
+    Gpu,
+    FoxGpu,
+}
+
+/// Run the matmul workload in one series/target configuration.
+pub fn run_matmul(kind: Kind, target: MatTarget, ranks: u32, n: i32) -> Outcome {
+    let table = hpclib::matmul_table(&[("c_matmul.jl", C_MATMUL)]).expect("compile");
+    let mut env = WootinJ::new(&table).expect("env");
+    let args = [Value::Int(n)];
+
+    if kind == Kind::Java {
+        assert_eq!(target, MatTarget::Cpu, "the Java series is CPU-only");
+        let app = MatmulApp::compose(
+            &mut env,
+            MatmulThread::CpuLoop,
+            MatmulBody::Simple,
+            MatmulCalc::Simple,
+        )
+        .unwrap();
+        let r = env.run_interpreted(&app, "start", &args).unwrap();
+        let result = match r.result {
+            Value::Float(v) => v,
+            other => panic!("unexpected {other}"),
+        };
+        return Outcome {
+            vtime: r.steps * JAVA_STEP_CYCLES,
+            compile: Duration::ZERO,
+            result,
+            instrs: 0,
+        };
+    }
+
+    let app = if kind == Kind::C {
+        let class = match target {
+            MatTarget::Cpu => "CMatmul",
+            MatTarget::Fox => "CMatmulFox",
+            MatTarget::Gpu => "CMatmulGPU",
+            MatTarget::FoxGpu => "CMatmulFoxGPU",
+        };
+        env.new_instance(class, &[]).unwrap()
+    } else {
+        let (thread, body) = match target {
+            MatTarget::Cpu => (MatmulThread::CpuLoop, MatmulBody::Simple),
+            MatTarget::Fox => (MatmulThread::Mpi, MatmulBody::Fox),
+            MatTarget::Gpu => (MatmulThread::Gpu, MatmulBody::GpuNaive),
+            MatTarget::FoxGpu => (MatmulThread::Mpi, MatmulBody::FoxGpu),
+        };
+        MatmulApp::compose(&mut env, thread, body, MatmulCalc::Simple).unwrap()
+    };
+
+    let mut code = env.jit(&app, "start", &args, kind.jit_options()).unwrap();
+    if matches!(target, MatTarget::Fox | MatTarget::FoxGpu) {
+        code.set_mpi(ranks, MpiCostModel::default());
+    }
+    if matches!(target, MatTarget::Gpu | MatTarget::FoxGpu) {
+        code.set_gpu(GpuConfig::default());
+    }
+    let report = code.invoke(&env).unwrap();
+    Outcome {
+        vtime: report.vtime_cycles,
+        compile: code.compile_time,
+        result: f32_of(report.result),
+        instrs: code.translated.program.instr_count(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serial comparison figures (3, 17, 18)
+// ---------------------------------------------------------------------
+
+/// Figure 3: 3-D diffusion, single thread — Java vs C++ vs C. The boxed
+/// (ScalarFloat) library API, as in the paper's Listing 1.
+pub fn fig3() -> Figure {
+    serial_diffusion("fig3", "3D diffusion, 1 thread (Java / C++ / C)", &[Kind::Java, Kind::Cpp, Kind::C])
+}
+
+/// Figure 17: Figure 3 extended with Template, Template w/o virt., WootinJ.
+pub fn fig17() -> Figure {
+    serial_diffusion(
+        "fig17",
+        "3D diffusion, 1 thread (all series)",
+        &[
+            Kind::Java,
+            Kind::Cpp,
+            Kind::Template,
+            Kind::TemplateNoVirt,
+            Kind::WootinJ,
+            Kind::C,
+        ],
+    )
+}
+
+fn serial_diffusion(id: &str, title: &str, kinds: &[Kind]) -> Figure {
+    let (dims, steps) = ((16, 16, 12), 3);
+    let mut fig = Figure::new(id, title, "series", "virtual cycles");
+    fig.note("paper: 128x128x128 on a 2.9 GHz Xeon; here 16x16x12, 3 steps on the NIR engine");
+    fig.note("boxed ScalarFloat solver API (paper Listing 1); the C program is hand-inlined and unboxed");
+    fig.note(format!("Java series = interpreter steps x {JAVA_STEP_CYCLES} cycles (model constant)"));
+    let mut s = Series::new("cycles");
+    for (i, &k) in kinds.iter().enumerate() {
+        let out = run_stencil(k, StencilPlatform::Cpu, 1, dims, steps, true);
+        s.push(i as f64, out.vtime as f64);
+        fig.note(format!("x={i}: {}", k.name()));
+    }
+    fig.series.push(s);
+    fig
+}
+
+/// Figure 18: matrix multiplication, single thread, all series.
+pub fn fig18() -> Figure {
+    let n = 24;
+    let kinds = [
+        Kind::Java,
+        Kind::Cpp,
+        Kind::Template,
+        Kind::TemplateNoVirt,
+        Kind::WootinJ,
+        Kind::C,
+    ];
+    let mut fig =
+        Figure::new("fig18", "matrix multiplication, 1 thread (all series)", "series", "virtual cycles");
+    fig.note("paper: 1024x1024x1024; here 24x24 through the Matrix/Calculator components");
+    fig.note(format!("Java series = interpreter steps x {JAVA_STEP_CYCLES} cycles (model constant)"));
+    let mut s = Series::new("cycles");
+    for (i, &k) in kinds.iter().enumerate() {
+        let out = run_matmul(k, MatTarget::Cpu, 1, n);
+        s.push(i as f64, out.vtime as f64);
+        fig.note(format!("x={i}: {}", k.name()));
+    }
+    fig.series.push(s);
+    fig
+}
+
+// ---------------------------------------------------------------------
+// Diffusion scaling figures (4, 5, 6, 7; 13, 14)
+// ---------------------------------------------------------------------
+
+/// Figure 4: diffusion weak scaling over MPI (CPU only).
+pub fn fig4() -> Figure {
+    let per_rank = (16, 16, 8);
+    let steps = 4;
+    let ranks = [1u32, 2, 4, 8, 16, 32];
+    let kinds = [Kind::C, Kind::Cpp, Kind::Template, Kind::TemplateNoVirt, Kind::WootinJ];
+    let mut fig = Figure::new(
+        "fig4",
+        "diffusion weak scaling, MPI CPU",
+        "ranks",
+        "virtual cycles (ideal: flat)",
+    );
+    fig.note("paper: 128^3 per node, 1..128 nodes; here 16x16x8 per rank, 1..32 ranks");
+    fig.note("WootinJ series includes the modeled runtime-compilation cost (see tab3)");
+    for kind in kinds {
+        let mut s = Series::new(kind.name());
+        for &r in &ranks {
+            let dims = (per_rank.0, per_rank.1, per_rank.2 * r as i32);
+            let out = run_stencil(kind, StencilPlatform::CpuMpi, r, dims, steps, false);
+            s.push(r as f64, out.with_compile(kind));
+        }
+        fig.series.push(s);
+    }
+    fig
+}
+
+/// Figure 5: diffusion strong scaling over MPI (CPU), C vs WootinJ,
+/// including compilation time.
+pub fn fig5() -> Figure {
+    strong_diffusion_mpi("fig5", true)
+}
+
+/// Figure 13: Figure 5 with compilation time excluded.
+pub fn fig13() -> Figure {
+    strong_diffusion_mpi("fig13", false)
+}
+
+fn strong_diffusion_mpi(id: &str, include_compile: bool) -> Figure {
+    let dims = (16, 16, 64);
+    let steps = 4;
+    let ranks = [1u32, 2, 4, 8, 16];
+    let mut fig = Figure::new(
+        id,
+        if include_compile {
+            "diffusion strong scaling, MPI CPU (incl. compile)"
+        } else {
+            "diffusion strong scaling, MPI CPU (excl. compile)"
+        },
+        "ranks",
+        "virtual cycles",
+    );
+    fig.note("paper: 128x128x1024 total; here 16x16x64 total, 4 steps");
+    for kind in [Kind::C, Kind::WootinJ] {
+        let mut s = Series::new(kind.name());
+        for &r in &ranks {
+            let out = run_stencil(kind, StencilPlatform::CpuMpi, r, dims, steps, false);
+            let y = if include_compile { out.with_compile(kind) } else { out.vtime as f64 };
+            s.push(r as f64, y);
+        }
+        fig.series.push(s);
+    }
+    fig
+}
+
+/// Figure 6: diffusion weak scaling on GPUs (one per rank).
+pub fn fig6() -> Figure {
+    let per_rank = (16, 16, 8);
+    let steps = 4;
+    let ranks = [1u32, 2, 4, 8];
+    let kinds = [Kind::C, Kind::Template, Kind::TemplateNoVirt, Kind::WootinJ];
+    let mut fig =
+        Figure::new("fig6", "diffusion weak scaling, GPU + MPI", "ranks", "virtual cycles");
+    fig.note("paper: 384^3 per GPU, using the whole device memory; here 16x16x8 per rank");
+    fig.note("no C++ series: the paper itself avoided virtual calls in CUDA kernels (§4)");
+    for kind in kinds {
+        let mut s = Series::new(kind.name());
+        for &r in &ranks {
+            let dims = (per_rank.0, per_rank.1, per_rank.2 * r as i32);
+            let out = run_stencil(kind, StencilPlatform::GpuMpi, r, dims, steps, false);
+            s.push(r as f64, out.with_compile(kind));
+        }
+        fig.series.push(s);
+    }
+    fig
+}
+
+/// Figure 7: diffusion strong scaling on GPUs, incl. compile.
+pub fn fig7() -> Figure {
+    strong_diffusion_gpu("fig7", true)
+}
+
+/// Figure 14: Figure 7 with compilation excluded.
+pub fn fig14() -> Figure {
+    strong_diffusion_gpu("fig14", false)
+}
+
+fn strong_diffusion_gpu(id: &str, include_compile: bool) -> Figure {
+    let dims = (16, 16, 32);
+    let steps = 4;
+    let ranks = [1u32, 2, 4, 8];
+    let mut fig = Figure::new(
+        id,
+        if include_compile {
+            "diffusion strong scaling, GPU + MPI (incl. compile)"
+        } else {
+            "diffusion strong scaling, GPU + MPI (excl. compile)"
+        },
+        "ranks",
+        "virtual cycles",
+    );
+    fig.note("paper: 384x384x1536 total; here 16x16x32 total");
+    for kind in [Kind::C, Kind::WootinJ] {
+        let mut s = Series::new(kind.name());
+        for &r in &ranks {
+            let out = run_stencil(kind, StencilPlatform::GpuMpi, r, dims, steps, false);
+            let y = if include_compile { out.with_compile(kind) } else { out.vtime as f64 };
+            s.push(r as f64, y);
+        }
+        fig.series.push(s);
+    }
+    fig
+}
+
+// ---------------------------------------------------------------------
+// Matmul scaling figures (9, 10, 11, 12; 15, 16)
+// ---------------------------------------------------------------------
+
+/// Figure 9: matmul weak scaling over MPI (Fox algorithm); the per-rank
+/// block is fixed at 16x16, so n = 16·sqrt(p).
+pub fn fig9() -> Figure {
+    let m = 16;
+    let ranks = [1u32, 4, 9, 16];
+    let kinds = [Kind::C, Kind::Cpp, Kind::Template, Kind::TemplateNoVirt, Kind::WootinJ];
+    let mut fig = Figure::new("fig9", "matmul weak scaling, MPI CPU (Fox)", "ranks", "virtual cycles");
+    fig.note("paper: 2048^3 per node; here a fixed 16x16 block per rank (n = 16*sqrt(p))");
+    fig.note("Fox per-rank work grows with sqrt(p); the ideal line is t1*sqrt(p)");
+    for kind in kinds {
+        let mut s = Series::new(kind.name());
+        for &r in &ranks {
+            let q = (r as f64).sqrt() as i32;
+            let out = run_matmul(kind, MatTarget::Fox, r, m * q);
+            s.push(r as f64, out.with_compile(kind));
+        }
+        fig.series.push(s);
+    }
+    fig
+}
+
+/// Figure 10: matmul strong scaling over MPI, C vs WootinJ, incl. compile.
+pub fn fig10() -> Figure {
+    strong_matmul("fig10", MatTarget::Fox, true)
+}
+
+/// Figure 15: Figure 10 with compilation excluded.
+pub fn fig15() -> Figure {
+    strong_matmul("fig15", MatTarget::Fox, false)
+}
+
+/// Figure 11: matmul weak scaling on GPUs (Fox schedule, device multiply).
+pub fn fig11() -> Figure {
+    let m = 16;
+    let ranks = [1u32, 4, 9];
+    let kinds = [Kind::C, Kind::Template, Kind::TemplateNoVirt, Kind::WootinJ];
+    let mut fig =
+        Figure::new("fig11", "matmul weak scaling, GPU + MPI (Fox)", "ranks", "virtual cycles");
+    fig.note("paper: 14592^3 per GPU (whole device memory); here a fixed 16x16 block per rank");
+    for kind in kinds {
+        let mut s = Series::new(kind.name());
+        for &r in &ranks {
+            let q = (r as f64).sqrt() as i32;
+            let out = run_matmul(kind, MatTarget::FoxGpu, r, m * q);
+            s.push(r as f64, out.with_compile(kind));
+        }
+        fig.series.push(s);
+    }
+    fig
+}
+
+/// Figure 12: matmul strong scaling on GPUs, incl. compile.
+pub fn fig12() -> Figure {
+    strong_matmul("fig12", MatTarget::FoxGpu, true)
+}
+
+/// Figure 16: Figure 12 with compilation excluded.
+pub fn fig16() -> Figure {
+    strong_matmul("fig16", MatTarget::FoxGpu, false)
+}
+
+fn strong_matmul(id: &str, target: MatTarget, include_compile: bool) -> Figure {
+    let n = 48;
+    let ranks = [1u32, 4, 9, 16];
+    let what = match target {
+        MatTarget::Fox => "MPI CPU",
+        MatTarget::FoxGpu => "GPU + MPI",
+        _ => unreachable!(),
+    };
+    let mut fig = Figure::new(
+        id,
+        format!(
+            "matmul strong scaling, {what} ({})",
+            if include_compile { "incl. compile" } else { "excl. compile" }
+        ),
+        "ranks",
+        "virtual cycles",
+    );
+    fig.note("paper: 2048x2048x(2048*8) CPU / 14592^3 GPU; here n = 48");
+    for kind in [Kind::C, Kind::WootinJ] {
+        let mut s = Series::new(kind.name());
+        for &r in &ranks {
+            let out = run_matmul(kind, target, r, n);
+            let y = if include_compile { out.with_compile(kind) } else { out.vtime as f64 };
+            s.push(r as f64, y);
+        }
+        fig.series.push(s);
+    }
+    fig
+}
+
+// ---------------------------------------------------------------------
+// Tables
+// ---------------------------------------------------------------------
+
+/// Table 3: WootinJ compilation time for the four evaluation programs,
+/// plus generated-code statistics. Independent of problem size by
+/// construction (shape analysis sees sizes only as scalars).
+pub fn tab3() -> Figure {
+    let mut fig = Figure::new("tab3", "WootinJ compilation time", "program", "milliseconds");
+    fig.note("paper: 4-5 s dominated by the external icc/nvcc invocation; ours is the");
+    fig.note("translator alone (the 'external compiler' is the NIR optimizer), hence ms-scale.");
+    fig.note("x=0 diffusion MPI, x=1 diffusion GPU+MPI, x=2 matmul Fox, x=3 matmul Fox GPU");
+    let mut ms = Series::new("compile-ms");
+    let mut funcs = Series::new("generated-functions");
+    let mut instrs = Series::new("nir-instructions");
+
+    let stencil_table = hpclib::stencil_table(&[]).unwrap();
+    let matmul_table = hpclib::matmul_table(&[]).unwrap();
+
+    // Program 0/1: diffusion MPI + GPU.
+    for (i, platform) in [StencilPlatform::CpuMpi, StencilPlatform::GpuMpi].iter().enumerate() {
+        let mut env = WootinJ::new(&stencil_table).unwrap();
+        let runner =
+            StencilApp::compose(&mut env, *platform, StencilApp::default_model()).unwrap();
+        let args = [Value::Int(16), Value::Int(16), Value::Int(16), Value::Int(2)];
+        let code = env.jit(&runner, "invoke", &args, JitOptions::wootinj()).unwrap();
+        ms.push(i as f64, code.compile_time.as_secs_f64() * 1e3);
+        funcs.push(i as f64, code.translated.program.funcs.len() as f64);
+        instrs.push(i as f64, code.translated.program.instr_count() as f64);
+    }
+    // Program 2/3: matmul Fox + Fox GPU.
+    for (i, body) in [MatmulBody::Fox, MatmulBody::FoxGpu].iter().enumerate() {
+        let mut env = WootinJ::new(&matmul_table).unwrap();
+        let app =
+            MatmulApp::compose(&mut env, MatmulThread::Mpi, *body, MatmulCalc::Simple).unwrap();
+        let code = env.jit(&app, "start", &[Value::Int(32)], JitOptions::wootinj()).unwrap();
+        ms.push((i + 2) as f64, code.compile_time.as_secs_f64() * 1e3);
+        funcs.push((i + 2) as f64, code.translated.program.funcs.len() as f64);
+        instrs.push((i + 2) as f64, code.translated.program.instr_count() as f64);
+    }
+    fig.series.push(ms);
+    fig.series.push(funcs);
+    fig.series.push(instrs);
+    fig
+}
+
+/// Table 1 analogue: the NIR optimizer configuration sweep on the
+/// diffusion solver (our stand-in for the icc option rows).
+pub fn tab1() -> Figure {
+    opt_sweep("tab1", "optimizer configuration sweep (diffusion)", true)
+}
+
+/// Table 2 analogue: the same sweep on matmul.
+pub fn tab2() -> Figure {
+    opt_sweep("tab2", "optimizer configuration sweep (matmul)", false)
+}
+
+fn opt_sweep(id: &str, title: &str, diffusion: bool) -> Figure {
+    let mut fig = Figure::new(id, title, "config", "virtual cycles");
+    fig.note("x=0 no passes (-O0), x=1 standard (fold+copyprop+dce), x=2 aggressive (+inline+SROA)");
+    fig.note("our analogue of the paper's icc option rows (Table 1/2)");
+    let configs = [OptConfig::none(), OptConfig::standard(), OptConfig::aggressive()];
+    let mut s = Series::new("WootinJ-translated");
+    for (i, opt) in configs.iter().enumerate() {
+        let vtime = if diffusion {
+            let table = hpclib::stencil_table(&[]).unwrap();
+            let mut env = WootinJ::new(&table).unwrap();
+            let runner =
+                StencilApp::compose(&mut env, StencilPlatform::Cpu, StencilApp::default_model())
+                    .unwrap();
+            let args = [Value::Int(16), Value::Int(16), Value::Int(12), Value::Int(3)];
+            let code = env
+                .jit(&runner, "invoke", &args, JitOptions::wootinj().with_opt(*opt))
+                .unwrap();
+            code.invoke(&env).unwrap().vtime_cycles
+        } else {
+            let table = hpclib::matmul_table(&[]).unwrap();
+            let mut env = WootinJ::new(&table).unwrap();
+            let app = MatmulApp::compose(
+                &mut env,
+                MatmulThread::CpuLoop,
+                MatmulBody::Simple,
+                MatmulCalc::Simple,
+            )
+            .unwrap();
+            let code = env
+                .jit(&app, "start", &[Value::Int(24)], JitOptions::wootinj().with_opt(*opt))
+                .unwrap();
+            code.invoke(&env).unwrap().vtime_cycles
+        };
+        s.push(i as f64, vtime as f64);
+    }
+    fig.series.push(s);
+    fig
+}
+
+// ---------------------------------------------------------------------
+// Ablations (design-choice benches from DESIGN.md)
+// ---------------------------------------------------------------------
+
+/// Ablation: which pipeline stage buys what — Virtual -> Devirt -> Full
+/// on the boxed diffusion workload.
+pub fn ablate_devirt() -> Figure {
+    let mut fig = Figure::new(
+        "ablate-devirt",
+        "pipeline ablation: dispatch/representation strategy",
+        "stage",
+        "virtual cycles",
+    );
+    fig.note("x=0 vtable dispatch (Virtual), x=1 devirtualized (Devirt), x=2 + object inlining (Full)");
+    fig.note("boxed ScalarFloat diffusion, 16x16x12, 3 steps; all with standard NIR passes");
+    let table = hpclib::stencil_table(&[]).unwrap();
+    let mut s = Series::new("cycles");
+    let opts = [
+        JitOptions::cpp(),
+        JitOptions { config: translator::TransConfig::devirt() },
+        JitOptions::wootinj(),
+    ];
+    for (i, o) in opts.iter().enumerate() {
+        let mut env = WootinJ::new(&table).unwrap();
+        let runner = StencilApp::compose_boxed(&mut env, 0.4, 0.1).unwrap();
+        let args = [Value::Int(16), Value::Int(16), Value::Int(12), Value::Int(3)];
+        let code = env.jit(&runner, "invoke", &args, *o).unwrap();
+        s.push(i as f64, code.invoke(&env).unwrap().vtime_cycles as f64);
+    }
+    fig.series.push(s);
+    fig
+}
+
+/// Ablation: the NIR function-inlining limit (the Template-w/o-virt knob).
+pub fn ablate_inline() -> Figure {
+    let mut fig = Figure::new(
+        "ablate-inline",
+        "NIR inline-limit sweep (boxed diffusion, Devirt mode + SROA)",
+        "inline limit",
+        "virtual cycles",
+    );
+    let table = hpclib::stencil_table(&[]).unwrap();
+    let mut s = Series::new("cycles");
+    for limit in [0usize, 4, 16, 64] {
+        let mut env = WootinJ::new(&table).unwrap();
+        let runner = StencilApp::compose_boxed(&mut env, 0.4, 0.1).unwrap();
+        let args = [Value::Int(16), Value::Int(16), Value::Int(12), Value::Int(3)];
+        let mut opt = OptConfig::aggressive();
+        opt.inline_limit = limit;
+        let mut config = translator::TransConfig::devirt();
+        config.opt = opt;
+        let code = env.jit(&runner, "invoke", &args, JitOptions { config }).unwrap();
+        s.push(limit as f64, code.invoke(&env).unwrap().vtime_cycles as f64);
+    }
+    fig.series.push(s);
+    fig
+}
+
+/// Ablation: communication cost model sensitivity — the Figure 4 point at
+/// 8 ranks under a latency sweep.
+pub fn ablate_comm() -> Figure {
+    let mut fig = Figure::new(
+        "ablate-comm",
+        "comm cost sensitivity (diffusion weak scaling point, 8 ranks)",
+        "alpha (cycles)",
+        "virtual cycles",
+    );
+    fig.note("per-rank 16x16x8, 4 steps; the crossover between compute- and latency-bound");
+    let table = hpclib::stencil_table(&[]).unwrap();
+    let mut s = Series::new("WootinJ");
+    for alpha in [500u64, 2_000, 8_000, 32_000, 128_000] {
+        let mut env = WootinJ::new(&table).unwrap();
+        let runner =
+            StencilApp::compose(&mut env, StencilPlatform::CpuMpi, StencilApp::default_model())
+                .unwrap();
+        let args = [Value::Int(16), Value::Int(16), Value::Int(64), Value::Int(4)];
+        let mut code = env.jit(&runner, "invoke", &args, JitOptions::wootinj()).unwrap();
+        code.set_mpi(
+            8,
+            MpiCostModel { alpha, beta: 0.4, collective_alpha: alpha * 2 },
+        );
+        s.push(alpha as f64, code.invoke(&env).unwrap().vtime_cycles as f64);
+    }
+    fig.series.push(s);
+    fig
+}
+
+/// Extension experiment: the third (reduction) class library across
+/// platforms — evidence for the paper's future-work claim that the rules
+/// support larger libraries.
+pub fn ext_reduce() -> Figure {
+    use hpclib::{ReduceApp, ReduceOp, ReducePlatform};
+    let mut fig = Figure::new(
+        "ext-reduce",
+        "extension: map-reduce library across platforms (WootinJ mode)",
+        "platform",
+        "virtual cycles",
+    );
+    fig.note("x=0 CPU, x=1 MPI x4 ranks, x=2 GPU (shared-memory tree kernel)");
+    fig.note("SquareOp over 4096 elements; not a paper figure — library-generality evidence");
+    let table = hpclib::reduce_table(&[]).unwrap();
+    let n = 4096;
+    let mut s = Series::new("cycles");
+    for (i, platform) in
+        [ReducePlatform::Cpu, ReducePlatform::Mpi, ReducePlatform::Gpu].iter().enumerate()
+    {
+        let mut env = WootinJ::new(&table).unwrap();
+        let app = ReduceApp::compose(&mut env, *platform, ReduceOp::Square, 0.125).unwrap();
+        let mut code =
+            env.jit(&app, "reduce", &[Value::Int(n)], JitOptions::wootinj()).unwrap();
+        if *platform == ReducePlatform::Mpi {
+            code.set_mpi(4, MpiCostModel::default());
+        }
+        if *platform == ReducePlatform::Gpu {
+            code.set_gpu(GpuConfig::default());
+        }
+        s.push(i as f64, code.invoke(&env).unwrap().vtime_cycles as f64);
+    }
+    fig.series.push(s);
+    fig
+}
+
+/// Ablation: device-model sensitivity — the same GPU stencil under
+/// different SM counts and copy bandwidths (is the model responding the
+/// way an M2050 -> K20 upgrade would?).
+pub fn ablate_gpu() -> Figure {
+    let mut fig = Figure::new(
+        "ablate-gpu",
+        "GPU model sensitivity (diffusion, 16x16x16, 4 steps)",
+        "SMs",
+        "virtual cycles",
+    );
+    fig.note("series: copy bandwidth 4 vs 16 bytes/cycle; more SMs and faster copies both help");
+    let table = hpclib::stencil_table(&[]).unwrap();
+    for bw in [4.0f64, 16.0] {
+        let mut s = Series::new(format!("{bw} B/cycle"));
+        for sms in [7u32, 14, 28, 56] {
+            let mut env = WootinJ::new(&table).unwrap();
+            let runner = StencilApp::compose(
+                &mut env,
+                StencilPlatform::Gpu,
+                StencilApp::default_model(),
+            )
+            .unwrap();
+            let args = [Value::Int(16), Value::Int(16), Value::Int(16), Value::Int(4)];
+            let mut code = env.jit(&runner, "invoke", &args, JitOptions::wootinj()).unwrap();
+            code.set_gpu(GpuConfig {
+                n_sms: sms,
+                copy_bytes_per_cycle: bw,
+                ..GpuConfig::default()
+            });
+            s.push(sms as f64, code.invoke(&env).unwrap().vtime_cycles as f64);
+        }
+        fig.series.push(s);
+    }
+    fig
+}
+
+/// All figure/table ids, in paper order.
+pub fn all_ids() -> Vec<&'static str> {
+    vec![
+        "fig3", "tab1", "fig4", "fig5", "fig6", "fig7", "tab2", "fig9", "fig10", "fig11",
+        "fig12", "tab3", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+        "ablate-devirt", "ablate-inline", "ablate-comm", "ablate-gpu", "ext-reduce",
+    ]
+}
+
+/// Dispatch by id.
+pub fn run_experiment(id: &str) -> Option<Figure> {
+    Some(match id {
+        "fig3" => fig3(),
+        "fig4" => fig4(),
+        "fig5" => fig5(),
+        "fig6" => fig6(),
+        "fig7" => fig7(),
+        "fig9" => fig9(),
+        "fig10" => fig10(),
+        "fig11" => fig11(),
+        "fig12" => fig12(),
+        "fig13" => fig13(),
+        "fig14" => fig14(),
+        "fig15" => fig15(),
+        "fig16" => fig16(),
+        "fig17" => fig17(),
+        "fig18" => fig18(),
+        "tab1" => tab1(),
+        "tab2" => tab2(),
+        "tab3" => tab3(),
+        "ablate-devirt" => ablate_devirt(),
+        "ablate-inline" => ablate_inline(),
+        "ablate-comm" => ablate_comm(),
+        "ablate-gpu" => ablate_gpu(),
+        "ext-reduce" => ext_reduce(),
+        _ => return None,
+    })
+}

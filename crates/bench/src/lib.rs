@@ -1,0 +1,18 @@
+//! # bench — the reproduction harness for every table and figure
+//!
+//! * [`experiments`] — one function per paper table/figure (and per
+//!   DESIGN.md ablation), returning a [`series::Figure`];
+//! * [`cprogs`] — the hand-inlined *C* baseline programs;
+//! * the `repro` binary — `repro fig4`, `repro all`, ... prints the series
+//!   and writes `results/<id>.json`;
+//! * `benches/` — Criterion wall-clock benches for the serial figures and
+//!   the translator (Table 3's wall-time component).
+
+#![forbid(unsafe_code)]
+
+pub mod cprogs;
+pub mod experiments;
+pub mod series;
+
+pub use experiments::{all_ids, run_experiment};
+pub use series::{Figure, Point, Series};

@@ -1,0 +1,180 @@
+//! Figure/series data model for the reproduction harness: what the paper
+//! plots, we print as aligned tables and persist as JSON under `results/`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One plotted point.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+/// One plotted series (a line in the paper's figure).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Series {
+    pub name: String,
+    pub points: Vec<Point>,
+}
+
+impl Series {
+    pub fn new(name: impl Into<String>) -> Self {
+        Series { name: name.into(), points: Vec::new() }
+    }
+
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push(Point { x, y });
+    }
+}
+
+/// A reproduced figure or table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure {
+    /// e.g. "fig4", "tab3".
+    pub id: String,
+    pub title: String,
+    pub x_label: String,
+    pub y_label: String,
+    pub series: Vec<Series>,
+    /// Workload scaling and substitutions relative to the paper.
+    pub notes: Vec<String>,
+}
+
+impl Figure {
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Figure {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    pub fn note(&mut self, n: impl Into<String>) {
+        self.notes.push(n.into());
+    }
+
+    /// Render as an aligned text table (x down the rows, series across).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        // Collect the x values of the longest series.
+        let xs: Vec<f64> = self
+            .series
+            .iter()
+            .max_by_key(|s| s.points.len())
+            .map(|s| s.points.iter().map(|p| p.x).collect())
+            .unwrap_or_default();
+        let _ = write!(out, "{:>14}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, "{:>20}", s.name);
+        }
+        let _ = writeln!(out);
+        for (i, x) in xs.iter().enumerate() {
+            let _ = write!(out, "{x:>14}");
+            for s in &self.series {
+                match s.points.iter().find(|p| (p.x - x).abs() < 1e-9).or(s.points.get(i)) {
+                    Some(p) => {
+                        let _ = write!(out, "{:>20.3}", p.y);
+                    }
+                    None => {
+                        let _ = write!(out, "{:>20}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(out, "    (y: {})", self.y_label);
+        for n in &self.notes {
+            let _ = writeln!(out, "    note: {n}");
+        }
+        out
+    }
+
+    /// Persist to `results/<id>.json`.
+    pub fn save(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        std::fs::write(path, serde_json::to_string_pretty(self).unwrap())
+    }
+
+    /// Ratio of the last y to the first y of the named series (for the
+    /// EXPERIMENTS.md shape checks and unit tests).
+    pub fn series_ratio(&self, name: &str) -> Option<f64> {
+        let s = self.series.iter().find(|s| s.name == name)?;
+        let first = s.points.first()?.y;
+        let last = s.points.last()?.y;
+        if first == 0.0 {
+            None
+        } else {
+            Some(last / first)
+        }
+    }
+
+    /// y value of `series` at x (exact match).
+    pub fn value_at(&self, name: &str, x: f64) -> Option<f64> {
+        self.series
+            .iter()
+            .find(|s| s.name == name)?
+            .points
+            .iter()
+            .find(|p| (p.x - x).abs() < 1e-9)
+            .map(|p| p.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_series() {
+        let mut fig = Figure::new("figX", "test", "ranks", "cycles");
+        let mut a = Series::new("A");
+        a.push(1.0, 10.0);
+        a.push(2.0, 20.0);
+        let mut b = Series::new("B");
+        b.push(1.0, 11.0);
+        b.push(2.0, 21.0);
+        fig.series.push(a);
+        fig.series.push(b);
+        let r = fig.render();
+        assert!(r.contains("figX"));
+        assert!(r.contains("A"));
+        assert!(r.contains("21.000"));
+    }
+
+    #[test]
+    fn ratios_and_lookup() {
+        let mut fig = Figure::new("f", "t", "x", "y");
+        let mut s = Series::new("S");
+        s.push(1.0, 5.0);
+        s.push(4.0, 20.0);
+        fig.series.push(s);
+        assert_eq!(fig.series_ratio("S"), Some(4.0));
+        assert_eq!(fig.value_at("S", 4.0), Some(20.0));
+        assert_eq!(fig.value_at("S", 3.0), None);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut fig = Figure::new("f", "t", "x", "y");
+        let mut s = Series::new("S");
+        s.push(1.0, 5.0);
+        fig.series.push(s);
+        fig.note("scaled down");
+        let j = serde_json::to_string(&fig).unwrap();
+        let back: Figure = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.id, "f");
+        assert_eq!(back.notes.len(), 1);
+    }
+}

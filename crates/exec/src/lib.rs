@@ -1,0 +1,1348 @@
+//! # exec — the NIR execution engine
+//!
+//! Executes translated programs. One engine powers every series of the
+//! paper's evaluation except *Java*:
+//!
+//! * the fully optimized WootinJ output (flat code, direct calls),
+//! * the hand-written "C" programs (built directly as flat NIR),
+//! * the *C++* / *Template* baselines (heap objects, vtable dispatch),
+//! * CUDA kernels under `gpu-sim` and MPI ranks under `mpi-sim`.
+//!
+//! The engine is **resumable**: `run()` executes until completion, fuel
+//! exhaustion, or a *yield point* — `__syncthreads`, an MPI operation, a
+//! kernel launch, or a GPU memory operation. The surrounding runtime
+//! (gpu-sim, mpi-sim, or the wootinj facade) services the yield and
+//! resumes the thread. This is what makes barrier-correct GPU execution
+//! and deterministic cooperative MPI scheduling possible without host
+//! threads.
+//!
+//! Every retired instruction is charged a weight; the accumulated
+//! `Counters::cycles` is the deterministic virtual-time metric behind the
+//! scalability figures.
+
+#![forbid(unsafe_code)]
+
+use jlang::ast::BinOp;
+use jlang::types::PrimKind;
+use nir::{ElemTy, FuncId, Instr, IntrinOp, Program, Reg};
+
+/// A runtime value: primitives plus array/object handles into a
+/// [`MemSpace`] / [`ObjHeap`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Val {
+    I32(i32),
+    I64(i64),
+    F32(f32),
+    F64(f64),
+    Bool(bool),
+    Arr(u32),
+    Obj(u32),
+    /// Uninitialized register / void result.
+    Unit,
+}
+
+impl Val {
+    pub fn as_i32(self) -> Result<i32, String> {
+        match self {
+            Val::I32(v) => Ok(v),
+            other => Err(format!("expected i32, found {other:?}")),
+        }
+    }
+
+    pub fn as_i64(self) -> Result<i64, String> {
+        match self {
+            Val::I64(v) => Ok(v),
+            other => Err(format!("expected i64, found {other:?}")),
+        }
+    }
+
+    pub fn as_f32(self) -> Result<f32, String> {
+        match self {
+            Val::F32(v) => Ok(v),
+            other => Err(format!("expected f32, found {other:?}")),
+        }
+    }
+
+    pub fn as_f64(self) -> Result<f64, String> {
+        match self {
+            Val::F64(v) => Ok(v),
+            other => Err(format!("expected f64, found {other:?}")),
+        }
+    }
+
+    pub fn as_bool(self) -> Result<bool, String> {
+        match self {
+            Val::Bool(v) => Ok(v),
+            other => Err(format!("expected bool, found {other:?}")),
+        }
+    }
+
+    pub fn as_arr(self) -> Result<u32, String> {
+        match self {
+            Val::Arr(v) => Ok(v),
+            other => Err(format!("expected array handle, found {other:?}")),
+        }
+    }
+
+    pub fn as_obj(self) -> Result<u32, String> {
+        match self {
+            Val::Obj(v) => Ok(v),
+            other => Err(format!("expected object handle, found {other:?}")),
+        }
+    }
+}
+
+/// Typed array storage within a memory space.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrStore {
+    I32(Vec<i32>),
+    I64(Vec<i64>),
+    F32(Vec<f32>),
+    F64(Vec<f64>),
+    Bool(Vec<bool>),
+    /// Explicitly freed (use-after-free is detected and reported).
+    Freed,
+}
+
+impl ArrStore {
+    pub fn new(elem: ElemTy, len: usize) -> ArrStore {
+        match elem {
+            ElemTy::I32 => ArrStore::I32(vec![0; len]),
+            ElemTy::I64 => ArrStore::I64(vec![0; len]),
+            ElemTy::F32 => ArrStore::F32(vec![0.0; len]),
+            ElemTy::F64 => ArrStore::F64(vec![0.0; len]),
+            ElemTy::Bool => ArrStore::Bool(vec![false; len]),
+        }
+    }
+
+    pub fn len(&self) -> Result<usize, String> {
+        Ok(match self {
+            ArrStore::I32(v) => v.len(),
+            ArrStore::I64(v) => v.len(),
+            ArrStore::F32(v) => v.len(),
+            ArrStore::F64(v) => v.len(),
+            ArrStore::Bool(v) => v.len(),
+            ArrStore::Freed => return Err("use of freed array".into()),
+        })
+    }
+
+    pub fn is_empty(&self) -> bool {
+        matches!(self.len(), Ok(0))
+    }
+
+    pub fn get(&self, i: usize) -> Result<Val, String> {
+        let n = self.len()?;
+        if i >= n {
+            return Err(format!("array index {i} out of bounds (len {n})"));
+        }
+        Ok(match self {
+            ArrStore::I32(v) => Val::I32(v[i]),
+            ArrStore::I64(v) => Val::I64(v[i]),
+            ArrStore::F32(v) => Val::F32(v[i]),
+            ArrStore::F64(v) => Val::F64(v[i]),
+            ArrStore::Bool(v) => Val::Bool(v[i]),
+            ArrStore::Freed => unreachable!(),
+        })
+    }
+
+    pub fn set(&mut self, i: usize, val: Val) -> Result<(), String> {
+        let n = self.len()?;
+        if i >= n {
+            return Err(format!("array index {i} out of bounds (len {n})"));
+        }
+        match (self, val) {
+            (ArrStore::I32(v), Val::I32(x)) => v[i] = x,
+            (ArrStore::I64(v), Val::I64(x)) => v[i] = x,
+            (ArrStore::F32(v), Val::F32(x)) => v[i] = x,
+            (ArrStore::F64(v), Val::F64(x)) => v[i] = x,
+            (ArrStore::Bool(v), Val::Bool(x)) => v[i] = x,
+            (s, x) => return Err(format!("type mismatch storing {x:?} into {s:?}")),
+        }
+        Ok(())
+    }
+}
+
+/// A flat memory space (host, one per MPI rank, or a GPU device space).
+#[derive(Debug, Default)]
+pub struct MemSpace {
+    pub arrays: Vec<ArrStore>,
+}
+
+impl MemSpace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn alloc(&mut self, store: ArrStore) -> u32 {
+        self.arrays.push(store);
+        self.arrays.len() as u32 - 1
+    }
+
+    pub fn arr(&self, h: u32) -> Result<&ArrStore, String> {
+        self.arrays.get(h as usize).ok_or_else(|| format!("bad array handle {h}"))
+    }
+
+    pub fn arr_mut(&mut self, h: u32) -> Result<&mut ArrStore, String> {
+        self.arrays.get_mut(h as usize).ok_or_else(|| format!("bad array handle {h}"))
+    }
+
+    pub fn free(&mut self, h: u32) -> Result<(), String> {
+        let a = self.arr_mut(h)?;
+        if matches!(a, ArrStore::Freed) {
+            return Err("double free".into());
+        }
+        *a = ArrStore::Freed;
+        Ok(())
+    }
+}
+
+/// Heap objects for the unoptimized (C++/Template baseline) configurations.
+#[derive(Debug, Default)]
+pub struct ObjHeap {
+    pub objects: Vec<(u32, Vec<Val>)>,
+}
+
+impl ObjHeap {
+    pub fn alloc(&mut self, class: u32, fields: usize) -> u32 {
+        self.objects.push((class, vec![Val::Unit; fields]));
+        self.objects.len() as u32 - 1
+    }
+
+    pub fn class_of(&self, h: u32) -> Result<u32, String> {
+        self.objects.get(h as usize).map(|(c, _)| *c).ok_or_else(|| format!("bad object {h}"))
+    }
+
+    pub fn get(&self, h: u32, slot: u32) -> Result<Val, String> {
+        self.objects
+            .get(h as usize)
+            .and_then(|(_, f)| f.get(slot as usize).copied())
+            .ok_or_else(|| format!("bad field {slot} of object {h}"))
+    }
+
+    pub fn set(&mut self, h: u32, slot: u32, v: Val) -> Result<(), String> {
+        let rec = self.objects.get_mut(h as usize).ok_or_else(|| format!("bad object {h}"))?;
+        let f = rec.1.get_mut(slot as usize).ok_or_else(|| format!("bad field {slot}"))?;
+        *f = v;
+        Ok(())
+    }
+}
+
+/// Deterministic work accounting.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Counters {
+    /// Retired instructions.
+    pub instrs: u64,
+    /// Weighted cost ("virtual cycles").
+    pub cycles: u64,
+}
+
+/// Per-opcode weights (virtual cycles). Heap indirection and dynamic
+/// dispatch are deliberately more expensive, mirroring their real costs.
+pub fn weight(ins: &Instr) -> u64 {
+    match ins {
+        Instr::ConstI32(..)
+        | Instr::ConstI64(..)
+        | Instr::ConstF32(..)
+        | Instr::ConstF64(..)
+        | Instr::ConstBool(..)
+        | Instr::Mov(..) => 1,
+        Instr::Bin { .. } | Instr::Neg { .. } | Instr::Not { .. } | Instr::Cast { .. } => 1,
+        Instr::Jmp(_) | Instr::Br { .. } => 1,
+        Instr::Ret(_) => 2,
+        Instr::Call { .. } => 6,
+        // FFI transitions cost more than an internal call (the paper's
+        // motivation for making MPI an intrinsic, not a JNI wrapper).
+        Instr::CallHost { .. } => 12,
+        Instr::NewObj { .. } => 30,
+        Instr::GetField { .. } | Instr::PutField { .. } => 4,
+        Instr::CallVirt { .. } => 14,
+        Instr::NewArr { .. } => 30,
+        Instr::LdArr { .. } | Instr::StArr { .. } => 2,
+        Instr::ArrLen { .. } => 2,
+        Instr::FreeArr { .. } => 10,
+        Instr::Intrin { op, .. } => match op {
+            IntrinOp::PrintI32
+            | IntrinOp::PrintI64
+            | IntrinOp::PrintF32
+            | IntrinOp::PrintF64
+            | IntrinOp::PrintBool => 20,
+            IntrinOp::ArrayCopyF32 => 10,
+            _ => 8,
+        },
+        Instr::Launch { .. } => 20,
+        Instr::SharedAlloc { .. } => 10,
+        Instr::Sync => 4,
+    }
+}
+
+/// The machine state shared by all threads of one execution context (one
+/// process / one rank / one device).
+#[derive(Debug, Default)]
+pub struct Machine {
+    pub mem: MemSpace,
+    pub objs: ObjHeap,
+    pub globals: Vec<Val>,
+    pub output: Vec<String>,
+    pub counters: Counters,
+}
+
+impl Machine {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Initialize globals from the program's constant pool.
+    pub fn with_globals(program: &Program) -> Self {
+        let globals = program
+            .globals
+            .iter()
+            .map(|g| match &g.value {
+                nir::ConstVal::I32(v) => Val::I32(*v),
+                nir::ConstVal::I64(v) => Val::I64(*v),
+                nir::ConstVal::F32(v) => Val::F32(*v),
+                nir::ConstVal::F64(v) => Val::F64(*v),
+                nir::ConstVal::Bool(v) => Val::Bool(*v),
+            })
+            .collect();
+        Machine { globals, ..Default::default() }
+    }
+}
+
+/// Why `run` stopped.
+#[derive(Debug)]
+pub enum Yield {
+    /// The entry frame returned.
+    Done(Option<Val>),
+    /// Fuel ran out; call `run` again to continue.
+    OutOfFuel,
+    /// Kernel thread reached `__syncthreads`.
+    Sync,
+    /// Kernel thread executed `SharedAlloc` at `pc` of the kernel; the GPU
+    /// runtime must provide the (per-block) handle via `resume_with`.
+    SharedAlloc { elem: ElemTy, len: usize, pc: u32 },
+    /// Blocked on an MPI operation; the MPI runtime services it.
+    Mpi { op: IntrinOp, args: Vec<Val> },
+    /// Host requested a kernel launch.
+    Launch { kernel: FuncId, grid: [u32; 3], block: [u32; 3], args: Vec<Val> },
+    /// Host requested a GPU memory operation (copy/alloc/free) or a CUDA
+    /// thread-register read that gpu-sim must service.
+    GpuMem { op: IntrinOp, args: Vec<Val> },
+    /// A registered foreign (host) function call; the runtime services it
+    /// through its [`HostRegistry`].
+    Host { host: u32, args: Vec<Val> },
+}
+
+/// A registered foreign function: the reproduction's stand-in for a C
+/// function linked into the generated program.
+pub type HostFn = Box<dyn Fn(&[Val], &mut MemSpace) -> Result<Val, String>>;
+
+/// Foreign functions by registration order (indices must match the
+/// program's `host_fns` table; the translator guarantees this when both
+/// are built from the same registry keys).
+#[derive(Default)]
+pub struct HostRegistry {
+    entries: Vec<(String, HostFn)>,
+}
+
+impl HostRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `f` under `key` (the `@Native("key")` string); returns its id.
+    pub fn register(
+        &mut self,
+        key: impl Into<String>,
+        f: impl Fn(&[Val], &mut MemSpace) -> Result<Val, String> + 'static,
+    ) -> u32 {
+        self.entries.push((key.into(), Box::new(f)));
+        self.entries.len() as u32 - 1
+    }
+
+    pub fn id_of(&self, key: &str) -> Option<u32> {
+        self.entries.iter().position(|(k, _)| k == key).map(|i| i as u32)
+    }
+
+    pub fn call(&self, id: u32, args: &[Val], mem: &mut MemSpace) -> Result<Val, String> {
+        let (_, f) = self
+            .entries
+            .get(id as usize)
+            .ok_or_else(|| format!("unregistered host function {id}"))?;
+        f(args, mem)
+    }
+
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(k, _)| k.as_str())
+    }
+}
+
+/// Execution error with function/pc context.
+#[derive(Debug, Clone)]
+pub struct ExecError {
+    pub message: String,
+    pub func: String,
+    pub pc: u32,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "exec error in `{}` at pc {}: {}", self.func, self.pc, self.message)
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+#[derive(Debug, Clone)]
+struct Frame {
+    func: FuncId,
+    pc: u32,
+    regs: Vec<Val>,
+    /// Register in the *caller* frame to receive our return value.
+    ret_to: Option<Reg>,
+}
+
+/// A resumable execution context (call stack). CUDA threads, MPI ranks,
+/// and plain host executions are all `Thread`s.
+#[derive(Debug)]
+pub struct Thread {
+    frames: Vec<Frame>,
+    /// Where to deliver a value provided by `resume_with`.
+    pending_dst: Option<Reg>,
+    done: bool,
+}
+
+impl Thread {
+    /// Create a thread poised to execute `func(args)`.
+    pub fn new(program: &Program, func: FuncId, args: Vec<Val>) -> Result<Thread, ExecError> {
+        let f = program.func(func);
+        if f.params.len() != args.len() {
+            return Err(ExecError {
+                message: format!(
+                    "`{}` expects {} args, got {}",
+                    f.name,
+                    f.params.len(),
+                    args.len()
+                ),
+                func: f.name.clone(),
+                pc: 0,
+            });
+        }
+        let mut regs = vec![Val::Unit; f.regs.len()];
+        regs[..args.len()].copy_from_slice(&args);
+        Ok(Thread {
+            frames: vec![Frame { func, pc: 0, regs, ret_to: None }],
+            pending_dst: None,
+            done: false,
+        })
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Deliver the result of a serviced yield (pass `Val::Unit` for void).
+    pub fn resume_with(&mut self, v: Val) {
+        if let Some(dst) = self.pending_dst.take() {
+            if let Some(top) = self.frames.last_mut() {
+                top.regs[dst as usize] = v;
+            }
+        }
+    }
+
+    /// Current call depth (for diagnostics).
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+}
+
+/// Maximum call depth (the coding rules forbid recursion, so this only
+/// guards against translator bugs).
+const MAX_DEPTH: usize = 256;
+
+/// Run `thread` until completion, a yield point, or `fuel` retired
+/// instructions.
+pub fn run(
+    thread: &mut Thread,
+    program: &Program,
+    machine: &mut Machine,
+    mut fuel: u64,
+) -> Result<Yield, ExecError> {
+    if thread.done {
+        return Ok(Yield::Done(None));
+    }
+    loop {
+        if fuel == 0 {
+            return Ok(Yield::OutOfFuel);
+        }
+        let (func_id, pc) = {
+            let top = thread.frames.last().unwrap();
+            (top.func, top.pc)
+        };
+        let f = program.func(func_id);
+        let err = |message: String| ExecError { message, func: f.name.clone(), pc };
+        if pc as usize >= f.code.len() {
+            return Err(err("fell off the end of function".into()));
+        }
+        let ins = &f.code[pc as usize];
+        machine.counters.instrs += 1;
+        machine.counters.cycles += weight(ins);
+        fuel -= 1;
+
+        // Helpers on the current frame.
+        macro_rules! reg {
+            ($r:expr) => {
+                thread.frames.last().unwrap().regs[$r as usize]
+            };
+        }
+        macro_rules! set {
+            ($r:expr, $v:expr) => {
+                thread.frames.last_mut().unwrap().regs[$r as usize] = $v
+            };
+        }
+        macro_rules! bump {
+            () => {
+                thread.frames.last_mut().unwrap().pc = pc + 1
+            };
+        }
+
+        match ins {
+            Instr::ConstI32(d, v) => {
+                set!(*d, Val::I32(*v));
+                bump!();
+            }
+            Instr::ConstI64(d, v) => {
+                set!(*d, Val::I64(*v));
+                bump!();
+            }
+            Instr::ConstF32(d, v) => {
+                set!(*d, Val::F32(*v));
+                bump!();
+            }
+            Instr::ConstF64(d, v) => {
+                set!(*d, Val::F64(*v));
+                bump!();
+            }
+            Instr::ConstBool(d, v) => {
+                set!(*d, Val::Bool(*v));
+                bump!();
+            }
+            Instr::Mov(d, s) => {
+                let v = reg!(*s);
+                set!(*d, v);
+                bump!();
+            }
+            Instr::Bin { op, kind, dst, lhs, rhs } => {
+                let v = binop(*op, *kind, reg!(*lhs), reg!(*rhs)).map_err(err)?;
+                set!(*dst, v);
+                bump!();
+            }
+            Instr::Neg { kind, dst, src } => {
+                let v = match (kind, reg!(*src)) {
+                    (PrimKind::Int, Val::I32(x)) => Val::I32(x.wrapping_neg()),
+                    (PrimKind::Long, Val::I64(x)) => Val::I64(x.wrapping_neg()),
+                    (PrimKind::Float, Val::F32(x)) => Val::F32(-x),
+                    (PrimKind::Double, Val::F64(x)) => Val::F64(-x),
+                    (k, v) => return Err(err(format!("bad neg {k:?} on {v:?}"))),
+                };
+                set!(*dst, v);
+                bump!();
+            }
+            Instr::Not { dst, src } => {
+                let v = reg!(*src).as_bool().map_err(err)?;
+                set!(*dst, Val::Bool(!v));
+                bump!();
+            }
+            Instr::Cast { to, dst, src, .. } => {
+                let v = numcast(*to, reg!(*src)).map_err(err)?;
+                set!(*dst, v);
+                bump!();
+            }
+            Instr::Jmp(t) => {
+                thread.frames.last_mut().unwrap().pc = *t;
+            }
+            Instr::Br { cond, t, f: fl } => {
+                let c = reg!(*cond).as_bool().map_err(err)?;
+                thread.frames.last_mut().unwrap().pc = if c { *t } else { *fl };
+            }
+            Instr::Ret(r) => {
+                let v = r.map(|r| reg!(r));
+                let finished = thread.frames.pop().unwrap();
+                if let Some(caller) = thread.frames.last_mut() {
+                    if let Some(dst) = finished.ret_to {
+                        caller.regs[dst as usize] = v.unwrap_or(Val::Unit);
+                    }
+                } else {
+                    thread.done = true;
+                    return Ok(Yield::Done(v));
+                }
+            }
+            Instr::CallHost { host, args, dst } => {
+                let argv: Vec<Val> = args.iter().map(|a| reg!(*a)).collect();
+                thread.pending_dst = *dst;
+                bump!();
+                return Ok(Yield::Host { host: *host, args: argv });
+            }
+            Instr::Call { func, args, dst } => {
+                if thread.frames.len() >= MAX_DEPTH {
+                    return Err(err("call depth limit exceeded".into()));
+                }
+                let callee = program.func(*func);
+                let mut regs = vec![Val::Unit; callee.regs.len()];
+                for (i, a) in args.iter().enumerate() {
+                    regs[i] = reg!(*a);
+                }
+                bump!();
+                thread.frames.push(Frame { func: *func, pc: 0, regs, ret_to: *dst });
+            }
+            Instr::NewObj { class, dst } => {
+                let meta = &program.classes[*class as usize];
+                let h = machine.objs.alloc(*class, meta.field_count as usize);
+                set!(*dst, Val::Obj(h));
+                bump!();
+            }
+            Instr::GetField { obj, slot, dst } => {
+                let h = reg!(*obj).as_obj().map_err(err)?;
+                let v = machine.objs.get(h, *slot).map_err(err)?;
+                set!(*dst, v);
+                bump!();
+            }
+            Instr::PutField { obj, slot, src } => {
+                let h = reg!(*obj).as_obj().map_err(err)?;
+                let v = reg!(*src);
+                machine.objs.set(h, *slot, v).map_err(err)?;
+                bump!();
+            }
+            Instr::CallVirt { selector, recv, args, dst } => {
+                if thread.frames.len() >= MAX_DEPTH {
+                    return Err(err("call depth limit exceeded".into()));
+                }
+                let h = reg!(*recv).as_obj().map_err(err)?;
+                let class = machine.objs.class_of(h).map_err(err)?;
+                let meta = &program.classes[class as usize];
+                let target = meta
+                    .vtable
+                    .iter()
+                    .find(|(s, _)| s == selector)
+                    .map(|(_, f)| *f)
+                    .ok_or_else(|| {
+                        err(format!(
+                            "class `{}` has no vtable entry for `{}`",
+                            meta.name, program.selectors[*selector as usize]
+                        ))
+                    })?;
+                let callee = program.func(target);
+                let mut regs = vec![Val::Unit; callee.regs.len()];
+                regs[0] = Val::Obj(h);
+                for (i, a) in args.iter().enumerate() {
+                    regs[i + 1] = reg!(*a);
+                }
+                bump!();
+                thread.frames.push(Frame { func: target, pc: 0, regs, ret_to: *dst });
+            }
+            Instr::NewArr { elem, len, dst } => {
+                let n = reg!(*len).as_i32().map_err(err)?;
+                if n < 0 {
+                    return Err(err(format!("negative array size {n}")));
+                }
+                // Charge zero-fill cost proportional to the allocation.
+                machine.counters.cycles += (n as u64) / 16;
+                let h = machine.mem.alloc(ArrStore::new(*elem, n as usize));
+                set!(*dst, Val::Arr(h));
+                bump!();
+            }
+            Instr::LdArr { arr, idx, dst } => {
+                let h = reg!(*arr).as_arr().map_err(err)?;
+                let i = reg!(*idx).as_i32().map_err(err)?;
+                if i < 0 {
+                    return Err(err(format!("negative index {i}")));
+                }
+                let v = machine.mem.arr(h).map_err(err)?.get(i as usize).map_err(err)?;
+                set!(*dst, v);
+                bump!();
+            }
+            Instr::StArr { arr, idx, src } => {
+                let h = reg!(*arr).as_arr().map_err(err)?;
+                let i = reg!(*idx).as_i32().map_err(err)?;
+                if i < 0 {
+                    return Err(err(format!("negative index {i}")));
+                }
+                let v = reg!(*src);
+                machine.mem.arr_mut(h).map_err(err)?.set(i as usize, v).map_err(err)?;
+                bump!();
+            }
+            Instr::ArrLen { arr, dst } => {
+                let h = reg!(*arr).as_arr().map_err(err)?;
+                let n = machine.mem.arr(h).map_err(err)?.len().map_err(err)?;
+                set!(*dst, Val::I32(n as i32));
+                bump!();
+            }
+            Instr::FreeArr { arr } => {
+                let h = reg!(*arr).as_arr().map_err(err)?;
+                machine.mem.free(h).map_err(err)?;
+                bump!();
+            }
+            Instr::Intrin { op, args, dst } => {
+                let argv: Vec<Val> = args.iter().map(|a| reg!(*a)).collect();
+                match op {
+                    IntrinOp::SqrtF64 => {
+                        let x = argv[0].as_f64().map_err(err)?;
+                        set!(dst.unwrap(), Val::F64(x.sqrt()));
+                        bump!();
+                    }
+                    IntrinOp::SqrtF32 => {
+                        let x = argv[0].as_f32().map_err(err)?;
+                        set!(dst.unwrap(), Val::F32(x.sqrt()));
+                        bump!();
+                    }
+                    IntrinOp::PowF64 => {
+                        let x = argv[0].as_f64().map_err(err)?;
+                        let y = argv[1].as_f64().map_err(err)?;
+                        set!(dst.unwrap(), Val::F64(x.powf(y)));
+                        bump!();
+                    }
+                    IntrinOp::ExpF64 => {
+                        let x = argv[0].as_f64().map_err(err)?;
+                        set!(dst.unwrap(), Val::F64(x.exp()));
+                        bump!();
+                    }
+                    IntrinOp::AbsF32 => {
+                        let x = argv[0].as_f32().map_err(err)?;
+                        set!(dst.unwrap(), Val::F32(x.abs()));
+                        bump!();
+                    }
+                    IntrinOp::AbsF64 => {
+                        let x = argv[0].as_f64().map_err(err)?;
+                        set!(dst.unwrap(), Val::F64(x.abs()));
+                        bump!();
+                    }
+                    IntrinOp::AbsI32 => {
+                        let x = argv[0].as_i32().map_err(err)?;
+                        set!(dst.unwrap(), Val::I32(x.wrapping_abs()));
+                        bump!();
+                    }
+                    IntrinOp::MinI32 | IntrinOp::MaxI32 => {
+                        let x = argv[0].as_i32().map_err(err)?;
+                        let y = argv[1].as_i32().map_err(err)?;
+                        let v = if matches!(op, IntrinOp::MinI32) { x.min(y) } else { x.max(y) };
+                        set!(dst.unwrap(), Val::I32(v));
+                        bump!();
+                    }
+                    IntrinOp::MinF32 | IntrinOp::MaxF32 => {
+                        let x = argv[0].as_f32().map_err(err)?;
+                        let y = argv[1].as_f32().map_err(err)?;
+                        let v = if matches!(op, IntrinOp::MinF32) { x.min(y) } else { x.max(y) };
+                        set!(dst.unwrap(), Val::F32(v));
+                        bump!();
+                    }
+                    IntrinOp::PrintI32
+                    | IntrinOp::PrintI64
+                    | IntrinOp::PrintF32
+                    | IntrinOp::PrintF64
+                    | IntrinOp::PrintBool => {
+                        let line = match argv[0] {
+                            Val::I32(v) => v.to_string(),
+                            Val::I64(v) => v.to_string(),
+                            Val::F32(v) => format!("{v}"),
+                            Val::F64(v) => format!("{v}"),
+                            Val::Bool(v) => v.to_string(),
+                            other => return Err(err(format!("bad print arg {other:?}"))),
+                        };
+                        machine.output.push(line);
+                        bump!();
+                    }
+                    IntrinOp::ArrayCopyF32 => {
+                        let src = argv[0].as_arr().map_err(err)?;
+                        let spos = argv[1].as_i32().map_err(err)? as usize;
+                        let dsth = argv[2].as_arr().map_err(err)?;
+                        let dpos = argv[3].as_i32().map_err(err)? as usize;
+                        let n = argv[4].as_i32().map_err(err)? as usize;
+                        machine.counters.cycles += (n as u64) / 8;
+                        let data: Vec<f32> = match machine.mem.arr(src).map_err(err)? {
+                            ArrStore::F32(v) => v
+                                .get(spos..spos + n)
+                                .ok_or_else(|| err("arraycopy src out of range".into()))?
+                                .to_vec(),
+                            _ => return Err(err("arraycopy on non-f32 array".into())),
+                        };
+                        match machine.mem.arr_mut(dsth).map_err(err)? {
+                            ArrStore::F32(v) => {
+                                let tgt = v
+                                    .get_mut(dpos..dpos + n)
+                                    .ok_or_else(|| err("arraycopy dst out of range".into()))?;
+                                tgt.copy_from_slice(&data);
+                            }
+                            _ => return Err(err("arraycopy on non-f32 array".into())),
+                        }
+                        bump!();
+                    }
+                    // CUDA thread-register reads are serviced by gpu-sim:
+                    // yield with the op so the runtime substitutes the
+                    // coordinate of the executing CUDA thread.
+                    IntrinOp::ThreadIdx(_)
+                    | IntrinOp::BlockIdx(_)
+                    | IntrinOp::BlockDim(_)
+                    | IntrinOp::GridDim(_) => {
+                        thread.pending_dst = *dst;
+                        bump!();
+                        return Ok(Yield::GpuMem { op: *op, args: argv });
+                    }
+                    IntrinOp::CopyToGpu
+                    | IntrinOp::CopyFromGpu
+                    | IntrinOp::CopyToGpuRange
+                    | IntrinOp::CopyFromGpuRange
+                    | IntrinOp::GpuAllocF32
+                    | IntrinOp::GpuFree => {
+                        thread.pending_dst = *dst;
+                        bump!();
+                        return Ok(Yield::GpuMem { op: *op, args: argv });
+                    }
+                    IntrinOp::MpiRank
+                    | IntrinOp::MpiSize
+                    | IntrinOp::MpiBarrier
+                    | IntrinOp::MpiSendF32
+                    | IntrinOp::MpiRecvF32
+                    | IntrinOp::MpiSendRecvF32
+                    | IntrinOp::MpiBcastF32
+                    | IntrinOp::MpiAllreduceSumF64
+                    | IntrinOp::MpiAllreduceSumF32
+                    | IntrinOp::MpiAllreduceMaxF64 => {
+                        thread.pending_dst = *dst;
+                        bump!();
+                        return Ok(Yield::Mpi { op: *op, args: argv });
+                    }
+                }
+            }
+            Instr::Launch { kernel, grid, block, args } => {
+                let rd = |r: Reg| -> Result<u32, ExecError> {
+                    let v = reg!(r).as_i32().map_err(err)?;
+                    if v <= 0 {
+                        Err(err(format!("non-positive launch dimension {v}")))
+                    } else {
+                        Ok(v as u32)
+                    }
+                };
+                let g = [rd(grid[0])?, rd(grid[1])?, rd(grid[2])?];
+                let b = [rd(block[0])?, rd(block[1])?, rd(block[2])?];
+                let argv: Vec<Val> = args.iter().map(|a| reg!(*a)).collect();
+                thread.pending_dst = None;
+                bump!();
+                return Ok(Yield::Launch { kernel: *kernel, grid: g, block: b, args: argv });
+            }
+            Instr::SharedAlloc { elem, len, dst } => {
+                let n = reg!(*len).as_i32().map_err(err)?;
+                if n < 0 {
+                    return Err(err(format!("negative shared allocation {n}")));
+                }
+                thread.pending_dst = Some(*dst);
+                bump!();
+                return Ok(Yield::SharedAlloc { elem: *elem, len: n as usize, pc });
+            }
+            Instr::Sync => {
+                bump!();
+                return Ok(Yield::Sync);
+            }
+        }
+    }
+}
+
+/// Convenience: run a function to completion in a machine, servicing no
+/// yields (errors if the program needs MPI/GPU runtimes).
+pub fn run_to_completion(
+    program: &Program,
+    func: FuncId,
+    args: Vec<Val>,
+    machine: &mut Machine,
+) -> Result<Option<Val>, ExecError> {
+    let mut t = Thread::new(program, func, args)?;
+    loop {
+        match run(&mut t, program, machine, u64::MAX)? {
+            Yield::Done(v) => return Ok(v),
+            Yield::OutOfFuel => {}
+            other => {
+                return Err(ExecError {
+                    message: format!(
+                        "program requires a runtime service ({other:?}); use the wootinj facade"
+                    ),
+                    func: String::new(),
+                    pc: 0,
+                })
+            }
+        }
+    }
+}
+
+fn binop(op: BinOp, kind: PrimKind, l: Val, r: Val) -> Result<Val, String> {
+    use BinOp::*;
+    Ok(match kind {
+        PrimKind::Int => {
+            let (a, b) = (l.as_i32()?, r.as_i32()?);
+            match op {
+                Add => Val::I32(a.wrapping_add(b)),
+                Sub => Val::I32(a.wrapping_sub(b)),
+                Mul => Val::I32(a.wrapping_mul(b)),
+                Div => {
+                    if b == 0 {
+                        return Err("division by zero".into());
+                    }
+                    Val::I32(a.wrapping_div(b))
+                }
+                Rem => {
+                    if b == 0 {
+                        return Err("remainder by zero".into());
+                    }
+                    Val::I32(a.wrapping_rem(b))
+                }
+                Lt => Val::Bool(a < b),
+                Le => Val::Bool(a <= b),
+                Gt => Val::Bool(a > b),
+                Ge => Val::Bool(a >= b),
+                Eq => Val::Bool(a == b),
+                Ne => Val::Bool(a != b),
+                Shl => Val::I32(a.wrapping_shl(b as u32 & 31)),
+                Shr => Val::I32(a.wrapping_shr(b as u32 & 31)),
+                BitAnd => Val::I32(a & b),
+                BitOr => Val::I32(a | b),
+                BitXor => Val::I32(a ^ b),
+                And | Or => return Err("logical op on int".into()),
+            }
+        }
+        PrimKind::Long => {
+            let (a, b) = (l.as_i64()?, r.as_i64()?);
+            match op {
+                Add => Val::I64(a.wrapping_add(b)),
+                Sub => Val::I64(a.wrapping_sub(b)),
+                Mul => Val::I64(a.wrapping_mul(b)),
+                Div => {
+                    if b == 0 {
+                        return Err("division by zero".into());
+                    }
+                    Val::I64(a.wrapping_div(b))
+                }
+                Rem => {
+                    if b == 0 {
+                        return Err("remainder by zero".into());
+                    }
+                    Val::I64(a.wrapping_rem(b))
+                }
+                Lt => Val::Bool(a < b),
+                Le => Val::Bool(a <= b),
+                Gt => Val::Bool(a > b),
+                Ge => Val::Bool(a >= b),
+                Eq => Val::Bool(a == b),
+                Ne => Val::Bool(a != b),
+                Shl => Val::I64(a.wrapping_shl(b as u32 & 63)),
+                Shr => Val::I64(a.wrapping_shr(b as u32 & 63)),
+                BitAnd => Val::I64(a & b),
+                BitOr => Val::I64(a | b),
+                BitXor => Val::I64(a ^ b),
+                And | Or => return Err("logical op on long".into()),
+            }
+        }
+        PrimKind::Float => {
+            let (a, b) = (l.as_f32()?, r.as_f32()?);
+            match op {
+                Add => Val::F32(a + b),
+                Sub => Val::F32(a - b),
+                Mul => Val::F32(a * b),
+                Div => Val::F32(a / b),
+                Rem => Val::F32(a % b),
+                Lt => Val::Bool(a < b),
+                Le => Val::Bool(a <= b),
+                Gt => Val::Bool(a > b),
+                Ge => Val::Bool(a >= b),
+                Eq => Val::Bool(a == b),
+                Ne => Val::Bool(a != b),
+                _ => return Err("bitwise op on float".into()),
+            }
+        }
+        PrimKind::Double => {
+            let (a, b) = (l.as_f64()?, r.as_f64()?);
+            match op {
+                Add => Val::F64(a + b),
+                Sub => Val::F64(a - b),
+                Mul => Val::F64(a * b),
+                Div => Val::F64(a / b),
+                Rem => Val::F64(a % b),
+                Lt => Val::Bool(a < b),
+                Le => Val::Bool(a <= b),
+                Gt => Val::Bool(a > b),
+                Ge => Val::Bool(a >= b),
+                Eq => Val::Bool(a == b),
+                Ne => Val::Bool(a != b),
+                _ => return Err("bitwise op on double".into()),
+            }
+        }
+        PrimKind::Boolean => {
+            let (a, b) = (l.as_bool()?, r.as_bool()?);
+            match op {
+                Eq => Val::Bool(a == b),
+                Ne => Val::Bool(a != b),
+                And => Val::Bool(a && b),
+                Or => Val::Bool(a || b),
+                _ => return Err("arith op on bool".into()),
+            }
+        }
+    })
+}
+
+fn numcast(to: PrimKind, v: Val) -> Result<Val, String> {
+    Ok(match to {
+        PrimKind::Int => Val::I32(match v {
+            Val::I32(x) => x,
+            Val::I64(x) => x as i32,
+            Val::F32(x) => x as i32,
+            Val::F64(x) => x as i32,
+            other => return Err(format!("cannot cast {other:?} to int")),
+        }),
+        PrimKind::Long => Val::I64(match v {
+            Val::I32(x) => x as i64,
+            Val::I64(x) => x,
+            Val::F32(x) => x as i64,
+            Val::F64(x) => x as i64,
+            other => return Err(format!("cannot cast {other:?} to long")),
+        }),
+        PrimKind::Float => Val::F32(match v {
+            Val::I32(x) => x as f32,
+            Val::I64(x) => x as f32,
+            Val::F32(x) => x,
+            Val::F64(x) => x as f32,
+            other => return Err(format!("cannot cast {other:?} to float")),
+        }),
+        PrimKind::Double => Val::F64(match v {
+            Val::I32(x) => x as f64,
+            Val::I64(x) => x as f64,
+            Val::F32(x) => x as f64,
+            Val::F64(x) => x,
+            other => return Err(format!("cannot cast {other:?} to double")),
+        }),
+        PrimKind::Boolean => match v {
+            Val::Bool(_) => v,
+            other => return Err(format!("cannot cast {other:?} to boolean")),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nir::{FuncBuilder, FuncKind, Ty};
+
+    fn program_sum_to(n: i32) -> (Program, FuncId) {
+        // fn f() -> i32 { s = 0; i = 0; while i < n { s += i; i += 1 }; s }
+        let mut fb = FuncBuilder::new("f", vec![], Some(Ty::I32), FuncKind::Host);
+        let s = fb.reg(Ty::I32);
+        let i = fb.reg(Ty::I32);
+        let nn = fb.reg(Ty::I32);
+        let one = fb.reg(Ty::I32);
+        let c = fb.reg(Ty::Bool);
+        fb.emit(Instr::ConstI32(s, 0));
+        fb.emit(Instr::ConstI32(i, 0));
+        fb.emit(Instr::ConstI32(nn, n));
+        fb.emit(Instr::ConstI32(one, 1));
+        let head = fb.label();
+        let body = fb.label();
+        let done = fb.label();
+        fb.bind(head);
+        fb.emit(Instr::Bin { op: BinOp::Lt, kind: PrimKind::Int, dst: c, lhs: i, rhs: nn });
+        fb.br(c, body, done);
+        fb.bind(body);
+        fb.emit(Instr::Bin { op: BinOp::Add, kind: PrimKind::Int, dst: s, lhs: s, rhs: i });
+        fb.emit(Instr::Bin { op: BinOp::Add, kind: PrimKind::Int, dst: i, lhs: i, rhs: one });
+        fb.jmp(head);
+        fb.bind(done);
+        fb.emit(Instr::Ret(Some(s)));
+        let mut p = Program::default();
+        let id = p.add_func(fb.finish().unwrap());
+        p.entry = Some(id);
+        p.validate().unwrap();
+        (p, id)
+    }
+
+    #[test]
+    fn loop_executes() {
+        let (p, id) = program_sum_to(100);
+        let mut m = Machine::new();
+        let v = run_to_completion(&p, id, vec![], &mut m).unwrap();
+        assert_eq!(v, Some(Val::I32(4950)));
+        assert!(m.counters.instrs > 400);
+    }
+
+    #[test]
+    fn fuel_suspends_and_resumes() {
+        let (p, id) = program_sum_to(1000);
+        let mut m = Machine::new();
+        let mut t = Thread::new(&p, id, vec![]).unwrap();
+        let mut rounds = 0;
+        let v = loop {
+            match run(&mut t, &p, &mut m, 100).unwrap() {
+                Yield::Done(v) => break v,
+                Yield::OutOfFuel => rounds += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+        };
+        assert_eq!(v, Some(Val::I32(499_500)));
+        assert!(rounds > 10, "should have suspended many times: {rounds}");
+    }
+
+    #[test]
+    fn counters_deterministic() {
+        let (p, id) = program_sum_to(50);
+        let mut m1 = Machine::new();
+        run_to_completion(&p, id, vec![], &mut m1).unwrap();
+        let mut m2 = Machine::new();
+        run_to_completion(&p, id, vec![], &mut m2).unwrap();
+        assert_eq!(m1.counters.instrs, m2.counters.instrs);
+        assert_eq!(m1.counters.cycles, m2.counters.cycles);
+    }
+
+    #[test]
+    fn calls_pass_args_and_return() {
+        // g(x) = x * 2; f(a) = g(a) + 1
+        let mut p = Program::default();
+        let mut gb = FuncBuilder::new("g", vec![Ty::I32], Some(Ty::I32), FuncKind::Host);
+        let two = gb.reg(Ty::I32);
+        let r = gb.reg(Ty::I32);
+        gb.emit(Instr::ConstI32(two, 2));
+        gb.emit(Instr::Bin { op: BinOp::Mul, kind: PrimKind::Int, dst: r, lhs: 0, rhs: two });
+        gb.emit(Instr::Ret(Some(r)));
+        let g = p.add_func(gb.finish().unwrap());
+        let mut fbb = FuncBuilder::new("f", vec![Ty::I32], Some(Ty::I32), FuncKind::Host);
+        let gr = fbb.reg(Ty::I32);
+        let one = fbb.reg(Ty::I32);
+        let out = fbb.reg(Ty::I32);
+        fbb.emit(Instr::Call { func: g, args: vec![0], dst: Some(gr) });
+        fbb.emit(Instr::ConstI32(one, 1));
+        fbb.emit(Instr::Bin { op: BinOp::Add, kind: PrimKind::Int, dst: out, lhs: gr, rhs: one });
+        fbb.emit(Instr::Ret(Some(out)));
+        let f = p.add_func(fbb.finish().unwrap());
+        p.validate().unwrap();
+        let mut m = Machine::new();
+        let v = run_to_completion(&p, f, vec![Val::I32(21)], &mut m).unwrap();
+        assert_eq!(v, Some(Val::I32(43)));
+    }
+
+    #[test]
+    fn arrays_alloc_store_load_free() {
+        let mut fb = FuncBuilder::new("f", vec![Ty::I32], Some(Ty::F32), FuncKind::Host);
+        let arr = fb.reg(Ty::Arr(ElemTy::F32));
+        let idx = fb.reg(Ty::I32);
+        let v = fb.reg(Ty::F32);
+        let out = fb.reg(Ty::F32);
+        fb.emit(Instr::NewArr { elem: ElemTy::F32, len: 0, dst: arr });
+        fb.emit(Instr::ConstI32(idx, 3));
+        fb.emit(Instr::ConstF32(v, 2.5));
+        fb.emit(Instr::StArr { arr, idx, src: v });
+        fb.emit(Instr::LdArr { arr, idx, dst: out });
+        fb.emit(Instr::FreeArr { arr });
+        fb.emit(Instr::Ret(Some(out)));
+        let mut p = Program::default();
+        let id = p.add_func(fb.finish().unwrap());
+        p.validate().unwrap();
+        let mut m = Machine::new();
+        let r = run_to_completion(&p, id, vec![Val::I32(8)], &mut m).unwrap();
+        assert_eq!(r, Some(Val::F32(2.5)));
+    }
+
+    #[test]
+    fn bounds_and_use_after_free_detected() {
+        let mut fb = FuncBuilder::new("f", vec![Ty::I32], Some(Ty::F32), FuncKind::Host);
+        let arr = fb.reg(Ty::Arr(ElemTy::F32));
+        let idx = fb.reg(Ty::I32);
+        let out = fb.reg(Ty::F32);
+        fb.emit(Instr::NewArr { elem: ElemTy::F32, len: 0, dst: arr });
+        fb.emit(Instr::ConstI32(idx, 100));
+        fb.emit(Instr::LdArr { arr, idx, dst: out });
+        fb.emit(Instr::Ret(Some(out)));
+        let mut p = Program::default();
+        let id = p.add_func(fb.finish().unwrap());
+        let mut m = Machine::new();
+        let e = run_to_completion(&p, id, vec![Val::I32(4)], &mut m).unwrap_err();
+        assert!(e.message.contains("out of bounds"), "{e}");
+
+        // use-after-free
+        let mut fb = FuncBuilder::new("g", vec![Ty::I32], Some(Ty::I32), FuncKind::Host);
+        let arr = fb.reg(Ty::Arr(ElemTy::F32));
+        let n = fb.reg(Ty::I32);
+        fb.emit(Instr::NewArr { elem: ElemTy::F32, len: 0, dst: arr });
+        fb.emit(Instr::FreeArr { arr });
+        fb.emit(Instr::ArrLen { arr, dst: n });
+        fb.emit(Instr::Ret(Some(n)));
+        let mut p = Program::default();
+        let id = p.add_func(fb.finish().unwrap());
+        let mut m = Machine::new();
+        let e = run_to_completion(&p, id, vec![Val::I32(4)], &mut m).unwrap_err();
+        assert!(e.message.contains("freed"), "{e}");
+    }
+
+    #[test]
+    fn vtable_dispatch() {
+        // Two classes implementing selector "area": square -> x*x, twice -> 2x.
+        let mut p = Program::default();
+        p.selectors.push("area".into());
+        let mut sq =
+            FuncBuilder::new("Square_area", vec![Ty::Obj, Ty::I32], Some(Ty::I32), FuncKind::Host);
+        let r = sq.reg(Ty::I32);
+        sq.emit(Instr::Bin { op: BinOp::Mul, kind: PrimKind::Int, dst: r, lhs: 1, rhs: 1 });
+        sq.emit(Instr::Ret(Some(r)));
+        let sqf = p.add_func(sq.finish().unwrap());
+        let mut tw =
+            FuncBuilder::new("Twice_area", vec![Ty::Obj, Ty::I32], Some(Ty::I32), FuncKind::Host);
+        let r = tw.reg(Ty::I32);
+        let two = tw.reg(Ty::I32);
+        tw.emit(Instr::ConstI32(two, 2));
+        tw.emit(Instr::Bin { op: BinOp::Mul, kind: PrimKind::Int, dst: r, lhs: 1, rhs: two });
+        tw.emit(Instr::Ret(Some(r)));
+        let twf = p.add_func(tw.finish().unwrap());
+        p.classes.push(nir::ClassMeta {
+            name: "Square".into(),
+            field_count: 0,
+            vtable: vec![(0, sqf)],
+        });
+        p.classes.push(nir::ClassMeta {
+            name: "Twice".into(),
+            field_count: 0,
+            vtable: vec![(0, twf)],
+        });
+
+        // f(which, x): obj = new (which ? Twice : Square); obj.area(x)
+        let mut fb = FuncBuilder::new("f", vec![Ty::Bool, Ty::I32], Some(Ty::I32), FuncKind::Host);
+        let obj = fb.reg(Ty::Obj);
+        let out = fb.reg(Ty::I32);
+        let t = fb.label();
+        let e = fb.label();
+        let join = fb.label();
+        fb.br(0, t, e);
+        fb.bind(t);
+        fb.emit(Instr::NewObj { class: 1, dst: obj });
+        fb.jmp(join);
+        fb.bind(e);
+        fb.emit(Instr::NewObj { class: 0, dst: obj });
+        fb.jmp(join);
+        fb.bind(join);
+        fb.emit(Instr::CallVirt { selector: 0, recv: obj, args: vec![1], dst: Some(out) });
+        fb.emit(Instr::Ret(Some(out)));
+        let f = p.add_func(fb.finish().unwrap());
+        p.validate().unwrap();
+        let mut m = Machine::new();
+        assert_eq!(
+            run_to_completion(&p, f, vec![Val::Bool(false), Val::I32(5)], &mut m).unwrap(),
+            Some(Val::I32(25))
+        );
+        assert_eq!(
+            run_to_completion(&p, f, vec![Val::Bool(true), Val::I32(5)], &mut m).unwrap(),
+            Some(Val::I32(10))
+        );
+    }
+
+    #[test]
+    fn virtual_dispatch_costs_more_than_direct() {
+        // weight table sanity: CallVirt > Call > Bin
+        let virt = weight(&Instr::CallVirt { selector: 0, recv: 0, args: vec![], dst: None });
+        let call = weight(&Instr::Call { func: FuncId(0), args: vec![], dst: None });
+        let bin =
+            weight(&Instr::Bin { op: BinOp::Add, kind: PrimKind::Int, dst: 0, lhs: 0, rhs: 0 });
+        assert!(virt > call);
+        assert!(call > bin);
+        let gf = weight(&Instr::GetField { obj: 0, slot: 0, dst: 0 });
+        let ld = weight(&Instr::LdArr { arr: 0, idx: 0, dst: 0 });
+        assert!(gf > ld);
+    }
+
+    #[test]
+    fn mpi_intrinsic_yields() {
+        let mut fb = FuncBuilder::new("f", vec![], Some(Ty::I32), FuncKind::Host);
+        let r = fb.reg(Ty::I32);
+        fb.emit(Instr::Intrin { op: IntrinOp::MpiRank, args: vec![], dst: Some(r) });
+        fb.emit(Instr::Ret(Some(r)));
+        let mut p = Program::default();
+        let id = p.add_func(fb.finish().unwrap());
+        let mut m = Machine::new();
+        let mut t = Thread::new(&p, id, vec![]).unwrap();
+        match run(&mut t, &p, &mut m, u64::MAX).unwrap() {
+            Yield::Mpi { op: IntrinOp::MpiRank, .. } => {}
+            other => panic!("expected MPI yield, got {other:?}"),
+        }
+        // Service the yield: this is rank 3.
+        t.resume_with(Val::I32(3));
+        match run(&mut t, &p, &mut m, u64::MAX).unwrap() {
+            Yield::Done(Some(Val::I32(3))) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sync_yields_and_resumes() {
+        let mut fb = FuncBuilder::new("k", vec![], Some(Ty::I32), FuncKind::Kernel);
+        let a = fb.reg(Ty::I32);
+        let b = fb.reg(Ty::I32);
+        fb.emit(Instr::ConstI32(a, 1));
+        fb.emit(Instr::Sync);
+        fb.emit(Instr::ConstI32(b, 2));
+        fb.emit(Instr::Bin { op: BinOp::Add, kind: PrimKind::Int, dst: a, lhs: a, rhs: b });
+        fb.emit(Instr::Ret(Some(a)));
+        let mut p = Program::default();
+        let id = p.add_func(fb.finish().unwrap());
+        p.validate().unwrap();
+        let mut m = Machine::new();
+        let mut t = Thread::new(&p, id, vec![]).unwrap();
+        match run(&mut t, &p, &mut m, u64::MAX).unwrap() {
+            Yield::Sync => {}
+            other => panic!("expected sync, got {other:?}"),
+        }
+        match run(&mut t, &p, &mut m, u64::MAX).unwrap() {
+            Yield::Done(Some(Val::I32(3))) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn launch_yields_with_dimensions() {
+        let mut p = Program::default();
+        let mut kb = FuncBuilder::new("k", vec![Ty::I32], None, FuncKind::Kernel);
+        kb.emit(Instr::Ret(None));
+        let k = p.add_func(kb.finish().unwrap());
+        let mut fb = FuncBuilder::new("f", vec![], None, FuncKind::Host);
+        let g = fb.reg(Ty::I32);
+        let one = fb.reg(Ty::I32);
+        let x = fb.reg(Ty::I32);
+        fb.emit(Instr::ConstI32(g, 4));
+        fb.emit(Instr::ConstI32(one, 1));
+        fb.emit(Instr::ConstI32(x, 7));
+        fb.emit(Instr::Launch {
+            kernel: k,
+            grid: [g, one, one],
+            block: [one, one, one],
+            args: vec![x],
+        });
+        fb.emit(Instr::Ret(None));
+        let f = p.add_func(fb.finish().unwrap());
+        p.validate().unwrap();
+        let mut m = Machine::new();
+        let mut t = Thread::new(&p, f, vec![]).unwrap();
+        match run(&mut t, &p, &mut m, u64::MAX).unwrap() {
+            Yield::Launch { kernel, grid, block, args } => {
+                assert_eq!(kernel, k);
+                assert_eq!(grid, [4, 1, 1]);
+                assert_eq!(block, [1, 1, 1]);
+                assert_eq!(args, vec![Val::I32(7)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn division_by_zero_reported_with_location() {
+        let mut fb = FuncBuilder::new("f", vec![Ty::I32], Some(Ty::I32), FuncKind::Host);
+        let z = fb.reg(Ty::I32);
+        let r = fb.reg(Ty::I32);
+        fb.emit(Instr::ConstI32(z, 0));
+        fb.emit(Instr::Bin { op: BinOp::Div, kind: PrimKind::Int, dst: r, lhs: 0, rhs: z });
+        fb.emit(Instr::Ret(Some(r)));
+        let mut p = Program::default();
+        let id = p.add_func(fb.finish().unwrap());
+        let mut m = Machine::new();
+        let e = run_to_completion(&p, id, vec![Val::I32(5)], &mut m).unwrap_err();
+        assert_eq!(e.pc, 1);
+        assert_eq!(e.func, "f");
+    }
+}

@@ -1,0 +1,879 @@
+//! # hpclib — the paper's two WootinJ class libraries, plus composition
+//! helpers
+//!
+//! The jlang sources live in [`stencil`] (Figures 1–2: the
+//! stencil-computation library) and [`matmul`] (Figure 8: the
+//! matrix-multiplication library with the Listing-6 mutual type
+//! reference). This Rust layer provides:
+//!
+//! * [`stencil_table`] / [`matmul_table`] — compiled class tables
+//!   (prelude + library),
+//! * [`StencilApp`] / [`MatmulApp`] — feature-model composition helpers
+//!   that instantiate the chosen components and hand back a ready-to-run
+//!   or ready-to-jit application object,
+//! * pure-Rust reference implementations used by the test suite to
+//!   validate every configuration against ground truth.
+
+#![forbid(unsafe_code)]
+
+pub mod matmul;
+pub mod reduce;
+pub mod stencil;
+
+pub use matmul::MATMUL_LIB;
+pub use reduce::REDUCE_LIB;
+pub use stencil::STENCIL_LIB;
+
+use jlang::{ClassTable, DiagResult};
+use jvm::Value;
+use wootinj::{build_table, WjResult, WootinJ};
+
+/// Compile prelude + stencil library (+ optional extra sources).
+pub fn stencil_table(extra: &[(&str, &str)]) -> DiagResult<ClassTable> {
+    let mut sources = vec![("stencil.jl", STENCIL_LIB)];
+    sources.extend_from_slice(extra);
+    build_table(&sources)
+}
+
+/// Compile prelude + reduction library (+ optional extra sources).
+pub fn reduce_table(extra: &[(&str, &str)]) -> DiagResult<ClassTable> {
+    let mut sources = vec![("reduce.jl", REDUCE_LIB)];
+    sources.extend_from_slice(extra);
+    build_table(&sources)
+}
+
+/// Compile prelude + matmul library (+ optional extra sources).
+pub fn matmul_table(extra: &[(&str, &str)]) -> DiagResult<ClassTable> {
+    let mut sources = vec![("matmul.jl", MATMUL_LIB)];
+    sources.extend_from_slice(extra);
+    build_table(&sources)
+}
+
+/// The parallelism feature of Figure 1: which stencil runner to compose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StencilPlatform {
+    Cpu,
+    CpuMpi,
+    Gpu,
+    GpuMpi,
+}
+
+impl StencilPlatform {
+    pub fn runner_class(self) -> &'static str {
+        match self {
+            StencilPlatform::Cpu => "StencilCPU3D",
+            StencilPlatform::CpuMpi => "StencilCPU3D_MPI",
+            StencilPlatform::Gpu => "StencilGPU3D",
+            StencilPlatform::GpuMpi => "StencilGPU3D_MPI",
+        }
+    }
+
+    pub fn uses_gpu(self) -> bool {
+        matches!(self, StencilPlatform::Gpu | StencilPlatform::GpuMpi)
+    }
+
+    pub fn uses_mpi(self) -> bool {
+        matches!(self, StencilPlatform::CpuMpi | StencilPlatform::GpuMpi)
+    }
+}
+
+/// The physical-model feature: which solver to compose.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StencilModel {
+    /// `Dif3DSolver(center, neighbor)` — 3D diffusion.
+    Diffusion { center: f32, neighbor: f32 },
+    /// `DampedSolver(k)` — damped averaging.
+    Damped { k: f32 },
+}
+
+/// Composition helper for the stencil library (the `main` of Listing 2).
+pub struct StencilApp;
+
+impl StencilApp {
+    /// Build the composed runner object inside `env`'s heap.
+    pub fn compose(
+        env: &mut WootinJ<'_>,
+        platform: StencilPlatform,
+        model: StencilModel,
+    ) -> WjResult<Value> {
+        let solver = match model {
+            StencilModel::Diffusion { center, neighbor } => env.new_instance(
+                "Dif3DSolver",
+                &[Value::Float(center), Value::Float(neighbor)],
+            )?,
+            StencilModel::Damped { k } => {
+                env.new_instance("DampedSolver", &[Value::Float(k)])?
+            }
+        };
+        let init = env.new_instance("NoiseInit", &[])?;
+        env.new_instance(platform.runner_class(), &[solver, init])
+    }
+
+    /// The default diffusion coefficients used throughout the benchmarks
+    /// (stable for the 7-point kernel: center + 6*neighbor = 1).
+    pub fn default_model() -> StencilModel {
+        StencilModel::Diffusion { center: 0.4, neighbor: 0.1 }
+    }
+
+    /// Compose the boxed-API CPU runner (Listing-1 style, `ScalarFloat`
+    /// values) — the configuration behind Figures 3 and 17.
+    pub fn compose_boxed(env: &mut WootinJ<'_>, center: f32, neighbor: f32) -> WjResult<Value> {
+        let boxed = env.new_instance(
+            "Dif3DSolverBoxed",
+            &[Value::Float(center), Value::Float(neighbor)],
+        )?;
+        let plain = env.new_instance(
+            "Dif3DSolver",
+            &[Value::Float(center), Value::Float(neighbor)],
+        )?;
+        let init = env.new_instance("NoiseInit", &[])?;
+        env.new_instance("StencilCPU3DBoxed", &[boxed, plain, init])
+    }
+}
+
+/// Composition helper for the 1-D solver family (the paper's Listings
+/// 1–2): generic over the solver's context component.
+pub struct Stencil1D;
+
+impl Stencil1D {
+    /// `new Stencil1DRunner(new Dif1DSolver(a, b), new EmptyContext(), init)`
+    pub fn compose_diffusion(env: &mut WootinJ<'_>, a: f32, b: f32) -> WjResult<Value> {
+        let solver =
+            env.new_instance("Dif1DSolver", &[Value::Float(a), Value::Float(b)])?;
+        let ctx = env.new_instance("EmptyContext", &[])?;
+        let init = env.new_instance("NoiseInit", &[])?;
+        env.new_instance("Stencil1DRunner", &[solver, ctx, init])
+    }
+
+    /// The damped variant, customizing behavior through the context
+    /// component.
+    pub fn compose_damped(env: &mut WootinJ<'_>, k: f32) -> WjResult<Value> {
+        let solver = env.new_instance("Damped1DSolver", &[])?;
+        let ctx = env.new_instance("DampingCtx", &[Value::Float(k)])?;
+        let init = env.new_instance("NoiseInit", &[])?;
+        env.new_instance("Stencil1DRunner", &[solver, ctx, init])
+    }
+}
+
+/// Pure-Rust reference for the 1-D diffusion runner.
+pub fn reference_diffusion_1d(n: usize, steps: usize, a: f32, b: f32) -> f32 {
+    let mut src: Vec<f32> = (0..n).map(|x| noise_init(x as i32, 0, 0)).collect();
+    let mut dst = src.clone();
+    for _ in 0..steps {
+        for x in 1..n - 1 {
+            dst[x] = a * (src[x - 1] + src[x + 1]) + b * src[x];
+        }
+        std::mem::swap(&mut src, &mut dst);
+    }
+    src.iter().sum()
+}
+
+/// The reduction library's map component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReduceOp {
+    Identity,
+    Square,
+    Abs,
+    Affine { a: f32, b: f32 },
+}
+
+/// The reduction library's runner feature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReducePlatform {
+    Cpu,
+    Mpi,
+    Gpu,
+}
+
+/// Composition helper for the reduction library.
+pub struct ReduceApp;
+
+impl ReduceApp {
+    pub fn compose(
+        env: &mut WootinJ<'_>,
+        platform: ReducePlatform,
+        op: ReduceOp,
+        ramp_scale: f32,
+    ) -> WjResult<Value> {
+        let op_obj = match op {
+            ReduceOp::Identity => env.new_instance("IdentityOp", &[])?,
+            ReduceOp::Square => env.new_instance("SquareOp", &[])?,
+            ReduceOp::Abs => env.new_instance("AbsOp", &[])?,
+            ReduceOp::Affine { a, b } => {
+                env.new_instance("AffineOp", &[Value::Float(a), Value::Float(b)])?
+            }
+        };
+        let gen = env.new_instance("RampGen", &[Value::Float(ramp_scale)])?;
+        let class = match platform {
+            ReducePlatform::Cpu => "ReduceCPU",
+            ReducePlatform::Mpi => "ReduceMPI",
+            ReducePlatform::Gpu => "ReduceGPU",
+        };
+        env.new_instance(class, &[op_obj, gen])
+    }
+}
+
+/// Pure-Rust reference for the reduction library.
+pub fn reference_reduce(n: usize, op: ReduceOp, scale: f32) -> f64 {
+    let gen = |i: usize| ((i % 101) as i32 - 50) as f32 * scale;
+    let map = |x: f32| -> f32 {
+        match op {
+            ReduceOp::Identity => x,
+            ReduceOp::Square => x * x,
+            ReduceOp::Abs => x.abs(),
+            ReduceOp::Affine { a, b } => a * x + b,
+        }
+    };
+    (0..n).map(|i| map(gen(i)) as f64).sum()
+}
+
+/// Matmul feature selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatmulThread {
+    CpuLoop,
+    Mpi,
+    Gpu,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatmulBody {
+    Simple,
+    Fox,
+    /// Fox schedule with device-offloaded block multiplications.
+    FoxGpu,
+    GpuNaive,
+    GpuTiled,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatmulCalc {
+    Simple,
+    Optimized,
+}
+
+/// Composition helper for the matmul library (Figure 8).
+pub struct MatmulApp;
+
+impl MatmulApp {
+    pub fn compose(
+        env: &mut WootinJ<'_>,
+        thread: MatmulThread,
+        body: MatmulBody,
+        calc: MatmulCalc,
+    ) -> WjResult<Value> {
+        let body_obj = match body {
+            MatmulBody::Simple => env.new_instance("SimpleOuterBody", &[])?,
+            MatmulBody::Fox => env.new_instance("FoxAlgorithm", &[])?,
+            MatmulBody::FoxGpu => env.new_instance("FoxGpuAlgorithm", &[])?,
+            MatmulBody::GpuNaive => env.new_instance("GpuOuterBody", &[])?,
+            MatmulBody::GpuTiled => env.new_instance("TiledGpuBody", &[])?,
+        };
+        let calc_obj = match calc {
+            MatmulCalc::Simple => env.new_instance("SimpleCalculator", &[])?,
+            MatmulCalc::Optimized => env.new_instance("OptimizedCalculator", &[])?,
+        };
+        let gen_obj = env.new_instance("DefaultGen", &[])?;
+        let thread_class = match thread {
+            MatmulThread::CpuLoop => "CPULoop",
+            MatmulThread::Mpi => "MPIThread",
+            MatmulThread::Gpu => "GPUThread",
+        };
+        env.new_instance(thread_class, &[body_obj, calc_obj, gen_obj])
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pure-Rust reference implementations (ground truth for the test suite).
+// ---------------------------------------------------------------------
+
+/// Reference for `NoiseInit.value`.
+pub fn noise_init(x: i32, y: i32, z: i32) -> f32 {
+    let h = x * 31 + y * 17 + z * 7;
+    (h % 97) as f32 * 0.01
+}
+
+/// Reference diffusion stencil on the full global grid; returns the
+/// checksum after `steps` sweeps. Mirrors the library exactly (ghost z
+/// planes, fixed x/y edges).
+pub fn reference_diffusion(nx: usize, ny: usize, nz: usize, steps: usize, cc: f32, cn: f32) -> f32 {
+    let total = nx * ny * (nz + 2);
+    let idx = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+    let mut a = vec![0.0f32; total];
+    for z in 1..=nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                a[idx(x, y, z)] = noise_init(x as i32, y as i32, z as i32 - 1);
+            }
+        }
+    }
+    let mut b = a.clone();
+    for _ in 0..steps {
+        for z in 1..=nz {
+            for y in 1..ny - 1 {
+                for x in 1..nx - 1 {
+                    let i = idx(x, y, z);
+                    b[i] = cc * a[i]
+                        + cn * (a[i - 1]
+                            + a[i + 1]
+                            + a[i - nx]
+                            + a[i + nx]
+                            + a[i - nx * ny]
+                            + a[i + nx * ny]);
+                }
+            }
+        }
+        std::mem::swap(&mut a, &mut b);
+    }
+    let mut sum = 0.0f32;
+    for z in 1..=nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                sum += a[idx(x, y, z)];
+            }
+        }
+    }
+    sum
+}
+
+/// Reference for `DefaultGen.value`.
+pub fn default_gen(which: i32, r: i32, c: i32, _n: i32) -> f32 {
+    let h = r * 13 + c * 7 + which * 101;
+    ((h % 19) - 9) as f32 * 0.125
+}
+
+/// Reference matmul checksum: sum of C = A·B with the `DefaultGen` inputs.
+pub fn reference_matmul(n: usize) -> f32 {
+    let a: Vec<f32> = (0..n * n)
+        .map(|i| default_gen(0, (i / n) as i32, (i % n) as i32, n as i32))
+        .collect();
+    let b: Vec<f32> = (0..n * n)
+        .map(|i| default_gen(1, (i / n) as i32, (i % n) as i32, n as i32))
+        .collect();
+    let mut c = vec![0.0f32; n * n];
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a[i * n + k];
+            for j in 0..n {
+                c[i * n + j] += aik * b[k * n + j];
+            }
+        }
+    }
+    c.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wootinj::{GpuConfig, JitOptions, MpiCostModel, Val};
+
+    fn rel_close(a: f32, b: f32, tol: f32) -> bool {
+        let scale = a.abs().max(b.abs()).max(1.0);
+        (a - b).abs() <= scale * tol
+    }
+
+    fn run_stencil(
+        platform: StencilPlatform,
+        opts: JitOptions,
+        ranks: u32,
+        nx: i32,
+        ny: i32,
+        nz: i32,
+        steps: i32,
+    ) -> f32 {
+        let table = stencil_table(&[]).expect("compile stencil lib");
+        let mut env = WootinJ::new(&table).unwrap();
+        let runner =
+            StencilApp::compose(&mut env, platform, StencilApp::default_model()).unwrap();
+        let args =
+            [Value::Int(nx), Value::Int(ny), Value::Int(nz), Value::Int(steps)];
+        let mut code = env.jit(&runner, "invoke", &args, opts).unwrap();
+        if platform.uses_mpi() {
+            code.set_mpi(ranks, MpiCostModel::default());
+        }
+        if platform.uses_gpu() {
+            code.set_gpu(GpuConfig::default());
+        }
+        let report = code.invoke(&env).unwrap();
+        match report.result {
+            Some(Val::F32(v)) => v,
+            other => panic!("unexpected result {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stencil_library_passes_the_coding_rules() {
+        let table = stencil_table(&[]).unwrap();
+        let report = jrules_check(&table);
+        assert!(report.is_ok(), "{}", report.render());
+    }
+
+    #[test]
+    fn matmul_library_passes_the_coding_rules() {
+        let table = matmul_table(&[]).unwrap();
+        let report = jrules_check(&table);
+        assert!(report.is_ok(), "{}", report.render());
+    }
+
+    fn jrules_check(table: &ClassTable) -> jrules::RulesReport {
+        jrules::check_program(table)
+    }
+
+    #[test]
+    fn cpu_runner_matches_rust_reference() {
+        let got = run_stencil(StencilPlatform::Cpu, JitOptions::wootinj(), 1, 10, 10, 8, 3);
+        let want = reference_diffusion(10, 10, 8, 3, 0.4, 0.1);
+        assert!(rel_close(got, want, 1e-5), "{got} vs {want}");
+    }
+
+    #[test]
+    fn cpu_runner_matches_interpreter() {
+        let table = stencil_table(&[]).unwrap();
+        let mut env = WootinJ::new(&table).unwrap();
+        let runner =
+            StencilApp::compose(&mut env, StencilPlatform::Cpu, StencilApp::default_model())
+                .unwrap();
+        let args = [Value::Int(8), Value::Int(8), Value::Int(6), Value::Int(2)];
+        let code = env.jit(&runner, "invoke", &args, JitOptions::wootinj()).unwrap();
+        let translated = code.invoke(&env).unwrap();
+        let interpreted = env.run_interpreted(&runner, "invoke", &args).unwrap();
+        match (translated.result, interpreted.result) {
+            (Some(Val::F32(a)), Value::Float(b)) => assert_eq!(a, b),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mpi_runner_matches_cpu_runner() {
+        let cpu = run_stencil(StencilPlatform::Cpu, JitOptions::wootinj(), 1, 8, 8, 8, 3);
+        for ranks in [1, 2, 4] {
+            let mpi =
+                run_stencil(StencilPlatform::CpuMpi, JitOptions::wootinj(), ranks, 8, 8, 8, 3);
+            assert!(rel_close(cpu, mpi, 1e-4), "ranks {ranks}: {cpu} vs {mpi}");
+        }
+    }
+
+    #[test]
+    fn gpu_runner_matches_cpu_runner() {
+        let cpu = run_stencil(StencilPlatform::Cpu, JitOptions::wootinj(), 1, 8, 8, 6, 2);
+        let gpu = run_stencil(StencilPlatform::Gpu, JitOptions::wootinj(), 1, 8, 8, 6, 2);
+        assert!(rel_close(cpu, gpu, 1e-5), "{cpu} vs {gpu}");
+    }
+
+    #[test]
+    fn gpu_mpi_runner_matches_cpu_runner() {
+        let cpu = run_stencil(StencilPlatform::Cpu, JitOptions::wootinj(), 1, 8, 8, 8, 3);
+        let gm = run_stencil(StencilPlatform::GpuMpi, JitOptions::wootinj(), 2, 8, 8, 8, 3);
+        assert!(rel_close(cpu, gm, 1e-4), "{cpu} vs {gm}");
+    }
+
+    #[test]
+    fn all_translation_modes_agree_on_cpu_stencil() {
+        let full = run_stencil(StencilPlatform::Cpu, JitOptions::wootinj(), 1, 8, 8, 6, 2);
+        let tmpl = run_stencil(StencilPlatform::Cpu, JitOptions::template(), 1, 8, 8, 6, 2);
+        let tnv =
+            run_stencil(StencilPlatform::Cpu, JitOptions::template_no_virt(), 1, 8, 8, 6, 2);
+        let cpp = run_stencil(StencilPlatform::Cpu, JitOptions::cpp(), 1, 8, 8, 6, 2);
+        assert_eq!(full, tmpl);
+        assert_eq!(full, tnv);
+        assert_eq!(full, cpp);
+    }
+
+    #[test]
+    fn switching_the_solver_component_changes_the_result() {
+        let table = stencil_table(&[]).unwrap();
+        let mut env = WootinJ::new(&table).unwrap();
+        let diff = StencilApp::compose(
+            &mut env,
+            StencilPlatform::Cpu,
+            StencilModel::Diffusion { center: 0.4, neighbor: 0.1 },
+        )
+        .unwrap();
+        let damp = StencilApp::compose(
+            &mut env,
+            StencilPlatform::Cpu,
+            StencilModel::Damped { k: 0.5 },
+        )
+        .unwrap();
+        let args = [Value::Int(8), Value::Int(8), Value::Int(4), Value::Int(2)];
+        let a = env
+            .jit(&diff, "invoke", &args, JitOptions::wootinj())
+            .unwrap()
+            .invoke(&env)
+            .unwrap();
+        let b = env
+            .jit(&damp, "invoke", &args, JitOptions::wootinj())
+            .unwrap()
+            .invoke(&env)
+            .unwrap();
+        match (a.result, b.result) {
+            (Some(Val::F32(x)), Some(Val::F32(y))) => assert_ne!(x, y),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    fn run_matmul(
+        thread: MatmulThread,
+        body: MatmulBody,
+        calc: MatmulCalc,
+        ranks: u32,
+        n: i32,
+    ) -> f32 {
+        let table = matmul_table(&[]).unwrap();
+        let mut env = WootinJ::new(&table).unwrap();
+        let app = MatmulApp::compose(&mut env, thread, body, calc).unwrap();
+        let mut code = env
+            .jit(&app, "start", &[Value::Int(n)], JitOptions::wootinj())
+            .unwrap();
+        if thread == MatmulThread::Mpi {
+            code.set_mpi(ranks, MpiCostModel::default());
+        }
+        if matches!(body, MatmulBody::GpuNaive | MatmulBody::GpuTiled) {
+            code.set_gpu(GpuConfig::default());
+        }
+        let report = code.invoke(&env).unwrap();
+        match report.result {
+            Some(Val::F32(v)) => v,
+            other => panic!("unexpected result {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_matmul_matches_rust_reference() {
+        let got =
+            run_matmul(MatmulThread::CpuLoop, MatmulBody::Simple, MatmulCalc::Optimized, 1, 12);
+        let want = reference_matmul(12);
+        assert!(rel_close(got, want, 1e-4), "{got} vs {want}");
+    }
+
+    #[test]
+    fn both_calculators_agree() {
+        let simple =
+            run_matmul(MatmulThread::CpuLoop, MatmulBody::Simple, MatmulCalc::Simple, 1, 10);
+        let opt =
+            run_matmul(MatmulThread::CpuLoop, MatmulBody::Simple, MatmulCalc::Optimized, 1, 10);
+        assert_eq!(simple, opt);
+    }
+
+    #[test]
+    fn fox_algorithm_matches_simple_body() {
+        let seq =
+            run_matmul(MatmulThread::CpuLoop, MatmulBody::Simple, MatmulCalc::Optimized, 1, 12);
+        for ranks in [1u32, 4] {
+            let fox =
+                run_matmul(MatmulThread::Mpi, MatmulBody::Fox, MatmulCalc::Optimized, ranks, 12);
+            assert!(rel_close(seq, fox, 1e-4), "ranks {ranks}: {seq} vs {fox}");
+        }
+    }
+
+    #[test]
+    fn fox_on_nine_ranks() {
+        let seq =
+            run_matmul(MatmulThread::CpuLoop, MatmulBody::Simple, MatmulCalc::Optimized, 1, 18);
+        let fox =
+            run_matmul(MatmulThread::Mpi, MatmulBody::Fox, MatmulCalc::Optimized, 9, 18);
+        assert!(rel_close(seq, fox, 1e-4), "{seq} vs {fox}");
+    }
+
+    #[test]
+    fn gpu_matmul_matches_cpu() {
+        let seq =
+            run_matmul(MatmulThread::CpuLoop, MatmulBody::Simple, MatmulCalc::Optimized, 1, 16);
+        let gpu =
+            run_matmul(MatmulThread::Gpu, MatmulBody::GpuNaive, MatmulCalc::Optimized, 1, 16);
+        assert!(rel_close(seq, gpu, 1e-4), "{seq} vs {gpu}");
+    }
+
+    #[test]
+    fn tiled_gpu_kernel_matches_naive() {
+        let naive =
+            run_matmul(MatmulThread::Gpu, MatmulBody::GpuNaive, MatmulCalc::Optimized, 1, 16);
+        let tiled =
+            run_matmul(MatmulThread::Gpu, MatmulBody::GpuTiled, MatmulCalc::Optimized, 1, 16);
+        assert!(rel_close(naive, tiled, 1e-4), "{naive} vs {tiled}");
+    }
+
+    #[test]
+    fn matmul_interpreted_matches_translated() {
+        let table = matmul_table(&[]).unwrap();
+        let mut env = WootinJ::new(&table).unwrap();
+        let app = MatmulApp::compose(
+            &mut env,
+            MatmulThread::CpuLoop,
+            MatmulBody::Simple,
+            MatmulCalc::Simple,
+        )
+        .unwrap();
+        let code = env
+            .jit(&app, "start", &[Value::Int(8)], JitOptions::wootinj())
+            .unwrap();
+        let t = code.invoke(&env).unwrap();
+        let i = env.run_interpreted(&app, "start", &[Value::Int(8)]).unwrap();
+        match (t.result, i.result) {
+            (Some(Val::F32(a)), Value::Float(b)) => assert_eq!(a, b),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_calculator_is_slower_than_optimized_under_cpp_mode() {
+        // Through the Matrix abstraction, per-element virtual calls pile
+        // up in C++ mode; OptimizedCalculator works on raw arrays.
+        let table = matmul_table(&[]).unwrap();
+        let mut env = WootinJ::new(&table).unwrap();
+        let mut vtimes = Vec::new();
+        for calc in [MatmulCalc::Simple, MatmulCalc::Optimized] {
+            let app =
+                MatmulApp::compose(&mut env, MatmulThread::CpuLoop, MatmulBody::Simple, calc)
+                    .unwrap();
+            let code = env
+                .jit(&app, "start", &[Value::Int(12)], JitOptions::cpp())
+                .unwrap();
+            vtimes.push(code.invoke(&env).unwrap().vtime_cycles);
+        }
+        assert!(
+            vtimes[0] > vtimes[1],
+            "virtual get/set must cost more: {} vs {}",
+            vtimes[0],
+            vtimes[1]
+        );
+    }
+
+    #[test]
+    fn listing1_generic_1d_solver_matches_reference() {
+        let table = stencil_table(&[]).unwrap();
+        let mut env = WootinJ::new(&table).unwrap();
+        let runner = Stencil1D::compose_diffusion(&mut env, 0.1, 0.8).unwrap();
+        let args = [Value::Int(64), Value::Int(5)];
+        let want = reference_diffusion_1d(64, 5, 0.1, 0.8);
+        // All translation modes and the interpreter agree with the
+        // reference — including the zero-leaf EmptyContext component.
+        for opts in [JitOptions::wootinj(), JitOptions::template(), JitOptions::cpp()] {
+            let code = env.jit(&runner, "invoke", &args, opts).unwrap();
+            match code.invoke(&env).unwrap().result {
+                Some(Val::F32(v)) => assert_eq!(v, want),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let i = env.run_interpreted(&runner, "invoke", &args).unwrap();
+        assert_eq!(i.result, Value::Float(want));
+    }
+
+    #[test]
+    fn context_component_customizes_the_1d_solver() {
+        let table = stencil_table(&[]).unwrap();
+        let mut env = WootinJ::new(&table).unwrap();
+        let diff = Stencil1D::compose_diffusion(&mut env, 0.1, 0.8).unwrap();
+        let damp = Stencil1D::compose_damped(&mut env, 0.3).unwrap();
+        let args = [Value::Int(32), Value::Int(3)];
+        let a = env
+            .jit(&diff, "invoke", &args, JitOptions::wootinj())
+            .unwrap()
+            .invoke(&env)
+            .unwrap();
+        let b = env
+            .jit(&damp, "invoke", &args, JitOptions::wootinj())
+            .unwrap()
+            .invoke(&env)
+            .unwrap();
+        match (a.result, b.result) {
+            (Some(Val::F32(x)), Some(Val::F32(y))) => assert_ne!(x, y),
+            other => panic!("unexpected {other:?}"),
+        }
+        // The damped run must match its own Rust reference.
+        let mut src: Vec<f32> = (0..32).map(|x| noise_init(x, 0, 0)).collect();
+        let mut dst = src.clone();
+        for _ in 0..3 {
+            for x in 1..31 {
+                let avg = (src[x - 1] + src[x + 1]) * 0.5;
+                dst[x] = src[x] + 0.3 * (avg - src[x]);
+            }
+            std::mem::swap(&mut src, &mut dst);
+        }
+        let want: f32 = src.iter().sum();
+        assert_eq!(b.result, Some(Val::F32(want)));
+    }
+
+    #[test]
+    fn rule4_rejects_bound_as_type_argument_in_1d_library() {
+        // Instantiating Stencil1DRunner<SolverCtx> (the bound itself)
+        // violates rule 4; a client doing so is rejected.
+        let client = "
+            @WootinJ final class BadClient {
+              BadClient() { }
+              float go(OneDSolver<SolverCtx> s, SolverCtx ctx, GridInit i) {
+                Stencil1DRunner<SolverCtx> r = new Stencil1DRunner<SolverCtx>(s, ctx, i);
+                return r.invoke(8, 1);
+              }
+            }";
+        let table = stencil_table(&[("bad.jl", client)]);
+        // Type checking alone accepts it (SolverCtx <= SolverCtx)...
+        let table = match table {
+            Ok(t) => t,
+            Err(ds) => panic!("should typecheck, rules reject later:\n{}", jlang::render_diags(&ds)),
+        };
+        // ...but the rules checker rejects rule 4.
+        let report = jrules::check_program(&table);
+        assert!(
+            report.violations.iter().any(|d| d.message.contains("rule 4")),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn reduce_library_passes_the_coding_rules() {
+        let table = reduce_table(&[]).unwrap();
+        let report = jrules_check(&table);
+        assert!(report.is_ok(), "{}", report.render());
+    }
+
+    #[test]
+    fn reduce_cpu_matches_reference_for_every_op() {
+        let table = reduce_table(&[]).unwrap();
+        for op in [
+            ReduceOp::Identity,
+            ReduceOp::Square,
+            ReduceOp::Abs,
+            ReduceOp::Affine { a: 1.5, b: -0.25 },
+        ] {
+            let mut env = WootinJ::new(&table).unwrap();
+            let app = ReduceApp::compose(&mut env, ReducePlatform::Cpu, op, 0.125).unwrap();
+            let code =
+                env.jit(&app, "reduce", &[Value::Int(300)], JitOptions::wootinj()).unwrap();
+            let got = match code.invoke(&env).unwrap().result {
+                Some(Val::F64(v)) => v,
+                other => panic!("unexpected {other:?}"),
+            };
+            let want = reference_reduce(300, op, 0.125);
+            assert!((got - want).abs() < want.abs().max(1.0) * 1e-9, "{op:?}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn reduce_mpi_handles_uneven_division() {
+        // n = 301 over 4 ranks: the last rank takes the remainder.
+        let table = reduce_table(&[]).unwrap();
+        let mut env = WootinJ::new(&table).unwrap();
+        let app = ReduceApp::compose(&mut env, ReducePlatform::Mpi, ReduceOp::Square, 0.125)
+            .unwrap();
+        let mut code =
+            env.jit(&app, "reduce", &[Value::Int(301)], JitOptions::wootinj()).unwrap();
+        code.set_mpi(4, MpiCostModel::default());
+        let got = match code.invoke(&env).unwrap().result {
+            Some(Val::F64(v)) => v,
+            other => panic!("unexpected {other:?}"),
+        };
+        let want = reference_reduce(301, ReduceOp::Square, 0.125);
+        assert!((got - want).abs() < want.abs() * 1e-6, "{got} vs {want}");
+    }
+
+    #[test]
+    fn reduce_gpu_tree_reduction_matches_cpu() {
+        // The shared-memory tree kernel synchronizes inside a loop — the
+        // hardest barrier pattern; its result must match the sequential
+        // sum (different f32 summation order, so use a tolerance).
+        let table = reduce_table(&[]).unwrap();
+        let mut env = WootinJ::new(&table).unwrap();
+        let app =
+            ReduceApp::compose(&mut env, ReducePlatform::Gpu, ReduceOp::Square, 0.125).unwrap();
+        let mut code =
+            env.jit(&app, "reduce", &[Value::Int(500)], JitOptions::wootinj()).unwrap();
+        code.set_gpu(GpuConfig::default());
+        let got = match code.invoke(&env).unwrap().result {
+            Some(Val::F64(v)) => v,
+            other => panic!("unexpected {other:?}"),
+        };
+        let want = reference_reduce(500, ReduceOp::Square, 0.125);
+        assert!((got - want).abs() < want.abs() * 1e-4, "{got} vs {want}");
+    }
+
+    #[test]
+    fn boxed_runner_matches_plain_runner() {
+        let table = stencil_table(&[]).unwrap();
+        let mut env = WootinJ::new(&table).unwrap();
+        let plain =
+            StencilApp::compose(&mut env, StencilPlatform::Cpu, StencilApp::default_model())
+                .unwrap();
+        let boxed = StencilApp::compose_boxed(&mut env, 0.4, 0.1).unwrap();
+        let args = [Value::Int(8), Value::Int(8), Value::Int(6), Value::Int(2)];
+        let a = env
+            .jit(&plain, "invoke", &args, JitOptions::wootinj())
+            .unwrap()
+            .invoke(&env)
+            .unwrap();
+        let b = env
+            .jit(&boxed, "invoke", &args, JitOptions::wootinj())
+            .unwrap()
+            .invoke(&env)
+            .unwrap();
+        match (a.result, b.result) {
+            (Some(Val::F32(x)), Some(Val::F32(y))) => assert_eq!(x, y),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn boxed_runner_figure3_ordering() {
+        // The Figure 3 / Figure 17 shape: with ScalarFloat boxing, the
+        // unoptimized C++ baseline pays a heap allocation per read while
+        // object inlining erases the boxes: a large multiple, not a few
+        // percent. Template (inline+SROA) lands near WootinJ.
+        let table = stencil_table(&[]).unwrap();
+        let mut env = WootinJ::new(&table).unwrap();
+        let boxed = StencilApp::compose_boxed(&mut env, 0.4, 0.1).unwrap();
+        let args = [Value::Int(8), Value::Int(8), Value::Int(6), Value::Int(2)];
+        let mut vtimes = std::collections::HashMap::new();
+        for (name, opts) in [
+            ("wootinj", JitOptions::wootinj()),
+            ("template", JitOptions::template()),
+            ("cpp", JitOptions::cpp()),
+        ] {
+            let code = env.jit(&boxed, "invoke", &args, opts).unwrap();
+            vtimes.insert(name, code.invoke(&env).unwrap().vtime_cycles);
+        }
+        let (w, t, c) = (vtimes["wootinj"], vtimes["template"], vtimes["cpp"]);
+        assert!(c > w * 3, "C++ must pay boxing dearly: cpp={c} wootinj={w}");
+        assert!(t < c / 2, "Template value semantics avoid most boxing: tmpl={t} cpp={c}");
+    }
+
+    #[test]
+    fn weak_scaling_mpi_stencil_efficiency_shape() {
+        // Weak scaling: per-rank work constant; vtime grows only by the
+        // communication term. The 4-rank run must stay within a modest
+        // factor of the 1-rank run (this is Figure 4's shape).
+        let t1 = {
+            let table = stencil_table(&[]).unwrap();
+            let mut env = WootinJ::new(&table).unwrap();
+            let runner = StencilApp::compose(
+                &mut env,
+                StencilPlatform::CpuMpi,
+                StencilApp::default_model(),
+            )
+            .unwrap();
+            let args = [Value::Int(8), Value::Int(8), Value::Int(4), Value::Int(2)];
+            let mut code = env.jit(&runner, "invoke", &args, JitOptions::wootinj()).unwrap();
+            code.set_mpi(1, MpiCostModel::default());
+            code.invoke(&env).unwrap().vtime_cycles
+        };
+        let t4 = {
+            let table = stencil_table(&[]).unwrap();
+            let mut env = WootinJ::new(&table).unwrap();
+            let runner = StencilApp::compose(
+                &mut env,
+                StencilPlatform::CpuMpi,
+                StencilApp::default_model(),
+            )
+            .unwrap();
+            // 4x the global depth => same per-rank slab.
+            let args = [Value::Int(8), Value::Int(8), Value::Int(16), Value::Int(2)];
+            let mut code = env.jit(&runner, "invoke", &args, JitOptions::wootinj()).unwrap();
+            code.set_mpi(4, MpiCostModel::default());
+            code.invoke(&env).unwrap().vtime_cycles
+        };
+        assert!(
+            t4 < t1 * 3,
+            "weak scaling should be sub-linear in ranks: t1={t1} t4={t4}"
+        );
+        assert!(t4 > t1, "communication must cost something: t1={t1} t4={t4}");
+    }
+}

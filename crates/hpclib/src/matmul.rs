@@ -1,0 +1,396 @@
+//! The matrix-multiplication class library (paper §4.2, Figure 8).
+//!
+//! Three component kinds, each behind an interface:
+//!
+//! * **`OuterThread`** — how to run the kernel computation in parallel:
+//!   `CPULoop` (sequential), `MPIThread` (message passing), `GPUThread`
+//!   (device offload).
+//! * **`OuterThreadBody`** — the parallel algorithm: `SimpleOuterBody`
+//!   (one local multiply) and `FoxAlgorithm` (the blocked Fox algorithm on
+//!   a √p × √p rank grid). `MPIThread` and `FoxAlgorithm` reference each
+//!   other exactly like the paper's Listing 6 — the case C++ templates
+//!   could not express without abandoning reuse.
+//! * **`Calculator`** — the innermost multiply-accumulate: a naive
+//!   `SimpleCalculator` going through the `Matrix` abstraction per element
+//!   and an `OptimizedCalculator` on raw arrays.
+//!
+//! `MatrixGen` seeds deterministic input blocks so every configuration is
+//! cross-checkable; `start` returns the checksum of the product.
+
+/// jlang source of the matmul library.
+pub const MATMUL_LIB: &str = r#"
+// ---- data feature -------------------------------------------------------
+
+@WootinJ interface Matrix {
+  float get(int r, int c);
+  void set(int r, int c, float v);
+  int size();
+  float[] data();
+}
+
+@WootinJ final class SimpleMatrix implements Matrix {
+  float[] d;
+  int n;
+  SimpleMatrix(float[] d0, int n0) { d = d0; n = n0; }
+  float get(int r, int c) { return d[r * n + c]; }
+  void set(int r, int c, float v) { d[r * n + c] = v; }
+  int size() { return n; }
+  float[] data() { return d; }
+}
+
+@WootinJ interface MatrixGen {
+  // value of element (r, c) of the n x n matrix `which` (0 = A, 1 = B)
+  float value(int which, int r, int c, int n);
+}
+
+@WootinJ final class DefaultGen implements MatrixGen {
+  DefaultGen() { }
+  float value(int which, int r, int c, int n) {
+    int h = r * 13 + c * 7 + which * 101;
+    int m = h % 19;
+    return (m - 9) * 0.125f;
+  }
+}
+
+// ---- calculator feature --------------------------------------------------
+
+@WootinJ interface Calculator {
+  void multiplyAdd(Matrix a, Matrix b, Matrix c);
+}
+
+// Per-element virtual accessors: the abstraction cost the paper measures.
+@WootinJ final class SimpleCalculator implements Calculator {
+  SimpleCalculator() { }
+  void multiplyAdd(Matrix a, Matrix b, Matrix c) {
+    int n = a.size();
+    for (int i = 0; i < n; i++) {
+      for (int k = 0; k < n; k++) {
+        float aik = a.get(i, k);
+        for (int j = 0; j < n; j++) {
+          c.set(i, j, c.get(i, j) + aik * b.get(k, j));
+        }
+      }
+    }
+  }
+}
+
+// Raw-array inner loops (the paper's OptimizedCalculator).
+@WootinJ final class OptimizedCalculator implements Calculator {
+  OptimizedCalculator() { }
+  void multiplyAdd(Matrix a, Matrix b, Matrix c) {
+    int n = a.size();
+    float[] ad = a.data();
+    float[] bd = b.data();
+    float[] cd = c.data();
+    for (int i = 0; i < n; i++) {
+      int irow = i * n;
+      for (int k = 0; k < n; k++) {
+        float aik = ad[irow + k];
+        int krow = k * n;
+        for (int j = 0; j < n; j++) {
+          cd[irow + j] += aik * bd[krow + j];
+        }
+      }
+    }
+  }
+}
+
+// ---- thread / body features (Listing 6's mutual reference) ---------------
+
+@WootinJ interface OuterThread {
+  float start(int n);
+}
+
+// Rule 2 forbids non-leaf *return* types, so components travel as
+// parameters (which may be non-leaf) — exactly the paper's Listing 6
+// shape: `body.run(this, a, ...)`.
+@WootinJ interface OuterThreadBody {
+  float run(OuterThread thread, Calculator calc, MatrixGen gen, int n);
+}
+
+// Sequential driver.
+@WootinJ final class CPULoop implements OuterThread {
+  OuterThreadBody body;
+  Calculator calculator;
+  MatrixGen generator;
+  CPULoop(OuterThreadBody b, Calculator c, MatrixGen g) {
+    body = b; calculator = c; generator = g;
+  }
+  float start(int n) { return body.run(this, calculator, generator, n); }
+}
+
+// Message-passing driver (the paper's MPIThread).
+@WootinJ final class MPIThread implements OuterThread {
+  OuterThreadBody body;
+  Calculator calculator;
+  MatrixGen generator;
+  MPIThread(OuterThreadBody b, Calculator c, MatrixGen g) {
+    body = b; calculator = c; generator = g;
+  }
+  float start(int n) { return body.run(this, calculator, generator, n); }
+}
+
+// One whole local multiply: C = A * B, checksum(C).
+@WootinJ final class SimpleOuterBody implements OuterThreadBody {
+  SimpleOuterBody() { }
+  float run(OuterThread thread, Calculator calc, MatrixGen gen, int n) {
+    float[] ad = new float[n * n];
+    float[] bd = new float[n * n];
+    float[] cd = new float[n * n];
+    for (int r = 0; r < n; r++) {
+      for (int c = 0; c < n; c++) {
+        ad[r * n + c] = gen.value(0, r, c, n);
+        bd[r * n + c] = gen.value(1, r, c, n);
+      }
+    }
+    calc.multiplyAdd(
+      new SimpleMatrix(ad, n), new SimpleMatrix(bd, n), new SimpleMatrix(cd, n));
+    float sum = 0f;
+    for (int i = 0; i < n * n; i++) { sum += cd[i]; }
+    return sum;
+  }
+}
+
+// Fox's algorithm on a sqrt(p) x sqrt(p) process grid; n is the GLOBAL
+// matrix dimension and must divide evenly into q local blocks.
+@WootinJ final class FoxAlgorithm implements OuterThreadBody {
+  FoxAlgorithm() { }
+
+  int intSqrt(int p) {
+    int q = 0;
+    while ((q + 1) * (q + 1) <= p) { q = q + 1; }
+    return q;
+  }
+
+  float run(OuterThread thread, Calculator calc, MatrixGen gen, int n) {
+    int rank = MPI.rank();
+    int size = MPI.size();
+    int q = intSqrt(size);
+    int row = rank / q;
+    int col = rank % q;
+    int m = n / q;
+    int mm = m * m;
+    float[] a = new float[mm];
+    float[] b = new float[mm];
+    float[] c = new float[mm];
+    float[] abuf = new float[mm];
+    // Global block (row, col): element (r, c) is global (row*m+r, col*m+c).
+    for (int r = 0; r < m; r++) {
+      for (int cc = 0; cc < m; cc++) {
+        a[r * m + cc] = gen.value(0, row * m + r, col * m + cc, n);
+        b[r * m + cc] = gen.value(1, row * m + r, col * m + cc, n);
+      }
+    }
+    for (int k = 0; k < q; k++) {
+      int rootCol = (row + k) % q;
+      if (col == rootCol) {
+        WJ.arraycopyF(a, 0, abuf, 0, mm);
+        for (int j = 0; j < q; j++) {
+          if (j != col) {
+            MPI.sendF(abuf, 0, mm, row * q + j, 10 + k);
+          }
+        }
+      } else {
+        MPI.recvF(abuf, 0, mm, row * q + rootCol, 10 + k);
+      }
+      calc.multiplyAdd(
+        new SimpleMatrix(abuf, m), new SimpleMatrix(b, m), new SimpleMatrix(c, m));
+      // Shift B up the column (with wraparound).
+      int up = ((row + q - 1) % q) * q + col;
+      int down = ((row + 1) % q) * q + col;
+      MPI.sendF(b, 0, mm, up, 100 + k);
+      MPI.recvF(b, 0, mm, down, 100 + k);
+    }
+    float local = 0f;
+    for (int i = 0; i < mm; i++) { local += c[i]; }
+    return MPI.allreduceSumF(local);
+  }
+}
+
+// ---- GPU feature ----------------------------------------------------------
+
+// Device offload with a naive one-thread-per-element kernel.
+@WootinJ final class GPUThread implements OuterThread {
+  OuterThreadBody body;
+  Calculator calculator;
+  MatrixGen generator;
+  GPUThread(OuterThreadBody b, Calculator c, MatrixGen g) {
+    body = b; calculator = c; generator = g;
+  }
+  float start(int n) { return body.run(this, calculator, generator, n); }
+}
+
+@WootinJ final class GpuOuterBody implements OuterThreadBody {
+  GpuOuterBody() { }
+  float run(OuterThread thread, Calculator calc, MatrixGen gen, int n) {
+    float[] ad = new float[n * n];
+    float[] bd = new float[n * n];
+    float[] cd = new float[n * n];
+    for (int r = 0; r < n; r++) {
+      for (int c = 0; c < n; c++) {
+        ad[r * n + c] = gen.value(0, r, c, n);
+        bd[r * n + c] = gen.value(1, r, c, n);
+      }
+    }
+    float[] da = CUDA.copyToGPU(ad);
+    float[] db = CUDA.copyToGPU(bd);
+    float[] dc = CUDA.copyToGPU(cd);
+    int threads = 64;
+    int blocks = (n * n + threads - 1) / threads;
+    CudaConfig conf = new CudaConfig(new dim3(blocks, 1, 1), new dim3(threads, 1, 1));
+    mmKernel(conf, da, db, dc, n);
+    CUDA.copyFromGPU(cd, dc);
+    CUDA.free(da);
+    CUDA.free(db);
+    CUDA.free(dc);
+    float sum = 0f;
+    for (int i = 0; i < n * n; i++) { sum += cd[i]; }
+    return sum;
+  }
+
+  @Global void mmKernel(CudaConfig conf, float[] a, float[] b, float[] c, int n) {
+    int gid = CUDA.blockIdxX() * CUDA.blockDimX() + CUDA.threadIdxX();
+    if (gid < n * n) {
+      int i = gid / n;
+      int j = gid % n;
+      float acc = 0f;
+      for (int k = 0; k < n; k++) {
+        acc += a[i * n + k] * b[k * n + j];
+      }
+      c[gid] = acc;
+    }
+  }
+}
+
+// Fox schedule with the block multiplications offloaded to the GPU
+// (the paper's GPU+MPI matmul configuration: "all the computation was
+// performed on GPUs and CPUs were used only for inter-node
+// communication").
+@WootinJ final class FoxGpuAlgorithm implements OuterThreadBody {
+  FoxGpuAlgorithm() { }
+
+  int intSqrt(int p) {
+    int q = 0;
+    while ((q + 1) * (q + 1) <= p) { q = q + 1; }
+    return q;
+  }
+
+  float run(OuterThread thread, Calculator calc, MatrixGen gen, int n) {
+    int rank = MPI.rank();
+    int size = MPI.size();
+    int q = intSqrt(size);
+    int row = rank / q;
+    int col = rank % q;
+    int m = n / q;
+    int mm = m * m;
+    float[] a = new float[mm];
+    float[] b = new float[mm];
+    float[] c = new float[mm];
+    float[] abuf = new float[mm];
+    for (int r = 0; r < m; r++) {
+      for (int cc = 0; cc < m; cc++) {
+        a[r * m + cc] = gen.value(0, row * m + r, col * m + cc, n);
+        b[r * m + cc] = gen.value(1, row * m + r, col * m + cc, n);
+      }
+    }
+    float[] dA = CUDA.allocF32(mm);
+    float[] dB = CUDA.allocF32(mm);
+    float[] dC = CUDA.copyToGPU(c);
+    int threads = 64;
+    int blocks = (mm + threads - 1) / threads;
+    CudaConfig conf = new CudaConfig(new dim3(blocks, 1, 1), new dim3(threads, 1, 1));
+    for (int k = 0; k < q; k++) {
+      int rootCol = (row + k) % q;
+      if (col == rootCol) {
+        WJ.arraycopyF(a, 0, abuf, 0, mm);
+        for (int j = 0; j < q; j++) {
+          if (j != col) { MPI.sendF(abuf, 0, mm, row * q + j, 10 + k); }
+        }
+      } else {
+        MPI.recvF(abuf, 0, mm, row * q + rootCol, 10 + k);
+      }
+      CUDA.copyInRange(dA, 0, abuf, 0, mm);
+      CUDA.copyInRange(dB, 0, b, 0, mm);
+      mmAcc(conf, dA, dB, dC, m);
+      int up = ((row + q - 1) % q) * q + col;
+      int down = ((row + 1) % q) * q + col;
+      MPI.sendF(b, 0, mm, up, 100 + k);
+      MPI.recvF(b, 0, mm, down, 100 + k);
+    }
+    CUDA.copyFromGPU(c, dC);
+    CUDA.free(dA);
+    CUDA.free(dB);
+    CUDA.free(dC);
+    float local = 0f;
+    for (int i = 0; i < mm; i++) { local += c[i]; }
+    return MPI.allreduceSumF(local);
+  }
+
+  @Global void mmAcc(CudaConfig conf, float[] a, float[] b, float[] c, int m) {
+    int gid = CUDA.blockIdxX() * CUDA.blockDimX() + CUDA.threadIdxX();
+    if (gid < m * m) {
+      int i = gid / m;
+      int j = gid % m;
+      float acc = c[gid];
+      for (int k = 0; k < m; k++) {
+        acc += a[i * m + k] * b[k * m + j];
+      }
+      c[gid] = acc;
+    }
+  }
+}
+
+// Extension: a shared-memory tiled kernel (8x8 tiles, __shared__ staging
+// with __syncthreads) — the paper's future-work-grade optimization.
+// Requires n to be a multiple of 8.
+@WootinJ final class TiledGpuBody implements OuterThreadBody {
+  TiledGpuBody() { }
+  float run(OuterThread thread, Calculator calc, MatrixGen gen, int n) {
+    float[] ad = new float[n * n];
+    float[] bd = new float[n * n];
+    float[] cd = new float[n * n];
+    for (int r = 0; r < n; r++) {
+      for (int c = 0; c < n; c++) {
+        ad[r * n + c] = gen.value(0, r, c, n);
+        bd[r * n + c] = gen.value(1, r, c, n);
+      }
+    }
+    float[] da = CUDA.copyToGPU(ad);
+    float[] db = CUDA.copyToGPU(bd);
+    float[] dc = CUDA.copyToGPU(cd);
+    int tiles = n / 8;
+    CudaConfig conf = new CudaConfig(new dim3(tiles, tiles, 1), new dim3(8, 8, 1));
+    mmTiled(conf, da, db, dc, n);
+    CUDA.copyFromGPU(cd, dc);
+    CUDA.free(da);
+    CUDA.free(db);
+    CUDA.free(dc);
+    float sum = 0f;
+    for (int i = 0; i < n * n; i++) { sum += cd[i]; }
+    return sum;
+  }
+
+  @Global void mmTiled(CudaConfig conf, float[] a, float[] b, float[] c, int n) {
+    float[] ta = CUDA.sharedF32(64);
+    float[] tb = CUDA.sharedF32(64);
+    int tx = CUDA.threadIdxX();
+    int ty = CUDA.threadIdxY();
+    int colBase = CUDA.blockIdxX() * 8;
+    int rowBase = CUDA.blockIdxY() * 8;
+    int row = rowBase + ty;
+    int col = colBase + tx;
+    float acc = 0f;
+    int tiles = n / 8;
+    for (int t = 0; t < tiles; t++) {
+      ta[ty * 8 + tx] = a[row * n + t * 8 + tx];
+      tb[ty * 8 + tx] = b[(t * 8 + ty) * n + col];
+      CUDA.sync();
+      for (int k = 0; k < 8; k++) {
+        acc += ta[ty * 8 + k] * tb[k * 8 + tx];
+      }
+      CUDA.sync();
+    }
+    c[row * n + col] = acc;
+  }
+}
+"#;

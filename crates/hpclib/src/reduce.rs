@@ -1,0 +1,142 @@
+//! A third WootinJ class library: parallel map-reduce over float arrays.
+//!
+//! The paper's future work is "to develop larger class libraries in the
+//! HPC domain"; this library demonstrates that the coding rules support a
+//! different computational pattern than stencils and matmul:
+//!
+//! * **`MapOp`** — the element transform component (identity, square,
+//!   absolute value, affine);
+//! * **`DataGen`** — deterministic input generation;
+//! * runners: `ReduceCPU` (sequential), `ReduceMPI` (block-distributed +
+//!   `allreduce`), and `ReduceGPU` — a classic **shared-memory tree
+//!   reduction** whose kernel synchronizes with `__syncthreads` inside a
+//!   loop (the hardest pattern for a barrier-correct simulator).
+
+/// jlang source of the reduction library.
+pub const REDUCE_LIB: &str = r#"
+// ---- element transform feature -----------------------------------------
+
+@WootinJ interface MapOp {
+  float map(float x);
+}
+
+@WootinJ final class IdentityOp implements MapOp {
+  IdentityOp() { }
+  float map(float x) { return x; }
+}
+
+@WootinJ final class SquareOp implements MapOp {
+  SquareOp() { }
+  float map(float x) { return x * x; }
+}
+
+@WootinJ final class AbsOp implements MapOp {
+  AbsOp() { }
+  float map(float x) { return Math.absf(x); }
+}
+
+@WootinJ final class AffineOp implements MapOp {
+  float a; float b;
+  AffineOp(float a0, float b0) { a = a0; b = b0; }
+  float map(float x) { return a * x + b; }
+}
+
+// ---- input feature -------------------------------------------------------
+
+@WootinJ interface DataGen {
+  float value(int i);
+}
+
+@WootinJ final class RampGen implements DataGen {
+  float scale;
+  RampGen(float s) { scale = s; }
+  float value(int i) { return (i % 101 - 50) * scale; }
+}
+
+// ---- runners ---------------------------------------------------------------
+
+@WootinJ interface ReduceRunner {
+  double reduce(int n);
+}
+
+@WootinJ final class ReduceCPU implements ReduceRunner {
+  MapOp op;
+  DataGen gen;
+  ReduceCPU(MapOp o, DataGen g) { op = o; gen = g; }
+  double reduce(int n) {
+    double acc = 0.0;
+    for (int i = 0; i < n; i++) {
+      acc = acc + op.map(gen.value(i));
+    }
+    return acc;
+  }
+}
+
+// Block distribution: rank r owns [r*n/size, (r+1)*n/size).
+@WootinJ final class ReduceMPI implements ReduceRunner {
+  MapOp op;
+  DataGen gen;
+  ReduceMPI(MapOp o, DataGen g) { op = o; gen = g; }
+  double reduce(int n) {
+    int rank = MPI.rank();
+    int size = MPI.size();
+    int chunk = n / size;
+    int lo = rank * chunk;
+    int hi = lo + chunk;
+    if (rank == size - 1) { hi = n; }
+    double acc = 0.0;
+    for (int i = lo; i < hi; i++) {
+      acc = acc + op.map(gen.value(i));
+    }
+    return MPI.allreduceSumD(acc);
+  }
+}
+
+// GPU tree reduction: map on load, then a strided shared-memory
+// reduction with a barrier inside the loop; one partial per block,
+// summed on the host.
+@WootinJ final class ReduceGPU implements ReduceRunner {
+  MapOp op;
+  DataGen gen;
+  ReduceGPU(MapOp o, DataGen g) { op = o; gen = g; }
+
+  double reduce(int n) {
+    float[] host = new float[n];
+    for (int i = 0; i < n; i++) { host[i] = gen.value(i); }
+    int threads = 64;
+    int blocks = (n + threads - 1) / threads;
+    float[] dIn = CUDA.copyToGPU(host);
+    float[] partials = new float[blocks];
+    float[] dOut = CUDA.copyToGPU(partials);
+    CudaConfig conf = new CudaConfig(new dim3(blocks, 1, 1), new dim3(threads, 1, 1));
+    treeReduce(conf, dIn, dOut, n);
+    CUDA.copyFromGPU(partials, dOut);
+    CUDA.free(dIn);
+    CUDA.free(dOut);
+    double acc = 0.0;
+    for (int b = 0; b < blocks; b++) { acc = acc + partials[b]; }
+    return acc;
+  }
+
+  @Global void treeReduce(CudaConfig conf, float[] in, float[] out, int n) {
+    float[] sh = CUDA.sharedF32(64);
+    int tid = CUDA.threadIdxX();
+    int gid = CUDA.blockIdxX() * CUDA.blockDimX() + CUDA.threadIdxX();
+    float v = 0f;
+    if (gid < n) { v = op.map(in[gid]); }
+    sh[tid] = v;
+    CUDA.sync();
+    int stride = 32;
+    while (stride > 0) {
+      if (tid < stride) {
+        sh[tid] = sh[tid] + sh[tid + stride];
+      }
+      CUDA.sync();
+      stride = stride / 2;
+    }
+    if (tid == 0) {
+      out[CUDA.blockIdxX()] = sh[0];
+    }
+  }
+}
+"#;

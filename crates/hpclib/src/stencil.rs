@@ -1,0 +1,498 @@
+//! The stencil-computation class library (paper §2, Figures 1–2).
+//!
+//! Mirrors the feature model: the *physical model* is a `Solver3D`
+//! component, *initialization* a `GridInit` component, the shared kernel
+//! a `Stencil3DKernel`, and the *parallelism* feature is selected by
+//! choosing a runner class:
+//!
+//! | runner | paper class | platform |
+//! |---|---|---|
+//! | `StencilCPU3D`     | `StencilCPU4DblBuffer`  | one CPU, double buffering |
+//! | `StencilCPU3D_MPI` | `StencilCPU4DblB_MPI`   | MPI, z-decomposition |
+//! | `StencilGPU3D`     | `StencilGPU4DblB`       | one GPU |
+//! | `StencilGPU3D_MPI` | `StencilGPU4DblB_MPI`   | GPU per node + MPI halo exchange |
+//!
+//! All classes obey the WootinJ coding rules; `invoke` returns the grid
+//! checksum so every configuration can be validated against every other.
+//!
+//! The grid is `nx × ny × nz` with one ghost plane below (`z = 0`) and one
+//! above (`z = nz + 1`); x/y boundaries are held fixed (Dirichlet).
+//! Double buffering swaps *local* array variables — under object inlining
+//! objects are value bundles, so field swapping would not propagate; this
+//! is the idiom the coding rules induce (see DESIGN.md).
+
+/// jlang source of the stencil library.
+pub const STENCIL_LIB: &str = r#"
+// ---- physical model feature ------------------------------------------
+
+@WootinJ interface Solver3D {
+  float solve(float c, float xm, float xp, float ym, float yp, float zm, float zp);
+}
+
+// Three-dimensional diffusion equation (the paper's Dif3DSolver).
+@WootinJ final class Dif3DSolver implements Solver3D {
+  float cc; float cn;
+  Dif3DSolver(float center, float neighbor) { cc = center; cn = neighbor; }
+  float solve(float c, float xm, float xp, float ym, float yp, float zm, float zp) {
+    return cc * c + cn * (xm + xp + ym + yp + zm + zp);
+  }
+}
+
+// An alternative damped-averaging kernel (used by tests to check
+// that a *different* solver component really changes the computation).
+@WootinJ final class DampedSolver implements Solver3D {
+  float k;
+  DampedSolver(float k0) { k = k0; }
+  float solve(float c, float xm, float xp, float ym, float yp, float zm, float zp) {
+    float avg = (xm + xp + ym + yp + zm + zp) * 0.16666667f;
+    return c + k * (avg - c);
+  }
+}
+
+// ---- boxed physical-model API (the paper's Listing 1 style) -----------
+// Every value travels in a ScalarFloat box. Object inlining erases the
+// boxes entirely; the unoptimized baselines pay a heap allocation per
+// read — this is the Figure 3 / Figure 17 gap.
+
+@WootinJ final class ScalarFloat {
+  float v;
+  ScalarFloat(float v0) { v = v0; }
+  float val() { return v; }
+}
+
+@WootinJ interface BoxedSolver3D {
+  ScalarFloat solve(ScalarFloat c, ScalarFloat xm, ScalarFloat xp,
+                    ScalarFloat ym, ScalarFloat yp,
+                    ScalarFloat zm, ScalarFloat zp);
+}
+
+@WootinJ final class Dif3DSolverBoxed implements BoxedSolver3D {
+  float cc; float cn;
+  Dif3DSolverBoxed(float center, float neighbor) { cc = center; cn = neighbor; }
+  ScalarFloat solve(ScalarFloat c, ScalarFloat xm, ScalarFloat xp,
+                    ScalarFloat ym, ScalarFloat yp,
+                    ScalarFloat zm, ScalarFloat zp) {
+    float value = cc * c.val()
+      + cn * (xm.val() + xp.val() + ym.val() + yp.val() + zm.val() + zp.val());
+    return new ScalarFloat(value);
+  }
+}
+
+// ---- one-dimensional solver family (the paper's Listing 1/2) -----------
+// Exercises generics under rule 4: solvers are generic over a context
+// component whose bound's direct subclasses must all be strict-final and
+// semi-immutable, and whose instantiations must be proper subclasses.
+
+@WootinJ interface SolverCtx { }
+
+@WootinJ final class EmptyContext implements SolverCtx {
+  EmptyContext() { }
+}
+
+// A context carrying a damping coefficient.
+@WootinJ final class DampingCtx implements SolverCtx {
+  float k;
+  DampingCtx(float k0) { k = k0; }
+  float k() { return k; }
+}
+
+@WootinJ interface OneDSolver<C extends SolverCtx> {
+  ScalarFloat solve(ScalarFloat left, ScalarFloat right, ScalarFloat self, C context);
+}
+
+// Listing 1: the one-dimensional diffusion solver.
+@WootinJ final class Dif1DSolver implements OneDSolver<EmptyContext> {
+  float a; float b;
+  Dif1DSolver(float a0, float b0) { a = a0; b = b0; }
+  ScalarFloat solve(ScalarFloat left, ScalarFloat right, ScalarFloat self,
+                    EmptyContext context) {
+    float value = a * (left.val() + right.val()) + b * self.val();
+    return new ScalarFloat(value);
+  }
+}
+
+// A context-using variant: damped averaging with the coefficient taken
+// from the composed DampingCtx component.
+@WootinJ final class Damped1DSolver implements OneDSolver<DampingCtx> {
+  Damped1DSolver() { }
+  ScalarFloat solve(ScalarFloat left, ScalarFloat right, ScalarFloat self,
+                    DampingCtx context) {
+    float avg = (left.val() + right.val()) * 0.5f;
+    float value = self.val() + context.k() * (avg - self.val());
+    return new ScalarFloat(value);
+  }
+}
+
+// The generic 1-D runner (Listing 2's composition target).
+@WootinJ final class Stencil1DRunner<C extends SolverCtx> {
+  OneDSolver<C> solver;
+  C context;
+  GridInit init;
+  Stencil1DRunner(OneDSolver<C> s, C ctx, GridInit i) {
+    solver = s;
+    context = ctx;
+    init = i;
+  }
+  float invoke(int n, int steps) {
+    float[] a = new float[n];
+    float[] b = new float[n];
+    for (int x = 0; x < n; x++) { a[x] = init.value(x, 0, 0); }
+    WJ.arraycopyF(a, 0, b, 0, n);
+    float[] src = a;
+    float[] dst = b;
+    for (int t = 0; t < steps; t++) {
+      for (int x = 1; x < n - 1; x++) {
+        ScalarFloat r = solver.solve(
+          new ScalarFloat(src[x - 1]),
+          new ScalarFloat(src[x + 1]),
+          new ScalarFloat(src[x]),
+          context);
+        dst[x] = r.val();
+      }
+      float[] tmp = src;
+      src = dst;
+      dst = tmp;
+    }
+    float sum = 0f;
+    for (int x = 0; x < n; x++) { sum += src[x]; }
+    return sum;
+  }
+}
+
+// ---- initialization feature ------------------------------------------
+
+@WootinJ interface GridInit {
+  float value(int x, int y, int z);
+}
+
+// Deterministic pseudo-random field.
+@WootinJ final class NoiseInit implements GridInit {
+  NoiseInit() { }
+  float value(int x, int y, int z) {
+    int h = x * 31 + y * 17 + z * 7;
+    int m = h % 97;
+    return m * 0.01f;
+  }
+}
+
+// A centered Gaussian-ish bump (pure integer arithmetic).
+@WootinJ final class BumpInit implements GridInit {
+  int cx; int cy; int cz;
+  BumpInit(int cx0, int cy0, int cz0) { cx = cx0; cy = cy0; cz = cz0; }
+  float value(int x, int y, int z) {
+    int dx = x - cx; int dy = y - cy; int dz = z - cz;
+    int d2 = dx * dx + dy * dy + dz * dz;
+    float v = 100.0f / (1.0f + d2);
+    return v;
+  }
+}
+
+// ---- shared kernel component -------------------------------------------
+// One sweep over the interior + checksum; every runner composes this.
+
+@WootinJ final class Stencil3DKernel {
+  Solver3D solver;
+  Stencil3DKernel(Solver3D s) { solver = s; }
+
+  // src/dst include ghost planes: index (z*ny + y)*nx + x, z in 0..nz+1.
+  void step(float[] src, float[] dst, int nx, int ny, int nz) {
+    for (int z = 1; z <= nz; z++) {
+      for (int y = 1; y < ny - 1; y++) {
+        int rowBase = (z * ny + y) * nx;
+        for (int x = 1; x < nx - 1; x++) {
+          int idx = rowBase + x;
+          dst[idx] = solver.solve(
+            src[idx],
+            src[idx - 1], src[idx + 1],
+            src[idx - nx], src[idx + nx],
+            src[idx - nx * ny], src[idx + nx * ny]);
+        }
+      }
+    }
+  }
+
+  float checksum(float[] grid, int nx, int ny, int nz) {
+    float sum = 0f;
+    for (int z = 1; z <= nz; z++) {
+      for (int y = 0; y < ny; y++) {
+        int rowBase = (z * ny + y) * nx;
+        for (int x = 0; x < nx; x++) {
+          sum += grid[rowBase + x];
+        }
+      }
+    }
+    return sum;
+  }
+
+  // Fill the owned region from the init component; ghosts stay zero.
+  // zOffset maps local z=1 to the global plane index.
+  void fill(float[] grid, GridInit init, int nx, int ny, int nz, int zOffset) {
+    for (int z = 1; z <= nz; z++) {
+      for (int y = 0; y < ny; y++) {
+        int rowBase = (z * ny + y) * nx;
+        for (int x = 0; x < nx; x++) {
+          grid[rowBase + x] = init.value(x, y, zOffset + z - 1);
+        }
+      }
+    }
+  }
+}
+
+// Boxed kernel component: boxes every neighborhood read (Listing 1).
+@WootinJ final class BoxedStencil3DKernel {
+  BoxedSolver3D solver;
+  BoxedStencil3DKernel(BoxedSolver3D s) { solver = s; }
+
+  void step(float[] src, float[] dst, int nx, int ny, int nz) {
+    for (int z = 1; z <= nz; z++) {
+      for (int y = 1; y < ny - 1; y++) {
+        int rowBase = (z * ny + y) * nx;
+        for (int x = 1; x < nx - 1; x++) {
+          int idx = rowBase + x;
+          ScalarFloat r = solver.solve(
+            new ScalarFloat(src[idx]),
+            new ScalarFloat(src[idx - 1]), new ScalarFloat(src[idx + 1]),
+            new ScalarFloat(src[idx - nx]), new ScalarFloat(src[idx + nx]),
+            new ScalarFloat(src[idx - nx * ny]), new ScalarFloat(src[idx + nx * ny]));
+          dst[idx] = r.val();
+        }
+      }
+    }
+  }
+}
+
+// ---- parallelism feature: runners --------------------------------------
+
+@WootinJ interface StencilRunner {
+  float invoke(int nx, int ny, int nz, int steps);
+}
+
+// Sequential CPU using the boxed (Listing-1 style) solver API.
+@WootinJ final class StencilCPU3DBoxed implements StencilRunner {
+  BoxedStencil3DKernel kernel;
+  Stencil3DKernel helper;
+  GridInit init;
+  StencilCPU3DBoxed(BoxedSolver3D s, Solver3D plain, GridInit i) {
+    kernel = new BoxedStencil3DKernel(s);
+    helper = new Stencil3DKernel(plain);
+    init = i;
+  }
+  float invoke(int nx, int ny, int nz, int steps) {
+    int total = nx * ny * (nz + 2);
+    float[] a = new float[total];
+    float[] b = new float[total];
+    helper.fill(a, init, nx, ny, nz, 0);
+    WJ.arraycopyF(a, 0, b, 0, total);
+    float[] src = a;
+    float[] dst = b;
+    for (int t = 0; t < steps; t++) {
+      kernel.step(src, dst, nx, ny, nz);
+      float[] tmp = src;
+      src = dst;
+      dst = tmp;
+    }
+    return helper.checksum(src, nx, ny, nz);
+  }
+}
+
+// Sequential CPU with double buffering.
+@WootinJ final class StencilCPU3D implements StencilRunner {
+  Stencil3DKernel kernel;
+  GridInit init;
+  StencilCPU3D(Solver3D s, GridInit i) {
+    kernel = new Stencil3DKernel(s);
+    init = i;
+  }
+  float invoke(int nx, int ny, int nz, int steps) {
+    int total = nx * ny * (nz + 2);
+    float[] a = new float[total];
+    float[] b = new float[total];
+    kernel.fill(a, init, nx, ny, nz, 0);
+    WJ.arraycopyF(a, 0, b, 0, total);
+    float[] src = a;
+    float[] dst = b;
+    for (int t = 0; t < steps; t++) {
+      kernel.step(src, dst, nx, ny, nz);
+      float[] tmp = src;
+      src = dst;
+      dst = tmp;
+    }
+    return kernel.checksum(src, nx, ny, nz);
+  }
+}
+
+// MPI runner: nz is the *global* depth, decomposed in equal slabs along z.
+@WootinJ final class StencilCPU3D_MPI implements StencilRunner {
+  Stencil3DKernel kernel;
+  GridInit init;
+  StencilCPU3D_MPI(Solver3D s, GridInit i) {
+    kernel = new Stencil3DKernel(s);
+    init = i;
+  }
+  float invoke(int nx, int ny, int nz, int steps) {
+    int rank = MPI.rank();
+    int size = MPI.size();
+    int nzl = nz / size;
+    int plane = nx * ny;
+    int total = plane * (nzl + 2);
+    float[] a = new float[total];
+    float[] b = new float[total];
+    kernel.fill(a, init, nx, ny, nzl, rank * nzl);
+    WJ.arraycopyF(a, 0, b, 0, total);
+    float[] src = a;
+    float[] dst = b;
+    for (int t = 0; t < steps; t++) {
+      // Halo exchange: first/last owned plane <-> neighbor ghosts.
+      if (rank > 0) {
+        MPI.sendF(src, plane, plane, rank - 1, 0);
+      }
+      if (rank < size - 1) {
+        MPI.sendF(src, nzl * plane, plane, rank + 1, 1);
+      }
+      if (rank < size - 1) {
+        MPI.recvF(src, (nzl + 1) * plane, plane, rank + 1, 0);
+      }
+      if (rank > 0) {
+        MPI.recvF(src, 0, plane, rank - 1, 1);
+      }
+      kernel.step(src, dst, nx, ny, nzl);
+      // The freshly exchanged ghost planes belong to the *next* source
+      // too; carry them over so boundary cells stay consistent.
+      WJ.arraycopyF(src, 0, dst, 0, plane);
+      WJ.arraycopyF(src, (nzl + 1) * plane, dst, (nzl + 1) * plane, plane);
+      float[] tmp = src;
+      src = dst;
+      dst = tmp;
+    }
+    float local = kernel.checksum(src, nx, ny, nzl);
+    return MPI.allreduceSumF(local);
+  }
+}
+
+// Single-GPU runner: whole grid on the device, one kernel per step.
+@WootinJ final class StencilGPU3D implements StencilRunner {
+  Stencil3DKernel kernel;
+  GridInit init;
+  StencilGPU3D(Solver3D s, GridInit i) {
+    kernel = new Stencil3DKernel(s);
+    init = i;
+  }
+  float invoke(int nx, int ny, int nz, int steps) {
+    int total = nx * ny * (nz + 2);
+    float[] host = new float[total];
+    kernel.fill(host, init, nx, ny, nz, 0);
+    float[] dSrc = CUDA.copyToGPU(host);
+    float[] dDst = CUDA.copyToGPU(host);
+    int cells = nx * ny * nz;
+    int threads = 64;
+    int blocks = (cells + threads - 1) / threads;
+    CudaConfig conf = new CudaConfig(new dim3(blocks, 1, 1), new dim3(threads, 1, 1));
+    for (int t = 0; t < steps; t++) {
+      stepGPU(conf, dSrc, dDst, nx, ny, nz);
+      float[] tmp = dSrc;
+      dSrc = dDst;
+      dDst = tmp;
+    }
+    CUDA.copyFromGPU(host, dSrc);
+    CUDA.free(dSrc);
+    CUDA.free(dDst);
+    return kernel.checksum(host, nx, ny, nz);
+  }
+
+  @Global void stepGPU(CudaConfig conf, float[] src, float[] dst, int nx, int ny, int nz) {
+    int gid = CUDA.blockIdxX() * CUDA.blockDimX() + CUDA.threadIdxX();
+    int cells = nx * ny * nz;
+    if (gid < cells) {
+      int x = gid % nx;
+      int rest = gid / nx;
+      int y = rest % ny;
+      int z = rest / ny + 1;
+      if (x > 0 && x < nx - 1 && y > 0 && y < ny - 1) {
+        int idx = (z * ny + y) * nx + x;
+        dst[idx] = kernel.solver.solve(
+          src[idx],
+          src[idx - 1], src[idx + 1],
+          src[idx - nx], src[idx + nx],
+          src[idx - nx * ny], src[idx + nx * ny]);
+      }
+    }
+  }
+}
+
+// GPU + MPI: slab decomposition; per step the boundary planes travel
+// device -> host -> neighbor -> host -> device.
+@WootinJ final class StencilGPU3D_MPI implements StencilRunner {
+  Stencil3DKernel kernel;
+  GridInit init;
+  StencilGPU3D_MPI(Solver3D s, GridInit i) {
+    kernel = new Stencil3DKernel(s);
+    init = i;
+  }
+  float invoke(int nx, int ny, int nz, int steps) {
+    int rank = MPI.rank();
+    int size = MPI.size();
+    int nzl = nz / size;
+    int plane = nx * ny;
+    int total = plane * (nzl + 2);
+    float[] host = new float[total];
+    kernel.fill(host, init, nx, ny, nzl, rank * nzl);
+    float[] dSrc = CUDA.copyToGPU(host);
+    float[] dDst = CUDA.copyToGPU(host);
+    float[] lo = new float[plane];
+    float[] hi = new float[plane];
+    int cells = plane * nzl;
+    int threads = 64;
+    int blocks = (cells + threads - 1) / threads;
+    CudaConfig conf = new CudaConfig(new dim3(blocks, 1, 1), new dim3(threads, 1, 1));
+    for (int t = 0; t < steps; t++) {
+      // Pull boundary owned planes off the device.
+      if (rank > 0) {
+        CUDA.copyOutRange(lo, 0, dSrc, plane, plane);
+        MPI.sendF(lo, 0, plane, rank - 1, 0);
+      }
+      if (rank < size - 1) {
+        CUDA.copyOutRange(hi, 0, dSrc, nzl * plane, plane);
+        MPI.sendF(hi, 0, plane, rank + 1, 1);
+      }
+      if (rank < size - 1) {
+        MPI.recvF(hi, 0, plane, rank + 1, 0);
+        CUDA.copyInRange(dSrc, (nzl + 1) * plane, hi, 0, plane);
+        CUDA.copyInRange(dDst, (nzl + 1) * plane, hi, 0, plane);
+      }
+      if (rank > 0) {
+        MPI.recvF(lo, 0, plane, rank - 1, 1);
+        CUDA.copyInRange(dSrc, 0, lo, 0, plane);
+        CUDA.copyInRange(dDst, 0, lo, 0, plane);
+      }
+      stepGPU(conf, dSrc, dDst, nx, ny, nzl);
+      float[] tmp = dSrc;
+      dSrc = dDst;
+      dDst = tmp;
+    }
+    CUDA.copyFromGPU(host, dSrc);
+    CUDA.free(dSrc);
+    CUDA.free(dDst);
+    float local = kernel.checksum(host, nx, ny, nzl);
+    return MPI.allreduceSumF(local);
+  }
+
+  @Global void stepGPU(CudaConfig conf, float[] src, float[] dst, int nx, int ny, int nz) {
+    int gid = CUDA.blockIdxX() * CUDA.blockDimX() + CUDA.threadIdxX();
+    int cells = nx * ny * nz;
+    if (gid < cells) {
+      int x = gid % nx;
+      int rest = gid / nx;
+      int y = rest % ny;
+      int z = rest / ny + 1;
+      if (x > 0 && x < nx - 1 && y > 0 && y < ny - 1) {
+        int idx = (z * ny + y) * nx + x;
+        dst[idx] = kernel.solver.solve(
+          src[idx],
+          src[idx - 1], src[idx + 1],
+          src[idx - nx], src[idx + nx],
+          src[idx - nx * ny], src[idx + nx * ny]);
+      }
+    }
+  }
+}
+"#;

@@ -1,0 +1,129 @@
+//! # jlang — the Java-subset front end of the WootinJ reproduction
+//!
+//! This crate implements the language substrate the paper's framework is
+//! built on: a lexer, parser, class table, and type checker for the Java
+//! subset in which WootinJ class libraries are written. Everything the
+//! WootinJ coding rules talk about — including the constructs they forbid
+//! (ternary operator, `null`, `instanceof`, reference equality, recursion)
+//! — is representable, so the rules checker in the `jrules` crate can
+//! reject violating programs with precise diagnostics.
+//!
+//! The output of [`compile`] is a [`table::ClassTable`] whose method bodies
+//! are fully typed ([`tast`]): names resolved to slots, fields to absolute
+//! layout offsets, and implicit numeric widenings made explicit. The
+//! interpreter (`jvm`), the rules checker (`jrules`), and the translator
+//! (`translator`) all consume this representation.
+
+#![forbid(unsafe_code)]
+
+pub mod ast;
+pub mod parser;
+pub mod span;
+pub mod table;
+pub mod tast;
+pub mod token;
+pub mod typeck;
+pub mod types;
+
+pub use span::{render_diags, DiagResult, Diagnostic, Severity, Span};
+pub use table::{ClassInfo, ClassTable, CtorInfo, FieldInfo, MethodInfo, ParamInfo};
+pub use types::{ClassId, PrimKind, Type, OBJECT};
+
+/// A set of named source files compiled together.
+#[derive(Debug, Clone, Default)]
+pub struct SourceSet {
+    files: Vec<(String, String)>,
+}
+
+impl SourceSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a named source file; returns `self` for chaining.
+    pub fn with(mut self, name: impl Into<String>, src: impl Into<String>) -> Self {
+        self.files.push((name.into(), src.into()));
+        self
+    }
+
+    pub fn add(&mut self, name: impl Into<String>, src: impl Into<String>) {
+        self.files.push((name.into(), src.into()));
+    }
+
+    pub fn file_name(&self, index: u32) -> Option<&str> {
+        self.files.get(index as usize).map(|(n, _)| n.as_str())
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+}
+
+/// Compile a source set into a fully typed class table.
+///
+/// This runs the whole front end: lex, parse, class-table construction
+/// (signature resolution, layout, override checks), and body type checking.
+pub fn compile(sources: &SourceSet) -> DiagResult<ClassTable> {
+    let mut units = Vec::new();
+    let mut diags = Vec::new();
+    for (i, (_, src)) in sources.files.iter().enumerate() {
+        match parser::parse_unit(i as u32, src) {
+            Ok(u) => units.push(u),
+            Err(mut ds) => diags.append(&mut ds),
+        }
+    }
+    if !diags.is_empty() {
+        return Err(diags);
+    }
+    let mut table = table::build(units)?;
+    typeck::check(&mut table)?;
+    Ok(table)
+}
+
+/// Convenience: compile a single anonymous source string.
+///
+/// ```
+/// let table = jlang::compile_str(
+///     "class Greeter { int count; Greeter(int c) { count = c; } }",
+/// ).unwrap();
+/// let id = table.by_name("Greeter").unwrap();
+/// assert_eq!(table.class(id).fields.len(), 1);
+/// ```
+pub fn compile_str(src: &str) -> DiagResult<ClassTable> {
+    compile(&SourceSet::new().with("<input>", src))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_compile() {
+        let table = compile_str(
+            "interface Solver { float solve(float self, int index); } \
+             class PhysSolver implements Solver { \
+               float a; \
+               PhysSolver(float a0) { a = a0; } \
+               float solve(float self, int index) { return a * self + index; } }",
+        )
+        .expect("compile");
+        let ps = table.by_name("PhysSolver").unwrap();
+        assert!(table.class(ps).methods[0].body.is_some());
+    }
+
+    #[test]
+    fn multiple_files_share_a_namespace() {
+        let set = SourceSet::new()
+            .with("a.jl", "class A { B b; A(B b0) { b = b0; } }")
+            .with("b.jl", "class B { }");
+        assert!(compile(&set).is_ok());
+    }
+
+    #[test]
+    fn errors_from_all_files_are_collected() {
+        let set = SourceSet::new()
+            .with("a.jl", "class A { int m() { return \"x\"; } }")
+            .with("b.jl", "class B { int m() { } }");
+        assert!(compile(&set).is_err());
+    }
+}

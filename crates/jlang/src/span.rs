@@ -1,0 +1,106 @@
+//! Source positions and diagnostics shared across the front end.
+
+use std::fmt;
+
+/// A half-open byte range into a single source file, plus the file's index
+/// in the [`crate::SourceSet`] it was parsed from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    pub file: u32,
+    pub start: u32,
+    pub end: u32,
+    pub line: u32,
+}
+
+impl Span {
+    pub fn new(file: u32, start: u32, end: u32, line: u32) -> Self {
+        Span { file, start, end, line }
+    }
+
+    /// Span covering both `self` and `other` (assumed same file).
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            file: self.file,
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: self.line.min(other.line),
+        }
+    }
+}
+
+/// Severity of a front-end diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    Error,
+    Warning,
+}
+
+/// A compiler diagnostic with a source location.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub severity: Severity,
+    pub message: String,
+    pub span: Span,
+    /// Name of the phase that produced this (lexer, parser, resolver, typeck, rules).
+    pub phase: &'static str,
+}
+
+impl Diagnostic {
+    pub fn error(phase: &'static str, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic { severity: Severity::Error, message: message.into(), span, phase }
+    }
+
+    pub fn warning(phase: &'static str, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic { severity: Severity::Warning, message: message.into(), span, phase }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(
+            f,
+            "{sev}[{}] line {}: {}",
+            self.phase, self.span.line, self.message
+        )
+    }
+}
+
+/// Convenience alias used by every front-end phase.
+pub type DiagResult<T> = Result<T, Vec<Diagnostic>>;
+
+/// Render a diagnostic list as a single multi-line string (for error types
+/// and test assertions).
+pub fn render_diags(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_join_takes_extremes() {
+        let a = Span::new(0, 10, 20, 3);
+        let b = Span::new(0, 15, 40, 4);
+        let j = a.to(b);
+        assert_eq!((j.start, j.end, j.line), (10, 40, 3));
+    }
+
+    #[test]
+    fn diagnostic_display_contains_phase_and_line() {
+        let d = Diagnostic::error("parser", Span::new(0, 0, 1, 7), "unexpected token");
+        let s = d.to_string();
+        assert!(s.contains("parser"));
+        assert!(s.contains("line 7"));
+        assert!(s.contains("unexpected token"));
+    }
+}

@@ -1,0 +1,245 @@
+//! The typed AST produced by the type checker.
+//!
+//! All names are resolved: locals/params to frame slots, fields to absolute
+//! instance slots (single inheritance gives every field a fixed offset),
+//! methods to `(declaring class, index)` pairs. Implicit widening
+//! conversions are explicit [`TExprKind::Convert`] nodes so that engines and
+//! the translator never re-derive promotion rules.
+
+use crate::ast::{BinOp, UnOp};
+use crate::span::Span;
+use crate::types::{ClassId, PrimKind, Type};
+
+/// A resolved instance-field selector. `slot` is the field's absolute
+/// offset in the object layout (inherited fields first).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldSel {
+    /// Class that *declares* the field.
+    pub owner: ClassId,
+    /// Absolute slot in the instance layout.
+    pub slot: u32,
+    /// Declared type after substitution at the use site.
+    pub ty: Type,
+}
+
+/// A resolved method selector: the statically found declaration. Virtual
+/// dispatch may pick an override in a subclass at run/translation time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodSel {
+    /// Class or interface whose declaration was found statically.
+    pub decl_class: ClassId,
+    /// Index into `decl_class`'s own `methods` vector.
+    pub index: u32,
+}
+
+/// Typed statement.
+#[derive(Debug, Clone)]
+pub enum TStmt {
+    /// Declare local in `slot`, optionally initialized.
+    Local { slot: u32, ty: Type, init: Option<TExpr>, span: Span },
+    AssignLocal { slot: u32, value: TExpr, span: Span },
+    AssignField { obj: TExpr, field: FieldSel, value: TExpr, span: Span },
+    AssignStatic { class: ClassId, index: u32, value: TExpr, span: Span },
+    AssignIndex { arr: TExpr, idx: TExpr, value: TExpr, span: Span },
+    Expr(TExpr),
+    If { cond: TExpr, then_branch: TBlock, else_branch: Option<TBlock>, span: Span },
+    While { cond: TExpr, body: TBlock, span: Span },
+    For {
+        init: Option<Box<TStmt>>,
+        cond: Option<TExpr>,
+        update: Option<Box<TStmt>>,
+        body: TBlock,
+        span: Span,
+    },
+    Return { value: Option<TExpr>, span: Span },
+    Break(Span),
+    Continue(Span),
+    Block(TBlock),
+}
+
+/// Typed block.
+#[derive(Debug, Clone, Default)]
+pub struct TBlock {
+    pub stmts: Vec<TStmt>,
+}
+
+/// Typed expression with its resolved type.
+#[derive(Debug, Clone)]
+pub struct TExpr {
+    pub kind: TExprKind,
+    pub ty: Type,
+    pub span: Span,
+}
+
+/// Typed expression kinds.
+#[derive(Debug, Clone)]
+pub enum TExprKind {
+    Int(i32),
+    Long(i64),
+    Float(f32),
+    Double(f64),
+    Bool(bool),
+    Null,
+    Str(String),
+    /// Local or parameter read (params occupy the lowest slots).
+    Local(u32),
+    This,
+    GetField { obj: Box<TExpr>, field: FieldSel },
+    GetStatic { class: ClassId, index: u32 },
+    /// Virtual (dynamically dispatched) call.
+    Call { recv: Box<TExpr>, method: MethodSel, args: Vec<TExpr> },
+    /// Non-virtual call to a statically known implementation (`super.m()`).
+    DirectCall { recv: Box<TExpr>, method: MethodSel, args: Vec<TExpr> },
+    /// Call to a static method.
+    StaticCall { class: ClassId, index: u32, args: Vec<TExpr> },
+    /// Object allocation + constructor run.
+    New { class: ClassId, targs: Vec<Type>, args: Vec<TExpr> },
+    NewArray { elem: Type, len: Box<TExpr> },
+    Index { arr: Box<TExpr>, idx: Box<TExpr> },
+    ArrayLen(Box<TExpr>),
+    Unary { op: UnOp, expr: Box<TExpr> },
+    /// Both operands already converted to `operand_kind`.
+    Binary { op: BinOp, operand_kind: PrimKind, lhs: Box<TExpr>, rhs: Box<TExpr> },
+    /// Reference equality (`==`/`!=` on references) — kept distinct so the
+    /// rules checker and engines can treat it specially.
+    RefEq { negated: bool, lhs: Box<TExpr>, rhs: Box<TExpr> },
+    /// Explicit numeric cast (may narrow).
+    NumCast { to: PrimKind, expr: Box<TExpr> },
+    /// Reference cast, checked at runtime by the interpreter.
+    RefCast { to: Type, expr: Box<TExpr> },
+    /// Implicit widening conversion inserted by the checker.
+    Convert { to: PrimKind, expr: Box<TExpr> },
+    InstanceOf { expr: Box<TExpr>, ty: Type },
+    Ternary { cond: Box<TExpr>, then_val: Box<TExpr>, else_val: Box<TExpr> },
+}
+
+impl TExpr {
+    /// Walk this expression tree, calling `f` on every node (pre-order).
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a TExpr)) {
+        f(self);
+        match &self.kind {
+            TExprKind::GetField { obj, .. } => obj.walk(f),
+            TExprKind::Call { recv, args, .. } | TExprKind::DirectCall { recv, args, .. } => {
+                recv.walk(f);
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            TExprKind::StaticCall { args, .. } | TExprKind::New { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            TExprKind::NewArray { len, .. } => len.walk(f),
+            TExprKind::Index { arr, idx } => {
+                arr.walk(f);
+                idx.walk(f);
+            }
+            TExprKind::ArrayLen(e)
+            | TExprKind::Unary { expr: e, .. }
+            | TExprKind::NumCast { expr: e, .. }
+            | TExprKind::RefCast { expr: e, .. }
+            | TExprKind::Convert { expr: e, .. }
+            | TExprKind::InstanceOf { expr: e, .. } => e.walk(f),
+            TExprKind::Binary { lhs, rhs, .. } | TExprKind::RefEq { lhs, rhs, .. } => {
+                lhs.walk(f);
+                rhs.walk(f);
+            }
+            TExprKind::Ternary { cond, then_val, else_val } => {
+                cond.walk(f);
+                then_val.walk(f);
+                else_val.walk(f);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl TBlock {
+    /// Walk all statements (pre-order), including nested blocks.
+    pub fn walk_stmts<'a>(&'a self, f: &mut impl FnMut(&'a TStmt)) {
+        for s in &self.stmts {
+            s.walk(f);
+        }
+    }
+
+    /// Walk all expressions contained anywhere in this block.
+    pub fn walk_exprs<'a>(&'a self, f: &mut impl FnMut(&'a TExpr)) {
+        self.walk_stmts(&mut |s| s.for_each_expr(f));
+    }
+}
+
+impl TStmt {
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a TStmt)) {
+        f(self);
+        match self {
+            TStmt::If { then_branch, else_branch, .. } => {
+                then_branch.walk_stmts(f);
+                if let Some(e) = else_branch {
+                    e.walk_stmts(f);
+                }
+            }
+            TStmt::While { body, .. } => body.walk_stmts(f),
+            TStmt::For { init, update, body, .. } => {
+                if let Some(i) = init {
+                    i.walk(f);
+                }
+                if let Some(u) = update {
+                    u.walk(f);
+                }
+                body.walk_stmts(f);
+            }
+            TStmt::Block(b) => b.walk_stmts(f),
+            _ => {}
+        }
+    }
+
+    /// Call `f` on each expression directly owned by this statement (not
+    /// descending into nested statements — combine with [`TStmt::walk`]).
+    pub fn for_each_expr<'a>(&'a self, f: &mut impl FnMut(&'a TExpr)) {
+        match self {
+            TStmt::Local { init: Some(e), .. } => e.walk(f),
+            TStmt::Local { init: None, .. } => {}
+            TStmt::AssignLocal { value, .. } => value.walk(f),
+            TStmt::AssignField { obj, value, .. } => {
+                obj.walk(f);
+                value.walk(f);
+            }
+            TStmt::AssignStatic { value, .. } => value.walk(f),
+            TStmt::AssignIndex { arr, idx, value, .. } => {
+                arr.walk(f);
+                idx.walk(f);
+                value.walk(f);
+            }
+            TStmt::Expr(e) => e.walk(f),
+            TStmt::If { cond, .. } => cond.walk(f),
+            TStmt::While { cond, .. } => cond.walk(f),
+            TStmt::For { cond, .. } => {
+                if let Some(c) = cond {
+                    c.walk(f);
+                }
+            }
+            TStmt::Return { value: Some(e), .. } => e.walk(f),
+            TStmt::Return { value: None, .. } => {}
+            TStmt::Break(_) | TStmt::Continue(_) | TStmt::Block(_) => {}
+        }
+    }
+
+    pub fn span(&self) -> Span {
+        match self {
+            TStmt::Local { span, .. }
+            | TStmt::AssignLocal { span, .. }
+            | TStmt::AssignField { span, .. }
+            | TStmt::AssignStatic { span, .. }
+            | TStmt::AssignIndex { span, .. }
+            | TStmt::If { span, .. }
+            | TStmt::While { span, .. }
+            | TStmt::For { span, .. }
+            | TStmt::Return { span, .. }
+            | TStmt::Break(span)
+            | TStmt::Continue(span) => *span,
+            TStmt::Expr(e) => e.span,
+            TStmt::Block(b) => b.stmts.first().map(|s| s.span()).unwrap_or_default(),
+        }
+    }
+}

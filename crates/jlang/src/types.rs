@@ -1,0 +1,191 @@
+//! Resolved (semantic) types and primitive-kind helpers.
+
+use std::fmt;
+
+/// Index of a class or interface in the [`crate::table::ClassTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(pub u32);
+
+/// `ClassId` of the implicit root class `Object`.
+pub const OBJECT: ClassId = ClassId(0);
+
+/// A fully resolved jlang type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    Void,
+    Int,
+    Long,
+    Float,
+    Double,
+    Boolean,
+    /// Class or interface type with (possibly empty) type arguments.
+    Object(ClassId, Vec<Type>),
+    Array(Box<Type>),
+    /// Type variable of the enclosing class, by index into its type params.
+    Var(u32),
+    /// The type of the `null` literal (assignable to any reference type).
+    Null,
+    /// `String` — only usable as a literal argument to `@Native` methods.
+    Str,
+}
+
+/// The primitive value kinds an engine actually computes with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrimKind {
+    Int,
+    Long,
+    Float,
+    Double,
+    Boolean,
+}
+
+impl PrimKind {
+    pub fn is_numeric(self) -> bool {
+        !matches!(self, PrimKind::Boolean)
+    }
+
+    /// Java binary numeric promotion: the wider of two numeric kinds.
+    pub fn promote(a: PrimKind, b: PrimKind) -> Option<PrimKind> {
+        use PrimKind::*;
+        if !a.is_numeric() || !b.is_numeric() {
+            return None;
+        }
+        Some(match (a, b) {
+            (Double, _) | (_, Double) => Double,
+            (Float, _) | (_, Float) => Float,
+            (Long, _) | (_, Long) => Long,
+            _ => Int,
+        })
+    }
+}
+
+impl Type {
+    pub fn object(id: ClassId) -> Type {
+        Type::Object(id, Vec::new())
+    }
+
+    pub fn array(elem: Type) -> Type {
+        Type::Array(Box::new(elem))
+    }
+
+    pub fn is_primitive(&self) -> bool {
+        matches!(self, Type::Int | Type::Long | Type::Float | Type::Double | Type::Boolean)
+    }
+
+    pub fn is_reference(&self) -> bool {
+        matches!(self, Type::Object(..) | Type::Array(_) | Type::Null | Type::Var(_))
+    }
+
+    pub fn prim_kind(&self) -> Option<PrimKind> {
+        Some(match self {
+            Type::Int => PrimKind::Int,
+            Type::Long => PrimKind::Long,
+            Type::Float => PrimKind::Float,
+            Type::Double => PrimKind::Double,
+            Type::Boolean => PrimKind::Boolean,
+            _ => return None,
+        })
+    }
+
+    /// Is an implicit widening conversion `from` -> `self` allowed
+    /// (identity included) between primitive types?
+    pub fn widens_from(&self, from: &Type) -> bool {
+        use Type::*;
+        if self == from {
+            return true;
+        }
+        matches!(
+            (from, self),
+            (Int, Long) | (Int, Float) | (Int, Double) | (Long, Float) | (Long, Double) | (Float, Double)
+        )
+    }
+
+    /// Substitute type variables using `args` (the type arguments of the
+    /// enclosing class instantiation).
+    pub fn subst(&self, args: &[Type]) -> Type {
+        match self {
+            Type::Var(i) => args
+                .get(*i as usize)
+                .cloned()
+                .unwrap_or(Type::Object(OBJECT, Vec::new())),
+            Type::Object(id, targs) => {
+                Type::Object(*id, targs.iter().map(|t| t.subst(args)).collect())
+            }
+            Type::Array(elem) => Type::Array(Box::new(elem.subst(args))),
+            other => other.clone(),
+        }
+    }
+
+    /// Does this type mention any type variable?
+    pub fn mentions_var(&self) -> bool {
+        match self {
+            Type::Var(_) => true,
+            Type::Object(_, args) => args.iter().any(Type::mentions_var),
+            Type::Array(e) => e.mentions_var(),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Void => write!(f, "void"),
+            Type::Int => write!(f, "int"),
+            Type::Long => write!(f, "long"),
+            Type::Float => write!(f, "float"),
+            Type::Double => write!(f, "double"),
+            Type::Boolean => write!(f, "boolean"),
+            Type::Object(id, args) => {
+                write!(f, "#{}", id.0)?;
+                if !args.is_empty() {
+                    write!(f, "<")?;
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{a}")?;
+                    }
+                    write!(f, ">")?;
+                }
+                Ok(())
+            }
+            Type::Array(e) => write!(f, "{e}[]"),
+            Type::Var(i) => write!(f, "T{i}"),
+            Type::Null => write!(f, "null"),
+            Type::Str => write!(f, "String"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widening_rules_match_java() {
+        assert!(Type::Long.widens_from(&Type::Int));
+        assert!(Type::Double.widens_from(&Type::Float));
+        assert!(Type::Float.widens_from(&Type::Long));
+        assert!(!Type::Int.widens_from(&Type::Long));
+        assert!(!Type::Float.widens_from(&Type::Double));
+        assert!(Type::Int.widens_from(&Type::Int));
+    }
+
+    #[test]
+    fn promotion_prefers_wider_kind() {
+        assert_eq!(PrimKind::promote(PrimKind::Int, PrimKind::Float), Some(PrimKind::Float));
+        assert_eq!(PrimKind::promote(PrimKind::Long, PrimKind::Int), Some(PrimKind::Long));
+        assert_eq!(PrimKind::promote(PrimKind::Double, PrimKind::Float), Some(PrimKind::Double));
+        assert_eq!(PrimKind::promote(PrimKind::Boolean, PrimKind::Int), None);
+    }
+
+    #[test]
+    fn substitution_replaces_vars_recursively() {
+        let t = Type::Array(Box::new(Type::Object(ClassId(3), vec![Type::Var(0)])));
+        let s = t.subst(&[Type::Float]);
+        assert_eq!(s, Type::Array(Box::new(Type::Object(ClassId(3), vec![Type::Float]))));
+        assert!(t.mentions_var());
+        assert!(!s.mentions_var());
+    }
+}

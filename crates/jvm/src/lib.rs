@@ -1,0 +1,300 @@
+//! # jvm — heap + tree-walking interpreter for jlang
+//!
+//! Plays two roles in the reproduction:
+//!
+//! 1. **The "Java" baseline.** Figures 3, 17, and 18 of the paper compare
+//!    WootinJ-translated code against the same program running on the JVM.
+//!    This interpreter *is* that series: objects on a heap, per-call
+//!    virtual dispatch from the receiver's runtime class, per-access field
+//!    indirection.
+//! 2. **Host-side object composition.** A WootinJ application composes its
+//!    component objects in ordinary Java before calling `jit()`; here the
+//!    host composes them in this interpreter's heap, and the translator
+//!    reads exact runtime types from the live object graph — exactly the
+//!    runtime-type-information-driven translation the paper describes.
+
+#![forbid(unsafe_code)]
+
+pub mod heap;
+pub mod interp;
+pub mod natives;
+
+pub use heap::{ArrRef, ArrayData, Heap, ObjData, ObjRef, Value};
+pub use interp::{CudaCtx, Jvm, JvmError, NativeFn};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jlang::compile_str;
+
+    fn run_static(src: &str, class: &str, method: &str, args: &[Value]) -> Value {
+        let table = compile_str(src).expect("compile");
+        let mut jvm = Jvm::new(&table).expect("jvm");
+        jvm.call_static(class, method, args).expect("call")
+    }
+
+    #[test]
+    fn arithmetic_and_control_flow() {
+        let v = run_static(
+            "class A { static int sum(int n) { int s = 0; \
+             for (int i = 1; i <= n; i++) { s += i; } return s; } }",
+            "A",
+            "sum",
+            &[Value::Int(100)],
+        );
+        assert_eq!(v, Value::Int(5050));
+    }
+
+    #[test]
+    fn while_break_continue() {
+        let v = run_static(
+            "class A { static int m() { int s = 0; int i = 0; \
+             while (true) { i++; if (i > 10) { break; } if (i % 2 == 0) { continue; } s += i; } \
+             return s; } }",
+            "A",
+            "m",
+            &[],
+        );
+        assert_eq!(v, Value::Int(25)); // 1+3+5+7+9
+    }
+
+    #[test]
+    fn int_wrapping_matches_java() {
+        let v = run_static(
+            "class A { static int m() { int x = 2147483647; return x + 1; } }",
+            "A",
+            "m",
+            &[],
+        );
+        assert_eq!(v, Value::Int(i32::MIN));
+    }
+
+    #[test]
+    fn float_vs_double_precision() {
+        let v = run_static(
+            "class A { static float m() { float x = 1.0f; return x / 3.0f; } }",
+            "A",
+            "m",
+            &[],
+        );
+        assert_eq!(v, Value::Float(1.0f32 / 3.0f32));
+    }
+
+    #[test]
+    fn division_by_zero_is_error() {
+        let table = compile_str("class A { static int m(int d) { return 10 / d; } }").unwrap();
+        let mut jvm = Jvm::new(&table).unwrap();
+        let err = jvm.call_static("A", "m", &[Value::Int(0)]).unwrap_err();
+        assert!(err.message.contains("division"), "{err}");
+    }
+
+    #[test]
+    fn object_construction_and_virtual_dispatch() {
+        let src = "interface Shape { double area(); } \
+             class Square implements Shape { double s; Square(double s0) { s = s0; } \
+               double area() { return s * s; } } \
+             class Circle implements Shape { double r; Circle(double r0) { r = r0; } \
+               double area() { return 3.14159 * r * r; } } \
+             class Main { static double total(Shape a, Shape b) { return a.area() + b.area(); } }";
+        let table = compile_str(src).unwrap();
+        let mut jvm = Jvm::new(&table).unwrap();
+        let sq = jvm.new_instance("Square", &[Value::Double(2.0)]).unwrap();
+        let ci = jvm.new_instance("Circle", &[Value::Double(1.0)]).unwrap();
+        let v = jvm.call_static("Main", "total", &[sq, ci]).unwrap();
+        match v {
+            Value::Double(d) => assert!((d - (4.0 + 3.14159)).abs() < 1e-9),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn override_dispatches_to_runtime_class() {
+        let src = "class Base { int m() { return 1; } int call() { return m(); } } \
+                   class Sub extends Base { int m() { return 2; } }";
+        let table = compile_str(src).unwrap();
+        let mut jvm = Jvm::new(&table).unwrap();
+        let sub = jvm.new_instance("Sub", &[]).unwrap();
+        assert_eq!(jvm.call(&sub, "call", &[]).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn super_call_is_not_virtual() {
+        let src = "class Base { int m() { return 1; } } \
+                   class Sub extends Base { int m() { return super.m() + 10; } }";
+        let table = compile_str(src).unwrap();
+        let mut jvm = Jvm::new(&table).unwrap();
+        let sub = jvm.new_instance("Sub", &[]).unwrap();
+        assert_eq!(jvm.call(&sub, "m", &[]).unwrap(), Value::Int(11));
+    }
+
+    #[test]
+    fn ctor_order_super_then_inits_then_body() {
+        let src = "class Base { int a; Base() { a = 1; } } \
+                   class Sub extends Base { int b = 10; int c; Sub() { super(); c = a + b; } }";
+        let table = compile_str(src).unwrap();
+        let mut jvm = Jvm::new(&table).unwrap();
+        let sub = jvm.new_instance("Sub", &[]).unwrap();
+        assert_eq!(jvm.get_field(&sub, "c").unwrap(), Value::Int(11));
+    }
+
+    #[test]
+    fn arrays_end_to_end() {
+        let src = "class A { static float sum(float[] xs) { float s = 0f; \
+                   for (int i = 0; i < xs.length; i++) { s += xs[i]; } return s; } \
+                   static float[] iota(int n) { float[] a = new float[n]; \
+                   for (int i = 0; i < n; i++) { a[i] = i; } return a; } }";
+        let table = compile_str(src).unwrap();
+        let mut jvm = Jvm::new(&table).unwrap();
+        let arr = jvm.call_static("A", "iota", &[Value::Int(5)]).unwrap();
+        assert_eq!(jvm.f32_array(&arr).unwrap(), vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        let s = jvm.call_static("A", "sum", &[arr]).unwrap();
+        assert_eq!(s, Value::Float(10.0));
+    }
+
+    #[test]
+    fn out_of_bounds_is_error() {
+        let table = compile_str("class A { static int m(int[] a) { return a[5]; } }").unwrap();
+        let mut jvm = Jvm::new(&table).unwrap();
+        let arr = jvm.new_i32_array(&[1, 2, 3]);
+        let err = jvm.call_static("A", "m", &[arr]).unwrap_err();
+        assert!(err.message.contains("out of bounds"), "{err}");
+    }
+
+    #[test]
+    fn null_dereference_is_error() {
+        let table =
+            compile_str("class B { int x; } class A { static int m(B b) { return b.x; } }")
+                .unwrap();
+        let mut jvm = Jvm::new(&table).unwrap();
+        let err = jvm.call_static("A", "m", &[Value::Null]).unwrap_err();
+        assert!(err.message.contains("null"), "{err}");
+    }
+
+    #[test]
+    fn stack_overflow_detected() {
+        let table =
+            compile_str("class A { static int inf(int n) { return inf(n + 1); } }").unwrap();
+        let mut jvm = Jvm::new(&table).unwrap();
+        let err = jvm.call_static("A", "inf", &[Value::Int(0)]).unwrap_err();
+        assert!(err.message.contains("stack overflow"), "{err}");
+    }
+
+    #[test]
+    fn statics_initialized_eagerly() {
+        let src = "class A { static final int N = 6 * 7; static int n() { return N; } }";
+        assert_eq!(run_static(src, "A", "n", &[]), Value::Int(42));
+    }
+
+    #[test]
+    fn generics_run_erased() {
+        let src = "class Cell { float v; Cell(float v0) { v = v0; } float val() { return v; } } \
+                   class Box<T extends Cell> { T item; Box(T i) { item = i; } T get() { return item; } } \
+                   class A { static float m() { Box<Cell> b = new Box<Cell>(new Cell(2.5f)); \
+                     return b.get().val(); } }";
+        assert_eq!(run_static(src, "A", "m", &[]), Value::Float(2.5));
+    }
+
+    #[test]
+    fn math_natives() {
+        let src = "class Math2 { @Native(\"math.sqrt\") static double sqrt(double x); } \
+                   class A { static double m() { return Math2.sqrt(16.0); } }";
+        assert_eq!(run_static(src, "A", "m", &[]), Value::Double(4.0));
+    }
+
+    #[test]
+    fn print_native_collects_output() {
+        let src = "class WJ2 { @Native(\"wj.printInt\") static void printInt(int x); } \
+                   class A { static void m() { WJ2.printInt(7); WJ2.printInt(8); } }";
+        let table = compile_str(src).unwrap();
+        let mut jvm = Jvm::new(&table).unwrap();
+        jvm.call_static("A", "m", &[]).unwrap();
+        assert_eq!(jvm.output, vec!["7", "8"]);
+    }
+
+    #[test]
+    fn mpi_single_rank_emulation() {
+        let src = "class MPI2 { @Native(\"mpi.rank\") static int rank(); \
+                     @Native(\"mpi.size\") static int size(); } \
+                   class A { static int m() { return MPI2.rank() + MPI2.size() * 100; } }";
+        assert_eq!(run_static(src, "A", "m", &[]), Value::Int(100));
+    }
+
+    #[test]
+    fn cuda_copy_emulation_is_a_real_copy() {
+        let src = "class CUDA2 { @Native(\"cuda.copyToGPU\") static float[] copyToGPU(float[] a); } \
+                   class A { static float m(float[] host) { \
+                     float[] dev = CUDA2.copyToGPU(host); dev[0] = 99f; return host[0]; } }";
+        let table = compile_str(src).unwrap();
+        let mut jvm = Jvm::new(&table).unwrap();
+        let host = jvm.new_f32_array(&[1.0, 2.0]);
+        // Mutating the device copy must not affect the host array.
+        assert_eq!(jvm.call_static("A", "m", &[host]).unwrap(), Value::Float(1.0));
+    }
+
+    #[test]
+    fn global_kernel_emulated_over_grid() {
+        // A one-point stencil kernel, emulated sequentially: Listing 4 shape.
+        let src = "
+            class dim3 { int x; int y; int z; dim3(int x0) { x = x0; y = 1; z = 1; } }
+            class CudaConfig { dim3 grid; dim3 block; CudaConfig(dim3 g, dim3 b) { grid = g; block = b; } }
+            class CUDA3 { @Native(\"cuda.threadIdxX\") static int threadIdxX();
+                          @Native(\"cuda.blockIdxX\") static int blockIdxX();
+                          @Native(\"cuda.blockDimX\") static int blockDimX(); }
+            class Kern {
+              float scale; Kern(float s) { scale = s; }
+              @Global void run(CudaConfig conf, float[] a) {
+                int i = CUDA3.blockIdxX() * CUDA3.blockDimX() + CUDA3.threadIdxX();
+                if (i < a.length) { a[i] = a[i] * scale; }
+              }
+              void launch(float[] a, int blocks, int threads) {
+                CudaConfig conf = new CudaConfig(new dim3(blocks), new dim3(threads));
+                run(conf, a);
+              } }";
+        let table = compile_str(src).unwrap();
+        let mut jvm = Jvm::new(&table).unwrap();
+        let k = jvm.new_instance("Kern", &[Value::Float(2.0)]).unwrap();
+        let a = jvm.new_f32_array(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        jvm.call(&k, "launch", &[a.clone(), Value::Int(2), Value::Int(3)]).unwrap();
+        assert_eq!(jvm.f32_array(&a).unwrap(), vec![2.0, 4.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn steps_counter_is_deterministic_and_monotone() {
+        let src = "class A { static int m(int n) { int s = 0; \
+                   for (int i = 0; i < n; i++) { s += i; } return s; } }";
+        let table = compile_str(src).unwrap();
+        let mut jvm1 = Jvm::new(&table).unwrap();
+        jvm1.call_static("A", "m", &[Value::Int(100)]).unwrap();
+        let mut jvm2 = Jvm::new(&table).unwrap();
+        jvm2.call_static("A", "m", &[Value::Int(100)]).unwrap();
+        assert_eq!(jvm1.steps, jvm2.steps);
+        let mut jvm3 = Jvm::new(&table).unwrap();
+        jvm3.call_static("A", "m", &[Value::Int(200)]).unwrap();
+        assert!(jvm3.steps > jvm1.steps);
+    }
+
+    #[test]
+    fn ref_cast_checked_at_runtime() {
+        let src = "class Base { } class Sub extends Base { } class Other extends Base { } \
+                   class A { static Sub m(Base b) { return (Sub) b; } }";
+        let table = compile_str(src).unwrap();
+        let mut jvm = Jvm::new(&table).unwrap();
+        let sub = jvm.new_instance("Sub", &[]).unwrap();
+        assert!(jvm.call_static("A", "m", &[sub]).is_ok());
+        let other = jvm.new_instance("Other", &[]).unwrap();
+        let err = jvm.call_static("A", "m", &[other]).unwrap_err();
+        assert!(err.message.contains("cast"), "{err}");
+    }
+
+    #[test]
+    fn short_circuit_evaluation() {
+        // The RHS would divide by zero if evaluated.
+        let v = run_static(
+            "class A { static boolean m(int d) { return d == 0 || 10 / d > 1; } }",
+            "A",
+            "m",
+            &[Value::Int(0)],
+        );
+        assert_eq!(v, Value::Bool(true));
+    }
+}

@@ -1,0 +1,245 @@
+//! Additional interpreter coverage: Java-exact semantics for the corners
+//! the benchmarks lean on — compound assignment on array elements, shift
+//! masking, long/int interplay, inheritance chains, and control flow.
+
+use jlang::compile_str;
+use jvm::{Jvm, Value};
+
+fn run(src: &str, class: &str, method: &str, args: &[Value]) -> Value {
+    let table = compile_str(src).expect("compile");
+    let mut jvm = Jvm::new(&table).expect("jvm");
+    jvm.call_static(class, method, args).expect("call")
+}
+
+#[test]
+fn compound_assignment_on_array_elements() {
+    let v = run(
+        "class A { static float m() { float[] a = new float[3]; a[0] = 1f; \
+         a[0] += 2f; a[0] *= 3f; a[1] -= 4f; a[2] /= 2f; return a[0] + a[1] + a[2]; } }",
+        "A",
+        "m",
+        &[],
+    );
+    assert_eq!(v, Value::Float(9.0 - 4.0 + 0.0));
+}
+
+#[test]
+fn shift_amounts_mask_like_java() {
+    // Java: x << 33 == x << 1 for ints (amount masked & 31).
+    assert_eq!(
+        run("class A { static int m() { return 1 << 33; } }", "A", "m", &[]),
+        Value::Int(2)
+    );
+    assert_eq!(
+        run("class A { static long m() { return 1L << 65; } }", "A", "m", &[]),
+        Value::Long(2)
+    );
+    // Arithmetic (sign-propagating) right shift.
+    assert_eq!(
+        run("class A { static int m() { return -8 >> 1; } }", "A", "m", &[]),
+        Value::Int(-4)
+    );
+}
+
+#[test]
+fn integer_division_truncates_toward_zero() {
+    assert_eq!(run("class A { static int m() { return -7 / 2; } }", "A", "m", &[]), Value::Int(-3));
+    assert_eq!(run("class A { static int m() { return -7 % 2; } }", "A", "m", &[]), Value::Int(-1));
+}
+
+#[test]
+fn float_rem_matches_ieee() {
+    let v = run("class A { static float m() { return 5.5f % 2f; } }", "A", "m", &[]);
+    assert_eq!(v, Value::Float(5.5f32 % 2.0));
+}
+
+#[test]
+fn long_to_int_narrowing_wraps() {
+    let v = run(
+        "class A { static int m() { long big = 4294967298L; return (int) big; } }",
+        "A",
+        "m",
+        &[],
+    );
+    assert_eq!(v, Value::Int(2));
+}
+
+#[test]
+fn int_to_float_conversion_in_mixed_arithmetic() {
+    // 1/2 in int is 0; 1/2f is 0.5.
+    assert_eq!(run("class A { static int m() { return 1 / 2; } }", "A", "m", &[]), Value::Int(0));
+    assert_eq!(
+        run("class A { static float m() { return 1 / 2f; } }", "A", "m", &[]),
+        Value::Float(0.5)
+    );
+}
+
+#[test]
+fn three_level_inheritance_with_field_and_method_mix() {
+    let src = "
+        class A { int base; A(int b) { base = b; } int tag() { return 1; } }
+        class B extends A { B(int b) { super(b + 10); } int tag() { return 2; } }
+        class C extends B { C() { super(100); } int tag() { return super.tag() * 10 + base; } }
+        class Main { static int m() { C c = new C(); return c.tag(); } }";
+    // base = 100 + 10 = 110; super.tag() = B.tag() = 2 -> 2*10 + 110 = 130.
+    assert_eq!(run(src, "Main", "m", &[]), Value::Int(130));
+}
+
+#[test]
+fn interface_default_dispatch_across_hierarchy() {
+    let src = "
+        interface Sound { int decibels(); }
+        abstract class Animal implements Sound { int volume() { return decibels() * 2; } }
+        class Dog extends Animal { int decibels() { return 30; } }
+        class Main { static int m() { Dog d = new Dog(); return d.volume(); } }";
+    assert_eq!(run(src, "Main", "m", &[]), Value::Int(60));
+}
+
+#[test]
+fn nested_loops_with_labelsless_break_continue() {
+    let src = "
+        class A { static int m() {
+          int s = 0;
+          for (int i = 0; i < 5; i++) {
+            for (int j = 0; j < 5; j++) {
+              if (j > i) { break; }
+              if (j % 2 == 1) { continue; }
+              s += 1;
+            }
+          }
+          return s;
+        } }";
+    // inner runs j=0..=i, counting even j: i=0:1, 1:1, 2:2, 3:2, 4:3 = 9.
+    assert_eq!(run(src, "A", "m", &[]), Value::Int(9));
+}
+
+#[test]
+fn for_update_runs_after_continue() {
+    let src = "
+        class A { static int m() {
+          int s = 0;
+          for (int i = 0; i < 6; i++) {
+            if (i % 2 == 0) { continue; }
+            s += i;
+          }
+          return s;
+        } }";
+    assert_eq!(run(src, "A", "m", &[]), Value::Int(1 + 3 + 5));
+}
+
+#[test]
+fn instance_state_is_per_object() {
+    let src = "
+        class Counter { float[] slots; Counter() { slots = new float[1]; }
+          void bump() { slots[0] += 1f; } float get() { return slots[0]; } }
+        class Main { static float m() {
+          Counter a = new Counter();
+          Counter b = new Counter();
+          a.bump(); a.bump(); b.bump();
+          return a.get() * 10f + b.get();
+        } }";
+    assert_eq!(run(src, "Main", "m", &[]), Value::Float(21.0));
+}
+
+#[test]
+fn arrays_are_reference_values() {
+    let src = "
+        class A { static float m() {
+          float[] x = new float[2];
+          float[] y = x;
+          y[0] = 5f;
+          return x[0];
+        } }";
+    assert_eq!(run(src, "A", "m", &[]), Value::Float(5.0));
+}
+
+#[test]
+fn negative_array_size_is_an_error() {
+    let table = compile_str(
+        "class A { static void m(int n) { float[] a = new float[n]; a[0] = 1f; } }",
+    )
+    .unwrap();
+    let mut jvm = Jvm::new(&table).unwrap();
+    let err = jvm.call_static("A", "m", &[Value::Int(-3)]).unwrap_err();
+    assert!(err.message.contains("negative"), "{err}");
+}
+
+#[test]
+fn ternary_evaluates_only_one_branch() {
+    // The untaken branch would divide by zero.
+    let src = "class A { static int m(int d) { int r = d == 0 ? -1 : 10 / d; return r; } }";
+    assert_eq!(run(src, "A", "m", &[Value::Int(0)]), Value::Int(-1));
+    assert_eq!(run(src, "A", "m", &[Value::Int(5)]), Value::Int(2));
+}
+
+#[test]
+fn instanceof_and_refeq_in_unrestricted_code() {
+    let src = "
+        class Base { } class Sub extends Base { }
+        class A { static boolean m() {
+          Base b = new Sub();
+          Base c = b;
+          boolean same = b == c;
+          boolean isSub = b instanceof Sub;
+          boolean notNull = b != null;
+          return same && isSub && notNull;
+        } }";
+    assert_eq!(run(src, "A", "m", &[]), Value::Bool(true));
+}
+
+#[test]
+fn double_precision_accumulation() {
+    let src = "
+        class A { static double m(int n) {
+          double s = 0.0;
+          for (int i = 0; i < n; i++) { s += 0.1; }
+          return s;
+        } }";
+    let v = run(src, "A", "m", &[Value::Int(10)]);
+    match v {
+        Value::Double(d) => {
+            let mut want = 0.0f64;
+            for _ in 0..10 {
+                want += 0.1;
+            }
+            assert_eq!(d, want);
+        }
+        other => panic!("unexpected {other}"),
+    }
+}
+
+#[test]
+fn field_initializer_sees_ctor_params_order() {
+    // Field inits run after super, before body; they cannot read ctor
+    // params (different frame) but the body can overwrite them.
+    let src = "
+        class A { int x = 5; int y; A(int v) { y = x + v; } }
+        class Main { static int m() { A a = new A(2); return a.y; } }";
+    assert_eq!(run(src, "Main", "m", &[]), Value::Int(7));
+}
+
+#[test]
+fn kernel_emulation_respects_bounds_guard() {
+    // Grid overshoot with a guard writes only valid cells.
+    let src = "
+        class Kern {
+          Kern() { }
+          @Global void k(CudaConfig conf, float[] a) {
+            int i = CUDA.blockIdxX() * CUDA.blockDimX() + CUDA.threadIdxX();
+            if (i < a.length) { a[i] = 1f; }
+          }
+          float run(float[] a) {
+            CudaConfig conf = new CudaConfig(new dim3(4, 1, 1), new dim3(8, 1, 1));
+            k(conf, a);
+            float s = 0f;
+            for (int i = 0; i < a.length; i++) { s += a[i]; }
+            return s;
+          }
+        }";
+    let table = wootinj::build_table(&[("kern.jl", src)]).unwrap();
+    let mut jvm = Jvm::new(&table).unwrap();
+    let k = jvm.new_instance("Kern", &[]).unwrap();
+    let a = jvm.new_f32_array(&[0.0; 10]); // 32 threads, 10 cells
+    let v = jvm.call(&k, "run", &[a]).unwrap();
+    assert_eq!(v, Value::Float(10.0));
+}

@@ -1,0 +1,892 @@
+//! # mpi-sim — simulated MPI ranks with a LogP-style cost model
+//!
+//! Each rank is a resumable [`exec::Thread`] with its **own memory space**
+//! (a separate [`exec::Machine`]) and optionally its own simulated GPU —
+//! one GPU per node, as on the paper's TSUBAME 2.0 nodes. Ranks are
+//! scheduled cooperatively and deterministically in a single host thread:
+//! a rank runs until it blocks on communication, finishes, or exhausts its
+//! fuel slice.
+//!
+//! **Virtual time.** Every rank carries a virtual clock: executed cycles
+//! advance it; a message costs `alpha + beta·bytes` and its receiver's
+//! clock is pulled up to the sender's completion time (Lamport-style);
+//! collectives synchronize all clocks to the maximum plus a collective
+//! cost. The weak/strong-scaling figures are plotted in this deterministic
+//! virtual time — on a one-core host, wall-clock "parallel" runs would
+//! measure the host scheduler, not the algorithm.
+//!
+//! This `World` is also the general runtime driver used for single-rank
+//! programs (with or without a GPU): `size == 1` gives `rank()==0`,
+//! collectives become identities, and self-messages still match.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{HashMap, VecDeque};
+
+use exec::{run, ArrStore, HostRegistry, Machine, Thread, Val, Yield};
+use gpu_sim::{Gpu, GpuConfig};
+use nir::{FuncId, IntrinOp, Program};
+
+/// Communication cost model (cycles).
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Per-message latency.
+    pub alpha: u64,
+    /// Per-byte cost (inverse bandwidth).
+    pub beta: f64,
+    /// Base cost of a collective (barrier/allreduce/bcast).
+    pub collective_alpha: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        // Shaped after a fat-tree InfiniBand fabric relative to ~1 cycle
+        // per scalar op: ~2 µs latency, ~5 GB/s effective per-link.
+        CostModel { alpha: 4_000, beta: 0.4, collective_alpha: 8_000 }
+    }
+}
+
+/// Simulation error, tagged with the offending rank when known.
+#[derive(Debug)]
+pub struct SimError {
+    pub message: String,
+    pub rank: Option<u32>,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.rank {
+            Some(r) => write!(f, "mpi-sim error on rank {r}: {}", self.message),
+            None => write!(f, "mpi-sim error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+fn err_on(rank: u32, message: impl Into<String>) -> SimError {
+    SimError { message: message.into(), rank: Some(rank) }
+}
+
+/// Outcome of one rank.
+#[derive(Debug)]
+pub struct RankOutcome {
+    pub result: Option<Val>,
+    /// Final virtual clock (compute + communication).
+    pub vclock: u64,
+    /// Cycles spent computing.
+    pub compute_cycles: u64,
+    /// Virtual time spent in communication and GPU waits.
+    pub comm_cycles: u64,
+    pub output: Vec<String>,
+    /// The rank's final memory space (for reading back results).
+    pub machine: Machine,
+    /// Device time if this rank had a GPU.
+    pub gpu_time: u64,
+}
+
+/// Outcome of a whole-world run.
+#[derive(Debug)]
+pub struct WorldRun {
+    pub ranks: Vec<RankOutcome>,
+    /// Completion time of the slowest rank — the figure-of-merit plotted
+    /// by the scalability experiments.
+    pub vtime: u64,
+    /// Total executed cycles across ranks.
+    pub total_cycles: u64,
+}
+
+/// (from, to, tag) -> FIFO of (payload, available_at).
+type MsgQueues = HashMap<(u32, u32, i32), VecDeque<(Vec<f32>, u64)>>;
+
+#[derive(Debug)]
+enum Blocked {
+    Recv { buf: u32, off: usize, count: usize, src: u32, tag: i32 },
+    Barrier,
+    Allreduce,
+    Bcast { buf: u32, off: usize, count: usize, root: u32 },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum AllOp {
+    SumF64,
+    SumF32,
+    MaxF64,
+}
+
+struct Rank {
+    thread: Thread,
+    machine: Machine,
+    gpu: Option<Gpu>,
+    vclock: u64,
+    compute_cycles: u64,
+    comm_cycles: u64,
+    last_cycles: u64,
+    blocked: Option<Blocked>,
+    done: Option<Option<Val>>,
+}
+
+/// A simulated MPI world over a translated program.
+pub struct World<'p> {
+    pub program: &'p Program,
+    pub size: u32,
+    pub cost: CostModel,
+    /// One GPU per rank when set (the paper's GPU experiments).
+    pub gpu: Option<GpuConfig>,
+    /// Fuel per scheduling slice.
+    pub slice: u64,
+    /// Registered foreign functions (the paper's FFI); `CallHost`
+    /// instructions are resolved against this by key.
+    pub host: Option<&'p HostRegistry>,
+}
+
+impl<'p> World<'p> {
+    pub fn new(program: &'p Program, size: u32) -> Self {
+        World {
+            program,
+            size,
+            cost: CostModel::default(),
+            gpu: None,
+            slice: 4_000_000,
+            host: None,
+        }
+    }
+
+    pub fn with_host(mut self, host: &'p HostRegistry) -> Self {
+        self.host = Some(host);
+        self
+    }
+
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    pub fn with_gpu(mut self, gpu: GpuConfig) -> Self {
+        self.gpu = Some(gpu);
+        self
+    }
+
+    fn msg_cost(&self, bytes: u64) -> u64 {
+        self.cost.alpha + (bytes as f64 * self.cost.beta) as u64
+    }
+
+    /// Run `entry` on every rank. `make_args` builds each rank's entry
+    /// arguments *into that rank's own memory space* (deep copies).
+    pub fn run(
+        &self,
+        entry: FuncId,
+        mut make_args: impl FnMut(u32, &mut Machine) -> Result<Vec<Val>, String>,
+    ) -> Result<WorldRun, SimError> {
+        let mut ranks: Vec<Rank> = Vec::with_capacity(self.size as usize);
+        for r in 0..self.size {
+            let mut machine = Machine::with_globals(self.program);
+            let args = make_args(r, &mut machine)
+                .map_err(|m| err_on(r, format!("building entry args: {m}")))?;
+            let thread = Thread::new(self.program, entry, args)
+                .map_err(|e| err_on(r, e.to_string()))?;
+            ranks.push(Rank {
+                thread,
+                machine,
+                gpu: self.gpu.map(Gpu::new),
+                vclock: 0,
+                compute_cycles: 0,
+                comm_cycles: 0,
+                last_cycles: 0,
+                blocked: None,
+                done: None,
+            });
+        }
+
+        // Message queues: (from, to, tag) -> FIFO of (payload, available_at).
+        let mut messages: MsgQueues = HashMap::new();
+        // Collective rendezvous state.
+        let mut barrier_waiters: Vec<u32> = Vec::new();
+        let mut allreduce: Vec<(u32, AllOp, Val)> = Vec::new();
+        let mut bcast_waiters: Vec<u32> = Vec::new();
+
+        loop {
+            let mut progress = false;
+
+            // 1. Try to unblock receivers / collectives.
+            #[allow(clippy::needless_range_loop)] // r is also a rank id
+            for r in 0..self.size as usize {
+                let Some(blocked) = ranks[r].blocked.as_ref() else { continue };
+                match *blocked {
+                    Blocked::Recv { buf, off, count, src, tag } => {
+                        let key = (src, r as u32, tag);
+                        let ready =
+                            messages.get_mut(&key).and_then(|q| q.pop_front());
+                        if let Some((payload, avail_at)) = ready {
+                            if payload.len() != count {
+                                return Err(err_on(
+                                    r as u32,
+                                    format!(
+                                        "recv of {count} floats matched a message of {}",
+                                        payload.len()
+                                    ),
+                                ));
+                            }
+                            write_floats(&mut ranks[r].machine, buf, off, &payload)
+                                .map_err(|m| err_on(r as u32, m))?;
+                            let rank = &mut ranks[r];
+                            let arrival = rank.vclock.max(avail_at);
+                            rank.comm_cycles += arrival - rank.vclock;
+                            rank.vclock = arrival;
+                            rank.blocked = None;
+                            rank.thread.resume_with(Val::Unit);
+                            progress = true;
+                        }
+                    }
+                    Blocked::Barrier => {}
+                    Blocked::Allreduce => {}
+                    Blocked::Bcast { .. } => {}
+                }
+            }
+
+            // 2. Complete collectives when everyone arrived.
+            let live = ranks.iter().filter(|r| r.done.is_none()).count() as u32;
+            if !barrier_waiters.is_empty() && barrier_waiters.len() as u32 == live {
+                let t = self.complete_collective(&mut ranks, &barrier_waiters);
+                for &r in &barrier_waiters {
+                    let rank = &mut ranks[r as usize];
+                    rank.vclock = t;
+                    rank.blocked = None;
+                    rank.thread.resume_with(Val::Unit);
+                }
+                barrier_waiters.clear();
+                progress = true;
+            }
+            if !allreduce.is_empty() && allreduce.len() as u32 == live {
+                let participants: Vec<u32> = allreduce.iter().map(|(r, _, _)| *r).collect();
+                let t = self.complete_collective(&mut ranks, &participants);
+                let op = allreduce[0].1;
+                let combined = combine(op, &allreduce).map_err(|m| SimError {
+                    message: m,
+                    rank: None,
+                })?;
+                for &(r, _, _) in allreduce.iter() {
+                    let rank = &mut ranks[r as usize];
+                    rank.vclock = t;
+                    rank.blocked = None;
+                    rank.thread.resume_with(combined);
+                }
+                allreduce.clear();
+                progress = true;
+            }
+            if !bcast_waiters.is_empty() && bcast_waiters.len() as u32 == live {
+                // Copy the root's payload into everyone else's buffer.
+                let (root, count) = {
+                    let Some(Blocked::Bcast { root, count, .. }) =
+                        &ranks[bcast_waiters[0] as usize].blocked
+                    else {
+                        return Err(SimError {
+                            message: "inconsistent bcast state".into(),
+                            rank: None,
+                        });
+                    };
+                    (*root, *count)
+                };
+                let payload = {
+                    let Some(Blocked::Bcast { buf, off, .. }) =
+                        &ranks[root as usize].blocked
+                    else {
+                        return Err(err_on(root, "bcast root is not at the bcast"));
+                    };
+                    read_floats(&ranks[root as usize].machine, *buf, *off, count)
+                        .map_err(|m| err_on(root, m))?
+                };
+                let t = self.complete_collective(&mut ranks, &bcast_waiters)
+                    + self.msg_cost((count * 4) as u64);
+                for &r in &bcast_waiters {
+                    let rank = &mut ranks[r as usize];
+                    if r != root {
+                        let Some(Blocked::Bcast { buf, off, .. }) = &rank.blocked else {
+                            unreachable!()
+                        };
+                        let (buf, off) = (*buf, *off);
+                        write_floats(&mut rank.machine, buf, off, &payload)
+                            .map_err(|m| err_on(r, m))?;
+                    }
+                    rank.vclock = t;
+                    rank.blocked = None;
+                    rank.thread.resume_with(Val::Unit);
+                }
+                bcast_waiters.clear();
+                progress = true;
+            }
+
+            // 3. Run runnable ranks for a slice.
+            for r in 0..self.size as usize {
+                if ranks[r].done.is_some() || ranks[r].blocked.is_some() {
+                    continue;
+                }
+                progress = true;
+                let y = {
+                    let rank = &mut ranks[r];
+                    let y = run(&mut rank.thread, self.program, &mut rank.machine, self.slice)
+                        .map_err(|e| err_on(r as u32, e.to_string()))?;
+                    let delta = rank.machine.counters.cycles - rank.last_cycles;
+                    rank.last_cycles = rank.machine.counters.cycles;
+                    rank.vclock += delta;
+                    rank.compute_cycles += delta;
+                    y
+                };
+                match y {
+                    Yield::Done(v) => ranks[r].done = Some(v),
+                    Yield::OutOfFuel => {}
+                    Yield::Sync | Yield::SharedAlloc { .. } => {
+                        return Err(err_on(
+                            r as u32,
+                            "__syncthreads / __shared__ outside a kernel launch",
+                        ));
+                    }
+                    Yield::Launch { kernel, grid, block, args } => {
+                        let rank = &mut ranks[r];
+                        let gpu = rank.gpu.as_mut().ok_or_else(|| {
+                            err_on(r as u32, "kernel launch but no GPU configured for this run")
+                        })?;
+                        let stats = gpu
+                            .launch(self.program, kernel, grid, block, args)
+                            .map_err(|e| err_on(r as u32, e.to_string()))?;
+                        rank.vclock += stats.kernel_time;
+                        rank.comm_cycles += stats.kernel_time;
+                    }
+                    Yield::GpuMem { op, args } => {
+                        self.service_gpu_mem(&mut ranks[r], r as u32, op, args)?;
+                    }
+                    Yield::Host { host, args } => {
+                        let rank = &mut ranks[r];
+                        let sig = self
+                            .program
+                            .host_fns
+                            .get(host as usize)
+                            .ok_or_else(|| err_on(r as u32, "unknown host function"))?;
+                        let registry = self.host.ok_or_else(|| {
+                            err_on(
+                                r as u32,
+                                format!("foreign function `{}` called but no host registry configured", sig.name),
+                            )
+                        })?;
+                        let id = registry.id_of(&sig.name).ok_or_else(|| {
+                            err_on(r as u32, format!("foreign function `{}` is not registered", sig.name))
+                        })?;
+                        let v = registry
+                            .call(id, &args, &mut rank.machine.mem)
+                            .map_err(|m| err_on(r as u32, format!("in `{}`: {m}", sig.name)))?;
+                        rank.thread.resume_with(v);
+                    }
+                    Yield::Mpi { op, args } => {
+                        self.service_mpi(
+                            &mut ranks,
+                            r as u32,
+                            op,
+                            args,
+                            &mut messages,
+                            &mut barrier_waiters,
+                            &mut allreduce,
+                            &mut bcast_waiters,
+                        )?;
+                    }
+                }
+            }
+
+            if ranks.iter().all(|r| r.done.is_some()) {
+                break;
+            }
+            if !progress {
+                let states: Vec<String> = ranks
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| {
+                        format!(
+                            "rank {i}: {}",
+                            match (&r.done, &r.blocked) {
+                                (Some(_), _) => "done".to_string(),
+                                (_, Some(b)) => format!("blocked on {b:?}"),
+                                _ => "runnable?".to_string(),
+                            }
+                        )
+                    })
+                    .collect();
+                return Err(SimError {
+                    message: format!("deadlock detected:\n{}", states.join("\n")),
+                    rank: None,
+                });
+            }
+        }
+
+        let vtime = ranks.iter().map(|r| r.vclock).max().unwrap_or(0);
+        let total_cycles = ranks.iter().map(|r| r.compute_cycles).sum();
+        Ok(WorldRun {
+            ranks: ranks
+                .into_iter()
+                .map(|r| RankOutcome {
+                    result: r.done.flatten(),
+                    vclock: r.vclock,
+                    compute_cycles: r.compute_cycles,
+                    comm_cycles: r.comm_cycles,
+                    output: r.machine.output.clone(),
+                    gpu_time: r.gpu.as_ref().map(|g| g.vtime).unwrap_or(0),
+                    machine: r.machine,
+                })
+                .collect(),
+            vtime,
+            total_cycles,
+        })
+    }
+
+    /// Collective completion time: max participant clock + base cost +
+    /// a log2(size) latency term.
+    fn complete_collective(&self, ranks: &mut [Rank], participants: &[u32]) -> u64 {
+        let max = participants.iter().map(|&r| ranks[r as usize].vclock).max().unwrap_or(0);
+        let log2 = 32 - (self.size.max(1)).leading_zeros() as u64;
+        let t = max + self.cost.collective_alpha + self.cost.alpha * log2;
+        for &r in participants {
+            let rank = &mut ranks[r as usize];
+            rank.comm_cycles += t - rank.vclock;
+        }
+        t
+    }
+
+    fn service_gpu_mem(
+        &self,
+        rank: &mut Rank,
+        r: u32,
+        op: IntrinOp,
+        args: Vec<Val>,
+    ) -> Result<(), SimError> {
+        let gpu = rank.gpu.as_mut().ok_or_else(|| {
+            err_on(r, format!("GPU operation {op:?} but no GPU configured for this run"))
+        })?;
+        let before = gpu.vtime;
+        match op {
+            IntrinOp::CopyToGpu => {
+                let host = args[0]
+                    .as_arr()
+                    .map_err(|m| err_on(r, m))?;
+                let store = rank.machine.mem.arr(host).map_err(|m| err_on(r, m))?.clone();
+                let dev = gpu.copy_in(&store).map_err(|e| err_on(r, e.to_string()))?;
+                rank.thread.resume_with(Val::Arr(dev));
+            }
+            IntrinOp::CopyFromGpu => {
+                let host = args[0].as_arr().map_err(|m| err_on(r, m))?;
+                let dev = args[1].as_arr().map_err(|m| err_on(r, m))?;
+                let mut tmp = rank.machine.mem.arr(host).map_err(|m| err_on(r, m))?.clone();
+                gpu.copy_out(dev, &mut tmp).map_err(|e| err_on(r, e.to_string()))?;
+                *rank.machine.mem.arr_mut(host).map_err(|m| err_on(r, m))? = tmp;
+                rank.thread.resume_with(Val::Unit);
+            }
+            IntrinOp::CopyToGpuRange => {
+                // (dev, devOff, host, hostOff, len)
+                let dev = args[0].as_arr().map_err(|m| err_on(r, m))?;
+                let doff = args[1].as_i32().map_err(|m| err_on(r, m))? as usize;
+                let host = args[2].as_arr().map_err(|m| err_on(r, m))?;
+                let hoff = args[3].as_i32().map_err(|m| err_on(r, m))? as usize;
+                let len = args[4].as_i32().map_err(|m| err_on(r, m))? as usize;
+                let payload = read_floats(&rank.machine, host, hoff, len)
+                    .map_err(|m| err_on(r, m))?;
+                gpu.write_range(dev, doff, &payload).map_err(|e| err_on(r, e.to_string()))?;
+                rank.thread.resume_with(Val::Unit);
+            }
+            IntrinOp::CopyFromGpuRange => {
+                // (host, hostOff, dev, devOff, len)
+                let host = args[0].as_arr().map_err(|m| err_on(r, m))?;
+                let hoff = args[1].as_i32().map_err(|m| err_on(r, m))? as usize;
+                let dev = args[2].as_arr().map_err(|m| err_on(r, m))?;
+                let doff = args[3].as_i32().map_err(|m| err_on(r, m))? as usize;
+                let len = args[4].as_i32().map_err(|m| err_on(r, m))? as usize;
+                let payload =
+                    gpu.read_range(dev, doff, len).map_err(|e| err_on(r, e.to_string()))?;
+                write_floats(&mut rank.machine, host, hoff, &payload)
+                    .map_err(|m| err_on(r, m))?;
+                rank.thread.resume_with(Val::Unit);
+            }
+            IntrinOp::GpuAllocF32 => {
+                let n = args[0].as_i32().map_err(|m| err_on(r, m))?;
+                if n < 0 {
+                    return Err(err_on(r, "negative device allocation"));
+                }
+                let dev = gpu.alloc_f32(n as usize);
+                rank.thread.resume_with(Val::Arr(dev));
+            }
+            IntrinOp::GpuFree => {
+                let dev = args[0].as_arr().map_err(|m| err_on(r, m))?;
+                gpu.free(dev).map_err(|e| err_on(r, e.to_string()))?;
+                rank.thread.resume_with(Val::Unit);
+            }
+            other => {
+                return Err(err_on(
+                    r,
+                    format!("CUDA thread register {other:?} read outside a kernel"),
+                ))
+            }
+        }
+        let delta = gpu.vtime - before;
+        rank.vclock += delta;
+        rank.comm_cycles += delta;
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn service_mpi(
+        &self,
+        ranks: &mut [Rank],
+        r: u32,
+        op: IntrinOp,
+        args: Vec<Val>,
+        messages: &mut MsgQueues,
+        barrier_waiters: &mut Vec<u32>,
+        allreduce: &mut Vec<(u32, AllOp, Val)>,
+        bcast_waiters: &mut Vec<u32>,
+    ) -> Result<(), SimError> {
+        let ri = r as usize;
+        let check_rank = |v: i32| -> Result<u32, SimError> {
+            if v < 0 || v as u32 >= self.size {
+                Err(err_on(r, format!("rank {v} out of range (world size {})", self.size)))
+            } else {
+                Ok(v as u32)
+            }
+        };
+        match op {
+            IntrinOp::MpiRank => {
+                ranks[ri].thread.resume_with(Val::I32(r as i32));
+            }
+            IntrinOp::MpiSize => {
+                ranks[ri].thread.resume_with(Val::I32(self.size as i32));
+            }
+            IntrinOp::MpiBarrier => {
+                ranks[ri].blocked = Some(Blocked::Barrier);
+                barrier_waiters.push(r);
+            }
+            IntrinOp::MpiSendF32 => {
+                // sendF(buf, off, count, dest, tag)
+                let buf = args[0].as_arr().map_err(|m| err_on(r, m))?;
+                let off = args[1].as_i32().map_err(|m| err_on(r, m))? as usize;
+                let count = args[2].as_i32().map_err(|m| err_on(r, m))? as usize;
+                let dest = check_rank(args[3].as_i32().map_err(|m| err_on(r, m))?)?;
+                let tag = args[4].as_i32().map_err(|m| err_on(r, m))?;
+                let payload =
+                    read_floats(&ranks[ri].machine, buf, off, count).map_err(|m| err_on(r, m))?;
+                let cost = self.msg_cost((count * 4) as u64);
+                ranks[ri].vclock += cost;
+                ranks[ri].comm_cycles += cost;
+                messages
+                    .entry((r, dest, tag))
+                    .or_default()
+                    .push_back((payload, ranks[ri].vclock));
+                ranks[ri].thread.resume_with(Val::Unit);
+            }
+            IntrinOp::MpiRecvF32 => {
+                // recvF(buf, off, count, src, tag)
+                let buf = args[0].as_arr().map_err(|m| err_on(r, m))?;
+                let off = args[1].as_i32().map_err(|m| err_on(r, m))? as usize;
+                let count = args[2].as_i32().map_err(|m| err_on(r, m))? as usize;
+                let src = check_rank(args[3].as_i32().map_err(|m| err_on(r, m))?)?;
+                let tag = args[4].as_i32().map_err(|m| err_on(r, m))?;
+                ranks[ri].blocked = Some(Blocked::Recv { buf, off, count, src, tag });
+            }
+            IntrinOp::MpiSendRecvF32 => {
+                // sendrecvF(sbuf, soff, count, dest, rbuf, roff, src, tag)
+                let sbuf = args[0].as_arr().map_err(|m| err_on(r, m))?;
+                let soff = args[1].as_i32().map_err(|m| err_on(r, m))? as usize;
+                let count = args[2].as_i32().map_err(|m| err_on(r, m))? as usize;
+                let dest = check_rank(args[3].as_i32().map_err(|m| err_on(r, m))?)?;
+                let rbuf = args[4].as_arr().map_err(|m| err_on(r, m))?;
+                let roff = args[5].as_i32().map_err(|m| err_on(r, m))? as usize;
+                let src = check_rank(args[6].as_i32().map_err(|m| err_on(r, m))?)?;
+                let tag = args[7].as_i32().map_err(|m| err_on(r, m))?;
+                let payload = read_floats(&ranks[ri].machine, sbuf, soff, count)
+                    .map_err(|m| err_on(r, m))?;
+                let cost = self.msg_cost((count * 4) as u64);
+                ranks[ri].vclock += cost;
+                ranks[ri].comm_cycles += cost;
+                messages
+                    .entry((r, dest, tag))
+                    .or_default()
+                    .push_back((payload, ranks[ri].vclock));
+                ranks[ri].blocked = Some(Blocked::Recv { buf: rbuf, off: roff, count, src, tag });
+            }
+            IntrinOp::MpiBcastF32 => {
+                // bcastF(buf, off, count, root)
+                let buf = args[0].as_arr().map_err(|m| err_on(r, m))?;
+                let off = args[1].as_i32().map_err(|m| err_on(r, m))? as usize;
+                let count = args[2].as_i32().map_err(|m| err_on(r, m))? as usize;
+                let root = check_rank(args[3].as_i32().map_err(|m| err_on(r, m))?)?;
+                ranks[ri].blocked = Some(Blocked::Bcast { buf, off, count, root });
+                bcast_waiters.push(r);
+            }
+            IntrinOp::MpiAllreduceSumF64 => {
+                ranks[ri].blocked = Some(Blocked::Allreduce);
+                allreduce.push((r, AllOp::SumF64, args[0]));
+            }
+            IntrinOp::MpiAllreduceSumF32 => {
+                ranks[ri].blocked = Some(Blocked::Allreduce);
+                allreduce.push((r, AllOp::SumF32, args[0]));
+            }
+            IntrinOp::MpiAllreduceMaxF64 => {
+                ranks[ri].blocked = Some(Blocked::Allreduce);
+                allreduce.push((r, AllOp::MaxF64, args[0]));
+            }
+            other => return Err(err_on(r, format!("unexpected MPI op {other:?}"))),
+        }
+        Ok(())
+    }
+}
+
+fn combine(op: AllOp, contributions: &[(u32, AllOp, Val)]) -> Result<Val, String> {
+    match op {
+        AllOp::SumF64 => {
+            let mut s = 0.0f64;
+            for (_, _, v) in contributions {
+                s += v.as_f64()?;
+            }
+            Ok(Val::F64(s))
+        }
+        AllOp::SumF32 => {
+            let mut s = 0.0f32;
+            for (_, _, v) in contributions {
+                s += v.as_f32()?;
+            }
+            Ok(Val::F32(s))
+        }
+        AllOp::MaxF64 => {
+            let mut m = f64::NEG_INFINITY;
+            for (_, _, v) in contributions {
+                m = m.max(v.as_f64()?);
+            }
+            Ok(Val::F64(m))
+        }
+    }
+}
+
+fn read_floats(machine: &Machine, buf: u32, off: usize, count: usize) -> Result<Vec<f32>, String> {
+    match machine.mem.arr(buf)? {
+        ArrStore::F32(v) => v
+            .get(off..off + count)
+            .map(|s| s.to_vec())
+            .ok_or_else(|| format!("send range {off}..{} out of bounds (len {})", off + count, v.len())),
+        other => Err(format!("MPI float op on non-float array {other:?}")),
+    }
+}
+
+fn write_floats(
+    machine: &mut Machine,
+    buf: u32,
+    off: usize,
+    payload: &[f32],
+) -> Result<(), String> {
+    match machine.mem.arr_mut(buf)? {
+        ArrStore::F32(v) => {
+            let vlen = v.len();
+            let tgt = v.get_mut(off..off + payload.len()).ok_or_else(|| {
+                format!("recv range {off}..{} out of bounds (len {vlen})", off + payload.len())
+            })?;
+            tgt.copy_from_slice(payload);
+            Ok(())
+        }
+        other => Err(format!("MPI float op on non-float array {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jlang::ast::BinOp;
+    use jlang::types::PrimKind;
+    use nir::{ElemTy, FuncBuilder, FuncKind, Instr, Ty};
+
+    /// Program: each rank fills a buffer with its rank, sends it right
+    /// (ring), receives from the left, returns received[0].
+    fn ring_program() -> (Program, FuncId) {
+        let mut fb = FuncBuilder::new("ring", vec![], Some(Ty::F32), FuncKind::Host);
+        let rank = fb.reg(Ty::I32);
+        let size = fb.reg(Ty::I32);
+        let one = fb.reg(Ty::I32);
+        let n = fb.reg(Ty::I32);
+        let buf = fb.reg(Ty::Arr(ElemTy::F32));
+        let rbuf = fb.reg(Ty::Arr(ElemTy::F32));
+        let zero = fb.reg(Ty::I32);
+        let dest = fb.reg(Ty::I32);
+        let src = fb.reg(Ty::I32);
+        let tag = fb.reg(Ty::I32);
+        let i = fb.reg(Ty::I32);
+        let cond = fb.reg(Ty::Bool);
+        let fv = fb.reg(Ty::F32);
+        let out = fb.reg(Ty::F32);
+        fb.emit(Instr::Intrin { op: IntrinOp::MpiRank, args: vec![], dst: Some(rank) });
+        fb.emit(Instr::Intrin { op: IntrinOp::MpiSize, args: vec![], dst: Some(size) });
+        fb.emit(Instr::ConstI32(one, 1));
+        fb.emit(Instr::ConstI32(zero, 0));
+        fb.emit(Instr::ConstI32(n, 8));
+        fb.emit(Instr::ConstI32(tag, 7));
+        fb.emit(Instr::NewArr { elem: ElemTy::F32, len: n, dst: buf });
+        fb.emit(Instr::NewArr { elem: ElemTy::F32, len: n, dst: rbuf });
+        // fill buf with rank
+        fb.emit(Instr::Cast { to: PrimKind::Float, from: PrimKind::Int, dst: fv, src: rank });
+        fb.emit(Instr::ConstI32(i, 0));
+        let head = fb.label();
+        let body = fb.label();
+        let done = fb.label();
+        fb.bind(head);
+        fb.emit(Instr::Bin { op: BinOp::Lt, kind: PrimKind::Int, dst: cond, lhs: i, rhs: n });
+        fb.br(cond, body, done);
+        fb.bind(body);
+        fb.emit(Instr::StArr { arr: buf, idx: i, src: fv });
+        fb.emit(Instr::Bin { op: BinOp::Add, kind: PrimKind::Int, dst: i, lhs: i, rhs: one });
+        fb.jmp(head);
+        fb.bind(done);
+        // dest = (rank+1) % size; src = (rank+size-1) % size
+        fb.emit(Instr::Bin { op: BinOp::Add, kind: PrimKind::Int, dst: dest, lhs: rank, rhs: one });
+        fb.emit(Instr::Bin { op: BinOp::Rem, kind: PrimKind::Int, dst: dest, lhs: dest, rhs: size });
+        fb.emit(Instr::Bin { op: BinOp::Add, kind: PrimKind::Int, dst: src, lhs: rank, rhs: size });
+        fb.emit(Instr::Bin { op: BinOp::Sub, kind: PrimKind::Int, dst: src, lhs: src, rhs: one });
+        fb.emit(Instr::Bin { op: BinOp::Rem, kind: PrimKind::Int, dst: src, lhs: src, rhs: size });
+        // sendrecv
+        fb.emit(Instr::Intrin {
+            op: IntrinOp::MpiSendRecvF32,
+            args: vec![buf, zero, n, dest, rbuf, zero, src, tag],
+            dst: None,
+        });
+        fb.emit(Instr::LdArr { arr: rbuf, idx: zero, dst: out });
+        fb.emit(Instr::Ret(Some(out)));
+        let mut p = Program::default();
+        let id = p.add_func(fb.finish().unwrap());
+        p.entry = Some(id);
+        p.validate().unwrap();
+        (p, id)
+    }
+
+    #[test]
+    fn ring_exchange_across_four_ranks() {
+        let (p, entry) = ring_program();
+        let world = World::new(&p, 4);
+        let run = world.run(entry, |_, _| Ok(vec![])).unwrap();
+        // Each rank receives from its left neighbor.
+        for (r, out) in run.ranks.iter().enumerate() {
+            let left = (r + 4 - 1) % 4;
+            assert_eq!(out.result, Some(Val::F32(left as f32)), "rank {r}");
+        }
+        assert!(run.vtime > 0);
+    }
+
+    #[test]
+    fn single_rank_world_is_self_consistent() {
+        let (p, entry) = ring_program();
+        let world = World::new(&p, 1);
+        let run = world.run(entry, |_, _| Ok(vec![])).unwrap();
+        // Self-send: rank 0 receives its own data.
+        assert_eq!(run.ranks[0].result, Some(Val::F32(0.0)));
+    }
+
+    fn allreduce_program() -> (Program, FuncId) {
+        let mut fb = FuncBuilder::new("ar", vec![], Some(Ty::F64), FuncKind::Host);
+        let rank = fb.reg(Ty::I32);
+        let x = fb.reg(Ty::F64);
+        let s = fb.reg(Ty::F64);
+        fb.emit(Instr::Intrin { op: IntrinOp::MpiRank, args: vec![], dst: Some(rank) });
+        fb.emit(Instr::Cast { to: PrimKind::Double, from: PrimKind::Int, dst: x, src: rank });
+        fb.emit(Instr::Intrin { op: IntrinOp::MpiAllreduceSumF64, args: vec![x], dst: Some(s) });
+        fb.emit(Instr::Ret(Some(s)));
+        let mut p = Program::default();
+        let id = p.add_func(fb.finish().unwrap());
+        p.validate().unwrap();
+        (p, id)
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        let (p, entry) = allreduce_program();
+        let world = World::new(&p, 5);
+        let run = world.run(entry, |_, _| Ok(vec![])).unwrap();
+        for out in &run.ranks {
+            assert_eq!(out.result, Some(Val::F64(10.0))); // 0+1+2+3+4
+        }
+        // Collectives synchronize the clocks.
+        let clocks: Vec<u64> = run.ranks.iter().map(|r| r.vclock).collect();
+        let spread = clocks.iter().max().unwrap() - clocks.iter().min().unwrap();
+        assert!(spread < 1000, "clocks should be nearly synchronized: {clocks:?}");
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        // Rank 0 receives from rank 1, which never sends.
+        let mut fb = FuncBuilder::new("dead", vec![], None, FuncKind::Host);
+        let rank = fb.reg(Ty::I32);
+        let zero = fb.reg(Ty::I32);
+        let one = fb.reg(Ty::I32);
+        let n = fb.reg(Ty::I32);
+        let buf = fb.reg(Ty::Arr(ElemTy::F32));
+        let cond = fb.reg(Ty::Bool);
+        fb.emit(Instr::Intrin { op: IntrinOp::MpiRank, args: vec![], dst: Some(rank) });
+        fb.emit(Instr::ConstI32(zero, 0));
+        fb.emit(Instr::ConstI32(one, 1));
+        fb.emit(Instr::ConstI32(n, 4));
+        fb.emit(Instr::NewArr { elem: ElemTy::F32, len: n, dst: buf });
+        let recv = fb.label();
+        let end = fb.label();
+        fb.emit(Instr::Bin { op: BinOp::Eq, kind: PrimKind::Int, dst: cond, lhs: rank, rhs: zero });
+        fb.br(cond, recv, end);
+        fb.bind(recv);
+        fb.emit(Instr::Intrin {
+            op: IntrinOp::MpiRecvF32,
+            args: vec![buf, zero, n, one, zero],
+            dst: None,
+        });
+        fb.jmp(end);
+        fb.bind(end);
+        fb.emit(Instr::Ret(None));
+        let mut p = Program::default();
+        let id = p.add_func(fb.finish().unwrap());
+        p.validate().unwrap();
+        let world = World::new(&p, 2);
+        let e = world.run(id, |_, _| Ok(vec![])).unwrap_err();
+        assert!(e.message.contains("deadlock"), "{e}");
+    }
+
+    #[test]
+    fn virtual_time_grows_with_message_volume() {
+        let (p, entry) = ring_program();
+        let cheap = World::new(&p, 4)
+            .with_cost(CostModel { alpha: 10, beta: 0.01, collective_alpha: 10 });
+        let costly = World::new(&p, 4)
+            .with_cost(CostModel { alpha: 100_000, beta: 10.0, collective_alpha: 10 });
+        let t1 = cheap.run(entry, |_, _| Ok(vec![])).unwrap().vtime;
+        let t2 = costly.run(entry, |_, _| Ok(vec![])).unwrap().vtime;
+        assert!(t2 > t1, "expensive network must increase completion time: {t1} vs {t2}");
+    }
+
+    #[test]
+    fn determinism() {
+        let (p, entry) = ring_program();
+        let world = World::new(&p, 4);
+        let a = world.run(entry, |_, _| Ok(vec![])).unwrap();
+        let b = world.run(entry, |_, _| Ok(vec![])).unwrap();
+        assert_eq!(a.vtime, b.vtime);
+        assert_eq!(a.total_cycles, b.total_cycles);
+    }
+
+    #[test]
+    fn separate_memory_spaces() {
+        // Each rank allocates and writes; handles are rank-local.
+        let mut fb = FuncBuilder::new("m", vec![Ty::Arr(ElemTy::F32)], Some(Ty::F32), FuncKind::Host);
+        let zero = fb.reg(Ty::I32);
+        let out = fb.reg(Ty::F32);
+        fb.emit(Instr::ConstI32(zero, 0));
+        fb.emit(Instr::LdArr { arr: 0, idx: zero, dst: out });
+        fb.emit(Instr::Ret(Some(out)));
+        let mut p = Program::default();
+        let id = p.add_func(fb.finish().unwrap());
+        p.validate().unwrap();
+        let world = World::new(&p, 3);
+        let run = world
+            .run(id, |r, machine| {
+                let h = machine.mem.alloc(ArrStore::F32(vec![r as f32 * 10.0]));
+                Ok(vec![Val::Arr(h)])
+            })
+            .unwrap();
+        assert_eq!(run.ranks[0].result, Some(Val::F32(0.0)));
+        assert_eq!(run.ranks[1].result, Some(Val::F32(10.0)));
+        assert_eq!(run.ranks[2].result, Some(Val::F32(20.0)));
+    }
+}

@@ -1,0 +1,978 @@
+//! NIR optimizer passes — the reproduction's analogue of the external C
+//! compiler's work (the `-O3`-ish part of Table 1/Table 2).
+//!
+//! Passes:
+//! * **const-fold + copy-propagation** (per basic block): replaces
+//!   arithmetic on known constants and forwards `Mov` chains;
+//! * **dead-code elimination**: removes pure instructions whose results
+//!   are never used (whole-function liveness);
+//! * **function inlining**: splices small callees into their callers. The
+//!   coding rules forbid recursion, so inlining always terminates. This
+//!   pass is what distinguishes the *Template w/o virt.* series from the
+//!   plain WootinJ pipeline in our reproduction.
+
+use std::collections::HashMap;
+
+use jlang::ast::BinOp;
+use jlang::types::PrimKind;
+
+use crate::ir::{FuncKind, Function, Instr, Program, Reg};
+
+/// Optimizer configuration; maps onto the compiler-option rows of
+/// Tables 1 and 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptConfig {
+    pub const_fold: bool,
+    pub copy_prop: bool,
+    pub dce: bool,
+    /// Inline callees with at most this many instructions (0 = off).
+    pub inline_limit: usize,
+    /// Scalar replacement of non-escaping heap objects (models C++ value
+    /// semantics for temporaries — the *Template* baseline's stack
+    /// objects).
+    pub sroa: bool,
+}
+
+impl OptConfig {
+    /// Everything on, no inlining (the standard WootinJ pipeline).
+    pub fn standard() -> Self {
+        OptConfig { const_fold: true, copy_prop: true, dce: true, inline_limit: 0, sroa: false }
+    }
+
+    /// Everything on plus function inlining and scalar replacement — what
+    /// an optimizing C++ compiler does to template code (the *Template* /
+    /// *Template w/o virt.* series).
+    pub fn aggressive() -> Self {
+        OptConfig { const_fold: true, copy_prop: true, dce: true, inline_limit: 64, sroa: true }
+    }
+
+    /// All passes off (`-O0`).
+    pub fn none() -> Self {
+        OptConfig { const_fold: false, copy_prop: false, dce: false, inline_limit: 0, sroa: false }
+    }
+}
+
+/// Run the configured passes over the whole program.
+pub fn optimize(program: &mut Program, config: OptConfig) {
+    if config.inline_limit > 0 {
+        inline_functions(program, config.inline_limit);
+    }
+    for f in &mut program.funcs {
+        // First round: propagate copies so that inline-call argument
+        // aliases dissolve, then drop the dead moves...
+        if config.const_fold || config.copy_prop {
+            local_fold(f, config);
+        }
+        if config.dce {
+            dce(f);
+        }
+        // ...so scalar replacement sees unaliased temporaries.
+        if config.sroa {
+            sroa(f);
+            if config.const_fold || config.copy_prop {
+                local_fold(f, config);
+            }
+            if config.dce {
+                dce(f);
+            }
+        }
+    }
+}
+
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Known {
+    I32(i32),
+    I64(i64),
+    F32(f32),
+    F64(f64),
+    Bool(bool),
+    /// Copy of another register.
+    Copy(Reg),
+}
+
+/// Per-basic-block constant folding and copy propagation.
+#[allow(clippy::needless_range_loop)] // `pc` indexes both code and leader
+fn local_fold(f: &mut Function, config: OptConfig) {
+    // Block leaders: entry, jump targets, and instructions after terminators.
+    let mut leader = vec![false; f.code.len() + 1];
+    leader[0] = true;
+    for (pc, ins) in f.code.iter().enumerate() {
+        match ins {
+            Instr::Jmp(t) => {
+                leader[*t as usize] = true;
+                leader[pc + 1] = true;
+            }
+            Instr::Br { t, f: fl, .. } => {
+                leader[*t as usize] = true;
+                leader[*fl as usize] = true;
+                leader[pc + 1] = true;
+            }
+            Instr::Ret(_) => {
+                leader[pc + 1] = true;
+            }
+            _ => {}
+        }
+    }
+
+    let mut known: HashMap<Reg, Known> = HashMap::new();
+    for pc in 0..f.code.len() {
+        if leader[pc] {
+            known.clear();
+        }
+        // Resolve copies in sources first.
+        let resolve = |known: &HashMap<Reg, Known>, r: Reg| -> Reg {
+            let mut cur = r;
+            let mut hops = 0;
+            while let Some(Known::Copy(s)) = known.get(&cur) {
+                cur = *s;
+                hops += 1;
+                if hops > 32 {
+                    break;
+                }
+            }
+            cur
+        };
+        if config.copy_prop {
+            let ins = &mut f.code[pc];
+            match ins {
+                Instr::Mov(_, s) => *s = resolve(&known, *s),
+                Instr::Bin { lhs, rhs, .. } => {
+                    *lhs = resolve(&known, *lhs);
+                    *rhs = resolve(&known, *rhs);
+                }
+                Instr::Neg { src, .. } | Instr::Not { src, .. } | Instr::Cast { src, .. } => {
+                    *src = resolve(&known, *src);
+                }
+                Instr::Br { cond, .. } => *cond = resolve(&known, *cond),
+                Instr::Ret(Some(r)) => *r = resolve(&known, *r),
+                Instr::Call { args, .. }
+                | Instr::CallHost { args, .. }
+                | Instr::Intrin { args, .. } => {
+                    for a in args {
+                        *a = resolve(&known, *a);
+                    }
+                }
+                Instr::CallVirt { recv, args, .. } => {
+                    *recv = resolve(&known, *recv);
+                    for a in args {
+                        *a = resolve(&known, *a);
+                    }
+                }
+                Instr::GetField { obj, .. } => *obj = resolve(&known, *obj),
+                Instr::PutField { obj, src, .. } => {
+                    *obj = resolve(&known, *obj);
+                    *src = resolve(&known, *src);
+                }
+                Instr::NewArr { len, .. } | Instr::SharedAlloc { len, .. } => {
+                    *len = resolve(&known, *len);
+                }
+                Instr::LdArr { arr, idx, .. } => {
+                    *arr = resolve(&known, *arr);
+                    *idx = resolve(&known, *idx);
+                }
+                Instr::StArr { arr, idx, src } => {
+                    *arr = resolve(&known, *arr);
+                    *idx = resolve(&known, *idx);
+                    *src = resolve(&known, *src);
+                }
+                Instr::ArrLen { arr, .. } | Instr::FreeArr { arr } => {
+                    *arr = resolve(&known, *arr);
+                }
+                Instr::Launch { grid, block, args, .. } => {
+                    for g in grid.iter_mut().chain(block.iter_mut()).chain(args.iter_mut()) {
+                        *g = resolve(&known, *g);
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        if config.const_fold {
+            // Try folding a binary op on two known constants.
+            if let Instr::Bin { op, kind, dst, lhs, rhs } = f.code[pc].clone() {
+                if let (Some(l), Some(r)) = (const_of(&known, lhs), const_of(&known, rhs)) {
+                    if let Some(folded) = fold_bin(op, kind, l, r, dst) {
+                        f.code[pc] = folded;
+                    }
+                }
+            }
+            if let Instr::Cast { to, dst, src, .. } = f.code[pc].clone() {
+                if let Some(v) = const_of(&known, src) {
+                    if let Some(folded) = fold_cast(to, v, dst) {
+                        f.code[pc] = folded;
+                    }
+                }
+            }
+        }
+
+        // Update the known map from the (possibly rewritten) instruction.
+        let ins = f.code[pc].clone();
+        match ins {
+            Instr::ConstI32(d, v) => {
+                known.insert(d, Known::I32(v));
+                invalidate_copies(&mut known, d);
+            }
+            Instr::ConstI64(d, v) => {
+                known.insert(d, Known::I64(v));
+                invalidate_copies(&mut known, d);
+            }
+            Instr::ConstF32(d, v) => {
+                known.insert(d, Known::F32(v));
+                invalidate_copies(&mut known, d);
+            }
+            Instr::ConstF64(d, v) => {
+                known.insert(d, Known::F64(v));
+                invalidate_copies(&mut known, d);
+            }
+            Instr::ConstBool(d, v) => {
+                known.insert(d, Known::Bool(v));
+                invalidate_copies(&mut known, d);
+            }
+            Instr::Mov(d, s) => {
+                if d != s {
+                    let k = known.get(&s).copied().unwrap_or(Known::Copy(s));
+                    known.insert(d, k);
+                    invalidate_copies(&mut known, d);
+                }
+            }
+            other => {
+                if let Some(d) = other.dst() {
+                    known.remove(&d);
+                    invalidate_copies(&mut known, d);
+                }
+            }
+        }
+    }
+}
+
+fn invalidate_copies(known: &mut HashMap<Reg, Known>, written: Reg) {
+    let stale: Vec<Reg> = known
+        .iter()
+        .filter(|(_, k)| matches!(k, Known::Copy(s) if *s == written))
+        .map(|(r, _)| *r)
+        .collect();
+    for r in stale {
+        known.remove(&r);
+    }
+}
+
+fn const_of(known: &HashMap<Reg, Known>, r: Reg) -> Option<Known> {
+    match known.get(&r)? {
+        Known::Copy(s) => const_of(known, *s),
+        k => Some(*k),
+    }
+}
+
+fn fold_bin(op: BinOp, kind: PrimKind, l: Known, r: Known, dst: Reg) -> Option<Instr> {
+    use BinOp::*;
+    match kind {
+        PrimKind::Int => {
+            let (Known::I32(a), Known::I32(b)) = (l, r) else { return None };
+            Some(match op {
+                Add => Instr::ConstI32(dst, a.wrapping_add(b)),
+                Sub => Instr::ConstI32(dst, a.wrapping_sub(b)),
+                Mul => Instr::ConstI32(dst, a.wrapping_mul(b)),
+                Div if b != 0 => Instr::ConstI32(dst, a.wrapping_div(b)),
+                Rem if b != 0 => Instr::ConstI32(dst, a.wrapping_rem(b)),
+                Lt => Instr::ConstBool(dst, a < b),
+                Le => Instr::ConstBool(dst, a <= b),
+                Gt => Instr::ConstBool(dst, a > b),
+                Ge => Instr::ConstBool(dst, a >= b),
+                Eq => Instr::ConstBool(dst, a == b),
+                Ne => Instr::ConstBool(dst, a != b),
+                Shl => Instr::ConstI32(dst, a.wrapping_shl(b as u32 & 31)),
+                Shr => Instr::ConstI32(dst, a.wrapping_shr(b as u32 & 31)),
+                BitAnd => Instr::ConstI32(dst, a & b),
+                BitOr => Instr::ConstI32(dst, a | b),
+                BitXor => Instr::ConstI32(dst, a ^ b),
+                _ => return None,
+            })
+        }
+        PrimKind::Long => {
+            let (Known::I64(a), Known::I64(b)) = (l, r) else { return None };
+            Some(match op {
+                Add => Instr::ConstI64(dst, a.wrapping_add(b)),
+                Sub => Instr::ConstI64(dst, a.wrapping_sub(b)),
+                Mul => Instr::ConstI64(dst, a.wrapping_mul(b)),
+                Lt => Instr::ConstBool(dst, a < b),
+                Eq => Instr::ConstBool(dst, a == b),
+                _ => return None,
+            })
+        }
+        PrimKind::Float => {
+            let (Known::F32(a), Known::F32(b)) = (l, r) else { return None };
+            Some(match op {
+                Add => Instr::ConstF32(dst, a + b),
+                Sub => Instr::ConstF32(dst, a - b),
+                Mul => Instr::ConstF32(dst, a * b),
+                Div => Instr::ConstF32(dst, a / b),
+                Lt => Instr::ConstBool(dst, a < b),
+                _ => return None,
+            })
+        }
+        PrimKind::Double => {
+            let (Known::F64(a), Known::F64(b)) = (l, r) else { return None };
+            Some(match op {
+                Add => Instr::ConstF64(dst, a + b),
+                Sub => Instr::ConstF64(dst, a - b),
+                Mul => Instr::ConstF64(dst, a * b),
+                Div => Instr::ConstF64(dst, a / b),
+                Lt => Instr::ConstBool(dst, a < b),
+                _ => return None,
+            })
+        }
+        PrimKind::Boolean => {
+            let (Known::Bool(a), Known::Bool(b)) = (l, r) else { return None };
+            Some(match op {
+                Eq => Instr::ConstBool(dst, a == b),
+                Ne => Instr::ConstBool(dst, a != b),
+                And => Instr::ConstBool(dst, a && b),
+                Or => Instr::ConstBool(dst, a || b),
+                _ => return None,
+            })
+        }
+    }
+}
+
+fn fold_cast(to: PrimKind, v: Known, dst: Reg) -> Option<Instr> {
+    let as_f64 = match v {
+        Known::I32(x) => x as f64,
+        Known::I64(x) => x as f64,
+        Known::F32(x) => x as f64,
+        Known::F64(x) => x,
+        Known::Bool(_) | Known::Copy(_) => return None,
+    };
+    Some(match to {
+        PrimKind::Int => Instr::ConstI32(
+            dst,
+            match v {
+                Known::I32(x) => x,
+                Known::I64(x) => x as i32,
+                Known::F32(x) => x as i32,
+                Known::F64(x) => x as i32,
+                _ => return None,
+            },
+        ),
+        PrimKind::Long => Instr::ConstI64(
+            dst,
+            match v {
+                Known::I32(x) => x as i64,
+                Known::I64(x) => x,
+                Known::F32(x) => x as i64,
+                Known::F64(x) => x as i64,
+                _ => return None,
+            },
+        ),
+        PrimKind::Float => Instr::ConstF32(dst, as_f64 as f32),
+        PrimKind::Double => Instr::ConstF64(dst, as_f64),
+        PrimKind::Boolean => return None,
+    })
+}
+
+/// Whole-function liveness-based dead code elimination. Instructions with
+/// side effects are kept; pure instructions whose destination is never
+/// read afterwards are dropped with jump-target remapping.
+fn dce(f: &mut Function) {
+    let mut keep = vec![false; f.code.len()];
+    for (i, ins) in f.code.iter().enumerate() {
+        // Self-moves are pure no-ops (SROA leaves them for pc alignment).
+        if matches!(ins, Instr::Mov(d, s) if d == s) {
+            continue;
+        }
+        if ins.has_side_effects() || ins.dst().is_none() {
+            keep[i] = true;
+        }
+    }
+    loop {
+        let mut live: Vec<bool> = vec![false; f.regs.len()];
+        for (i, ins) in f.code.iter().enumerate() {
+            if keep[i] {
+                for s in ins.sources() {
+                    live[s as usize] = true;
+                }
+            }
+        }
+        let mut changed = false;
+        for (i, ins) in f.code.iter().enumerate() {
+            if !keep[i] {
+                if let Some(d) = ins.dst() {
+                    if live[d as usize] && !matches!(ins, Instr::Mov(a, b) if a == b) {
+                        keep[i] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    if keep.iter().all(|k| *k) {
+        return;
+    }
+    // Rebuild code with remapped jump targets.
+    let mut new_pc = vec![0u32; f.code.len() + 1];
+    let mut cur = 0u32;
+    for i in 0..f.code.len() {
+        new_pc[i] = cur;
+        if keep[i] {
+            cur += 1;
+        }
+    }
+    new_pc[f.code.len()] = cur;
+    let old = std::mem::take(&mut f.code);
+    for (i, mut ins) in old.into_iter().enumerate() {
+        if !keep[i] {
+            continue;
+        }
+        match &mut ins {
+            Instr::Jmp(t) => *t = new_pc[*t as usize],
+            Instr::Br { t, f: fl, .. } => {
+                *t = new_pc[*t as usize];
+                *fl = new_pc[*fl as usize];
+            }
+            _ => {}
+        }
+        f.code.push(ins);
+    }
+    // Dropping trailing instructions can leave a fall-through; re-terminate.
+    match f.code.last() {
+        Some(Instr::Ret(_)) => {}
+        _ => f.code.push(Instr::Ret(None)),
+    }
+    // A former jump-to-end may now target the appended Ret exactly; fix
+    // any target still equal to the pre-append length.
+    let len = (f.code.len() - 1) as u32;
+    for ins in &mut f.code {
+        match ins {
+            Instr::Jmp(t) if *t > len => *t = len,
+            Instr::Br { t, f: fl, .. } => {
+                if *t > len {
+                    *t = len;
+                }
+                if *fl > len {
+                    *fl = len;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Scalar replacement of aggregates: a heap object that is allocated in
+/// this function and only ever used as the direct receiver of
+/// `GetField`/`PutField` — possibly through single-assignment `Mov`
+/// aliases (inlined call arguments) — is replaced by one register per
+/// field slot. The translator's inlined constructors initialize every
+/// slot at the allocation site, so every read is dominated by a write.
+fn sroa(f: &mut Function) {
+    use std::collections::HashSet;
+
+    // Write counts per register (to validate single-assignment aliases).
+    let mut writes: HashMap<Reg, u32> = HashMap::new();
+    for ins in &f.code {
+        if let Some(d) = ins.dst() {
+            *writes.entry(d).or_insert(0) += 1;
+        }
+    }
+
+    // Candidate roots: NewObj destinations (single class per register).
+    let mut class_of: HashMap<Reg, u32> = HashMap::new();
+    let mut bad: HashSet<Reg> = HashSet::new();
+    for ins in &f.code {
+        if let Instr::NewObj { class, dst } = ins {
+            match class_of.get(dst) {
+                Some(c) if c != class => {
+                    bad.insert(*dst);
+                }
+                _ => {
+                    class_of.insert(*dst, *class);
+                }
+            }
+        }
+    }
+
+    // Alias closure: a register written exactly once, by `Mov` from a
+    // root or alias, denotes the same object.
+    let mut root: HashMap<Reg, Reg> = HashMap::new();
+    for &r in class_of.keys() {
+        root.insert(r, r);
+    }
+    // Iterate to a fixed point (alias chains may appear in any order).
+    loop {
+        let mut changed = false;
+        for ins in &f.code {
+            if let Instr::Mov(d, src) = ins {
+                if d == src {
+                    continue;
+                }
+                if let Some(&r) = root.get(src) {
+                    if writes.get(d) == Some(&1) && !root.contains_key(d) {
+                        root.insert(*d, r);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Escape analysis: any use of a root/alias other than GetField/
+    // PutField receiver or an alias-forming Mov disqualifies the object.
+    for ins in &f.code {
+        match ins {
+            Instr::GetField { obj, dst, .. } => {
+                // Receiver use is fine; loading a handle *into* a tracked
+                // register would break the alias map.
+                let _ = obj;
+                if root.contains_key(dst) {
+                    if let Some(&r) = root.get(dst) {
+                        bad.insert(r);
+                    }
+                }
+            }
+            Instr::PutField { obj: _, src, .. } => {
+                if let Some(&r) = root.get(src) {
+                    bad.insert(r); // handle stored into another object
+                }
+            }
+            Instr::Mov(d, src) => {
+                // Alias-forming moves are fine; a move into a multiply
+                // written register escapes the object.
+                if let Some(&r) = root.get(src) {
+                    if root.get(d) != Some(&r) {
+                        bad.insert(r);
+                    }
+                }
+            }
+            Instr::NewObj { dst, .. } => {
+                // Reallocation into an *alias* (not a root) is not handled.
+                if let Some(&r) = root.get(dst) {
+                    if r != *dst {
+                        bad.insert(r);
+                    }
+                }
+            }
+            other => {
+                for u in other.sources() {
+                    if let Some(&r) = root.get(&u) {
+                        bad.insert(r);
+                    }
+                }
+                if let Some(d) = other.dst() {
+                    if let Some(&r) = root.get(&d) {
+                        bad.insert(r);
+                    }
+                }
+            }
+        }
+    }
+    root.retain(|_, r| !bad.contains(r) && class_of.contains_key(r));
+    if root.is_empty() {
+        return;
+    }
+
+    // Slot register types, inferred from accesses.
+    let mut slot_ty: HashMap<(Reg, u32), crate::ir::Ty> = HashMap::new();
+    for ins in &f.code {
+        match ins {
+            Instr::PutField { obj, slot, src } => {
+                if let Some(&r) = root.get(obj) {
+                    slot_ty.entry((r, *slot)).or_insert(f.regs[*src as usize]);
+                }
+            }
+            Instr::GetField { obj, slot, dst } => {
+                if let Some(&r) = root.get(obj) {
+                    slot_ty.entry((r, *slot)).or_insert(f.regs[*dst as usize]);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Rewrite.
+    let mut slot_regs: HashMap<(Reg, u32), Reg> = HashMap::new();
+    let old = std::mem::take(&mut f.code);
+    for ins in old {
+        match ins {
+            Instr::NewObj { dst, .. } if root.get(&dst) == Some(&dst) => {
+                f.code.push(Instr::Mov(dst, dst)); // keeps pc alignment; DCE removes
+            }
+            Instr::Mov(d, src)
+                if root.contains_key(&src) && root.get(&d) == root.get(&src) =>
+            {
+                f.code.push(Instr::Mov(d, d));
+            }
+            Instr::PutField { obj, slot, src } if root.contains_key(&obj) => {
+                let r = root[&obj];
+                let ty = slot_ty[&(r, slot)];
+                let sr = *slot_regs.entry((r, slot)).or_insert_with(|| {
+                    f.regs.push(ty);
+                    f.regs.len() as Reg - 1
+                });
+                f.code.push(Instr::Mov(sr, src));
+            }
+            Instr::GetField { obj, slot, dst } if root.contains_key(&obj) => {
+                let r = root[&obj];
+                let ty = slot_ty[&(r, slot)];
+                let sr = *slot_regs.entry((r, slot)).or_insert_with(|| {
+                    f.regs.push(ty);
+                    f.regs.len() as Reg - 1
+                });
+                f.code.push(Instr::Mov(dst, sr));
+            }
+            other => f.code.push(other),
+        }
+    }
+}
+
+/// Inline calls to small functions. Because the coding rules forbid
+/// recursion, repeated application terminates; we run to a fixed point
+/// with a global budget.
+fn inline_functions(program: &mut Program, limit: usize) {
+    let mut budget = 10_000usize;
+    loop {
+        let mut did = false;
+        for fi in 0..program.funcs.len() {
+            // Find an inlinable call site.
+            let site = program.funcs[fi].code.iter().position(|ins| {
+                if let Instr::Call { func, .. } = ins {
+                    let callee = &program.funcs[func.0 as usize];
+                    let caller_kind = program.funcs[fi].kind;
+                    func.0 as usize != fi
+                        && callee.code.len() <= limit
+                        && (callee.kind == caller_kind
+                            || (caller_kind == FuncKind::Kernel
+                                && callee.kind == FuncKind::Device))
+                } else {
+                    false
+                }
+            });
+            let Some(pc) = site else { continue };
+            let (callee_id, args, dst) = match &program.funcs[fi].code[pc] {
+                Instr::Call { func, args, dst } => (*func, args.clone(), *dst),
+                _ => unreachable!(),
+            };
+            let callee = program.funcs[callee_id.0 as usize].clone();
+            inline_at(&mut program.funcs[fi], pc, &callee, &args, dst);
+            did = true;
+            budget = budget.saturating_sub(1);
+            if budget == 0 {
+                return;
+            }
+        }
+        if !did {
+            return;
+        }
+    }
+}
+
+/// Splice `callee` into `caller` at call site `pc`.
+fn inline_at(caller: &mut Function, pc: usize, callee: &Function, args: &[Reg], dst: Option<Reg>) {
+    let reg_base = caller.regs.len() as Reg;
+    caller.regs.extend(callee.regs.iter().copied());
+
+    // Build the inlined body: param moves, remapped code, returns become
+    // moves + jumps to the continuation.
+    let mut body: Vec<Instr> = Vec::with_capacity(callee.code.len() + args.len() + 1);
+    for (i, a) in args.iter().enumerate() {
+        body.push(Instr::Mov(reg_base + i as Reg, *a));
+    }
+    let code_offset = pc as u32 + args.len() as u32; // where remapped callee pc 0 lands
+    let map_target = |t: u32| -> u32 { t + code_offset };
+    // Continuation pc (after the spliced body) is computed later; first
+    // emit with a placeholder and fix up.
+    const CONT: u32 = u32::MAX - 1;
+    for ins in &callee.code {
+        let mut ins = ins.clone();
+        // Remap registers.
+        remap_regs(&mut ins, reg_base);
+        match ins {
+            Instr::Ret(Some(r)) => {
+                if let Some(d) = dst {
+                    body.push(Instr::Mov(d, r));
+                }
+                body.push(Instr::Jmp(CONT));
+            }
+            Instr::Ret(None) => {
+                body.push(Instr::Jmp(CONT));
+            }
+            Instr::Jmp(t) => body.push(Instr::Jmp(map_target(t))),
+            Instr::Br { cond, t, f } => {
+                body.push(Instr::Br { cond, t: map_target(t), f: map_target(f) })
+            }
+            other => body.push(other),
+        }
+    }
+    let body_len = body.len() as u32;
+    // Shift: the single Call instruction is replaced by body_len instrs.
+    let delta = body_len as i64 - 1;
+    let cont_pc = pc as u32 + body_len;
+    for ins in &mut body {
+        match ins {
+            Instr::Jmp(t) if *t == CONT => *t = cont_pc,
+            Instr::Br { t, f, .. } => {
+                if *t == CONT {
+                    *t = cont_pc;
+                }
+                if *f == CONT {
+                    *f = cont_pc;
+                }
+            }
+            _ => {}
+        }
+    }
+    // Remap all existing jump targets in the caller that point past `pc`.
+    for ins in caller.code.iter_mut() {
+        match ins {
+            Instr::Jmp(t)
+                if *t as usize > pc => {
+                    *t = (*t as i64 + delta) as u32;
+                }
+            Instr::Br { t, f, .. } => {
+                if *t as usize > pc {
+                    *t = (*t as i64 + delta) as u32;
+                }
+                if *f as usize > pc {
+                    *f = (*f as i64 + delta) as u32;
+                }
+            }
+            _ => {}
+        }
+    }
+    caller.code.splice(pc..=pc, body);
+}
+
+fn remap_regs(ins: &mut Instr, base: Reg) {
+    let m = |r: &mut Reg| *r += base;
+    match ins {
+        Instr::ConstI32(d, _)
+        | Instr::ConstI64(d, _)
+        | Instr::ConstF32(d, _)
+        | Instr::ConstF64(d, _)
+        | Instr::ConstBool(d, _) => m(d),
+        Instr::Mov(d, s) => {
+            m(d);
+            m(s);
+        }
+        Instr::Bin { dst, lhs, rhs, .. } => {
+            m(dst);
+            m(lhs);
+            m(rhs);
+        }
+        Instr::Neg { dst, src, .. } | Instr::Not { dst, src } | Instr::Cast { dst, src, .. } => {
+            m(dst);
+            m(src);
+        }
+        Instr::Br { cond, .. } => m(cond),
+        Instr::Ret(Some(r)) => m(r),
+        Instr::Call { args, dst, .. } | Instr::CallHost { args, dst, .. } => {
+            for a in args {
+                m(a);
+            }
+            if let Some(d) = dst {
+                m(d);
+            }
+        }
+        Instr::NewObj { dst, .. } => m(dst),
+        Instr::GetField { obj, dst, .. } => {
+            m(obj);
+            m(dst);
+        }
+        Instr::PutField { obj, src, .. } => {
+            m(obj);
+            m(src);
+        }
+        Instr::CallVirt { recv, args, dst, .. } => {
+            m(recv);
+            for a in args {
+                m(a);
+            }
+            if let Some(d) = dst {
+                m(d);
+            }
+        }
+        Instr::NewArr { len, dst, .. } | Instr::SharedAlloc { len, dst, .. } => {
+            m(len);
+            m(dst);
+        }
+        Instr::LdArr { arr, idx, dst } => {
+            m(arr);
+            m(idx);
+            m(dst);
+        }
+        Instr::StArr { arr, idx, src } => {
+            m(arr);
+            m(idx);
+            m(src);
+        }
+        Instr::ArrLen { arr, dst } => {
+            m(arr);
+            m(dst);
+        }
+        Instr::FreeArr { arr } => m(arr),
+        Instr::Intrin { args, dst, .. } => {
+            for a in args {
+                m(a);
+            }
+            if let Some(d) = dst {
+                m(d);
+            }
+        }
+        Instr::Launch { grid, block, args, .. } => {
+            for g in grid.iter_mut().chain(block.iter_mut()) {
+                m(g);
+            }
+            for a in args {
+                m(a);
+            }
+        }
+        Instr::Jmp(_) | Instr::Ret(None) | Instr::Sync => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{FuncBuilder, Ty};
+
+    fn const_add_program() -> Program {
+        // fn f() -> i32 { let a = 2; let b = 3; a + b }
+        let mut fb = FuncBuilder::new("f", vec![], Some(Ty::I32), FuncKind::Host);
+        let a = fb.reg(Ty::I32);
+        let b = fb.reg(Ty::I32);
+        let c = fb.reg(Ty::I32);
+        fb.emit(Instr::ConstI32(a, 2));
+        fb.emit(Instr::ConstI32(b, 3));
+        fb.emit(Instr::Bin { op: BinOp::Add, kind: PrimKind::Int, dst: c, lhs: a, rhs: b });
+        fb.emit(Instr::Ret(Some(c)));
+        let mut p = Program::default();
+        let id = p.add_func(fb.finish().unwrap());
+        p.entry = Some(id);
+        p
+    }
+
+    #[test]
+    fn const_folding_folds_add() {
+        let mut p = const_add_program();
+        optimize(&mut p, OptConfig::standard());
+        // After folding + DCE only the const and ret remain.
+        let f = &p.funcs[0];
+        assert!(
+            f.code.iter().any(|i| matches!(i, Instr::ConstI32(_, 5))),
+            "expected folded constant 5 in {:?}",
+            f.code
+        );
+        assert!(f.code.len() <= 2, "DCE should drop dead consts: {:?}", f.code);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn copy_propagation_forwards_movs() {
+        let mut fb = FuncBuilder::new("f", vec![Ty::I32], Some(Ty::I32), FuncKind::Host);
+        let a = fb.reg(Ty::I32);
+        let b = fb.reg(Ty::I32);
+        let c = fb.reg(Ty::I32);
+        fb.emit(Instr::Mov(a, 0));
+        fb.emit(Instr::Mov(b, a));
+        fb.emit(Instr::Bin { op: BinOp::Add, kind: PrimKind::Int, dst: c, lhs: b, rhs: b });
+        fb.emit(Instr::Ret(Some(c)));
+        let mut p = Program::default();
+        p.add_func(fb.finish().unwrap());
+        optimize(&mut p, OptConfig::standard());
+        let f = &p.funcs[0];
+        // The add should now read the parameter register directly.
+        let add = f
+            .code
+            .iter()
+            .find(|i| matches!(i, Instr::Bin { .. }))
+            .expect("add survives");
+        if let Instr::Bin { lhs, rhs, .. } = add {
+            assert_eq!((*lhs, *rhs), (0, 0));
+        }
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn dce_keeps_side_effects() {
+        let mut fb = FuncBuilder::new("f", vec![Ty::Arr(crate::ir::ElemTy::F32)], None, FuncKind::Host);
+        let idx = fb.reg(Ty::I32);
+        let val = fb.reg(Ty::F32);
+        let dead = fb.reg(Ty::I32);
+        fb.emit(Instr::ConstI32(idx, 0));
+        fb.emit(Instr::ConstF32(val, 1.0));
+        fb.emit(Instr::ConstI32(dead, 42)); // dead
+        fb.emit(Instr::StArr { arr: 0, idx, src: val }); // effectful
+        fb.emit(Instr::Ret(None));
+        let mut p = Program::default();
+        p.add_func(fb.finish().unwrap());
+        optimize(&mut p, OptConfig::standard());
+        let f = &p.funcs[0];
+        assert!(f.code.iter().any(|i| matches!(i, Instr::StArr { .. })));
+        assert!(!f.code.iter().any(|i| matches!(i, Instr::ConstI32(_, 42))));
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn dce_remaps_jump_targets() {
+        let mut fb = FuncBuilder::new("f", vec![Ty::Bool], Some(Ty::I32), FuncKind::Host);
+        let dead = fb.reg(Ty::I32);
+        let one = fb.reg(Ty::I32);
+        let two = fb.reg(Ty::I32);
+        let t = fb.label();
+        let e = fb.label();
+        fb.emit(Instr::ConstI32(dead, 99)); // dead
+        fb.br(0, t, e);
+        fb.bind(t);
+        fb.emit(Instr::ConstI32(one, 1));
+        fb.emit(Instr::Ret(Some(one)));
+        fb.bind(e);
+        fb.emit(Instr::ConstI32(two, 2));
+        fb.emit(Instr::Ret(Some(two)));
+        let mut p = Program::default();
+        p.add_func(fb.finish().unwrap());
+        optimize(&mut p, OptConfig::standard());
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn inlining_splices_small_callee() {
+        // callee: fn double(x) { x + x }; caller: fn f(a) { double(a) + 1 }
+        let mut cb = FuncBuilder::new("double", vec![Ty::I32], Some(Ty::I32), FuncKind::Host);
+        let d = cb.reg(Ty::I32);
+        cb.emit(Instr::Bin { op: BinOp::Add, kind: PrimKind::Int, dst: d, lhs: 0, rhs: 0 });
+        cb.emit(Instr::Ret(Some(d)));
+        let mut p = Program::default();
+        let callee = p.add_func(cb.finish().unwrap());
+
+        let mut fb = FuncBuilder::new("f", vec![Ty::I32], Some(Ty::I32), FuncKind::Host);
+        let r = fb.reg(Ty::I32);
+        let one = fb.reg(Ty::I32);
+        let out = fb.reg(Ty::I32);
+        fb.emit(Instr::Call { func: callee, args: vec![0], dst: Some(r) });
+        fb.emit(Instr::ConstI32(one, 1));
+        fb.emit(Instr::Bin { op: BinOp::Add, kind: PrimKind::Int, dst: out, lhs: r, rhs: one });
+        fb.emit(Instr::Ret(Some(out)));
+        p.add_func(fb.finish().unwrap());
+
+        optimize(&mut p, OptConfig::aggressive());
+        let f = &p.funcs[1];
+        assert!(
+            !f.code.iter().any(|i| matches!(i, Instr::Call { .. })),
+            "call should be inlined: {f:?}"
+        );
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn optimizer_is_idempotent() {
+        let mut p = const_add_program();
+        optimize(&mut p, OptConfig::standard());
+        let once = format!("{p}");
+        optimize(&mut p, OptConfig::standard());
+        assert_eq!(once, format!("{p}"));
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests for the NIR optimizer: random straight-line programs
+//! (with a conditional diamond) must compute the same result at every
+//! optimization level, and the optimized program must never be larger
+//! in retired instructions.
+
+use jlang::ast::BinOp;
+use jlang::types::PrimKind;
+use nir::{FuncBuilder, FuncKind, Instr, OptConfig, Program, Reg, Ty};
+use proptest::prelude::*;
+
+/// A random instruction recipe over int registers.
+#[derive(Debug, Clone)]
+enum Step {
+    Const(i32),
+    Add(usize, usize),
+    Sub(usize, usize),
+    Mul(usize, usize),
+    Mov(usize),
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (-1000i32..1000).prop_map(Step::Const),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Step::Add(a, b)),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Step::Sub(a, b)),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Step::Mul(a, b)),
+        any::<usize>().prop_map(Step::Mov),
+    ]
+}
+
+/// Build a program from the recipe: a prologue of steps, a branch on
+/// (last value > 0), two diamond arms, and a join returning the sum of
+/// everything defined.
+fn build(steps: &[Step], arg: i32) -> Program {
+    let mut fb = FuncBuilder::new("f", vec![Ty::I32], Some(Ty::I32), FuncKind::Host);
+    let mut defined: Vec<Reg> = vec![0]; // the parameter
+    for s in steps {
+        let pick = |i: &usize| defined[i % defined.len()];
+        let r = fb.reg(Ty::I32);
+        match s {
+            Step::Const(v) => {
+                fb.emit(Instr::ConstI32(r, *v));
+            }
+            Step::Add(a, b) => {
+                fb.emit(Instr::Bin {
+                    op: BinOp::Add,
+                    kind: PrimKind::Int,
+                    dst: r,
+                    lhs: pick(a),
+                    rhs: pick(b),
+                });
+            }
+            Step::Sub(a, b) => {
+                fb.emit(Instr::Bin {
+                    op: BinOp::Sub,
+                    kind: PrimKind::Int,
+                    dst: r,
+                    lhs: pick(a),
+                    rhs: pick(b),
+                });
+            }
+            Step::Mul(a, b) => {
+                fb.emit(Instr::Bin {
+                    op: BinOp::Mul,
+                    kind: PrimKind::Int,
+                    dst: r,
+                    lhs: pick(a),
+                    rhs: pick(b),
+                });
+            }
+            Step::Mov(a) => {
+                fb.emit(Instr::Mov(r, pick(a)));
+            }
+        }
+        defined.push(r);
+    }
+    // Diamond: if last > 0 { acc = last*2 } else { acc = last - 7 }.
+    let last = *defined.last().unwrap();
+    let zero = fb.reg(Ty::I32);
+    let cond = fb.reg(Ty::Bool);
+    let acc = fb.reg(Ty::I32);
+    let k = fb.reg(Ty::I32);
+    fb.emit(Instr::ConstI32(zero, 0));
+    fb.emit(Instr::Bin { op: BinOp::Gt, kind: PrimKind::Int, dst: cond, lhs: last, rhs: zero });
+    let t = fb.label();
+    let e = fb.label();
+    let join = fb.label();
+    fb.br(cond, t, e);
+    fb.bind(t);
+    fb.emit(Instr::ConstI32(k, 2));
+    fb.emit(Instr::Bin { op: BinOp::Mul, kind: PrimKind::Int, dst: acc, lhs: last, rhs: k });
+    fb.jmp(join);
+    fb.bind(e);
+    fb.emit(Instr::ConstI32(k, 7));
+    fb.emit(Instr::Bin { op: BinOp::Sub, kind: PrimKind::Int, dst: acc, lhs: last, rhs: k });
+    fb.jmp(join);
+    fb.bind(join);
+    // Fold every defined register into the result so nothing is trivially
+    // dead from the engine's point of view.
+    let out = fb.reg(Ty::I32);
+    fb.emit(Instr::Mov(out, acc));
+    for d in defined.clone() {
+        fb.emit(Instr::Bin { op: BinOp::Add, kind: PrimKind::Int, dst: out, lhs: out, rhs: d });
+    }
+    fb.emit(Instr::Ret(Some(out)));
+    let mut p = Program::default();
+    let id = p.add_func(fb.finish().unwrap());
+    p.entry = Some(id);
+    p.validate().unwrap();
+    let _ = arg;
+    p
+}
+
+fn eval(p: &Program, arg: i32) -> (i32, u64) {
+    let mut m = exec::Machine::new();
+    let v = exec::run_to_completion(p, p.entry.unwrap(), vec![exec::Val::I32(arg)], &mut m)
+        .unwrap();
+    match v {
+        Some(exec::Val::I32(x)) => (x, m.counters.instrs),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_optimization_levels_agree(
+        steps in proptest::collection::vec(arb_step(), 1..24),
+        arg in -100i32..100,
+    ) {
+        let base = build(&steps, arg);
+        let (want, base_instrs) = eval(&base, arg);
+        for config in [OptConfig::standard(), OptConfig::aggressive()] {
+            let mut p = build(&steps, arg);
+            nir::optimize(&mut p, config);
+            p.validate().unwrap();
+            let (got, opt_instrs) = eval(&p, arg);
+            prop_assert_eq!(got, want, "config {:?}", config);
+            prop_assert!(
+                opt_instrs <= base_instrs,
+                "optimization must not add work: {} -> {}",
+                base_instrs,
+                opt_instrs
+            );
+        }
+    }
+
+    #[test]
+    fn optimizer_is_idempotent_on_random_programs(
+        steps in proptest::collection::vec(arb_step(), 1..16),
+    ) {
+        let mut p = build(&steps, 1);
+        nir::optimize(&mut p, OptConfig::aggressive());
+        let once = format!("{p}");
+        nir::optimize(&mut p, OptConfig::aggressive());
+        prop_assert_eq!(once, format!("{p}"));
+    }
+}

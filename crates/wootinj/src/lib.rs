@@ -1,0 +1,683 @@
+//! # wootinj — the framework facade
+//!
+//! The public API mirroring the paper's client view (Listing 3):
+//!
+//! ```text
+//! Java (paper)                          this crate
+//! ------------------------------------  ------------------------------------
+//! javac + class loading                 build_table(&[source, ...])
+//! new StencilOnGpuAndMPI(gen, solver)   env.new_instance("StencilOnGpuAndMPI", &[gen, solver])
+//! WootinJ.jit4mpi(stencil, "run", ...)  env.jit(&stencil, "run", &args, JitOptions::wootinj())
+//! code.set4MPI(128, "./nodeList")       code.set_mpi(128, CostModel::default())
+//! code.invoke()                         code.invoke(&env)
+//! ```
+//!
+//! `invoke` drives the translated program on the `exec` engine through the
+//! `mpi-sim` world (which also hosts single-rank and GPU runs), and
+//! returns a [`RunReport`] with both wall-clock and deterministic
+//! virtual-time metrics. `run_interpreted` runs the same composed
+//! application on the `jvm` interpreter — the paper's *Java* series.
+
+#![forbid(unsafe_code)]
+
+pub mod prelude;
+
+use std::time::{Duration, Instant};
+
+use jlang::{ClassTable, DiagResult, SourceSet};
+use jvm::{Jvm, JvmError, Value};
+use mpi_sim::{CostModel, World};
+use translator::{bind_entry_args, translate, Mode, TransConfig, TransError, Translated};
+
+pub use exec::Val;
+pub use gpu_sim::GpuConfig;
+pub use mpi_sim::CostModel as MpiCostModel;
+pub use nir::OptConfig;
+pub use translator::{Binding, TransStats};
+
+/// Compile prelude + user sources into a typed class table.
+///
+/// ```
+/// use wootinj::{build_table, WootinJ, JitOptions, Val};
+/// use jvm::Value;
+///
+/// let src = "@WootinJ final class Doubler {
+///              Doubler() { }
+///              int run(int x) { return x * 2; }
+///            }";
+/// let table = build_table(&[("doubler.jl", src)]).unwrap();
+/// let mut env = WootinJ::new(&table).unwrap();
+/// let d = env.new_instance("Doubler", &[]).unwrap();
+/// let code = env.jit(&d, "run", &[Value::Int(21)], JitOptions::wootinj()).unwrap();
+/// let report = code.invoke(&env).unwrap();
+/// assert_eq!(report.result, Some(Val::I32(42)));
+/// ```
+pub fn build_table(sources: &[(&str, &str)]) -> DiagResult<ClassTable> {
+    let mut set = SourceSet::new().with("<prelude>", prelude::PRELUDE);
+    for (name, src) in sources {
+        set.add(*name, *src);
+    }
+    jlang::compile(&set)
+}
+
+/// Framework error: anything from composition to translation to execution.
+#[derive(Debug)]
+pub enum WjError {
+    Jvm(JvmError),
+    Translate(TransError),
+    Sim(String),
+}
+
+impl std::fmt::Display for WjError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WjError::Jvm(e) => write!(f, "{e}"),
+            WjError::Translate(e) => write!(f, "{e}"),
+            WjError::Sim(m) => write!(f, "simulation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WjError {}
+
+impl From<JvmError> for WjError {
+    fn from(e: JvmError) -> Self {
+        WjError::Jvm(e)
+    }
+}
+
+impl From<TransError> for WjError {
+    fn from(e: TransError) -> Self {
+        WjError::Translate(e)
+    }
+}
+
+pub type WjResult<T> = Result<T, WjError>;
+
+/// The framework environment: a class table plus the interpreter heap in
+/// which applications compose their object graphs.
+pub struct WootinJ<'t> {
+    pub table: &'t ClassTable,
+    pub jvm: Jvm<'t>,
+    /// User-registered foreign functions for translated code (the paper's
+    /// FFI: `@Native("key")` methods with unknown keys become direct host
+    /// calls).
+    pub host: exec::HostRegistry,
+}
+
+impl<'t> WootinJ<'t> {
+    pub fn new(table: &'t ClassTable) -> WjResult<Self> {
+        Ok(WootinJ { table, jvm: Jvm::new(table)?, host: exec::HostRegistry::new() })
+    }
+
+    /// Register a foreign function for the *translated* execution path.
+    /// The jlang side declares it as `@Native("key")`; unknown keys are
+    /// translated into direct host calls (the paper's FFI mechanism).
+    /// For the interpreter path, also call [`Self::register_jvm_native`].
+    pub fn register_host(
+        &mut self,
+        key: impl Into<String>,
+        f: impl Fn(&[Val], &mut exec::MemSpace) -> Result<Val, String> + 'static,
+    ) {
+        self.host.register(key, f);
+    }
+
+    /// Register the interpreter-side implementation of a foreign function.
+    pub fn register_jvm_native(&mut self, key: impl Into<String>, f: jvm::NativeFn) {
+        self.jvm.register_native(key, f);
+    }
+
+    /// Convenience: register a pure `f64 -> f64`-style scalar function on
+    /// *both* execution paths at once (covers the common FFI-to-libm case).
+    pub fn register_scalar_fn(&mut self, key: &str, f: fn(f64) -> f64) {
+        self.host.register(key.to_string(), move |args, _| {
+            let x = args
+                .first()
+                .ok_or("missing argument")?
+                .as_f64()?;
+            Ok(Val::F64(f(x)))
+        });
+        self.jvm.register_native(
+            key.to_string(),
+            std::rc::Rc::new(move |_jvm: &mut Jvm<'_>, args: &[Value]| {
+                let x = args
+                    .first()
+                    .ok_or_else(|| JvmError::new("missing argument"))?
+                    .as_f64()
+                    .map_err(JvmError::new)?;
+                Ok(Value::Double(f(x)))
+            }),
+        );
+    }
+
+    /// Instantiate a class on the (host) Java side.
+    pub fn new_instance(&mut self, class: &str, args: &[Value]) -> WjResult<Value> {
+        Ok(self.jvm.new_instance(class, args)?)
+    }
+
+    pub fn new_f32_array(&mut self, data: &[f32]) -> Value {
+        self.jvm.new_f32_array(data)
+    }
+
+    pub fn f32_array(&self, v: &Value) -> WjResult<Vec<f32>> {
+        Ok(self.jvm.f32_array(v)?)
+    }
+
+    /// Run a method on the interpreter — the paper's *Java* series.
+    pub fn run_interpreted(
+        &mut self,
+        recv: &Value,
+        method: &str,
+        args: &[Value],
+    ) -> WjResult<JavaRunReport> {
+        let steps_before = self.jvm.steps;
+        let start = Instant::now();
+        let result = self.jvm.call(recv, method, args)?;
+        Ok(JavaRunReport {
+            result,
+            steps: self.jvm.steps - steps_before,
+            wall: start.elapsed(),
+        })
+    }
+
+    /// JIT-translate `recv.method(args)` — `WootinJ.jit` / `jit4mpi`.
+    /// The arguments are recorded and replayed by [`JitCode::invoke`].
+    pub fn jit(
+        &self,
+        recv: &Value,
+        method: &str,
+        args: &[Value],
+        options: JitOptions,
+    ) -> WjResult<JitCode> {
+        let start = Instant::now();
+        let translated = translate(self.table, &self.jvm, recv, method, args, options.config)?;
+        let compile_time = start.elapsed();
+        Ok(JitCode {
+            translated,
+            compile_time,
+            recv: recv.clone(),
+            args: args.to_vec(),
+            mpi_size: 1,
+            cost: CostModel::default(),
+            gpu: None,
+        })
+    }
+}
+
+/// Options for [`WootinJ::jit`]; presets map onto the paper's series.
+#[derive(Debug, Clone, Copy)]
+pub struct JitOptions {
+    pub config: TransConfig,
+}
+
+impl JitOptions {
+    /// The WootinJ pipeline (devirtualization + specialization + object
+    /// inlining).
+    pub fn wootinj() -> Self {
+        JitOptions { config: TransConfig::full() }
+    }
+
+    /// The *C++* baseline: vtable dispatch, heap objects.
+    pub fn cpp() -> Self {
+        JitOptions { config: TransConfig::virtual_dispatch() }
+    }
+
+    /// The *Template* baseline: devirtualized via specialization, objects
+    /// kept on the heap, but with the optimizer's function inlining and
+    /// scalar replacement — what an optimizing C++ compiler does to
+    /// template code with value objects.
+    pub fn template() -> Self {
+        let mut config = TransConfig::devirt();
+        config.opt = OptConfig::aggressive();
+        JitOptions { config }
+    }
+
+    /// The *Template w/o virt.* baseline: WootinJ + function inlining.
+    pub fn template_no_virt() -> Self {
+        JitOptions { config: TransConfig::template_no_virt() }
+    }
+
+    pub fn with_opt(mut self, opt: OptConfig) -> Self {
+        self.config.opt = opt;
+        self
+    }
+
+    pub fn unchecked(mut self) -> Self {
+        self.config.check_rules = false;
+        self
+    }
+}
+
+/// A translated program with its recorded entry arguments — the paper's
+/// `JitCode`.
+pub struct JitCode {
+    pub translated: Translated,
+    /// Translation wall time (Table 3's "compilation time").
+    pub compile_time: Duration,
+    recv: Value,
+    args: Vec<Value>,
+    mpi_size: u32,
+    cost: CostModel,
+    gpu: Option<GpuConfig>,
+}
+
+impl JitCode {
+    /// `code.set4MPI(size, nodeList)` — configure the MPI world.
+    pub fn set_mpi(&mut self, size: u32, cost: CostModel) {
+        self.mpi_size = size.max(1);
+        self.cost = cost;
+    }
+
+    /// Give every rank a simulated GPU.
+    pub fn set_gpu(&mut self, config: GpuConfig) {
+        self.gpu = Some(config);
+    }
+
+    /// The generated C/CUDA source (Listing 5 analogue).
+    pub fn c_source(&self) -> String {
+        self.translated.c_source()
+    }
+
+    pub fn mode(&self) -> Mode {
+        self.translated.mode
+    }
+
+    pub fn stats(&self) -> TransStats {
+        self.translated.stats
+    }
+
+    /// Execute the translated program with the recorded arguments —
+    /// `code.invoke()`.
+    pub fn invoke(&self, env: &WootinJ<'_>) -> WjResult<RunReport> {
+        let mut world = World::new(&self.translated.program, self.mpi_size)
+            .with_cost(self.cost)
+            .with_host(&env.host);
+        if let Some(g) = self.gpu {
+            world = world.with_gpu(g);
+        }
+        let entry = self.translated.entry;
+        let start = Instant::now();
+        let run = world
+            .run(entry, |_, machine| {
+                bind_entry_args(
+                    &env.jvm,
+                    &self.recv,
+                    &self.args,
+                    &self.translated.bindings,
+                    machine,
+                )
+                .map_err(|e| e.message)
+            })
+            .map_err(|e| WjError::Sim(e.to_string()))?;
+        let wall = start.elapsed();
+        Ok(RunReport {
+            result: run.ranks.first().and_then(|r| r.result),
+            results: run.ranks.iter().map(|r| r.result).collect(),
+            vtime_cycles: run.vtime,
+            total_cycles: run.total_cycles,
+            wall,
+            compile_wall: self.compile_time,
+            outputs: run.ranks.iter().map(|r| r.output.clone()).collect(),
+            per_rank: run
+                .ranks
+                .iter()
+                .map(|r| PerRank {
+                    vclock: r.vclock,
+                    compute_cycles: r.compute_cycles,
+                    comm_cycles: r.comm_cycles,
+                    gpu_time: r.gpu_time,
+                })
+                .collect(),
+            worlds: run,
+        })
+    }
+}
+
+/// Per-rank timing breakdown.
+#[derive(Debug, Clone, Copy)]
+pub struct PerRank {
+    pub vclock: u64,
+    pub compute_cycles: u64,
+    pub comm_cycles: u64,
+    pub gpu_time: u64,
+}
+
+/// The outcome of `invoke()`: results plus both timing domains.
+pub struct RunReport {
+    /// Rank 0's return value.
+    pub result: Option<Val>,
+    pub results: Vec<Option<Val>>,
+    /// Deterministic completion time (max rank virtual clock, cycles).
+    pub vtime_cycles: u64,
+    /// Total executed cycles across ranks.
+    pub total_cycles: u64,
+    /// Host wall-clock time of the simulation run.
+    pub wall: Duration,
+    /// Wall-clock translation time (Table 3).
+    pub compile_wall: Duration,
+    /// Per-rank `WJ.print*` output.
+    pub outputs: Vec<Vec<String>>,
+    pub per_rank: Vec<PerRank>,
+    /// The raw world run (rank memory spaces etc.).
+    pub worlds: mpi_sim::WorldRun,
+}
+
+/// Outcome of an interpreted (*Java* series) run.
+#[derive(Debug)]
+pub struct JavaRunReport {
+    pub result: Value,
+    /// Deterministic interpreter steps (the Java-series work metric).
+    pub steps: u64,
+    pub wall: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Listing 3/4: one-point stencil, GPU + MPI.
+    const LISTING34: &str = r#"
+        @WootinJ interface Generator { float[] make(int length, int seed); }
+        @WootinJ interface Solver { float solve(float self, int index); }
+
+        @WootinJ final class PhysDataGen implements Generator {
+          PhysDataGen() { }
+          float[] make(int length, int seed) {
+            float[] a = new float[length];
+            for (int i = 0; i < length; i++) { a[i] = i + seed * 100; }
+            return a;
+          }
+        }
+
+        @WootinJ final class PhysSolver implements Solver {
+          PhysSolver() { }
+          float solve(float self, int index) { return self * 0.5f + index; }
+        }
+
+        @WootinJ final class StencilOnGpuAndMPI {
+          Solver solver;
+          Generator generator;
+          StencilOnGpuAndMPI(Generator g, Solver s) { generator = g; solver = s; }
+
+          float run(int length, int updateCnt) {
+            int rank = MPI.rank();
+            float[] array = generator.make(length, rank);
+            float[] arrayOnGPU = CUDA.copyToGPU(array);
+            CudaConfig conf = new CudaConfig(new dim3((length + 63) / 64, 1, 1),
+                                             new dim3(64, 1, 1));
+            for (int i = 0; i < updateCnt; i++) {
+              runGPU(conf, arrayOnGPU);
+            }
+            CUDA.copyFromGPU(array, arrayOnGPU);
+            float sum = 0f;
+            for (int i = 0; i < length; i++) { sum += array[i]; }
+            return MPI.allreduceSumF(sum);
+          }
+
+          @Global void runGPU(CudaConfig conf, float[] array) {
+            int x = CUDA.blockIdxX() * CUDA.blockDimX() + CUDA.threadIdxX();
+            if (x < array.length) {
+              array[x] = solver.solve(array[x], x);
+            }
+          }
+        }
+    "#;
+
+    fn reference_single_rank(length: i32, update_cnt: i32) -> f32 {
+        // Rank 0: a[i] = i; each step a[i] = a[i]*0.5 + i.
+        let mut a: Vec<f32> = (0..length).map(|i| i as f32).collect();
+        for _ in 0..update_cnt {
+            for (i, v) in a.iter_mut().enumerate() {
+                *v = *v * 0.5 + i as f32;
+            }
+        }
+        a.iter().sum()
+    }
+
+    #[test]
+    fn listing3_end_to_end_gpu_single_rank() {
+        let table = build_table(&[("listing34.jl", LISTING34)]).unwrap();
+        let mut env = WootinJ::new(&table).unwrap();
+        let gen = env.new_instance("PhysDataGen", &[]).unwrap();
+        let solver = env.new_instance("PhysSolver", &[]).unwrap();
+        let stencil = env.new_instance("StencilOnGpuAndMPI", &[gen, solver]).unwrap();
+        let mut code = env
+            .jit(&stencil, "run", &[Value::Int(200), Value::Int(4)], JitOptions::wootinj())
+            .unwrap();
+        code.set_gpu(GpuConfig::default());
+        let report = code.invoke(&env).unwrap();
+        let expected = reference_single_rank(200, 4);
+        match report.result {
+            Some(Val::F32(v)) => {
+                assert!((v - expected).abs() < expected.abs() * 1e-5, "{v} vs {expected}")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(code.translated.uses_gpu);
+        assert!(code.translated.uses_mpi);
+        assert!(code.stats().kernels >= 1);
+    }
+
+    #[test]
+    fn listing3_multi_rank_allreduce() {
+        let table = build_table(&[("listing34.jl", LISTING34)]).unwrap();
+        let mut env = WootinJ::new(&table).unwrap();
+        let gen = env.new_instance("PhysDataGen", &[]).unwrap();
+        let solver = env.new_instance("PhysSolver", &[]).unwrap();
+        let stencil = env.new_instance("StencilOnGpuAndMPI", &[gen, solver]).unwrap();
+        let mut code = env
+            .jit(&stencil, "run", &[Value::Int(64), Value::Int(2)], JitOptions::wootinj())
+            .unwrap();
+        code.set_mpi(3, CostModel::default());
+        code.set_gpu(GpuConfig::default());
+        let report = code.invoke(&env).unwrap();
+        // Each rank r generates a[i] = i + 100r and runs the same updates;
+        // the allreduce makes every rank return the global sum.
+        let per_rank: Vec<f32> = (0..3)
+            .map(|r| {
+                let mut a: Vec<f32> = (0..64).map(|i| (i + r * 100) as f32).collect();
+                for _ in 0..2 {
+                    for (i, v) in a.iter_mut().enumerate() {
+                        *v = *v * 0.5 + i as f32;
+                    }
+                }
+                a.iter().sum::<f32>()
+            })
+            .collect();
+        let expected: f32 = per_rank.iter().sum();
+        for r in &report.results {
+            match r {
+                Some(Val::F32(v)) => {
+                    assert!((v - expected).abs() < expected.abs() * 1e-5, "{v} vs {expected}")
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(report.results.len(), 3);
+    }
+
+    #[test]
+    fn interpreted_run_matches_translated_cpu_only() {
+        const CPU_APP: &str = r#"
+            @WootinJ interface Solver { float solve(float self, int index); }
+            @WootinJ final class S implements Solver {
+              S() { }
+              float solve(float self, int index) { return self * 0.5f + index; }
+            }
+            @WootinJ final class App {
+              Solver solver;
+              App(Solver s) { solver = s; }
+              float run(float[] data, int steps) {
+                for (int t = 0; t < steps; t++) {
+                  for (int i = 0; i < data.length; i++) {
+                    data[i] = solver.solve(data[i], i);
+                  }
+                }
+                float sum = 0f;
+                for (int i = 0; i < data.length; i++) { sum += data[i]; }
+                return sum;
+              }
+            }
+        "#;
+        let table = build_table(&[("app.jl", CPU_APP)]).unwrap();
+        let mut env = WootinJ::new(&table).unwrap();
+        let s = env.new_instance("S", &[]).unwrap();
+        let app = env.new_instance("App", &[s]).unwrap();
+
+        // Translated run (fresh data array).
+        let data = env.new_f32_array(&[1.0, 2.0, 3.0]);
+        let code = env
+            .jit(&app, "run", &[data, Value::Int(5)], JitOptions::wootinj())
+            .unwrap();
+        let report = code.invoke(&env).unwrap();
+
+        // Interpreted run — the translated run used a deep copy, so the
+        // host array is untouched and reusable.
+        let data2 = env.new_f32_array(&[1.0, 2.0, 3.0]);
+        let jreport = env.run_interpreted(&app, "run", &[data2, Value::Int(5)]).unwrap();
+        match (report.result, jreport.result) {
+            (Some(Val::F32(a)), Value::Float(b)) => assert_eq!(a, b),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(jreport.steps > 0);
+    }
+
+    #[test]
+    fn deep_copy_leaves_host_arrays_untouched() {
+        const APP: &str = r#"
+            @WootinJ final class W {
+              W() { }
+              void run(float[] data) {
+                for (int i = 0; i < data.length; i++) { data[i] = 99f; }
+              }
+            }
+        "#;
+        let table = build_table(&[("w.jl", APP)]).unwrap();
+        let mut env = WootinJ::new(&table).unwrap();
+        let w = env.new_instance("W", &[]).unwrap();
+        let data = env.new_f32_array(&[1.0, 2.0]);
+        let code = env.jit(&w, "run", &[data.clone()], JitOptions::wootinj()).unwrap();
+        code.invoke(&env).unwrap();
+        // The paper: modified data are NOT copied back.
+        assert_eq!(env.f32_array(&data).unwrap(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn all_four_series_agree_on_results() {
+        const APP: &str = r#"
+            @WootinJ interface Op { double f(double x); }
+            @WootinJ final class Poly implements Op {
+              double a; double b;
+              Poly(double a0, double b0) { a = a0; b = b0; }
+              double f(double x) { return a * x * x + b * x + 1.0; }
+            }
+            @WootinJ final class Runner {
+              Op op;
+              Runner(Op o) { op = o; }
+              double run(int n) {
+                double s = 0.0;
+                for (int i = 0; i < n; i++) { s += op.f(i * 0.001); }
+                return s;
+              }
+            }
+        "#;
+        let table = build_table(&[("app.jl", APP)]).unwrap();
+        let mut env = WootinJ::new(&table).unwrap();
+        let poly =
+            env.new_instance("Poly", &[Value::Double(1.5), Value::Double(-0.5)]).unwrap();
+        let runner = env.new_instance("Runner", &[poly]).unwrap();
+        let args = [Value::Int(500)];
+        let mut results = Vec::new();
+        let mut vtimes = Vec::new();
+        for opts in [
+            JitOptions::wootinj(),
+            JitOptions::template(),
+            JitOptions::template_no_virt(),
+            JitOptions::cpp(),
+        ] {
+            let code = env.jit(&runner, "run", &args, opts).unwrap();
+            let report = code.invoke(&env).unwrap();
+            match report.result {
+                Some(Val::F64(v)) => results.push(v),
+                other => panic!("unexpected {other:?}"),
+            }
+            vtimes.push(report.vtime_cycles);
+        }
+        for w in results.windows(2) {
+            assert_eq!(w[0], w[1]);
+        }
+        // WootinJ fastest, C++ slowest (the Figure 17 ordering).
+        assert!(vtimes[0] < vtimes[1], "wootinj {} !< template {}", vtimes[0], vtimes[1]);
+        assert!(vtimes[1] < vtimes[3], "template {} !< cpp {}", vtimes[1], vtimes[3]);
+    }
+
+    #[test]
+    fn compile_time_is_recorded() {
+        let table = build_table(&[("listing34.jl", LISTING34)]).unwrap();
+        let mut env = WootinJ::new(&table).unwrap();
+        let gen = env.new_instance("PhysDataGen", &[]).unwrap();
+        let solver = env.new_instance("PhysSolver", &[]).unwrap();
+        let stencil = env.new_instance("StencilOnGpuAndMPI", &[gen, solver]).unwrap();
+        let code = env
+            .jit(&stencil, "run", &[Value::Int(16), Value::Int(1)], JitOptions::wootinj())
+            .unwrap();
+        assert!(code.compile_time.as_nanos() > 0);
+        let src = code.c_source();
+        assert!(src.contains("__global__"), "{src}");
+        assert!(src.contains("MPI_Init"), "{src}");
+    }
+}
+
+#[cfg(test)]
+mod preset_tests {
+    use super::*;
+
+    #[test]
+    fn jit_option_presets_map_to_the_paper_series() {
+        assert_eq!(JitOptions::wootinj().config.mode, Mode::Full);
+        assert_eq!(JitOptions::template().config.mode, Mode::Devirt);
+        assert!(JitOptions::template().config.opt.sroa, "Template models C++ value semantics");
+        assert_eq!(JitOptions::template_no_virt().config.mode, Mode::Full);
+        assert!(JitOptions::template_no_virt().config.opt.inline_limit > 0);
+        assert_eq!(JitOptions::cpp().config.mode, Mode::Virtual);
+        assert!(!JitOptions::cpp().config.check_rules, "the C++ baseline is not rule-bound");
+    }
+
+    #[test]
+    fn run_report_exposes_per_rank_breakdown() {
+        let src = "@WootinJ final class N { N() { } \
+                   float run(float[] a) { float s = 0f; \
+                   for (int i = 0; i < a.length; i++) { s += a[i]; } \
+                   return MPI.allreduceSumF(s); } }";
+        let table = build_table(&[("n.jl", src)]).unwrap();
+        let mut env = WootinJ::new(&table).unwrap();
+        let n = env.new_instance("N", &[]).unwrap();
+        let data = env.new_f32_array(&[1.0; 32]);
+        let mut code = env.jit(&n, "run", &[data], JitOptions::wootinj()).unwrap();
+        code.set_mpi(3, MpiCostModel::default());
+        let report = code.invoke(&env).unwrap();
+        assert_eq!(report.per_rank.len(), 3);
+        assert_eq!(report.outputs.len(), 3);
+        for pr in &report.per_rank {
+            assert!(pr.compute_cycles > 0);
+            assert!(pr.vclock >= pr.compute_cycles);
+        }
+        // Every rank got its own deep copy: 3 x 32 elements summed.
+        assert_eq!(report.result, Some(Val::F32(96.0)));
+        assert!(report.vtime_cycles >= report.per_rank.iter().map(|r| r.vclock).max().unwrap());
+    }
+
+    #[test]
+    fn print_output_is_captured_per_rank() {
+        let src = "@WootinJ final class P { P() { } \
+                   void run() { WJ.printInt(MPI.rank()); } }";
+        let table = build_table(&[("p.jl", src)]).unwrap();
+        let mut env = WootinJ::new(&table).unwrap();
+        let p = env.new_instance("P", &[]).unwrap();
+        let mut code = env.jit(&p, "run", &[], JitOptions::wootinj()).unwrap();
+        code.set_mpi(2, MpiCostModel::default());
+        let report = code.invoke(&env).unwrap();
+        assert_eq!(report.outputs[0], vec!["0".to_string()]);
+        assert_eq!(report.outputs[1], vec!["1".to_string()]);
+    }
+}

@@ -1,0 +1,18 @@
+//! # wootinj-repro — root package
+//!
+//! Re-exports the workspace crates for the runnable examples in
+//! `examples/` and the cross-crate integration tests in `tests/`.
+//! See README.md for the tour and DESIGN.md for the architecture.
+
+#![forbid(unsafe_code)]
+
+pub use baselines;
+pub use exec;
+pub use gpu_sim;
+pub use hpclib;
+pub use jlang;
+pub use jvm;
+pub use mpi_sim;
+pub use nir;
+pub use translator;
+pub use wootinj;
