@@ -239,10 +239,14 @@ mod tests {
     #[test]
     fn all_styles_compute_identical_checksums() {
         let c = c_style::diffusion3d(NX, NY, NZ, STEPS, CC, CN);
-        let v = virtual_style::Runner { solver: Box::new(DiffusionSolver { cc: CC, cn: CN }) }
-            .invoke(NX, NY, NZ, STEPS);
-        let t = template_style::Runner { solver: DiffusionSolver { cc: CC, cn: CN } }
-            .invoke(NX, NY, NZ, STEPS);
+        let v = virtual_style::Runner {
+            solver: Box::new(DiffusionSolver { cc: CC, cn: CN }),
+        }
+        .invoke(NX, NY, NZ, STEPS);
+        let t = template_style::Runner {
+            solver: DiffusionSolver { cc: CC, cn: CN },
+        }
+        .invoke(NX, NY, NZ, STEPS);
         let nv = template_no_virt::DiffusionRunner { cc: CC, cn: CN }.invoke(NX, NY, NZ, STEPS);
         assert_eq!(c, v);
         assert_eq!(c, t);
@@ -251,10 +255,14 @@ mod tests {
 
     #[test]
     fn solver_component_switch_changes_result() {
-        let diff = virtual_style::Runner { solver: Box::new(DiffusionSolver { cc: CC, cn: CN }) }
-            .invoke(NX, NY, NZ, STEPS);
-        let damp = virtual_style::Runner { solver: Box::new(DampedSolver { k: 0.5 }) }
-            .invoke(NX, NY, NZ, STEPS);
+        let diff = virtual_style::Runner {
+            solver: Box::new(DiffusionSolver { cc: CC, cn: CN }),
+        }
+        .invoke(NX, NY, NZ, STEPS);
+        let damp = virtual_style::Runner {
+            solver: Box::new(DampedSolver { k: 0.5 }),
+        }
+        .invoke(NX, NY, NZ, STEPS);
         assert_ne!(diff, damp);
     }
 

@@ -50,11 +50,17 @@ pub struct SimpleMatrix {
 
 impl SimpleMatrix {
     pub fn generated(which: i32, n: usize) -> Self {
-        SimpleMatrix { d: gen_matrix(which, n), n }
+        SimpleMatrix {
+            d: gen_matrix(which, n),
+            n,
+        }
     }
 
     pub fn zero(n: usize) -> Self {
-        SimpleMatrix { d: vec![0.0; n * n], n }
+        SimpleMatrix {
+            d: vec![0.0; n * n],
+            n,
+        }
     }
 }
 

@@ -1,34 +1,39 @@
 //! Wall-clock complement to Figures 3 and 17: the serial 3-D diffusion
 //! workload, every series, on the same engine. Translation happens once
-//! outside the measurement loop; Criterion measures execution only (the
+//! outside the measurement loop; the harness measures execution only (the
 //! `repro` harness reports the deterministic virtual cycles, and
 //! `translator_bench` measures translation itself).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use bench::timing::Group;
 use hpclib::StencilApp;
 use jvm::Value;
 use wootinj::{JitOptions, WootinJ};
 
-fn bench_diffusion_serial(c: &mut Criterion) {
+fn main() {
     let dims = (12i32, 12i32, 8i32);
     let steps = 2i32;
-    let args = [Value::Int(dims.0), Value::Int(dims.1), Value::Int(dims.2), Value::Int(steps)];
+    let args = [
+        Value::Int(dims.0),
+        Value::Int(dims.1),
+        Value::Int(dims.2),
+        Value::Int(steps),
+    ];
     let table = hpclib::stencil_table(&[]).unwrap();
 
-    let mut group = c.benchmark_group("diffusion_serial_boxed");
+    let mut group = Group::new("diffusion_serial_boxed");
     group.sample_size(10);
 
     // Java series: interpreter, composed once.
     {
         let mut env = WootinJ::new(&table).unwrap();
         let runner = StencilApp::compose_boxed(&mut env, 0.4, 0.1).unwrap();
-        group.bench_function("Java", |b| {
-            b.iter(|| {
-                let r = env.run_interpreted(&runner, "invoke", black_box(&args)).unwrap();
-                black_box(r.result)
-            })
+        group.bench("Java", || {
+            let r = env
+                .run_interpreted(&runner, "invoke", black_box(&args))
+                .unwrap();
+            black_box(r.result)
         });
     }
 
@@ -42,32 +47,25 @@ fn bench_diffusion_serial(c: &mut Criterion) {
         let mut env = WootinJ::new(&table).unwrap();
         let runner = StencilApp::compose_boxed(&mut env, 0.4, 0.1).unwrap();
         let code = env.jit(&runner, "invoke", &args, opts).unwrap();
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let report = code.invoke(black_box(&env)).unwrap();
-                black_box(report.result)
-            })
+        group.bench(name, || {
+            let report = code.invoke(black_box(&env)).unwrap();
+            black_box(report.result)
         });
     }
 
     // C series: the hand-inlined program.
     {
-        let table_c =
-            hpclib::stencil_table(&[("c.jl", bench::cprogs::C_DIFFUSION)]).unwrap();
+        let table_c = hpclib::stencil_table(&[("c.jl", bench::cprogs::C_DIFFUSION)]).unwrap();
         let mut env = WootinJ::new(&table_c).unwrap();
         let runner = env
             .new_instance("CDiffusion", &[Value::Float(0.4), Value::Float(0.1)])
             .unwrap();
-        let code = env.jit(&runner, "invoke", &args, JitOptions::wootinj()).unwrap();
-        group.bench_function("C", |b| {
-            b.iter(|| {
-                let report = code.invoke(black_box(&env)).unwrap();
-                black_box(report.result)
-            })
+        let code = env
+            .jit(&runner, "invoke", &args, JitOptions::wootinj())
+            .unwrap();
+        group.bench("C", || {
+            let report = code.invoke(black_box(&env)).unwrap();
+            black_box(report.result)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_diffusion_serial);
-criterion_main!(benches);

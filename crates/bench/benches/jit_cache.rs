@@ -1,0 +1,62 @@
+//! The cache-hit fast path: a warm `jit` call is a key derivation plus a
+//! hash lookup plus an `Arc` clone — no translator or NIR work. Compare
+//! against the cold path (capacity 0, every call translates) on the same
+//! specialization key.
+
+use std::hint::black_box;
+
+use bench::timing::Group;
+use hpclib::{StencilApp, StencilPlatform};
+use jvm::Value;
+use wootinj::{JitOptions, WootinJ};
+
+fn main() {
+    let table = hpclib::stencil_table(&[]).unwrap();
+    let args = [
+        Value::Int(16),
+        Value::Int(16),
+        Value::Int(16),
+        Value::Int(2),
+    ];
+    let mut group = Group::new("jit_cache");
+    group.sample_size(50);
+
+    // Warm path: one env whose cache already holds the specialization.
+    let mut env = WootinJ::new(&table).unwrap();
+    let runner = StencilApp::compose(
+        &mut env,
+        StencilPlatform::CpuMpi,
+        StencilApp::default_model(),
+    )
+    .unwrap();
+    env.jit(&runner, "invoke", &args, JitOptions::wootinj())
+        .unwrap();
+    group.bench("diffusion_mpi/hit", || {
+        let code = env
+            .jit(&runner, "invoke", &args, JitOptions::wootinj())
+            .unwrap();
+        black_box(code.translated.program.instr_count())
+    });
+
+    // Cold path: capacity 0 forces a full translation per call.
+    let mut cold = WootinJ::new(&table).unwrap();
+    cold.set_cache_capacity(0);
+    let cold_runner = StencilApp::compose(
+        &mut cold,
+        StencilPlatform::CpuMpi,
+        StencilApp::default_model(),
+    )
+    .unwrap();
+    group.bench("diffusion_mpi/miss", || {
+        let code = cold
+            .jit(&cold_runner, "invoke", &args, JitOptions::wootinj())
+            .unwrap();
+        black_box(code.translated.program.instr_count())
+    });
+
+    let stats = env.cache_stats();
+    println!(
+        "warm-env counters: {} hits / {} misses",
+        stats.hits, stats.misses
+    );
+}

@@ -2,19 +2,19 @@
 //! through the Matrix/Calculator components, every series. Translation is
 //! hoisted out of the measurement loop.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use bench::timing::Group;
 use hpclib::{MatmulApp, MatmulBody, MatmulCalc, MatmulThread};
 use jvm::Value;
 use wootinj::{JitOptions, WootinJ};
 
-fn bench_matmul_serial(c: &mut Criterion) {
+fn main() {
     let n = 16i32;
     let args = [Value::Int(n)];
     let table = hpclib::matmul_table(&[]).unwrap();
 
-    let mut group = c.benchmark_group("matmul_serial");
+    let mut group = Group::new("matmul_serial");
     group.sample_size(10);
 
     {
@@ -26,11 +26,11 @@ fn bench_matmul_serial(c: &mut Criterion) {
             MatmulCalc::Simple,
         )
         .unwrap();
-        group.bench_function("Java", |b| {
-            b.iter(|| {
-                let r = env.run_interpreted(&app, "start", black_box(&args)).unwrap();
-                black_box(r.result)
-            })
+        group.bench("Java", || {
+            let r = env
+                .run_interpreted(&app, "start", black_box(&args))
+                .unwrap();
+            black_box(r.result)
         });
     }
 
@@ -49,11 +49,9 @@ fn bench_matmul_serial(c: &mut Criterion) {
         )
         .unwrap();
         let code = env.jit(&app, "start", &args, opts).unwrap();
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let report = code.invoke(black_box(&env)).unwrap();
-                black_box(report.result)
-            })
+        group.bench(name, || {
+            let report = code.invoke(black_box(&env)).unwrap();
+            black_box(report.result)
         });
     }
 
@@ -61,16 +59,12 @@ fn bench_matmul_serial(c: &mut Criterion) {
         let table_c = hpclib::matmul_table(&[("c.jl", bench::cprogs::C_MATMUL)]).unwrap();
         let mut env = WootinJ::new(&table_c).unwrap();
         let app = env.new_instance("CMatmul", &[]).unwrap();
-        let code = env.jit(&app, "start", &args, JitOptions::wootinj()).unwrap();
-        group.bench_function("C", |b| {
-            b.iter(|| {
-                let report = code.invoke(black_box(&env)).unwrap();
-                black_box(report.result)
-            })
+        let code = env
+            .jit(&app, "start", &args, JitOptions::wootinj())
+            .unwrap();
+        group.bench("C", || {
+            let report = code.invoke(black_box(&env)).unwrap();
+            black_box(report.result)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_matmul_serial);
-criterion_main!(benches);

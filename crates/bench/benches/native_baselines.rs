@@ -3,51 +3,53 @@
 //! engine-level ordering of the translated series is not a simulator
 //! artifact (DESIGN.md §3).
 
+use std::hint::black_box;
+
 use baselines::diffusion::{
     c_style, template_no_virt, template_style, virtual_style, DiffusionSolver,
 };
 use baselines::matmul;
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use bench::timing::Group;
 
-fn bench_native_diffusion(c: &mut Criterion) {
-    let (nx, ny, nz, steps) = (48, 48, 32, 4);
-    let mut group = c.benchmark_group("native_diffusion");
-    group.bench_function("c_style", |b| {
-        b.iter(|| black_box(c_style::diffusion3d(nx, ny, nz, steps, 0.4, 0.1)))
-    });
-    group.bench_function("virtual_style", |b| {
-        let r = virtual_style::Runner { solver: Box::new(DiffusionSolver { cc: 0.4, cn: 0.1 }) };
-        b.iter(|| black_box(r.invoke(nx, ny, nz, steps)))
-    });
-    group.bench_function("template_style", |b| {
-        let r = template_style::Runner { solver: DiffusionSolver { cc: 0.4, cn: 0.1 } };
-        b.iter(|| black_box(r.invoke(nx, ny, nz, steps)))
-    });
-    group.bench_function("template_no_virt", |b| {
-        let r = template_no_virt::DiffusionRunner { cc: 0.4, cn: 0.1 };
-        b.iter(|| black_box(r.invoke(nx, ny, nz, steps)))
-    });
-    group.finish();
+fn main() {
+    {
+        let (nx, ny, nz, steps) = (48, 48, 32, 4);
+        let mut group = Group::new("native_diffusion");
+        group.bench("c_style", || {
+            black_box(c_style::diffusion3d(nx, ny, nz, steps, 0.4, 0.1))
+        });
+        {
+            let r = virtual_style::Runner {
+                solver: Box::new(DiffusionSolver { cc: 0.4, cn: 0.1 }),
+            };
+            group.bench("virtual_style", || black_box(r.invoke(nx, ny, nz, steps)));
+        }
+        {
+            let r = template_style::Runner {
+                solver: DiffusionSolver { cc: 0.4, cn: 0.1 },
+            };
+            group.bench("template_style", || black_box(r.invoke(nx, ny, nz, steps)));
+        }
+        {
+            let r = template_no_virt::DiffusionRunner { cc: 0.4, cn: 0.1 };
+            group.bench("template_no_virt", || {
+                black_box(r.invoke(nx, ny, nz, steps))
+            });
+        }
+    }
+
+    {
+        let n = 96;
+        let mut group = Group::new("native_matmul");
+        group.bench("c_style", || black_box(matmul::c_style::matmul_checksum(n)));
+        group.bench("virtual_style", || {
+            black_box(matmul::virtual_style::matmul_checksum(n))
+        });
+        group.bench("template_style", || {
+            black_box(matmul::template_style::matmul_checksum(n))
+        });
+        group.bench("template_no_virt", || {
+            black_box(matmul::template_no_virt::matmul_checksum(n))
+        });
+    }
 }
-
-fn bench_native_matmul(c: &mut Criterion) {
-    let n = 96;
-    let mut group = c.benchmark_group("native_matmul");
-    group.bench_function("c_style", |b| {
-        b.iter(|| black_box(matmul::c_style::matmul_checksum(n)))
-    });
-    group.bench_function("virtual_style", |b| {
-        b.iter(|| black_box(matmul::virtual_style::matmul_checksum(n)))
-    });
-    group.bench_function("template_style", |b| {
-        b.iter(|| black_box(matmul::template_style::matmul_checksum(n)))
-    });
-    group.bench_function("template_no_virt", |b| {
-        b.iter(|| black_box(matmul::template_no_virt::matmul_checksum(n)))
-    });
-    group.finish();
-}
-
-criterion_group!(benches, bench_native_diffusion, bench_native_matmul);
-criterion_main!(benches);

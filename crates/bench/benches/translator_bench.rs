@@ -1,17 +1,17 @@
 //! Wall-clock translation cost (the measured component of Table 3):
 //! how long the WootinJ pipeline takes per mode on the two libraries.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use bench::timing::Group;
 use hpclib::{MatmulApp, MatmulBody, MatmulCalc, MatmulThread, StencilApp, StencilPlatform};
 use jvm::Value;
 use wootinj::{JitOptions, WootinJ};
 
-fn bench_translation(c: &mut Criterion) {
+fn main() {
     let stencil_table = hpclib::stencil_table(&[]).unwrap();
     let matmul_table = hpclib::matmul_table(&[]).unwrap();
-    let mut group = c.benchmark_group("translate");
+    let mut group = Group::new("translate");
     group.sample_size(20);
 
     for (name, opts) in [
@@ -19,39 +19,36 @@ fn bench_translation(c: &mut Criterion) {
         ("template", JitOptions::template()),
         ("cpp", JitOptions::cpp()),
     ] {
-        group.bench_function(format!("diffusion_gpu_mpi/{name}"), |b| {
-            b.iter(|| {
-                let mut env = WootinJ::new(&stencil_table).unwrap();
-                let runner = StencilApp::compose(
-                    &mut env,
-                    StencilPlatform::GpuMpi,
-                    StencilApp::default_model(),
-                )
-                .unwrap();
-                let args = [Value::Int(16), Value::Int(16), Value::Int(16), Value::Int(2)];
-                let code = env.jit(&runner, "invoke", &args, opts);
-                // The C++ baseline cannot translate GPU kernels (see §4);
-                // measuring its failure path is still meaningful work.
-                black_box(code.map(|c| c.translated.program.instr_count()).ok())
-            })
+        group.bench(&format!("diffusion_gpu_mpi/{name}"), || {
+            let mut env = WootinJ::new(&stencil_table).unwrap();
+            let runner = StencilApp::compose(
+                &mut env,
+                StencilPlatform::GpuMpi,
+                StencilApp::default_model(),
+            )
+            .unwrap();
+            let args = [
+                Value::Int(16),
+                Value::Int(16),
+                Value::Int(16),
+                Value::Int(2),
+            ];
+            let code = env.jit(&runner, "invoke", &args, opts);
+            // The C++ baseline cannot translate GPU kernels (see §4);
+            // measuring its failure path is still meaningful work.
+            black_box(code.map(|c| c.translated.program.instr_count()).ok())
         });
-        group.bench_function(format!("matmul_fox/{name}"), |b| {
-            b.iter(|| {
-                let mut env = WootinJ::new(&matmul_table).unwrap();
-                let app = MatmulApp::compose(
-                    &mut env,
-                    MatmulThread::Mpi,
-                    MatmulBody::Fox,
-                    MatmulCalc::Simple,
-                )
-                .unwrap();
-                let code = env.jit(&app, "start", &[Value::Int(32)], opts);
-                black_box(code.map(|c| c.translated.program.instr_count()).ok())
-            })
+        group.bench(&format!("matmul_fox/{name}"), || {
+            let mut env = WootinJ::new(&matmul_table).unwrap();
+            let app = MatmulApp::compose(
+                &mut env,
+                MatmulThread::Mpi,
+                MatmulBody::Fox,
+                MatmulCalc::Simple,
+            )
+            .unwrap();
+            let code = env.jit(&app, "start", &[Value::Int(32)], opts);
+            black_box(code.map(|c| c.translated.program.instr_count()).ok())
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_translation);
-criterion_main!(benches);

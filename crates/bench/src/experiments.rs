@@ -119,11 +119,19 @@ pub fn run_stencil(
 ) -> Outcome {
     let table = hpclib::stencil_table(&[("c_diffusion.jl", C_DIFFUSION)]).expect("compile");
     let mut env = WootinJ::new(&table).expect("env");
-    let args =
-        [Value::Int(dims.0), Value::Int(dims.1), Value::Int(dims.2), Value::Int(steps)];
+    let args = [
+        Value::Int(dims.0),
+        Value::Int(dims.1),
+        Value::Int(dims.2),
+        Value::Int(steps),
+    ];
 
     if kind == Kind::Java {
-        assert_eq!(platform, StencilPlatform::Cpu, "the Java series is CPU-only");
+        assert_eq!(
+            platform,
+            StencilPlatform::Cpu,
+            "the Java series is CPU-only"
+        );
         let runner = if boxed {
             StencilApp::compose_boxed(&mut env, 0.4, 0.1).unwrap()
         } else {
@@ -149,15 +157,22 @@ pub fn run_stencil(
             StencilPlatform::Gpu => "CDiffusionGPU",
             StencilPlatform::GpuMpi => "CDiffusionGPUMPI",
         };
-        env.new_instance(class, &[Value::Float(0.4), Value::Float(0.1)]).unwrap()
+        env.new_instance(class, &[Value::Float(0.4), Value::Float(0.1)])
+            .unwrap()
     } else if boxed {
-        assert_eq!(platform, StencilPlatform::Cpu, "the boxed runner is CPU-only");
+        assert_eq!(
+            platform,
+            StencilPlatform::Cpu,
+            "the boxed runner is CPU-only"
+        );
         StencilApp::compose_boxed(&mut env, 0.4, 0.1).unwrap()
     } else {
         StencilApp::compose(&mut env, platform, StencilApp::default_model()).unwrap()
     };
 
-    let mut code = env.jit(&runner, "invoke", &args, kind.jit_options()).unwrap();
+    let mut code = env
+        .jit(&runner, "invoke", &args, kind.jit_options())
+        .unwrap();
     if platform.uses_mpi() {
         code.set_mpi(ranks, MpiCostModel::default());
     }
@@ -251,7 +266,11 @@ pub fn run_matmul(kind: Kind, target: MatTarget, ranks: u32, n: i32) -> Outcome 
 /// Figure 3: 3-D diffusion, single thread — Java vs C++ vs C. The boxed
 /// (ScalarFloat) library API, as in the paper's Listing 1.
 pub fn fig3() -> Figure {
-    serial_diffusion("fig3", "3D diffusion, 1 thread (Java / C++ / C)", &[Kind::Java, Kind::Cpp, Kind::C])
+    serial_diffusion(
+        "fig3",
+        "3D diffusion, 1 thread (Java / C++ / C)",
+        &[Kind::Java, Kind::Cpp, Kind::C],
+    )
 }
 
 /// Figure 17: Figure 3 extended with Template, Template w/o virt., WootinJ.
@@ -274,8 +293,12 @@ fn serial_diffusion(id: &str, title: &str, kinds: &[Kind]) -> Figure {
     let (dims, steps) = ((16, 16, 12), 3);
     let mut fig = Figure::new(id, title, "series", "virtual cycles");
     fig.note("paper: 128x128x128 on a 2.9 GHz Xeon; here 16x16x12, 3 steps on the NIR engine");
-    fig.note("boxed ScalarFloat solver API (paper Listing 1); the C program is hand-inlined and unboxed");
-    fig.note(format!("Java series = interpreter steps x {JAVA_STEP_CYCLES} cycles (model constant)"));
+    fig.note(
+        "boxed ScalarFloat solver API (paper Listing 1); the C program is hand-inlined and unboxed",
+    );
+    fig.note(format!(
+        "Java series = interpreter steps x {JAVA_STEP_CYCLES} cycles (model constant)"
+    ));
     let mut s = Series::new("cycles");
     for (i, &k) in kinds.iter().enumerate() {
         let out = run_stencil(k, StencilPlatform::Cpu, 1, dims, steps, true);
@@ -297,10 +320,16 @@ pub fn fig18() -> Figure {
         Kind::WootinJ,
         Kind::C,
     ];
-    let mut fig =
-        Figure::new("fig18", "matrix multiplication, 1 thread (all series)", "series", "virtual cycles");
+    let mut fig = Figure::new(
+        "fig18",
+        "matrix multiplication, 1 thread (all series)",
+        "series",
+        "virtual cycles",
+    );
     fig.note("paper: 1024x1024x1024; here 24x24 through the Matrix/Calculator components");
-    fig.note(format!("Java series = interpreter steps x {JAVA_STEP_CYCLES} cycles (model constant)"));
+    fig.note(format!(
+        "Java series = interpreter steps x {JAVA_STEP_CYCLES} cycles (model constant)"
+    ));
     let mut s = Series::new("cycles");
     for (i, &k) in kinds.iter().enumerate() {
         let out = run_matmul(k, MatTarget::Cpu, 1, n);
@@ -320,7 +349,13 @@ pub fn fig4() -> Figure {
     let per_rank = (16, 16, 8);
     let steps = 4;
     let ranks = [1u32, 2, 4, 8, 16, 32];
-    let kinds = [Kind::C, Kind::Cpp, Kind::Template, Kind::TemplateNoVirt, Kind::WootinJ];
+    let kinds = [
+        Kind::C,
+        Kind::Cpp,
+        Kind::Template,
+        Kind::TemplateNoVirt,
+        Kind::WootinJ,
+    ];
     let mut fig = Figure::new(
         "fig4",
         "diffusion weak scaling, MPI CPU",
@@ -371,7 +406,11 @@ fn strong_diffusion_mpi(id: &str, include_compile: bool) -> Figure {
         let mut s = Series::new(kind.name());
         for &r in &ranks {
             let out = run_stencil(kind, StencilPlatform::CpuMpi, r, dims, steps, false);
-            let y = if include_compile { out.with_compile(kind) } else { out.vtime as f64 };
+            let y = if include_compile {
+                out.with_compile(kind)
+            } else {
+                out.vtime as f64
+            };
             s.push(r as f64, y);
         }
         fig.series.push(s);
@@ -385,8 +424,12 @@ pub fn fig6() -> Figure {
     let steps = 4;
     let ranks = [1u32, 2, 4, 8];
     let kinds = [Kind::C, Kind::Template, Kind::TemplateNoVirt, Kind::WootinJ];
-    let mut fig =
-        Figure::new("fig6", "diffusion weak scaling, GPU + MPI", "ranks", "virtual cycles");
+    let mut fig = Figure::new(
+        "fig6",
+        "diffusion weak scaling, GPU + MPI",
+        "ranks",
+        "virtual cycles",
+    );
     fig.note("paper: 384^3 per GPU, using the whole device memory; here 16x16x8 per rank");
     fig.note("no C++ series: the paper itself avoided virtual calls in CUDA kernels (§4)");
     for kind in kinds {
@@ -430,7 +473,11 @@ fn strong_diffusion_gpu(id: &str, include_compile: bool) -> Figure {
         let mut s = Series::new(kind.name());
         for &r in &ranks {
             let out = run_stencil(kind, StencilPlatform::GpuMpi, r, dims, steps, false);
-            let y = if include_compile { out.with_compile(kind) } else { out.vtime as f64 };
+            let y = if include_compile {
+                out.with_compile(kind)
+            } else {
+                out.vtime as f64
+            };
             s.push(r as f64, y);
         }
         fig.series.push(s);
@@ -447,8 +494,19 @@ fn strong_diffusion_gpu(id: &str, include_compile: bool) -> Figure {
 pub fn fig9() -> Figure {
     let m = 16;
     let ranks = [1u32, 4, 9, 16];
-    let kinds = [Kind::C, Kind::Cpp, Kind::Template, Kind::TemplateNoVirt, Kind::WootinJ];
-    let mut fig = Figure::new("fig9", "matmul weak scaling, MPI CPU (Fox)", "ranks", "virtual cycles");
+    let kinds = [
+        Kind::C,
+        Kind::Cpp,
+        Kind::Template,
+        Kind::TemplateNoVirt,
+        Kind::WootinJ,
+    ];
+    let mut fig = Figure::new(
+        "fig9",
+        "matmul weak scaling, MPI CPU (Fox)",
+        "ranks",
+        "virtual cycles",
+    );
     fig.note("paper: 2048^3 per node; here a fixed 16x16 block per rank (n = 16*sqrt(p))");
     fig.note("Fox per-rank work grows with sqrt(p); the ideal line is t1*sqrt(p)");
     for kind in kinds {
@@ -478,8 +536,12 @@ pub fn fig11() -> Figure {
     let m = 16;
     let ranks = [1u32, 4, 9];
     let kinds = [Kind::C, Kind::Template, Kind::TemplateNoVirt, Kind::WootinJ];
-    let mut fig =
-        Figure::new("fig11", "matmul weak scaling, GPU + MPI (Fox)", "ranks", "virtual cycles");
+    let mut fig = Figure::new(
+        "fig11",
+        "matmul weak scaling, GPU + MPI (Fox)",
+        "ranks",
+        "virtual cycles",
+    );
     fig.note("paper: 14592^3 per GPU (whole device memory); here a fixed 16x16 block per rank");
     for kind in kinds {
         let mut s = Series::new(kind.name());
@@ -515,7 +577,11 @@ fn strong_matmul(id: &str, target: MatTarget, include_compile: bool) -> Figure {
         id,
         format!(
             "matmul strong scaling, {what} ({})",
-            if include_compile { "incl. compile" } else { "excl. compile" }
+            if include_compile {
+                "incl. compile"
+            } else {
+                "excl. compile"
+            }
         ),
         "ranks",
         "virtual cycles",
@@ -525,7 +591,11 @@ fn strong_matmul(id: &str, target: MatTarget, include_compile: bool) -> Figure {
         let mut s = Series::new(kind.name());
         for &r in &ranks {
             let out = run_matmul(kind, target, r, n);
-            let y = if include_compile { out.with_compile(kind) } else { out.vtime as f64 };
+            let y = if include_compile {
+                out.with_compile(kind)
+            } else {
+                out.vtime as f64
+            };
             s.push(r as f64, y);
         }
         fig.series.push(s);
@@ -541,7 +611,12 @@ fn strong_matmul(id: &str, target: MatTarget, include_compile: bool) -> Figure {
 /// plus generated-code statistics. Independent of problem size by
 /// construction (shape analysis sees sizes only as scalars).
 pub fn tab3() -> Figure {
-    let mut fig = Figure::new("tab3", "WootinJ compilation time", "program", "milliseconds");
+    let mut fig = Figure::new(
+        "tab3",
+        "WootinJ compilation time",
+        "program",
+        "milliseconds",
+    );
     fig.note("paper: 4-5 s dominated by the external icc/nvcc invocation; ours is the");
     fig.note("translator alone (the 'external compiler' is the NIR optimizer), hence ms-scale.");
     fig.note("x=0 diffusion MPI, x=1 diffusion GPU+MPI, x=2 matmul Fox, x=3 matmul Fox GPU");
@@ -553,12 +628,21 @@ pub fn tab3() -> Figure {
     let matmul_table = hpclib::matmul_table(&[]).unwrap();
 
     // Program 0/1: diffusion MPI + GPU.
-    for (i, platform) in [StencilPlatform::CpuMpi, StencilPlatform::GpuMpi].iter().enumerate() {
+    for (i, platform) in [StencilPlatform::CpuMpi, StencilPlatform::GpuMpi]
+        .iter()
+        .enumerate()
+    {
         let mut env = WootinJ::new(&stencil_table).unwrap();
-        let runner =
-            StencilApp::compose(&mut env, *platform, StencilApp::default_model()).unwrap();
-        let args = [Value::Int(16), Value::Int(16), Value::Int(16), Value::Int(2)];
-        let code = env.jit(&runner, "invoke", &args, JitOptions::wootinj()).unwrap();
+        let runner = StencilApp::compose(&mut env, *platform, StencilApp::default_model()).unwrap();
+        let args = [
+            Value::Int(16),
+            Value::Int(16),
+            Value::Int(16),
+            Value::Int(2),
+        ];
+        let code = env
+            .jit(&runner, "invoke", &args, JitOptions::wootinj())
+            .unwrap();
         ms.push(i as f64, code.compile_time.as_secs_f64() * 1e3);
         funcs.push(i as f64, code.translated.program.funcs.len() as f64);
         instrs.push(i as f64, code.translated.program.instr_count() as f64);
@@ -568,7 +652,9 @@ pub fn tab3() -> Figure {
         let mut env = WootinJ::new(&matmul_table).unwrap();
         let app =
             MatmulApp::compose(&mut env, MatmulThread::Mpi, *body, MatmulCalc::Simple).unwrap();
-        let code = env.jit(&app, "start", &[Value::Int(32)], JitOptions::wootinj()).unwrap();
+        let code = env
+            .jit(&app, "start", &[Value::Int(32)], JitOptions::wootinj())
+            .unwrap();
         ms.push((i + 2) as f64, code.compile_time.as_secs_f64() * 1e3);
         funcs.push((i + 2) as f64, code.translated.program.funcs.len() as f64);
         instrs.push((i + 2) as f64, code.translated.program.instr_count() as f64);
@@ -576,6 +662,60 @@ pub fn tab3() -> Figure {
     fig.series.push(ms);
     fig.series.push(funcs);
     fig.series.push(instrs);
+    fig
+}
+
+/// Table 3 follow-on: cumulative compilation cost vs. call count, with
+/// the specialization-keyed code cache on (default capacity) and off
+/// (capacity 0). The paper amortizes its 4-5 s compile over a long
+/// simulation; the cache amortizes ours over *repeat* `jit` calls — the
+/// cached curve is flat after the first call, the uncached one linear.
+pub fn tab3_amortized() -> Figure {
+    let mut fig = Figure::new(
+        "tab3-amortized",
+        "cumulative compile cost vs. call count",
+        "jit calls",
+        "cumulative compile ms",
+    );
+    fig.note("same specialization key every call (diffusion MPI runner, WootinJ mode)");
+    fig.note("cached = default LRU cache; uncached = capacity 0 (every call translates)");
+    let checkpoints = [1u64, 2, 5, 10, 20, 50];
+    let max_calls = *checkpoints.last().unwrap();
+
+    let table = hpclib::stencil_table(&[]).unwrap();
+    let args = [
+        Value::Int(16),
+        Value::Int(16),
+        Value::Int(16),
+        Value::Int(2),
+    ];
+
+    let run = |name: &str, capacity: usize| -> Series {
+        let mut env = WootinJ::new(&table).unwrap();
+        env.set_cache_capacity(capacity);
+        let runner = StencilApp::compose(
+            &mut env,
+            StencilPlatform::CpuMpi,
+            StencilApp::default_model(),
+        )
+        .unwrap();
+        let mut s = Series::new(name);
+        let mut cumulative = 0.0;
+        for call in 1..=max_calls {
+            let code = env
+                .jit(&runner, "invoke", &args, JitOptions::wootinj())
+                .unwrap();
+            cumulative += code.compile_time.as_secs_f64() * 1e3;
+            if checkpoints.contains(&call) {
+                s.push(call as f64, cumulative);
+            }
+        }
+        s
+    };
+
+    fig.series
+        .push(run("cached", wootinj::cache::DEFAULT_CAPACITY));
+    fig.series.push(run("uncached", 0));
     fig
 }
 
@@ -592,9 +732,15 @@ pub fn tab2() -> Figure {
 
 fn opt_sweep(id: &str, title: &str, diffusion: bool) -> Figure {
     let mut fig = Figure::new(id, title, "config", "virtual cycles");
-    fig.note("x=0 no passes (-O0), x=1 standard (fold+copyprop+dce), x=2 aggressive (+inline+SROA)");
+    fig.note(
+        "x=0 no passes (-O0), x=1 standard (fold+copyprop+dce), x=2 aggressive (+inline+SROA)",
+    );
     fig.note("our analogue of the paper's icc option rows (Table 1/2)");
-    let configs = [OptConfig::none(), OptConfig::standard(), OptConfig::aggressive()];
+    let configs = [
+        OptConfig::none(),
+        OptConfig::standard(),
+        OptConfig::aggressive(),
+    ];
     let mut s = Series::new("WootinJ-translated");
     for (i, opt) in configs.iter().enumerate() {
         let vtime = if diffusion {
@@ -603,9 +749,19 @@ fn opt_sweep(id: &str, title: &str, diffusion: bool) -> Figure {
             let runner =
                 StencilApp::compose(&mut env, StencilPlatform::Cpu, StencilApp::default_model())
                     .unwrap();
-            let args = [Value::Int(16), Value::Int(16), Value::Int(12), Value::Int(3)];
+            let args = [
+                Value::Int(16),
+                Value::Int(16),
+                Value::Int(12),
+                Value::Int(3),
+            ];
             let code = env
-                .jit(&runner, "invoke", &args, JitOptions::wootinj().with_opt(*opt))
+                .jit(
+                    &runner,
+                    "invoke",
+                    &args,
+                    JitOptions::wootinj().with_opt(*opt),
+                )
                 .unwrap();
             code.invoke(&env).unwrap().vtime_cycles
         } else {
@@ -619,7 +775,12 @@ fn opt_sweep(id: &str, title: &str, diffusion: bool) -> Figure {
             )
             .unwrap();
             let code = env
-                .jit(&app, "start", &[Value::Int(24)], JitOptions::wootinj().with_opt(*opt))
+                .jit(
+                    &app,
+                    "start",
+                    &[Value::Int(24)],
+                    JitOptions::wootinj().with_opt(*opt),
+                )
                 .unwrap();
             code.invoke(&env).unwrap().vtime_cycles
         };
@@ -642,19 +803,28 @@ pub fn ablate_devirt() -> Figure {
         "stage",
         "virtual cycles",
     );
-    fig.note("x=0 vtable dispatch (Virtual), x=1 devirtualized (Devirt), x=2 + object inlining (Full)");
+    fig.note(
+        "x=0 vtable dispatch (Virtual), x=1 devirtualized (Devirt), x=2 + object inlining (Full)",
+    );
     fig.note("boxed ScalarFloat diffusion, 16x16x12, 3 steps; all with standard NIR passes");
     let table = hpclib::stencil_table(&[]).unwrap();
     let mut s = Series::new("cycles");
     let opts = [
         JitOptions::cpp(),
-        JitOptions { config: translator::TransConfig::devirt() },
+        JitOptions {
+            config: translator::TransConfig::devirt(),
+        },
         JitOptions::wootinj(),
     ];
     for (i, o) in opts.iter().enumerate() {
         let mut env = WootinJ::new(&table).unwrap();
         let runner = StencilApp::compose_boxed(&mut env, 0.4, 0.1).unwrap();
-        let args = [Value::Int(16), Value::Int(16), Value::Int(12), Value::Int(3)];
+        let args = [
+            Value::Int(16),
+            Value::Int(16),
+            Value::Int(12),
+            Value::Int(3),
+        ];
         let code = env.jit(&runner, "invoke", &args, *o).unwrap();
         s.push(i as f64, code.invoke(&env).unwrap().vtime_cycles as f64);
     }
@@ -675,12 +845,19 @@ pub fn ablate_inline() -> Figure {
     for limit in [0usize, 4, 16, 64] {
         let mut env = WootinJ::new(&table).unwrap();
         let runner = StencilApp::compose_boxed(&mut env, 0.4, 0.1).unwrap();
-        let args = [Value::Int(16), Value::Int(16), Value::Int(12), Value::Int(3)];
+        let args = [
+            Value::Int(16),
+            Value::Int(16),
+            Value::Int(12),
+            Value::Int(3),
+        ];
         let mut opt = OptConfig::aggressive();
         opt.inline_limit = limit;
         let mut config = translator::TransConfig::devirt();
         config.opt = opt;
-        let code = env.jit(&runner, "invoke", &args, JitOptions { config }).unwrap();
+        let code = env
+            .jit(&runner, "invoke", &args, JitOptions { config })
+            .unwrap();
         s.push(limit as f64, code.invoke(&env).unwrap().vtime_cycles as f64);
     }
     fig.series.push(s);
@@ -701,14 +878,28 @@ pub fn ablate_comm() -> Figure {
     let mut s = Series::new("WootinJ");
     for alpha in [500u64, 2_000, 8_000, 32_000, 128_000] {
         let mut env = WootinJ::new(&table).unwrap();
-        let runner =
-            StencilApp::compose(&mut env, StencilPlatform::CpuMpi, StencilApp::default_model())
-                .unwrap();
-        let args = [Value::Int(16), Value::Int(16), Value::Int(64), Value::Int(4)];
-        let mut code = env.jit(&runner, "invoke", &args, JitOptions::wootinj()).unwrap();
+        let runner = StencilApp::compose(
+            &mut env,
+            StencilPlatform::CpuMpi,
+            StencilApp::default_model(),
+        )
+        .unwrap();
+        let args = [
+            Value::Int(16),
+            Value::Int(16),
+            Value::Int(64),
+            Value::Int(4),
+        ];
+        let mut code = env
+            .jit(&runner, "invoke", &args, JitOptions::wootinj())
+            .unwrap();
         code.set_mpi(
             8,
-            MpiCostModel { alpha, beta: 0.4, collective_alpha: alpha * 2 },
+            MpiCostModel {
+                alpha,
+                beta: 0.4,
+                collective_alpha: alpha * 2,
+            },
         );
         s.push(alpha as f64, code.invoke(&env).unwrap().vtime_cycles as f64);
     }
@@ -732,13 +923,19 @@ pub fn ext_reduce() -> Figure {
     let table = hpclib::reduce_table(&[]).unwrap();
     let n = 4096;
     let mut s = Series::new("cycles");
-    for (i, platform) in
-        [ReducePlatform::Cpu, ReducePlatform::Mpi, ReducePlatform::Gpu].iter().enumerate()
+    for (i, platform) in [
+        ReducePlatform::Cpu,
+        ReducePlatform::Mpi,
+        ReducePlatform::Gpu,
+    ]
+    .iter()
+    .enumerate()
     {
         let mut env = WootinJ::new(&table).unwrap();
         let app = ReduceApp::compose(&mut env, *platform, ReduceOp::Square, 0.125).unwrap();
-        let mut code =
-            env.jit(&app, "reduce", &[Value::Int(n)], JitOptions::wootinj()).unwrap();
+        let mut code = env
+            .jit(&app, "reduce", &[Value::Int(n)], JitOptions::wootinj())
+            .unwrap();
         if *platform == ReducePlatform::Mpi {
             code.set_mpi(4, MpiCostModel::default());
         }
@@ -767,14 +964,18 @@ pub fn ablate_gpu() -> Figure {
         let mut s = Series::new(format!("{bw} B/cycle"));
         for sms in [7u32, 14, 28, 56] {
             let mut env = WootinJ::new(&table).unwrap();
-            let runner = StencilApp::compose(
-                &mut env,
-                StencilPlatform::Gpu,
-                StencilApp::default_model(),
-            )
-            .unwrap();
-            let args = [Value::Int(16), Value::Int(16), Value::Int(16), Value::Int(4)];
-            let mut code = env.jit(&runner, "invoke", &args, JitOptions::wootinj()).unwrap();
+            let runner =
+                StencilApp::compose(&mut env, StencilPlatform::Gpu, StencilApp::default_model())
+                    .unwrap();
+            let args = [
+                Value::Int(16),
+                Value::Int(16),
+                Value::Int(16),
+                Value::Int(4),
+            ];
+            let mut code = env
+                .jit(&runner, "invoke", &args, JitOptions::wootinj())
+                .unwrap();
             code.set_gpu(GpuConfig {
                 n_sms: sms,
                 copy_bytes_per_cycle: bw,
@@ -790,9 +991,30 @@ pub fn ablate_gpu() -> Figure {
 /// All figure/table ids, in paper order.
 pub fn all_ids() -> Vec<&'static str> {
     vec![
-        "fig3", "tab1", "fig4", "fig5", "fig6", "fig7", "tab2", "fig9", "fig10", "fig11",
-        "fig12", "tab3", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
-        "ablate-devirt", "ablate-inline", "ablate-comm", "ablate-gpu", "ext-reduce",
+        "fig3",
+        "tab1",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "tab2",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "tab3",
+        "tab3-amortized",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "fig18",
+        "ablate-devirt",
+        "ablate-inline",
+        "ablate-comm",
+        "ablate-gpu",
+        "ext-reduce",
     ]
 }
 
@@ -817,6 +1039,7 @@ pub fn run_experiment(id: &str) -> Option<Figure> {
         "tab1" => tab1(),
         "tab2" => tab2(),
         "tab3" => tab3(),
+        "tab3-amortized" => tab3_amortized(),
         "ablate-devirt" => ablate_devirt(),
         "ablate-inline" => ablate_inline(),
         "ablate-comm" => ablate_comm(),

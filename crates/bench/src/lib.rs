@@ -5,14 +5,15 @@
 //! * [`cprogs`] — the hand-inlined *C* baseline programs;
 //! * the `repro` binary — `repro fig4`, `repro all`, ... prints the series
 //!   and writes `results/<id>.json`;
-//! * `benches/` — Criterion wall-clock benches for the serial figures and
-//!   the translator (Table 3's wall-time component).
+//! * [`timing`] — a minimal wall-clock harness used by `benches/` (the
+//!   serial figures, the translator, and the JIT-cache fast path).
 
 #![forbid(unsafe_code)]
 
 pub mod cprogs;
 pub mod experiments;
 pub mod series;
+pub mod timing;
 
 pub use experiments::{all_ids, run_experiment};
 pub use series::{Figure, Point, Series};

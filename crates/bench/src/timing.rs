@@ -1,0 +1,98 @@
+//! Minimal wall-clock benchmark harness — a criterion stand-in that
+//! builds on network-isolated hosts with no external crates.
+//!
+//! Each labeled closure is warmed up, then timed for a fixed number of
+//! samples; min / median / mean wall time per iteration are printed as an
+//! aligned table. Use `std::hint::black_box` in the closure to keep the
+//! optimizer honest, exactly as with criterion.
+
+use std::time::{Duration, Instant};
+
+/// A named group of benchmark functions, printed as one table.
+pub struct Group {
+    name: String,
+    samples: usize,
+    warmup: usize,
+}
+
+impl Group {
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        println!("\n== bench group: {name} ==");
+        println!(
+            "{:<32}{:>14}{:>14}{:>14}",
+            "benchmark", "min", "median", "mean"
+        );
+        Group {
+            name,
+            samples: 30,
+            warmup: 3,
+        }
+    }
+
+    /// Number of timed samples per benchmark (default 30).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Time `f`, printing one table row. Returns the median sample.
+    pub fn bench<R>(&mut self, label: &str, mut f: impl FnMut() -> R) -> Duration {
+        for _ in 0..self.warmup {
+            std::hint::black_box(f());
+        }
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                std::hint::black_box(f());
+                start.elapsed()
+            })
+            .collect();
+        times.sort();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        println!(
+            "{:<32}{:>14}{:>14}{:>14}",
+            format!("{}/{label}", self.name),
+            fmt_dur(min),
+            fmt_dur(median),
+            fmt_dur(mean)
+        );
+        median
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_returns_a_plausible_median() {
+        let mut g = Group::new("t");
+        g.sample_size(5);
+        let d = g.bench("noop", || 1 + 1);
+        assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn duration_formatting_picks_sane_units() {
+        assert!(fmt_dur(Duration::from_nanos(5)).ends_with("ns"));
+        assert!(fmt_dur(Duration::from_micros(50)).ends_with("µs"));
+        assert!(fmt_dur(Duration::from_millis(50)).ends_with("ms"));
+        assert!(fmt_dur(Duration::from_secs(50)).ends_with("s"));
+    }
+}

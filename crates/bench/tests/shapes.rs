@@ -14,29 +14,51 @@ fn figure3_ordering_java_cpp_c() {
     let cpp = run_stencil(Kind::Cpp, StencilPlatform::Cpu, 1, DIMS, STEPS, true).vtime;
     let c = run_stencil(Kind::C, StencilPlatform::Cpu, 1, DIMS, STEPS, true).vtime;
     assert!(java > cpp, "Java {java} must exceed C++ {cpp}");
-    assert!(cpp > c * 5, "C++ {cpp} must be far above C {c} (paper: >10x)");
+    assert!(
+        cpp > c * 5,
+        "C++ {cpp} must be far above C {c} (paper: >10x)"
+    );
 }
 
 #[test]
 fn figure17_optimized_series_land_between_cpp_and_c() {
     let cpp = run_stencil(Kind::Cpp, StencilPlatform::Cpu, 1, DIMS, STEPS, true).vtime;
     let tmpl = run_stencil(Kind::Template, StencilPlatform::Cpu, 1, DIMS, STEPS, true).vtime;
-    let tnv = run_stencil(Kind::TemplateNoVirt, StencilPlatform::Cpu, 1, DIMS, STEPS, true).vtime;
+    let tnv = run_stencil(
+        Kind::TemplateNoVirt,
+        StencilPlatform::Cpu,
+        1,
+        DIMS,
+        STEPS,
+        true,
+    )
+    .vtime;
     let wj = run_stencil(Kind::WootinJ, StencilPlatform::Cpu, 1, DIMS, STEPS, true).vtime;
     let c = run_stencil(Kind::C, StencilPlatform::Cpu, 1, DIMS, STEPS, true).vtime;
     for (name, v) in [("Template", tmpl), ("TemplateNoVirt", tnv), ("WootinJ", wj)] {
         assert!(v < cpp / 2, "{name} {v} must be well below C++ {cpp}");
         assert!(v >= c, "{name} {v} cannot beat hand-written C {c}");
-        assert!(v < c * 3, "{name} {v} must be within a small factor of C {c}");
+        assert!(
+            v < c * 3,
+            "{name} {v} must be within a small factor of C {c}"
+        );
     }
     // The paper's diffusion-specific finding.
-    assert!(tnv < wj, "Template w/o virt. {tnv} outperforms WootinJ {wj} on diffusion");
+    assert!(
+        tnv < wj,
+        "Template w/o virt. {tnv} outperforms WootinJ {wj} on diffusion"
+    );
 }
 
 #[test]
 fn all_series_compute_the_same_checksum() {
-    let kinds =
-        [Kind::Java, Kind::Cpp, Kind::Template, Kind::TemplateNoVirt, Kind::WootinJ];
+    let kinds = [
+        Kind::Java,
+        Kind::Cpp,
+        Kind::Template,
+        Kind::TemplateNoVirt,
+        Kind::WootinJ,
+    ];
     let results: Vec<f32> = kinds
         .iter()
         .map(|&k| run_stencil(k, StencilPlatform::Cpu, 1, DIMS, STEPS, true).result)
@@ -55,7 +77,15 @@ fn weak_scaling_is_nearly_flat() {
     // Figure 4's property: doubling ranks with fixed per-rank work adds
     // only communication.
     let per_rank = (8, 8, 4);
-    let t1 = run_stencil(Kind::WootinJ, StencilPlatform::CpuMpi, 1, per_rank, 2, false).vtime;
+    let t1 = run_stencil(
+        Kind::WootinJ,
+        StencilPlatform::CpuMpi,
+        1,
+        per_rank,
+        2,
+        false,
+    )
+    .vtime;
     let t4 = run_stencil(
         Kind::WootinJ,
         StencilPlatform::CpuMpi,
@@ -65,7 +95,10 @@ fn weak_scaling_is_nearly_flat() {
         false,
     )
     .vtime;
-    assert!(t4 < t1 * 2, "weak scaling 1->4 ranks must stay near flat: {t1} -> {t4}");
+    assert!(
+        t4 < t1 * 2,
+        "weak scaling 1->4 ranks must stay near flat: {t1} -> {t4}"
+    );
     assert!(t4 > t1, "halo exchange must cost something: {t1} -> {t4}");
 }
 
@@ -89,7 +122,15 @@ fn wootinj_tracks_c_once_compile_time_is_excluded() {
     let dims = (8, 8, 16);
     for ranks in [1u32, 4] {
         let c = run_stencil(Kind::C, StencilPlatform::CpuMpi, ranks, dims, 2, false).vtime;
-        let wj = run_stencil(Kind::WootinJ, StencilPlatform::CpuMpi, ranks, dims, 2, false).vtime;
+        let wj = run_stencil(
+            Kind::WootinJ,
+            StencilPlatform::CpuMpi,
+            ranks,
+            dims,
+            2,
+            false,
+        )
+        .vtime;
         assert!(
             (wj as f64) < c as f64 * 1.5,
             "ranks {ranks}: WootinJ {wj} must be within 50% of C {c}"
@@ -102,7 +143,10 @@ fn gpu_offload_beats_cpu_for_the_same_workload() {
     let dims = (12, 12, 8);
     let cpu = run_stencil(Kind::WootinJ, StencilPlatform::Cpu, 1, dims, 3, false).vtime;
     let gpu = run_stencil(Kind::WootinJ, StencilPlatform::Gpu, 1, dims, 3, false).vtime;
-    assert!(gpu < cpu, "the simulated GPU must accelerate the stencil: {cpu} -> {gpu}");
+    assert!(
+        gpu < cpu,
+        "the simulated GPU must accelerate the stencil: {cpu} -> {gpu}"
+    );
 }
 
 #[test]
@@ -112,7 +156,10 @@ fn matmul_series_orderings() {
     let cpp = run_matmul(Kind::Cpp, MatTarget::Cpu, 1, n).vtime;
     let wj = run_matmul(Kind::WootinJ, MatTarget::Cpu, 1, n).vtime;
     let c = run_matmul(Kind::C, MatTarget::Cpu, 1, n).vtime;
-    assert!(java > cpp && cpp > wj && wj > c, "{java} > {cpp} > {wj} > {c}");
+    assert!(
+        java > cpp && cpp > wj && wj > c,
+        "{java} > {cpp} > {wj} > {c}"
+    );
 }
 
 #[test]
@@ -129,7 +176,14 @@ fn compile_cost_is_independent_of_problem_size() {
     // program is identical for different problem sizes (sizes are runtime
     // scalars, not shapes).
     let small = run_stencil(Kind::WootinJ, StencilPlatform::Cpu, 1, (8, 8, 4), 1, false);
-    let large = run_stencil(Kind::WootinJ, StencilPlatform::Cpu, 1, (16, 16, 12), 5, false);
+    let large = run_stencil(
+        Kind::WootinJ,
+        StencilPlatform::Cpu,
+        1,
+        (16, 16, 12),
+        5,
+        false,
+    );
     assert_eq!(small.instrs, large.instrs);
     assert!(large.vtime > small.vtime * 5);
 }

@@ -42,52 +42,56 @@ pub enum Val {
 }
 
 impl Val {
-    pub fn as_i32(self) -> Result<i32, String> {
+    pub fn as_i32(self) -> Result<i32, ExecError> {
         match self {
             Val::I32(v) => Ok(v),
-            other => Err(format!("expected i32, found {other:?}")),
+            other => Err(ExecError::msg(format!("expected i32, found {other:?}"))),
         }
     }
 
-    pub fn as_i64(self) -> Result<i64, String> {
+    pub fn as_i64(self) -> Result<i64, ExecError> {
         match self {
             Val::I64(v) => Ok(v),
-            other => Err(format!("expected i64, found {other:?}")),
+            other => Err(ExecError::msg(format!("expected i64, found {other:?}"))),
         }
     }
 
-    pub fn as_f32(self) -> Result<f32, String> {
+    pub fn as_f32(self) -> Result<f32, ExecError> {
         match self {
             Val::F32(v) => Ok(v),
-            other => Err(format!("expected f32, found {other:?}")),
+            other => Err(ExecError::msg(format!("expected f32, found {other:?}"))),
         }
     }
 
-    pub fn as_f64(self) -> Result<f64, String> {
+    pub fn as_f64(self) -> Result<f64, ExecError> {
         match self {
             Val::F64(v) => Ok(v),
-            other => Err(format!("expected f64, found {other:?}")),
+            other => Err(ExecError::msg(format!("expected f64, found {other:?}"))),
         }
     }
 
-    pub fn as_bool(self) -> Result<bool, String> {
+    pub fn as_bool(self) -> Result<bool, ExecError> {
         match self {
             Val::Bool(v) => Ok(v),
-            other => Err(format!("expected bool, found {other:?}")),
+            other => Err(ExecError::msg(format!("expected bool, found {other:?}"))),
         }
     }
 
-    pub fn as_arr(self) -> Result<u32, String> {
+    pub fn as_arr(self) -> Result<u32, ExecError> {
         match self {
             Val::Arr(v) => Ok(v),
-            other => Err(format!("expected array handle, found {other:?}")),
+            other => Err(ExecError::msg(format!(
+                "expected array handle, found {other:?}"
+            ))),
         }
     }
 
-    pub fn as_obj(self) -> Result<u32, String> {
+    pub fn as_obj(self) -> Result<u32, ExecError> {
         match self {
             Val::Obj(v) => Ok(v),
-            other => Err(format!("expected object handle, found {other:?}")),
+            other => Err(ExecError::msg(format!(
+                "expected object handle, found {other:?}"
+            ))),
         }
     }
 }
@@ -115,7 +119,7 @@ impl ArrStore {
         }
     }
 
-    pub fn len(&self) -> Result<usize, String> {
+    pub fn len(&self) -> Result<usize, ExecError> {
         Ok(match self {
             ArrStore::I32(v) => v.len(),
             ArrStore::I64(v) => v.len(),
@@ -130,10 +134,12 @@ impl ArrStore {
         matches!(self.len(), Ok(0))
     }
 
-    pub fn get(&self, i: usize) -> Result<Val, String> {
+    pub fn get(&self, i: usize) -> Result<Val, ExecError> {
         let n = self.len()?;
         if i >= n {
-            return Err(format!("array index {i} out of bounds (len {n})"));
+            return Err(ExecError::msg(format!(
+                "array index {i} out of bounds (len {n})"
+            )));
         }
         Ok(match self {
             ArrStore::I32(v) => Val::I32(v[i]),
@@ -145,10 +151,12 @@ impl ArrStore {
         })
     }
 
-    pub fn set(&mut self, i: usize, val: Val) -> Result<(), String> {
+    pub fn set(&mut self, i: usize, val: Val) -> Result<(), ExecError> {
         let n = self.len()?;
         if i >= n {
-            return Err(format!("array index {i} out of bounds (len {n})"));
+            return Err(ExecError::msg(format!(
+                "array index {i} out of bounds (len {n})"
+            )));
         }
         match (self, val) {
             (ArrStore::I32(v), Val::I32(x)) => v[i] = x,
@@ -156,7 +164,11 @@ impl ArrStore {
             (ArrStore::F32(v), Val::F32(x)) => v[i] = x,
             (ArrStore::F64(v), Val::F64(x)) => v[i] = x,
             (ArrStore::Bool(v), Val::Bool(x)) => v[i] = x,
-            (s, x) => return Err(format!("type mismatch storing {x:?} into {s:?}")),
+            (s, x) => {
+                return Err(ExecError::msg(format!(
+                    "type mismatch storing {x:?} into {s:?}"
+                )))
+            }
         }
         Ok(())
     }
@@ -178,15 +190,19 @@ impl MemSpace {
         self.arrays.len() as u32 - 1
     }
 
-    pub fn arr(&self, h: u32) -> Result<&ArrStore, String> {
-        self.arrays.get(h as usize).ok_or_else(|| format!("bad array handle {h}"))
+    pub fn arr(&self, h: u32) -> Result<&ArrStore, ExecError> {
+        self.arrays
+            .get(h as usize)
+            .ok_or_else(|| ExecError::msg(format!("bad array handle {h}")))
     }
 
-    pub fn arr_mut(&mut self, h: u32) -> Result<&mut ArrStore, String> {
-        self.arrays.get_mut(h as usize).ok_or_else(|| format!("bad array handle {h}"))
+    pub fn arr_mut(&mut self, h: u32) -> Result<&mut ArrStore, ExecError> {
+        self.arrays
+            .get_mut(h as usize)
+            .ok_or_else(|| ExecError::msg(format!("bad array handle {h}")))
     }
 
-    pub fn free(&mut self, h: u32) -> Result<(), String> {
+    pub fn free(&mut self, h: u32) -> Result<(), ExecError> {
         let a = self.arr_mut(h)?;
         if matches!(a, ArrStore::Freed) {
             return Err("double free".into());
@@ -208,20 +224,29 @@ impl ObjHeap {
         self.objects.len() as u32 - 1
     }
 
-    pub fn class_of(&self, h: u32) -> Result<u32, String> {
-        self.objects.get(h as usize).map(|(c, _)| *c).ok_or_else(|| format!("bad object {h}"))
+    pub fn class_of(&self, h: u32) -> Result<u32, ExecError> {
+        self.objects
+            .get(h as usize)
+            .map(|(c, _)| *c)
+            .ok_or_else(|| ExecError::msg(format!("bad object {h}")))
     }
 
-    pub fn get(&self, h: u32, slot: u32) -> Result<Val, String> {
+    pub fn get(&self, h: u32, slot: u32) -> Result<Val, ExecError> {
         self.objects
             .get(h as usize)
             .and_then(|(_, f)| f.get(slot as usize).copied())
-            .ok_or_else(|| format!("bad field {slot} of object {h}"))
+            .ok_or_else(|| ExecError::msg(format!("bad field {slot} of object {h}")))
     }
 
-    pub fn set(&mut self, h: u32, slot: u32, v: Val) -> Result<(), String> {
-        let rec = self.objects.get_mut(h as usize).ok_or_else(|| format!("bad object {h}"))?;
-        let f = rec.1.get_mut(slot as usize).ok_or_else(|| format!("bad field {slot}"))?;
+    pub fn set(&mut self, h: u32, slot: u32, v: Val) -> Result<(), ExecError> {
+        let rec = self
+            .objects
+            .get_mut(h as usize)
+            .ok_or_else(|| ExecError::msg(format!("bad object {h}")))?;
+        let f = rec
+            .1
+            .get_mut(slot as usize)
+            .ok_or_else(|| ExecError::msg(format!("bad field {slot}")))?;
         *f = v;
         Ok(())
     }
@@ -304,7 +329,10 @@ impl Machine {
                 nir::ConstVal::Bool(v) => Val::Bool(*v),
             })
             .collect();
-        Machine { globals, ..Default::default() }
+        Machine {
+            globals,
+            ..Default::default()
+        }
     }
 }
 
@@ -323,7 +351,12 @@ pub enum Yield {
     /// Blocked on an MPI operation; the MPI runtime services it.
     Mpi { op: IntrinOp, args: Vec<Val> },
     /// Host requested a kernel launch.
-    Launch { kernel: FuncId, grid: [u32; 3], block: [u32; 3], args: Vec<Val> },
+    Launch {
+        kernel: FuncId,
+        grid: [u32; 3],
+        block: [u32; 3],
+        args: Vec<Val>,
+    },
     /// Host requested a GPU memory operation (copy/alloc/free) or a CUDA
     /// thread-register read that gpu-sim must service.
     GpuMem { op: IntrinOp, args: Vec<Val> },
@@ -334,7 +367,7 @@ pub enum Yield {
 
 /// A registered foreign function: the reproduction's stand-in for a C
 /// function linked into the generated program.
-pub type HostFn = Box<dyn Fn(&[Val], &mut MemSpace) -> Result<Val, String>>;
+pub type HostFn = Box<dyn Fn(&[Val], &mut MemSpace) -> Result<Val, ExecError>>;
 
 /// Foreign functions by registration order (indices must match the
 /// program's `host_fns` table; the translator guarantees this when both
@@ -353,21 +386,24 @@ impl HostRegistry {
     pub fn register(
         &mut self,
         key: impl Into<String>,
-        f: impl Fn(&[Val], &mut MemSpace) -> Result<Val, String> + 'static,
+        f: impl Fn(&[Val], &mut MemSpace) -> Result<Val, ExecError> + 'static,
     ) -> u32 {
         self.entries.push((key.into(), Box::new(f)));
         self.entries.len() as u32 - 1
     }
 
     pub fn id_of(&self, key: &str) -> Option<u32> {
-        self.entries.iter().position(|(k, _)| k == key).map(|i| i as u32)
+        self.entries
+            .iter()
+            .position(|(k, _)| k == key)
+            .map(|i| i as u32)
     }
 
-    pub fn call(&self, id: u32, args: &[Val], mem: &mut MemSpace) -> Result<Val, String> {
+    pub fn call(&self, id: u32, args: &[Val], mem: &mut MemSpace) -> Result<Val, ExecError> {
         let (_, f) = self
             .entries
             .get(id as usize)
-            .ok_or_else(|| format!("unregistered host function {id}"))?;
+            .ok_or_else(|| ExecError::msg(format!("unregistered host function {id}")))?;
         f(args, mem)
     }
 
@@ -376,7 +412,10 @@ impl HostRegistry {
     }
 }
 
-/// Execution error with function/pc context.
+/// Execution error with function/pc context. Errors raised outside the
+/// interpreter loop (value coercions, memory accesses, host functions)
+/// start context-free; [`run`] attaches the function and pc of the
+/// faulting instruction before surfacing them.
 #[derive(Debug, Clone)]
 pub struct ExecError {
     pub message: String,
@@ -384,13 +423,53 @@ pub struct ExecError {
     pub pc: u32,
 }
 
+impl ExecError {
+    /// A context-free error (no function/pc yet).
+    pub fn msg(message: impl Into<String>) -> Self {
+        ExecError {
+            message: message.into(),
+            func: String::new(),
+            pc: 0,
+        }
+    }
+
+    /// Attach function/pc context unless the error already carries some.
+    pub fn at(mut self, func: &str, pc: u32) -> Self {
+        if self.func.is_empty() {
+            self.func = func.to_string();
+            self.pc = pc;
+        }
+        self
+    }
+}
+
 impl std::fmt::Display for ExecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "exec error in `{}` at pc {}: {}", self.func, self.pc, self.message)
+        if self.func.is_empty() {
+            write!(f, "exec error: {}", self.message)
+        } else {
+            write!(
+                f,
+                "exec error in `{}` at pc {}: {}",
+                self.func, self.pc, self.message
+            )
+        }
     }
 }
 
 impl std::error::Error for ExecError {}
+
+impl From<String> for ExecError {
+    fn from(message: String) -> Self {
+        ExecError::msg(message)
+    }
+}
+
+impl From<&str> for ExecError {
+    fn from(message: &str) -> Self {
+        ExecError::msg(message)
+    }
+}
 
 #[derive(Debug, Clone)]
 struct Frame {
@@ -430,7 +509,12 @@ impl Thread {
         let mut regs = vec![Val::Unit; f.regs.len()];
         regs[..args.len()].copy_from_slice(&args);
         Ok(Thread {
-            frames: vec![Frame { func, pc: 0, regs, ret_to: None }],
+            frames: vec![Frame {
+                func,
+                pc: 0,
+                regs,
+                ret_to: None,
+            }],
             pending_dst: None,
             done: false,
         })
@@ -479,7 +563,7 @@ pub fn run(
             (top.func, top.pc)
         };
         let f = program.func(func_id);
-        let err = |message: String| ExecError { message, func: f.name.clone(), pc };
+        let err = |e: ExecError| e.at(&f.name, pc);
         if pc as usize >= f.code.len() {
             return Err(err("fell off the end of function".into()));
         }
@@ -531,7 +615,13 @@ pub fn run(
                 set!(*d, v);
                 bump!();
             }
-            Instr::Bin { op, kind, dst, lhs, rhs } => {
+            Instr::Bin {
+                op,
+                kind,
+                dst,
+                lhs,
+                rhs,
+            } => {
                 let v = binop(*op, *kind, reg!(*lhs), reg!(*rhs)).map_err(err)?;
                 set!(*dst, v);
                 bump!();
@@ -542,7 +632,7 @@ pub fn run(
                     (PrimKind::Long, Val::I64(x)) => Val::I64(x.wrapping_neg()),
                     (PrimKind::Float, Val::F32(x)) => Val::F32(-x),
                     (PrimKind::Double, Val::F64(x)) => Val::F64(-x),
-                    (k, v) => return Err(err(format!("bad neg {k:?} on {v:?}"))),
+                    (k, v) => return Err(err(format!("bad neg {k:?} on {v:?}").into())),
                 };
                 set!(*dst, v);
                 bump!();
@@ -580,7 +670,10 @@ pub fn run(
                 let argv: Vec<Val> = args.iter().map(|a| reg!(*a)).collect();
                 thread.pending_dst = *dst;
                 bump!();
-                return Ok(Yield::Host { host: *host, args: argv });
+                return Ok(Yield::Host {
+                    host: *host,
+                    args: argv,
+                });
             }
             Instr::Call { func, args, dst } => {
                 if thread.frames.len() >= MAX_DEPTH {
@@ -592,7 +685,12 @@ pub fn run(
                     regs[i] = reg!(*a);
                 }
                 bump!();
-                thread.frames.push(Frame { func: *func, pc: 0, regs, ret_to: *dst });
+                thread.frames.push(Frame {
+                    func: *func,
+                    pc: 0,
+                    regs,
+                    ret_to: *dst,
+                });
             }
             Instr::NewObj { class, dst } => {
                 let meta = &program.classes[*class as usize];
@@ -612,7 +710,12 @@ pub fn run(
                 machine.objs.set(h, *slot, v).map_err(err)?;
                 bump!();
             }
-            Instr::CallVirt { selector, recv, args, dst } => {
+            Instr::CallVirt {
+                selector,
+                recv,
+                args,
+                dst,
+            } => {
                 if thread.frames.len() >= MAX_DEPTH {
                     return Err(err("call depth limit exceeded".into()));
                 }
@@ -625,10 +728,10 @@ pub fn run(
                     .find(|(s, _)| s == selector)
                     .map(|(_, f)| *f)
                     .ok_or_else(|| {
-                        err(format!(
+                        err(ExecError::msg(format!(
                             "class `{}` has no vtable entry for `{}`",
                             meta.name, program.selectors[*selector as usize]
-                        ))
+                        )))
                     })?;
                 let callee = program.func(target);
                 let mut regs = vec![Val::Unit; callee.regs.len()];
@@ -637,12 +740,17 @@ pub fn run(
                     regs[i + 1] = reg!(*a);
                 }
                 bump!();
-                thread.frames.push(Frame { func: target, pc: 0, regs, ret_to: *dst });
+                thread.frames.push(Frame {
+                    func: target,
+                    pc: 0,
+                    regs,
+                    ret_to: *dst,
+                });
             }
             Instr::NewArr { elem, len, dst } => {
                 let n = reg!(*len).as_i32().map_err(err)?;
                 if n < 0 {
-                    return Err(err(format!("negative array size {n}")));
+                    return Err(err(format!("negative array size {n}").into()));
                 }
                 // Charge zero-fill cost proportional to the allocation.
                 machine.counters.cycles += (n as u64) / 16;
@@ -654,9 +762,14 @@ pub fn run(
                 let h = reg!(*arr).as_arr().map_err(err)?;
                 let i = reg!(*idx).as_i32().map_err(err)?;
                 if i < 0 {
-                    return Err(err(format!("negative index {i}")));
+                    return Err(err(format!("negative index {i}").into()));
                 }
-                let v = machine.mem.arr(h).map_err(err)?.get(i as usize).map_err(err)?;
+                let v = machine
+                    .mem
+                    .arr(h)
+                    .map_err(err)?
+                    .get(i as usize)
+                    .map_err(err)?;
                 set!(*dst, v);
                 bump!();
             }
@@ -664,10 +777,15 @@ pub fn run(
                 let h = reg!(*arr).as_arr().map_err(err)?;
                 let i = reg!(*idx).as_i32().map_err(err)?;
                 if i < 0 {
-                    return Err(err(format!("negative index {i}")));
+                    return Err(err(format!("negative index {i}").into()));
                 }
                 let v = reg!(*src);
-                machine.mem.arr_mut(h).map_err(err)?.set(i as usize, v).map_err(err)?;
+                machine
+                    .mem
+                    .arr_mut(h)
+                    .map_err(err)?
+                    .set(i as usize, v)
+                    .map_err(err)?;
                 bump!();
             }
             Instr::ArrLen { arr, dst } => {
@@ -723,14 +841,22 @@ pub fn run(
                     IntrinOp::MinI32 | IntrinOp::MaxI32 => {
                         let x = argv[0].as_i32().map_err(err)?;
                         let y = argv[1].as_i32().map_err(err)?;
-                        let v = if matches!(op, IntrinOp::MinI32) { x.min(y) } else { x.max(y) };
+                        let v = if matches!(op, IntrinOp::MinI32) {
+                            x.min(y)
+                        } else {
+                            x.max(y)
+                        };
                         set!(dst.unwrap(), Val::I32(v));
                         bump!();
                     }
                     IntrinOp::MinF32 | IntrinOp::MaxF32 => {
                         let x = argv[0].as_f32().map_err(err)?;
                         let y = argv[1].as_f32().map_err(err)?;
-                        let v = if matches!(op, IntrinOp::MinF32) { x.min(y) } else { x.max(y) };
+                        let v = if matches!(op, IntrinOp::MinF32) {
+                            x.min(y)
+                        } else {
+                            x.max(y)
+                        };
                         set!(dst.unwrap(), Val::F32(v));
                         bump!();
                     }
@@ -745,7 +871,7 @@ pub fn run(
                             Val::F32(v) => format!("{v}"),
                             Val::F64(v) => format!("{v}"),
                             Val::Bool(v) => v.to_string(),
-                            other => return Err(err(format!("bad print arg {other:?}"))),
+                            other => return Err(err(format!("bad print arg {other:?}").into())),
                         };
                         machine.output.push(line);
                         bump!();
@@ -784,7 +910,10 @@ pub fn run(
                     | IntrinOp::GridDim(_) => {
                         thread.pending_dst = *dst;
                         bump!();
-                        return Ok(Yield::GpuMem { op: *op, args: argv });
+                        return Ok(Yield::GpuMem {
+                            op: *op,
+                            args: argv,
+                        });
                     }
                     IntrinOp::CopyToGpu
                     | IntrinOp::CopyFromGpu
@@ -794,7 +923,10 @@ pub fn run(
                     | IntrinOp::GpuFree => {
                         thread.pending_dst = *dst;
                         bump!();
-                        return Ok(Yield::GpuMem { op: *op, args: argv });
+                        return Ok(Yield::GpuMem {
+                            op: *op,
+                            args: argv,
+                        });
                     }
                     IntrinOp::MpiRank
                     | IntrinOp::MpiSize
@@ -808,15 +940,23 @@ pub fn run(
                     | IntrinOp::MpiAllreduceMaxF64 => {
                         thread.pending_dst = *dst;
                         bump!();
-                        return Ok(Yield::Mpi { op: *op, args: argv });
+                        return Ok(Yield::Mpi {
+                            op: *op,
+                            args: argv,
+                        });
                     }
                 }
             }
-            Instr::Launch { kernel, grid, block, args } => {
+            Instr::Launch {
+                kernel,
+                grid,
+                block,
+                args,
+            } => {
                 let rd = |r: Reg| -> Result<u32, ExecError> {
                     let v = reg!(r).as_i32().map_err(err)?;
                     if v <= 0 {
-                        Err(err(format!("non-positive launch dimension {v}")))
+                        Err(err(format!("non-positive launch dimension {v}").into()))
                     } else {
                         Ok(v as u32)
                     }
@@ -826,16 +966,25 @@ pub fn run(
                 let argv: Vec<Val> = args.iter().map(|a| reg!(*a)).collect();
                 thread.pending_dst = None;
                 bump!();
-                return Ok(Yield::Launch { kernel: *kernel, grid: g, block: b, args: argv });
+                return Ok(Yield::Launch {
+                    kernel: *kernel,
+                    grid: g,
+                    block: b,
+                    args: argv,
+                });
             }
             Instr::SharedAlloc { elem, len, dst } => {
                 let n = reg!(*len).as_i32().map_err(err)?;
                 if n < 0 {
-                    return Err(err(format!("negative shared allocation {n}")));
+                    return Err(err(format!("negative shared allocation {n}").into()));
                 }
                 thread.pending_dst = Some(*dst);
                 bump!();
-                return Ok(Yield::SharedAlloc { elem: *elem, len: n as usize, pc });
+                return Ok(Yield::SharedAlloc {
+                    elem: *elem,
+                    len: n as usize,
+                    pc,
+                });
             }
             Instr::Sync => {
                 bump!();
@@ -871,7 +1020,7 @@ pub fn run_to_completion(
     }
 }
 
-fn binop(op: BinOp, kind: PrimKind, l: Val, r: Val) -> Result<Val, String> {
+fn binop(op: BinOp, kind: PrimKind, l: Val, r: Val) -> Result<Val, ExecError> {
     use BinOp::*;
     Ok(match kind {
         PrimKind::Int => {
@@ -985,39 +1134,39 @@ fn binop(op: BinOp, kind: PrimKind, l: Val, r: Val) -> Result<Val, String> {
     })
 }
 
-fn numcast(to: PrimKind, v: Val) -> Result<Val, String> {
+fn numcast(to: PrimKind, v: Val) -> Result<Val, ExecError> {
     Ok(match to {
         PrimKind::Int => Val::I32(match v {
             Val::I32(x) => x,
             Val::I64(x) => x as i32,
             Val::F32(x) => x as i32,
             Val::F64(x) => x as i32,
-            other => return Err(format!("cannot cast {other:?} to int")),
+            other => return Err(ExecError::msg(format!("cannot cast {other:?} to int"))),
         }),
         PrimKind::Long => Val::I64(match v {
             Val::I32(x) => x as i64,
             Val::I64(x) => x,
             Val::F32(x) => x as i64,
             Val::F64(x) => x as i64,
-            other => return Err(format!("cannot cast {other:?} to long")),
+            other => return Err(ExecError::msg(format!("cannot cast {other:?} to long"))),
         }),
         PrimKind::Float => Val::F32(match v {
             Val::I32(x) => x as f32,
             Val::I64(x) => x as f32,
             Val::F32(x) => x,
             Val::F64(x) => x as f32,
-            other => return Err(format!("cannot cast {other:?} to float")),
+            other => return Err(ExecError::msg(format!("cannot cast {other:?} to float"))),
         }),
         PrimKind::Double => Val::F64(match v {
             Val::I32(x) => x as f64,
             Val::I64(x) => x as f64,
             Val::F32(x) => x as f64,
             Val::F64(x) => x,
-            other => return Err(format!("cannot cast {other:?} to double")),
+            other => return Err(ExecError::msg(format!("cannot cast {other:?} to double"))),
         }),
         PrimKind::Boolean => match v {
             Val::Bool(_) => v,
-            other => return Err(format!("cannot cast {other:?} to boolean")),
+            other => return Err(ExecError::msg(format!("cannot cast {other:?} to boolean"))),
         },
     })
 }
@@ -1043,11 +1192,29 @@ mod tests {
         let body = fb.label();
         let done = fb.label();
         fb.bind(head);
-        fb.emit(Instr::Bin { op: BinOp::Lt, kind: PrimKind::Int, dst: c, lhs: i, rhs: nn });
+        fb.emit(Instr::Bin {
+            op: BinOp::Lt,
+            kind: PrimKind::Int,
+            dst: c,
+            lhs: i,
+            rhs: nn,
+        });
         fb.br(c, body, done);
         fb.bind(body);
-        fb.emit(Instr::Bin { op: BinOp::Add, kind: PrimKind::Int, dst: s, lhs: s, rhs: i });
-        fb.emit(Instr::Bin { op: BinOp::Add, kind: PrimKind::Int, dst: i, lhs: i, rhs: one });
+        fb.emit(Instr::Bin {
+            op: BinOp::Add,
+            kind: PrimKind::Int,
+            dst: s,
+            lhs: s,
+            rhs: i,
+        });
+        fb.emit(Instr::Bin {
+            op: BinOp::Add,
+            kind: PrimKind::Int,
+            dst: i,
+            lhs: i,
+            rhs: one,
+        });
         fb.jmp(head);
         fb.bind(done);
         fb.emit(Instr::Ret(Some(s)));
@@ -1103,16 +1270,32 @@ mod tests {
         let two = gb.reg(Ty::I32);
         let r = gb.reg(Ty::I32);
         gb.emit(Instr::ConstI32(two, 2));
-        gb.emit(Instr::Bin { op: BinOp::Mul, kind: PrimKind::Int, dst: r, lhs: 0, rhs: two });
+        gb.emit(Instr::Bin {
+            op: BinOp::Mul,
+            kind: PrimKind::Int,
+            dst: r,
+            lhs: 0,
+            rhs: two,
+        });
         gb.emit(Instr::Ret(Some(r)));
         let g = p.add_func(gb.finish().unwrap());
         let mut fbb = FuncBuilder::new("f", vec![Ty::I32], Some(Ty::I32), FuncKind::Host);
         let gr = fbb.reg(Ty::I32);
         let one = fbb.reg(Ty::I32);
         let out = fbb.reg(Ty::I32);
-        fbb.emit(Instr::Call { func: g, args: vec![0], dst: Some(gr) });
+        fbb.emit(Instr::Call {
+            func: g,
+            args: vec![0],
+            dst: Some(gr),
+        });
         fbb.emit(Instr::ConstI32(one, 1));
-        fbb.emit(Instr::Bin { op: BinOp::Add, kind: PrimKind::Int, dst: out, lhs: gr, rhs: one });
+        fbb.emit(Instr::Bin {
+            op: BinOp::Add,
+            kind: PrimKind::Int,
+            dst: out,
+            lhs: gr,
+            rhs: one,
+        });
         fbb.emit(Instr::Ret(Some(out)));
         let f = p.add_func(fbb.finish().unwrap());
         p.validate().unwrap();
@@ -1128,7 +1311,11 @@ mod tests {
         let idx = fb.reg(Ty::I32);
         let v = fb.reg(Ty::F32);
         let out = fb.reg(Ty::F32);
-        fb.emit(Instr::NewArr { elem: ElemTy::F32, len: 0, dst: arr });
+        fb.emit(Instr::NewArr {
+            elem: ElemTy::F32,
+            len: 0,
+            dst: arr,
+        });
         fb.emit(Instr::ConstI32(idx, 3));
         fb.emit(Instr::ConstF32(v, 2.5));
         fb.emit(Instr::StArr { arr, idx, src: v });
@@ -1149,7 +1336,11 @@ mod tests {
         let arr = fb.reg(Ty::Arr(ElemTy::F32));
         let idx = fb.reg(Ty::I32);
         let out = fb.reg(Ty::F32);
-        fb.emit(Instr::NewArr { elem: ElemTy::F32, len: 0, dst: arr });
+        fb.emit(Instr::NewArr {
+            elem: ElemTy::F32,
+            len: 0,
+            dst: arr,
+        });
         fb.emit(Instr::ConstI32(idx, 100));
         fb.emit(Instr::LdArr { arr, idx, dst: out });
         fb.emit(Instr::Ret(Some(out)));
@@ -1163,7 +1354,11 @@ mod tests {
         let mut fb = FuncBuilder::new("g", vec![Ty::I32], Some(Ty::I32), FuncKind::Host);
         let arr = fb.reg(Ty::Arr(ElemTy::F32));
         let n = fb.reg(Ty::I32);
-        fb.emit(Instr::NewArr { elem: ElemTy::F32, len: 0, dst: arr });
+        fb.emit(Instr::NewArr {
+            elem: ElemTy::F32,
+            len: 0,
+            dst: arr,
+        });
         fb.emit(Instr::FreeArr { arr });
         fb.emit(Instr::ArrLen { arr, dst: n });
         fb.emit(Instr::Ret(Some(n)));
@@ -1179,18 +1374,38 @@ mod tests {
         // Two classes implementing selector "area": square -> x*x, twice -> 2x.
         let mut p = Program::default();
         p.selectors.push("area".into());
-        let mut sq =
-            FuncBuilder::new("Square_area", vec![Ty::Obj, Ty::I32], Some(Ty::I32), FuncKind::Host);
+        let mut sq = FuncBuilder::new(
+            "Square_area",
+            vec![Ty::Obj, Ty::I32],
+            Some(Ty::I32),
+            FuncKind::Host,
+        );
         let r = sq.reg(Ty::I32);
-        sq.emit(Instr::Bin { op: BinOp::Mul, kind: PrimKind::Int, dst: r, lhs: 1, rhs: 1 });
+        sq.emit(Instr::Bin {
+            op: BinOp::Mul,
+            kind: PrimKind::Int,
+            dst: r,
+            lhs: 1,
+            rhs: 1,
+        });
         sq.emit(Instr::Ret(Some(r)));
         let sqf = p.add_func(sq.finish().unwrap());
-        let mut tw =
-            FuncBuilder::new("Twice_area", vec![Ty::Obj, Ty::I32], Some(Ty::I32), FuncKind::Host);
+        let mut tw = FuncBuilder::new(
+            "Twice_area",
+            vec![Ty::Obj, Ty::I32],
+            Some(Ty::I32),
+            FuncKind::Host,
+        );
         let r = tw.reg(Ty::I32);
         let two = tw.reg(Ty::I32);
         tw.emit(Instr::ConstI32(two, 2));
-        tw.emit(Instr::Bin { op: BinOp::Mul, kind: PrimKind::Int, dst: r, lhs: 1, rhs: two });
+        tw.emit(Instr::Bin {
+            op: BinOp::Mul,
+            kind: PrimKind::Int,
+            dst: r,
+            lhs: 1,
+            rhs: two,
+        });
         tw.emit(Instr::Ret(Some(r)));
         let twf = p.add_func(tw.finish().unwrap());
         p.classes.push(nir::ClassMeta {
@@ -1219,7 +1434,12 @@ mod tests {
         fb.emit(Instr::NewObj { class: 0, dst: obj });
         fb.jmp(join);
         fb.bind(join);
-        fb.emit(Instr::CallVirt { selector: 0, recv: obj, args: vec![1], dst: Some(out) });
+        fb.emit(Instr::CallVirt {
+            selector: 0,
+            recv: obj,
+            args: vec![1],
+            dst: Some(out),
+        });
         fb.emit(Instr::Ret(Some(out)));
         let f = p.add_func(fb.finish().unwrap());
         p.validate().unwrap();
@@ -1237,14 +1457,36 @@ mod tests {
     #[test]
     fn virtual_dispatch_costs_more_than_direct() {
         // weight table sanity: CallVirt > Call > Bin
-        let virt = weight(&Instr::CallVirt { selector: 0, recv: 0, args: vec![], dst: None });
-        let call = weight(&Instr::Call { func: FuncId(0), args: vec![], dst: None });
-        let bin =
-            weight(&Instr::Bin { op: BinOp::Add, kind: PrimKind::Int, dst: 0, lhs: 0, rhs: 0 });
+        let virt = weight(&Instr::CallVirt {
+            selector: 0,
+            recv: 0,
+            args: vec![],
+            dst: None,
+        });
+        let call = weight(&Instr::Call {
+            func: FuncId(0),
+            args: vec![],
+            dst: None,
+        });
+        let bin = weight(&Instr::Bin {
+            op: BinOp::Add,
+            kind: PrimKind::Int,
+            dst: 0,
+            lhs: 0,
+            rhs: 0,
+        });
         assert!(virt > call);
         assert!(call > bin);
-        let gf = weight(&Instr::GetField { obj: 0, slot: 0, dst: 0 });
-        let ld = weight(&Instr::LdArr { arr: 0, idx: 0, dst: 0 });
+        let gf = weight(&Instr::GetField {
+            obj: 0,
+            slot: 0,
+            dst: 0,
+        });
+        let ld = weight(&Instr::LdArr {
+            arr: 0,
+            idx: 0,
+            dst: 0,
+        });
         assert!(gf > ld);
     }
 
@@ -1252,14 +1494,21 @@ mod tests {
     fn mpi_intrinsic_yields() {
         let mut fb = FuncBuilder::new("f", vec![], Some(Ty::I32), FuncKind::Host);
         let r = fb.reg(Ty::I32);
-        fb.emit(Instr::Intrin { op: IntrinOp::MpiRank, args: vec![], dst: Some(r) });
+        fb.emit(Instr::Intrin {
+            op: IntrinOp::MpiRank,
+            args: vec![],
+            dst: Some(r),
+        });
         fb.emit(Instr::Ret(Some(r)));
         let mut p = Program::default();
         let id = p.add_func(fb.finish().unwrap());
         let mut m = Machine::new();
         let mut t = Thread::new(&p, id, vec![]).unwrap();
         match run(&mut t, &p, &mut m, u64::MAX).unwrap() {
-            Yield::Mpi { op: IntrinOp::MpiRank, .. } => {}
+            Yield::Mpi {
+                op: IntrinOp::MpiRank,
+                ..
+            } => {}
             other => panic!("expected MPI yield, got {other:?}"),
         }
         // Service the yield: this is rank 3.
@@ -1278,7 +1527,13 @@ mod tests {
         fb.emit(Instr::ConstI32(a, 1));
         fb.emit(Instr::Sync);
         fb.emit(Instr::ConstI32(b, 2));
-        fb.emit(Instr::Bin { op: BinOp::Add, kind: PrimKind::Int, dst: a, lhs: a, rhs: b });
+        fb.emit(Instr::Bin {
+            op: BinOp::Add,
+            kind: PrimKind::Int,
+            dst: a,
+            lhs: a,
+            rhs: b,
+        });
         fb.emit(Instr::Ret(Some(a)));
         let mut p = Program::default();
         let id = p.add_func(fb.finish().unwrap());
@@ -1320,7 +1575,12 @@ mod tests {
         let mut m = Machine::new();
         let mut t = Thread::new(&p, f, vec![]).unwrap();
         match run(&mut t, &p, &mut m, u64::MAX).unwrap() {
-            Yield::Launch { kernel, grid, block, args } => {
+            Yield::Launch {
+                kernel,
+                grid,
+                block,
+                args,
+            } => {
                 assert_eq!(kernel, k);
                 assert_eq!(grid, [4, 1, 1]);
                 assert_eq!(block, [1, 1, 1]);
@@ -1336,7 +1596,13 @@ mod tests {
         let z = fb.reg(Ty::I32);
         let r = fb.reg(Ty::I32);
         fb.emit(Instr::ConstI32(z, 0));
-        fb.emit(Instr::Bin { op: BinOp::Div, kind: PrimKind::Int, dst: r, lhs: 0, rhs: z });
+        fb.emit(Instr::Bin {
+            op: BinOp::Div,
+            kind: PrimKind::Int,
+            dst: r,
+            lhs: 0,
+            rhs: z,
+        });
         fb.emit(Instr::Ret(Some(r)));
         let mut p = Program::default();
         let id = p.add_func(fb.finish().unwrap());

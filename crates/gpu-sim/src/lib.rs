@@ -80,12 +80,16 @@ impl std::error::Error for GpuError {}
 
 impl From<ExecError> for GpuError {
     fn from(e: ExecError) -> Self {
-        GpuError { message: e.to_string() }
+        GpuError {
+            message: e.to_string(),
+        }
     }
 }
 
 fn err(message: impl Into<String>) -> GpuError {
-    GpuError { message: message.into() }
+    GpuError {
+        message: message.into(),
+    }
 }
 
 /// The simulated device: its own [`Machine`] (memory space + counters)
@@ -101,7 +105,12 @@ pub struct Gpu {
 
 impl Gpu {
     pub fn new(config: GpuConfig) -> Self {
-        Gpu { config, machine: Machine::new(), vtime: 0, allocated_bytes: 0 }
+        Gpu {
+            config,
+            machine: Machine::new(),
+            vtime: 0,
+            allocated_bytes: 0,
+        }
     }
 
     fn copy_cost(&self, bytes: u64) -> u64 {
@@ -116,7 +125,7 @@ impl Gpu {
 
     /// Copy a host array to a fresh device array (`cudaMemcpyHostToDevice`).
     pub fn copy_in(&mut self, host: &ArrStore) -> Result<u32, GpuError> {
-        let bytes = store_bytes(host).map_err(err)?;
+        let bytes = store_bytes(host)?;
         self.vtime += self.copy_cost(bytes);
         self.allocated_bytes += bytes;
         Ok(self.machine.mem.alloc(host.clone()))
@@ -125,9 +134,9 @@ impl Gpu {
     /// Copy a device array back over a host array
     /// (`cudaMemcpyDeviceToHost`); lengths must match.
     pub fn copy_out(&mut self, dev: u32, host: &mut ArrStore) -> Result<(), GpuError> {
-        let src = self.machine.mem.arr(dev).map_err(err)?.clone();
-        let bytes = store_bytes(&src).map_err(err)?;
-        if src.len().map_err(err)? != host.len().map_err(err)? {
+        let src = self.machine.mem.arr(dev)?.clone();
+        let bytes = store_bytes(&src)?;
+        if src.len()? != host.len()? {
             return Err(err("copyFromGPU length mismatch"));
         }
         self.vtime += self.copy_cost(bytes);
@@ -136,13 +145,13 @@ impl Gpu {
     }
 
     pub fn free(&mut self, h: u32) -> Result<(), GpuError> {
-        self.machine.mem.free(h).map_err(err)
+        self.machine.mem.free(h).map_err(GpuError::from)
     }
 
     /// Read a float range from device memory (partial DtoH copy).
     pub fn read_range(&mut self, dev: u32, off: usize, len: usize) -> Result<Vec<f32>, GpuError> {
         self.vtime += self.copy_cost((len * 4) as u64);
-        match self.machine.mem.arr(dev).map_err(err)? {
+        match self.machine.mem.arr(dev)? {
             ArrStore::F32(v) => v
                 .get(off..off + len)
                 .map(|s| s.to_vec())
@@ -154,7 +163,7 @@ impl Gpu {
     /// Write a float range into device memory (partial HtoD copy).
     pub fn write_range(&mut self, dev: u32, off: usize, data: &[f32]) -> Result<(), GpuError> {
         self.vtime += self.copy_cost((data.len() * 4) as u64);
-        match self.machine.mem.arr_mut(dev).map_err(err)? {
+        match self.machine.mem.arr_mut(dev)? {
             ArrStore::F32(v) => {
                 let n = v.len();
                 let tgt = v
@@ -163,7 +172,9 @@ impl Gpu {
                 tgt.copy_from_slice(data);
                 Ok(())
             }
-            other => Err(err(format!("range write on non-f32 device array {other:?}"))),
+            other => Err(err(format!(
+                "range write on non-f32 device array {other:?}"
+            ))),
         }
     }
 
@@ -292,9 +303,7 @@ impl Gpu {
                             return Err(err("nested kernel launch is not supported"));
                         }
                         Yield::Host { .. } => {
-                            return Err(err(
-                                "kernels cannot call host (foreign) functions",
-                            ));
+                            return Err(err("kernels cannot call host (foreign) functions"));
                         }
                         Yield::OutOfFuel => {}
                     }
@@ -327,7 +336,7 @@ impl Gpu {
 }
 
 /// Size in bytes of an array store.
-fn store_bytes(s: &ArrStore) -> Result<u64, String> {
+fn store_bytes(s: &ArrStore) -> Result<u64, GpuError> {
     let n = s.len()? as u64;
     Ok(match s {
         ArrStore::I32(_) | ArrStore::F32(_) => n * 4,
@@ -358,19 +367,63 @@ mod tests {
         let two = kb.reg(Ty::F32);
         let body = kb.label();
         let done = kb.label();
-        kb.emit(Instr::Intrin { op: IntrinOp::ThreadIdx(0), args: vec![], dst: Some(tid) });
-        kb.emit(Instr::Intrin { op: IntrinOp::BlockIdx(0), args: vec![], dst: Some(bid) });
-        kb.emit(Instr::Intrin { op: IntrinOp::BlockDim(0), args: vec![], dst: Some(bdim) });
-        kb.emit(Instr::Bin { op: BinOp::Mul, kind: PrimKind::Int, dst: tmp, lhs: bid, rhs: bdim });
-        kb.emit(Instr::Bin { op: BinOp::Add, kind: PrimKind::Int, dst: gid, lhs: tmp, rhs: tid });
+        kb.emit(Instr::Intrin {
+            op: IntrinOp::ThreadIdx(0),
+            args: vec![],
+            dst: Some(tid),
+        });
+        kb.emit(Instr::Intrin {
+            op: IntrinOp::BlockIdx(0),
+            args: vec![],
+            dst: Some(bid),
+        });
+        kb.emit(Instr::Intrin {
+            op: IntrinOp::BlockDim(0),
+            args: vec![],
+            dst: Some(bdim),
+        });
+        kb.emit(Instr::Bin {
+            op: BinOp::Mul,
+            kind: PrimKind::Int,
+            dst: tmp,
+            lhs: bid,
+            rhs: bdim,
+        });
+        kb.emit(Instr::Bin {
+            op: BinOp::Add,
+            kind: PrimKind::Int,
+            dst: gid,
+            lhs: tmp,
+            rhs: tid,
+        });
         kb.emit(Instr::ArrLen { arr: 0, dst: len });
-        kb.emit(Instr::Bin { op: BinOp::Lt, kind: PrimKind::Int, dst: inb, lhs: gid, rhs: len });
+        kb.emit(Instr::Bin {
+            op: BinOp::Lt,
+            kind: PrimKind::Int,
+            dst: inb,
+            lhs: gid,
+            rhs: len,
+        });
         kb.br(inb, body, done);
         kb.bind(body);
-        kb.emit(Instr::LdArr { arr: 0, idx: gid, dst: v });
+        kb.emit(Instr::LdArr {
+            arr: 0,
+            idx: gid,
+            dst: v,
+        });
         kb.emit(Instr::ConstF32(two, 2.0));
-        kb.emit(Instr::Bin { op: BinOp::Mul, kind: PrimKind::Float, dst: v, lhs: v, rhs: two });
-        kb.emit(Instr::StArr { arr: 0, idx: gid, src: v });
+        kb.emit(Instr::Bin {
+            op: BinOp::Mul,
+            kind: PrimKind::Float,
+            dst: v,
+            lhs: v,
+            rhs: two,
+        });
+        kb.emit(Instr::StArr {
+            arr: 0,
+            idx: gid,
+            src: v,
+        });
         kb.jmp(done);
         kb.bind(done);
         kb.emit(Instr::Ret(None));
@@ -382,7 +435,12 @@ mod tests {
         let mut gpu = Gpu::new(GpuConfig::default());
         let host = ArrStore::F32(vec![1.0, 2.0, 3.0]);
         let dev = gpu.copy_in(&host).unwrap();
-        gpu.machine.mem.arr_mut(dev).unwrap().set(0, Val::F32(9.0)).unwrap();
+        gpu.machine
+            .mem
+            .arr_mut(dev)
+            .unwrap()
+            .set(0, Val::F32(9.0))
+            .unwrap();
         let mut back = ArrStore::F32(vec![0.0; 3]);
         gpu.copy_out(dev, &mut back).unwrap();
         assert_eq!(back, ArrStore::F32(vec![9.0, 2.0, 3.0]));
@@ -397,13 +455,20 @@ mod tests {
         let k = scale_kernel(&mut p);
         p.validate().unwrap();
         let mut gpu = Gpu::new(GpuConfig::default());
-        let dev = gpu.copy_in(&ArrStore::F32((0..10).map(|i| i as f32).collect())).unwrap();
-        let stats = gpu.launch(&p, k, [3, 1, 1], [4, 1, 1], vec![Val::Arr(dev)]).unwrap();
+        let dev = gpu
+            .copy_in(&ArrStore::F32((0..10).map(|i| i as f32).collect()))
+            .unwrap();
+        let stats = gpu
+            .launch(&p, k, [3, 1, 1], [4, 1, 1], vec![Val::Arr(dev)])
+            .unwrap();
         assert_eq!(stats.blocks, 3);
         assert_eq!(stats.threads, 12);
         let mut out = ArrStore::F32(vec![0.0; 10]);
         gpu.copy_out(dev, &mut out).unwrap();
-        assert_eq!(out, ArrStore::F32((0..10).map(|i| 2.0 * i as f32).collect()));
+        assert_eq!(
+            out,
+            ArrStore::F32((0..10).map(|i| 2.0 * i as f32).collect())
+        );
     }
 
     /// Kernel with a shared-memory reversal: t writes s[t], barrier,
@@ -416,17 +481,57 @@ mod tests {
         let v = kb.reg(Ty::F32);
         let one = kb.reg(Ty::I32);
         let ridx = kb.reg(Ty::I32);
-        kb.emit(Instr::Intrin { op: IntrinOp::ThreadIdx(0), args: vec![], dst: Some(tid) });
-        kb.emit(Instr::Intrin { op: IntrinOp::BlockDim(0), args: vec![], dst: Some(bdim) });
-        kb.emit(Instr::SharedAlloc { elem: ElemTy::F32, len: bdim, dst: sh });
-        kb.emit(Instr::LdArr { arr: 0, idx: tid, dst: v });
-        kb.emit(Instr::StArr { arr: sh, idx: tid, src: v });
+        kb.emit(Instr::Intrin {
+            op: IntrinOp::ThreadIdx(0),
+            args: vec![],
+            dst: Some(tid),
+        });
+        kb.emit(Instr::Intrin {
+            op: IntrinOp::BlockDim(0),
+            args: vec![],
+            dst: Some(bdim),
+        });
+        kb.emit(Instr::SharedAlloc {
+            elem: ElemTy::F32,
+            len: bdim,
+            dst: sh,
+        });
+        kb.emit(Instr::LdArr {
+            arr: 0,
+            idx: tid,
+            dst: v,
+        });
+        kb.emit(Instr::StArr {
+            arr: sh,
+            idx: tid,
+            src: v,
+        });
         kb.emit(Instr::Sync);
         kb.emit(Instr::ConstI32(one, 1));
-        kb.emit(Instr::Bin { op: BinOp::Sub, kind: PrimKind::Int, dst: ridx, lhs: bdim, rhs: one });
-        kb.emit(Instr::Bin { op: BinOp::Sub, kind: PrimKind::Int, dst: ridx, lhs: ridx, rhs: tid });
-        kb.emit(Instr::LdArr { arr: sh, idx: ridx, dst: v });
-        kb.emit(Instr::StArr { arr: 0, idx: tid, src: v });
+        kb.emit(Instr::Bin {
+            op: BinOp::Sub,
+            kind: PrimKind::Int,
+            dst: ridx,
+            lhs: bdim,
+            rhs: one,
+        });
+        kb.emit(Instr::Bin {
+            op: BinOp::Sub,
+            kind: PrimKind::Int,
+            dst: ridx,
+            lhs: ridx,
+            rhs: tid,
+        });
+        kb.emit(Instr::LdArr {
+            arr: sh,
+            idx: ridx,
+            dst: v,
+        });
+        kb.emit(Instr::StArr {
+            arr: 0,
+            idx: tid,
+            src: v,
+        });
         kb.emit(Instr::Ret(None));
         p.add_func(kb.finish().unwrap())
     }
@@ -437,8 +542,11 @@ mod tests {
         let k = reverse_kernel(&mut p);
         p.validate().unwrap();
         let mut gpu = Gpu::new(GpuConfig::default());
-        let dev = gpu.copy_in(&ArrStore::F32(vec![1.0, 2.0, 3.0, 4.0, 5.0])).unwrap();
-        gpu.launch(&p, k, [1, 1, 1], [5, 1, 1], vec![Val::Arr(dev)]).unwrap();
+        let dev = gpu
+            .copy_in(&ArrStore::F32(vec![1.0, 2.0, 3.0, 4.0, 5.0]))
+            .unwrap();
+        gpu.launch(&p, k, [1, 1, 1], [5, 1, 1], vec![Val::Arr(dev)])
+            .unwrap();
         let mut out = ArrStore::F32(vec![0.0; 5]);
         gpu.copy_out(dev, &mut out).unwrap();
         // A sequential run-to-completion would read stale zeros for
@@ -455,7 +563,8 @@ mod tests {
         let k = reverse_kernel(&mut p);
         let mut gpu = Gpu::new(GpuConfig::default());
         let dev = gpu.copy_in(&ArrStore::F32(vec![1.0, 2.0, 3.0])).unwrap();
-        gpu.launch(&p, k, [2, 1, 1], [3, 1, 1], vec![Val::Arr(dev)]).unwrap();
+        gpu.launch(&p, k, [2, 1, 1], [3, 1, 1], vec![Val::Arr(dev)])
+            .unwrap();
         let mut out = ArrStore::F32(vec![0.0; 3]);
         gpu.copy_out(dev, &mut out).unwrap();
         assert_eq!(out, ArrStore::F32(vec![1.0, 2.0, 3.0]));
@@ -467,15 +576,24 @@ mod tests {
         let k = scale_kernel(&mut p);
         let mut gpu = Gpu::new(GpuConfig::default());
         let small = gpu.copy_in(&ArrStore::F32(vec![0.0; 64])).unwrap();
-        let s1 = gpu.launch(&p, k, [2, 1, 1], [32, 1, 1], vec![Val::Arr(small)]).unwrap();
+        let s1 = gpu
+            .launch(&p, k, [2, 1, 1], [32, 1, 1], vec![Val::Arr(small)])
+            .unwrap();
         let big = gpu.copy_in(&ArrStore::F32(vec![0.0; 4096])).unwrap();
-        let s2 = gpu.launch(&p, k, [128, 1, 1], [32, 1, 1], vec![Val::Arr(big)]).unwrap();
+        let s2 = gpu
+            .launch(&p, k, [128, 1, 1], [32, 1, 1], vec![Val::Arr(big)])
+            .unwrap();
         assert!(s2.executed_cycles > s1.executed_cycles);
         assert!(s2.kernel_time > s1.kernel_time);
         // More SMs => faster kernels for the same work.
-        let mut fat = Gpu::new(GpuConfig { n_sms: 28, ..GpuConfig::default() });
+        let mut fat = Gpu::new(GpuConfig {
+            n_sms: 28,
+            ..GpuConfig::default()
+        });
         let big2 = fat.copy_in(&ArrStore::F32(vec![0.0; 4096])).unwrap();
-        let s3 = fat.launch(&p, k, [128, 1, 1], [32, 1, 1], vec![Val::Arr(big2)]).unwrap();
+        let s3 = fat
+            .launch(&p, k, [128, 1, 1], [32, 1, 1], vec![Val::Arr(big2)])
+            .unwrap();
         assert!(s3.kernel_time < s2.kernel_time);
     }
 
@@ -485,7 +603,9 @@ mod tests {
         let k = scale_kernel(&mut p);
         let mut gpu = Gpu::new(GpuConfig::default());
         let dev = gpu.copy_in(&ArrStore::F32(vec![0.0; 4])).unwrap();
-        let e = gpu.launch(&p, k, [1, 1, 1], [2048, 1, 1], vec![Val::Arr(dev)]).unwrap_err();
+        let e = gpu
+            .launch(&p, k, [1, 1, 1], [2048, 1, 1], vec![Val::Arr(dev)])
+            .unwrap_err();
         assert!(e.message.contains("1024"), "{e}");
     }
 
@@ -496,7 +616,9 @@ mod tests {
         let run_once = || {
             let mut gpu = Gpu::new(GpuConfig::default());
             let dev = gpu.copy_in(&ArrStore::F32(vec![1.0; 100])).unwrap();
-            let stats = gpu.launch(&p, k, [4, 1, 1], [32, 1, 1], vec![Val::Arr(dev)]).unwrap();
+            let stats = gpu
+                .launch(&p, k, [4, 1, 1], [32, 1, 1], vec![Val::Arr(dev)])
+                .unwrap();
             (stats.executed_cycles, stats.kernel_time, gpu.vtime)
         };
         assert_eq!(run_once(), run_once());
@@ -524,20 +646,80 @@ mod tests_3d {
         let idx = kb.reg(Ty::I32);
         let tmp = kb.reg(Ty::I32);
         let v = kb.reg(Ty::F32);
-        kb.emit(Instr::Intrin { op: IntrinOp::BlockIdx(0), args: vec![], dst: Some(bx) });
-        kb.emit(Instr::Intrin { op: IntrinOp::BlockIdx(1), args: vec![], dst: Some(by) });
-        kb.emit(Instr::Intrin { op: IntrinOp::BlockIdx(2), args: vec![], dst: Some(bz) });
-        kb.emit(Instr::Intrin { op: IntrinOp::ThreadIdx(2), args: vec![], dst: Some(tz) });
-        kb.emit(Instr::Intrin { op: IntrinOp::GridDim(1), args: vec![], dst: Some(gy) });
-        kb.emit(Instr::Intrin { op: IntrinOp::GridDim(2), args: vec![], dst: Some(gz) });
+        kb.emit(Instr::Intrin {
+            op: IntrinOp::BlockIdx(0),
+            args: vec![],
+            dst: Some(bx),
+        });
+        kb.emit(Instr::Intrin {
+            op: IntrinOp::BlockIdx(1),
+            args: vec![],
+            dst: Some(by),
+        });
+        kb.emit(Instr::Intrin {
+            op: IntrinOp::BlockIdx(2),
+            args: vec![],
+            dst: Some(bz),
+        });
+        kb.emit(Instr::Intrin {
+            op: IntrinOp::ThreadIdx(2),
+            args: vec![],
+            dst: Some(tz),
+        });
+        kb.emit(Instr::Intrin {
+            op: IntrinOp::GridDim(1),
+            args: vec![],
+            dst: Some(gy),
+        });
+        kb.emit(Instr::Intrin {
+            op: IntrinOp::GridDim(2),
+            args: vec![],
+            dst: Some(gz),
+        });
         // idx = ((bx * gridDim.y + by) * gridDim.z + bz) * 2 + tz
-        kb.emit(Instr::Bin { op: BinOp::Mul, kind: PrimKind::Int, dst: idx, lhs: bx, rhs: gy });
-        kb.emit(Instr::Bin { op: BinOp::Add, kind: PrimKind::Int, dst: idx, lhs: idx, rhs: by });
-        kb.emit(Instr::Bin { op: BinOp::Mul, kind: PrimKind::Int, dst: idx, lhs: idx, rhs: gz });
-        kb.emit(Instr::Bin { op: BinOp::Add, kind: PrimKind::Int, dst: idx, lhs: idx, rhs: bz });
+        kb.emit(Instr::Bin {
+            op: BinOp::Mul,
+            kind: PrimKind::Int,
+            dst: idx,
+            lhs: bx,
+            rhs: gy,
+        });
+        kb.emit(Instr::Bin {
+            op: BinOp::Add,
+            kind: PrimKind::Int,
+            dst: idx,
+            lhs: idx,
+            rhs: by,
+        });
+        kb.emit(Instr::Bin {
+            op: BinOp::Mul,
+            kind: PrimKind::Int,
+            dst: idx,
+            lhs: idx,
+            rhs: gz,
+        });
+        kb.emit(Instr::Bin {
+            op: BinOp::Add,
+            kind: PrimKind::Int,
+            dst: idx,
+            lhs: idx,
+            rhs: bz,
+        });
         kb.emit(Instr::ConstI32(tmp, 2));
-        kb.emit(Instr::Bin { op: BinOp::Mul, kind: PrimKind::Int, dst: idx, lhs: idx, rhs: tmp });
-        kb.emit(Instr::Bin { op: BinOp::Add, kind: PrimKind::Int, dst: idx, lhs: idx, rhs: tz });
+        kb.emit(Instr::Bin {
+            op: BinOp::Mul,
+            kind: PrimKind::Int,
+            dst: idx,
+            lhs: idx,
+            rhs: tmp,
+        });
+        kb.emit(Instr::Bin {
+            op: BinOp::Add,
+            kind: PrimKind::Int,
+            dst: idx,
+            lhs: idx,
+            rhs: tz,
+        });
         // value = bx*100 + by*10 + bz + tz (v is an f32 reg reserved above
         // and unused by the integer accumulation).
         let _reserved: Reg = v;
@@ -545,15 +727,54 @@ mod tests_3d {
         let acc = kb.reg(Ty::I32);
         let t2 = kb.reg(Ty::I32);
         kb.emit(Instr::ConstI32(tmp, 100));
-        kb.emit(Instr::Bin { op: BinOp::Mul, kind: PrimKind::Int, dst: acc, lhs: bx, rhs: tmp });
+        kb.emit(Instr::Bin {
+            op: BinOp::Mul,
+            kind: PrimKind::Int,
+            dst: acc,
+            lhs: bx,
+            rhs: tmp,
+        });
         kb.emit(Instr::ConstI32(tmp, 10));
-        kb.emit(Instr::Bin { op: BinOp::Mul, kind: PrimKind::Int, dst: t2, lhs: by, rhs: tmp });
-        kb.emit(Instr::Bin { op: BinOp::Add, kind: PrimKind::Int, dst: acc, lhs: acc, rhs: t2 });
-        kb.emit(Instr::Bin { op: BinOp::Add, kind: PrimKind::Int, dst: acc, lhs: acc, rhs: bz });
-        kb.emit(Instr::Bin { op: BinOp::Add, kind: PrimKind::Int, dst: acc, lhs: acc, rhs: tz });
+        kb.emit(Instr::Bin {
+            op: BinOp::Mul,
+            kind: PrimKind::Int,
+            dst: t2,
+            lhs: by,
+            rhs: tmp,
+        });
+        kb.emit(Instr::Bin {
+            op: BinOp::Add,
+            kind: PrimKind::Int,
+            dst: acc,
+            lhs: acc,
+            rhs: t2,
+        });
+        kb.emit(Instr::Bin {
+            op: BinOp::Add,
+            kind: PrimKind::Int,
+            dst: acc,
+            lhs: acc,
+            rhs: bz,
+        });
+        kb.emit(Instr::Bin {
+            op: BinOp::Add,
+            kind: PrimKind::Int,
+            dst: acc,
+            lhs: acc,
+            rhs: tz,
+        });
         let vf = kb.reg(Ty::F32);
-        kb.emit(Instr::Cast { to: PrimKind::Float, from: PrimKind::Int, dst: vf, src: acc });
-        kb.emit(Instr::StArr { arr: 0, idx, src: vf });
+        kb.emit(Instr::Cast {
+            to: PrimKind::Float,
+            from: PrimKind::Int,
+            dst: vf,
+            src: acc,
+        });
+        kb.emit(Instr::StArr {
+            arr: 0,
+            idx,
+            src: vf,
+        });
         kb.emit(Instr::Ret(None));
         let mut p = Program::default();
         let k = p.add_func(kb.finish().unwrap());
@@ -562,7 +783,8 @@ mod tests_3d {
         let mut gpu = Gpu::new(GpuConfig::default());
         // grid 2x3x2, block 1x1x2 -> 24 cells
         let dev = gpu.copy_in(&ArrStore::F32(vec![-1.0; 24])).unwrap();
-        gpu.launch(&p, k, [2, 3, 2], [1, 1, 2], vec![Val::Arr(dev)]).unwrap();
+        gpu.launch(&p, k, [2, 3, 2], [1, 1, 2], vec![Val::Arr(dev)])
+            .unwrap();
         let mut out = ArrStore::F32(vec![0.0; 24]);
         gpu.copy_out(dev, &mut out).unwrap();
         let ArrStore::F32(o) = out else { panic!() };

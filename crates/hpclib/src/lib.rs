@@ -101,9 +101,7 @@ impl StencilApp {
                 "Dif3DSolver",
                 &[Value::Float(center), Value::Float(neighbor)],
             )?,
-            StencilModel::Damped { k } => {
-                env.new_instance("DampedSolver", &[Value::Float(k)])?
-            }
+            StencilModel::Damped { k } => env.new_instance("DampedSolver", &[Value::Float(k)])?,
         };
         let init = env.new_instance("NoiseInit", &[])?;
         env.new_instance(platform.runner_class(), &[solver, init])
@@ -112,7 +110,10 @@ impl StencilApp {
     /// The default diffusion coefficients used throughout the benchmarks
     /// (stable for the 7-point kernel: center + 6*neighbor = 1).
     pub fn default_model() -> StencilModel {
-        StencilModel::Diffusion { center: 0.4, neighbor: 0.1 }
+        StencilModel::Diffusion {
+            center: 0.4,
+            neighbor: 0.1,
+        }
     }
 
     /// Compose the boxed-API CPU runner (Listing-1 style, `ScalarFloat`
@@ -138,8 +139,7 @@ pub struct Stencil1D;
 impl Stencil1D {
     /// `new Stencil1DRunner(new Dif1DSolver(a, b), new EmptyContext(), init)`
     pub fn compose_diffusion(env: &mut WootinJ<'_>, a: f32, b: f32) -> WjResult<Value> {
-        let solver =
-            env.new_instance("Dif1DSolver", &[Value::Float(a), Value::Float(b)])?;
+        let solver = env.new_instance("Dif1DSolver", &[Value::Float(a), Value::Float(b)])?;
         let ctx = env.new_instance("EmptyContext", &[])?;
         let init = env.new_instance("NoiseInit", &[])?;
         env.new_instance("Stencil1DRunner", &[solver, ctx, init])
@@ -382,10 +382,13 @@ mod tests {
     ) -> f32 {
         let table = stencil_table(&[]).expect("compile stencil lib");
         let mut env = WootinJ::new(&table).unwrap();
-        let runner =
-            StencilApp::compose(&mut env, platform, StencilApp::default_model()).unwrap();
-        let args =
-            [Value::Int(nx), Value::Int(ny), Value::Int(nz), Value::Int(steps)];
+        let runner = StencilApp::compose(&mut env, platform, StencilApp::default_model()).unwrap();
+        let args = [
+            Value::Int(nx),
+            Value::Int(ny),
+            Value::Int(nz),
+            Value::Int(steps),
+        ];
         let mut code = env.jit(&runner, "invoke", &args, opts).unwrap();
         if platform.uses_mpi() {
             code.set_mpi(ranks, MpiCostModel::default());
@@ -433,7 +436,9 @@ mod tests {
             StencilApp::compose(&mut env, StencilPlatform::Cpu, StencilApp::default_model())
                 .unwrap();
         let args = [Value::Int(8), Value::Int(8), Value::Int(6), Value::Int(2)];
-        let code = env.jit(&runner, "invoke", &args, JitOptions::wootinj()).unwrap();
+        let code = env
+            .jit(&runner, "invoke", &args, JitOptions::wootinj())
+            .unwrap();
         let translated = code.invoke(&env).unwrap();
         let interpreted = env.run_interpreted(&runner, "invoke", &args).unwrap();
         match (translated.result, interpreted.result) {
@@ -446,8 +451,15 @@ mod tests {
     fn mpi_runner_matches_cpu_runner() {
         let cpu = run_stencil(StencilPlatform::Cpu, JitOptions::wootinj(), 1, 8, 8, 8, 3);
         for ranks in [1, 2, 4] {
-            let mpi =
-                run_stencil(StencilPlatform::CpuMpi, JitOptions::wootinj(), ranks, 8, 8, 8, 3);
+            let mpi = run_stencil(
+                StencilPlatform::CpuMpi,
+                JitOptions::wootinj(),
+                ranks,
+                8,
+                8,
+                8,
+                3,
+            );
             assert!(rel_close(cpu, mpi, 1e-4), "ranks {ranks}: {cpu} vs {mpi}");
         }
     }
@@ -462,7 +474,15 @@ mod tests {
     #[test]
     fn gpu_mpi_runner_matches_cpu_runner() {
         let cpu = run_stencil(StencilPlatform::Cpu, JitOptions::wootinj(), 1, 8, 8, 8, 3);
-        let gm = run_stencil(StencilPlatform::GpuMpi, JitOptions::wootinj(), 2, 8, 8, 8, 3);
+        let gm = run_stencil(
+            StencilPlatform::GpuMpi,
+            JitOptions::wootinj(),
+            2,
+            8,
+            8,
+            8,
+            3,
+        );
         assert!(rel_close(cpu, gm, 1e-4), "{cpu} vs {gm}");
     }
 
@@ -470,8 +490,15 @@ mod tests {
     fn all_translation_modes_agree_on_cpu_stencil() {
         let full = run_stencil(StencilPlatform::Cpu, JitOptions::wootinj(), 1, 8, 8, 6, 2);
         let tmpl = run_stencil(StencilPlatform::Cpu, JitOptions::template(), 1, 8, 8, 6, 2);
-        let tnv =
-            run_stencil(StencilPlatform::Cpu, JitOptions::template_no_virt(), 1, 8, 8, 6, 2);
+        let tnv = run_stencil(
+            StencilPlatform::Cpu,
+            JitOptions::template_no_virt(),
+            1,
+            8,
+            8,
+            6,
+            2,
+        );
         let cpp = run_stencil(StencilPlatform::Cpu, JitOptions::cpp(), 1, 8, 8, 6, 2);
         assert_eq!(full, tmpl);
         assert_eq!(full, tnv);
@@ -485,7 +512,10 @@ mod tests {
         let diff = StencilApp::compose(
             &mut env,
             StencilPlatform::Cpu,
-            StencilModel::Diffusion { center: 0.4, neighbor: 0.1 },
+            StencilModel::Diffusion {
+                center: 0.4,
+                neighbor: 0.1,
+            },
         )
         .unwrap();
         let damp = StencilApp::compose(
@@ -539,56 +569,111 @@ mod tests {
 
     #[test]
     fn simple_matmul_matches_rust_reference() {
-        let got =
-            run_matmul(MatmulThread::CpuLoop, MatmulBody::Simple, MatmulCalc::Optimized, 1, 12);
+        let got = run_matmul(
+            MatmulThread::CpuLoop,
+            MatmulBody::Simple,
+            MatmulCalc::Optimized,
+            1,
+            12,
+        );
         let want = reference_matmul(12);
         assert!(rel_close(got, want, 1e-4), "{got} vs {want}");
     }
 
     #[test]
     fn both_calculators_agree() {
-        let simple =
-            run_matmul(MatmulThread::CpuLoop, MatmulBody::Simple, MatmulCalc::Simple, 1, 10);
-        let opt =
-            run_matmul(MatmulThread::CpuLoop, MatmulBody::Simple, MatmulCalc::Optimized, 1, 10);
+        let simple = run_matmul(
+            MatmulThread::CpuLoop,
+            MatmulBody::Simple,
+            MatmulCalc::Simple,
+            1,
+            10,
+        );
+        let opt = run_matmul(
+            MatmulThread::CpuLoop,
+            MatmulBody::Simple,
+            MatmulCalc::Optimized,
+            1,
+            10,
+        );
         assert_eq!(simple, opt);
     }
 
     #[test]
     fn fox_algorithm_matches_simple_body() {
-        let seq =
-            run_matmul(MatmulThread::CpuLoop, MatmulBody::Simple, MatmulCalc::Optimized, 1, 12);
+        let seq = run_matmul(
+            MatmulThread::CpuLoop,
+            MatmulBody::Simple,
+            MatmulCalc::Optimized,
+            1,
+            12,
+        );
         for ranks in [1u32, 4] {
-            let fox =
-                run_matmul(MatmulThread::Mpi, MatmulBody::Fox, MatmulCalc::Optimized, ranks, 12);
+            let fox = run_matmul(
+                MatmulThread::Mpi,
+                MatmulBody::Fox,
+                MatmulCalc::Optimized,
+                ranks,
+                12,
+            );
             assert!(rel_close(seq, fox, 1e-4), "ranks {ranks}: {seq} vs {fox}");
         }
     }
 
     #[test]
     fn fox_on_nine_ranks() {
-        let seq =
-            run_matmul(MatmulThread::CpuLoop, MatmulBody::Simple, MatmulCalc::Optimized, 1, 18);
-        let fox =
-            run_matmul(MatmulThread::Mpi, MatmulBody::Fox, MatmulCalc::Optimized, 9, 18);
+        let seq = run_matmul(
+            MatmulThread::CpuLoop,
+            MatmulBody::Simple,
+            MatmulCalc::Optimized,
+            1,
+            18,
+        );
+        let fox = run_matmul(
+            MatmulThread::Mpi,
+            MatmulBody::Fox,
+            MatmulCalc::Optimized,
+            9,
+            18,
+        );
         assert!(rel_close(seq, fox, 1e-4), "{seq} vs {fox}");
     }
 
     #[test]
     fn gpu_matmul_matches_cpu() {
-        let seq =
-            run_matmul(MatmulThread::CpuLoop, MatmulBody::Simple, MatmulCalc::Optimized, 1, 16);
-        let gpu =
-            run_matmul(MatmulThread::Gpu, MatmulBody::GpuNaive, MatmulCalc::Optimized, 1, 16);
+        let seq = run_matmul(
+            MatmulThread::CpuLoop,
+            MatmulBody::Simple,
+            MatmulCalc::Optimized,
+            1,
+            16,
+        );
+        let gpu = run_matmul(
+            MatmulThread::Gpu,
+            MatmulBody::GpuNaive,
+            MatmulCalc::Optimized,
+            1,
+            16,
+        );
         assert!(rel_close(seq, gpu, 1e-4), "{seq} vs {gpu}");
     }
 
     #[test]
     fn tiled_gpu_kernel_matches_naive() {
-        let naive =
-            run_matmul(MatmulThread::Gpu, MatmulBody::GpuNaive, MatmulCalc::Optimized, 1, 16);
-        let tiled =
-            run_matmul(MatmulThread::Gpu, MatmulBody::GpuTiled, MatmulCalc::Optimized, 1, 16);
+        let naive = run_matmul(
+            MatmulThread::Gpu,
+            MatmulBody::GpuNaive,
+            MatmulCalc::Optimized,
+            1,
+            16,
+        );
+        let tiled = run_matmul(
+            MatmulThread::Gpu,
+            MatmulBody::GpuTiled,
+            MatmulCalc::Optimized,
+            1,
+            16,
+        );
         assert!(rel_close(naive, tiled, 1e-4), "{naive} vs {tiled}");
     }
 
@@ -607,7 +692,9 @@ mod tests {
             .jit(&app, "start", &[Value::Int(8)], JitOptions::wootinj())
             .unwrap();
         let t = code.invoke(&env).unwrap();
-        let i = env.run_interpreted(&app, "start", &[Value::Int(8)]).unwrap();
+        let i = env
+            .run_interpreted(&app, "start", &[Value::Int(8)])
+            .unwrap();
         match (t.result, i.result) {
             (Some(Val::F32(a)), Value::Float(b)) => assert_eq!(a, b),
             other => panic!("unexpected {other:?}"),
@@ -622,9 +709,8 @@ mod tests {
         let mut env = WootinJ::new(&table).unwrap();
         let mut vtimes = Vec::new();
         for calc in [MatmulCalc::Simple, MatmulCalc::Optimized] {
-            let app =
-                MatmulApp::compose(&mut env, MatmulThread::CpuLoop, MatmulBody::Simple, calc)
-                    .unwrap();
+            let app = MatmulApp::compose(&mut env, MatmulThread::CpuLoop, MatmulBody::Simple, calc)
+                .unwrap();
             let code = env
                 .jit(&app, "start", &[Value::Int(12)], JitOptions::cpp())
                 .unwrap();
@@ -647,7 +733,11 @@ mod tests {
         let want = reference_diffusion_1d(64, 5, 0.1, 0.8);
         // All translation modes and the interpreter agree with the
         // reference — including the zero-leaf EmptyContext component.
-        for opts in [JitOptions::wootinj(), JitOptions::template(), JitOptions::cpp()] {
+        for opts in [
+            JitOptions::wootinj(),
+            JitOptions::template(),
+            JitOptions::cpp(),
+        ] {
             let code = env.jit(&runner, "invoke", &args, opts).unwrap();
             match code.invoke(&env).unwrap().result {
                 Some(Val::F32(v)) => assert_eq!(v, want),
@@ -709,12 +799,18 @@ mod tests {
         // Type checking alone accepts it (SolverCtx <= SolverCtx)...
         let table = match table {
             Ok(t) => t,
-            Err(ds) => panic!("should typecheck, rules reject later:\n{}", jlang::render_diags(&ds)),
+            Err(ds) => panic!(
+                "should typecheck, rules reject later:\n{}",
+                jlang::render_diags(&ds)
+            ),
         };
         // ...but the rules checker rejects rule 4.
         let report = jrules::check_program(&table);
         assert!(
-            report.violations.iter().any(|d| d.message.contains("rule 4")),
+            report
+                .violations
+                .iter()
+                .any(|d| d.message.contains("rule 4")),
             "{}",
             report.render()
         );
@@ -738,14 +834,18 @@ mod tests {
         ] {
             let mut env = WootinJ::new(&table).unwrap();
             let app = ReduceApp::compose(&mut env, ReducePlatform::Cpu, op, 0.125).unwrap();
-            let code =
-                env.jit(&app, "reduce", &[Value::Int(300)], JitOptions::wootinj()).unwrap();
+            let code = env
+                .jit(&app, "reduce", &[Value::Int(300)], JitOptions::wootinj())
+                .unwrap();
             let got = match code.invoke(&env).unwrap().result {
                 Some(Val::F64(v)) => v,
                 other => panic!("unexpected {other:?}"),
             };
             let want = reference_reduce(300, op, 0.125);
-            assert!((got - want).abs() < want.abs().max(1.0) * 1e-9, "{op:?}: {got} vs {want}");
+            assert!(
+                (got - want).abs() < want.abs().max(1.0) * 1e-9,
+                "{op:?}: {got} vs {want}"
+            );
         }
     }
 
@@ -754,10 +854,11 @@ mod tests {
         // n = 301 over 4 ranks: the last rank takes the remainder.
         let table = reduce_table(&[]).unwrap();
         let mut env = WootinJ::new(&table).unwrap();
-        let app = ReduceApp::compose(&mut env, ReducePlatform::Mpi, ReduceOp::Square, 0.125)
+        let app =
+            ReduceApp::compose(&mut env, ReducePlatform::Mpi, ReduceOp::Square, 0.125).unwrap();
+        let mut code = env
+            .jit(&app, "reduce", &[Value::Int(301)], JitOptions::wootinj())
             .unwrap();
-        let mut code =
-            env.jit(&app, "reduce", &[Value::Int(301)], JitOptions::wootinj()).unwrap();
         code.set_mpi(4, MpiCostModel::default());
         let got = match code.invoke(&env).unwrap().result {
             Some(Val::F64(v)) => v,
@@ -776,8 +877,9 @@ mod tests {
         let mut env = WootinJ::new(&table).unwrap();
         let app =
             ReduceApp::compose(&mut env, ReducePlatform::Gpu, ReduceOp::Square, 0.125).unwrap();
-        let mut code =
-            env.jit(&app, "reduce", &[Value::Int(500)], JitOptions::wootinj()).unwrap();
+        let mut code = env
+            .jit(&app, "reduce", &[Value::Int(500)], JitOptions::wootinj())
+            .unwrap();
         code.set_gpu(GpuConfig::default());
         let got = match code.invoke(&env).unwrap().result {
             Some(Val::F64(v)) => v,
@@ -833,7 +935,10 @@ mod tests {
         }
         let (w, t, c) = (vtimes["wootinj"], vtimes["template"], vtimes["cpp"]);
         assert!(c > w * 3, "C++ must pay boxing dearly: cpp={c} wootinj={w}");
-        assert!(t < c / 2, "Template value semantics avoid most boxing: tmpl={t} cpp={c}");
+        assert!(
+            t < c / 2,
+            "Template value semantics avoid most boxing: tmpl={t} cpp={c}"
+        );
     }
 
     #[test]
@@ -851,7 +956,9 @@ mod tests {
             )
             .unwrap();
             let args = [Value::Int(8), Value::Int(8), Value::Int(4), Value::Int(2)];
-            let mut code = env.jit(&runner, "invoke", &args, JitOptions::wootinj()).unwrap();
+            let mut code = env
+                .jit(&runner, "invoke", &args, JitOptions::wootinj())
+                .unwrap();
             code.set_mpi(1, MpiCostModel::default());
             code.invoke(&env).unwrap().vtime_cycles
         };
@@ -866,7 +973,9 @@ mod tests {
             .unwrap();
             // 4x the global depth => same per-rank slab.
             let args = [Value::Int(8), Value::Int(8), Value::Int(16), Value::Int(2)];
-            let mut code = env.jit(&runner, "invoke", &args, JitOptions::wootinj()).unwrap();
+            let mut code = env
+                .jit(&runner, "invoke", &args, JitOptions::wootinj())
+                .unwrap();
             code.set_mpi(4, MpiCostModel::default());
             code.invoke(&env).unwrap().vtime_cycles
         };
@@ -874,6 +983,9 @@ mod tests {
             t4 < t1 * 3,
             "weak scaling should be sub-linear in ranks: t1={t1} t4={t4}"
         );
-        assert!(t4 > t1, "communication must cost something: t1={t1} t4={t4}");
+        assert!(
+            t4 > t1,
+            "communication must cost something: t1={t1} t4={t4}"
+        );
     }
 }

@@ -35,13 +35,21 @@ pub enum TypeRef {
     Double,
     Boolean,
     /// Class, interface, or type-parameter name with optional type arguments.
-    Named { name: String, args: Vec<TypeRef>, span: Span },
+    Named {
+        name: String,
+        args: Vec<TypeRef>,
+        span: Span,
+    },
     Array(Box<TypeRef>),
 }
 
 impl TypeRef {
     pub fn named(name: &str, span: Span) -> TypeRef {
-        TypeRef::Named { name: name.to_string(), args: Vec::new(), span }
+        TypeRef::Named {
+            name: name.to_string(),
+            args: Vec::new(),
+            span,
+        }
     }
 }
 
@@ -135,14 +143,38 @@ pub enum LValue {
 #[derive(Debug, Clone)]
 pub enum Stmt {
     /// `T x = init;`
-    Local { name: String, ty: TypeRef, init: Option<Expr>, is_final: bool, span: Span },
+    Local {
+        name: String,
+        ty: TypeRef,
+        init: Option<Expr>,
+        is_final: bool,
+        span: Span,
+    },
     /// `lhs op= rhs;` — `op` is `None` for plain `=`.
-    Assign { target: LValue, op: Option<BinOp>, value: Expr, span: Span },
+    Assign {
+        target: LValue,
+        op: Option<BinOp>,
+        value: Expr,
+        span: Span,
+    },
     /// `x++;` / `x--;` statements (sugar for `x = x + 1`).
-    IncDec { target: LValue, inc: bool, span: Span },
+    IncDec {
+        target: LValue,
+        inc: bool,
+        span: Span,
+    },
     Expr(Expr),
-    If { cond: Expr, then_branch: Block, else_branch: Option<Block>, span: Span },
-    While { cond: Expr, body: Block, span: Span },
+    If {
+        cond: Expr,
+        then_branch: Block,
+        else_branch: Option<Block>,
+        span: Span,
+    },
+    While {
+        cond: Expr,
+        body: Block,
+        span: Span,
+    },
     /// `for (init; cond; update) body` — each part optional.
     For {
         init: Option<Box<Stmt>>,
@@ -151,7 +183,10 @@ pub enum Stmt {
         body: Block,
         span: Span,
     },
-    Return { value: Option<Expr>, span: Span },
+    Return {
+        value: Option<Expr>,
+        span: Span,
+    },
     Break(Span),
     Continue(Span),
     Block(Block),
@@ -201,7 +236,10 @@ pub enum BinOp {
 impl BinOp {
     /// True for `<`, `<=`, `>`, `>=`, `==`, `!=`.
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
     }
 
     /// True for `&&` / `||`.
@@ -232,25 +270,72 @@ pub enum Expr {
     Name(String, Span),
     This(Span),
     /// `expr.name`
-    Field { obj: Box<Expr>, name: String, span: Span },
+    Field {
+        obj: Box<Expr>,
+        name: String,
+        span: Span,
+    },
     /// `expr.name(args)` — virtual or static call; resolution decides.
-    Call { recv: Box<Expr>, name: String, args: Vec<Expr>, span: Span },
+    Call {
+        recv: Box<Expr>,
+        name: String,
+        args: Vec<Expr>,
+        span: Span,
+    },
     /// `super.name(args)`
-    SuperCall { name: String, args: Vec<Expr>, span: Span },
+    SuperCall {
+        name: String,
+        args: Vec<Expr>,
+        span: Span,
+    },
     /// `new T(args)` / `new T<A,B>(args)`
-    New { ty: TypeRef, args: Vec<Expr>, span: Span },
+    New {
+        ty: TypeRef,
+        args: Vec<Expr>,
+        span: Span,
+    },
     /// `new T[len]`
-    NewArray { elem: TypeRef, len: Box<Expr>, span: Span },
+    NewArray {
+        elem: TypeRef,
+        len: Box<Expr>,
+        span: Span,
+    },
     /// `arr[idx]`
-    Index { arr: Box<Expr>, idx: Box<Expr>, span: Span },
-    Unary { op: UnOp, expr: Box<Expr>, span: Span },
-    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr>, span: Span },
+    Index {
+        arr: Box<Expr>,
+        idx: Box<Expr>,
+        span: Span,
+    },
+    Unary {
+        op: UnOp,
+        expr: Box<Expr>,
+        span: Span,
+    },
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+        span: Span,
+    },
     /// `(T) expr`
-    Cast { ty: TypeRef, expr: Box<Expr>, span: Span },
+    Cast {
+        ty: TypeRef,
+        expr: Box<Expr>,
+        span: Span,
+    },
     /// `expr instanceof T` — parsed so the rules checker can reject it.
-    InstanceOf { expr: Box<Expr>, ty: TypeRef, span: Span },
+    InstanceOf {
+        expr: Box<Expr>,
+        ty: TypeRef,
+        span: Span,
+    },
     /// `c ? t : f` — parsed so the rules checker can reject it.
-    Ternary { cond: Box<Expr>, then_val: Box<Expr>, else_val: Box<Expr>, span: Span },
+    Ternary {
+        cond: Box<Expr>,
+        then_val: Box<Expr>,
+        else_val: Box<Expr>,
+        span: Span,
+    },
 }
 
 impl Expr {

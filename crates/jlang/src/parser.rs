@@ -30,7 +30,13 @@ const MAX_EXPR_DEPTH: u32 = 40;
 /// Parse one source file into a [`Unit`].
 pub fn parse_unit(file: u32, src: &str) -> Result<Unit, Vec<Diagnostic>> {
     let toks = lex(file, src)?;
-    let mut p = Parser { toks, pos: 0, pending_gt: false, depth: 0, diags: Vec::new() };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        pending_gt: false,
+        depth: 0,
+        diags: Vec::new(),
+    };
     let unit = p.unit();
     if p.diags.is_empty() {
         Ok(unit)
@@ -107,7 +113,11 @@ impl Parser {
             self.bump();
             Ok(s)
         } else {
-            Err(self.err(format!("expected {}, found {}", tok.describe(), self.peek().describe())))
+            Err(self.err(format!(
+                "expected {}, found {}",
+                tok.describe(),
+                self.peek().describe()
+            )))
         }
     }
 
@@ -188,7 +198,11 @@ impl Parser {
                 }
                 self.expect(Tok::RParen)?;
             }
-            anns.push(Annotation { name, arg, span: start.to(self.prev_span()) });
+            anns.push(Annotation {
+                name,
+                arg,
+                span: start.to(self.prev_span()),
+            });
         }
         Ok(anns)
     }
@@ -238,7 +252,11 @@ impl Parser {
             }
         };
         let (name, _) = self.ident()?;
-        let type_params = if *self.peek() == Tok::Lt { self.type_params()? } else { Vec::new() };
+        let type_params = if *self.peek() == Tok::Lt {
+            self.type_params()?
+        } else {
+            Vec::new()
+        };
         let mut superclass = None;
         let mut interfaces = Vec::new();
         if self.eat(Tok::KwExtends) {
@@ -288,8 +306,11 @@ impl Parser {
         let mut out = Vec::new();
         loop {
             let (name, span) = self.ident()?;
-            let bound =
-                if self.eat(Tok::KwExtends) { Some(self.type_ref()?) } else { None };
+            let bound = if self.eat(Tok::KwExtends) {
+                Some(self.type_ref()?)
+            } else {
+                None
+            };
             out.push(TypeParam { name, bound, span });
             if !self.eat(Tok::Comma) {
                 break;
@@ -319,7 +340,9 @@ impl Parser {
                     return Err(Diagnostic::error(
                         "parser",
                         c.span,
-                        format!("class `{class_name}` has more than one constructor (jlang allows one)"),
+                        format!(
+                            "class `{class_name}` has more than one constructor (jlang allows one)"
+                        ),
                     ));
                 }
                 *ctor = Some(c);
@@ -428,7 +451,12 @@ impl Parser {
                 let is_final = self.eat(Tok::KwFinal);
                 let ty = self.type_ref()?;
                 let (name, _) = self.ident()?;
-                out.push(Param { name, ty, is_final, span: start.to(self.prev_span()) });
+                out.push(Param {
+                    name,
+                    ty,
+                    is_final,
+                    span: start.to(self.prev_span()),
+                });
                 if !self.eat(Tok::Comma) {
                     break;
                 }
@@ -482,7 +510,11 @@ impl Parser {
                     }
                     self.expect_gt()?;
                 }
-                TypeRef::Named { name, args, span: span.to(self.prev_span()) }
+                TypeRef::Named {
+                    name,
+                    args,
+                    span: span.to(self.prev_span()),
+                }
             }
             other => return Err(self.err(format!("expected a type, found {}", other.describe()))),
         };
@@ -556,7 +588,9 @@ impl Parser {
         if *self.peek() == Tok::LBrace {
             self.block()
         } else {
-            Ok(Block { stmts: vec![self.stmt()?] })
+            Ok(Block {
+                stmts: vec![self.stmt()?],
+            })
         }
     }
 
@@ -566,9 +600,16 @@ impl Parser {
             Tok::LBrace => Ok(Stmt::Block(self.block()?)),
             Tok::KwReturn => {
                 self.bump();
-                let value = if *self.peek() == Tok::Semi { None } else { Some(self.expr()?) };
+                let value = if *self.peek() == Tok::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(Tok::Semi)?;
-                Ok(Stmt::Return { value, span: start.to(self.prev_span()) })
+                Ok(Stmt::Return {
+                    value,
+                    span: start.to(self.prev_span()),
+                })
             }
             Tok::KwBreak => {
                 self.bump();
@@ -588,14 +629,21 @@ impl Parser {
                 let then_branch = self.block_or_stmt()?;
                 let else_branch = if self.eat(Tok::KwElse) {
                     Some(if *self.peek() == Tok::KwIf {
-                        Block { stmts: vec![self.stmt()?] }
+                        Block {
+                            stmts: vec![self.stmt()?],
+                        }
                     } else {
                         self.block_or_stmt()?
                     })
                 } else {
                     None
                 };
-                Ok(Stmt::If { cond, then_branch, else_branch, span: start.to(self.prev_span()) })
+                Ok(Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                    span: start.to(self.prev_span()),
+                })
             }
             Tok::KwWhile => {
                 self.bump();
@@ -603,7 +651,11 @@ impl Parser {
                 let cond = self.expr()?;
                 self.expect(Tok::RParen)?;
                 let body = self.block_or_stmt()?;
-                Ok(Stmt::While { cond, body, span: start.to(self.prev_span()) })
+                Ok(Stmt::While {
+                    cond,
+                    body,
+                    span: start.to(self.prev_span()),
+                })
             }
             Tok::KwFor => {
                 self.bump();
@@ -613,7 +665,11 @@ impl Parser {
                 } else {
                     Some(Box::new(self.simple_stmt(true)?))
                 };
-                let cond = if *self.peek() == Tok::Semi { None } else { Some(self.expr()?) };
+                let cond = if *self.peek() == Tok::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(Tok::Semi)?;
                 let update = if *self.peek() == Tok::RParen {
                     None
@@ -622,7 +678,13 @@ impl Parser {
                 };
                 self.expect(Tok::RParen)?;
                 let body = self.block_or_stmt()?;
-                Ok(Stmt::For { init, cond, update, body, span: start.to(self.prev_span()) })
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    update,
+                    body,
+                    span: start.to(self.prev_span()),
+                })
             }
             _ => self.simple_stmt(true),
         }
@@ -647,7 +709,11 @@ impl Parser {
             if let Ok(ty) = self.type_ref() {
                 if let Tok::Ident(_) = self.peek() {
                     let (name, _) = self.ident()?;
-                    let init = if self.eat(Tok::Assign) { Some(self.expr()?) } else { None };
+                    let init = if self.eat(Tok::Assign) {
+                        Some(self.expr()?)
+                    } else {
+                        None
+                    };
                     return Ok(Stmt::Local {
                         name,
                         ty,
@@ -683,12 +749,21 @@ impl Parser {
                 };
                 let target = self.expr_to_lvalue(e)?;
                 let value = self.expr()?;
-                Ok(Stmt::Assign { target, op, value, span: start.to(self.prev_span()) })
+                Ok(Stmt::Assign {
+                    target,
+                    op,
+                    value,
+                    span: start.to(self.prev_span()),
+                })
             }
             Tok::PlusPlus | Tok::MinusMinus => {
                 let inc = self.bump() == Tok::PlusPlus;
                 let target = self.expr_to_lvalue(e)?;
-                Ok(Stmt::IncDec { target, inc, span: start.to(self.prev_span()) })
+                Ok(Stmt::IncDec {
+                    target,
+                    inc,
+                    span: start.to(self.prev_span()),
+                })
             }
             _ => Ok(Stmt::Expr(e)),
         }
@@ -710,8 +785,16 @@ impl Parser {
     fn expr_to_lvalue(&self, e: Expr) -> PResult<LValue> {
         match e {
             Expr::Name(n, s) => Ok(LValue::Name(n, s)),
-            Expr::Field { obj, name, span } => Ok(LValue::Field { obj: *obj, name, span }),
-            Expr::Index { arr, idx, span } => Ok(LValue::Index { arr: *arr, idx: *idx, span }),
+            Expr::Field { obj, name, span } => Ok(LValue::Field {
+                obj: *obj,
+                name,
+                span,
+            }),
+            Expr::Index { arr, idx, span } => Ok(LValue::Index {
+                arr: *arr,
+                idx: *idx,
+                span,
+            }),
             other => Err(Diagnostic::error(
                 "parser",
                 other.span(),
@@ -767,7 +850,12 @@ impl Parser {
                     self.bump();
                     let rhs = next(self)?;
                     let span = lhs.span().to(rhs.span());
-                    lhs = Expr::Binary { op: *op, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+                    lhs = Expr::Binary {
+                        op: *op,
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                        span,
+                    };
                     continue 'outer;
                 }
             }
@@ -796,7 +884,10 @@ impl Parser {
     }
 
     fn equality(&mut self) -> PResult<Expr> {
-        self.binary_level(Self::relational, &[(Tok::EqEq, BinOp::Eq), (Tok::NotEq, BinOp::Ne)])
+        self.binary_level(
+            Self::relational,
+            &[(Tok::EqEq, BinOp::Eq), (Tok::NotEq, BinOp::Ne)],
+        )
     }
 
     fn relational(&mut self) -> PResult<Expr> {
@@ -807,7 +898,11 @@ impl Parser {
                 self.bump();
                 let ty = self.type_ref()?;
                 let span = lhs.span().to(self.prev_span());
-                lhs = Expr::InstanceOf { expr: Box::new(lhs), ty, span };
+                lhs = Expr::InstanceOf {
+                    expr: Box::new(lhs),
+                    ty,
+                    span,
+                };
                 continue;
             }
             let op = match self.peek() {
@@ -820,22 +915,37 @@ impl Parser {
             self.bump();
             let rhs = self.shift()?;
             let span = lhs.span().to(rhs.span());
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
         }
     }
 
     fn shift(&mut self) -> PResult<Expr> {
-        self.binary_level(Self::additive, &[(Tok::Shl, BinOp::Shl), (Tok::Shr, BinOp::Shr)])
+        self.binary_level(
+            Self::additive,
+            &[(Tok::Shl, BinOp::Shl), (Tok::Shr, BinOp::Shr)],
+        )
     }
 
     fn additive(&mut self) -> PResult<Expr> {
-        self.binary_level(Self::multiplicative, &[(Tok::Plus, BinOp::Add), (Tok::Minus, BinOp::Sub)])
+        self.binary_level(
+            Self::multiplicative,
+            &[(Tok::Plus, BinOp::Add), (Tok::Minus, BinOp::Sub)],
+        )
     }
 
     fn multiplicative(&mut self) -> PResult<Expr> {
         self.binary_level(
             Self::unary,
-            &[(Tok::Star, BinOp::Mul), (Tok::Slash, BinOp::Div), (Tok::Percent, BinOp::Rem)],
+            &[
+                (Tok::Star, BinOp::Mul),
+                (Tok::Slash, BinOp::Div),
+                (Tok::Percent, BinOp::Rem),
+            ],
         )
     }
 
@@ -846,13 +956,21 @@ impl Parser {
                 self.bump();
                 let e = self.unary()?;
                 let span = start.to(e.span());
-                Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(e), span })
+                Ok(Expr::Unary {
+                    op: UnOp::Neg,
+                    expr: Box::new(e),
+                    span,
+                })
             }
             Tok::Not => {
                 self.bump();
                 let e = self.unary()?;
                 let span = start.to(e.span());
-                Ok(Expr::Unary { op: UnOp::Not, expr: Box::new(e), span })
+                Ok(Expr::Unary {
+                    op: UnOp::Not,
+                    expr: Box::new(e),
+                    span,
+                })
             }
             Tok::LParen if self.is_cast() => {
                 self.bump();
@@ -860,7 +978,11 @@ impl Parser {
                 self.expect(Tok::RParen)?;
                 let e = self.unary()?;
                 let span = start.to(e.span());
-                Ok(Expr::Cast { ty, expr: Box::new(e), span })
+                Ok(Expr::Cast {
+                    ty,
+                    expr: Box::new(e),
+                    span,
+                })
             }
             _ => self.postfix(),
         }
@@ -871,9 +993,7 @@ impl Parser {
         debug_assert_eq!(*self.peek(), Tok::LParen);
         match self.peek_at(1) {
             // `(int)`, `(float)`, ... are always casts.
-            Tok::KwInt | Tok::KwLong | Tok::KwFloat | Tok::KwDouble | Tok::KwBoolean => {
-                true
-            }
+            Tok::KwInt | Tok::KwLong | Tok::KwFloat | Tok::KwDouble | Tok::KwBoolean => true,
             Tok::Ident(_) => {
                 // `(Name)` followed by something that can begin an operand.
                 let mut i = 2;
@@ -914,10 +1034,19 @@ impl Parser {
                     if *self.peek() == Tok::LParen {
                         let args = self.call_args()?;
                         let span = e.span().to(self.prev_span());
-                        e = Expr::Call { recv: Box::new(e), name, args, span };
+                        e = Expr::Call {
+                            recv: Box::new(e),
+                            name,
+                            args,
+                            span,
+                        };
                     } else {
                         let span = e.span().to(self.prev_span());
-                        e = Expr::Field { obj: Box::new(e), name, span };
+                        e = Expr::Field {
+                            obj: Box::new(e),
+                            name,
+                            span,
+                        };
                     }
                 }
                 Tok::LBracket => {
@@ -925,7 +1054,11 @@ impl Parser {
                     let idx = self.expr()?;
                     self.expect(Tok::RBracket)?;
                     let span = e.span().to(self.prev_span());
-                    e = Expr::Index { arr: Box::new(e), idx: Box::new(idx), span };
+                    e = Expr::Index {
+                        arr: Box::new(e),
+                        idx: Box::new(idx),
+                        span,
+                    };
                 }
                 _ => return Ok(e),
             }
@@ -989,7 +1122,11 @@ impl Parser {
                 self.expect(Tok::Dot)?;
                 let (name, _) = self.ident()?;
                 let args = self.call_args()?;
-                Ok(Expr::SuperCall { name, args, span: start.to(self.prev_span()) })
+                Ok(Expr::SuperCall {
+                    name,
+                    args,
+                    span: start.to(self.prev_span()),
+                })
             }
             Tok::KwNew => {
                 self.bump();
@@ -1006,7 +1143,11 @@ impl Parser {
                     });
                 }
                 let args = self.call_args()?;
-                Ok(Expr::New { ty, args, span: start.to(self.prev_span()) })
+                Ok(Expr::New {
+                    ty,
+                    args,
+                    span: start.to(self.prev_span()),
+                })
             }
             Tok::Ident(name) => {
                 self.bump();
@@ -1030,7 +1171,10 @@ impl Parser {
                 self.expect(Tok::RParen)?;
                 Ok(e)
             }
-            other => Err(self.err(format!("expected an expression, found {}", other.describe()))),
+            other => Err(self.err(format!(
+                "expected an expression, found {}",
+                other.describe()
+            ))),
         }
     }
 }
@@ -1066,7 +1210,9 @@ mod tests {
 
     #[test]
     fn parses_annotations() {
-        let u = parse_ok("@WootinJ class A { @Global void k(int x) { } @Native(\"sqrtf\") float s(float x); }");
+        let u = parse_ok(
+            "@WootinJ class A { @Global void k(int x) { } @Native(\"sqrtf\") float s(float x); }",
+        );
         let c = &u.classes[0];
         assert_eq!(c.annotations[0].name, "WootinJ");
         assert_eq!(c.methods[0].annotations[0].name, "Global");
@@ -1075,9 +1221,8 @@ mod tests {
 
     #[test]
     fn parses_generics_with_shr_split() {
-        let u = parse_ok(
-            "class Dif1DSolver extends OneDSolver<ScalarFloat, Grid<ScalarFloat>> { }",
-        );
+        let u =
+            parse_ok("class Dif1DSolver extends OneDSolver<ScalarFloat, Grid<ScalarFloat>> { }");
         let c = &u.classes[0];
         match c.superclass.as_ref().unwrap() {
             TypeRef::Named { name, args, .. } => {
@@ -1158,11 +1303,17 @@ mod tests {
         let body = u.classes[0].methods[0].body.as_ref().unwrap();
         // First local's init is a cast, second's is a binary op.
         match &body.stmts[0] {
-            Stmt::Local { init: Some(Expr::Cast { .. }), .. } => {}
+            Stmt::Local {
+                init: Some(Expr::Cast { .. }),
+                ..
+            } => {}
             other => panic!("expected cast, got {other:?}"),
         }
         match &body.stmts[1] {
-            Stmt::Local { init: Some(Expr::Binary { op: BinOp::Sub, .. }), .. } => {}
+            Stmt::Local {
+                init: Some(Expr::Binary { op: BinOp::Sub, .. }),
+                ..
+            } => {}
             other => panic!("expected subtraction, got {other:?}"),
         }
     }

@@ -14,7 +14,12 @@ pub struct Span {
 
 impl Span {
     pub fn new(file: u32, start: u32, end: u32, line: u32) -> Self {
-        Span { file, start, end, line }
+        Span {
+            file,
+            start,
+            end,
+            line,
+        }
     }
 
     /// Span covering both `self` and `other` (assumed same file).
@@ -47,11 +52,21 @@ pub struct Diagnostic {
 
 impl Diagnostic {
     pub fn error(phase: &'static str, span: Span, message: impl Into<String>) -> Self {
-        Diagnostic { severity: Severity::Error, message: message.into(), span, phase }
+        Diagnostic {
+            severity: Severity::Error,
+            message: message.into(),
+            span,
+            phase,
+        }
     }
 
     pub fn warning(phase: &'static str, span: Span, message: impl Into<String>) -> Self {
-        Diagnostic { severity: Severity::Warning, message: message.into(), span, phase }
+        Diagnostic {
+            severity: Severity::Warning,
+            message: message.into(),
+            span,
+            phase,
+        }
     }
 }
 

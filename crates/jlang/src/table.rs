@@ -178,8 +178,9 @@ impl ClassTable {
     /// the identity substitution.
     pub fn super_chain(&self, id: ClassId) -> Vec<(ClassId, Vec<Type>)> {
         let mut out = Vec::new();
-        let own_args: Vec<Type> =
-            (0..self.class(id).type_params.len()).map(|i| Type::Var(i as u32)).collect();
+        let own_args: Vec<Type> = (0..self.class(id).type_params.len())
+            .map(|i| Type::Var(i as u32))
+            .collect();
         let mut cur = Some((id, own_args));
         while let Some((cid, args)) = cur {
             let info = self.class(cid);
@@ -271,8 +272,17 @@ impl ClassTable {
     pub fn lookup_method(&self, class: ClassId, name: &str) -> Option<MethodLookup> {
         for (cid, args) in self.all_supertypes(class, &identity_args(self, class)) {
             let info = self.class(cid);
-            if let Some((i, _)) = info.methods.iter().enumerate().find(|(_, m)| m.name == name) {
-                return Some(MethodLookup { decl_class: cid, index: i as u32, subst: args });
+            if let Some((i, _)) = info
+                .methods
+                .iter()
+                .enumerate()
+                .find(|(_, m)| m.name == name)
+            {
+                return Some(MethodLookup {
+                    decl_class: cid,
+                    index: i as u32,
+                    subst: args,
+                });
             }
         }
         None
@@ -284,7 +294,12 @@ impl ClassTable {
     pub fn resolve_impl(&self, class: ClassId, name: &str) -> Option<(ClassId, u32)> {
         for (cid, _) in self.super_chain(class) {
             let info = self.class(cid);
-            if let Some((i, m)) = info.methods.iter().enumerate().find(|(_, m)| m.name == name) {
+            if let Some((i, m)) = info
+                .methods
+                .iter()
+                .enumerate()
+                .find(|(_, m)| m.name == name)
+            {
                 if m.ast_body.is_some() || m.body.is_some() || m.native.is_some() {
                     return Some((cid, i as u32));
                 }
@@ -379,7 +394,9 @@ impl ClassTable {
 }
 
 fn identity_args(table: &ClassTable, id: ClassId) -> Vec<Type> {
-    (0..table.class(id).type_params.len()).map(|i| Type::Var(i as u32)).collect()
+    (0..table.class(id).type_params.len())
+        .map(|i| Type::Var(i as u32))
+        .collect()
 }
 
 /// Build a class table from parsed units (signatures only; bodies are typed
@@ -491,7 +508,11 @@ pub fn build(units: Vec<ast::Unit>) -> DiagResult<ClassTable> {
                         diags.push(Diagnostic::error(
                             "resolver",
                             decl.span,
-                            format!("`{}` extends interface `{}`; use `implements`", decl.name, table.name(sid)),
+                            format!(
+                                "`{}` extends interface `{}`; use `implements`",
+                                decl.name,
+                                table.name(sid)
+                            ),
                         ));
                     } else if table.class(sid).is_final {
                         diags.push(Diagnostic::error(
@@ -628,7 +649,11 @@ pub fn build(units: Vec<ast::Unit>) -> DiagResult<ClassTable> {
             for p in &m.params {
                 match table.resolve_type(&tps, &p.ty) {
                     Ok(Type::Void) => {
-                        diags.push(Diagnostic::error("resolver", p.span, "parameter of type void"));
+                        diags.push(Diagnostic::error(
+                            "resolver",
+                            p.span,
+                            "parameter of type void",
+                        ));
                         ok = false;
                     }
                     Ok(t) => params.push(ParamInfo {
@@ -651,8 +676,7 @@ pub fn build(units: Vec<ast::Unit>) -> DiagResult<ClassTable> {
                 .iter()
                 .find(|a| a.name == "Native")
                 .map(|a| a.arg.clone().unwrap_or_else(|| m.name.clone()));
-            let is_abstract =
-                m.body.is_none() && native.is_none();
+            let is_abstract = m.body.is_none() && native.is_none();
             methods.push(MethodInfo {
                 name: m.name.clone(),
                 params,
@@ -926,9 +950,7 @@ mod tests {
 
     #[test]
     fn rejects_missing_abstract_impl() {
-        let msg = build_err(
-            "interface I { int m(); } class C implements I { }",
-        );
+        let msg = build_err("interface I { int m(); } class C implements I { }");
         assert!(msg.contains("does not implement"), "{msg}");
     }
 

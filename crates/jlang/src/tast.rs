@@ -36,14 +36,47 @@ pub struct MethodSel {
 #[derive(Debug, Clone)]
 pub enum TStmt {
     /// Declare local in `slot`, optionally initialized.
-    Local { slot: u32, ty: Type, init: Option<TExpr>, span: Span },
-    AssignLocal { slot: u32, value: TExpr, span: Span },
-    AssignField { obj: TExpr, field: FieldSel, value: TExpr, span: Span },
-    AssignStatic { class: ClassId, index: u32, value: TExpr, span: Span },
-    AssignIndex { arr: TExpr, idx: TExpr, value: TExpr, span: Span },
+    Local {
+        slot: u32,
+        ty: Type,
+        init: Option<TExpr>,
+        span: Span,
+    },
+    AssignLocal {
+        slot: u32,
+        value: TExpr,
+        span: Span,
+    },
+    AssignField {
+        obj: TExpr,
+        field: FieldSel,
+        value: TExpr,
+        span: Span,
+    },
+    AssignStatic {
+        class: ClassId,
+        index: u32,
+        value: TExpr,
+        span: Span,
+    },
+    AssignIndex {
+        arr: TExpr,
+        idx: TExpr,
+        value: TExpr,
+        span: Span,
+    },
     Expr(TExpr),
-    If { cond: TExpr, then_branch: TBlock, else_branch: Option<TBlock>, span: Span },
-    While { cond: TExpr, body: TBlock, span: Span },
+    If {
+        cond: TExpr,
+        then_branch: TBlock,
+        else_branch: Option<TBlock>,
+        span: Span,
+    },
+    While {
+        cond: TExpr,
+        body: TBlock,
+        span: Span,
+    },
     For {
         init: Option<Box<TStmt>>,
         cond: Option<TExpr>,
@@ -51,7 +84,10 @@ pub enum TStmt {
         body: TBlock,
         span: Span,
     },
-    Return { value: Option<TExpr>, span: Span },
+    Return {
+        value: Option<TExpr>,
+        span: Span,
+    },
     Break(Span),
     Continue(Span),
     Block(TBlock),
@@ -84,33 +120,89 @@ pub enum TExprKind {
     /// Local or parameter read (params occupy the lowest slots).
     Local(u32),
     This,
-    GetField { obj: Box<TExpr>, field: FieldSel },
-    GetStatic { class: ClassId, index: u32 },
+    GetField {
+        obj: Box<TExpr>,
+        field: FieldSel,
+    },
+    GetStatic {
+        class: ClassId,
+        index: u32,
+    },
     /// Virtual (dynamically dispatched) call.
-    Call { recv: Box<TExpr>, method: MethodSel, args: Vec<TExpr> },
+    Call {
+        recv: Box<TExpr>,
+        method: MethodSel,
+        args: Vec<TExpr>,
+    },
     /// Non-virtual call to a statically known implementation (`super.m()`).
-    DirectCall { recv: Box<TExpr>, method: MethodSel, args: Vec<TExpr> },
+    DirectCall {
+        recv: Box<TExpr>,
+        method: MethodSel,
+        args: Vec<TExpr>,
+    },
     /// Call to a static method.
-    StaticCall { class: ClassId, index: u32, args: Vec<TExpr> },
+    StaticCall {
+        class: ClassId,
+        index: u32,
+        args: Vec<TExpr>,
+    },
     /// Object allocation + constructor run.
-    New { class: ClassId, targs: Vec<Type>, args: Vec<TExpr> },
-    NewArray { elem: Type, len: Box<TExpr> },
-    Index { arr: Box<TExpr>, idx: Box<TExpr> },
+    New {
+        class: ClassId,
+        targs: Vec<Type>,
+        args: Vec<TExpr>,
+    },
+    NewArray {
+        elem: Type,
+        len: Box<TExpr>,
+    },
+    Index {
+        arr: Box<TExpr>,
+        idx: Box<TExpr>,
+    },
     ArrayLen(Box<TExpr>),
-    Unary { op: UnOp, expr: Box<TExpr> },
+    Unary {
+        op: UnOp,
+        expr: Box<TExpr>,
+    },
     /// Both operands already converted to `operand_kind`.
-    Binary { op: BinOp, operand_kind: PrimKind, lhs: Box<TExpr>, rhs: Box<TExpr> },
+    Binary {
+        op: BinOp,
+        operand_kind: PrimKind,
+        lhs: Box<TExpr>,
+        rhs: Box<TExpr>,
+    },
     /// Reference equality (`==`/`!=` on references) — kept distinct so the
     /// rules checker and engines can treat it specially.
-    RefEq { negated: bool, lhs: Box<TExpr>, rhs: Box<TExpr> },
+    RefEq {
+        negated: bool,
+        lhs: Box<TExpr>,
+        rhs: Box<TExpr>,
+    },
     /// Explicit numeric cast (may narrow).
-    NumCast { to: PrimKind, expr: Box<TExpr> },
+    NumCast {
+        to: PrimKind,
+        expr: Box<TExpr>,
+    },
     /// Reference cast, checked at runtime by the interpreter.
-    RefCast { to: Type, expr: Box<TExpr> },
+    RefCast {
+        to: Type,
+        expr: Box<TExpr>,
+    },
     /// Implicit widening conversion inserted by the checker.
-    Convert { to: PrimKind, expr: Box<TExpr> },
-    InstanceOf { expr: Box<TExpr>, ty: Type },
-    Ternary { cond: Box<TExpr>, then_val: Box<TExpr>, else_val: Box<TExpr> },
+    Convert {
+        to: PrimKind,
+        expr: Box<TExpr>,
+    },
+    InstanceOf {
+        expr: Box<TExpr>,
+        ty: Type,
+    },
+    Ternary {
+        cond: Box<TExpr>,
+        then_val: Box<TExpr>,
+        else_val: Box<TExpr>,
+    },
 }
 
 impl TExpr {
@@ -145,7 +237,11 @@ impl TExpr {
                 lhs.walk(f);
                 rhs.walk(f);
             }
-            TExprKind::Ternary { cond, then_val, else_val } => {
+            TExprKind::Ternary {
+                cond,
+                then_val,
+                else_val,
+            } => {
                 cond.walk(f);
                 then_val.walk(f);
                 else_val.walk(f);
@@ -173,14 +269,20 @@ impl TStmt {
     pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a TStmt)) {
         f(self);
         match self {
-            TStmt::If { then_branch, else_branch, .. } => {
+            TStmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 then_branch.walk_stmts(f);
                 if let Some(e) = else_branch {
                     e.walk_stmts(f);
                 }
             }
             TStmt::While { body, .. } => body.walk_stmts(f),
-            TStmt::For { init, update, body, .. } => {
+            TStmt::For {
+                init, update, body, ..
+            } => {
                 if let Some(i) = init {
                     i.walk(f);
                 }
@@ -206,7 +308,9 @@ impl TStmt {
                 value.walk(f);
             }
             TStmt::AssignStatic { value, .. } => value.walk(f),
-            TStmt::AssignIndex { arr, idx, value, .. } => {
+            TStmt::AssignIndex {
+                arr, idx, value, ..
+            } => {
                 arr.walk(f);
                 idx.walk(f);
                 value.walk(f);

@@ -403,7 +403,12 @@ impl<'a> Lexer<'a> {
 
 /// Lex a source file into a token stream (terminated by [`Tok::Eof`]).
 pub fn lex(file: u32, src: &str) -> Result<Vec<Token>, Vec<Diagnostic>> {
-    let mut lx = Lexer { src: src.as_bytes(), pos: 0, line: 1, file };
+    let mut lx = Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        file,
+    };
     let mut out = Vec::new();
     let mut diags = Vec::new();
     loop {
@@ -415,7 +420,10 @@ pub fn lex(file: u32, src: &str) -> Result<Vec<Token>, Vec<Diagnostic>> {
         let line = lx.line;
         let c = lx.peek();
         if c == 0 {
-            out.push(Token { tok: Tok::Eof, span: lx.span_from(start, line) });
+            out.push(Token {
+                tok: Tok::Eof,
+                span: lx.span_from(start, line),
+            });
             break;
         }
         let tok = if c.is_ascii_digit() {
@@ -569,7 +577,10 @@ pub fn lex(file: u32, src: &str) -> Result<Vec<Token>, Vec<Diagnostic>> {
                 }
             }
         };
-        out.push(Token { tok, span: lx.span_from(start, line) });
+        out.push(Token {
+            tok,
+            span: lx.span_from(start, line),
+        });
     }
     if diags.is_empty() {
         Ok(out)
@@ -636,7 +647,10 @@ mod tests {
     #[test]
     fn skips_line_and_block_comments() {
         let t = toks("a // comment\n /* block \n comment */ b");
-        assert_eq!(t, vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]);
+        assert_eq!(
+            t,
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
     }
 
     #[test]

@@ -24,7 +24,9 @@ pub fn check(table: &mut ClassTable) -> DiagResult<()> {
             if let Some(init) = &f.ast_init {
                 let mut ck = Checker::new(table, id, false, f.ty.clone());
                 if let Ok(e) = ck.expr(init) {
-                    if let Ok(e) = ck.coerce(e, &f.ty) { field_results.push((id, false, i, e)) }
+                    if let Ok(e) = ck.coerce(e, &f.ty) {
+                        field_results.push((id, false, i, e))
+                    }
                 }
                 diags.append(&mut ck.diags);
             }
@@ -33,7 +35,9 @@ pub fn check(table: &mut ClassTable) -> DiagResult<()> {
             if let Some(init) = &f.ast_init {
                 let mut ck = Checker::new(table, id, true, f.ty.clone());
                 if let Ok(e) = ck.expr(init) {
-                    if let Ok(e) = ck.coerce(e, &f.ty) { field_results.push((id, true, i, e)) }
+                    if let Ok(e) = ck.coerce(e, &f.ty) {
+                        field_results.push((id, true, i, e))
+                    }
                 }
                 diags.append(&mut ck.diags);
             }
@@ -51,7 +55,10 @@ pub fn check(table: &mut ClassTable) -> DiagResult<()> {
                 ck.diags.push(Diagnostic::error(
                     "typeck",
                     m.span,
-                    format!("method `{}::{}` may finish without returning a value", info.name, m.name),
+                    format!(
+                        "method `{}::{}` may finish without returning a value",
+                        info.name, m.name
+                    ),
                 ));
             }
             let frame = ck.scope.max_slot;
@@ -113,7 +120,11 @@ pub fn check(table: &mut ClassTable) -> DiagResult<()> {
     }
     for (id, is_static, fi, e) in field_results {
         let c = table.class_mut(id);
-        let f = if is_static { &mut c.statics[fi] } else { &mut c.fields[fi] };
+        let f = if is_static {
+            &mut c.statics[fi]
+        } else {
+            &mut c.fields[fi]
+        };
         f.init = Some(e);
         f.ast_init = None;
     }
@@ -128,9 +139,11 @@ fn block_always_returns(b: &TBlock) -> bool {
 fn stmt_always_returns(s: &TStmt) -> bool {
     match s {
         TStmt::Return { .. } => true,
-        TStmt::If { then_branch, else_branch: Some(e), .. } => {
-            block_always_returns(then_branch) && block_always_returns(e)
-        }
+        TStmt::If {
+            then_branch,
+            else_branch: Some(e),
+            ..
+        } => block_always_returns(then_branch) && block_always_returns(e),
         TStmt::Block(b) => block_always_returns(b),
         _ => false,
     }
@@ -144,14 +157,21 @@ struct Scope {
 
 impl Scope {
     fn new() -> Self {
-        Scope { frames: vec![Vec::new()], next_slot: 0, max_slot: 0 }
+        Scope {
+            frames: vec![Vec::new()],
+            next_slot: 0,
+            max_slot: 0,
+        }
     }
 
     fn declare(&mut self, name: &str, ty: Type, is_final: bool) -> u32 {
         let slot = self.next_slot;
         self.next_slot += 1;
         self.max_slot = self.max_slot.max(self.next_slot);
-        self.frames.last_mut().unwrap().push((name.to_string(), slot, ty, is_final));
+        self.frames
+            .last_mut()
+            .unwrap()
+            .push((name.to_string(), slot, ty, is_final));
         slot
     }
 
@@ -167,7 +187,9 @@ impl Scope {
     }
 
     fn declared_in_scope(&self, name: &str) -> bool {
-        self.frames.iter().any(|f| f.iter().any(|(n, ..)| n == name))
+        self.frames
+            .iter()
+            .any(|f| f.iter().any(|(n, ..)| n == name))
     }
 
     fn push(&mut self) {
@@ -224,7 +246,10 @@ impl<'t> Checker<'t> {
         span: Span,
     ) -> Vec<TExpr> {
         let Some(sctor) = self.table.class(sid).ctor.clone() else {
-            self.err(span, format!("superclass `{}` has no constructor", self.table.name(sid)));
+            self.err(
+                span,
+                format!("superclass `{}` has no constructor", self.table.name(sid)),
+            );
             return Vec::new();
         };
         if sctor.params.len() != args.len() {
@@ -263,7 +288,13 @@ impl<'t> Checker<'t> {
 
     fn stmt(&mut self, s: &ast::Stmt) -> CkResult<TStmt> {
         match s {
-            ast::Stmt::Local { name, ty, init, is_final, span } => {
+            ast::Stmt::Local {
+                name,
+                ty,
+                init,
+                is_final,
+                span,
+            } => {
                 let rty = self
                     .table
                     .resolve_type(&self.type_params, ty)
@@ -283,9 +314,19 @@ impl<'t> Checker<'t> {
                     None => None,
                 };
                 let slot = self.scope.declare(name, rty.clone(), *is_final);
-                Ok(TStmt::Local { slot, ty: rty, init: tinit, span: *span })
+                Ok(TStmt::Local {
+                    slot,
+                    ty: rty,
+                    init: tinit,
+                    span: *span,
+                })
             }
-            ast::Stmt::Assign { target, op, value, span } => self.assign(target, *op, value, *span),
+            ast::Stmt::Assign {
+                target,
+                op,
+                value,
+                span,
+            } => self.assign(target, *op, value, *span),
             ast::Stmt::IncDec { target, inc, span } => {
                 let one = ast::Expr::IntLit(1, *span);
                 let op = if *inc { BinOp::Add } else { BinOp::Sub };
@@ -302,20 +343,40 @@ impl<'t> Checker<'t> {
                 }
                 Ok(TStmt::Expr(te))
             }
-            ast::Stmt::If { cond, then_branch, else_branch, span } => {
+            ast::Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                span,
+            } => {
                 let c = self.bool_expr(cond)?;
                 let t = self.block(then_branch);
                 let e = else_branch.as_ref().map(|b| self.block(b));
-                Ok(TStmt::If { cond: c, then_branch: t, else_branch: e, span: *span })
+                Ok(TStmt::If {
+                    cond: c,
+                    then_branch: t,
+                    else_branch: e,
+                    span: *span,
+                })
             }
             ast::Stmt::While { cond, body, span } => {
                 let c = self.bool_expr(cond)?;
                 self.loop_depth += 1;
                 let b = self.block(body);
                 self.loop_depth -= 1;
-                Ok(TStmt::While { cond: c, body: b, span: *span })
+                Ok(TStmt::While {
+                    cond: c,
+                    body: b,
+                    span: *span,
+                })
             }
-            ast::Stmt::For { init, cond, update, body, span } => {
+            ast::Stmt::For {
+                init,
+                cond,
+                update,
+                body,
+                span,
+            } => {
                 self.scope.push();
                 let ti = match init {
                     Some(s) => Some(Box::new(self.stmt(s)?)),
@@ -333,14 +394,23 @@ impl<'t> Checker<'t> {
                 let tb = self.block(body);
                 self.loop_depth -= 1;
                 self.scope.pop();
-                Ok(TStmt::For { init: ti, cond: tc, update: tu, body: tb, span: *span })
+                Ok(TStmt::For {
+                    init: ti,
+                    cond: tc,
+                    update: tu,
+                    body: tb,
+                    span: *span,
+                })
             }
             ast::Stmt::Return { value, span } => {
                 let tv = match (value, &self.ret) {
                     (None, Type::Void) => None,
                     (None, r) => {
                         let r = r.clone();
-                        self.err(*span, format!("missing return value of type {}", self.show(&r)));
+                        self.err(
+                            *span,
+                            format!("missing return value of type {}", self.show(&r)),
+                        );
                         return Err(());
                     }
                     (Some(_), Type::Void) => {
@@ -353,7 +423,10 @@ impl<'t> Checker<'t> {
                         Some(self.coerce(te, &want)?)
                     }
                 };
-                Ok(TStmt::Return { value: tv, span: *span })
+                Ok(TStmt::Return {
+                    value: tv,
+                    span: *span,
+                })
             }
             ast::Stmt::Break(span) => {
                 if self.loop_depth == 0 {
@@ -402,7 +475,11 @@ impl<'t> Checker<'t> {
                         self.err(*nspan, format!("assignment to final variable `{name}`"));
                     }
                     let v = self.assign_value(&read_target(target), op, value, &ty, span)?;
-                    return Ok(TStmt::AssignLocal { slot, value: v, span });
+                    return Ok(TStmt::AssignLocal {
+                        slot,
+                        value: v,
+                        span,
+                    });
                 }
                 // Implicit this.field or static field of the current class.
                 if let Some(fl) = self.table.lookup_field(self.class, name) {
@@ -419,7 +496,11 @@ impl<'t> Checker<'t> {
                     let v = self.assign_value(&read_target(target), op, value, &fl.ty, span)?;
                     return Ok(TStmt::AssignField {
                         obj,
-                        field: FieldSel { owner: fl.owner, slot: fl.slot, ty: fl.ty },
+                        field: FieldSel {
+                            owner: fl.owner,
+                            slot: fl.slot,
+                            ty: fl.ty,
+                        },
                         value: v,
                         span,
                     });
@@ -430,12 +511,21 @@ impl<'t> Checker<'t> {
                     }
                     let fty = f.ty.clone();
                     let v = self.assign_value(&read_target(target), op, value, &fty, span)?;
-                    return Ok(TStmt::AssignStatic { class: self.class, index: idx, value: v, span });
+                    return Ok(TStmt::AssignStatic {
+                        class: self.class,
+                        index: idx,
+                        value: v,
+                        span,
+                    });
                 }
                 self.err(*nspan, format!("unknown variable `{name}`"));
                 Err(())
             }
-            ast::LValue::Field { obj, name, span: fspan } => {
+            ast::LValue::Field {
+                obj,
+                name,
+                span: fspan,
+            } => {
                 // Static field of another class: `C.f = ...`.
                 if let ast::Expr::Name(cname, _) = obj {
                     if self.scope.lookup(cname).is_none()
@@ -450,8 +540,14 @@ impl<'t> Checker<'t> {
                                 self.err(*fspan, format!("assignment to final static `{name}`"));
                             }
                             let fty = f.ty.clone();
-                            let v = self.assign_value(&read_target(target), op, value, &fty, span)?;
-                            return Ok(TStmt::AssignStatic { class: cid, index: idx, value: v, span });
+                            let v =
+                                self.assign_value(&read_target(target), op, value, &fty, span)?;
+                            return Ok(TStmt::AssignStatic {
+                                class: cid,
+                                index: idx,
+                                value: v,
+                                span,
+                            });
                         }
                     }
                 }
@@ -473,12 +569,20 @@ impl<'t> Checker<'t> {
                 let v = self.assign_value(&read_target(target), op, value, &fty, span)?;
                 Ok(TStmt::AssignField {
                     obj: tobj,
-                    field: FieldSel { owner: fl.owner, slot: fl.slot, ty: fty },
+                    field: FieldSel {
+                        owner: fl.owner,
+                        slot: fl.slot,
+                        ty: fty,
+                    },
                     value: v,
                     span,
                 })
             }
-            ast::LValue::Index { arr, idx, span: ispan } => {
+            ast::LValue::Index {
+                arr,
+                idx,
+                span: ispan,
+            } => {
                 let tarr = self.expr(arr)?;
                 let Type::Array(elem) = tarr.ty.clone() else {
                     let got = self.show(&tarr.ty);
@@ -488,7 +592,12 @@ impl<'t> Checker<'t> {
                 let tidx = self.expr(idx)?;
                 let tidx = self.coerce(tidx, &Type::Int)?;
                 let v = self.assign_value(&read_target(target), op, value, &elem, span)?;
-                Ok(TStmt::AssignIndex { arr: tarr, idx: tidx, value: v, span })
+                Ok(TStmt::AssignIndex {
+                    arr: tarr,
+                    idx: tidx,
+                    value: v,
+                    span,
+                })
             }
         }
     }
@@ -498,7 +607,10 @@ impl<'t> Checker<'t> {
     /// model explicitly allows subclass constructors to overwrite).
     fn check_final_field_write(&mut self, is_final: bool, owner: ClassId, span: Span, name: &str) {
         if is_final && !(self.in_ctor && self.table.is_subclass_of(self.class, owner)) {
-            self.err(span, format!("assignment to final field `{name}` outside a constructor"));
+            self.err(
+                span,
+                format!("assignment to final field `{name}` outside a constructor"),
+            );
         }
     }
 
@@ -536,7 +648,10 @@ impl<'t> Checker<'t> {
                         Ok(TExpr {
                             ty: target_ty.clone(),
                             span,
-                            kind: TExprKind::NumCast { to: kind, expr: Box::new(bin) },
+                            kind: TExprKind::NumCast {
+                                to: kind,
+                                expr: Box::new(bin),
+                            },
                         })
                     }
                 } else {
@@ -572,12 +687,18 @@ impl<'t> Checker<'t> {
                 return Ok(TExpr {
                     ty: want.clone(),
                     span: e.span,
-                    kind: TExprKind::Convert { to: kind, expr: Box::new(e) },
+                    kind: TExprKind::Convert {
+                        to: kind,
+                        expr: Box::new(e),
+                    },
                 });
             }
             let got = self.show(&e.ty);
             let w = self.show(want);
-            self.err(e.span, format!("cannot implicitly convert {got} to {w} (add a cast)"));
+            self.err(
+                e.span,
+                format!("cannot implicitly convert {got} to {w} (add a cast)"),
+            );
             return Err(());
         }
         if self.table.is_subtype(&e.ty, want) {
@@ -603,36 +724,63 @@ impl<'t> Checker<'t> {
                     self.err(*s, "int literal out of 32-bit range (use an L suffix)");
                     return Err(());
                 }
-                Ok(TExpr { kind: TExprKind::Int(*v as i32), ty: Type::Int, span: *s })
+                Ok(TExpr {
+                    kind: TExprKind::Int(*v as i32),
+                    ty: Type::Int,
+                    span: *s,
+                })
             }
-            ast::Expr::LongLit(v, s) => {
-                Ok(TExpr { kind: TExprKind::Long(*v), ty: Type::Long, span: *s })
-            }
-            ast::Expr::FloatLit(v, s) => {
-                Ok(TExpr { kind: TExprKind::Float(*v), ty: Type::Float, span: *s })
-            }
-            ast::Expr::DoubleLit(v, s) => {
-                Ok(TExpr { kind: TExprKind::Double(*v), ty: Type::Double, span: *s })
-            }
-            ast::Expr::BoolLit(v, s) => {
-                Ok(TExpr { kind: TExprKind::Bool(*v), ty: Type::Boolean, span: *s })
-            }
-            ast::Expr::NullLit(s) => Ok(TExpr { kind: TExprKind::Null, ty: Type::Null, span: *s }),
-            ast::Expr::StrLit(v, s) => {
-                Ok(TExpr { kind: TExprKind::Str(v.clone()), ty: Type::Str, span: *s })
-            }
+            ast::Expr::LongLit(v, s) => Ok(TExpr {
+                kind: TExprKind::Long(*v),
+                ty: Type::Long,
+                span: *s,
+            }),
+            ast::Expr::FloatLit(v, s) => Ok(TExpr {
+                kind: TExprKind::Float(*v),
+                ty: Type::Float,
+                span: *s,
+            }),
+            ast::Expr::DoubleLit(v, s) => Ok(TExpr {
+                kind: TExprKind::Double(*v),
+                ty: Type::Double,
+                span: *s,
+            }),
+            ast::Expr::BoolLit(v, s) => Ok(TExpr {
+                kind: TExprKind::Bool(*v),
+                ty: Type::Boolean,
+                span: *s,
+            }),
+            ast::Expr::NullLit(s) => Ok(TExpr {
+                kind: TExprKind::Null,
+                ty: Type::Null,
+                span: *s,
+            }),
+            ast::Expr::StrLit(v, s) => Ok(TExpr {
+                kind: TExprKind::Str(v.clone()),
+                ty: Type::Str,
+                span: *s,
+            }),
             ast::Expr::This(s) => {
                 if self.is_static {
                     self.err(*s, "`this` in a static context");
                     return Err(());
                 }
-                let targs: Vec<Type> =
-                    (0..self.type_params.len()).map(|i| Type::Var(i as u32)).collect();
-                Ok(TExpr { kind: TExprKind::This, ty: Type::Object(self.class, targs), span: *s })
+                let targs: Vec<Type> = (0..self.type_params.len())
+                    .map(|i| Type::Var(i as u32))
+                    .collect();
+                Ok(TExpr {
+                    kind: TExprKind::This,
+                    ty: Type::Object(self.class, targs),
+                    span: *s,
+                })
             }
             ast::Expr::Name(name, s) => {
                 if let Some((slot, ty, _)) = self.scope.lookup(name) {
-                    return Ok(TExpr { kind: TExprKind::Local(slot), ty, span: *s });
+                    return Ok(TExpr {
+                        kind: TExprKind::Local(slot),
+                        ty,
+                        span: *s,
+                    });
                 }
                 if let Some(fl) = self.table.lookup_field(self.class, name) {
                     if self.is_static {
@@ -649,7 +797,11 @@ impl<'t> Checker<'t> {
                         span: *s,
                         kind: TExprKind::GetField {
                             obj: Box::new(obj),
-                            field: FieldSel { owner: fl.owner, slot: fl.slot, ty: fl.ty },
+                            field: FieldSel {
+                                owner: fl.owner,
+                                slot: fl.slot,
+                                ty: fl.ty,
+                            },
                         },
                     });
                 }
@@ -657,7 +809,10 @@ impl<'t> Checker<'t> {
                     return Ok(TExpr {
                         ty: f.ty.clone(),
                         span: *s,
-                        kind: TExprKind::GetStatic { class: self.class, index: idx },
+                        kind: TExprKind::GetStatic {
+                            class: self.class,
+                            index: idx,
+                        },
                     });
                 }
                 if self.table.by_name(name).is_some() {
@@ -668,7 +823,12 @@ impl<'t> Checker<'t> {
                 Err(())
             }
             ast::Expr::Field { obj, name, span } => self.field_access(obj, name, *span),
-            ast::Expr::Call { recv, name, args, span } => self.call(recv, name, args, *span),
+            ast::Expr::Call {
+                recv,
+                name,
+                args,
+                span,
+            } => self.call(recv, name, args, *span),
             ast::Expr::SuperCall { name, args, span } => {
                 if self.is_static {
                     self.err(*span, "`super` in a static context");
@@ -681,7 +841,10 @@ impl<'t> Checker<'t> {
                 let Some(ml) = self.table.lookup_method(sid, name) else {
                     self.err(
                         *span,
-                        format!("no method `{name}` on superclass `{}`", self.table.name(sid)),
+                        format!(
+                            "no method `{name}` on superclass `{}`",
+                            self.table.name(sid)
+                        ),
                     );
                     return Err(());
                 };
@@ -697,7 +860,10 @@ impl<'t> Checker<'t> {
                     span: *span,
                     kind: TExprKind::DirectCall {
                         recv: Box::new(recv),
-                        method: MethodSel { decl_class: ml.decl_class, index: ml.index },
+                        method: MethodSel {
+                            decl_class: ml.decl_class,
+                            index: ml.index,
+                        },
                         args: targs,
                     },
                 })
@@ -714,11 +880,17 @@ impl<'t> Checker<'t> {
                 };
                 let info = self.table.class(cid);
                 if info.is_interface {
-                    self.err(*span, format!("cannot instantiate interface `{}`", info.name));
+                    self.err(
+                        *span,
+                        format!("cannot instantiate interface `{}`", info.name),
+                    );
                     return Err(());
                 }
                 if info.is_abstract {
-                    self.err(*span, format!("cannot instantiate abstract class `{}`", info.name));
+                    self.err(
+                        *span,
+                        format!("cannot instantiate abstract class `{}`", info.name),
+                    );
                     return Err(());
                 }
                 let Some(ctor) = info.ctor.clone() else {
@@ -746,7 +918,11 @@ impl<'t> Checker<'t> {
                 Ok(TExpr {
                     ty: rty,
                     span: *span,
-                    kind: TExprKind::New { class: cid, targs, args: targs_out },
+                    kind: TExprKind::New {
+                        class: cid,
+                        targs,
+                        args: targs_out,
+                    },
                 })
             }
             ast::Expr::NewArray { elem, len, span } => {
@@ -763,7 +939,10 @@ impl<'t> Checker<'t> {
                 Ok(TExpr {
                     ty: Type::array(ety.clone()),
                     span: *span,
-                    kind: TExprKind::NewArray { elem: ety, len: Box::new(tlen) },
+                    kind: TExprKind::NewArray {
+                        elem: ety,
+                        len: Box::new(tlen),
+                    },
                 })
             }
             ast::Expr::Index { arr, idx, span } => {
@@ -778,7 +957,10 @@ impl<'t> Checker<'t> {
                 Ok(TExpr {
                     ty: (*elem).clone(),
                     span: *span,
-                    kind: TExprKind::Index { arr: Box::new(tarr), idx: Box::new(tidx) },
+                    kind: TExprKind::Index {
+                        arr: Box::new(tarr),
+                        idx: Box::new(tidx),
+                    },
                 })
             }
             ast::Expr::Unary { op, expr, span } => {
@@ -794,7 +976,10 @@ impl<'t> Checker<'t> {
                         Ok(TExpr {
                             ty: te.ty.clone(),
                             span: *span,
-                            kind: TExprKind::Unary { op: UnOp::Neg, expr: Box::new(te) },
+                            kind: TExprKind::Unary {
+                                op: UnOp::Neg,
+                                expr: Box::new(te),
+                            },
                         })
                     }
                     UnOp::Not => {
@@ -806,7 +991,10 @@ impl<'t> Checker<'t> {
                         Ok(TExpr {
                             ty: Type::Boolean,
                             span: *span,
-                            kind: TExprKind::Unary { op: UnOp::Not, expr: Box::new(te) },
+                            kind: TExprKind::Unary {
+                                op: UnOp::Not,
+                                expr: Box::new(te),
+                            },
                         })
                     }
                 }
@@ -833,7 +1021,10 @@ impl<'t> Checker<'t> {
                     return Ok(TExpr {
                         ty: to,
                         span: *span,
-                        kind: TExprKind::NumCast { to: tk, expr: Box::new(te) },
+                        kind: TExprKind::NumCast {
+                            to: tk,
+                            expr: Box::new(te),
+                        },
                     });
                 }
                 if to.is_reference() && te.ty.is_reference() {
@@ -844,13 +1035,19 @@ impl<'t> Checker<'t> {
                     if !ok {
                         let from = self.show(&te.ty);
                         let tos = self.show(&to);
-                        self.err(*span, format!("cast between unrelated types {from} and {tos}"));
+                        self.err(
+                            *span,
+                            format!("cast between unrelated types {from} and {tos}"),
+                        );
                         return Err(());
                     }
                     return Ok(TExpr {
                         ty: to.clone(),
                         span: *span,
-                        kind: TExprKind::RefCast { to, expr: Box::new(te) },
+                        kind: TExprKind::RefCast {
+                            to,
+                            expr: Box::new(te),
+                        },
                     });
                 }
                 self.err(*span, "invalid cast");
@@ -869,10 +1066,18 @@ impl<'t> Checker<'t> {
                 Ok(TExpr {
                     ty: Type::Boolean,
                     span: *span,
-                    kind: TExprKind::InstanceOf { expr: Box::new(te), ty: to },
+                    kind: TExprKind::InstanceOf {
+                        expr: Box::new(te),
+                        ty: to,
+                    },
                 })
             }
-            ast::Expr::Ternary { cond, then_val, else_val, span } => {
+            ast::Expr::Ternary {
+                cond,
+                then_val,
+                else_val,
+                span,
+            } => {
                 let c = self.bool_expr(cond)?;
                 let t = self.expr(then_val)?;
                 let f = self.expr(else_val)?;
@@ -923,7 +1128,10 @@ impl<'t> Checker<'t> {
                     return Ok(TExpr {
                         ty: f.ty.clone(),
                         span,
-                        kind: TExprKind::GetStatic { class: cid, index: idx },
+                        kind: TExprKind::GetStatic {
+                            class: cid,
+                            index: idx,
+                        },
                     });
                 }
             }
@@ -940,7 +1148,10 @@ impl<'t> Checker<'t> {
         }
         let (cid, targs) = self.receiver_class(&tobj, span)?;
         let Some(fl) = self.table.lookup_field(cid, name) else {
-            self.err(span, format!("no field `{name}` on `{}`", self.table.name(cid)));
+            self.err(
+                span,
+                format!("no field `{name}` on `{}`", self.table.name(cid)),
+            );
             return Err(());
         };
         let fty = fl.ty.subst(&targs);
@@ -949,7 +1160,11 @@ impl<'t> Checker<'t> {
             span,
             kind: TExprKind::GetField {
                 obj: Box::new(tobj),
-                field: FieldSel { owner: fl.owner, slot: fl.slot, ty: fty },
+                field: FieldSel {
+                    owner: fl.owner,
+                    slot: fl.slot,
+                    ty: fty,
+                },
             },
         })
     }
@@ -1001,7 +1216,11 @@ impl<'t> Checker<'t> {
                     return Ok(TExpr {
                         ty: ret,
                         span,
-                        kind: TExprKind::StaticCall { class: ml.decl_class, index: ml.index, args: targs },
+                        kind: TExprKind::StaticCall {
+                            class: ml.decl_class,
+                            index: ml.index,
+                            args: targs,
+                        },
                     });
                 }
             }
@@ -1012,26 +1231,39 @@ impl<'t> Checker<'t> {
         if self.is_static {
             if let ast::Expr::This(_) = recv {
                 let Some(ml) = self.table.lookup_method(self.class, name) else {
-                    self.err(span, format!("no method `{name}` on `{}`", self.table.name(self.class)));
+                    self.err(
+                        span,
+                        format!("no method `{name}` on `{}`", self.table.name(self.class)),
+                    );
                     return Err(());
                 };
                 let m = self.table.method(ml.decl_class, ml.index);
                 if !m.is_static {
-                    self.err(span, format!("instance method `{name}` called from static context"));
+                    self.err(
+                        span,
+                        format!("instance method `{name}` called from static context"),
+                    );
                     return Err(());
                 }
                 let (targs, ret) = self.check_args(ml.decl_class, ml.index, &[], args, span)?;
                 return Ok(TExpr {
                     ty: ret,
                     span,
-                    kind: TExprKind::StaticCall { class: ml.decl_class, index: ml.index, args: targs },
+                    kind: TExprKind::StaticCall {
+                        class: ml.decl_class,
+                        index: ml.index,
+                        args: targs,
+                    },
                 });
             }
         }
         let trecv = self.expr(recv)?;
         let (cid, class_targs) = self.receiver_class(&trecv, span)?;
         let Some(ml) = self.table.lookup_method(cid, name) else {
-            self.err(span, format!("no method `{name}` on `{}`", self.table.name(cid)));
+            self.err(
+                span,
+                format!("no method `{name}` on `{}`", self.table.name(cid)),
+            );
             return Err(());
         };
         let m = self.table.method(ml.decl_class, ml.index);
@@ -1042,7 +1274,11 @@ impl<'t> Checker<'t> {
             return Ok(TExpr {
                 ty: ret,
                 span,
-                kind: TExprKind::StaticCall { class: ml.decl_class, index: ml.index, args: targs },
+                kind: TExprKind::StaticCall {
+                    class: ml.decl_class,
+                    index: ml.index,
+                    args: targs,
+                },
             });
         }
         let subst: Vec<Type> = ml.subst.iter().map(|t| t.subst(&class_targs)).collect();
@@ -1052,7 +1288,10 @@ impl<'t> Checker<'t> {
             span,
             kind: TExprKind::Call {
                 recv: Box::new(trecv),
-                method: MethodSel { decl_class: ml.decl_class, index: ml.index },
+                method: MethodSel {
+                    decl_class: ml.decl_class,
+                    index: ml.index,
+                },
                 args: targs,
             },
         })
@@ -1112,7 +1351,11 @@ impl<'t> Checker<'t> {
             Eq | Ne if l.ty.is_reference() && r.ty.is_reference() => Ok(TExpr {
                 ty: Type::Boolean,
                 span,
-                kind: TExprKind::RefEq { negated: op == Ne, lhs: Box::new(l), rhs: Box::new(r) },
+                kind: TExprKind::RefEq {
+                    negated: op == Ne,
+                    lhs: Box::new(l),
+                    rhs: Box::new(r),
+                },
             }),
             Eq | Ne if l.ty == Type::Boolean && r.ty == Type::Boolean => Ok(TExpr {
                 ty: Type::Boolean,
@@ -1153,7 +1396,10 @@ impl<'t> Checker<'t> {
                 let (Some(lk), Some(rk)) = (l.ty.prim_kind(), r.ty.prim_kind()) else {
                     let lt = self.show(&l.ty);
                     let rt = self.show(&r.ty);
-                    self.err(span, format!("arithmetic on non-numeric types {lt} and {rt}"));
+                    self.err(
+                        span,
+                        format!("arithmetic on non-numeric types {lt} and {rt}"),
+                    );
                     return Err(());
                 };
                 let Some(kind) = PrimKind::promote(lk, rk) else {
@@ -1162,7 +1408,11 @@ impl<'t> Checker<'t> {
                 };
                 let l = self.convert_to(l, kind);
                 let r = self.convert_to(r, kind);
-                let ty = if op.is_comparison() { Type::Boolean } else { prim_type(kind) };
+                let ty = if op.is_comparison() {
+                    Type::Boolean
+                } else {
+                    prim_type(kind)
+                };
                 Ok(TExpr {
                     ty,
                     span,
@@ -1184,7 +1434,10 @@ impl<'t> Checker<'t> {
             TExpr {
                 ty: prim_type(kind),
                 span: e.span,
-                kind: TExprKind::Convert { to: kind, expr: Box::new(e) },
+                kind: TExprKind::Convert {
+                    to: kind,
+                    expr: Box::new(e),
+                },
             }
         }
     }
@@ -1229,9 +1482,7 @@ mod tests {
 
     #[test]
     fn checks_arithmetic_with_promotion() {
-        let t = check_ok(
-            "class A { double m(int i, float f, double d) { return i + f * d; } }",
-        );
+        let t = check_ok("class A { double m(int i, float f, double d) { return i + f * d; } }");
         let a = t.by_name("A").unwrap();
         let m = &t.class(a).methods[0];
         assert!(m.body.is_some());
@@ -1247,7 +1498,14 @@ mod tests {
         let t = check_ok("class A { long m(int i) { return i; } }");
         let a = t.by_name("A").unwrap();
         match &t.class(a).methods[0].body.as_ref().unwrap().stmts[0] {
-            TStmt::Return { value: Some(TExpr { kind: TExprKind::Convert { to, .. }, .. }), .. } => {
+            TStmt::Return {
+                value:
+                    Some(TExpr {
+                        kind: TExprKind::Convert { to, .. },
+                        ..
+                    }),
+                ..
+            } => {
                 assert_eq!(*to, PrimKind::Long);
             }
             other => panic!("unexpected {other:?}"),
@@ -1270,7 +1528,14 @@ mod tests {
         let t = check_ok("class A { int x; int m() { return x; } }");
         let a = t.by_name("A").unwrap();
         match &t.class(a).methods[0].body.as_ref().unwrap().stmts[0] {
-            TStmt::Return { value: Some(TExpr { kind: TExprKind::GetField { .. }, .. }), .. } => {}
+            TStmt::Return {
+                value:
+                    Some(TExpr {
+                        kind: TExprKind::GetField { .. },
+                        ..
+                    }),
+                ..
+            } => {}
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -1283,7 +1548,14 @@ mod tests {
         );
         let a = t.by_name("A").unwrap();
         match &t.class(a).methods[0].body.as_ref().unwrap().stmts[0] {
-            TStmt::Return { value: Some(TExpr { kind: TExprKind::Call { method, .. }, .. }), .. } => {
+            TStmt::Return {
+                value:
+                    Some(TExpr {
+                        kind: TExprKind::Call { method, .. },
+                        ..
+                    }),
+                ..
+            } => {
                 assert_eq!(method.decl_class, t.by_name("Solver").unwrap());
             }
             other => panic!("unexpected {other:?}"),
@@ -1385,11 +1657,15 @@ mod tests {
         );
         let b = t.by_name("B").unwrap();
         let mut found = false;
-        t.class(b).methods[0].body.as_ref().unwrap().walk_exprs(&mut |e| {
-            if matches!(e.kind, TExprKind::DirectCall { .. }) {
-                found = true;
-            }
-        });
+        t.class(b).methods[0]
+            .body
+            .as_ref()
+            .unwrap()
+            .walk_exprs(&mut |e| {
+                if matches!(e.kind, TExprKind::DirectCall { .. }) {
+                    found = true;
+                }
+            });
         assert!(found);
     }
 

@@ -69,11 +69,17 @@ impl Type {
     }
 
     pub fn is_primitive(&self) -> bool {
-        matches!(self, Type::Int | Type::Long | Type::Float | Type::Double | Type::Boolean)
+        matches!(
+            self,
+            Type::Int | Type::Long | Type::Float | Type::Double | Type::Boolean
+        )
     }
 
     pub fn is_reference(&self) -> bool {
-        matches!(self, Type::Object(..) | Type::Array(_) | Type::Null | Type::Var(_))
+        matches!(
+            self,
+            Type::Object(..) | Type::Array(_) | Type::Null | Type::Var(_)
+        )
     }
 
     pub fn prim_kind(&self) -> Option<PrimKind> {
@@ -96,7 +102,12 @@ impl Type {
         }
         matches!(
             (from, self),
-            (Int, Long) | (Int, Float) | (Int, Double) | (Long, Float) | (Long, Double) | (Float, Double)
+            (Int, Long)
+                | (Int, Float)
+                | (Int, Double)
+                | (Long, Float)
+                | (Long, Double)
+                | (Float, Double)
         )
     }
 
@@ -174,9 +185,18 @@ mod tests {
 
     #[test]
     fn promotion_prefers_wider_kind() {
-        assert_eq!(PrimKind::promote(PrimKind::Int, PrimKind::Float), Some(PrimKind::Float));
-        assert_eq!(PrimKind::promote(PrimKind::Long, PrimKind::Int), Some(PrimKind::Long));
-        assert_eq!(PrimKind::promote(PrimKind::Double, PrimKind::Float), Some(PrimKind::Double));
+        assert_eq!(
+            PrimKind::promote(PrimKind::Int, PrimKind::Float),
+            Some(PrimKind::Float)
+        );
+        assert_eq!(
+            PrimKind::promote(PrimKind::Long, PrimKind::Int),
+            Some(PrimKind::Long)
+        );
+        assert_eq!(
+            PrimKind::promote(PrimKind::Double, PrimKind::Float),
+            Some(PrimKind::Double)
+        );
         assert_eq!(PrimKind::promote(PrimKind::Boolean, PrimKind::Int), None);
     }
 
@@ -184,7 +204,10 @@ mod tests {
     fn substitution_replaces_vars_recursively() {
         let t = Type::Array(Box::new(Type::Object(ClassId(3), vec![Type::Var(0)])));
         let s = t.subst(&[Type::Float]);
-        assert_eq!(s, Type::Array(Box::new(Type::Object(ClassId(3), vec![Type::Float]))));
+        assert_eq!(
+            s,
+            Type::Array(Box::new(Type::Object(ClassId(3), vec![Type::Float])))
+        );
         assert!(t.mentions_var());
         assert!(!s.mentions_var());
     }

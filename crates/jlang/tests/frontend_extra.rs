@@ -89,8 +89,10 @@ fn comments_everywhere() {
 
 #[test]
 fn interface_extending_interfaces() {
-    ok("interface A { int a(); } interface B { int b(); } interface C extends A, B { } \
-        class Impl implements C { int a() { return 1; } int b() { return 2; } }");
+    ok(
+        "interface A { int a(); } interface B { int b(); } interface C extends A, B { } \
+        class Impl implements C { int a() { return 1; } int b() { return 2; } }",
+    );
 }
 
 #[test]
@@ -124,13 +126,22 @@ fn unknown_type_reported_with_name() {
 
 #[test]
 fn boolean_arithmetic_rejected() {
-    err_containing("class A { static int m(boolean b) { return b + 1; } }", "arithmetic");
+    err_containing(
+        "class A { static int m(boolean b) { return b + 1; } }",
+        "arithmetic",
+    );
 }
 
 #[test]
 fn condition_must_be_boolean() {
-    err_containing("class A { static void m(int x) { if (x) { } } }", "expected boolean");
-    err_containing("class A { static void m(int x) { while (x) { } } }", "expected boolean");
+    err_containing(
+        "class A { static void m(int x) { if (x) { } } }",
+        "expected boolean",
+    );
+    err_containing(
+        "class A { static void m(int x) { while (x) { } } }",
+        "expected boolean",
+    );
 }
 
 #[test]
@@ -167,7 +178,10 @@ fn error_lines_point_into_the_right_file() {
         .with("good.jl", "class Good { }")
         .with("bad.jl", "class Bad {\n  int m() { return nope; }\n}");
     let err = jlang::compile(&set).unwrap_err();
-    assert!(err.iter().any(|d| d.span.file == 1 && d.span.line == 2), "{err:?}");
+    assert!(
+        err.iter().any(|d| d.span.file == 1 && d.span.line == 2),
+        "{err:?}"
+    );
 }
 
 #[test]

@@ -90,36 +90,47 @@ impl<'t> Analysis<'t> {
     /// that happens outside a constructor of the declaring class or one of
     /// its subclasses. Needed by semi-immutable precondition (c).
     fn scan_field_writes(&mut self) {
-        let record =
-            |table: &ClassTable,
-             illegal: &mut HashMap<(ClassId, u32), Vec<Span>>,
-             ctx_class: ClassId,
-             in_ctor: bool,
-             body: &TBlock| {
-                body.walk_stmts(&mut |s| {
-                    if let TStmt::AssignField { field, span, .. } = s {
-                        let owner = field.owner;
-                        let own_index = field.slot - table.class(owner).field_base;
-                        let finfo = &table.class(owner).fields[own_index as usize];
-                        if matches!(finfo.ty, Type::Array(_)) {
-                            return; // array fields are freely reassignable
-                        }
-                        let allowed = in_ctor && table.is_subclass_of(ctx_class, owner);
-                        if !allowed {
-                            illegal.entry((owner, own_index)).or_default().push(*span);
-                        }
+        let record = |table: &ClassTable,
+                      illegal: &mut HashMap<(ClassId, u32), Vec<Span>>,
+                      ctx_class: ClassId,
+                      in_ctor: bool,
+                      body: &TBlock| {
+            body.walk_stmts(&mut |s| {
+                if let TStmt::AssignField { field, span, .. } = s {
+                    let owner = field.owner;
+                    let own_index = field.slot - table.class(owner).field_base;
+                    let finfo = &table.class(owner).fields[own_index as usize];
+                    if matches!(finfo.ty, Type::Array(_)) {
+                        return; // array fields are freely reassignable
                     }
-                });
-            };
+                    let allowed = in_ctor && table.is_subclass_of(ctx_class, owner);
+                    if !allowed {
+                        illegal.entry((owner, own_index)).or_default().push(*span);
+                    }
+                }
+            });
+        };
         for info in self.table.iter() {
             for m in &info.methods {
                 if let Some(body) = &m.body {
-                    record(self.table, &mut self.illegal_field_writes, info.id, false, body);
+                    record(
+                        self.table,
+                        &mut self.illegal_field_writes,
+                        info.id,
+                        false,
+                        body,
+                    );
                 }
             }
             if let Some(ctor) = &info.ctor {
                 if let Some(body) = &ctor.body {
-                    record(self.table, &mut self.illegal_field_writes, info.id, true, body);
+                    record(
+                        self.table,
+                        &mut self.illegal_field_writes,
+                        info.id,
+                        true,
+                        body,
+                    );
                 }
             }
         }
@@ -166,7 +177,8 @@ impl<'t> Analysis<'t> {
                 }
             }
         }
-        self.strict_final.insert(id, if ok { Memo::Yes } else { Memo::No });
+        self.strict_final
+            .insert(id, if ok { Memo::Yes } else { Memo::No });
         ok
     }
 
@@ -194,7 +206,8 @@ impl<'t> Analysis<'t> {
         }
         self.semi_immutable.insert(id, Memo::InProgress);
         let ok = self.class_semi_immutable_inner(id);
-        self.semi_immutable.insert(id, if ok { Memo::Yes } else { Memo::No });
+        self.semi_immutable
+            .insert(id, if ok { Memo::Yes } else { Memo::No });
         ok
     }
 
@@ -295,7 +308,11 @@ impl<'t> Analysis<'t> {
             }
         }
         if let Some(ctor) = &info.ctor {
-            out.extend(ctor_violations(&info.name, ctor.body.as_ref(), &ctor.super_args));
+            out.extend(ctor_violations(
+                &info.name,
+                ctor.body.as_ref(),
+                &ctor.super_args,
+            ));
         }
         for f in &info.fields {
             if let Some(init) = &f.init {
@@ -420,7 +437,11 @@ fn expr_violations(e: &TExpr, class_name: &str, out: &mut Vec<Diagnostic>) {
             expr_violations(lhs, class_name, out);
             expr_violations(rhs, class_name, out);
         }
-        TExprKind::Ternary { cond, then_val, else_val } => {
+        TExprKind::Ternary {
+            cond,
+            then_val,
+            else_val,
+        } => {
             expr_violations(cond, class_name, out);
             expr_violations(then_val, class_name, out);
             expr_violations(else_val, class_name, out);
@@ -441,8 +462,11 @@ fn init_expr_clean(e: &TExpr) -> bool {
 /// eight coding rules. Non-annotated classes are ignored (the paper: "the
 /// rest of the program does not have to follow the rules").
 pub fn check_program(table: &ClassTable) -> RulesReport {
-    let ids: Vec<ClassId> =
-        table.iter().filter(|c| c.has_annotation("WootinJ")).map(|c| c.id).collect();
+    let ids: Vec<ClassId> = table
+        .iter()
+        .filter(|c| c.has_annotation("WootinJ"))
+        .map(|c| c.id)
+        .collect();
     check_classes(table, &ids)
 }
 
@@ -507,14 +531,20 @@ fn check_class(
             out.push(Diagnostic::error(
                 "rules",
                 f.span,
-                format!("static field `{}.{}` must be final (rule 5)", info.name, f.name),
+                format!(
+                    "static field `{}.{}` must be final (rule 5)",
+                    info.name, f.name
+                ),
             ));
         }
         if matches!(f.ty, Type::Array(_)) {
             out.push(Diagnostic::error(
                 "rules",
                 f.span,
-                format!("static field `{}.{}` must not be an array (rule 5)", info.name, f.name),
+                format!(
+                    "static field `{}.{}` must not be an array (rule 5)",
+                    info.name, f.name
+                ),
             ));
         }
     }
@@ -575,7 +605,15 @@ fn check_class(
             ));
         }
         let Some(body) = &m.body else { continue };
-        check_body(table, analysis, &info.name, &m.name, m.params.len() as u32, body, out);
+        check_body(
+            table,
+            analysis,
+            &info.name,
+            &m.name,
+            m.params.len() as u32,
+            body,
+            out,
+        );
     }
 }
 
@@ -790,7 +828,10 @@ fn check_no_recursion(table: &ClassTable, ids: &[ClassId], out: &mut Vec<Diagnos
             out.push(Diagnostic::error(
                 "rules",
                 table.method(c, m).span,
-                format!("recursive call chain is not allowed (rule 6): {}", names.join(" -> ")),
+                format!(
+                    "recursive call chain is not allowed (rule 6): {}",
+                    names.join(" -> ")
+                ),
             ));
             return; // one cycle report is enough
         }
@@ -868,8 +909,8 @@ mod tests {
 
     #[test]
     fn recursive_type_is_not_semi_immutable() {
-        let table = compile_str("final class Node { Node next; Node(Node n) { next = n; } }")
-            .unwrap();
+        let table =
+            compile_str("final class Node { Node next; Node(Node n) { next = n; } }").unwrap();
         let mut a = Analysis::new(&table);
         let node = Type::object(table.by_name("Node").unwrap());
         assert!(!a.is_semi_immutable(&node));
@@ -923,9 +964,7 @@ mod tests {
 
     #[test]
     fn ctor_reading_own_field_allowed() {
-        let r = report(
-            "@WootinJ final class A { int x; int y; A(int v) { x = v; y = x + 1; } }",
-        );
+        let r = report("@WootinJ final class A { int x; int y; A(int v) { x = v; y = x + 1; } }");
         assert!(r.is_ok(), "{}", r.render());
     }
 
@@ -939,7 +978,9 @@ mod tests {
 
     #[test]
     fn local_assignment_allowed() {
-        let r = report("@WootinJ final class A { A() { } int m(int x) { int y = x; y = y + 1; return y; } }");
+        let r = report(
+            "@WootinJ final class A { A() { } int m(int x) { int y = x; y = y + 1; return y; } }",
+        );
         assert!(r.is_ok(), "{}", r.render());
     }
 

@@ -189,7 +189,10 @@ impl ArrayData {
 
     pub fn set(&mut self, i: usize, val: Value) -> Result<(), String> {
         if i >= self.len() {
-            return Err(format!("array index {i} out of bounds (len {})", self.len()));
+            return Err(format!(
+                "array index {i} out of bounds (len {})",
+                self.len()
+            ));
         }
         match (self, val) {
             (ArrayData::I32(v), Value::Int(x)) => v[i] = x,
@@ -227,7 +230,10 @@ impl Heap {
 
     pub fn alloc_obj(&mut self, class: ClassId, field_count: usize) -> ObjRef {
         let r = ObjRef(self.objects.len() as u32);
-        self.objects.push(ObjData { class, fields: vec![Value::Null; field_count] });
+        self.objects.push(ObjData {
+            class,
+            fields: vec![Value::Null; field_count],
+        });
         r
     }
 

@@ -28,11 +28,17 @@ pub struct JvmError {
 
 impl JvmError {
     pub fn new(message: impl Into<String>) -> Self {
-        JvmError { message: message.into(), span: None }
+        JvmError {
+            message: message.into(),
+            span: None,
+        }
     }
 
     pub fn at(message: impl Into<String>, span: Span) -> Self {
-        JvmError { message: message.into(), span: Some(span) }
+        JvmError {
+            message: message.into(),
+            span: Some(span),
+        }
     }
 }
 
@@ -127,8 +133,11 @@ impl<'t> Jvm<'t> {
 
     fn init_statics(&mut self) -> JResult<()> {
         for info in self.table.iter() {
-            let defaults: Vec<Value> =
-                info.statics.iter().map(|f| Value::default_for(&f.ty)).collect();
+            let defaults: Vec<Value> = info
+                .statics
+                .iter()
+                .map(|f| Value::default_for(&f.ty))
+                .collect();
             self.statics.push(defaults);
         }
         let ids: Vec<ClassId> = self.table.iter().map(|c| c.id).collect();
@@ -142,7 +151,10 @@ impl<'t> Jvm<'t> {
                 .filter_map(|(i, f)| f.init.clone().map(|e| (i, e)))
                 .collect();
             for (i, init) in inits {
-                let mut frame = Frame { locals: Vec::new(), this: None };
+                let mut frame = Frame {
+                    locals: Vec::new(),
+                    this: None,
+                };
                 let v = self.eval(&mut frame, &init)?;
                 self.statics[id.0 as usize][i] = v;
             }
@@ -167,15 +179,12 @@ impl<'t> Jvm<'t> {
     /// Virtually call `method` on `recv` (dispatch from its runtime class).
     pub fn call(&mut self, recv: &Value, method: &str, args: &[Value]) -> JResult<Value> {
         let class = self.runtime_class(recv)?;
-        let (ic, im) = self
-            .table
-            .resolve_impl(class, method)
-            .ok_or_else(|| {
-                JvmError::new(format!(
-                    "no implementation of `{method}` on `{}`",
-                    self.table.name(class)
-                ))
-            })?;
+        let (ic, im) = self.table.resolve_impl(class, method).ok_or_else(|| {
+            JvmError::new(format!(
+                "no implementation of `{method}` on `{}`",
+                self.table.name(class)
+            ))
+        })?;
         self.invoke(Some(recv.clone()), ic, im, args.to_vec())
     }
 
@@ -250,7 +259,10 @@ impl<'t> Jvm<'t> {
     pub fn construct(&mut self, class: ClassId, args: &[Value]) -> JResult<Value> {
         let info = self.table.class(class);
         if info.is_interface {
-            return Err(JvmError::new(format!("cannot instantiate interface `{}`", info.name)));
+            return Err(JvmError::new(format!(
+                "cannot instantiate interface `{}`",
+                info.name
+            )));
         }
         if info.is_abstract {
             return Err(JvmError::new(format!(
@@ -312,9 +324,7 @@ impl<'t> Jvm<'t> {
                 .fields
                 .iter()
                 .enumerate()
-                .filter_map(|(i, f)| {
-                    f.init.clone().map(|e| (cinfo.field_base + i as u32, e))
-                })
+                .filter_map(|(i, f)| f.init.clone().map(|e| (cinfo.field_base + i as u32, e)))
                 .collect()
         };
         for (slot, init) in inits {
@@ -502,7 +512,12 @@ impl<'t> Jvm<'t> {
                 frame.locals[*slot as usize] = v;
                 Ok(Flow::Normal)
             }
-            TStmt::AssignField { obj, field, value, span } => {
+            TStmt::AssignField {
+                obj,
+                field,
+                value,
+                span,
+            } => {
                 let o = self.eval(frame, obj)?;
                 let v = self.eval(frame, value)?;
                 let r = o
@@ -511,12 +526,22 @@ impl<'t> Jvm<'t> {
                 self.heap.obj_mut(r).fields[field.slot as usize] = v;
                 Ok(Flow::Normal)
             }
-            TStmt::AssignStatic { class, index, value, .. } => {
+            TStmt::AssignStatic {
+                class,
+                index,
+                value,
+                ..
+            } => {
                 let v = self.eval(frame, value)?;
                 self.statics[class.0 as usize][*index as usize] = v;
                 Ok(Flow::Normal)
             }
-            TStmt::AssignIndex { arr, idx, value, span } => {
+            TStmt::AssignIndex {
+                arr,
+                idx,
+                value,
+                span,
+            } => {
                 let a = self.eval(frame, arr)?;
                 let i = self.eval(frame, idx)?;
                 let v = self.eval(frame, value)?;
@@ -537,7 +562,12 @@ impl<'t> Jvm<'t> {
                 self.eval(frame, e)?;
                 Ok(Flow::Normal)
             }
-            TStmt::If { cond, then_branch, else_branch, .. } => {
+            TStmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 let c = self.eval(frame, cond)?.as_bool().map_err(JvmError::new)?;
                 if c {
                     self.exec_block(frame, then_branch)
@@ -561,7 +591,13 @@ impl<'t> Jvm<'t> {
                 }
                 Ok(Flow::Normal)
             }
-            TStmt::For { init, cond, update, body, .. } => {
+            TStmt::For {
+                init,
+                cond,
+                update,
+                body,
+                ..
+            } => {
                 if let Some(i) = init {
                     self.exec(frame, i)?;
                 }
@@ -667,7 +703,9 @@ impl<'t> Jvm<'t> {
                 if n < 0 {
                     return Err(JvmError::at(format!("negative array size {n}"), e.span));
                 }
-                Ok(Value::Arr(self.heap.alloc_arr(ArrayData::new(elem, n as usize))))
+                Ok(Value::Arr(
+                    self.heap.alloc_arr(ArrayData::new(elem, n as usize)),
+                ))
             }
             TExprKind::Index { arr, idx } => {
                 let a = self.eval(frame, arr)?;
@@ -680,7 +718,10 @@ impl<'t> Jvm<'t> {
                 }
                 self.heap.arr(r).get(i as usize).ok_or_else(|| {
                     JvmError::at(
-                        format!("array index {i} out of bounds (len {})", self.heap.arr(r).len()),
+                        format!(
+                            "array index {i} out of bounds (len {})",
+                            self.heap.arr(r).len()
+                        ),
                         e.span,
                     )
                 })
@@ -707,7 +748,12 @@ impl<'t> Jvm<'t> {
                     UnOp::Not => Ok(Value::Bool(!v.as_bool().map_err(JvmError::new)?)),
                 }
             }
-            TExprKind::Binary { op, operand_kind, lhs, rhs } => {
+            TExprKind::Binary {
+                op,
+                operand_kind,
+                lhs,
+                rhs,
+            } => {
                 // Short-circuit logical operators.
                 if *op == BinOp::And {
                     let l = self.eval(frame, lhs)?.as_bool().map_err(JvmError::new)?;
@@ -784,7 +830,11 @@ impl<'t> Jvm<'t> {
                 };
                 Ok(Value::Bool(res))
             }
-            TExprKind::Ternary { cond, then_val, else_val } => {
+            TExprKind::Ternary {
+                cond,
+                then_val,
+                else_val,
+            } => {
                 let c = self.eval(frame, cond)?.as_bool().map_err(JvmError::new)?;
                 if c {
                     self.eval(frame, then_val)

@@ -94,7 +94,7 @@ mod tests {
              class Square implements Shape { double s; Square(double s0) { s = s0; } \
                double area() { return s * s; } } \
              class Circle implements Shape { double r; Circle(double r0) { r = r0; } \
-               double area() { return 3.14159 * r * r; } } \
+               double area() { return 3.25 * r * r; } } \
              class Main { static double total(Shape a, Shape b) { return a.area() + b.area(); } }";
         let table = compile_str(src).unwrap();
         let mut jvm = Jvm::new(&table).unwrap();
@@ -102,7 +102,7 @@ mod tests {
         let ci = jvm.new_instance("Circle", &[Value::Double(1.0)]).unwrap();
         let v = jvm.call_static("Main", "total", &[sq, ci]).unwrap();
         match v {
-            Value::Double(d) => assert!((d - (4.0 + 3.14159)).abs() < 1e-9),
+            Value::Double(d) => assert!((d - (4.0 + 3.25)).abs() < 1e-9),
             other => panic!("unexpected {other}"),
         }
     }
@@ -162,9 +162,8 @@ mod tests {
 
     #[test]
     fn null_dereference_is_error() {
-        let table =
-            compile_str("class B { int x; } class A { static int m(B b) { return b.x; } }")
-                .unwrap();
+        let table = compile_str("class B { int x; } class A { static int m(B b) { return b.x; } }")
+            .unwrap();
         let mut jvm = Jvm::new(&table).unwrap();
         let err = jvm.call_static("A", "m", &[Value::Null]).unwrap_err();
         assert!(err.message.contains("null"), "{err}");
@@ -221,14 +220,18 @@ mod tests {
 
     #[test]
     fn cuda_copy_emulation_is_a_real_copy() {
-        let src = "class CUDA2 { @Native(\"cuda.copyToGPU\") static float[] copyToGPU(float[] a); } \
+        let src =
+            "class CUDA2 { @Native(\"cuda.copyToGPU\") static float[] copyToGPU(float[] a); } \
                    class A { static float m(float[] host) { \
                      float[] dev = CUDA2.copyToGPU(host); dev[0] = 99f; return host[0]; } }";
         let table = compile_str(src).unwrap();
         let mut jvm = Jvm::new(&table).unwrap();
         let host = jvm.new_f32_array(&[1.0, 2.0]);
         // Mutating the device copy must not affect the host array.
-        assert_eq!(jvm.call_static("A", "m", &[host]).unwrap(), Value::Float(1.0));
+        assert_eq!(
+            jvm.call_static("A", "m", &[host]).unwrap(),
+            Value::Float(1.0)
+        );
     }
 
     #[test]
@@ -254,7 +257,8 @@ mod tests {
         let mut jvm = Jvm::new(&table).unwrap();
         let k = jvm.new_instance("Kern", &[Value::Float(2.0)]).unwrap();
         let a = jvm.new_f32_array(&[1.0, 2.0, 3.0, 4.0, 5.0]);
-        jvm.call(&k, "launch", &[a.clone(), Value::Int(2), Value::Int(3)]).unwrap();
+        jvm.call(&k, "launch", &[a.clone(), Value::Int(2), Value::Int(3)])
+            .unwrap();
         assert_eq!(jvm.f32_array(&a).unwrap(), vec![2.0, 4.0, 6.0, 8.0, 10.0]);
     }
 

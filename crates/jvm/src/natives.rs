@@ -21,12 +21,15 @@ use std::rc::Rc;
 use crate::heap::{ArrayData, Value};
 use crate::interp::{Jvm, JvmError, NativeFn};
 
-fn native(f: impl for<'a> Fn(&mut Jvm<'a>, &[Value]) -> Result<Value, JvmError> + 'static) -> NativeFn {
+fn native(
+    f: impl for<'a> Fn(&mut Jvm<'a>, &[Value]) -> Result<Value, JvmError> + 'static,
+) -> NativeFn {
     Rc::new(f)
 }
 
 fn arg(args: &[Value], i: usize) -> Result<&Value, JvmError> {
-    args.get(i).ok_or_else(|| JvmError::new(format!("missing native argument {i}")))
+    args.get(i)
+        .ok_or_else(|| JvmError::new(format!("missing native argument {i}")))
 }
 
 /// Register the standard native set on a fresh interpreter.
@@ -34,11 +37,19 @@ pub fn register_defaults(jvm: &mut Jvm<'_>) {
     // ---------------- Math ----------------
     jvm.register_native(
         "math.sqrt",
-        native(|_, a| Ok(Value::Double(arg(a, 0)?.to_f64_lossy().map_err(JvmError::new)?.sqrt()))),
+        native(|_, a| {
+            Ok(Value::Double(
+                arg(a, 0)?.to_f64_lossy().map_err(JvmError::new)?.sqrt(),
+            ))
+        }),
     );
     jvm.register_native(
         "math.sqrtf",
-        native(|_, a| Ok(Value::Float(arg(a, 0)?.as_f32().map_err(JvmError::new)?.sqrt()))),
+        native(|_, a| {
+            Ok(Value::Float(
+                arg(a, 0)?.as_f32().map_err(JvmError::new)?.sqrt(),
+            ))
+        }),
     );
     jvm.register_native(
         "math.pow",
@@ -50,20 +61,34 @@ pub fn register_defaults(jvm: &mut Jvm<'_>) {
     );
     jvm.register_native(
         "math.exp",
-        native(|_, a| Ok(Value::Double(arg(a, 0)?.to_f64_lossy().map_err(JvmError::new)?.exp()))),
+        native(|_, a| {
+            Ok(Value::Double(
+                arg(a, 0)?.to_f64_lossy().map_err(JvmError::new)?.exp(),
+            ))
+        }),
     );
     jvm.register_native(
         "math.absf",
-        native(|_, a| Ok(Value::Float(arg(a, 0)?.as_f32().map_err(JvmError::new)?.abs()))),
+        native(|_, a| {
+            Ok(Value::Float(
+                arg(a, 0)?.as_f32().map_err(JvmError::new)?.abs(),
+            ))
+        }),
     );
     jvm.register_native(
         "math.absd",
-        native(|_, a| Ok(Value::Double(arg(a, 0)?.as_f64().map_err(JvmError::new)?.abs()))),
+        native(|_, a| {
+            Ok(Value::Double(
+                arg(a, 0)?.as_f64().map_err(JvmError::new)?.abs(),
+            ))
+        }),
     );
     jvm.register_native(
         "math.absi",
         native(|_, a| {
-            Ok(Value::Int(arg(a, 0)?.as_i32().map_err(JvmError::new)?.wrapping_abs()))
+            Ok(Value::Int(
+                arg(a, 0)?.as_i32().map_err(JvmError::new)?.wrapping_abs(),
+            ))
         }),
     );
     jvm.register_native(
@@ -208,7 +233,9 @@ pub fn register_defaults(jvm: &mut Jvm<'_>) {
             if n < 0 {
                 return Err(JvmError::new("negative device allocation"));
             }
-            Ok(Value::Arr(jvm.heap.alloc_arr(ArrayData::F32(vec![0.0; n as usize]))))
+            Ok(Value::Arr(
+                jvm.heap.alloc_arr(ArrayData::F32(vec![0.0; n as usize])),
+            ))
         }),
     );
     jvm.register_native("cuda.free", native(|_, _| Ok(Value::Void)));

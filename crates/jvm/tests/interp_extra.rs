@@ -27,29 +27,65 @@ fn compound_assignment_on_array_elements() {
 fn shift_amounts_mask_like_java() {
     // Java: x << 33 == x << 1 for ints (amount masked & 31).
     assert_eq!(
-        run("class A { static int m() { return 1 << 33; } }", "A", "m", &[]),
+        run(
+            "class A { static int m() { return 1 << 33; } }",
+            "A",
+            "m",
+            &[]
+        ),
         Value::Int(2)
     );
     assert_eq!(
-        run("class A { static long m() { return 1L << 65; } }", "A", "m", &[]),
+        run(
+            "class A { static long m() { return 1L << 65; } }",
+            "A",
+            "m",
+            &[]
+        ),
         Value::Long(2)
     );
     // Arithmetic (sign-propagating) right shift.
     assert_eq!(
-        run("class A { static int m() { return -8 >> 1; } }", "A", "m", &[]),
+        run(
+            "class A { static int m() { return -8 >> 1; } }",
+            "A",
+            "m",
+            &[]
+        ),
         Value::Int(-4)
     );
 }
 
 #[test]
 fn integer_division_truncates_toward_zero() {
-    assert_eq!(run("class A { static int m() { return -7 / 2; } }", "A", "m", &[]), Value::Int(-3));
-    assert_eq!(run("class A { static int m() { return -7 % 2; } }", "A", "m", &[]), Value::Int(-1));
+    assert_eq!(
+        run(
+            "class A { static int m() { return -7 / 2; } }",
+            "A",
+            "m",
+            &[]
+        ),
+        Value::Int(-3)
+    );
+    assert_eq!(
+        run(
+            "class A { static int m() { return -7 % 2; } }",
+            "A",
+            "m",
+            &[]
+        ),
+        Value::Int(-1)
+    );
 }
 
 #[test]
 fn float_rem_matches_ieee() {
-    let v = run("class A { static float m() { return 5.5f % 2f; } }", "A", "m", &[]);
+    let v = run(
+        "class A { static float m() { return 5.5f % 2f; } }",
+        "A",
+        "m",
+        &[],
+    );
     assert_eq!(v, Value::Float(5.5f32 % 2.0));
 }
 
@@ -67,9 +103,22 @@ fn long_to_int_narrowing_wraps() {
 #[test]
 fn int_to_float_conversion_in_mixed_arithmetic() {
     // 1/2 in int is 0; 1/2f is 0.5.
-    assert_eq!(run("class A { static int m() { return 1 / 2; } }", "A", "m", &[]), Value::Int(0));
     assert_eq!(
-        run("class A { static float m() { return 1 / 2f; } }", "A", "m", &[]),
+        run(
+            "class A { static int m() { return 1 / 2; } }",
+            "A",
+            "m",
+            &[]
+        ),
+        Value::Int(0)
+    );
+    assert_eq!(
+        run(
+            "class A { static float m() { return 1 / 2f; } }",
+            "A",
+            "m",
+            &[]
+        ),
         Value::Float(0.5)
     );
 }
@@ -155,10 +204,9 @@ fn arrays_are_reference_values() {
 
 #[test]
 fn negative_array_size_is_an_error() {
-    let table = compile_str(
-        "class A { static void m(int n) { float[] a = new float[n]; a[0] = 1f; } }",
-    )
-    .unwrap();
+    let table =
+        compile_str("class A { static void m(int n) { float[] a = new float[n]; a[0] = 1f; } }")
+            .unwrap();
     let mut jvm = Jvm::new(&table).unwrap();
     let err = jvm.call_static("A", "m", &[Value::Int(-3)]).unwrap_err();
     assert!(err.message.contains("negative"), "{err}");

@@ -23,7 +23,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use exec::{run, ArrStore, HostRegistry, Machine, Thread, Val, Yield};
+use exec::{run, ArrStore, ExecError, HostRegistry, Machine, Thread, Val, Yield};
 use gpu_sim::{Gpu, GpuConfig};
 use nir::{FuncId, IntrinOp, Program};
 
@@ -42,7 +42,11 @@ impl Default for CostModel {
     fn default() -> Self {
         // Shaped after a fat-tree InfiniBand fabric relative to ~1 cycle
         // per scalar op: ~2 µs latency, ~5 GB/s effective per-link.
-        CostModel { alpha: 4_000, beta: 0.4, collective_alpha: 8_000 }
+        CostModel {
+            alpha: 4_000,
+            beta: 0.4,
+            collective_alpha: 8_000,
+        }
     }
 }
 
@@ -64,8 +68,11 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-fn err_on(rank: u32, message: impl Into<String>) -> SimError {
-    SimError { message: message.into(), rank: Some(rank) }
+fn err_on(rank: u32, message: impl ToString) -> SimError {
+    SimError {
+        message: message.to_string(),
+        rank: Some(rank),
+    }
 }
 
 /// Outcome of one rank.
@@ -101,10 +108,21 @@ type MsgQueues = HashMap<(u32, u32, i32), VecDeque<(Vec<f32>, u64)>>;
 
 #[derive(Debug)]
 enum Blocked {
-    Recv { buf: u32, off: usize, count: usize, src: u32, tag: i32 },
+    Recv {
+        buf: u32,
+        off: usize,
+        count: usize,
+        src: u32,
+        tag: i32,
+    },
     Barrier,
     Allreduce,
-    Bcast { buf: u32, off: usize, count: usize, root: u32 },
+    Bcast {
+        buf: u32,
+        off: usize,
+        count: usize,
+        root: u32,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -183,8 +201,8 @@ impl<'p> World<'p> {
             let mut machine = Machine::with_globals(self.program);
             let args = make_args(r, &mut machine)
                 .map_err(|m| err_on(r, format!("building entry args: {m}")))?;
-            let thread = Thread::new(self.program, entry, args)
-                .map_err(|e| err_on(r, e.to_string()))?;
+            let thread =
+                Thread::new(self.program, entry, args).map_err(|e| err_on(r, e.to_string()))?;
             ranks.push(Rank {
                 thread,
                 machine,
@@ -211,12 +229,19 @@ impl<'p> World<'p> {
             // 1. Try to unblock receivers / collectives.
             #[allow(clippy::needless_range_loop)] // r is also a rank id
             for r in 0..self.size as usize {
-                let Some(blocked) = ranks[r].blocked.as_ref() else { continue };
+                let Some(blocked) = ranks[r].blocked.as_ref() else {
+                    continue;
+                };
                 match *blocked {
-                    Blocked::Recv { buf, off, count, src, tag } => {
+                    Blocked::Recv {
+                        buf,
+                        off,
+                        count,
+                        src,
+                        tag,
+                    } => {
                         let key = (src, r as u32, tag);
-                        let ready =
-                            messages.get_mut(&key).and_then(|q| q.pop_front());
+                        let ready = messages.get_mut(&key).and_then(|q| q.pop_front());
                         if let Some((payload, avail_at)) = ready {
                             if payload.len() != count {
                                 return Err(err_on(
@@ -262,7 +287,7 @@ impl<'p> World<'p> {
                 let t = self.complete_collective(&mut ranks, &participants);
                 let op = allreduce[0].1;
                 let combined = combine(op, &allreduce).map_err(|m| SimError {
-                    message: m,
+                    message: m.to_string(),
                     rank: None,
                 })?;
                 for &(r, _, _) in allreduce.iter() {
@@ -288,8 +313,7 @@ impl<'p> World<'p> {
                     (*root, *count)
                 };
                 let payload = {
-                    let Some(Blocked::Bcast { buf, off, .. }) =
-                        &ranks[root as usize].blocked
+                    let Some(Blocked::Bcast { buf, off, .. }) = &ranks[root as usize].blocked
                     else {
                         return Err(err_on(root, "bcast root is not at the bcast"));
                     };
@@ -324,8 +348,13 @@ impl<'p> World<'p> {
                 progress = true;
                 let y = {
                     let rank = &mut ranks[r];
-                    let y = run(&mut rank.thread, self.program, &mut rank.machine, self.slice)
-                        .map_err(|e| err_on(r as u32, e.to_string()))?;
+                    let y = run(
+                        &mut rank.thread,
+                        self.program,
+                        &mut rank.machine,
+                        self.slice,
+                    )
+                    .map_err(|e| err_on(r as u32, e.to_string()))?;
                     let delta = rank.machine.counters.cycles - rank.last_cycles;
                     rank.last_cycles = rank.machine.counters.cycles;
                     rank.vclock += delta;
@@ -341,7 +370,12 @@ impl<'p> World<'p> {
                             "__syncthreads / __shared__ outside a kernel launch",
                         ));
                     }
-                    Yield::Launch { kernel, grid, block, args } => {
+                    Yield::Launch {
+                        kernel,
+                        grid,
+                        block,
+                        args,
+                    } => {
                         let rank = &mut ranks[r];
                         let gpu = rank.gpu.as_mut().ok_or_else(|| {
                             err_on(r as u32, "kernel launch but no GPU configured for this run")
@@ -365,11 +399,17 @@ impl<'p> World<'p> {
                         let registry = self.host.ok_or_else(|| {
                             err_on(
                                 r as u32,
-                                format!("foreign function `{}` called but no host registry configured", sig.name),
+                                format!(
+                                    "foreign function `{}` called but no host registry configured",
+                                    sig.name
+                                ),
                             )
                         })?;
                         let id = registry.id_of(&sig.name).ok_or_else(|| {
-                            err_on(r as u32, format!("foreign function `{}` is not registered", sig.name))
+                            err_on(
+                                r as u32,
+                                format!("foreign function `{}` is not registered", sig.name),
+                            )
                         })?;
                         let v = registry
                             .call(id, &args, &mut rank.machine.mem)
@@ -439,7 +479,11 @@ impl<'p> World<'p> {
     /// Collective completion time: max participant clock + base cost +
     /// a log2(size) latency term.
     fn complete_collective(&self, ranks: &mut [Rank], participants: &[u32]) -> u64 {
-        let max = participants.iter().map(|&r| ranks[r as usize].vclock).max().unwrap_or(0);
+        let max = participants
+            .iter()
+            .map(|&r| ranks[r as usize].vclock)
+            .max()
+            .unwrap_or(0);
         let log2 = 32 - (self.size.max(1)).leading_zeros() as u64;
         let t = max + self.cost.collective_alpha + self.cost.alpha * log2;
         for &r in participants {
@@ -457,23 +501,35 @@ impl<'p> World<'p> {
         args: Vec<Val>,
     ) -> Result<(), SimError> {
         let gpu = rank.gpu.as_mut().ok_or_else(|| {
-            err_on(r, format!("GPU operation {op:?} but no GPU configured for this run"))
+            err_on(
+                r,
+                format!("GPU operation {op:?} but no GPU configured for this run"),
+            )
         })?;
         let before = gpu.vtime;
         match op {
             IntrinOp::CopyToGpu => {
-                let host = args[0]
-                    .as_arr()
-                    .map_err(|m| err_on(r, m))?;
-                let store = rank.machine.mem.arr(host).map_err(|m| err_on(r, m))?.clone();
+                let host = args[0].as_arr().map_err(|m| err_on(r, m))?;
+                let store = rank
+                    .machine
+                    .mem
+                    .arr(host)
+                    .map_err(|m| err_on(r, m))?
+                    .clone();
                 let dev = gpu.copy_in(&store).map_err(|e| err_on(r, e.to_string()))?;
                 rank.thread.resume_with(Val::Arr(dev));
             }
             IntrinOp::CopyFromGpu => {
                 let host = args[0].as_arr().map_err(|m| err_on(r, m))?;
                 let dev = args[1].as_arr().map_err(|m| err_on(r, m))?;
-                let mut tmp = rank.machine.mem.arr(host).map_err(|m| err_on(r, m))?.clone();
-                gpu.copy_out(dev, &mut tmp).map_err(|e| err_on(r, e.to_string()))?;
+                let mut tmp = rank
+                    .machine
+                    .mem
+                    .arr(host)
+                    .map_err(|m| err_on(r, m))?
+                    .clone();
+                gpu.copy_out(dev, &mut tmp)
+                    .map_err(|e| err_on(r, e.to_string()))?;
                 *rank.machine.mem.arr_mut(host).map_err(|m| err_on(r, m))? = tmp;
                 rank.thread.resume_with(Val::Unit);
             }
@@ -484,9 +540,10 @@ impl<'p> World<'p> {
                 let host = args[2].as_arr().map_err(|m| err_on(r, m))?;
                 let hoff = args[3].as_i32().map_err(|m| err_on(r, m))? as usize;
                 let len = args[4].as_i32().map_err(|m| err_on(r, m))? as usize;
-                let payload = read_floats(&rank.machine, host, hoff, len)
-                    .map_err(|m| err_on(r, m))?;
-                gpu.write_range(dev, doff, &payload).map_err(|e| err_on(r, e.to_string()))?;
+                let payload =
+                    read_floats(&rank.machine, host, hoff, len).map_err(|m| err_on(r, m))?;
+                gpu.write_range(dev, doff, &payload)
+                    .map_err(|e| err_on(r, e.to_string()))?;
                 rank.thread.resume_with(Val::Unit);
             }
             IntrinOp::CopyFromGpuRange => {
@@ -496,10 +553,10 @@ impl<'p> World<'p> {
                 let dev = args[2].as_arr().map_err(|m| err_on(r, m))?;
                 let doff = args[3].as_i32().map_err(|m| err_on(r, m))? as usize;
                 let len = args[4].as_i32().map_err(|m| err_on(r, m))? as usize;
-                let payload =
-                    gpu.read_range(dev, doff, len).map_err(|e| err_on(r, e.to_string()))?;
-                write_floats(&mut rank.machine, host, hoff, &payload)
-                    .map_err(|m| err_on(r, m))?;
+                let payload = gpu
+                    .read_range(dev, doff, len)
+                    .map_err(|e| err_on(r, e.to_string()))?;
+                write_floats(&mut rank.machine, host, hoff, &payload).map_err(|m| err_on(r, m))?;
                 rank.thread.resume_with(Val::Unit);
             }
             IntrinOp::GpuAllocF32 => {
@@ -543,7 +600,10 @@ impl<'p> World<'p> {
         let ri = r as usize;
         let check_rank = |v: i32| -> Result<u32, SimError> {
             if v < 0 || v as u32 >= self.size {
-                Err(err_on(r, format!("rank {v} out of range (world size {})", self.size)))
+                Err(err_on(
+                    r,
+                    format!("rank {v} out of range (world size {})", self.size),
+                ))
             } else {
                 Ok(v as u32)
             }
@@ -584,7 +644,13 @@ impl<'p> World<'p> {
                 let count = args[2].as_i32().map_err(|m| err_on(r, m))? as usize;
                 let src = check_rank(args[3].as_i32().map_err(|m| err_on(r, m))?)?;
                 let tag = args[4].as_i32().map_err(|m| err_on(r, m))?;
-                ranks[ri].blocked = Some(Blocked::Recv { buf, off, count, src, tag });
+                ranks[ri].blocked = Some(Blocked::Recv {
+                    buf,
+                    off,
+                    count,
+                    src,
+                    tag,
+                });
             }
             IntrinOp::MpiSendRecvF32 => {
                 // sendrecvF(sbuf, soff, count, dest, rbuf, roff, src, tag)
@@ -596,8 +662,8 @@ impl<'p> World<'p> {
                 let roff = args[5].as_i32().map_err(|m| err_on(r, m))? as usize;
                 let src = check_rank(args[6].as_i32().map_err(|m| err_on(r, m))?)?;
                 let tag = args[7].as_i32().map_err(|m| err_on(r, m))?;
-                let payload = read_floats(&ranks[ri].machine, sbuf, soff, count)
-                    .map_err(|m| err_on(r, m))?;
+                let payload =
+                    read_floats(&ranks[ri].machine, sbuf, soff, count).map_err(|m| err_on(r, m))?;
                 let cost = self.msg_cost((count * 4) as u64);
                 ranks[ri].vclock += cost;
                 ranks[ri].comm_cycles += cost;
@@ -605,7 +671,13 @@ impl<'p> World<'p> {
                     .entry((r, dest, tag))
                     .or_default()
                     .push_back((payload, ranks[ri].vclock));
-                ranks[ri].blocked = Some(Blocked::Recv { buf: rbuf, off: roff, count, src, tag });
+                ranks[ri].blocked = Some(Blocked::Recv {
+                    buf: rbuf,
+                    off: roff,
+                    count,
+                    src,
+                    tag,
+                });
             }
             IntrinOp::MpiBcastF32 => {
                 // bcastF(buf, off, count, root)
@@ -613,7 +685,12 @@ impl<'p> World<'p> {
                 let off = args[1].as_i32().map_err(|m| err_on(r, m))? as usize;
                 let count = args[2].as_i32().map_err(|m| err_on(r, m))? as usize;
                 let root = check_rank(args[3].as_i32().map_err(|m| err_on(r, m))?)?;
-                ranks[ri].blocked = Some(Blocked::Bcast { buf, off, count, root });
+                ranks[ri].blocked = Some(Blocked::Bcast {
+                    buf,
+                    off,
+                    count,
+                    root,
+                });
                 bcast_waiters.push(r);
             }
             IntrinOp::MpiAllreduceSumF64 => {
@@ -634,7 +711,7 @@ impl<'p> World<'p> {
     }
 }
 
-fn combine(op: AllOp, contributions: &[(u32, AllOp, Val)]) -> Result<Val, String> {
+fn combine(op: AllOp, contributions: &[(u32, AllOp, Val)]) -> Result<Val, ExecError> {
     match op {
         AllOp::SumF64 => {
             let mut s = 0.0f64;
@@ -660,13 +737,23 @@ fn combine(op: AllOp, contributions: &[(u32, AllOp, Val)]) -> Result<Val, String
     }
 }
 
-fn read_floats(machine: &Machine, buf: u32, off: usize, count: usize) -> Result<Vec<f32>, String> {
+fn read_floats(
+    machine: &Machine,
+    buf: u32,
+    off: usize,
+    count: usize,
+) -> Result<Vec<f32>, ExecError> {
     match machine.mem.arr(buf)? {
-        ArrStore::F32(v) => v
-            .get(off..off + count)
-            .map(|s| s.to_vec())
-            .ok_or_else(|| format!("send range {off}..{} out of bounds (len {})", off + count, v.len())),
-        other => Err(format!("MPI float op on non-float array {other:?}")),
+        ArrStore::F32(v) => v.get(off..off + count).map(|s| s.to_vec()).ok_or_else(|| {
+            ExecError::msg(format!(
+                "send range {off}..{} out of bounds (len {})",
+                off + count,
+                v.len()
+            ))
+        }),
+        other => Err(ExecError::msg(format!(
+            "MPI float op on non-float array {other:?}"
+        ))),
     }
 }
 
@@ -675,17 +762,22 @@ fn write_floats(
     buf: u32,
     off: usize,
     payload: &[f32],
-) -> Result<(), String> {
+) -> Result<(), ExecError> {
     match machine.mem.arr_mut(buf)? {
         ArrStore::F32(v) => {
             let vlen = v.len();
             let tgt = v.get_mut(off..off + payload.len()).ok_or_else(|| {
-                format!("recv range {off}..{} out of bounds (len {vlen})", off + payload.len())
+                ExecError::msg(format!(
+                    "recv range {off}..{} out of bounds (len {vlen})",
+                    off + payload.len()
+                ))
             })?;
             tgt.copy_from_slice(payload);
             Ok(())
         }
-        other => Err(format!("MPI float op on non-float array {other:?}")),
+        other => Err(ExecError::msg(format!(
+            "MPI float op on non-float array {other:?}"
+        ))),
     }
 }
 
@@ -714,41 +806,112 @@ mod tests {
         let cond = fb.reg(Ty::Bool);
         let fv = fb.reg(Ty::F32);
         let out = fb.reg(Ty::F32);
-        fb.emit(Instr::Intrin { op: IntrinOp::MpiRank, args: vec![], dst: Some(rank) });
-        fb.emit(Instr::Intrin { op: IntrinOp::MpiSize, args: vec![], dst: Some(size) });
+        fb.emit(Instr::Intrin {
+            op: IntrinOp::MpiRank,
+            args: vec![],
+            dst: Some(rank),
+        });
+        fb.emit(Instr::Intrin {
+            op: IntrinOp::MpiSize,
+            args: vec![],
+            dst: Some(size),
+        });
         fb.emit(Instr::ConstI32(one, 1));
         fb.emit(Instr::ConstI32(zero, 0));
         fb.emit(Instr::ConstI32(n, 8));
         fb.emit(Instr::ConstI32(tag, 7));
-        fb.emit(Instr::NewArr { elem: ElemTy::F32, len: n, dst: buf });
-        fb.emit(Instr::NewArr { elem: ElemTy::F32, len: n, dst: rbuf });
+        fb.emit(Instr::NewArr {
+            elem: ElemTy::F32,
+            len: n,
+            dst: buf,
+        });
+        fb.emit(Instr::NewArr {
+            elem: ElemTy::F32,
+            len: n,
+            dst: rbuf,
+        });
         // fill buf with rank
-        fb.emit(Instr::Cast { to: PrimKind::Float, from: PrimKind::Int, dst: fv, src: rank });
+        fb.emit(Instr::Cast {
+            to: PrimKind::Float,
+            from: PrimKind::Int,
+            dst: fv,
+            src: rank,
+        });
         fb.emit(Instr::ConstI32(i, 0));
         let head = fb.label();
         let body = fb.label();
         let done = fb.label();
         fb.bind(head);
-        fb.emit(Instr::Bin { op: BinOp::Lt, kind: PrimKind::Int, dst: cond, lhs: i, rhs: n });
+        fb.emit(Instr::Bin {
+            op: BinOp::Lt,
+            kind: PrimKind::Int,
+            dst: cond,
+            lhs: i,
+            rhs: n,
+        });
         fb.br(cond, body, done);
         fb.bind(body);
-        fb.emit(Instr::StArr { arr: buf, idx: i, src: fv });
-        fb.emit(Instr::Bin { op: BinOp::Add, kind: PrimKind::Int, dst: i, lhs: i, rhs: one });
+        fb.emit(Instr::StArr {
+            arr: buf,
+            idx: i,
+            src: fv,
+        });
+        fb.emit(Instr::Bin {
+            op: BinOp::Add,
+            kind: PrimKind::Int,
+            dst: i,
+            lhs: i,
+            rhs: one,
+        });
         fb.jmp(head);
         fb.bind(done);
         // dest = (rank+1) % size; src = (rank+size-1) % size
-        fb.emit(Instr::Bin { op: BinOp::Add, kind: PrimKind::Int, dst: dest, lhs: rank, rhs: one });
-        fb.emit(Instr::Bin { op: BinOp::Rem, kind: PrimKind::Int, dst: dest, lhs: dest, rhs: size });
-        fb.emit(Instr::Bin { op: BinOp::Add, kind: PrimKind::Int, dst: src, lhs: rank, rhs: size });
-        fb.emit(Instr::Bin { op: BinOp::Sub, kind: PrimKind::Int, dst: src, lhs: src, rhs: one });
-        fb.emit(Instr::Bin { op: BinOp::Rem, kind: PrimKind::Int, dst: src, lhs: src, rhs: size });
+        fb.emit(Instr::Bin {
+            op: BinOp::Add,
+            kind: PrimKind::Int,
+            dst: dest,
+            lhs: rank,
+            rhs: one,
+        });
+        fb.emit(Instr::Bin {
+            op: BinOp::Rem,
+            kind: PrimKind::Int,
+            dst: dest,
+            lhs: dest,
+            rhs: size,
+        });
+        fb.emit(Instr::Bin {
+            op: BinOp::Add,
+            kind: PrimKind::Int,
+            dst: src,
+            lhs: rank,
+            rhs: size,
+        });
+        fb.emit(Instr::Bin {
+            op: BinOp::Sub,
+            kind: PrimKind::Int,
+            dst: src,
+            lhs: src,
+            rhs: one,
+        });
+        fb.emit(Instr::Bin {
+            op: BinOp::Rem,
+            kind: PrimKind::Int,
+            dst: src,
+            lhs: src,
+            rhs: size,
+        });
         // sendrecv
         fb.emit(Instr::Intrin {
             op: IntrinOp::MpiSendRecvF32,
             args: vec![buf, zero, n, dest, rbuf, zero, src, tag],
             dst: None,
         });
-        fb.emit(Instr::LdArr { arr: rbuf, idx: zero, dst: out });
+        fb.emit(Instr::LdArr {
+            arr: rbuf,
+            idx: zero,
+            dst: out,
+        });
         fb.emit(Instr::Ret(Some(out)));
         let mut p = Program::default();
         let id = p.add_func(fb.finish().unwrap());
@@ -784,9 +947,22 @@ mod tests {
         let rank = fb.reg(Ty::I32);
         let x = fb.reg(Ty::F64);
         let s = fb.reg(Ty::F64);
-        fb.emit(Instr::Intrin { op: IntrinOp::MpiRank, args: vec![], dst: Some(rank) });
-        fb.emit(Instr::Cast { to: PrimKind::Double, from: PrimKind::Int, dst: x, src: rank });
-        fb.emit(Instr::Intrin { op: IntrinOp::MpiAllreduceSumF64, args: vec![x], dst: Some(s) });
+        fb.emit(Instr::Intrin {
+            op: IntrinOp::MpiRank,
+            args: vec![],
+            dst: Some(rank),
+        });
+        fb.emit(Instr::Cast {
+            to: PrimKind::Double,
+            from: PrimKind::Int,
+            dst: x,
+            src: rank,
+        });
+        fb.emit(Instr::Intrin {
+            op: IntrinOp::MpiAllreduceSumF64,
+            args: vec![x],
+            dst: Some(s),
+        });
         fb.emit(Instr::Ret(Some(s)));
         let mut p = Program::default();
         let id = p.add_func(fb.finish().unwrap());
@@ -805,7 +981,10 @@ mod tests {
         // Collectives synchronize the clocks.
         let clocks: Vec<u64> = run.ranks.iter().map(|r| r.vclock).collect();
         let spread = clocks.iter().max().unwrap() - clocks.iter().min().unwrap();
-        assert!(spread < 1000, "clocks should be nearly synchronized: {clocks:?}");
+        assert!(
+            spread < 1000,
+            "clocks should be nearly synchronized: {clocks:?}"
+        );
     }
 
     #[test]
@@ -818,14 +997,28 @@ mod tests {
         let n = fb.reg(Ty::I32);
         let buf = fb.reg(Ty::Arr(ElemTy::F32));
         let cond = fb.reg(Ty::Bool);
-        fb.emit(Instr::Intrin { op: IntrinOp::MpiRank, args: vec![], dst: Some(rank) });
+        fb.emit(Instr::Intrin {
+            op: IntrinOp::MpiRank,
+            args: vec![],
+            dst: Some(rank),
+        });
         fb.emit(Instr::ConstI32(zero, 0));
         fb.emit(Instr::ConstI32(one, 1));
         fb.emit(Instr::ConstI32(n, 4));
-        fb.emit(Instr::NewArr { elem: ElemTy::F32, len: n, dst: buf });
+        fb.emit(Instr::NewArr {
+            elem: ElemTy::F32,
+            len: n,
+            dst: buf,
+        });
         let recv = fb.label();
         let end = fb.label();
-        fb.emit(Instr::Bin { op: BinOp::Eq, kind: PrimKind::Int, dst: cond, lhs: rank, rhs: zero });
+        fb.emit(Instr::Bin {
+            op: BinOp::Eq,
+            kind: PrimKind::Int,
+            dst: cond,
+            lhs: rank,
+            rhs: zero,
+        });
         fb.br(cond, recv, end);
         fb.bind(recv);
         fb.emit(Instr::Intrin {
@@ -847,13 +1040,22 @@ mod tests {
     #[test]
     fn virtual_time_grows_with_message_volume() {
         let (p, entry) = ring_program();
-        let cheap = World::new(&p, 4)
-            .with_cost(CostModel { alpha: 10, beta: 0.01, collective_alpha: 10 });
-        let costly = World::new(&p, 4)
-            .with_cost(CostModel { alpha: 100_000, beta: 10.0, collective_alpha: 10 });
+        let cheap = World::new(&p, 4).with_cost(CostModel {
+            alpha: 10,
+            beta: 0.01,
+            collective_alpha: 10,
+        });
+        let costly = World::new(&p, 4).with_cost(CostModel {
+            alpha: 100_000,
+            beta: 10.0,
+            collective_alpha: 10,
+        });
         let t1 = cheap.run(entry, |_, _| Ok(vec![])).unwrap().vtime;
         let t2 = costly.run(entry, |_, _| Ok(vec![])).unwrap().vtime;
-        assert!(t2 > t1, "expensive network must increase completion time: {t1} vs {t2}");
+        assert!(
+            t2 > t1,
+            "expensive network must increase completion time: {t1} vs {t2}"
+        );
     }
 
     #[test]
@@ -869,11 +1071,20 @@ mod tests {
     #[test]
     fn separate_memory_spaces() {
         // Each rank allocates and writes; handles are rank-local.
-        let mut fb = FuncBuilder::new("m", vec![Ty::Arr(ElemTy::F32)], Some(Ty::F32), FuncKind::Host);
+        let mut fb = FuncBuilder::new(
+            "m",
+            vec![Ty::Arr(ElemTy::F32)],
+            Some(Ty::F32),
+            FuncKind::Host,
+        );
         let zero = fb.reg(Ty::I32);
         let out = fb.reg(Ty::F32);
         fb.emit(Instr::ConstI32(zero, 0));
-        fb.emit(Instr::LdArr { arr: 0, idx: zero, dst: out });
+        fb.emit(Instr::LdArr {
+            arr: 0,
+            idx: zero,
+            dst: out,
+        });
         fb.emit(Instr::Ret(Some(out)));
         let mut p = Program::default();
         let id = p.add_func(fb.finish().unwrap());

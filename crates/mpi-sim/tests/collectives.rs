@@ -10,7 +10,12 @@ use nir::{ElemTy, FuncBuilder, FuncId, FuncKind, Instr, IntrinOp, Program, Ty};
 /// Every rank calls bcastF(buf, 0, 4, root=1) and returns buf[0]. Rank 1
 /// pre-fills its buffer; everyone must end up with rank 1's data.
 fn bcast_program() -> (Program, FuncId) {
-    let mut fb = FuncBuilder::new("bc", vec![Ty::Arr(ElemTy::F32)], Some(Ty::F32), FuncKind::Host);
+    let mut fb = FuncBuilder::new(
+        "bc",
+        vec![Ty::Arr(ElemTy::F32)],
+        Some(Ty::F32),
+        FuncKind::Host,
+    );
     let zero = fb.reg(Ty::I32);
     let four = fb.reg(Ty::I32);
     let one = fb.reg(Ty::I32);
@@ -23,7 +28,11 @@ fn bcast_program() -> (Program, FuncId) {
         args: vec![0, zero, four, one],
         dst: None,
     });
-    fb.emit(Instr::LdArr { arr: 0, idx: zero, dst: out });
+    fb.emit(Instr::LdArr {
+        arr: 0,
+        idx: zero,
+        dst: out,
+    });
     fb.emit(Instr::Ret(Some(out)));
     let mut p = Program::default();
     let id = p.add_func(fb.finish().unwrap());
@@ -49,7 +58,11 @@ fn broadcast_distributes_the_roots_buffer() {
 fn allreduce_max_program() -> (Program, FuncId) {
     let mut fb = FuncBuilder::new("mx", vec![Ty::F64], Some(Ty::F64), FuncKind::Host);
     let out = fb.reg(Ty::F64);
-    fb.emit(Instr::Intrin { op: IntrinOp::MpiAllreduceMaxF64, args: vec![0], dst: Some(out) });
+    fb.emit(Instr::Intrin {
+        op: IntrinOp::MpiAllreduceMaxF64,
+        args: vec![0],
+        dst: Some(out),
+    });
     fb.emit(Instr::Ret(Some(out)));
     let mut p = Program::default();
     let id = p.add_func(fb.finish().unwrap());
@@ -60,7 +73,9 @@ fn allreduce_max_program() -> (Program, FuncId) {
 fn allreduce_max_takes_the_maximum() {
     let (p, entry) = allreduce_max_program();
     let world = World::new(&p, 5);
-    let run = world.run(entry, |r, _| Ok(vec![Val::F64((r as f64 - 2.0) * 3.0)])).unwrap();
+    let run = world
+        .run(entry, |r, _| Ok(vec![Val::F64((r as f64 - 2.0) * 3.0)]))
+        .unwrap();
     for out in &run.ranks {
         assert_eq!(out.result, Some(Val::F64(6.0))); // rank 4: (4-2)*3
     }
@@ -82,25 +97,47 @@ fn fifo_program() -> (Program, FuncId) {
     let sender = fb.label();
     let receiver = fb.label();
     let done = fb.label();
-    fb.emit(Instr::Intrin { op: IntrinOp::MpiRank, args: vec![], dst: Some(rank) });
+    fb.emit(Instr::Intrin {
+        op: IntrinOp::MpiRank,
+        args: vec![],
+        dst: Some(rank),
+    });
     fb.emit(Instr::ConstI32(zero, 0));
     fb.emit(Instr::ConstI32(one, 1));
     fb.emit(Instr::ConstI32(n, 1));
-    fb.emit(Instr::NewArr { elem: ElemTy::F32, len: n, dst: buf });
+    fb.emit(Instr::NewArr {
+        elem: ElemTy::F32,
+        len: n,
+        dst: buf,
+    });
     fb.emit(Instr::ConstF32(out, 0.0));
-    fb.emit(Instr::Bin { op: BinOp::Eq, kind: PrimKind::Int, dst: cond, lhs: rank, rhs: zero });
+    fb.emit(Instr::Bin {
+        op: BinOp::Eq,
+        kind: PrimKind::Int,
+        dst: cond,
+        lhs: rank,
+        rhs: zero,
+    });
     fb.br(cond, sender, receiver);
     fb.bind(sender);
     // send 10.0 then 20.0, same tag
     fb.emit(Instr::ConstF32(v1, 10.0));
-    fb.emit(Instr::StArr { arr: buf, idx: zero, src: v1 });
+    fb.emit(Instr::StArr {
+        arr: buf,
+        idx: zero,
+        src: v1,
+    });
     fb.emit(Instr::Intrin {
         op: IntrinOp::MpiSendF32,
         args: vec![buf, zero, n, one, zero],
         dst: None,
     });
     fb.emit(Instr::ConstF32(v2, 20.0));
-    fb.emit(Instr::StArr { arr: buf, idx: zero, src: v2 });
+    fb.emit(Instr::StArr {
+        arr: buf,
+        idx: zero,
+        src: v2,
+    });
     fb.emit(Instr::Intrin {
         op: IntrinOp::MpiSendF32,
         args: vec![buf, zero, n, one, zero],
@@ -114,16 +151,36 @@ fn fifo_program() -> (Program, FuncId) {
         args: vec![buf, zero, n, zero, zero],
         dst: None,
     });
-    fb.emit(Instr::LdArr { arr: buf, idx: zero, dst: v1 });
+    fb.emit(Instr::LdArr {
+        arr: buf,
+        idx: zero,
+        dst: v1,
+    });
     fb.emit(Instr::Intrin {
         op: IntrinOp::MpiRecvF32,
         args: vec![buf, zero, n, zero, zero],
         dst: None,
     });
-    fb.emit(Instr::LdArr { arr: buf, idx: zero, dst: v2 });
+    fb.emit(Instr::LdArr {
+        arr: buf,
+        idx: zero,
+        dst: v2,
+    });
     fb.emit(Instr::ConstF32(out, 0.001));
-    fb.emit(Instr::Bin { op: BinOp::Mul, kind: PrimKind::Float, dst: v2, lhs: v2, rhs: out });
-    fb.emit(Instr::Bin { op: BinOp::Add, kind: PrimKind::Float, dst: out, lhs: v1, rhs: v2 });
+    fb.emit(Instr::Bin {
+        op: BinOp::Mul,
+        kind: PrimKind::Float,
+        dst: v2,
+        lhs: v2,
+        rhs: out,
+    });
+    fb.emit(Instr::Bin {
+        op: BinOp::Add,
+        kind: PrimKind::Float,
+        dst: out,
+        lhs: v1,
+        rhs: v2,
+    });
     fb.jmp(done);
     fb.bind(done);
     fb.emit(Instr::Ret(Some(out)));
@@ -158,26 +215,48 @@ fn tag_program() -> (Program, FuncId) {
     let sender = fb.label();
     let receiver = fb.label();
     let done = fb.label();
-    fb.emit(Instr::Intrin { op: IntrinOp::MpiRank, args: vec![], dst: Some(rank) });
+    fb.emit(Instr::Intrin {
+        op: IntrinOp::MpiRank,
+        args: vec![],
+        dst: Some(rank),
+    });
     fb.emit(Instr::ConstI32(zero, 0));
     fb.emit(Instr::ConstI32(one, 1));
     fb.emit(Instr::ConstI32(seven, 7));
     fb.emit(Instr::ConstI32(n, 1));
-    fb.emit(Instr::NewArr { elem: ElemTy::F32, len: n, dst: buf });
+    fb.emit(Instr::NewArr {
+        elem: ElemTy::F32,
+        len: n,
+        dst: buf,
+    });
     fb.emit(Instr::ConstF32(out, 0.0));
-    fb.emit(Instr::Bin { op: BinOp::Eq, kind: PrimKind::Int, dst: cond, lhs: rank, rhs: zero });
+    fb.emit(Instr::Bin {
+        op: BinOp::Eq,
+        kind: PrimKind::Int,
+        dst: cond,
+        lhs: rank,
+        rhs: zero,
+    });
     fb.br(cond, sender, receiver);
     fb.bind(sender);
     // send tag 0 = 1.0 first, then tag 7 = 2.0
     fb.emit(Instr::ConstF32(v, 1.0));
-    fb.emit(Instr::StArr { arr: buf, idx: zero, src: v });
+    fb.emit(Instr::StArr {
+        arr: buf,
+        idx: zero,
+        src: v,
+    });
     fb.emit(Instr::Intrin {
         op: IntrinOp::MpiSendF32,
         args: vec![buf, zero, n, one, zero],
         dst: None,
     });
     fb.emit(Instr::ConstF32(v, 2.0));
-    fb.emit(Instr::StArr { arr: buf, idx: zero, src: v });
+    fb.emit(Instr::StArr {
+        arr: buf,
+        idx: zero,
+        src: v,
+    });
     fb.emit(Instr::Intrin {
         op: IntrinOp::MpiSendF32,
         args: vec![buf, zero, n, one, seven],
@@ -191,7 +270,11 @@ fn tag_program() -> (Program, FuncId) {
         args: vec![buf, zero, n, zero, seven],
         dst: None,
     });
-    fb.emit(Instr::LdArr { arr: buf, idx: zero, dst: out });
+    fb.emit(Instr::LdArr {
+        arr: buf,
+        idx: zero,
+        dst: out,
+    });
     fb.emit(Instr::Intrin {
         op: IntrinOp::MpiRecvF32,
         args: vec![buf, zero, n, zero, zero],
@@ -219,7 +302,11 @@ fn collective_cost_scales_with_world_size() {
     let (p, entry) = allreduce_max_program();
     let t = |size: u32| {
         World::new(&p, size)
-            .with_cost(CostModel { alpha: 1000, beta: 0.5, collective_alpha: 5000 })
+            .with_cost(CostModel {
+                alpha: 1000,
+                beta: 0.5,
+                collective_alpha: 5000,
+            })
             .run(entry, |_, _| Ok(vec![Val::F64(1.0)]))
             .unwrap()
             .vtime
@@ -239,7 +326,11 @@ fn rank_out_of_range_is_an_error() {
     fb.emit(Instr::ConstI32(zero, 0));
     fb.emit(Instr::ConstI32(n, 1));
     fb.emit(Instr::ConstI32(nine, 9));
-    fb.emit(Instr::NewArr { elem: ElemTy::F32, len: n, dst: buf });
+    fb.emit(Instr::NewArr {
+        elem: ElemTy::F32,
+        len: n,
+        dst: buf,
+    });
     fb.emit(Instr::Intrin {
         op: IntrinOp::MpiSendF32,
         args: vec![buf, zero, n, nine, zero],

@@ -22,10 +22,19 @@ pub fn emit_c(p: &Program) -> String {
         f.code.iter().any(|i| {
             matches!(
                 i,
-                Instr::Intrin { op: IntrinOp::MpiRank | IntrinOp::MpiSize | IntrinOp::MpiBarrier
-                    | IntrinOp::MpiSendF32 | IntrinOp::MpiRecvF32 | IntrinOp::MpiSendRecvF32
-                    | IntrinOp::MpiBcastF32 | IntrinOp::MpiAllreduceSumF64
-                    | IntrinOp::MpiAllreduceSumF32 | IntrinOp::MpiAllreduceMaxF64, .. }
+                Instr::Intrin {
+                    op: IntrinOp::MpiRank
+                        | IntrinOp::MpiSize
+                        | IntrinOp::MpiBarrier
+                        | IntrinOp::MpiSendF32
+                        | IntrinOp::MpiRecvF32
+                        | IntrinOp::MpiSendRecvF32
+                        | IntrinOp::MpiBcastF32
+                        | IntrinOp::MpiAllreduceSumF64
+                        | IntrinOp::MpiAllreduceSumF32
+                        | IntrinOp::MpiAllreduceMaxF64,
+                    ..
+                }
             )
         })
     });
@@ -72,7 +81,12 @@ pub fn emit_c(p: &Program) -> String {
         }
         let args: Vec<String> = (0..e.params.len()).map(|i| format!("arg{i}")).collect();
         for (i, t) in e.params.iter().enumerate() {
-            let _ = writeln!(out, "    {} arg{} = /* recorded by jit() */;", t.c_name(), i);
+            let _ = writeln!(
+                out,
+                "    {} arg{} = /* recorded by jit() */;",
+                t.c_name(),
+                i
+            );
         }
         let _ = writeln!(out, "    {}({});", e.name, args.join(", "));
         if has_mpi {
@@ -94,8 +108,12 @@ fn signature(f: &Function) -> String {
         (_, Some(t)) => t.c_name(),
         (_, None) => "void".to_string(),
     };
-    let params: Vec<String> =
-        f.params.iter().enumerate().map(|(i, t)| format!("{} r{}", t.c_name(), i)).collect();
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, t)| format!("{} r{}", t.c_name(), i))
+        .collect();
     format!("{prefix}{ret} {}({})", f.name, params.join(", "))
 }
 
@@ -161,7 +179,9 @@ fn render(p: &Program, ins: &Instr, _pc: usize) -> String {
         Instr::ConstF64(d, v) => format!("r{d} = {v:?};"),
         Instr::ConstBool(d, v) => format!("r{d} = {};", *v as i32),
         Instr::Mov(d, s) => format!("r{d} = r{s};"),
-        Instr::Bin { op, dst, lhs, rhs, .. } => {
+        Instr::Bin {
+            op, dst, lhs, rhs, ..
+        } => {
             format!("r{dst} = r{lhs} {} r{rhs};", c_op(*op))
         }
         Instr::Neg { dst, src, .. } => format!("r{dst} = -r{src};"),
@@ -193,11 +213,19 @@ fn render(p: &Program, ins: &Instr, _pc: usize) -> String {
         }
         Instr::NewObj { class, dst } => {
             let c = &p.classes[*class as usize];
-            format!("r{dst} = obj_new(/* {} */ {}, {});", c.name, class, c.field_count)
+            format!(
+                "r{dst} = obj_new(/* {} */ {}, {});",
+                c.name, class, c.field_count
+            )
         }
         Instr::GetField { obj, slot, dst } => format!("r{dst} = r{obj}->f[{slot}];"),
         Instr::PutField { obj, slot, src } => format!("r{obj}->f[{slot}] = r{src};"),
-        Instr::CallVirt { selector, recv, args, dst } => {
+        Instr::CallVirt {
+            selector,
+            recv,
+            args,
+            dst,
+        } => {
             let sel = &p.selectors[*selector as usize];
             let mut a: Vec<String> = vec![format!("r{recv}")];
             a.extend(args.iter().map(|r| format!("r{r}")));
@@ -283,7 +311,12 @@ fn render(p: &Program, ins: &Instr, _pc: usize) -> String {
                 },
             }
         }
-        Instr::Launch { kernel, grid, block, args } => {
+        Instr::Launch {
+            kernel,
+            grid,
+            block,
+            args,
+        } => {
             let k = p.func(*kernel);
             let a: Vec<String> = args.iter().map(|r| format!("r{r}")).collect();
             format!(
@@ -316,20 +349,33 @@ mod tests {
         // Build: __global__ kernel writing array[threadIdx.x] and a host
         // run() that launches it — the shape of Listing 5.
         let mut p = Program::default();
-        let mut kb = FuncBuilder::new(
-            "runGPU",
-            vec![Ty::Arr(ElemTy::F32)],
-            None,
-            FuncKind::Kernel,
-        );
+        let mut kb = FuncBuilder::new("runGPU", vec![Ty::Arr(ElemTy::F32)], None, FuncKind::Kernel);
         let x = kb.reg(Ty::I32);
         let v = kb.reg(Ty::F32);
         let two = kb.reg(Ty::F32);
-        kb.emit(Instr::Intrin { op: IntrinOp::ThreadIdx(0), args: vec![], dst: Some(x) });
-        kb.emit(Instr::LdArr { arr: 0, idx: x, dst: v });
+        kb.emit(Instr::Intrin {
+            op: IntrinOp::ThreadIdx(0),
+            args: vec![],
+            dst: Some(x),
+        });
+        kb.emit(Instr::LdArr {
+            arr: 0,
+            idx: x,
+            dst: v,
+        });
         kb.emit(Instr::ConstF32(two, 2.0));
-        kb.emit(Instr::Bin { op: BinOp::Mul, kind: PrimKind::Float, dst: v, lhs: v, rhs: two });
-        kb.emit(Instr::StArr { arr: 0, idx: x, src: v });
+        kb.emit(Instr::Bin {
+            op: BinOp::Mul,
+            kind: PrimKind::Float,
+            dst: v,
+            lhs: v,
+            rhs: two,
+        });
+        kb.emit(Instr::StArr {
+            arr: 0,
+            idx: x,
+            src: v,
+        });
         kb.emit(Instr::Ret(None));
         let kid = p.add_func(kb.finish().unwrap());
 
@@ -337,7 +383,11 @@ mod tests {
         let one = hb.reg(Ty::I32);
         let arr = hb.reg(Ty::Arr(ElemTy::F32));
         hb.emit(Instr::ConstI32(one, 1));
-        hb.emit(Instr::NewArr { elem: ElemTy::F32, len: 0, dst: arr });
+        hb.emit(Instr::NewArr {
+            elem: ElemTy::F32,
+            len: 0,
+            dst: arr,
+        });
         hb.emit(Instr::Launch {
             kernel: kid,
             grid: [one, one, one],
@@ -362,7 +412,11 @@ mod tests {
         let mut p = Program::default();
         let mut fb = FuncBuilder::new("run", vec![], None, FuncKind::Host);
         let r = fb.reg(Ty::I32);
-        fb.emit(Instr::Intrin { op: IntrinOp::MpiRank, args: vec![], dst: Some(r) });
+        fb.emit(Instr::Intrin {
+            op: IntrinOp::MpiRank,
+            args: vec![],
+            dst: Some(r),
+        });
         fb.emit(Instr::Ret(None));
         let id = p.add_func(fb.finish().unwrap());
         p.entry = Some(id);
@@ -397,7 +451,11 @@ mod tests {
     fn unknown_function_panics_cleanly_prevented_by_validate() {
         let mut p = Program::default();
         let mut fb = FuncBuilder::new("f", vec![], None, FuncKind::Host);
-        fb.emit(Instr::Call { func: FuncId(7), args: vec![], dst: None });
+        fb.emit(Instr::Call {
+            func: FuncId(7),
+            args: vec![],
+            dst: None,
+        });
         fb.emit(Instr::Ret(None));
         p.add_func(fb.finish().unwrap());
         assert!(p.validate().is_err());

@@ -236,38 +236,114 @@ pub enum Instr {
     ConstBool(Reg, bool),
     Mov(Reg, Reg),
     /// `dst = lhs op rhs`, both operands of `kind`.
-    Bin { op: BinOp, kind: PrimKind, dst: Reg, lhs: Reg, rhs: Reg },
-    Neg { kind: PrimKind, dst: Reg, src: Reg },
-    Not { dst: Reg, src: Reg },
-    Cast { to: PrimKind, from: PrimKind, dst: Reg, src: Reg },
+    Bin {
+        op: BinOp,
+        kind: PrimKind,
+        dst: Reg,
+        lhs: Reg,
+        rhs: Reg,
+    },
+    Neg {
+        kind: PrimKind,
+        dst: Reg,
+        src: Reg,
+    },
+    Not {
+        dst: Reg,
+        src: Reg,
+    },
+    Cast {
+        to: PrimKind,
+        from: PrimKind,
+        dst: Reg,
+        src: Reg,
+    },
     Jmp(u32),
     /// Branch to `t` when `cond` is true, else to `f`.
-    Br { cond: Reg, t: u32, f: u32 },
+    Br {
+        cond: Reg,
+        t: u32,
+        f: u32,
+    },
     Ret(Option<Reg>),
-    Call { func: FuncId, args: Vec<Reg>, dst: Option<Reg> },
+    Call {
+        func: FuncId,
+        args: Vec<Reg>,
+        dst: Option<Reg>,
+    },
     /// Direct call to a registered host (foreign) function — the paper's
     /// FFI: "a method call that is translated into a direct call to the
     /// corresponding C function". `host` indexes [`Program::host_fns`].
-    CallHost { host: u32, args: Vec<Reg>, dst: Option<Reg> },
+    CallHost {
+        host: u32,
+        args: Vec<Reg>,
+        dst: Option<Reg>,
+    },
     // ---- heap objects (unoptimized configurations only) ----
-    NewObj { class: u32, dst: Reg },
-    GetField { obj: Reg, slot: u32, dst: Reg },
-    PutField { obj: Reg, slot: u32, src: Reg },
+    NewObj {
+        class: u32,
+        dst: Reg,
+    },
+    GetField {
+        obj: Reg,
+        slot: u32,
+        dst: Reg,
+    },
+    PutField {
+        obj: Reg,
+        slot: u32,
+        src: Reg,
+    },
     /// Virtual dispatch through the receiver's class vtable.
-    CallVirt { selector: u32, recv: Reg, args: Vec<Reg>, dst: Option<Reg> },
+    CallVirt {
+        selector: u32,
+        recv: Reg,
+        args: Vec<Reg>,
+        dst: Option<Reg>,
+    },
     // ---- arrays ----
-    NewArr { elem: ElemTy, len: Reg, dst: Reg },
-    LdArr { arr: Reg, idx: Reg, dst: Reg },
-    StArr { arr: Reg, idx: Reg, src: Reg },
-    ArrLen { arr: Reg, dst: Reg },
-    FreeArr { arr: Reg },
+    NewArr {
+        elem: ElemTy,
+        len: Reg,
+        dst: Reg,
+    },
+    LdArr {
+        arr: Reg,
+        idx: Reg,
+        dst: Reg,
+    },
+    StArr {
+        arr: Reg,
+        idx: Reg,
+        src: Reg,
+    },
+    ArrLen {
+        arr: Reg,
+        dst: Reg,
+    },
+    FreeArr {
+        arr: Reg,
+    },
     // ---- intrinsics ----
-    Intrin { op: IntrinOp, args: Vec<Reg>, dst: Option<Reg> },
+    Intrin {
+        op: IntrinOp,
+        args: Vec<Reg>,
+        dst: Option<Reg>,
+    },
     // ---- GPU ----
     /// Launch `kernel <<<grid, block>>> (args)`.
-    Launch { kernel: FuncId, grid: [Reg; 3], block: [Reg; 3], args: Vec<Reg> },
+    Launch {
+        kernel: FuncId,
+        grid: [Reg; 3],
+        block: [Reg; 3],
+        args: Vec<Reg>,
+    },
     /// Allocate a per-block `__shared__` array (kernel functions only).
-    SharedAlloc { elem: ElemTy, len: Reg, dst: Reg },
+    SharedAlloc {
+        elem: ElemTy,
+        len: Reg,
+        dst: Reg,
+    },
     /// `__syncthreads()` (kernel functions only, top level).
     Sync,
 }
@@ -323,7 +399,9 @@ impl Instr {
             Instr::StArr { arr, idx, src } => vec![*arr, *idx, *src],
             Instr::ArrLen { arr, .. } | Instr::FreeArr { arr } => vec![*arr],
             Instr::Intrin { args, .. } => args.clone(),
-            Instr::Launch { grid, block, args, .. } => {
+            Instr::Launch {
+                grid, block, args, ..
+            } => {
                 let mut v = Vec::with_capacity(6 + args.len());
                 v.extend_from_slice(grid);
                 v.extend_from_slice(block);
@@ -457,7 +535,10 @@ impl Program {
                 if (r as usize) < f.regs.len() {
                     Ok(())
                 } else {
-                    Err(format!("function `{}`: register r{} out of range", f.name, r))
+                    Err(format!(
+                        "function `{}`: register r{} out of range",
+                        f.name, r
+                    ))
                 }
             };
             if f.params.len() > f.regs.len() {
@@ -465,10 +546,7 @@ impl Program {
             }
             for (i, p) in f.params.iter().enumerate() {
                 if f.regs[i] != *p {
-                    return Err(format!(
-                        "function `{}`: param {} type mismatch",
-                        f.name, i
-                    ));
+                    return Err(format!("function `{}`: param {} type mismatch", f.name, i));
                 }
             }
             for (pc, ins) in f.code.iter().enumerate() {
@@ -479,20 +557,20 @@ impl Program {
                     check_reg(d)?;
                 }
                 match ins {
-                    Instr::Jmp(t)
-                        if *t as usize > f.code.len() => {
-                            return Err(format!(
-                                "function `{}` pc {}: jump target {} out of range",
-                                f.name, pc, t
-                            ));
-                        }
+                    Instr::Jmp(t) if *t as usize > f.code.len() => {
+                        return Err(format!(
+                            "function `{}` pc {}: jump target {} out of range",
+                            f.name, pc, t
+                        ));
+                    }
                     Instr::Br { t, f: fl, .. }
-                        if (*t as usize > f.code.len() || *fl as usize > f.code.len()) => {
-                            return Err(format!(
-                                "function `{}` pc {}: branch target out of range",
-                                f.name, pc
-                            ));
-                        }
+                        if (*t as usize > f.code.len() || *fl as usize > f.code.len()) =>
+                    {
+                        return Err(format!(
+                            "function `{}` pc {}: branch target out of range",
+                            f.name, pc
+                        ));
+                    }
                     Instr::Call { func, args, .. } => {
                         let callee = self
                             .funcs
@@ -532,41 +610,34 @@ impl Program {
                         }
                     }
                     Instr::CallVirt { selector, .. }
-                        if *selector as usize >= self.selectors.len() => {
-                            return Err(format!(
-                                "function `{}` pc {}: unknown selector {}",
-                                f.name, pc, selector
-                            ));
-                        }
+                        if *selector as usize >= self.selectors.len() =>
+                    {
+                        return Err(format!(
+                            "function `{}` pc {}: unknown selector {}",
+                            f.name, pc, selector
+                        ));
+                    }
                     Instr::Launch { kernel, .. } => {
                         if f.kind != FuncKind::Host {
-                            return Err(format!(
-                                "launch inside non-host function `{}`",
-                                f.name
-                            ));
+                            return Err(format!("launch inside non-host function `{}`", f.name));
                         }
                         let k = self
                             .funcs
                             .get(kernel.0 as usize)
                             .ok_or_else(|| format!("launch of unknown function {}", kernel.0))?;
                         if k.kind != FuncKind::Kernel {
-                            return Err(format!(
-                                "launch of non-kernel function `{}`",
-                                k.name
-                            ));
+                            return Err(format!("launch of non-kernel function `{}`", k.name));
                         }
                     }
-                    Instr::Sync | Instr::SharedAlloc { .. }
-                        if f.kind != FuncKind::Kernel => {
-                            return Err(format!(
-                                "`{}`: __syncthreads/__shared__ outside a kernel",
-                                f.name
-                            ));
-                        }
-                    Instr::NewObj { class, .. }
-                        if *class as usize >= self.classes.len() => {
-                            return Err(format!("new of unknown class {class}"));
-                        }
+                    Instr::Sync | Instr::SharedAlloc { .. } if f.kind != FuncKind::Kernel => {
+                        return Err(format!(
+                            "`{}`: __syncthreads/__shared__ outside a kernel",
+                            f.name
+                        ));
+                    }
+                    Instr::NewObj { class, .. } if *class as usize >= self.classes.len() => {
+                        return Err(format!("new of unknown class {class}"));
+                    }
                     _ => {}
                 }
             }
@@ -688,7 +759,11 @@ impl FuncBuilder {
     }
 
     pub fn br(&mut self, cond: Reg, t: Label, f: Label) {
-        let pc = self.emit(Instr::Br { cond, t: u32::MAX, f: u32::MAX });
+        let pc = self.emit(Instr::Br {
+            cond,
+            t: u32::MAX,
+            f: u32::MAX,
+        });
         self.fixups.push((pc, 1, t));
         self.fixups.push((pc, 2, f));
     }
@@ -745,7 +820,13 @@ mod tests {
         // fn add(a: i32, b: i32) -> i32 { a + b }
         let mut fb = FuncBuilder::new("add", vec![Ty::I32, Ty::I32], Some(Ty::I32), FuncKind::Host);
         let dst = fb.reg(Ty::I32);
-        fb.emit(Instr::Bin { op: BinOp::Add, kind: PrimKind::Int, dst, lhs: 0, rhs: 1 });
+        fb.emit(Instr::Bin {
+            op: BinOp::Add,
+            kind: PrimKind::Int,
+            dst,
+            lhs: 0,
+            rhs: 1,
+        });
         fb.emit(Instr::Ret(Some(dst)));
         let mut p = Program::default();
         let id = p.add_func(fb.finish().unwrap());
@@ -777,11 +858,29 @@ mod tests {
         let body = fb.label();
         let done = fb.label();
         fb.bind(head);
-        fb.emit(Instr::Bin { op: BinOp::Lt, kind: PrimKind::Int, dst: cond, lhs: i, rhs: ten });
+        fb.emit(Instr::Bin {
+            op: BinOp::Lt,
+            kind: PrimKind::Int,
+            dst: cond,
+            lhs: i,
+            rhs: ten,
+        });
         fb.br(cond, body, done);
         fb.bind(body);
-        fb.emit(Instr::Bin { op: BinOp::Add, kind: PrimKind::Int, dst: s, lhs: s, rhs: i });
-        fb.emit(Instr::Bin { op: BinOp::Add, kind: PrimKind::Int, dst: i, lhs: i, rhs: one });
+        fb.emit(Instr::Bin {
+            op: BinOp::Add,
+            kind: PrimKind::Int,
+            dst: s,
+            lhs: s,
+            rhs: i,
+        });
+        fb.emit(Instr::Bin {
+            op: BinOp::Add,
+            kind: PrimKind::Int,
+            dst: i,
+            lhs: i,
+            rhs: one,
+        });
         fb.jmp(head);
         fb.bind(done);
         fb.emit(Instr::Ret(Some(s)));
@@ -810,8 +909,13 @@ mod tests {
     #[test]
     fn validate_rejects_bad_register() {
         let mut p = sample_add();
-        p.funcs[0].code[0] =
-            Instr::Bin { op: BinOp::Add, kind: PrimKind::Int, dst: 99, lhs: 0, rhs: 1 };
+        p.funcs[0].code[0] = Instr::Bin {
+            op: BinOp::Add,
+            kind: PrimKind::Int,
+            dst: 99,
+            lhs: 0,
+            rhs: 1,
+        };
         assert!(p.validate().is_err());
     }
 
@@ -833,7 +937,11 @@ mod tests {
     fn validate_rejects_host_call_from_kernel() {
         let mut p = sample_add();
         let mut fb = FuncBuilder::new("k", vec![], None, FuncKind::Kernel);
-        fb.emit(Instr::Call { func: FuncId(0), args: vec![], dst: None });
+        fb.emit(Instr::Call {
+            func: FuncId(0),
+            args: vec![],
+            dst: None,
+        });
         fb.emit(Instr::Ret(None));
         // wrong arg count AND host call — both should be errors; arity hits first
         p.add_func(fb.finish().unwrap());
@@ -842,10 +950,20 @@ mod tests {
 
     #[test]
     fn instr_dst_and_sources() {
-        let i = Instr::Bin { op: BinOp::Mul, kind: PrimKind::Float, dst: 5, lhs: 1, rhs: 2 };
+        let i = Instr::Bin {
+            op: BinOp::Mul,
+            kind: PrimKind::Float,
+            dst: 5,
+            lhs: 1,
+            rhs: 2,
+        };
         assert_eq!(i.dst(), Some(5));
         assert_eq!(i.sources(), vec![1, 2]);
-        let st = Instr::StArr { arr: 1, idx: 2, src: 3 };
+        let st = Instr::StArr {
+            arr: 1,
+            idx: 2,
+            src: 3,
+        };
         assert_eq!(st.dst(), None);
         assert!(st.has_side_effects());
     }

@@ -17,7 +17,7 @@ pub mod opt;
 
 pub use emit::emit_c;
 pub use ir::{
-    ClassMeta, ConstVal, ElemTy, FuncBuilder, FuncId, FuncKind, Function, Global, HostFnSig,
-    Instr, IntrinOp, Label, Program, Reg, Ty,
+    ClassMeta, ConstVal, ElemTy, FuncBuilder, FuncId, FuncKind, Function, Global, HostFnSig, Instr,
+    IntrinOp, Label, Program, Reg, Ty,
 };
-pub use opt::{optimize, OptConfig};
+pub use opt::{optimize, OptConfig, PassProfile};

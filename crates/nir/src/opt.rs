@@ -12,6 +12,7 @@
 //!   plain WootinJ pipeline in our reproduction.
 
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 use jlang::ast::BinOp;
 use jlang::types::PrimKind;
@@ -20,7 +21,7 @@ use crate::ir::{FuncKind, Function, Instr, Program, Reg};
 
 /// Optimizer configuration; maps onto the compiler-option rows of
 /// Tables 1 and 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct OptConfig {
     pub const_fold: bool,
     pub copy_prop: bool,
@@ -36,49 +37,137 @@ pub struct OptConfig {
 impl OptConfig {
     /// Everything on, no inlining (the standard WootinJ pipeline).
     pub fn standard() -> Self {
-        OptConfig { const_fold: true, copy_prop: true, dce: true, inline_limit: 0, sroa: false }
+        OptConfig {
+            const_fold: true,
+            copy_prop: true,
+            dce: true,
+            inline_limit: 0,
+            sroa: false,
+        }
     }
 
     /// Everything on plus function inlining and scalar replacement — what
     /// an optimizing C++ compiler does to template code (the *Template* /
     /// *Template w/o virt.* series).
     pub fn aggressive() -> Self {
-        OptConfig { const_fold: true, copy_prop: true, dce: true, inline_limit: 64, sroa: true }
+        OptConfig {
+            const_fold: true,
+            copy_prop: true,
+            dce: true,
+            inline_limit: 64,
+            sroa: true,
+        }
     }
 
     /// All passes off (`-O0`).
     pub fn none() -> Self {
-        OptConfig { const_fold: false, copy_prop: false, dce: false, inline_limit: 0, sroa: false }
+        OptConfig {
+            const_fold: false,
+            copy_prop: false,
+            dce: false,
+            inline_limit: 0,
+            sroa: false,
+        }
     }
 }
 
-/// Run the configured passes over the whole program.
-pub fn optimize(program: &mut Program, config: OptConfig) {
-    if config.inline_limit > 0 {
-        inline_functions(program, config.inline_limit);
+/// Wall time and instruction-count effect of one optimizer pass,
+/// accumulated over every function it visited. This is what lets Table 3's
+/// compile-time column be decomposed by pipeline stage.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PassProfile {
+    pub pass: &'static str,
+    pub wall: Duration,
+    /// Total instructions in the functions the pass visited, before/after.
+    pub instrs_before: u64,
+    pub instrs_after: u64,
+}
+
+impl PassProfile {
+    fn record<T, R>(
+        pass: &'static str,
+        target: &mut T,
+        instrs: fn(&T) -> u64,
+        body: impl FnOnce(&mut T) -> R,
+    ) -> (Self, R) {
+        let instrs_before = instrs(target);
+        let start = Instant::now();
+        let out = body(target);
+        let wall = start.elapsed();
+        (
+            PassProfile {
+                pass,
+                wall,
+                instrs_before,
+                instrs_after: instrs(target),
+            },
+            out,
+        )
     }
+}
+
+/// Run the configured passes over the whole program. Returns one
+/// [`PassProfile`] per pass that actually ran, in execution order (the
+/// fold/dce/sroa entries aggregate all per-function applications,
+/// including the post-SROA cleanup round).
+pub fn optimize(program: &mut Program, config: OptConfig) -> Vec<PassProfile> {
+    let mut profiles = Vec::new();
+    if config.inline_limit > 0 {
+        let (p, ()) = PassProfile::record(
+            "inline",
+            program,
+            |p| p.instr_count() as u64,
+            |p| inline_functions(p, config.inline_limit),
+        );
+        profiles.push(p);
+    }
+    let mut fold_p = PassProfile {
+        pass: "fold",
+        ..Default::default()
+    };
+    let mut dce_p = PassProfile {
+        pass: "dce",
+        ..Default::default()
+    };
+    let mut sroa_p = PassProfile {
+        pass: "sroa",
+        ..Default::default()
+    };
+    let accumulate =
+        |acc: &mut PassProfile, f: &mut Function, body: fn(&mut Function, OptConfig), config| {
+            let (p, ()) =
+                PassProfile::record(acc.pass, f, |f| f.code.len() as u64, |f| body(f, config));
+            acc.wall += p.wall;
+            acc.instrs_before += p.instrs_before;
+            acc.instrs_after += p.instrs_after;
+        };
     for f in &mut program.funcs {
         // First round: propagate copies so that inline-call argument
         // aliases dissolve, then drop the dead moves...
         if config.const_fold || config.copy_prop {
-            local_fold(f, config);
+            accumulate(&mut fold_p, f, local_fold, config);
         }
         if config.dce {
-            dce(f);
+            accumulate(&mut dce_p, f, |f, _| dce(f), config);
         }
         // ...so scalar replacement sees unaliased temporaries.
         if config.sroa {
-            sroa(f);
+            accumulate(&mut sroa_p, f, |f, _| sroa(f), config);
             if config.const_fold || config.copy_prop {
-                local_fold(f, config);
+                accumulate(&mut fold_p, f, local_fold, config);
             }
             if config.dce {
-                dce(f);
+                accumulate(&mut dce_p, f, |f, _| dce(f), config);
             }
         }
     }
+    for p in [fold_p, dce_p, sroa_p] {
+        if p.instrs_before > 0 || p.instrs_after > 0 {
+            profiles.push(p);
+        }
+    }
+    profiles
 }
-
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Known {
@@ -179,8 +268,14 @@ fn local_fold(f: &mut Function, config: OptConfig) {
                 Instr::ArrLen { arr, .. } | Instr::FreeArr { arr } => {
                     *arr = resolve(&known, *arr);
                 }
-                Instr::Launch { grid, block, args, .. } => {
-                    for g in grid.iter_mut().chain(block.iter_mut()).chain(args.iter_mut()) {
+                Instr::Launch {
+                    grid, block, args, ..
+                } => {
+                    for g in grid
+                        .iter_mut()
+                        .chain(block.iter_mut())
+                        .chain(args.iter_mut())
+                    {
                         *g = resolve(&known, *g);
                     }
                 }
@@ -190,7 +285,14 @@ fn local_fold(f: &mut Function, config: OptConfig) {
 
         if config.const_fold {
             // Try folding a binary op on two known constants.
-            if let Instr::Bin { op, kind, dst, lhs, rhs } = f.code[pc].clone() {
+            if let Instr::Bin {
+                op,
+                kind,
+                dst,
+                lhs,
+                rhs,
+            } = f.code[pc].clone()
+            {
                 if let (Some(l), Some(r)) = (const_of(&known, lhs), const_of(&known, rhs)) {
                     if let Some(folded) = fold_bin(op, kind, l, r, dst) {
                         f.code[pc] = folded;
@@ -268,7 +370,9 @@ fn fold_bin(op: BinOp, kind: PrimKind, l: Known, r: Known, dst: Reg) -> Option<I
     use BinOp::*;
     match kind {
         PrimKind::Int => {
-            let (Known::I32(a), Known::I32(b)) = (l, r) else { return None };
+            let (Known::I32(a), Known::I32(b)) = (l, r) else {
+                return None;
+            };
             Some(match op {
                 Add => Instr::ConstI32(dst, a.wrapping_add(b)),
                 Sub => Instr::ConstI32(dst, a.wrapping_sub(b)),
@@ -290,7 +394,9 @@ fn fold_bin(op: BinOp, kind: PrimKind, l: Known, r: Known, dst: Reg) -> Option<I
             })
         }
         PrimKind::Long => {
-            let (Known::I64(a), Known::I64(b)) = (l, r) else { return None };
+            let (Known::I64(a), Known::I64(b)) = (l, r) else {
+                return None;
+            };
             Some(match op {
                 Add => Instr::ConstI64(dst, a.wrapping_add(b)),
                 Sub => Instr::ConstI64(dst, a.wrapping_sub(b)),
@@ -301,7 +407,9 @@ fn fold_bin(op: BinOp, kind: PrimKind, l: Known, r: Known, dst: Reg) -> Option<I
             })
         }
         PrimKind::Float => {
-            let (Known::F32(a), Known::F32(b)) = (l, r) else { return None };
+            let (Known::F32(a), Known::F32(b)) = (l, r) else {
+                return None;
+            };
             Some(match op {
                 Add => Instr::ConstF32(dst, a + b),
                 Sub => Instr::ConstF32(dst, a - b),
@@ -312,7 +420,9 @@ fn fold_bin(op: BinOp, kind: PrimKind, l: Known, r: Known, dst: Reg) -> Option<I
             })
         }
         PrimKind::Double => {
-            let (Known::F64(a), Known::F64(b)) = (l, r) else { return None };
+            let (Known::F64(a), Known::F64(b)) = (l, r) else {
+                return None;
+            };
             Some(match op {
                 Add => Instr::ConstF64(dst, a + b),
                 Sub => Instr::ConstF64(dst, a - b),
@@ -323,7 +433,9 @@ fn fold_bin(op: BinOp, kind: PrimKind, l: Known, r: Known, dst: Reg) -> Option<I
             })
         }
         PrimKind::Boolean => {
-            let (Known::Bool(a), Known::Bool(b)) = (l, r) else { return None };
+            let (Known::Bool(a), Known::Bool(b)) = (l, r) else {
+                return None;
+            };
             Some(match op {
                 Eq => Instr::ConstBool(dst, a == b),
                 Ne => Instr::ConstBool(dst, a != b),
@@ -601,9 +713,7 @@ fn sroa(f: &mut Function) {
             Instr::NewObj { dst, .. } if root.get(&dst) == Some(&dst) => {
                 f.code.push(Instr::Mov(dst, dst)); // keeps pc alignment; DCE removes
             }
-            Instr::Mov(d, src)
-                if root.contains_key(&src) && root.get(&d) == root.get(&src) =>
-            {
+            Instr::Mov(d, src) if root.contains_key(&src) && root.get(&d) == root.get(&src) => {
                 f.code.push(Instr::Mov(d, d));
             }
             Instr::PutField { obj, slot, src } if root.contains_key(&obj) => {
@@ -645,8 +755,7 @@ fn inline_functions(program: &mut Program, limit: usize) {
                     func.0 as usize != fi
                         && callee.code.len() <= limit
                         && (callee.kind == caller_kind
-                            || (caller_kind == FuncKind::Kernel
-                                && callee.kind == FuncKind::Device))
+                            || (caller_kind == FuncKind::Kernel && callee.kind == FuncKind::Device))
                 } else {
                     false
                 }
@@ -701,9 +810,11 @@ fn inline_at(caller: &mut Function, pc: usize, callee: &Function, args: &[Reg], 
                 body.push(Instr::Jmp(CONT));
             }
             Instr::Jmp(t) => body.push(Instr::Jmp(map_target(t))),
-            Instr::Br { cond, t, f } => {
-                body.push(Instr::Br { cond, t: map_target(t), f: map_target(f) })
-            }
+            Instr::Br { cond, t, f } => body.push(Instr::Br {
+                cond,
+                t: map_target(t),
+                f: map_target(f),
+            }),
             other => body.push(other),
         }
     }
@@ -728,10 +839,9 @@ fn inline_at(caller: &mut Function, pc: usize, callee: &Function, args: &[Reg], 
     // Remap all existing jump targets in the caller that point past `pc`.
     for ins in caller.code.iter_mut() {
         match ins {
-            Instr::Jmp(t)
-                if *t as usize > pc => {
-                    *t = (*t as i64 + delta) as u32;
-                }
+            Instr::Jmp(t) if *t as usize > pc => {
+                *t = (*t as i64 + delta) as u32;
+            }
             Instr::Br { t, f, .. } => {
                 if *t as usize > pc {
                     *t = (*t as i64 + delta) as u32;
@@ -786,7 +896,9 @@ fn remap_regs(ins: &mut Instr, base: Reg) {
             m(obj);
             m(src);
         }
-        Instr::CallVirt { recv, args, dst, .. } => {
+        Instr::CallVirt {
+            recv, args, dst, ..
+        } => {
             m(recv);
             for a in args {
                 m(a);
@@ -822,7 +934,9 @@ fn remap_regs(ins: &mut Instr, base: Reg) {
                 m(d);
             }
         }
-        Instr::Launch { grid, block, args, .. } => {
+        Instr::Launch {
+            grid, block, args, ..
+        } => {
             for g in grid.iter_mut().chain(block.iter_mut()) {
                 m(g);
             }
@@ -847,7 +961,13 @@ mod tests {
         let c = fb.reg(Ty::I32);
         fb.emit(Instr::ConstI32(a, 2));
         fb.emit(Instr::ConstI32(b, 3));
-        fb.emit(Instr::Bin { op: BinOp::Add, kind: PrimKind::Int, dst: c, lhs: a, rhs: b });
+        fb.emit(Instr::Bin {
+            op: BinOp::Add,
+            kind: PrimKind::Int,
+            dst: c,
+            lhs: a,
+            rhs: b,
+        });
         fb.emit(Instr::Ret(Some(c)));
         let mut p = Program::default();
         let id = p.add_func(fb.finish().unwrap());
@@ -866,7 +986,11 @@ mod tests {
             "expected folded constant 5 in {:?}",
             f.code
         );
-        assert!(f.code.len() <= 2, "DCE should drop dead consts: {:?}", f.code);
+        assert!(
+            f.code.len() <= 2,
+            "DCE should drop dead consts: {:?}",
+            f.code
+        );
         p.validate().unwrap();
     }
 
@@ -878,7 +1002,13 @@ mod tests {
         let c = fb.reg(Ty::I32);
         fb.emit(Instr::Mov(a, 0));
         fb.emit(Instr::Mov(b, a));
-        fb.emit(Instr::Bin { op: BinOp::Add, kind: PrimKind::Int, dst: c, lhs: b, rhs: b });
+        fb.emit(Instr::Bin {
+            op: BinOp::Add,
+            kind: PrimKind::Int,
+            dst: c,
+            lhs: b,
+            rhs: b,
+        });
         fb.emit(Instr::Ret(Some(c)));
         let mut p = Program::default();
         p.add_func(fb.finish().unwrap());
@@ -898,14 +1028,23 @@ mod tests {
 
     #[test]
     fn dce_keeps_side_effects() {
-        let mut fb = FuncBuilder::new("f", vec![Ty::Arr(crate::ir::ElemTy::F32)], None, FuncKind::Host);
+        let mut fb = FuncBuilder::new(
+            "f",
+            vec![Ty::Arr(crate::ir::ElemTy::F32)],
+            None,
+            FuncKind::Host,
+        );
         let idx = fb.reg(Ty::I32);
         let val = fb.reg(Ty::F32);
         let dead = fb.reg(Ty::I32);
         fb.emit(Instr::ConstI32(idx, 0));
         fb.emit(Instr::ConstF32(val, 1.0));
         fb.emit(Instr::ConstI32(dead, 42)); // dead
-        fb.emit(Instr::StArr { arr: 0, idx, src: val }); // effectful
+        fb.emit(Instr::StArr {
+            arr: 0,
+            idx,
+            src: val,
+        }); // effectful
         fb.emit(Instr::Ret(None));
         let mut p = Program::default();
         p.add_func(fb.finish().unwrap());
@@ -943,7 +1082,13 @@ mod tests {
         // callee: fn double(x) { x + x }; caller: fn f(a) { double(a) + 1 }
         let mut cb = FuncBuilder::new("double", vec![Ty::I32], Some(Ty::I32), FuncKind::Host);
         let d = cb.reg(Ty::I32);
-        cb.emit(Instr::Bin { op: BinOp::Add, kind: PrimKind::Int, dst: d, lhs: 0, rhs: 0 });
+        cb.emit(Instr::Bin {
+            op: BinOp::Add,
+            kind: PrimKind::Int,
+            dst: d,
+            lhs: 0,
+            rhs: 0,
+        });
         cb.emit(Instr::Ret(Some(d)));
         let mut p = Program::default();
         let callee = p.add_func(cb.finish().unwrap());
@@ -952,9 +1097,19 @@ mod tests {
         let r = fb.reg(Ty::I32);
         let one = fb.reg(Ty::I32);
         let out = fb.reg(Ty::I32);
-        fb.emit(Instr::Call { func: callee, args: vec![0], dst: Some(r) });
+        fb.emit(Instr::Call {
+            func: callee,
+            args: vec![0],
+            dst: Some(r),
+        });
         fb.emit(Instr::ConstI32(one, 1));
-        fb.emit(Instr::Bin { op: BinOp::Add, kind: PrimKind::Int, dst: out, lhs: r, rhs: one });
+        fb.emit(Instr::Bin {
+            op: BinOp::Add,
+            kind: PrimKind::Int,
+            dst: out,
+            lhs: r,
+            rhs: one,
+        });
         fb.emit(Instr::Ret(Some(out)));
         p.add_func(fb.finish().unwrap());
 

@@ -34,7 +34,7 @@ pub use sheval::SpecKey;
 pub type TResult<T> = Result<T, TransError>;
 
 /// Translation mode (see the crate docs for the paper-series mapping).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Mode {
     /// Vtable dispatch, heap objects (*C++*).
     Virtual,
@@ -44,8 +44,9 @@ pub enum Mode {
     Full,
 }
 
-/// Translator configuration.
-#[derive(Debug, Clone, Copy)]
+/// Translator configuration. `Eq`/`Hash` make it usable as part of a
+/// code-cache key: every field here changes what translation emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TransConfig {
     pub mode: Mode,
     /// NIR optimizer setting — the Table 1/2 analogue. `aggressive()`
@@ -58,20 +59,36 @@ pub struct TransConfig {
 
 impl TransConfig {
     pub fn full() -> Self {
-        TransConfig { mode: Mode::Full, opt: OptConfig::standard(), check_rules: true }
+        TransConfig {
+            mode: Mode::Full,
+            opt: OptConfig::standard(),
+            check_rules: true,
+        }
     }
 
     pub fn devirt() -> Self {
-        TransConfig { mode: Mode::Devirt, opt: OptConfig::standard(), check_rules: true }
+        TransConfig {
+            mode: Mode::Devirt,
+            opt: OptConfig::standard(),
+            check_rules: true,
+        }
     }
 
     pub fn virtual_dispatch() -> Self {
-        TransConfig { mode: Mode::Virtual, opt: OptConfig::standard(), check_rules: false }
+        TransConfig {
+            mode: Mode::Virtual,
+            opt: OptConfig::standard(),
+            check_rules: false,
+        }
     }
 
     /// *Template w/o virt.*: full pipeline plus NIR function inlining.
     pub fn template_no_virt() -> Self {
-        TransConfig { mode: Mode::Full, opt: OptConfig::aggressive(), check_rules: true }
+        TransConfig {
+            mode: Mode::Full,
+            opt: OptConfig::aggressive(),
+            check_rules: true,
+        }
     }
 }
 
@@ -110,6 +127,71 @@ impl Translated {
     }
 }
 
+/// The canonical specialization identity of an entry invocation: every
+/// piece of the *live object graph* that translation reads. Two calls
+/// with equal `EntrySpec` and equal [`TransConfig`] (plus an identical
+/// host-FFI registry) translate to identical programs, which is what
+/// makes it the key of the `wootinj` JIT code cache.
+///
+/// It is derived from the same exact-type analysis that drives
+/// devirtualization, so two structurally identical object graphs —
+/// differing only in field *values* — map to the same spec.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum EntrySpec {
+    /// Devirt/Full modes specialize on the deep shape (exact dynamic
+    /// type tuple) of the receiver and argument object graphs.
+    Shaped(SpecKey),
+    /// Virtual mode compiles the whole class closure from static types
+    /// and reads no shapes (so it also tolerates nulls and object arrays
+    /// in the live graph); only the resolved entry and arity matter.
+    Opaque {
+        class: ClassId,
+        method: u32,
+        arity: usize,
+    },
+}
+
+/// Extract the [`EntrySpec`] for `recv.method(args)` without translating
+/// anything — the pure key-derivation half of [`translate`].
+pub fn entry_spec(
+    table: &ClassTable,
+    jvm: &Jvm<'_>,
+    recv: &Value,
+    method: &str,
+    args: &[Value],
+    mode: Mode,
+) -> TResult<EntrySpec> {
+    let recv_class = jvm
+        .runtime_class(recv)
+        .map_err(|e| TransError::new(format!("entry receiver: {}", e.message)))?;
+    let (ic, im) = table.resolve_impl(recv_class, method).ok_or_else(|| {
+        TransError::new(format!(
+            "no implementation of `{method}` on `{}`",
+            table.name(recv_class)
+        ))
+    })?;
+    Ok(match mode {
+        Mode::Virtual => EntrySpec::Opaque {
+            class: ic,
+            method: im,
+            arity: args.len(),
+        },
+        Mode::Devirt | Mode::Full => {
+            let recv_shape = shape_of_value(jvm, recv)?;
+            let arg_shapes: Vec<Shape> = args
+                .iter()
+                .map(|a| shape_of_value(jvm, a))
+                .collect::<TResult<_>>()?;
+            EntrySpec::Shaped(SpecKey {
+                class: ic,
+                method: im,
+                recv: Some(recv_shape),
+                args: arg_shapes,
+            })
+        }
+    })
+}
+
 /// Translate `recv.method(args)` — the reproduction of `WootinJ.jit`.
 pub fn translate(
     table: &ClassTable,
@@ -140,19 +222,18 @@ pub fn translate(
         }
     }
 
-    let (ic, im) = table.resolve_impl(recv_class, method).ok_or_else(|| {
-        TransError::new(format!(
-            "no implementation of `{method}` on `{}`",
-            table.name(recv_class)
-        ))
-    })?;
+    let spec = entry_spec(table, jvm, recv, method, args, config.mode)?;
 
-    let (mut program, entry, bindings, stats, warnings) = match config.mode {
-        Mode::Virtual => {
+    let (mut program, entry, bindings, mut stats, warnings) = match &spec {
+        EntrySpec::Opaque {
+            class: ic,
+            method: im,
+            ..
+        } => {
             let mut vl = virt::VirtLowerer::new(table);
-            let entry = vl.compile_entry(ic, im)?;
+            let entry = vl.compile_entry(*ic, *im)?;
             let mut bindings = Vec::new();
-            if !table.method(ic, im).is_static {
+            if !table.method(*ic, *im).is_static {
                 bindings.push(Binding::RecvObj);
             }
             for i in 0..args.len() {
@@ -165,19 +246,10 @@ pub fn translate(
                 .collect();
             (vl.program, entry, bindings, vl.stats, warnings)
         }
-        Mode::Devirt | Mode::Full => {
+        EntrySpec::Shaped(key) => {
             let flatten = config.mode == Mode::Full;
-            let recv_shape = shape_of_value(jvm, recv)?;
-            let arg_shapes: Vec<Shape> =
-                args.iter().map(|a| shape_of_value(jvm, a)).collect::<TResult<_>>()?;
-            let key = SpecKey {
-                class: ic,
-                method: im,
-                recv: Some(recv_shape.clone()),
-                args: arg_shapes.clone(),
-            };
             let mut lw = Lowerer::new(table, flatten);
-            let entry = match lw.lower_spec(&key, false)? {
+            let entry = match lw.lower_spec(key, false)? {
                 lower::SpecResult::Func { id, .. } => id,
                 lower::SpecResult::InlineOnly { .. } => {
                     return Err(TransError::new(
@@ -187,12 +259,17 @@ pub fn translate(
             };
             let mut bindings = Vec::new();
             if flatten {
-                for leaf in leaf_paths(&recv_shape) {
-                    bindings.push(Binding::RecvLeaf { path: leaf.path });
+                if let Some(recv_shape) = &key.recv {
+                    for leaf in leaf_paths(recv_shape) {
+                        bindings.push(Binding::RecvLeaf { path: leaf.path });
+                    }
                 }
-                for (i, s) in arg_shapes.iter().enumerate() {
+                for (i, s) in key.args.iter().enumerate() {
                     for leaf in leaf_paths(s) {
-                        bindings.push(Binding::ArgLeaf { arg: i, path: leaf.path });
+                        bindings.push(Binding::ArgLeaf {
+                            arg: i,
+                            path: leaf.path,
+                        });
                     }
                 }
             } else {
@@ -206,10 +283,10 @@ pub fn translate(
     };
 
     program.entry = Some(entry);
-    nir::optimize(&mut program, config.opt);
-    program.validate().map_err(|m| {
-        TransError::new(format!("internal error: generated program invalid: {m}"))
-    })?;
+    stats.passes = nir::optimize(&mut program, config.opt);
+    program
+        .validate()
+        .map_err(|m| TransError::new(format!("internal error: generated program invalid: {m}")))?;
 
     let mut uses_mpi = false;
     let mut uses_gpu = false;
@@ -331,7 +408,10 @@ pub fn materialize(jvm: &Jvm<'_>, v: &Value, machine: &mut exec::Machine) -> TRe
             let h = machine.objs.alloc(obj.class.0, obj.fields.len());
             for (slot, fv) in obj.fields.clone().iter().enumerate() {
                 let mv = materialize(jvm, fv, machine)?;
-                machine.objs.set(h, slot as u32, mv).map_err(TransError::new)?;
+                machine
+                    .objs
+                    .set(h, slot as u32, mv)
+                    .map_err(|e| TransError::new(e.to_string()))?;
             }
             exec::Val::Obj(h)
         }
@@ -341,7 +421,8 @@ pub fn materialize(jvm: &Jvm<'_>, v: &Value, machine: &mut exec::Machine) -> TRe
 
 /// Resolve the class id the entry dispatches on (helper for the facade).
 pub fn entry_class(jvm: &Jvm<'_>, recv: &Value) -> TResult<ClassId> {
-    jvm.runtime_class(recv).map_err(|e| TransError::new(e.message))
+    jvm.runtime_class(recv)
+        .map_err(|e| TransError::new(e.message))
 }
 
 #[cfg(test)]
@@ -375,8 +456,9 @@ mod tests {
     fn run_translated(mode: Mode, opt: OptConfig) -> (f32, Translated, Machine) {
         let table = compile_str(APP).unwrap();
         let mut jvm = Jvm::new(&table).unwrap();
-        let solver =
-            jvm.new_instance("PhysSolver", &[Value::Float(0.5), Value::Float(0.25)]).unwrap();
+        let solver = jvm
+            .new_instance("PhysSolver", &[Value::Float(0.5), Value::Float(0.25)])
+            .unwrap();
         let app = jvm.new_instance("App", &[solver]).unwrap();
         let data = jvm.new_f32_array(&[1.0, 2.0, 3.0, 4.0]);
         let args = [data, Value::Int(3)];
@@ -386,7 +468,11 @@ mod tests {
             &app,
             "run",
             &args,
-            TransConfig { mode, opt, check_rules: true },
+            TransConfig {
+                mode,
+                opt,
+                check_rules: true,
+            },
         )
         .unwrap();
         let mut machine = Machine::with_globals(&t.program);
@@ -401,8 +487,9 @@ mod tests {
     fn jvm_reference() -> f32 {
         let table = compile_str(APP).unwrap();
         let mut jvm = Jvm::new(&table).unwrap();
-        let solver =
-            jvm.new_instance("PhysSolver", &[Value::Float(0.5), Value::Float(0.25)]).unwrap();
+        let solver = jvm
+            .new_instance("PhysSolver", &[Value::Float(0.5), Value::Float(0.25)])
+            .unwrap();
         let app = jvm.new_instance("App", &[solver]).unwrap();
         let data = jvm.new_f32_array(&[1.0, 2.0, 3.0, 4.0]);
         match jvm.call(&app, "run", &[data, Value::Int(3)]).unwrap() {
@@ -467,7 +554,10 @@ mod tests {
         let mut has_field = false;
         for f in &t.program.funcs {
             for ins in &f.code {
-                assert!(!matches!(ins, Instr::CallVirt { .. }), "virtual call survived devirt");
+                assert!(
+                    !matches!(ins, Instr::CallVirt { .. }),
+                    "virtual call survived devirt"
+                );
                 if matches!(ins, Instr::GetField { .. }) {
                     has_field = true;
                 }
@@ -523,8 +613,15 @@ mod tests {
         let table = compile_str(src).unwrap();
         let mut jvm = Jvm::new(&table).unwrap();
         let m = jvm.new_instance("M", &[]).unwrap();
-        let t = translate(&table, &jvm, &m, "run", &[Value::Float(3.0)], TransConfig::full())
-            .unwrap();
+        let t = translate(
+            &table,
+            &jvm,
+            &m,
+            "run",
+            &[Value::Float(3.0)],
+            TransConfig::full(),
+        )
+        .unwrap();
         assert!(t.stats.inlined_calls > 0);
         let mut machine = Machine::with_globals(&t.program);
         let vals =
@@ -544,8 +641,15 @@ mod tests {
         let table = compile_str(src).unwrap();
         let mut jvm = Jvm::new(&table).unwrap();
         let bad = jvm.new_instance("Bad", &[]).unwrap();
-        let err = translate(&table, &jvm, &bad, "run", &[Value::Int(1)], TransConfig::full())
-            .unwrap_err();
+        let err = translate(
+            &table,
+            &jvm,
+            &bad,
+            "run",
+            &[Value::Int(1)],
+            TransConfig::full(),
+        )
+        .unwrap_err();
         assert!(err.message.contains("coding-rule"), "{err}");
     }
 
@@ -585,8 +689,15 @@ mod tests {
         let ctx = jvm.new_instance("MyCtx", &[Value::Float(4.0)]).unwrap();
         let holder = jvm.new_instance("Holder", &[ctx]).unwrap();
         let g = jvm.new_instance("G", &[holder]).unwrap();
-        let t =
-            translate(&table, &jvm, &g, "run", &[Value::Float(2.5)], TransConfig::full()).unwrap();
+        let t = translate(
+            &table,
+            &jvm,
+            &g,
+            "run",
+            &[Value::Float(2.5)],
+            TransConfig::full(),
+        )
+        .unwrap();
         let mut machine = Machine::with_globals(&t.program);
         let vals =
             bind_entry_args(&jvm, &g, &[Value::Float(2.5)], &t.bindings, &mut machine).unwrap();
@@ -610,8 +721,15 @@ mod tests {
         let d = jvm.new_instance("Dbl", &[]).unwrap();
         let s = jvm.new_instance("Sqr", &[]).unwrap();
         let two = jvm.new_instance("TwoOps", &[d, s]).unwrap();
-        let t = translate(&table, &jvm, &two, "run", &[Value::Float(3.0)], TransConfig::full())
-            .unwrap();
+        let t = translate(
+            &table,
+            &jvm,
+            &two,
+            "run",
+            &[Value::Float(3.0)],
+            TransConfig::full(),
+        )
+        .unwrap();
         // run + Dbl::f + Sqr::f
         assert!(t.stats.specializations >= 3, "{:?}", t.stats);
         let mut machine = Machine::with_globals(&t.program);
@@ -639,8 +757,15 @@ mod tests {
         let table = compile_str(src).unwrap();
         let mut jvm = Jvm::new(&table).unwrap();
         let k = jvm.new_instance("K", &[]).unwrap();
-        let t =
-            translate(&table, &jvm, &k, "run", &[Value::Int(5)], TransConfig::full()).unwrap();
+        let t = translate(
+            &table,
+            &jvm,
+            &k,
+            "run",
+            &[Value::Int(5)],
+            TransConfig::full(),
+        )
+        .unwrap();
         assert!(t.stats.inlined_ctors > 0);
         let mut machine = Machine::with_globals(&t.program);
         let vals = bind_entry_args(&jvm, &k, &[Value::Int(5)], &t.bindings, &mut machine).unwrap();

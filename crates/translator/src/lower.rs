@@ -21,14 +21,16 @@ use jlang::ast::{BinOp, UnOp};
 use jlang::table::ClassTable;
 use jlang::tast::{TBlock, TExpr, TExprKind, TStmt};
 use jlang::types::{ClassId, PrimKind, Type};
-use nir::{ConstVal, ElemTy, FuncBuilder, FuncId, FuncKind, Instr, IntrinOp, Label, Program, Reg, Ty};
+use nir::{
+    ConstVal, ElemTy, FuncBuilder, FuncId, FuncKind, Instr, IntrinOp, Label, Program, Reg, Ty,
+};
 
-use crate::sheval::{field_shape, shape_from_decl, ShapeEval, SpecKey};
 use crate::shape::{elem_ty_of, Shape, TransError};
+use crate::sheval::{field_shape, shape_from_decl, ShapeEval, SpecKey};
 use crate::TResult;
 
 /// Translation statistics (reported by Table 3 and the ablation benches).
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct TransStats {
     pub specializations: u32,
     pub devirtualized_calls: u32,
@@ -36,15 +38,28 @@ pub struct TransStats {
     pub inlined_ctors: u32,
     pub inlined_calls: u32,
     pub kernels: u32,
+    /// Per-pass wall time + instruction counts from the NIR optimizer —
+    /// the pass-level decomposition of Table 3's compile-time column.
+    pub passes: Vec<nir::PassProfile>,
+    /// JIT-cache counters, filled in by the `wootinj` facade: how many
+    /// times this specialization key was served from / inserted into the
+    /// code cache at the time the stats were read.
+    pub cache_hits: u64,
+    pub cache_misses: u64,
 }
 
 /// How a specialization is made available to call sites.
 #[derive(Debug, Clone)]
 pub enum SpecResult {
-    Func { id: FuncId, ret: Option<Shape> },
+    Func {
+        id: FuncId,
+        ret: Option<Shape>,
+    },
     /// Flattened mode only: the return value has ≠1 leaves, so the callee
     /// is spliced into each call site instead of being a function.
-    InlineOnly { ret: Option<Shape> },
+    InlineOnly {
+        ret: Option<Shape>,
+    },
 }
 
 /// A lowering-time value: its exact shape plus its register
@@ -143,7 +158,9 @@ impl<'t> Lowerer<'t> {
         if flatten {
             if let Some(s) = &ret_shape {
                 if s.leaf_count() != 1 {
-                    let r = SpecResult::InlineOnly { ret: ret_shape.clone() };
+                    let r = SpecResult::InlineOnly {
+                        ret: ret_shape.clone(),
+                    };
                     self.specs.insert((key.clone(), device), r.clone());
                     return Ok(r);
                 }
@@ -223,7 +240,11 @@ impl<'t> Lowerer<'t> {
             }
             Some(s) => Some(heap_ty(s)),
         };
-        let kind = if device { FuncKind::Device } else { FuncKind::Host };
+        let kind = if device {
+            FuncKind::Device
+        } else {
+            FuncKind::Host
+        };
         let fb = FuncBuilder::new(name, params, ret_ty, kind);
         // Bind receiver and parameters to their registers.
         let mut next = 0u32;
@@ -231,14 +252,23 @@ impl<'t> Lowerer<'t> {
             let n = if flatten { r.leaf_count() } else { 1 };
             let regs: Vec<Reg> = (next..next + n as u32).collect();
             next += n as u32;
-            Opnd { shape: r.clone(), regs }
+            Opnd {
+                shape: r.clone(),
+                regs,
+            }
         });
         let mut env = HashMap::new();
         for (i, a) in key.args.iter().enumerate() {
             let n = if flatten { a.leaf_count() } else { 1 };
             let regs: Vec<Reg> = (next..next + n as u32).collect();
             next += n as u32;
-            env.insert(i as u32, Opnd { shape: a.clone(), regs });
+            env.insert(
+                i as u32,
+                Opnd {
+                    shape: a.clone(),
+                    regs,
+                },
+            );
         }
         // Guard: frame slots used by locals start after parameter count in
         // the typed AST; our env is keyed by slot so no adjustment needed.
@@ -289,14 +319,23 @@ impl<'t> Lowerer<'t> {
             let n = r.leaf_count();
             let regs: Vec<Reg> = (next..next + n as u32).collect();
             next += n as u32;
-            Opnd { shape: r.clone(), regs }
+            Opnd {
+                shape: r.clone(),
+                regs,
+            }
         });
         let mut env = HashMap::new();
         for (i, a) in key.args.iter().enumerate() {
             let n = a.leaf_count();
             let regs: Vec<Reg> = (next..next + n as u32).collect();
             next += n as u32;
-            env.insert(i as u32, Opnd { shape: a.clone(), regs });
+            env.insert(
+                i as u32,
+                Opnd {
+                    shape: a.clone(),
+                    regs,
+                },
+            );
         }
         let mut fx = FnCtx {
             fb,
@@ -367,7 +406,9 @@ impl<'t> Lowerer<'t> {
                 }
                 Ok(())
             }
-            TStmt::AssignField { obj, field, value, .. } => {
+            TStmt::AssignField {
+                obj, field, value, ..
+            } => {
                 let v = self.expr(fx, value)?;
                 // Constructor frame write?
                 if matches!(obj.kind, TExprKind::This) && fx.ctor_fields.is_some() {
@@ -377,10 +418,10 @@ impl<'t> Lowerer<'t> {
                 }
                 let o = self.expr(fx, obj)?;
                 if fx.flatten {
-                    let (off, fshape) =
-                        o.shape.field_leaf_range(field.slot).ok_or_else(|| {
-                            TransError::new("field assignment out of shape range")
-                        })?;
+                    let (off, fshape) = o
+                        .shape
+                        .field_leaf_range(field.slot)
+                        .ok_or_else(|| TransError::new("field assignment out of shape range"))?;
                     if fshape != &v.shape {
                         return Err(TransError::new(format!(
                             "field changes shape from {} to {}",
@@ -395,25 +436,40 @@ impl<'t> Lowerer<'t> {
                 } else {
                     let oreg = o.single()?;
                     let vreg = v.single()?;
-                    fx.fb.emit(Instr::PutField { obj: oreg, slot: field.slot, src: vreg });
+                    fx.fb.emit(Instr::PutField {
+                        obj: oreg,
+                        slot: field.slot,
+                        src: vreg,
+                    });
                 }
                 Ok(())
             }
             TStmt::AssignStatic { .. } => Err(TransError::new(
                 "assignment to a static field cannot be translated (coding rule 5)",
             )),
-            TStmt::AssignIndex { arr, idx, value, .. } => {
+            TStmt::AssignIndex {
+                arr, idx, value, ..
+            } => {
                 let a = self.expr(fx, arr)?;
                 let i = self.expr(fx, idx)?;
                 let v = self.expr(fx, value)?;
-                fx.fb.emit(Instr::StArr { arr: a.single()?, idx: i.single()?, src: v.single()? });
+                fx.fb.emit(Instr::StArr {
+                    arr: a.single()?,
+                    idx: i.single()?,
+                    src: v.single()?,
+                });
                 Ok(())
             }
             TStmt::Expr(e) => {
                 self.expr_maybe_void(fx, e)?;
                 Ok(())
             }
-            TStmt::If { cond, then_branch, else_branch, .. } => {
+            TStmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 let c = self.expr(fx, cond)?;
                 let tl = fx.fb.label();
                 let el = fx.fb.label();
@@ -446,7 +502,13 @@ impl<'t> Lowerer<'t> {
                 fx.fb.bind(end);
                 Ok(())
             }
-            TStmt::For { init, cond, update, body, .. } => {
+            TStmt::For {
+                init,
+                cond,
+                update,
+                body,
+                ..
+            } => {
                 if let Some(i) = init {
                     self.stmt(fx, i)?;
                 }
@@ -533,7 +595,10 @@ impl<'t> Lowerer<'t> {
             fx.fb.emit(Instr::Mov(d, *s));
             regs.push(d);
         }
-        Opnd { shape: v.shape.clone(), regs }
+        Opnd {
+            shape: v.shape.clone(),
+            regs,
+        }
     }
 
     /// Default (zero) operand for primitives and arrays; arrays get an
@@ -544,15 +609,19 @@ impl<'t> Lowerer<'t> {
             Shape::Prim(k) => {
                 let r = fx.fb.reg(Ty::of_prim(*k));
                 fx.fb.emit(const_zero(*k, r));
-                Ok(Opnd { shape: shape.clone(), regs: vec![r] })
+                Ok(Opnd {
+                    shape: shape.clone(),
+                    regs: vec![r],
+                })
             }
             Shape::Arr(e) => {
                 let r = fx.fb.reg(Ty::Arr(*e));
-                Ok(Opnd { shape: shape.clone(), regs: vec![r] })
+                Ok(Opnd {
+                    shape: shape.clone(),
+                    regs: vec![r],
+                })
             }
-            Shape::Obj { .. } => {
-                Err(TransError::new("object local without initializer"))
-            }
+            Shape::Obj { .. } => Err(TransError::new("object local without initializer")),
         }
     }
 
@@ -579,7 +648,9 @@ impl<'t> Lowerer<'t> {
 
     pub fn expr(&mut self, fx: &mut FnCtx, e: &TExpr) -> TResult<Opnd> {
         match &e.kind {
-            TExprKind::Int(v) => Ok(self.const_opnd(fx, Instr::ConstI32(0, *v), Ty::I32, PrimKind::Int)),
+            TExprKind::Int(v) => {
+                Ok(self.const_opnd(fx, Instr::ConstI32(0, *v), Ty::I32, PrimKind::Int))
+            }
             TExprKind::Long(v) => {
                 Ok(self.const_opnd(fx, Instr::ConstI64(0, *v), Ty::I64, PrimKind::Long))
             }
@@ -632,8 +703,15 @@ impl<'t> Lowerer<'t> {
                 } else {
                     let fshape = field_shape(self.table, &o.shape, field.slot)?;
                     let dst = fx.fb.reg(heap_ty(&fshape));
-                    fx.fb.emit(Instr::GetField { obj: o.single()?, slot: field.slot, dst });
-                    Ok(Opnd { shape: fshape, regs: vec![dst] })
+                    fx.fb.emit(Instr::GetField {
+                        obj: o.single()?,
+                        slot: field.slot,
+                        dst,
+                    });
+                    Ok(Opnd {
+                        shape: fshape,
+                        regs: vec![dst],
+                    })
                 }
             }
             TExprKind::GetStatic { class, index } => {
@@ -665,13 +743,19 @@ impl<'t> Lowerer<'t> {
                 self.lower_new(fx, *class, arg_opnds)
             }
             TExprKind::NewArray { elem, len } => {
-                let e_ty = elem_ty_of(elem).ok_or_else(|| {
-                    TransError::new("only primitive arrays can be translated")
-                })?;
+                let e_ty = elem_ty_of(elem)
+                    .ok_or_else(|| TransError::new("only primitive arrays can be translated"))?;
                 let l = self.expr(fx, len)?;
                 let dst = fx.fb.reg(Ty::Arr(e_ty));
-                fx.fb.emit(Instr::NewArr { elem: e_ty, len: l.single()?, dst });
-                Ok(Opnd { shape: Shape::Arr(e_ty), regs: vec![dst] })
+                fx.fb.emit(Instr::NewArr {
+                    elem: e_ty,
+                    len: l.single()?,
+                    dst,
+                });
+                Ok(Opnd {
+                    shape: Shape::Arr(e_ty),
+                    regs: vec![dst],
+                })
             }
             TExprKind::Index { arr, idx } => {
                 let a = self.expr(fx, arr)?;
@@ -680,14 +764,27 @@ impl<'t> Lowerer<'t> {
                     return Err(TransError::new("indexing a non-array shape"));
                 };
                 let dst = fx.fb.reg(e_ty.ty());
-                fx.fb.emit(Instr::LdArr { arr: a.single()?, idx: i.single()?, dst });
-                Ok(Opnd { shape: Shape::Prim(elem_prim(e_ty)), regs: vec![dst] })
+                fx.fb.emit(Instr::LdArr {
+                    arr: a.single()?,
+                    idx: i.single()?,
+                    dst,
+                });
+                Ok(Opnd {
+                    shape: Shape::Prim(elem_prim(e_ty)),
+                    regs: vec![dst],
+                })
             }
             TExprKind::ArrayLen(a) => {
                 let arr = self.expr(fx, a)?;
                 let dst = fx.fb.reg(Ty::I32);
-                fx.fb.emit(Instr::ArrLen { arr: arr.single()?, dst });
-                Ok(Opnd { shape: Shape::Prim(PrimKind::Int), regs: vec![dst] })
+                fx.fb.emit(Instr::ArrLen {
+                    arr: arr.single()?,
+                    dst,
+                });
+                Ok(Opnd {
+                    shape: Shape::Prim(PrimKind::Int),
+                    regs: vec![dst],
+                })
             }
             TExprKind::Unary { op, expr } => {
                 let v = self.expr(fx, expr)?;
@@ -697,23 +794,41 @@ impl<'t> Lowerer<'t> {
                 let dst = fx.fb.reg(Ty::of_prim(kind));
                 match op {
                     UnOp::Neg => {
-                        fx.fb.emit(Instr::Neg { kind, dst, src: v.single()? });
+                        fx.fb.emit(Instr::Neg {
+                            kind,
+                            dst,
+                            src: v.single()?,
+                        });
                     }
                     UnOp::Not => {
-                        fx.fb.emit(Instr::Not { dst, src: v.single()? });
+                        fx.fb.emit(Instr::Not {
+                            dst,
+                            src: v.single()?,
+                        });
                     }
                 }
-                Ok(Opnd { shape: Shape::Prim(kind), regs: vec![dst] })
+                Ok(Opnd {
+                    shape: Shape::Prim(kind),
+                    regs: vec![dst],
+                })
             }
-            TExprKind::Binary { op, operand_kind, lhs, rhs } => {
+            TExprKind::Binary {
+                op,
+                operand_kind,
+                lhs,
+                rhs,
+            } => {
                 // Short-circuit logical operators become control flow.
                 if matches!(op, BinOp::And | BinOp::Or) {
                     return self.short_circuit(fx, *op, lhs, rhs);
                 }
                 let l = self.expr(fx, lhs)?;
                 let r = self.expr(fx, rhs)?;
-                let out_kind =
-                    if op.is_comparison() { PrimKind::Boolean } else { *operand_kind };
+                let out_kind = if op.is_comparison() {
+                    PrimKind::Boolean
+                } else {
+                    *operand_kind
+                };
                 let dst = fx.fb.reg(Ty::of_prim(out_kind));
                 fx.fb.emit(Instr::Bin {
                     op: *op,
@@ -722,7 +837,10 @@ impl<'t> Lowerer<'t> {
                     lhs: l.single()?,
                     rhs: r.single()?,
                 });
-                Ok(Opnd { shape: Shape::Prim(out_kind), regs: vec![dst] })
+                Ok(Opnd {
+                    shape: Shape::Prim(out_kind),
+                    regs: vec![dst],
+                })
             }
             TExprKind::NumCast { to, expr } | TExprKind::Convert { to, expr } => {
                 let v = self.expr(fx, expr)?;
@@ -733,8 +851,16 @@ impl<'t> Lowerer<'t> {
                     return Ok(v);
                 }
                 let dst = fx.fb.reg(Ty::of_prim(*to));
-                fx.fb.emit(Instr::Cast { to: *to, from, dst, src: v.single()? });
-                Ok(Opnd { shape: Shape::Prim(*to), regs: vec![dst] })
+                fx.fb.emit(Instr::Cast {
+                    to: *to,
+                    from,
+                    dst,
+                    src: v.single()?,
+                });
+                Ok(Opnd {
+                    shape: Shape::Prim(*to),
+                    regs: vec![dst],
+                })
             }
             TExprKind::RefCast { to, expr } => {
                 let v = self.expr(fx, expr)?;
@@ -752,10 +878,12 @@ impl<'t> Lowerer<'t> {
             TExprKind::RefEq { .. } => Err(TransError::new(
                 "reference equality cannot be translated (coding rule 7)",
             )),
-            TExprKind::InstanceOf { .. } => {
-                Err(TransError::new("`instanceof` cannot be translated (coding rule 8)"))
-            }
-            TExprKind::Null => Err(TransError::new("`null` cannot be translated (coding rule 8)")),
+            TExprKind::InstanceOf { .. } => Err(TransError::new(
+                "`instanceof` cannot be translated (coding rule 8)",
+            )),
+            TExprKind::Null => Err(TransError::new(
+                "`null` cannot be translated (coding rule 8)",
+            )),
             TExprKind::Str(_) => Err(TransError::new("strings cannot be translated")),
             TExprKind::Ternary { .. } => Err(TransError::new(
                 "the conditional operator cannot be translated (coding rule 7)",
@@ -774,15 +902,16 @@ impl<'t> Lowerer<'t> {
             other => other,
         };
         fx.fb.emit(ins);
-        Opnd { shape: Shape::Prim(kind), regs: vec![r] }
+        Opnd {
+            shape: Shape::Prim(kind),
+            regs: vec![r],
+        }
     }
 
     fn emit_const_val(&mut self, fx: &mut FnCtx, cv: ConstVal) -> Opnd {
         match cv {
             ConstVal::I32(v) => self.const_opnd(fx, Instr::ConstI32(0, v), Ty::I32, PrimKind::Int),
-            ConstVal::I64(v) => {
-                self.const_opnd(fx, Instr::ConstI64(0, v), Ty::I64, PrimKind::Long)
-            }
+            ConstVal::I64(v) => self.const_opnd(fx, Instr::ConstI64(0, v), Ty::I64, PrimKind::Long),
             ConstVal::F32(v) => {
                 self.const_opnd(fx, Instr::ConstF32(0, v), Ty::F32, PrimKind::Float)
             }
@@ -817,7 +946,10 @@ impl<'t> Lowerer<'t> {
         fx.fb.emit(Instr::Mov(dst, r.single()?));
         fx.fb.jmp(end);
         fx.fb.bind(end);
-        Ok(Opnd { shape: Shape::Prim(PrimKind::Boolean), regs: vec![dst] })
+        Ok(Opnd {
+            shape: Shape::Prim(PrimKind::Boolean),
+            regs: vec![dst],
+        })
     }
 
     // ------------------------------------------------------------------
@@ -839,9 +971,10 @@ impl<'t> Lowerer<'t> {
         // Resolve the implementation from the receiver's exact shape.
         let (ic, im) = match (&recv, is_virtual) {
             (Some(r), true) => {
-                let class = r.shape.class().ok_or_else(|| {
-                    TransError::new("virtual call on non-object shape")
-                })?;
+                let class = r
+                    .shape
+                    .class()
+                    .ok_or_else(|| TransError::new("virtual call on non-object shape"))?;
                 let target = self.table.resolve_impl(class, &decl.name).ok_or_else(|| {
                     TransError::new(format!(
                         "no implementation of `{}` on `{}`",
@@ -898,7 +1031,11 @@ impl<'t> Lowerer<'t> {
                 }
                 match ret {
                     None => {
-                        fx.fb.emit(Instr::Call { func: id, args: regs, dst: None });
+                        fx.fb.emit(Instr::Call {
+                            func: id,
+                            args: regs,
+                            dst: None,
+                        });
                         Ok(None)
                     }
                     Some(shape) => {
@@ -908,8 +1045,15 @@ impl<'t> Lowerer<'t> {
                             // are still a handle. (Flattened zero-leaf
                             // returns are normally routed to inlining, so
                             // this arm is a safety net.)
-                            fx.fb.emit(Instr::Call { func: id, args: regs, dst: None });
-                            Ok(Some(Opnd { shape, regs: vec![] }))
+                            fx.fb.emit(Instr::Call {
+                                func: id,
+                                args: regs,
+                                dst: None,
+                            });
+                            Ok(Some(Opnd {
+                                shape,
+                                regs: vec![],
+                            }))
                         } else {
                             let ty = if fx.flatten {
                                 shape.leaf_tys()[0]
@@ -917,8 +1061,15 @@ impl<'t> Lowerer<'t> {
                                 heap_ty(&shape)
                             };
                             let dst = fx.fb.reg(ty);
-                            fx.fb.emit(Instr::Call { func: id, args: regs, dst: Some(dst) });
-                            Ok(Some(Opnd { shape, regs: vec![dst] }))
+                            fx.fb.emit(Instr::Call {
+                                func: id,
+                                args: regs,
+                                dst: Some(dst),
+                            });
+                            Ok(Some(Opnd {
+                                shape,
+                                regs: vec![dst],
+                            }))
                         }
                     }
                 }
@@ -960,7 +1111,13 @@ impl<'t> Lowerer<'t> {
         // Save the frame, install the callee's.
         let saved_env = std::mem::take(&mut fx.env);
         let saved_recv = fx.recv.take();
-        let saved_ret = std::mem::replace(&mut fx.ret, RetMode::Inline { dest: dest.clone(), end });
+        let saved_ret = std::mem::replace(
+            &mut fx.ret,
+            RetMode::Inline {
+                dest: dest.clone(),
+                end,
+            },
+        );
         let saved_loops = std::mem::take(&mut fx.loops);
         fx.recv = recv.map(|r| self.copy_opnd(fx, &r));
         for (i, a) in args.iter().enumerate() {
@@ -1000,8 +1157,15 @@ impl<'t> Lowerer<'t> {
                 .ok_or_else(|| TransError::new("cuda.sharedF32 needs a length"))?
                 .single()?;
             let dst = fx.fb.reg(Ty::Arr(ElemTy::F32));
-            fx.fb.emit(Instr::SharedAlloc { elem: ElemTy::F32, len, dst });
-            return Ok(Some(Opnd { shape: Shape::Arr(ElemTy::F32), regs: vec![dst] }));
+            fx.fb.emit(Instr::SharedAlloc {
+                elem: ElemTy::F32,
+                len,
+                dst,
+            });
+            return Ok(Some(Opnd {
+                shape: Shape::Arr(ElemTy::F32),
+                regs: vec![dst],
+            }));
         }
         let mut regs = Vec::with_capacity(args.len());
         for a in &args {
@@ -1018,28 +1182,50 @@ impl<'t> Lowerer<'t> {
         if let Some(op) = native_intrin(key) {
             return match ret_shape {
                 None => {
-                    fx.fb.emit(Instr::Intrin { op, args: regs, dst: None });
+                    fx.fb.emit(Instr::Intrin {
+                        op,
+                        args: regs,
+                        dst: None,
+                    });
                     Ok(None)
                 }
                 Some(shape) => {
                     let ty = shape.leaf_tys()[0];
                     let dst = fx.fb.reg(ty);
-                    fx.fb.emit(Instr::Intrin { op, args: regs, dst: Some(dst) });
-                    Ok(Some(Opnd { shape, regs: vec![dst] }))
+                    fx.fb.emit(Instr::Intrin {
+                        op,
+                        args: regs,
+                        dst: Some(dst),
+                    });
+                    Ok(Some(Opnd {
+                        shape,
+                        regs: vec![dst],
+                    }))
                 }
             };
         }
         let host = self.host_fn_id(key, &args, &ret_shape, fx)?;
         match ret_shape {
             None => {
-                fx.fb.emit(Instr::CallHost { host, args: regs, dst: None });
+                fx.fb.emit(Instr::CallHost {
+                    host,
+                    args: regs,
+                    dst: None,
+                });
                 Ok(None)
             }
             Some(shape) => {
                 let ty = shape.leaf_tys()[0];
                 let dst = fx.fb.reg(ty);
-                fx.fb.emit(Instr::CallHost { host, args: regs, dst: Some(dst) });
-                Ok(Some(Opnd { shape, regs: vec![dst] }))
+                fx.fb.emit(Instr::CallHost {
+                    host,
+                    args: regs,
+                    dst: Some(dst),
+                });
+                Ok(Some(Opnd {
+                    shape,
+                    regs: vec![dst],
+                }))
             }
         }
     }
@@ -1071,7 +1257,11 @@ impl<'t> Lowerer<'t> {
             })
             .collect::<TResult<_>>()?;
         let ret_ty = ret.as_ref().map(|s| s.leaf_tys()[0]);
-        self.program.host_fns.push(nir::HostFnSig { name: key.to_string(), params, ret: ret_ty });
+        self.program.host_fns.push(nir::HostFnSig {
+            name: key.to_string(),
+            params,
+            ret: ret_ty,
+        });
         Ok(self.program.host_fns.len() as u32 - 1)
     }
 
@@ -1143,8 +1333,15 @@ impl<'t> Lowerer<'t> {
                 let mut out = Vec::new();
                 for (slot, fshape) in fields.iter().enumerate() {
                     let dst = fx.fb.reg(heap_ty(fshape));
-                    fx.fb.emit(Instr::GetField { obj, slot: slot as u32, dst });
-                    let sub = Opnd { shape: fshape.clone(), regs: vec![dst] };
+                    fx.fb.emit(Instr::GetField {
+                        obj,
+                        slot: slot as u32,
+                        dst,
+                    });
+                    let sub = Opnd {
+                        shape: fshape.clone(),
+                        regs: vec![dst],
+                    };
                     out.extend(self.flatten_opnd(fx, &sub)?);
                 }
                 Ok(out)
@@ -1192,24 +1389,42 @@ impl<'t> Lowerer<'t> {
                 }
             }
         }
-        let shape = Shape::Obj { class, fields: field_shapes };
+        let shape = Shape::Obj {
+            class,
+            fields: field_shapes,
+        };
         if fx.flatten {
-            Ok(Opnd { shape, regs: all_regs })
+            Ok(Opnd {
+                shape,
+                regs: all_regs,
+            })
         } else {
             // Heap mode: materialize with NewObj + PutField.
             let obj = fx.fb.reg(Ty::Obj);
-            fx.fb.emit(Instr::NewObj { class: class.0, dst: obj });
-            let Shape::Obj { fields: fss, .. } = &shape else { unreachable!() };
+            fx.fb.emit(Instr::NewObj {
+                class: class.0,
+                dst: obj,
+            });
+            let Shape::Obj { fields: fss, .. } = &shape else {
+                unreachable!()
+            };
             let mut reg_iter = all_regs.into_iter();
             for (slot, fs) in fss.iter().enumerate() {
                 let n = 1; // heap mode: one register per field
                 let _ = fs;
                 for _ in 0..n {
                     let src = reg_iter.next().unwrap();
-                    fx.fb.emit(Instr::PutField { obj, slot: slot as u32, src });
+                    fx.fb.emit(Instr::PutField {
+                        obj,
+                        slot: slot as u32,
+                        src,
+                    });
                 }
             }
-            Ok(Opnd { shape, regs: vec![obj] })
+            Ok(Opnd {
+                shape,
+                regs: vec![obj],
+            })
         }
     }
 
@@ -1219,9 +1434,8 @@ impl<'t> Lowerer<'t> {
             let base = info.field_base;
             if slot >= base && slot < base + info.fields.len() as u32 {
                 let ty = info.fields[(slot - base) as usize].ty.subst(&cargs);
-                return shape_from_decl(self.table, &ty).ok_or_else(|| {
-                    TransError::new("unassigned object field in constructor")
-                });
+                return shape_from_decl(self.table, &ty)
+                    .ok_or_else(|| TransError::new("unassigned object field in constructor"));
             }
         }
         Err(TransError::new("field slot out of range"))
@@ -1238,7 +1452,10 @@ impl<'t> Lowerer<'t> {
     ) -> TResult<()> {
         let info = self.table.class(class).clone();
         let Some(ctor) = &info.ctor else {
-            return Err(TransError::new(format!("`{}` has no constructor", info.name)));
+            return Err(TransError::new(format!(
+                "`{}` has no constructor",
+                info.name
+            )));
         };
         if ctor.params.len() != args.len() {
             return Err(TransError::new(format!(
@@ -1302,7 +1519,9 @@ impl<'t> Lowerer<'t> {
         for s in &body.stmts {
             match s {
                 TStmt::Local { .. } | TStmt::AssignLocal { .. } => self.stmt(fx, s)?,
-                TStmt::AssignField { obj, field, value, .. } => {
+                TStmt::AssignField {
+                    obj, field, value, ..
+                } => {
                     if !matches!(obj.kind, TExprKind::This) {
                         return Err(TransError::new(
                             "constructor assigns a field of another object",
@@ -1422,18 +1641,29 @@ pub fn const_eval(table: &ClassTable, e: &TExpr) -> TResult<ConstVal> {
             })?;
             const_eval(table, init)
         }
-        TExprKind::Unary { op: UnOp::Neg, expr } => Ok(match const_eval(table, expr)? {
+        TExprKind::Unary {
+            op: UnOp::Neg,
+            expr,
+        } => Ok(match const_eval(table, expr)? {
             ConstVal::I32(v) => ConstVal::I32(v.wrapping_neg()),
             ConstVal::I64(v) => ConstVal::I64(v.wrapping_neg()),
             ConstVal::F32(v) => ConstVal::F32(-v),
             ConstVal::F64(v) => ConstVal::F64(-v),
             ConstVal::Bool(_) => return Err(TransError::new("negating a boolean constant")),
         }),
-        TExprKind::Unary { op: UnOp::Not, expr } => match const_eval(table, expr)? {
+        TExprKind::Unary {
+            op: UnOp::Not,
+            expr,
+        } => match const_eval(table, expr)? {
             ConstVal::Bool(v) => Ok(ConstVal::Bool(!v)),
             _ => Err(TransError::new("`!` on a non-boolean constant")),
         },
-        TExprKind::Binary { op, operand_kind, lhs, rhs } => {
+        TExprKind::Binary {
+            op,
+            operand_kind,
+            lhs,
+            rhs,
+        } => {
             let l = const_eval(table, lhs)?;
             let r = const_eval(table, rhs)?;
             const_bin(*op, *operand_kind, l, r)
@@ -1478,7 +1708,9 @@ fn const_bin(op: BinOp, kind: PrimKind, l: ConstVal, r: ConstVal) -> TResult<Con
     let err = || TransError::new("unsupported constant expression");
     Ok(match kind {
         PrimKind::Int => {
-            let (ConstVal::I32(a), ConstVal::I32(b)) = (l, r) else { return Err(err()) };
+            let (ConstVal::I32(a), ConstVal::I32(b)) = (l, r) else {
+                return Err(err());
+            };
             match op {
                 Add => ConstVal::I32(a.wrapping_add(b)),
                 Sub => ConstVal::I32(a.wrapping_sub(b)),
@@ -1500,7 +1732,9 @@ fn const_bin(op: BinOp, kind: PrimKind, l: ConstVal, r: ConstVal) -> TResult<Con
             }
         }
         PrimKind::Long => {
-            let (ConstVal::I64(a), ConstVal::I64(b)) = (l, r) else { return Err(err()) };
+            let (ConstVal::I64(a), ConstVal::I64(b)) = (l, r) else {
+                return Err(err());
+            };
             match op {
                 Add => ConstVal::I64(a.wrapping_add(b)),
                 Sub => ConstVal::I64(a.wrapping_sub(b)),
@@ -1509,7 +1743,9 @@ fn const_bin(op: BinOp, kind: PrimKind, l: ConstVal, r: ConstVal) -> TResult<Con
             }
         }
         PrimKind::Float => {
-            let (ConstVal::F32(a), ConstVal::F32(b)) = (l, r) else { return Err(err()) };
+            let (ConstVal::F32(a), ConstVal::F32(b)) = (l, r) else {
+                return Err(err());
+            };
             match op {
                 Add => ConstVal::F32(a + b),
                 Sub => ConstVal::F32(a - b),
@@ -1519,7 +1755,9 @@ fn const_bin(op: BinOp, kind: PrimKind, l: ConstVal, r: ConstVal) -> TResult<Con
             }
         }
         PrimKind::Double => {
-            let (ConstVal::F64(a), ConstVal::F64(b)) = (l, r) else { return Err(err()) };
+            let (ConstVal::F64(a), ConstVal::F64(b)) = (l, r) else {
+                return Err(err());
+            };
             match op {
                 Add => ConstVal::F64(a + b),
                 Sub => ConstVal::F64(a - b),
@@ -1529,7 +1767,9 @@ fn const_bin(op: BinOp, kind: PrimKind, l: ConstVal, r: ConstVal) -> TResult<Con
             }
         }
         PrimKind::Boolean => {
-            let (ConstVal::Bool(a), ConstVal::Bool(b)) = (l, r) else { return Err(err()) };
+            let (ConstVal::Bool(a), ConstVal::Bool(b)) = (l, r) else {
+                return Err(err());
+            };
             match op {
                 And => ConstVal::Bool(a && b),
                 Or => ConstVal::Bool(a || b),

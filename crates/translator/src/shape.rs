@@ -21,7 +21,10 @@ pub enum Shape {
     Arr(ElemTy),
     /// Exact class plus the shapes of all instance fields, in absolute
     /// slot order (inherited fields first).
-    Obj { class: ClassId, fields: Vec<Shape> },
+    Obj {
+        class: ClassId,
+        fields: Vec<Shape>,
+    },
 }
 
 /// A translation error.
@@ -32,7 +35,9 @@ pub struct TransError {
 
 impl TransError {
     pub fn new(message: impl Into<String>) -> Self {
-        TransError { message: message.into() }
+        TransError {
+            message: message.into(),
+        }
     }
 }
 
@@ -76,7 +81,9 @@ impl Shape {
 
     /// For an object shape: `(leaf offset, field shape)` of field `slot`.
     pub fn field_leaf_range(&self, slot: u32) -> Option<(usize, &Shape)> {
-        let Shape::Obj { fields, .. } = self else { return None };
+        let Shape::Obj { fields, .. } = self else {
+            return None;
+        };
         let mut off = 0;
         for (i, f) in fields.iter().enumerate() {
             if i as u32 == slot {
@@ -237,8 +244,14 @@ pub fn leaf_paths(shape: &Shape) -> Vec<LeafPath> {
 
 fn collect_paths(shape: &Shape, path: &mut Vec<u32>, out: &mut Vec<LeafPath>) {
     match shape {
-        Shape::Prim(k) => out.push(LeafPath { path: path.clone(), ty: nir::Ty::of_prim(*k) }),
-        Shape::Arr(e) => out.push(LeafPath { path: path.clone(), ty: nir::Ty::Arr(*e) }),
+        Shape::Prim(k) => out.push(LeafPath {
+            path: path.clone(),
+            ty: nir::Ty::of_prim(*k),
+        }),
+        Shape::Arr(e) => out.push(LeafPath {
+            path: path.clone(),
+            ty: nir::Ty::Arr(*e),
+        }),
         Shape::Obj { fields, .. } => {
             for (i, f) in fields.iter().enumerate() {
                 path.push(i as u32);
@@ -264,7 +277,9 @@ mod tests {
         )
         .unwrap();
         let mut jvm = Jvm::new(&table).unwrap();
-        let solver = jvm.new_instance("FastSolver", &[Value::Float(2.0)]).unwrap();
+        let solver = jvm
+            .new_instance("FastSolver", &[Value::Float(2.0)])
+            .unwrap();
         let data = jvm.new_f32_array(&[1.0, 2.0]);
         let app = jvm.new_instance("App", &[solver, data]).unwrap();
         let shape = shape_of_value(&jvm, &app).unwrap();
@@ -275,13 +290,19 @@ mod tests {
             Shape::Obj {
                 class: app_id,
                 fields: vec![
-                    Shape::Obj { class: fs_id, fields: vec![Shape::Prim(PrimKind::Float)] },
+                    Shape::Obj {
+                        class: fs_id,
+                        fields: vec![Shape::Prim(PrimKind::Float)]
+                    },
                     Shape::Arr(ElemTy::F32),
                 ],
             }
         );
         assert_eq!(shape.leaf_count(), 2);
-        assert_eq!(shape.leaf_tys(), vec![nir::Ty::F32, nir::Ty::Arr(ElemTy::F32)]);
+        assert_eq!(
+            shape.leaf_tys(),
+            vec![nir::Ty::F32, nir::Ty::Arr(ElemTy::F32)]
+        );
         let paths = leaf_paths(&shape);
         assert_eq!(paths[0].path, vec![0, 0]);
         assert_eq!(paths[1].path, vec![1]);
@@ -289,8 +310,7 @@ mod tests {
 
     #[test]
     fn null_field_rejected() {
-        let table =
-            compile_str("class B { } class A { B b; A() { } }").unwrap();
+        let table = compile_str("class B { } class A { B b; A() { } }").unwrap();
         let mut jvm = Jvm::new(&table).unwrap();
         let a = jvm.new_instance("A", &[]).unwrap();
         let err = shape_of_value(&jvm, &a).unwrap_err();
@@ -305,7 +325,9 @@ mod tests {
         )
         .unwrap();
         let mut jvm = Jvm::new(&table).unwrap();
-        let p = jvm.new_instance("P", &[Value::Int(1), Value::Int(2)]).unwrap();
+        let p = jvm
+            .new_instance("P", &[Value::Int(1), Value::Int(2)])
+            .unwrap();
         let q = jvm.new_instance("Q", &[p, Value::Float(3.0)]).unwrap();
         let shape = shape_of_value(&jvm, &q).unwrap();
         let (off0, f0) = shape.field_leaf_range(0).unwrap();

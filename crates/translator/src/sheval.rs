@@ -40,7 +40,11 @@ struct Env {
 
 impl<'t> ShapeEval<'t> {
     pub fn new(table: &'t ClassTable) -> Self {
-        ShapeEval { table, ret_cache: HashMap::new(), in_progress: HashSet::new() }
+        ShapeEval {
+            table,
+            ret_cache: HashMap::new(),
+            in_progress: HashSet::new(),
+        }
     }
 
     /// The return shape of a specialized method (`None` = void).
@@ -80,7 +84,10 @@ impl<'t> ShapeEval<'t> {
             // done during lowering anyway; skip for speed.
             return Ok(None);
         }
-        let mut env = Env { locals: HashMap::new(), recv: key.recv.clone() };
+        let mut env = Env {
+            locals: HashMap::new(),
+            recv: key.recv.clone(),
+        };
         for (i, a) in key.args.iter().enumerate() {
             env.locals.insert(i as u32, a.clone());
         }
@@ -137,7 +144,10 @@ impl<'t> ShapeEval<'t> {
                 env.locals.insert(*slot, new);
                 Ok(())
             }
-            TStmt::AssignField { obj, value, .. } | TStmt::AssignIndex { arr: obj, value, .. } => {
+            TStmt::AssignField { obj, value, .. }
+            | TStmt::AssignIndex {
+                arr: obj, value, ..
+            } => {
                 self.expr(env, obj)?;
                 self.expr(env, value)?;
                 if let TStmt::AssignIndex { idx, .. } = s {
@@ -153,7 +163,12 @@ impl<'t> ShapeEval<'t> {
                 self.expr_stmt(env, e)?;
                 Ok(())
             }
-            TStmt::If { cond, then_branch, else_branch, .. } => {
+            TStmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 self.expr(env, cond)?;
                 self.block(env, then_branch, ret)?;
                 if let Some(e) = else_branch {
@@ -165,7 +180,13 @@ impl<'t> ShapeEval<'t> {
                 self.expr(env, cond)?;
                 self.block(env, body, ret)
             }
-            TStmt::For { init, cond, update, body, .. } => {
+            TStmt::For {
+                init,
+                cond,
+                update,
+                body,
+                ..
+            } => {
                 if let Some(i) = init {
                     self.stmt(env, i, ret)?;
                 }
@@ -219,7 +240,12 @@ impl<'t> ShapeEval<'t> {
                 for a in args {
                     arg_shapes.push(self.expr(env, a)?);
                 }
-                let key = SpecKey { class: ic, method: im, recv: Some(rs), args: arg_shapes };
+                let key = SpecKey {
+                    class: ic,
+                    method: im,
+                    recv: Some(rs),
+                    args: arg_shapes,
+                };
                 self.method_return(&key)?;
                 Ok(())
             }
@@ -243,7 +269,12 @@ impl<'t> ShapeEval<'t> {
                 for a in args {
                     arg_shapes.push(self.expr(env, a)?);
                 }
-                let key = SpecKey { class: *class, method: *index, recv: None, args: arg_shapes };
+                let key = SpecKey {
+                    class: *class,
+                    method: *index,
+                    recv: None,
+                    args: arg_shapes,
+                };
                 self.method_return(&key)?;
                 Ok(())
             }
@@ -262,11 +293,9 @@ impl<'t> ShapeEval<'t> {
             TExprKind::Float(_) => Ok(Shape::Prim(Float)),
             TExprKind::Double(_) => Ok(Shape::Prim(Double)),
             TExprKind::Bool(_) => Ok(Shape::Prim(Boolean)),
-            TExprKind::Local(slot) => env
-                .locals
-                .get(slot)
-                .cloned()
-                .ok_or_else(|| TransError::new(format!("local slot {slot} used before assignment"))),
+            TExprKind::Local(slot) => env.locals.get(slot).cloned().ok_or_else(|| {
+                TransError::new(format!("local slot {slot} used before assignment"))
+            }),
             TExprKind::This => env
                 .recv
                 .clone()
@@ -297,10 +326,14 @@ impl<'t> ShapeEval<'t> {
                 for a in args {
                     arg_shapes.push(self.expr(env, a)?);
                 }
-                let key = SpecKey { class: ic, method: im, recv: Some(rs), args: arg_shapes };
-                self.method_return(&key)?.ok_or_else(|| {
-                    TransError::new(format!("void call `{name}` used as a value"))
-                })
+                let key = SpecKey {
+                    class: ic,
+                    method: im,
+                    recv: Some(rs),
+                    args: arg_shapes,
+                };
+                self.method_return(&key)?
+                    .ok_or_else(|| TransError::new(format!("void call `{name}` used as a value")))
             }
             TExprKind::DirectCall { recv, method, args } => {
                 let rs = self.expr(env, recv)?;
@@ -322,8 +355,12 @@ impl<'t> ShapeEval<'t> {
                 for a in args {
                     arg_shapes.push(self.expr(env, a)?);
                 }
-                let key =
-                    SpecKey { class: *class, method: *index, recv: None, args: arg_shapes };
+                let key = SpecKey {
+                    class: *class,
+                    method: *index,
+                    recv: None,
+                    args: arg_shapes,
+                };
                 self.method_return(&key)?
                     .ok_or_else(|| TransError::new("void static call used as a value"))
             }
@@ -358,7 +395,12 @@ impl<'t> ShapeEval<'t> {
                 Ok(Shape::Prim(Int))
             }
             TExprKind::Unary { expr, .. } => self.expr(env, expr),
-            TExprKind::Binary { op, operand_kind, lhs, rhs } => {
+            TExprKind::Binary {
+                op,
+                operand_kind,
+                lhs,
+                rhs,
+            } => {
                 self.expr(env, lhs)?;
                 self.expr(env, rhs)?;
                 if op.is_comparison() {
@@ -387,10 +429,12 @@ impl<'t> ShapeEval<'t> {
             TExprKind::RefEq { .. } => Err(TransError::new(
                 "reference equality cannot be translated (coding rule 7)",
             )),
-            TExprKind::InstanceOf { .. } => {
-                Err(TransError::new("`instanceof` cannot be translated (coding rule 8)"))
-            }
-            TExprKind::Null => Err(TransError::new("`null` cannot be translated (coding rule 8)")),
+            TExprKind::InstanceOf { .. } => Err(TransError::new(
+                "`instanceof` cannot be translated (coding rule 8)",
+            )),
+            TExprKind::Null => Err(TransError::new(
+                "`null` cannot be translated (coding rule 8)",
+            )),
             TExprKind::Str(_) => Err(TransError::new("string values cannot be translated")),
             TExprKind::Ternary { .. } => Err(TransError::new(
                 "the conditional operator cannot be translated (coding rule 7)",
@@ -436,7 +480,10 @@ impl<'t> ShapeEval<'t> {
     ) -> TResult<()> {
         let info = self.table.class(class).clone();
         let Some(ctor) = &info.ctor else {
-            return Err(TransError::new(format!("`{}` has no constructor", info.name)));
+            return Err(TransError::new(format!(
+                "`{}` has no constructor",
+                info.name
+            )));
         };
         if ctor.params.len() != arg_shapes.len() {
             return Err(TransError::new(format!(
@@ -446,7 +493,10 @@ impl<'t> ShapeEval<'t> {
                 arg_shapes.len()
             )));
         }
-        let mut env = Env { locals: HashMap::new(), recv: None };
+        let mut env = Env {
+            locals: HashMap::new(),
+            recv: None,
+        };
         for (i, s) in arg_shapes.iter().enumerate() {
             env.locals.insert(i as u32, s.clone());
         }
@@ -495,7 +545,9 @@ impl<'t> ShapeEval<'t> {
                     let shape = self.ctor_expr(env, value, fields)?;
                     env.locals.insert(*slot, shape);
                 }
-                TStmt::AssignField { obj, field, value, .. } => {
+                TStmt::AssignField {
+                    obj, field, value, ..
+                } => {
                     if !matches!(obj.kind, TExprKind::This) {
                         return Err(TransError::new(
                             "constructor assigns a field of another object (not semi-immutable)",
@@ -555,7 +607,12 @@ impl<'t> ShapeEval<'t> {
                     .map(Shape::Arr)
                     .ok_or_else(|| TransError::new("only primitive arrays can be translated"))
             }
-            TExprKind::Binary { op, operand_kind, lhs, rhs } => {
+            TExprKind::Binary {
+                op,
+                operand_kind,
+                lhs,
+                rhs,
+            } => {
                 self.ctor_expr(env, lhs, fields)?;
                 self.ctor_expr(env, rhs, fields)?;
                 if op.is_comparison() {
@@ -569,11 +626,11 @@ impl<'t> ShapeEval<'t> {
                 self.ctor_expr(env, expr, fields)?;
                 Ok(Shape::Prim(*to))
             }
-            TExprKind::Call { .. } | TExprKind::DirectCall { .. } | TExprKind::StaticCall { .. } => {
-                Err(TransError::new(
-                    "constructor calls a method (not semi-immutable)",
-                ))
-            }
+            TExprKind::Call { .. }
+            | TExprKind::DirectCall { .. }
+            | TExprKind::StaticCall { .. } => Err(TransError::new(
+                "constructor calls a method (not semi-immutable)",
+            )),
             _ => self.expr(env, e),
         }
     }
@@ -627,9 +684,10 @@ fn field_decl_type(table: &ClassTable, class: ClassId, slot: u32) -> Option<Type
 /// Shape of field `slot` within an object shape.
 pub fn field_shape(table: &ClassTable, obj: &Shape, slot: u32) -> TResult<Shape> {
     match obj {
-        Shape::Obj { fields, .. } => fields.get(slot as usize).cloned().ok_or_else(|| {
-            TransError::new(format!("field slot {slot} out of range for shape"))
-        }),
+        Shape::Obj { fields, .. } => fields
+            .get(slot as usize)
+            .cloned()
+            .ok_or_else(|| TransError::new(format!("field slot {slot} out of range for shape"))),
         other => Err(TransError::new(format!(
             "field access on non-object shape {}",
             other.show(table)
@@ -655,8 +713,16 @@ mod tests {
         let rs = shape_of_value(jvm, recv).unwrap();
         let class = rs.class().unwrap();
         let (ic, im) = table.resolve_impl(class, method).unwrap();
-        let arg_shapes = args.iter().map(|a| shape_of_value(jvm, a).unwrap()).collect();
-        SpecKey { class: ic, method: im, recv: Some(rs), args: arg_shapes }
+        let arg_shapes = args
+            .iter()
+            .map(|a| shape_of_value(jvm, a).unwrap())
+            .collect();
+        SpecKey {
+            class: ic,
+            method: im,
+            recv: Some(rs),
+            args: arg_shapes,
+        }
     }
 
     #[test]
@@ -674,7 +740,10 @@ mod tests {
         let app = jvm.new_instance("App", &[mul]).unwrap();
         let key = entry_key(&table, &jvm, &app, "run", &[Value::Float(1.0)]);
         let mut se = ShapeEval::new(&table);
-        assert_eq!(se.method_return(&key).unwrap(), Some(Shape::Prim(PrimKind::Float)));
+        assert_eq!(
+            se.method_return(&key).unwrap(),
+            Some(Shape::Prim(PrimKind::Float))
+        );
     }
 
     #[test]

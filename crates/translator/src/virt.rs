@@ -108,14 +108,14 @@ impl<'t> VirtLowerer<'t> {
                     }
                     match self.method_func(ic, im) {
                         Ok(f) => {
-                            self.program.classes[info.id.0 as usize].vtable.push((*sel, f));
+                            self.program.classes[info.id.0 as usize]
+                                .vtable
+                                .push((*sel, f));
                             changed = true;
                         }
                         Err(e) => {
-                            self.skipped.push((
-                                format!("{}::{}", self.table.name(ic), name),
-                                e.message,
-                            ));
+                            self.skipped
+                                .push((format!("{}::{}", self.table.name(ic), name), e.message));
                         }
                     }
                 }
@@ -152,11 +152,8 @@ impl<'t> VirtLowerer<'t> {
         };
         // Reserve the slot to break cycles (recursion is legal here! The
         // C++ baseline has no coding-rule restrictions).
-        let placeholder = self.reserve_placeholder(&format!(
-            "{}_{}_v",
-            self.table.name(class),
-            m.name
-        ));
+        let placeholder =
+            self.reserve_placeholder(&format!("{}_{}_v", self.table.name(class), m.name));
         self.methods.insert((class, method), placeholder);
 
         let mut params = Vec::new();
@@ -188,7 +185,13 @@ impl<'t> VirtLowerer<'t> {
             env.insert(i as u32, next);
             next += 1;
         }
-        let mut cx = VCtx { fb, env, recv, ret_ty, loops: Vec::new() };
+        let mut cx = VCtx {
+            fb,
+            env,
+            recv,
+            ret_ty,
+            loops: Vec::new(),
+        };
         self.block(&mut cx, body)?;
         let f = cx.fb.finish().map_err(TransError::new)?;
         self.program.funcs[placeholder.0 as usize] = f;
@@ -216,7 +219,10 @@ impl<'t> VirtLowerer<'t> {
         }
         let info = self.table.class(class).clone();
         let Some(ctor) = &info.ctor else {
-            return Err(TransError::new(format!("`{}` has no constructor", info.name)));
+            return Err(TransError::new(format!(
+                "`{}` has no constructor",
+                info.name
+            )));
         };
         let placeholder = self.reserve_placeholder(&format!("{}_init", info.name));
         self.ctors.insert(class, placeholder);
@@ -235,7 +241,13 @@ impl<'t> VirtLowerer<'t> {
         for (i, _) in ctor.params.iter().enumerate() {
             env.insert(i as u32, i as u32 + 1);
         }
-        let mut cx = VCtx { fb, env, recv: Some(0), ret_ty: None, loops: Vec::new() };
+        let mut cx = VCtx {
+            fb,
+            env,
+            recv: Some(0),
+            ret_ty: None,
+            loops: Vec::new(),
+        };
         // 1. super constructor.
         if let Some((sid, _)) = &info.superclass {
             if *sid != jlang::OBJECT {
@@ -244,7 +256,11 @@ impl<'t> VirtLowerer<'t> {
                     sargs.push(self.expr(&mut cx, a)?);
                 }
                 let sf = self.ctor_func(*sid)?;
-                cx.fb.emit(Instr::Call { func: sf, args: sargs, dst: None });
+                cx.fb.emit(Instr::Call {
+                    func: sf,
+                    args: sargs,
+                    dst: None,
+                });
             }
         }
         // 2. field initializers.
@@ -301,27 +317,44 @@ impl<'t> VirtLowerer<'t> {
                 cx.fb.emit(Instr::Mov(r, v));
                 Ok(())
             }
-            TStmt::AssignField { obj, field, value, .. } => {
+            TStmt::AssignField {
+                obj, field, value, ..
+            } => {
                 let o = self.expr(cx, obj)?;
                 let v = self.expr(cx, value)?;
-                cx.fb.emit(Instr::PutField { obj: o, slot: field.slot, src: v });
+                cx.fb.emit(Instr::PutField {
+                    obj: o,
+                    slot: field.slot,
+                    src: v,
+                });
                 Ok(())
             }
             TStmt::AssignStatic { .. } => Err(TransError::new(
                 "assignment to a static field cannot be translated",
             )),
-            TStmt::AssignIndex { arr, idx, value, .. } => {
+            TStmt::AssignIndex {
+                arr, idx, value, ..
+            } => {
                 let a = self.expr(cx, arr)?;
                 let i = self.expr(cx, idx)?;
                 let v = self.expr(cx, value)?;
-                cx.fb.emit(Instr::StArr { arr: a, idx: i, src: v });
+                cx.fb.emit(Instr::StArr {
+                    arr: a,
+                    idx: i,
+                    src: v,
+                });
                 Ok(())
             }
             TStmt::Expr(e) => {
                 self.expr_maybe_void(cx, e)?;
                 Ok(())
             }
-            TStmt::If { cond, then_branch, else_branch, .. } => {
+            TStmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 let c = self.expr(cx, cond)?;
                 let tl = cx.fb.label();
                 let el = cx.fb.label();
@@ -354,7 +387,13 @@ impl<'t> VirtLowerer<'t> {
                 cx.fb.bind(end);
                 Ok(())
             }
-            TStmt::For { init, cond, update, body, .. } => {
+            TStmt::For {
+                init,
+                cond,
+                update,
+                body,
+                ..
+            } => {
                 if let Some(i) = init {
                     self.stmt(cx, i)?;
                 }
@@ -397,14 +436,18 @@ impl<'t> VirtLowerer<'t> {
                 Ok(())
             }
             TStmt::Break(_) => {
-                let (_, brk) =
-                    *cx.loops.last().ok_or_else(|| TransError::new("break outside loop"))?;
+                let (_, brk) = *cx
+                    .loops
+                    .last()
+                    .ok_or_else(|| TransError::new("break outside loop"))?;
                 cx.fb.jmp(brk);
                 Ok(())
             }
             TStmt::Continue(_) => {
-                let (cont, _) =
-                    *cx.loops.last().ok_or_else(|| TransError::new("continue outside loop"))?;
+                let (cont, _) = *cx
+                    .loops
+                    .last()
+                    .ok_or_else(|| TransError::new("continue outside loop"))?;
                 cx.fb.jmp(cont);
                 Ok(())
             }
@@ -416,11 +459,27 @@ impl<'t> VirtLowerer<'t> {
         match &e.kind {
             TExprKind::Call { recv, method, args } => {
                 let r = self.expr(cx, recv)?;
-                self.call(cx, Some(r), method.decl_class, method.index, args, true, &e.ty)
+                self.call(
+                    cx,
+                    Some(r),
+                    method.decl_class,
+                    method.index,
+                    args,
+                    true,
+                    &e.ty,
+                )
             }
             TExprKind::DirectCall { recv, method, args } => {
                 let r = self.expr(cx, recv)?;
-                self.call(cx, Some(r), method.decl_class, method.index, args, false, &e.ty)
+                self.call(
+                    cx,
+                    Some(r),
+                    method.decl_class,
+                    method.index,
+                    args,
+                    false,
+                    &e.ty,
+                )
             }
             TExprKind::StaticCall { class, index, args } => {
                 self.call(cx, None, *class, *index, args, false, &e.ty)
@@ -461,13 +520,17 @@ impl<'t> VirtLowerer<'t> {
                 .get(slot)
                 .copied()
                 .ok_or_else(|| TransError::new(format!("unassigned slot {slot}"))),
-            TExprKind::This => {
-                cx.recv.ok_or_else(|| TransError::new("`this` in static context"))
-            }
+            TExprKind::This => cx
+                .recv
+                .ok_or_else(|| TransError::new("`this` in static context")),
             TExprKind::GetField { obj, field } => {
                 let o = self.expr(cx, obj)?;
                 let dst = cx.fb.reg(decl_ty(&field.ty)?);
-                cx.fb.emit(Instr::GetField { obj: o, slot: field.slot, dst });
+                cx.fb.emit(Instr::GetField {
+                    obj: o,
+                    slot: field.slot,
+                    dst,
+                });
                 Ok(dst)
             }
             TExprKind::GetStatic { class, index } => {
@@ -480,26 +543,49 @@ impl<'t> VirtLowerer<'t> {
             }
             TExprKind::Call { recv, method, args } => {
                 let r = self.expr(cx, recv)?;
-                self.call(cx, Some(r), method.decl_class, method.index, args, true, &e.ty)?
-                    .ok_or_else(|| TransError::new("void call used as a value"))
+                self.call(
+                    cx,
+                    Some(r),
+                    method.decl_class,
+                    method.index,
+                    args,
+                    true,
+                    &e.ty,
+                )?
+                .ok_or_else(|| TransError::new("void call used as a value"))
             }
             TExprKind::DirectCall { recv, method, args } => {
                 let r = self.expr(cx, recv)?;
-                self.call(cx, Some(r), method.decl_class, method.index, args, false, &e.ty)?
-                    .ok_or_else(|| TransError::new("void call used as a value"))
+                self.call(
+                    cx,
+                    Some(r),
+                    method.decl_class,
+                    method.index,
+                    args,
+                    false,
+                    &e.ty,
+                )?
+                .ok_or_else(|| TransError::new("void call used as a value"))
             }
             TExprKind::StaticCall { class, index, args } => self
                 .call(cx, None, *class, *index, args, false, &e.ty)?
                 .ok_or_else(|| TransError::new("void call used as a value")),
             TExprKind::New { class, args, .. } => {
                 let obj = cx.fb.reg(Ty::Obj);
-                cx.fb.emit(Instr::NewObj { class: class.0, dst: obj });
+                cx.fb.emit(Instr::NewObj {
+                    class: class.0,
+                    dst: obj,
+                });
                 let cf = self.ctor_func(*class)?;
                 let mut argv = vec![obj];
                 for a in args {
                     argv.push(self.expr(cx, a)?);
                 }
-                cx.fb.emit(Instr::Call { func: cf, args: argv, dst: None });
+                cx.fb.emit(Instr::Call {
+                    func: cf,
+                    args: argv,
+                    dst: None,
+                });
                 Ok(obj)
             }
             TExprKind::NewArray { elem, len } => {
@@ -507,14 +593,22 @@ impl<'t> VirtLowerer<'t> {
                     .ok_or_else(|| TransError::new("only primitive arrays can be translated"))?;
                 let l = self.expr(cx, len)?;
                 let dst = cx.fb.reg(Ty::Arr(et));
-                cx.fb.emit(Instr::NewArr { elem: et, len: l, dst });
+                cx.fb.emit(Instr::NewArr {
+                    elem: et,
+                    len: l,
+                    dst,
+                });
                 Ok(dst)
             }
             TExprKind::Index { arr, idx } => {
                 let a = self.expr(cx, arr)?;
                 let i = self.expr(cx, idx)?;
                 let dst = cx.fb.reg(decl_ty(&e.ty)?);
-                cx.fb.emit(Instr::LdArr { arr: a, idx: i, dst });
+                cx.fb.emit(Instr::LdArr {
+                    arr: a,
+                    idx: i,
+                    dst,
+                });
                 Ok(dst)
             }
             TExprKind::ArrayLen(a) => {
@@ -529,7 +623,11 @@ impl<'t> VirtLowerer<'t> {
                 let dst = cx.fb.reg(Ty::of_prim(k));
                 match op {
                     UnOp::Neg => {
-                        cx.fb.emit(Instr::Neg { kind: k, dst, src: v });
+                        cx.fb.emit(Instr::Neg {
+                            kind: k,
+                            dst,
+                            src: v,
+                        });
                     }
                     UnOp::Not => {
                         cx.fb.emit(Instr::Not { dst, src: v });
@@ -537,7 +635,12 @@ impl<'t> VirtLowerer<'t> {
                 }
                 Ok(dst)
             }
-            TExprKind::Binary { op, operand_kind, lhs, rhs } => {
+            TExprKind::Binary {
+                op,
+                operand_kind,
+                lhs,
+                rhs,
+            } => {
                 if matches!(op, BinOp::And | BinOp::Or) {
                     let dst = cx.fb.reg(Ty::Bool);
                     let l = self.expr(cx, lhs)?;
@@ -558,9 +661,19 @@ impl<'t> VirtLowerer<'t> {
                 }
                 let l = self.expr(cx, lhs)?;
                 let r = self.expr(cx, rhs)?;
-                let out = if op.is_comparison() { PrimKind::Boolean } else { *operand_kind };
+                let out = if op.is_comparison() {
+                    PrimKind::Boolean
+                } else {
+                    *operand_kind
+                };
                 let dst = cx.fb.reg(Ty::of_prim(out));
-                cx.fb.emit(Instr::Bin { op: *op, kind: *operand_kind, dst, lhs: l, rhs: r });
+                cx.fb.emit(Instr::Bin {
+                    op: *op,
+                    kind: *operand_kind,
+                    dst,
+                    lhs: l,
+                    rhs: r,
+                });
                 Ok(dst)
             }
             TExprKind::NumCast { to, expr } | TExprKind::Convert { to, expr } => {
@@ -570,12 +683,20 @@ impl<'t> VirtLowerer<'t> {
                     return Ok(v);
                 }
                 let dst = cx.fb.reg(Ty::of_prim(*to));
-                cx.fb.emit(Instr::Cast { to: *to, from, dst, src: v });
+                cx.fb.emit(Instr::Cast {
+                    to: *to,
+                    from,
+                    dst,
+                    src: v,
+                });
                 Ok(dst)
             }
             TExprKind::RefCast { expr, .. } => self.expr(cx, expr),
-            TExprKind::RefEq { .. } | TExprKind::InstanceOf { .. } | TExprKind::Null
-            | TExprKind::Str(_) | TExprKind::Ternary { .. } => Err(TransError::new(
+            TExprKind::RefEq { .. }
+            | TExprKind::InstanceOf { .. }
+            | TExprKind::Null
+            | TExprKind::Str(_)
+            | TExprKind::Ternary { .. } => Err(TransError::new(
                 "construct forbidden by the coding rules cannot be translated",
             )),
         }
@@ -611,12 +732,20 @@ impl<'t> VirtLowerer<'t> {
             if let Some(op) = native_intrin(key) {
                 return match ret_ty {
                     Type::Void => {
-                        cx.fb.emit(Instr::Intrin { op, args: regs, dst: None });
+                        cx.fb.emit(Instr::Intrin {
+                            op,
+                            args: regs,
+                            dst: None,
+                        });
                         Ok(None)
                     }
                     t => {
                         let dst = cx.fb.reg(decl_ty(t)?);
-                        cx.fb.emit(Instr::Intrin { op, args: regs, dst: Some(dst) });
+                        cx.fb.emit(Instr::Intrin {
+                            op,
+                            args: regs,
+                            dst: Some(dst),
+                        });
                         Ok(Some(dst))
                     }
                 };
@@ -645,12 +774,20 @@ impl<'t> VirtLowerer<'t> {
             };
             return match ret_ty {
                 Type::Void => {
-                    cx.fb.emit(Instr::CallHost { host, args: regs, dst: None });
+                    cx.fb.emit(Instr::CallHost {
+                        host,
+                        args: regs,
+                        dst: None,
+                    });
                     Ok(None)
                 }
                 t => {
                     let dst = cx.fb.reg(decl_ty(t)?);
-                    cx.fb.emit(Instr::CallHost { host, args: regs, dst: Some(dst) });
+                    cx.fb.emit(Instr::CallHost {
+                        host,
+                        args: regs,
+                        dst: Some(dst),
+                    });
                     Ok(Some(dst))
                 }
             };
@@ -673,18 +810,31 @@ impl<'t> VirtLowerer<'t> {
             (Some(r), true) => {
                 let sel = self.selector(&decl.name);
                 self.stats.virtual_calls += 1;
-                cx.fb.emit(Instr::CallVirt { selector: sel, recv: r, args: argv, dst });
+                cx.fb.emit(Instr::CallVirt {
+                    selector: sel,
+                    recv: r,
+                    args: argv,
+                    dst,
+                });
             }
             (Some(r), false) => {
                 // super call: direct, non-virtual.
                 let f = self.method_func(decl_class, index)?;
                 let mut all = vec![r];
                 all.extend(argv);
-                cx.fb.emit(Instr::Call { func: f, args: all, dst });
+                cx.fb.emit(Instr::Call {
+                    func: f,
+                    args: all,
+                    dst,
+                });
             }
             (None, _) => {
                 let f = self.method_func(decl_class, index)?;
-                cx.fb.emit(Instr::Call { func: f, args: argv, dst });
+                cx.fb.emit(Instr::Call {
+                    func: f,
+                    args: argv,
+                    dst,
+                });
             }
         }
         let _ = &cx.ret_ty;
@@ -710,7 +860,8 @@ fn decl_ty(t: &Type) -> TResult<Ty> {
 }
 
 fn expr_kind(e: &TExpr) -> TResult<PrimKind> {
-    e.ty.prim_kind().ok_or_else(|| TransError::new("expected a primitive expression"))
+    e.ty.prim_kind()
+        .ok_or_else(|| TransError::new("expected a primitive expression"))
 }
 
 fn zero(kind: PrimKind, r: Reg) -> Instr {

@@ -14,7 +14,9 @@ fn run_full(src: &str, class: &str, ctor: &[Value], method: &str, args: &[Value]
     let t = translate(&table, &jvm, &recv, method, args, TransConfig::full()).unwrap();
     let mut m = Machine::with_globals(&t.program);
     let vals = bind_entry_args(&jvm, &recv, args, &t.bindings, &mut m).unwrap();
-    run_to_completion(&t.program, t.entry, vals, &mut m).unwrap().unwrap()
+    run_to_completion(&t.program, t.entry, vals, &mut m)
+        .unwrap()
+        .unwrap()
 }
 
 #[test]
@@ -35,11 +37,14 @@ fn zero_leaf_end_to_end() {
     let mut jvm = Jvm::new(&table).unwrap();
     let marker = jvm.new_instance("Marker", &[]).unwrap();
     let wrap = jvm.new_instance("Wrap", &[marker]).unwrap();
-    for config in [TransConfig::full(), TransConfig::devirt(), TransConfig::virtual_dispatch()] {
+    for config in [
+        TransConfig::full(),
+        TransConfig::devirt(),
+        TransConfig::virtual_dispatch(),
+    ] {
         let t = translate(&table, &jvm, &wrap, "run", &[Value::Int(41)], config).unwrap();
         let mut m = Machine::with_globals(&t.program);
-        let vals =
-            bind_entry_args(&jvm, &wrap, &[Value::Int(41)], &t.bindings, &mut m).unwrap();
+        let vals = bind_entry_args(&jvm, &wrap, &[Value::Int(41)], &t.bindings, &mut m).unwrap();
         let out = run_to_completion(&t.program, t.entry, vals, &mut m).unwrap();
         assert_eq!(out, Some(Val::I32(42)), "mode {:?}", config.mode);
     }
@@ -117,8 +122,7 @@ fn impossible_cast_reported_at_translation_time() {
     let zoo = jvm.new_instance("Zoo", &[dog]).unwrap();
     // The shape analysis knows `a` is a Dog, so `(Cat) a` can never
     // succeed — a translation-time error, unlike Java's runtime exception.
-    let err =
-        translate(&table, &jvm, &zoo, "run", &[], TransConfig::full()).unwrap_err();
+    let err = translate(&table, &jvm, &zoo, "run", &[], TransConfig::full()).unwrap_err();
     assert!(err.message.contains("never succeed"), "{err}");
 }
 
@@ -211,8 +215,15 @@ fn virtual_mode_reports_kernels_as_unsupported() {
     let mut jvm = Jvm::new(&table).unwrap();
     let k = jvm.new_instance("K", &[]).unwrap();
     let data = jvm.new_f32_array(&[0.0; 4]);
-    let err =
-        translate(&table, &jvm, &k, "run", &[data], TransConfig::virtual_dispatch()).unwrap_err();
+    let err = translate(
+        &table,
+        &jvm,
+        &k,
+        "run",
+        &[data],
+        TransConfig::virtual_dispatch(),
+    )
+    .unwrap_err();
     assert!(err.message.contains("virtual dispatch"), "{err}");
 }
 
@@ -247,7 +258,15 @@ fn shape_mismatch_on_local_reassignment_is_reported() {
     let table = compile_str(src).unwrap();
     let mut jvm = Jvm::new(&table).unwrap();
     let m = jvm.new_instance("M", &[]).unwrap();
-    assert!(translate(&table, &jvm, &m, "run", &[Value::Bool(true)], TransConfig::full()).is_ok());
+    assert!(translate(
+        &table,
+        &jvm,
+        &m,
+        "run",
+        &[Value::Bool(true)],
+        TransConfig::full()
+    )
+    .is_ok());
 
     let table = compile_str(bad).unwrap();
     let mut jvm = Jvm::new(&table).unwrap();
@@ -300,7 +319,10 @@ fn deep_nesting_of_component_objects_flattens_fully() {
     // Full mode: no object instructions anywhere.
     for f in &t.program.funcs {
         for ins in &f.code {
-            assert!(!matches!(ins, nir::Instr::GetField { .. } | nir::Instr::NewObj { .. }));
+            assert!(!matches!(
+                ins,
+                nir::Instr::GetField { .. } | nir::Instr::NewObj { .. }
+            ));
         }
     }
     let mut m = Machine::with_globals(&t.program);

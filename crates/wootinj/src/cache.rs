@@ -1,0 +1,138 @@
+//! Specialization-keyed JIT code cache.
+//!
+//! `WootinJ::jit` memoizes translation end-to-end: the key canonicalizes
+//! *everything the translation pipeline reads* — the exact dynamic type
+//! tuple of the live receiver/argument object graph ([`EntrySpec`], the
+//! same analysis that drives devirtualization), the full translator
+//! configuration (mode, optimizer config, rule-check flag), and a
+//! fingerprint of the host-FFI registry (translated programs resolve
+//! `@Native` keys against it). Two object graphs differing only in field
+//! *values* share an entry; differing in any exact type, array element
+//! type, `OptConfig`, or registered FFI key do not.
+//!
+//! The cache is LRU-bounded. Capacity 0 disables caching entirely (every
+//! call translates — the "uncached" series of `repro tab3-amortized`).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use translator::{EntrySpec, TransConfig, Translated};
+
+/// The canonical cache key (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    pub spec: EntrySpec,
+    pub config: TransConfig,
+    /// Ordered list of registered host-FFI keys at translation time.
+    pub hosts: Vec<String>,
+}
+
+/// Cumulative cache counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+}
+
+/// An LRU-bounded memo table from [`CacheKey`] to translated programs.
+/// Entries are `Arc`-shared, so a hit is a pointer clone — no translator
+/// or NIR work.
+pub struct JitCache {
+    map: HashMap<CacheKey, Arc<Translated>>,
+    /// Keys in recency order: least recently used first.
+    order: Vec<CacheKey>,
+    cap: usize,
+    stats: CacheStats,
+}
+
+/// Default LRU bound: enough for every (figure × mode × shape) tuple the
+/// bench harness cycles through, small enough to bound memory.
+pub const DEFAULT_CAPACITY: usize = 64;
+
+impl Default for JitCache {
+    fn default() -> Self {
+        JitCache::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl JitCache {
+    pub fn new(cap: usize) -> Self {
+        JitCache {
+            map: HashMap::new(),
+            order: Vec::new(),
+            cap,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Look up `key`, marking it most-recently-used on a hit.
+    pub fn lookup(&mut self, key: &CacheKey) -> Option<Arc<Translated>> {
+        match self.map.get(key) {
+            Some(hit) => {
+                let hit = Arc::clone(hit);
+                self.stats.hits += 1;
+                if let Some(i) = self.order.iter().position(|k| k == key) {
+                    let k = self.order.remove(i);
+                    self.order.push(k);
+                }
+                Some(hit)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a freshly translated program, evicting the least recently
+    /// used entry if the bound is reached. No-op when capacity is 0.
+    pub fn insert(&mut self, key: CacheKey, translated: Arc<Translated>) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.map.insert(key.clone(), translated).is_none() {
+            while self.order.len() + 1 > self.cap {
+                let victim = self.order.remove(0);
+                self.map.remove(&victim);
+                self.stats.evictions += 1;
+            }
+            self.order.push(key);
+        } else if let Some(i) = self.order.iter().position(|k| *k == key) {
+            let k = self.order.remove(i);
+            self.order.push(k);
+        }
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Resize the LRU bound, evicting down to it immediately. Capacity 0
+    /// drops every entry and disables caching (counters are kept).
+    pub fn set_capacity(&mut self, cap: usize) {
+        self.cap = cap;
+        while self.order.len() > self.cap {
+            let victim = self.order.remove(0);
+            self.map.remove(&victim);
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// Keys in recency order, least recently used first (test hook).
+    pub fn lru_order(&self) -> &[CacheKey] {
+        &self.order
+    }
+}

@@ -20,20 +20,27 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod prelude;
 
+use std::cell::RefCell;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use cache::{CacheKey, JitCache};
 use jlang::{ClassTable, DiagResult, SourceSet};
 use jvm::{Jvm, JvmError, Value};
 use mpi_sim::{CostModel, World};
-use translator::{bind_entry_args, translate, Mode, TransConfig, TransError, Translated};
+use translator::{
+    bind_entry_args, entry_spec, translate, Mode, TransConfig, TransError, Translated,
+};
 
+pub use cache::CacheStats;
 pub use exec::Val;
 pub use gpu_sim::GpuConfig;
 pub use mpi_sim::CostModel as MpiCostModel;
 pub use nir::OptConfig;
-pub use translator::{Binding, TransStats};
+pub use translator::{Binding, EntrySpec, TransStats};
 
 /// Compile prelude + user sources into a typed class table.
 ///
@@ -103,11 +110,18 @@ pub struct WootinJ<'t> {
     /// FFI: `@Native("key")` methods with unknown keys become direct host
     /// calls).
     pub host: exec::HostRegistry,
+    /// Specialization-keyed code cache consulted by [`Self::jit`].
+    cache: RefCell<JitCache>,
 }
 
 impl<'t> WootinJ<'t> {
     pub fn new(table: &'t ClassTable) -> WjResult<Self> {
-        Ok(WootinJ { table, jvm: Jvm::new(table)?, host: exec::HostRegistry::new() })
+        Ok(WootinJ {
+            table,
+            jvm: Jvm::new(table)?,
+            host: exec::HostRegistry::new(),
+            cache: RefCell::new(JitCache::default()),
+        })
     }
 
     /// Register a foreign function for the *translated* execution path.
@@ -117,7 +131,7 @@ impl<'t> WootinJ<'t> {
     pub fn register_host(
         &mut self,
         key: impl Into<String>,
-        f: impl Fn(&[Val], &mut exec::MemSpace) -> Result<Val, String> + 'static,
+        f: impl Fn(&[Val], &mut exec::MemSpace) -> Result<Val, exec::ExecError> + 'static,
     ) {
         self.host.register(key, f);
     }
@@ -131,10 +145,7 @@ impl<'t> WootinJ<'t> {
     /// *both* execution paths at once (covers the common FFI-to-libm case).
     pub fn register_scalar_fn(&mut self, key: &str, f: fn(f64) -> f64) {
         self.host.register(key.to_string(), move |args, _| {
-            let x = args
-                .first()
-                .ok_or("missing argument")?
-                .as_f64()?;
+            let x = args.first().ok_or("missing argument")?.as_f64()?;
             Ok(Val::F64(f(x)))
         });
         self.jvm.register_native(
@@ -182,6 +193,12 @@ impl<'t> WootinJ<'t> {
 
     /// JIT-translate `recv.method(args)` — `WootinJ.jit` / `jit4mpi`.
     /// The arguments are recorded and replayed by [`JitCode::invoke`].
+    ///
+    /// Translation is memoized in a specialization-keyed code cache: the
+    /// key is the exact dynamic type tuple of the live receiver/argument
+    /// graph plus the full [`TransConfig`] and the host-FFI registry
+    /// fingerprint. A repeat call with an identical key does zero
+    /// translator/NIR work and shares the program via `Arc`.
     pub fn jit(
         &self,
         recv: &Value,
@@ -190,17 +207,62 @@ impl<'t> WootinJ<'t> {
         options: JitOptions,
     ) -> WjResult<JitCode> {
         let start = Instant::now();
-        let translated = translate(self.table, &self.jvm, recv, method, args, options.config)?;
+        let spec = entry_spec(
+            self.table,
+            &self.jvm,
+            recv,
+            method,
+            args,
+            options.config.mode,
+        )?;
+        let key = CacheKey {
+            spec,
+            config: options.config,
+            hosts: self.host.keys().map(str::to_string).collect(),
+        };
+        let cached = self.cache.borrow_mut().lookup(&key);
+        let translated = match cached {
+            Some(hit) => hit,
+            None => {
+                let t = Arc::new(translate(
+                    self.table,
+                    &self.jvm,
+                    recv,
+                    method,
+                    args,
+                    options.config,
+                )?);
+                self.cache.borrow_mut().insert(key, Arc::clone(&t));
+                t
+            }
+        };
         let compile_time = start.elapsed();
         Ok(JitCode {
             translated,
             compile_time,
+            cache_stats: self.cache.borrow().stats(),
             recv: recv.clone(),
             args: args.to_vec(),
             mpi_size: 1,
             cost: CostModel::default(),
             gpu: None,
         })
+    }
+
+    /// Cumulative code-cache counters (hits / misses / evictions).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.borrow().stats()
+    }
+
+    /// Number of cached specializations currently resident.
+    pub fn cache_len(&self) -> usize {
+        self.cache.borrow().len()
+    }
+
+    /// Rebound the LRU cache, evicting down immediately. Capacity 0
+    /// disables caching (every `jit` call translates from scratch).
+    pub fn set_cache_capacity(&self, cap: usize) {
+        self.cache.borrow_mut().set_capacity(cap);
     }
 }
 
@@ -214,12 +276,16 @@ impl JitOptions {
     /// The WootinJ pipeline (devirtualization + specialization + object
     /// inlining).
     pub fn wootinj() -> Self {
-        JitOptions { config: TransConfig::full() }
+        JitOptions {
+            config: TransConfig::full(),
+        }
     }
 
     /// The *C++* baseline: vtable dispatch, heap objects.
     pub fn cpp() -> Self {
-        JitOptions { config: TransConfig::virtual_dispatch() }
+        JitOptions {
+            config: TransConfig::virtual_dispatch(),
+        }
     }
 
     /// The *Template* baseline: devirtualized via specialization, objects
@@ -234,7 +300,9 @@ impl JitOptions {
 
     /// The *Template w/o virt.* baseline: WootinJ + function inlining.
     pub fn template_no_virt() -> Self {
-        JitOptions { config: TransConfig::template_no_virt() }
+        JitOptions {
+            config: TransConfig::template_no_virt(),
+        }
     }
 
     pub fn with_opt(mut self, opt: OptConfig) -> Self {
@@ -249,11 +317,17 @@ impl JitOptions {
 }
 
 /// A translated program with its recorded entry arguments — the paper's
-/// `JitCode`.
+/// `JitCode`. Cheaply cloneable: the program is `Arc`-shared with the
+/// code cache and with every other `JitCode` minted from the same
+/// specialization key.
+#[derive(Clone)]
 pub struct JitCode {
-    pub translated: Translated,
-    /// Translation wall time (Table 3's "compilation time").
+    pub translated: Arc<Translated>,
+    /// Wall time this `jit` call spent (key extraction + cache probe +,
+    /// on a miss, full translation — Table 3's "compilation time").
     pub compile_time: Duration,
+    /// Snapshot of the env's cache counters when this code was minted.
+    cache_stats: CacheStats,
     recv: Value,
     args: Vec<Value>,
     mpi_size: u32,
@@ -282,8 +356,13 @@ impl JitCode {
         self.translated.mode
     }
 
+    /// Translation statistics, with the env's cache counters (as of this
+    /// `jit` call) merged in.
     pub fn stats(&self) -> TransStats {
-        self.translated.stats
+        let mut stats = self.translated.stats.clone();
+        stats.cache_hits = self.cache_stats.hits;
+        stats.cache_misses = self.cache_stats.misses;
+        stats
     }
 
     /// Execute the translated program with the recorded arguments —
@@ -440,16 +519,26 @@ mod tests {
         let mut env = WootinJ::new(&table).unwrap();
         let gen = env.new_instance("PhysDataGen", &[]).unwrap();
         let solver = env.new_instance("PhysSolver", &[]).unwrap();
-        let stencil = env.new_instance("StencilOnGpuAndMPI", &[gen, solver]).unwrap();
+        let stencil = env
+            .new_instance("StencilOnGpuAndMPI", &[gen, solver])
+            .unwrap();
         let mut code = env
-            .jit(&stencil, "run", &[Value::Int(200), Value::Int(4)], JitOptions::wootinj())
+            .jit(
+                &stencil,
+                "run",
+                &[Value::Int(200), Value::Int(4)],
+                JitOptions::wootinj(),
+            )
             .unwrap();
         code.set_gpu(GpuConfig::default());
         let report = code.invoke(&env).unwrap();
         let expected = reference_single_rank(200, 4);
         match report.result {
             Some(Val::F32(v)) => {
-                assert!((v - expected).abs() < expected.abs() * 1e-5, "{v} vs {expected}")
+                assert!(
+                    (v - expected).abs() < expected.abs() * 1e-5,
+                    "{v} vs {expected}"
+                )
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -464,9 +553,16 @@ mod tests {
         let mut env = WootinJ::new(&table).unwrap();
         let gen = env.new_instance("PhysDataGen", &[]).unwrap();
         let solver = env.new_instance("PhysSolver", &[]).unwrap();
-        let stencil = env.new_instance("StencilOnGpuAndMPI", &[gen, solver]).unwrap();
+        let stencil = env
+            .new_instance("StencilOnGpuAndMPI", &[gen, solver])
+            .unwrap();
         let mut code = env
-            .jit(&stencil, "run", &[Value::Int(64), Value::Int(2)], JitOptions::wootinj())
+            .jit(
+                &stencil,
+                "run",
+                &[Value::Int(64), Value::Int(2)],
+                JitOptions::wootinj(),
+            )
             .unwrap();
         code.set_mpi(3, CostModel::default());
         code.set_gpu(GpuConfig::default());
@@ -488,7 +584,10 @@ mod tests {
         for r in &report.results {
             match r {
                 Some(Val::F32(v)) => {
-                    assert!((v - expected).abs() < expected.abs() * 1e-5, "{v} vs {expected}")
+                    assert!(
+                        (v - expected).abs() < expected.abs() * 1e-5,
+                        "{v} vs {expected}"
+                    )
                 }
                 other => panic!("unexpected {other:?}"),
             }
@@ -534,7 +633,9 @@ mod tests {
         // Interpreted run — the translated run used a deep copy, so the
         // host array is untouched and reusable.
         let data2 = env.new_f32_array(&[1.0, 2.0, 3.0]);
-        let jreport = env.run_interpreted(&app, "run", &[data2, Value::Int(5)]).unwrap();
+        let jreport = env
+            .run_interpreted(&app, "run", &[data2, Value::Int(5)])
+            .unwrap();
         match (report.result, jreport.result) {
             (Some(Val::F32(a)), Value::Float(b)) => assert_eq!(a, b),
             other => panic!("unexpected {other:?}"),
@@ -556,7 +657,14 @@ mod tests {
         let mut env = WootinJ::new(&table).unwrap();
         let w = env.new_instance("W", &[]).unwrap();
         let data = env.new_f32_array(&[1.0, 2.0]);
-        let code = env.jit(&w, "run", &[data.clone()], JitOptions::wootinj()).unwrap();
+        let code = env
+            .jit(
+                &w,
+                "run",
+                std::slice::from_ref(&data),
+                JitOptions::wootinj(),
+            )
+            .unwrap();
         code.invoke(&env).unwrap();
         // The paper: modified data are NOT copied back.
         assert_eq!(env.f32_array(&data).unwrap(), vec![1.0, 2.0]);
@@ -583,8 +691,9 @@ mod tests {
         "#;
         let table = build_table(&[("app.jl", APP)]).unwrap();
         let mut env = WootinJ::new(&table).unwrap();
-        let poly =
-            env.new_instance("Poly", &[Value::Double(1.5), Value::Double(-0.5)]).unwrap();
+        let poly = env
+            .new_instance("Poly", &[Value::Double(1.5), Value::Double(-0.5)])
+            .unwrap();
         let runner = env.new_instance("Runner", &[poly]).unwrap();
         let args = [Value::Int(500)];
         let mut results = Vec::new();
@@ -607,8 +716,18 @@ mod tests {
             assert_eq!(w[0], w[1]);
         }
         // WootinJ fastest, C++ slowest (the Figure 17 ordering).
-        assert!(vtimes[0] < vtimes[1], "wootinj {} !< template {}", vtimes[0], vtimes[1]);
-        assert!(vtimes[1] < vtimes[3], "template {} !< cpp {}", vtimes[1], vtimes[3]);
+        assert!(
+            vtimes[0] < vtimes[1],
+            "wootinj {} !< template {}",
+            vtimes[0],
+            vtimes[1]
+        );
+        assert!(
+            vtimes[1] < vtimes[3],
+            "template {} !< cpp {}",
+            vtimes[1],
+            vtimes[3]
+        );
     }
 
     #[test]
@@ -617,9 +736,16 @@ mod tests {
         let mut env = WootinJ::new(&table).unwrap();
         let gen = env.new_instance("PhysDataGen", &[]).unwrap();
         let solver = env.new_instance("PhysSolver", &[]).unwrap();
-        let stencil = env.new_instance("StencilOnGpuAndMPI", &[gen, solver]).unwrap();
+        let stencil = env
+            .new_instance("StencilOnGpuAndMPI", &[gen, solver])
+            .unwrap();
         let code = env
-            .jit(&stencil, "run", &[Value::Int(16), Value::Int(1)], JitOptions::wootinj())
+            .jit(
+                &stencil,
+                "run",
+                &[Value::Int(16), Value::Int(1)],
+                JitOptions::wootinj(),
+            )
             .unwrap();
         assert!(code.compile_time.as_nanos() > 0);
         let src = code.c_source();
@@ -636,11 +762,17 @@ mod preset_tests {
     fn jit_option_presets_map_to_the_paper_series() {
         assert_eq!(JitOptions::wootinj().config.mode, Mode::Full);
         assert_eq!(JitOptions::template().config.mode, Mode::Devirt);
-        assert!(JitOptions::template().config.opt.sroa, "Template models C++ value semantics");
+        assert!(
+            JitOptions::template().config.opt.sroa,
+            "Template models C++ value semantics"
+        );
         assert_eq!(JitOptions::template_no_virt().config.mode, Mode::Full);
         assert!(JitOptions::template_no_virt().config.opt.inline_limit > 0);
         assert_eq!(JitOptions::cpp().config.mode, Mode::Virtual);
-        assert!(!JitOptions::cpp().config.check_rules, "the C++ baseline is not rule-bound");
+        assert!(
+            !JitOptions::cpp().config.check_rules,
+            "the C++ baseline is not rule-bound"
+        );
     }
 
     #[test]

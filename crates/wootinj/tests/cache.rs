@@ -1,0 +1,319 @@
+//! JIT code-cache semantics: what must hit, what must miss, how the LRU
+//! bound evicts, and how the counters surface through `TransStats`.
+//!
+//! The correctness hinge (ISSUE 1): the key incorporates everything
+//! translation reads. Two live object graphs differing only in field
+//! *values* share a cache entry; graphs differing in exact types, array
+//! shapes, `OptConfig`/`Mode`, rule-check mode, or the host-FFI registry
+//! do not.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use jvm::Value;
+use wootinj::{build_table, JitOptions, OptConfig, Val, WootinJ};
+
+const APP: &str = "
+    @WootinJ interface Op { float f(float x); }
+    @WootinJ final class Dbl implements Op { Dbl() { } float f(float x) { return x * 2f; } }
+    @WootinJ final class Sqr implements Op { Sqr() { } float f(float x) { return x * x; } }
+    @WootinJ final class Runner {
+      Op op; float bias;
+      Runner(Op o, float b) { op = o; bias = b; }
+      float run(float[] data) {
+        float s = bias;
+        for (int i = 0; i < data.length; i++) { s += op.f(data[i]); }
+        return s;
+      }
+    }";
+
+#[test]
+fn value_only_changes_share_a_cache_entry() {
+    let table = build_table(&[("app.jl", APP)]).unwrap();
+    let mut env = WootinJ::new(&table).unwrap();
+    // Two graphs with identical exact-type structure but different field
+    // values and different array contents (same length is not required —
+    // shapes track element type, not length).
+    let d1 = env.new_instance("Dbl", &[]).unwrap();
+    let r1 = env
+        .new_instance("Runner", &[d1, Value::Float(1.0)])
+        .unwrap();
+    let a1 = env.new_f32_array(&[1.0, 2.0]);
+    let d2 = env.new_instance("Dbl", &[]).unwrap();
+    let r2 = env
+        .new_instance("Runner", &[d2, Value::Float(-7.5)])
+        .unwrap();
+    let a2 = env.new_f32_array(&[10.0, 20.0, 30.0]);
+
+    let c1 = env.jit(&r1, "run", &[a1], JitOptions::wootinj()).unwrap();
+    let c2 = env.jit(&r2, "run", &[a2], JitOptions::wootinj()).unwrap();
+
+    assert_eq!(env.cache_stats().misses, 1, "first jit translates");
+    assert_eq!(env.cache_stats().hits, 1, "second jit is a pure cache hit");
+    assert!(
+        Arc::ptr_eq(&c1.translated, &c2.translated),
+        "both codes share one translated program"
+    );
+
+    // The shared program still computes per-invocation results: the
+    // bias/data are bound at invoke time, not baked into the code.
+    assert_eq!(
+        c1.invoke(&env).unwrap().result,
+        Some(Val::F32(1.0 + 2.0 + 4.0))
+    );
+    assert_eq!(
+        c2.invoke(&env).unwrap().result,
+        Some(Val::F32(-7.5 + 20.0 + 40.0 + 60.0))
+    );
+}
+
+#[test]
+fn type_changes_miss() {
+    let table = build_table(&[("app.jl", APP)]).unwrap();
+    let mut env = WootinJ::new(&table).unwrap();
+    let d = env.new_instance("Dbl", &[]).unwrap();
+    let rd = env.new_instance("Runner", &[d, Value::Float(0.0)]).unwrap();
+    let s = env.new_instance("Sqr", &[]).unwrap();
+    let rs = env.new_instance("Runner", &[s, Value::Float(0.0)]).unwrap();
+    let a = env.new_f32_array(&[3.0]);
+
+    let cd = env
+        .jit(&rd, "run", std::slice::from_ref(&a), JitOptions::wootinj())
+        .unwrap();
+    let cs = env.jit(&rs, "run", &[a], JitOptions::wootinj()).unwrap();
+    assert_eq!(
+        env.cache_stats().misses,
+        2,
+        "different exact field types are different keys"
+    );
+    assert_eq!(env.cache_stats().hits, 0);
+    assert_eq!(cd.invoke(&env).unwrap().result, Some(Val::F32(6.0)));
+    assert_eq!(cs.invoke(&env).unwrap().result, Some(Val::F32(9.0)));
+}
+
+#[test]
+fn array_shape_changes_miss() {
+    const A: &str = "
+        @WootinJ final class Sum {
+          Sum() { }
+          float runF(float[] a) { float s = 0f; for (int i = 0; i < a.length; i++) { s += a[i]; } return s; }
+        }";
+    let table = build_table(&[("a.jl", A)]).unwrap();
+    let mut env = WootinJ::new(&table).unwrap();
+    let sum = env.new_instance("Sum", &[]).unwrap();
+    let f = env.new_f32_array(&[1.0, 2.0]);
+    env.jit(
+        &sum,
+        "runF",
+        std::slice::from_ref(&f),
+        JitOptions::wootinj(),
+    )
+    .unwrap();
+    // Same element type, different length: same shape, must hit.
+    let f2 = env.new_f32_array(&[5.0, 6.0, 7.0]);
+    env.jit(&sum, "runF", &[f2], JitOptions::wootinj()).unwrap();
+    assert_eq!(
+        env.cache_stats().hits,
+        1,
+        "array length is not part of the shape"
+    );
+    assert_eq!(env.cache_stats().misses, 1);
+}
+
+#[test]
+fn opt_config_and_mode_changes_miss() {
+    let table = build_table(&[("app.jl", APP)]).unwrap();
+    let mut env = WootinJ::new(&table).unwrap();
+    let d = env.new_instance("Dbl", &[]).unwrap();
+    let r = env.new_instance("Runner", &[d, Value::Float(0.0)]).unwrap();
+    let a = env.new_f32_array(&[1.0]);
+
+    env.jit(&r, "run", std::slice::from_ref(&a), JitOptions::wootinj())
+        .unwrap();
+    env.jit(
+        &r,
+        "run",
+        std::slice::from_ref(&a),
+        JitOptions::wootinj().with_opt(OptConfig::aggressive()),
+    )
+    .unwrap();
+    env.jit(&r, "run", std::slice::from_ref(&a), JitOptions::template())
+        .unwrap();
+    env.jit(&r, "run", std::slice::from_ref(&a), JitOptions::cpp())
+        .unwrap();
+    // Same graph, same method — but every config difference is a distinct key.
+    assert_eq!(env.cache_stats().misses, 4);
+    assert_eq!(env.cache_stats().hits, 0);
+    // And re-running the first config is a hit again.
+    env.jit(&r, "run", &[a], JitOptions::wootinj()).unwrap();
+    assert_eq!(env.cache_stats().hits, 1);
+}
+
+#[test]
+fn rule_check_mode_changes_miss() {
+    let table = build_table(&[("app.jl", APP)]).unwrap();
+    let mut env = WootinJ::new(&table).unwrap();
+    let d = env.new_instance("Dbl", &[]).unwrap();
+    let r = env.new_instance("Runner", &[d, Value::Float(0.0)]).unwrap();
+    let a = env.new_f32_array(&[1.0]);
+    env.jit(&r, "run", std::slice::from_ref(&a), JitOptions::wootinj())
+        .unwrap();
+    env.jit(&r, "run", &[a], JitOptions::wootinj().unchecked())
+        .unwrap();
+    assert_eq!(
+        env.cache_stats().misses,
+        2,
+        "check_rules is part of the key"
+    );
+}
+
+#[test]
+fn host_registry_changes_miss() {
+    const FFI: &str = "
+        @WootinJ final class H {
+          H() { }
+          @Native(\"ext.id\") static double idNative(double x);
+          double run(double x) { return idNative(x); }
+        }";
+    let table = build_table(&[("h.jl", FFI)]).unwrap();
+    let mut env = WootinJ::new(&table).unwrap();
+    env.register_scalar_fn("ext.id", |x| x);
+    let h = env.new_instance("H", &[]).unwrap();
+    let code = env
+        .jit(&h, "run", &[Value::Double(2.5)], JitOptions::wootinj())
+        .unwrap();
+    assert_eq!(code.invoke(&env).unwrap().result, Some(Val::F64(2.5)));
+    assert_eq!(env.cache_stats().misses, 1);
+
+    // Registering another FFI function changes the registry fingerprint:
+    // the old entry no longer matches.
+    env.register_scalar_fn("ext.other", |x| x + 1.0);
+    env.jit(&h, "run", &[Value::Double(2.5)], JitOptions::wootinj())
+        .unwrap();
+    assert_eq!(
+        env.cache_stats().misses,
+        2,
+        "registry contents are part of the key"
+    );
+    assert_eq!(env.cache_stats().hits, 0);
+}
+
+#[test]
+fn lru_evicts_least_recently_used_first() {
+    let table = build_table(&[("app.jl", APP)]).unwrap();
+    let mut env = WootinJ::new(&table).unwrap();
+    env.set_cache_capacity(2);
+    let d = env.new_instance("Dbl", &[]).unwrap();
+    let r = env.new_instance("Runner", &[d, Value::Float(0.0)]).unwrap();
+    let a = env.new_f32_array(&[1.0]);
+
+    let full = JitOptions::wootinj(); // key A
+    let aggr = JitOptions::wootinj().with_opt(OptConfig::aggressive()); // key B
+    let cpp = JitOptions::cpp(); // key C
+
+    env.jit(&r, "run", std::slice::from_ref(&a), full).unwrap(); // insert A
+    env.jit(&r, "run", std::slice::from_ref(&a), aggr).unwrap(); // insert B (cache: A, B)
+    env.jit(&r, "run", std::slice::from_ref(&a), full).unwrap(); // hit A (B is now LRU)
+    env.jit(&r, "run", std::slice::from_ref(&a), cpp).unwrap(); // insert C -> evicts B
+    assert_eq!(env.cache_stats().evictions, 1);
+    assert_eq!(env.cache_len(), 2);
+
+    // A must still be resident (it was more recently used than B)...
+    env.jit(&r, "run", std::slice::from_ref(&a), full).unwrap();
+    assert_eq!(env.cache_stats().hits, 2);
+    // ...while B was evicted and re-translates.
+    let misses_before = env.cache_stats().misses;
+    env.jit(&r, "run", &[a], aggr).unwrap();
+    assert_eq!(
+        env.cache_stats().misses,
+        misses_before + 1,
+        "LRU victim was B"
+    );
+}
+
+#[test]
+fn capacity_zero_disables_caching() {
+    let table = build_table(&[("app.jl", APP)]).unwrap();
+    let mut env = WootinJ::new(&table).unwrap();
+    env.set_cache_capacity(0);
+    let d = env.new_instance("Dbl", &[]).unwrap();
+    let r = env.new_instance("Runner", &[d, Value::Float(0.0)]).unwrap();
+    let a = env.new_f32_array(&[1.0]);
+    env.jit(&r, "run", std::slice::from_ref(&a), JitOptions::wootinj())
+        .unwrap();
+    env.jit(&r, "run", &[a], JitOptions::wootinj()).unwrap();
+    assert_eq!(env.cache_stats().hits, 0, "capacity 0 never hits");
+    assert_eq!(env.cache_stats().misses, 2);
+    assert_eq!(env.cache_len(), 0);
+}
+
+#[test]
+fn trans_stats_carry_cache_counters_and_pass_profiles() {
+    let table = build_table(&[("app.jl", APP)]).unwrap();
+    let mut env = WootinJ::new(&table).unwrap();
+    let d = env.new_instance("Dbl", &[]).unwrap();
+    let r = env.new_instance("Runner", &[d, Value::Float(0.0)]).unwrap();
+    let a = env.new_f32_array(&[1.0]);
+
+    let cold = env
+        .jit(&r, "run", std::slice::from_ref(&a), JitOptions::wootinj())
+        .unwrap();
+    assert_eq!(cold.stats().cache_hits, 0);
+    assert_eq!(cold.stats().cache_misses, 1);
+    // Standard config runs fold + dce: the optimizer profile is recorded
+    // per pass with before/after instruction counts.
+    let passes = &cold.stats().passes;
+    assert!(!passes.is_empty(), "pass profiles recorded: {passes:?}");
+    for p in passes {
+        assert!(
+            p.instrs_after <= p.instrs_before,
+            "{}: optimizer must not add work",
+            p.pass
+        );
+    }
+
+    let warm = env.jit(&r, "run", &[a], JitOptions::wootinj()).unwrap();
+    assert_eq!(warm.stats().cache_hits, 1);
+    assert_eq!(warm.stats().cache_misses, 1);
+    // The shared translated program's own stats are identical.
+    assert_eq!(warm.translated.stats, cold.translated.stats);
+}
+
+#[test]
+fn warm_jit_does_zero_translation_work_and_is_much_faster() {
+    // Build a deliberately wide object graph so cold translation has
+    // real work to do.
+    let table = build_table(&[("app.jl", APP)]).unwrap();
+    let mut env = WootinJ::new(&table).unwrap();
+    let d = env.new_instance("Dbl", &[]).unwrap();
+    let r = env.new_instance("Runner", &[d, Value::Float(0.0)]).unwrap();
+    let a = env.new_f32_array(&[1.0; 64]);
+
+    let t0 = Instant::now();
+    let cold = env
+        .jit(&r, "run", std::slice::from_ref(&a), JitOptions::wootinj())
+        .unwrap();
+    let cold_wall = t0.elapsed();
+
+    // Median of several warm calls (robust against scheduler noise).
+    let mut warm_walls: Vec<Duration> = (0..15)
+        .map(|_| {
+            let t = Instant::now();
+            env.jit(&r, "run", std::slice::from_ref(&a), JitOptions::wootinj())
+                .unwrap();
+            t.elapsed()
+        })
+        .collect();
+    warm_walls.sort();
+    let warm_wall = warm_walls[warm_walls.len() / 2];
+
+    assert_eq!(env.cache_stats().hits, 15, "every warm call hit");
+    assert_eq!(env.cache_stats().misses, 1);
+    assert!(
+        cold_wall >= warm_wall * 10,
+        "warm jit must be >= 10x faster: cold {cold_wall:?}, warm {warm_wall:?}"
+    );
+    // The warm code is the same program object — zero translator/NIR work.
+    let warm = env.jit(&r, "run", &[a], JitOptions::wootinj()).unwrap();
+    assert!(Arc::ptr_eq(&cold.translated, &warm.translated));
+}

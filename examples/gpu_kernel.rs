@@ -14,11 +14,16 @@ fn main() {
     println!("GPU matmul, {n}x{n}\n");
 
     let mut naive_src = String::new();
-    for (name, body) in [("naive", MatmulBody::GpuNaive), ("tiled", MatmulBody::GpuTiled)] {
+    for (name, body) in [
+        ("naive", MatmulBody::GpuNaive),
+        ("tiled", MatmulBody::GpuTiled),
+    ] {
         let mut env = WootinJ::new(&table).unwrap();
-        let app = MatmulApp::compose(&mut env, MatmulThread::Gpu, body, MatmulCalc::Optimized)
+        let app =
+            MatmulApp::compose(&mut env, MatmulThread::Gpu, body, MatmulCalc::Optimized).unwrap();
+        let mut code = env
+            .jit(&app, "start", &[Value::Int(n)], JitOptions::wootinj())
             .unwrap();
-        let mut code = env.jit(&app, "start", &[Value::Int(n)], JitOptions::wootinj()).unwrap();
         code.set_gpu(GpuConfig::default());
         let report = code.invoke(&env).unwrap();
         let sum = match report.result {
@@ -76,9 +81,17 @@ fn main() {
             MatmulCalc::Optimized,
         )
         .unwrap();
-        let mut code = env.jit(&app, "start", &[Value::Int(n)], JitOptions::wootinj()).unwrap();
-        code.set_gpu(GpuConfig { n_sms: sms, ..GpuConfig::default() });
+        let mut code = env
+            .jit(&app, "start", &[Value::Int(n)], JitOptions::wootinj())
+            .unwrap();
+        code.set_gpu(GpuConfig {
+            n_sms: sms,
+            ..GpuConfig::default()
+        });
         let report = code.invoke(&env).unwrap();
-        println!("  {sms:>2} SMs: device-busy={} cycles", report.per_rank[0].gpu_time);
+        println!(
+            "  {sms:>2} SMs: device-busy={} cycles",
+            report.per_rank[0].gpu_time
+        );
     }
 }

@@ -12,7 +12,10 @@ fn main() {
     let table = hpclib::matmul_table(&[]).expect("compile matmul library");
     let n = 24;
     println!("matrix multiplication, {n}x{n} (DefaultGen inputs)");
-    println!("reference checksum (plain Rust): {}\n", hpclib::reference_matmul(n as usize));
+    println!(
+        "reference checksum (plain Rust): {}\n",
+        hpclib::reference_matmul(n as usize)
+    );
 
     // Sequential: CPULoop + SimpleOuterBody.
     let mut env = WootinJ::new(&table).unwrap();
@@ -23,7 +26,9 @@ fn main() {
         MatmulCalc::Optimized,
     )
     .unwrap();
-    let code = env.jit(&seq, "start", &[Value::Int(n)], JitOptions::wootinj()).unwrap();
+    let code = env
+        .jit(&seq, "start", &[Value::Int(n)], JitOptions::wootinj())
+        .unwrap();
     let report = code.invoke(&env).unwrap();
     let seq_sum = match report.result {
         Some(Val::F32(v)) => v,
@@ -44,7 +49,9 @@ fn main() {
             MatmulCalc::Optimized,
         )
         .unwrap();
-        let mut code = env.jit(&fox, "start", &[Value::Int(n)], JitOptions::wootinj()).unwrap();
+        let mut code = env
+            .jit(&fox, "start", &[Value::Int(n)], JitOptions::wootinj())
+            .unwrap();
         code.set_mpi(ranks, MpiCostModel::default());
         let report = code.invoke(&env).unwrap();
         let sum = match report.result {
@@ -60,22 +67,36 @@ fn main() {
 
     // The calculator feature: per-element virtual accessors vs raw arrays.
     println!("\ncalculator feature under the C++ (virtual-dispatch) baseline:");
-    for (name, calc) in
-        [("SimpleCalculator", MatmulCalc::Simple), ("OptimizedCalculator", MatmulCalc::Optimized)]
-    {
+    for (name, calc) in [
+        ("SimpleCalculator", MatmulCalc::Simple),
+        ("OptimizedCalculator", MatmulCalc::Optimized),
+    ] {
         let mut env = WootinJ::new(&table).unwrap();
         let app =
-            MatmulApp::compose(&mut env, MatmulThread::CpuLoop, MatmulBody::Simple, calc)
-                .unwrap();
-        let code = env.jit(&app, "start", &[Value::Int(n)], JitOptions::cpp()).unwrap();
+            MatmulApp::compose(&mut env, MatmulThread::CpuLoop, MatmulBody::Simple, calc).unwrap();
+        let code = env
+            .jit(&app, "start", &[Value::Int(n)], JitOptions::cpp())
+            .unwrap();
         let report = code.invoke(&env).unwrap();
         println!("  {name:<22} vtime={} cycles", report.vtime_cycles);
     }
 
     // Native baseline cross-check.
     println!("\nnative Rust baselines (same inputs):");
-    println!("  c_style           checksum={}", baselines::matmul::c_style::matmul_checksum(n as usize));
-    println!("  virtual_style     checksum={}", baselines::matmul::virtual_style::matmul_checksum(n as usize));
-    println!("  template_style    checksum={}", baselines::matmul::template_style::matmul_checksum(n as usize));
-    println!("  template_no_virt  checksum={}", baselines::matmul::template_no_virt::matmul_checksum(n as usize));
+    println!(
+        "  c_style           checksum={}",
+        baselines::matmul::c_style::matmul_checksum(n as usize)
+    );
+    println!(
+        "  virtual_style     checksum={}",
+        baselines::matmul::virtual_style::matmul_checksum(n as usize)
+    );
+    println!(
+        "  template_style    checksum={}",
+        baselines::matmul::template_style::matmul_checksum(n as usize)
+    );
+    println!(
+        "  template_no_virt  checksum={}",
+        baselines::matmul::template_no_virt::matmul_checksum(n as usize)
+    );
 }

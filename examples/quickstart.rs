@@ -65,13 +65,20 @@ fn main() {
     //    component selection happens here, via plain constructors.
     let generator = env.new_instance("PhysDataGen", &[]).unwrap();
     let solver = env.new_instance("PhysSolver", &[]).unwrap();
-    let stencil = env.new_instance("StencilOnGpuAndMPI", &[generator, solver]).unwrap();
+    let stencil = env
+        .new_instance("StencilOnGpuAndMPI", &[generator, solver])
+        .unwrap();
 
     // 3. JIT-translate `stencil.run(4096, 10)` — the framework reads the
     //    live object graph's exact types, devirtualizes every dispatch,
     //    inlines every object, and emits a flat kernel program.
     let mut code = env
-        .jit(&stencil, "run", &[Value::Int(4096), Value::Int(10)], JitOptions::wootinj())
+        .jit(
+            &stencil,
+            "run",
+            &[Value::Int(4096), Value::Int(10)],
+            JitOptions::wootinj(),
+        )
         .expect("jit");
     println!("translated in {:?}", code.compile_time);
     println!(

@@ -13,11 +13,23 @@ fn main() {
     let table = hpclib::stencil_table(&[]).expect("compile stencil library");
 
     let (nx, ny, nz, steps) = (24, 24, 16, 4);
-    let args = [Value::Int(nx), Value::Int(ny), Value::Int(nz), Value::Int(steps)];
+    let args = [
+        Value::Int(nx),
+        Value::Int(ny),
+        Value::Int(nz),
+        Value::Int(steps),
+    ];
     println!("3-D diffusion, {nx}x{ny}x{nz}, {steps} steps");
     println!(
         "reference checksum: {}\n",
-        hpclib::reference_diffusion(nx as usize, ny as usize, nz as usize, steps as usize, 0.4, 0.1)
+        hpclib::reference_diffusion(
+            nx as usize,
+            ny as usize,
+            nz as usize,
+            steps as usize,
+            0.4,
+            0.1
+        )
     );
 
     // --- platform feature sweep (WootinJ mode) --------------------------
@@ -29,9 +41,10 @@ fn main() {
         (StencilPlatform::GpuMpi, 4),
     ] {
         let mut env = WootinJ::new(&table).unwrap();
-        let runner =
-            StencilApp::compose(&mut env, platform, StencilApp::default_model()).unwrap();
-        let mut code = env.jit(&runner, "invoke", &args, JitOptions::wootinj()).unwrap();
+        let runner = StencilApp::compose(&mut env, platform, StencilApp::default_model()).unwrap();
+        let mut code = env
+            .jit(&runner, "invoke", &args, JitOptions::wootinj())
+            .unwrap();
         if platform.uses_mpi() {
             code.set_mpi(ranks, MpiCostModel::default());
         }

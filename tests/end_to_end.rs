@@ -48,7 +48,11 @@ fn reduction_all_modes_match_interpreter() {
         other => panic!("unexpected {other}"),
     };
     // Ground truth in Rust.
-    let truth = data.iter().map(|v| (*v as f64) * (*v as f64)).sum::<f64>().sqrt();
+    let truth = data
+        .iter()
+        .map(|v| (*v as f64) * (*v as f64))
+        .sum::<f64>()
+        .sqrt();
     assert!((expected - truth).abs() < 1e-9);
 
     for opts in [
@@ -78,7 +82,14 @@ fn component_switch_changes_translated_code_not_call_sites() {
     let r1 = env.new_instance("Reducer", &[l1]).unwrap();
     let r2 = env.new_instance("Reducer", &[l2]).unwrap();
     let data = env.new_f32_array(&[-3.0, 4.0]);
-    let c1 = env.jit(&r1, "run", &[data.clone()], JitOptions::wootinj()).unwrap();
+    let c1 = env
+        .jit(
+            &r1,
+            "run",
+            std::slice::from_ref(&data),
+            JitOptions::wootinj(),
+        )
+        .unwrap();
     let c2 = env.jit(&r2, "run", &[data], JitOptions::wootinj()).unwrap();
     let s1 = c1.c_source();
     let s2 = c2.c_source();
@@ -107,11 +118,18 @@ fn stencil_full_matrix_of_platforms_and_modes() {
         hpclib::StencilPlatform::Gpu,
         hpclib::StencilPlatform::GpuMpi,
     ] {
-        for opts in [JitOptions::wootinj(), JitOptions::template(), JitOptions::template_no_virt()] {
+        for opts in [
+            JitOptions::wootinj(),
+            JitOptions::template(),
+            JitOptions::template_no_virt(),
+        ] {
             let mut env = WootinJ::new(&table).unwrap();
-            let runner =
-                hpclib::StencilApp::compose(&mut env, platform, hpclib::StencilApp::default_model())
-                    .unwrap();
+            let runner = hpclib::StencilApp::compose(
+                &mut env,
+                platform,
+                hpclib::StencilApp::default_model(),
+            )
+            .unwrap();
             let args = [Value::Int(8), Value::Int(8), Value::Int(8), Value::Int(2)];
             let mut code = env.jit(&runner, "invoke", &args, opts).unwrap();
             if platform.uses_mpi() {
@@ -139,7 +157,10 @@ fn matmul_reference_against_baselines_and_library() {
     let n = 16usize;
     let reference = hpclib::reference_matmul(n);
     assert_eq!(reference, baselines::matmul::c_style::matmul_checksum(n));
-    assert_eq!(reference, baselines::matmul::virtual_style::matmul_checksum(n));
+    assert_eq!(
+        reference,
+        baselines::matmul::virtual_style::matmul_checksum(n)
+    );
 
     let table = hpclib::matmul_table(&[]).unwrap();
     let mut env = WootinJ::new(&table).unwrap();
@@ -150,7 +171,14 @@ fn matmul_reference_against_baselines_and_library() {
         hpclib::MatmulCalc::Optimized,
     )
     .unwrap();
-    let code = env.jit(&app, "start", &[Value::Int(n as i32)], JitOptions::wootinj()).unwrap();
+    let code = env
+        .jit(
+            &app,
+            "start",
+            &[Value::Int(n as i32)],
+            JitOptions::wootinj(),
+        )
+        .unwrap();
     let got = match code.invoke(&env).unwrap().result {
         Some(Val::F32(v)) => v,
         other => panic!("unexpected {other:?}"),
@@ -169,7 +197,9 @@ fn deterministic_vtime_across_repeated_invocations() {
     )
     .unwrap();
     let args = [Value::Int(8), Value::Int(8), Value::Int(8), Value::Int(2)];
-    let mut code = env.jit(&runner, "invoke", &args, JitOptions::wootinj()).unwrap();
+    let mut code = env
+        .jit(&runner, "invoke", &args, JitOptions::wootinj())
+        .unwrap();
     code.set_mpi(4, MpiCostModel::default());
     let a = code.invoke(&env).unwrap();
     let b = code.invoke(&env).unwrap();
@@ -190,18 +220,23 @@ fn generated_source_matches_listing5_structure() {
     )
     .unwrap();
     let args = [Value::Int(8), Value::Int(8), Value::Int(8), Value::Int(2)];
-    let code = env.jit(&runner, "invoke", &args, JitOptions::wootinj()).unwrap();
+    let code = env
+        .jit(&runner, "invoke", &args, JitOptions::wootinj())
+        .unwrap();
     let src = code.c_source();
     for needle in [
-        "__global__",        // the kernel
-        "<<<dim3(",          // the launch
+        "__global__", // the kernel
+        "<<<dim3(",   // the launch
         "MPI_Init(&argc, &argv);",
         "MPI_Finalize();",
         "MPI_Send",
         "MPI_Recv",
         "int main(int argc, char* argv[])",
     ] {
-        assert!(src.contains(needle), "missing {needle:?} in generated source");
+        assert!(
+            src.contains(needle),
+            "missing {needle:?} in generated source"
+        );
     }
     // Devirtualized: no vtable machinery anywhere.
     assert!(!src.contains("VCALL"));
@@ -242,7 +277,9 @@ fn mpi_world_size_must_divide_workload_errors_cleanly() {
     )
     .unwrap();
     let args = [Value::Int(8), Value::Int(8), Value::Int(8), Value::Int(2)];
-    let mut code = env.jit(&runner, "invoke", &args, JitOptions::wootinj()).unwrap();
+    let mut code = env
+        .jit(&runner, "invoke", &args, JitOptions::wootinj())
+        .unwrap();
     code.set_mpi(3, MpiCostModel::default());
     let report = code.invoke(&env).unwrap();
     assert!(report.result.is_some());

@@ -40,13 +40,24 @@ fn ffi_works_translated_and_interpreted() {
     let x = 7.25f64;
     let expected = x.cbrt() + ((x + 0.5) * x.ln() - x);
 
-    let interp = env.run_interpreted(&app, "run", &[Value::Double(x)]).unwrap();
+    let interp = env
+        .run_interpreted(&app, "run", &[Value::Double(x)])
+        .unwrap();
     assert_eq!(interp.result, Value::Double(expected));
 
-    for opts in [JitOptions::wootinj(), JitOptions::template(), JitOptions::cpp()] {
+    for opts in [
+        JitOptions::wootinj(),
+        JitOptions::template(),
+        JitOptions::cpp(),
+    ] {
         let code = env.jit(&app, "run", &[Value::Double(x)], opts).unwrap();
         let report = code.invoke(&env).unwrap();
-        assert_eq!(report.result, Some(Val::F64(expected)), "mode {:?}", code.mode());
+        assert_eq!(
+            report.result,
+            Some(Val::F64(expected)),
+            "mode {:?}",
+            code.mode()
+        );
     }
 }
 
@@ -56,7 +67,9 @@ fn ffi_shows_up_as_a_direct_extern_call_in_generated_source() {
     let mut env = WootinJ::new(&table).unwrap();
     setup(&mut env);
     let app = env.new_instance("UsesFfi", &[]).unwrap();
-    let code = env.jit(&app, "run", &[Value::Double(1.0)], JitOptions::wootinj()).unwrap();
+    let code = env
+        .jit(&app, "run", &[Value::Double(1.0)], JitOptions::wootinj())
+        .unwrap();
     let src = code.c_source();
     assert!(src.contains("ext_cbrt("), "{src}");
     assert!(src.contains("/* extern */"), "{src}");
@@ -69,7 +82,9 @@ fn unregistered_ffi_fails_at_invoke_with_a_clear_error() {
     // No registration: translation succeeds (the signature is declared),
     // execution reports the missing binding.
     let app = env.new_instance("UsesFfi", &[]).unwrap();
-    let code = env.jit(&app, "run", &[Value::Double(1.0)], JitOptions::wootinj()).unwrap();
+    let code = env
+        .jit(&app, "run", &[Value::Double(1.0)], JitOptions::wootinj())
+        .unwrap();
     let err = code.invoke(&env).map(|_| ()).unwrap_err();
     assert!(err.to_string().contains("not registered"), "{err}");
 }
@@ -95,12 +110,14 @@ fn ffi_with_array_arguments() {
             exec::ArrStore::F32(v) => {
                 Ok(Val::F64(v.iter().map(|x| (*x as f64) * (*x as f64)).sum()))
             }
-            other => Err(format!("expected float array, got {other:?}")),
+            other => Err(format!("expected float array, got {other:?}").into()),
         }
     });
     let app = env.new_instance("R", &[]).unwrap();
     let data = env.new_f32_array(&[1.0, 2.0, 3.0]);
-    let code = env.jit(&app, "run", &[data], JitOptions::wootinj()).unwrap();
+    let code = env
+        .jit(&app, "run", &[data], JitOptions::wootinj())
+        .unwrap();
     let report = code.invoke(&env).unwrap();
     assert_eq!(report.result, Some(Val::F64(14.0)));
 }

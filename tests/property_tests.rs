@@ -6,42 +6,74 @@
 //! * the NIR optimizer preserves semantics at every configuration;
 //! * the simulators are deterministic;
 //! * array contents survive the deep copy into translated memory spaces.
-
-use proptest::prelude::*;
+//!
+//! Inputs come from a deterministic xorshift generator so the suite builds
+//! without external crates on offline hosts.
 
 use jvm::Value;
 use wootinj::{build_table, JitOptions, OptConfig, Val, WootinJ};
 
-/// Generate a random arithmetic expression over locals a, b, c (ints) and
-/// x, y (floats), avoiding division (translated and interpreted division
-/// by zero both error, but at different times).
-fn arb_expr(depth: u32) -> BoxedStrategy<String> {
-    if depth == 0 {
-        prop_oneof![
-            Just("a".to_string()),
-            Just("b".to_string()),
-            Just("c".to_string()),
-            (-100i32..100).prop_map(|v| format!("{v}")),
-        ]
-        .boxed()
-    } else {
-        let sub = arb_expr(depth - 1);
-        prop_oneof![
-            (arb_expr(depth - 1), arb_expr(depth - 1)).prop_map(|(l, r)| format!("({l} + {r})")),
-            (arb_expr(depth - 1), arb_expr(depth - 1)).prop_map(|(l, r)| format!("({l} - {r})")),
-            (arb_expr(depth - 1), arb_expr(depth - 1)).prop_map(|(l, r)| format!("({l} * {r})")),
-            sub,
-        ]
-        .boxed()
+/// Deterministic xorshift64* PRNG — same sequence on every run.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    fn range_i32(&mut self, lo: i32, hi: i32) -> i32 {
+        lo + (self.next_u64() % (hi - lo) as u64) as i32
+    }
+
+    /// Uniform float in [0, 1).
+    fn unit_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Generate a random arithmetic expression over locals a, b, c (ints),
+/// avoiding division (translated and interpreted division by zero both
+/// error, but at different times).
+fn random_expr(rng: &mut Rng, depth: u32) -> String {
+    if depth == 0 || rng.below(4) == 3 {
+        match rng.below(4) {
+            0 => "a".to_string(),
+            1 => "b".to_string(),
+            2 => "c".to_string(),
+            _ => format!("{}", rng.range_i32(-100, 100)),
+        }
+    } else {
+        let l = random_expr(rng, depth - 1);
+        let r = random_expr(rng, depth - 1);
+        let op = ["+", "-", "*"][rng.below(3)];
+        format!("({l} {op} {r})")
+    }
+}
 
-    #[test]
-    fn random_arithmetic_translates_exactly(e1 in arb_expr(3), e2 in arb_expr(3),
-                                            a in -50i32..50, b in -50i32..50, c in -50i32..50) {
+#[test]
+fn random_arithmetic_translates_exactly() {
+    let mut rng = Rng::new(0xA11C_0001);
+    for _ in 0..24 {
+        let e1 = random_expr(&mut rng, 3);
+        let e2 = random_expr(&mut rng, 3);
+        let (a, b, c) = (
+            rng.range_i32(-50, 50),
+            rng.range_i32(-50, 50),
+            rng.range_i32(-50, 50),
+        );
         let src = format!(
             "@WootinJ final class P {{
                P() {{ }}
@@ -64,15 +96,32 @@ proptest! {
             Value::Int(v) => v,
             other => panic!("unexpected {other}"),
         };
-        for opts in [JitOptions::wootinj(), JitOptions::template(), JitOptions::cpp()] {
+        for opts in [
+            JitOptions::wootinj(),
+            JitOptions::template(),
+            JitOptions::cpp(),
+        ] {
             let code = env.jit(&p, "run", &args, opts).unwrap();
             let got = code.invoke(&env).unwrap().result;
-            prop_assert_eq!(got, Some(Val::I32(expected)));
+            assert_eq!(
+                got,
+                Some(Val::I32(expected)),
+                "expr ({e1}, {e2}) on ({a}, {b}, {c})"
+            );
         }
     }
+}
 
-    #[test]
-    fn optimizer_levels_agree(e in arb_expr(4), a in -20i32..20, b in -20i32..20, c in -20i32..20) {
+#[test]
+fn optimizer_levels_agree() {
+    let mut rng = Rng::new(0xA11C_0002);
+    for _ in 0..24 {
+        let e = random_expr(&mut rng, 4);
+        let (a, b, c) = (
+            rng.range_i32(-20, 20),
+            rng.range_i32(-20, 20),
+            rng.range_i32(-20, 20),
+        );
         let src = format!(
             "@WootinJ final class P {{
                P() {{ }}
@@ -84,44 +133,56 @@ proptest! {
         let p = env.new_instance("P", &[]).unwrap();
         let args = [Value::Int(a), Value::Int(b), Value::Int(c)];
         let mut results = Vec::new();
-        for opt in [OptConfig::none(), OptConfig::standard(), OptConfig::aggressive()] {
-            let code = env.jit(&p, "run", &args, JitOptions::wootinj().with_opt(opt)).unwrap();
+        for opt in [
+            OptConfig::none(),
+            OptConfig::standard(),
+            OptConfig::aggressive(),
+        ] {
+            let code = env
+                .jit(&p, "run", &args, JitOptions::wootinj().with_opt(opt))
+                .unwrap();
             results.push(code.invoke(&env).unwrap().result);
         }
-        prop_assert_eq!(results[0], results[1]);
-        prop_assert_eq!(results[1], results[2]);
+        assert_eq!(results[0], results[1], "expr {e}");
+        assert_eq!(results[1], results[2], "expr {e}");
     }
+}
 
-    #[test]
-    fn random_component_composition_is_consistent(
-        coeffs in proptest::collection::vec(-4i32..=4, 1..5),
-        data in proptest::collection::vec(-100i32..100, 1..40),
-    ) {
-        // Build a pipeline of Scale components; the composed behavior must
-        // match a direct Rust computation in every translation mode.
-        let src = "
-            @WootinJ interface Stage { int apply(int v); }
-            @WootinJ final class Scale implements Stage {
-              int k;
-              Scale(int k0) { k = k0; }
-              int apply(int v) { return v * k + 1; }
+#[test]
+fn random_component_composition_is_consistent() {
+    // Build a pipeline of Scale components; the composed behavior must
+    // match a direct Rust computation in every translation mode.
+    let src = "
+        @WootinJ interface Stage { int apply(int v); }
+        @WootinJ final class Scale implements Stage {
+          int k;
+          Scale(int k0) { k = k0; }
+          int apply(int v) { return v * k + 1; }
+        }
+        @WootinJ final class Pipe2 implements Stage {
+          Stage first; Stage second;
+          Pipe2(Stage f, Stage s) { first = f; second = s; }
+          int apply(int v) { return second.apply(first.apply(v)); }
+        }
+        @WootinJ final class Driver {
+          Stage stage;
+          Driver(Stage s) { stage = s; }
+          long run(int[] data) {
+            long acc = 0L;
+            for (int i = 0; i < data.length; i++) {
+              acc = acc + stage.apply(data[i]);
             }
-            @WootinJ final class Pipe2 implements Stage {
-              Stage first; Stage second;
-              Pipe2(Stage f, Stage s) { first = f; second = s; }
-              int apply(int v) { return second.apply(first.apply(v)); }
-            }
-            @WootinJ final class Driver {
-              Stage stage;
-              Driver(Stage s) { stage = s; }
-              long run(int[] data) {
-                long acc = 0L;
-                for (int i = 0; i < data.length; i++) {
-                  acc = acc + stage.apply(data[i]);
-                }
-                return acc;
-              }
-            }";
+            return acc;
+          }
+        }";
+    let mut rng = Rng::new(0xA11C_0003);
+    for _ in 0..12 {
+        let coeffs: Vec<i32> = (0..1 + rng.below(4))
+            .map(|_| rng.range_i32(-4, 5))
+            .collect();
+        let data: Vec<i32> = (0..1 + rng.below(39))
+            .map(|_| rng.range_i32(-100, 100))
+            .collect();
         let table = build_table(&[("pipe.jl", src)]).unwrap();
         let mut env = WootinJ::new(&table).unwrap();
         // Fold the coefficient list into a Pipe2 tree.
@@ -149,61 +210,76 @@ proptest! {
             JitOptions::template().unchecked(),
             JitOptions::cpp(),
         ] {
-            let code = env.jit(&driver, "run", &[arr.clone()], opts).unwrap();
+            let code = env
+                .jit(&driver, "run", std::slice::from_ref(&arr), opts)
+                .unwrap();
             let got = code.invoke(&env).unwrap().result;
-            prop_assert_eq!(got, Some(Val::I64(expected)));
+            assert_eq!(got, Some(Val::I64(expected)), "coeffs {coeffs:?}");
         }
         // And the interpreter agrees.
         let got = env.run_interpreted(&driver, "run", &[arr]).unwrap().result;
-        prop_assert_eq!(got, Value::Long(expected));
+        assert_eq!(got, Value::Long(expected));
     }
+}
 
-    #[test]
-    fn deep_copied_arrays_roundtrip(data in proptest::collection::vec(any::<f32>(), 0..64)) {
-        // NaN-free comparison domain.
-        let data: Vec<f32> = data.into_iter().map(|v| if v.is_finite() { v } else { 0.0 }).collect();
-        let src = "
-            @WootinJ final class Id {
-              Id() { }
-              float run(float[] a) {
-                float last = 0f;
-                for (int i = 0; i < a.length; i++) { last = a[i]; }
-                return last;
-              }
-            }";
+#[test]
+fn deep_copied_arrays_roundtrip() {
+    let src = "
+        @WootinJ final class Id {
+          Id() { }
+          float run(float[] a) {
+            float last = 0f;
+            for (int i = 0; i < a.length; i++) { last = a[i]; }
+            return last;
+          }
+        }";
+    let mut rng = Rng::new(0xA11C_0004);
+    for _ in 0..12 {
+        let data: Vec<f32> = (0..rng.below(64))
+            .map(|_| rng.unit_f32() * 200.0 - 100.0)
+            .collect();
         let table = build_table(&[("id.jl", src)]).unwrap();
         let mut env = WootinJ::new(&table).unwrap();
         let id = env.new_instance("Id", &[]).unwrap();
         let arr = env.new_f32_array(&data);
-        let code = env.jit(&id, "run", &[arr.clone()], JitOptions::wootinj()).unwrap();
+        let code = env
+            .jit(
+                &id,
+                "run",
+                std::slice::from_ref(&arr),
+                JitOptions::wootinj(),
+            )
+            .unwrap();
         let got = code.invoke(&env).unwrap().result;
         let expected = data.last().copied().unwrap_or(0.0);
-        prop_assert_eq!(got, Some(Val::F32(expected)));
+        assert_eq!(got, Some(Val::F32(expected)));
         // The host array is unchanged by the run (deep copy semantics).
-        prop_assert_eq!(env.f32_array(&arr).unwrap(), data);
+        assert_eq!(env.f32_array(&arr).unwrap(), data);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn mpi_allreduce_matches_local_sum(per_rank in proptest::collection::vec(0.0f32..10.0, 1..6),
-                                       ranks in 1u32..5) {
-        // Every rank contributes f(rank) = sum(per_rank) * (rank+1); the
-        // allreduce total must match the closed form on every rank.
-        let src = "
-            @WootinJ final class AllSum {
-              AllSum() { }
-              float run(float[] weights) {
-                int rank = MPI.rank();
-                float local = 0f;
-                for (int i = 0; i < weights.length; i++) {
-                  local += weights[i] * (rank + 1);
-                }
-                return MPI.allreduceSumF(local);
-              }
-            }";
+#[test]
+fn mpi_allreduce_matches_local_sum() {
+    // Every rank contributes f(rank) = sum(per_rank) * (rank+1); the
+    // allreduce total must match the closed form on every rank.
+    let src = "
+        @WootinJ final class AllSum {
+          AllSum() { }
+          float run(float[] weights) {
+            int rank = MPI.rank();
+            float local = 0f;
+            for (int i = 0; i < weights.length; i++) {
+              local += weights[i] * (rank + 1);
+            }
+            return MPI.allreduceSumF(local);
+          }
+        }";
+    let mut rng = Rng::new(0xA11C_0005);
+    for _ in 0..12 {
+        let per_rank: Vec<f32> = (0..1 + rng.below(5))
+            .map(|_| rng.unit_f32() * 10.0)
+            .collect();
+        let ranks = 1 + rng.below(4) as u32;
         let table = build_table(&[("allsum.jl", src)]).unwrap();
         let mut env = WootinJ::new(&table).unwrap();
         let app = env.new_instance("AllSum", &[]).unwrap();
@@ -217,7 +293,7 @@ proptest! {
             match r {
                 Some(Val::F32(v)) => {
                     let scale = expected.abs().max(1.0);
-                    prop_assert!((v - expected).abs() <= scale * 1e-4, "{} vs {}", v, expected);
+                    assert!((v - expected).abs() <= scale * 1e-4, "{v} vs {expected}");
                 }
                 other => panic!("unexpected {other:?}"),
             }
