@@ -1,9 +1,10 @@
 //! The reproduction driver: regenerate any table or figure of the paper.
 //!
 //! ```text
-//! repro <id>       run one experiment (fig3, fig4, ..., tab3, ablate-comm)
-//! repro all        run everything in paper order
-//! repro list       list experiment ids
+//! repro <id>             run one experiment (fig3, fig4, ..., tab3, fault-matrix)
+//! repro <id> --quick     smoke-test-sized variant (where supported)
+//! repro all              run everything in paper order
+//! repro list             list experiment ids
 //! ```
 //!
 //! Output: an aligned table on stdout plus `results/<id>.json`.
@@ -11,7 +12,13 @@
 use std::path::Path;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = if let Some(i) = args.iter().position(|a| a == "--quick") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
     let dir = Path::new("results");
     match args.first().map(|s| s.as_str()) {
         None | Some("list") => {
@@ -19,20 +26,20 @@ fn main() {
             for id in bench::all_ids() {
                 println!("  {id}");
             }
-            println!("usage: repro <id> | all | list");
+            println!("usage: repro <id> [--quick] | all | list");
         }
         Some("all") => {
             for id in bench::all_ids() {
-                run_one(id, dir);
+                run_one(id, quick, dir);
             }
         }
-        Some(id) => run_one(id, dir),
+        Some(id) => run_one(id, quick, dir),
     }
 }
 
-fn run_one(id: &str, dir: &Path) {
+fn run_one(id: &str, quick: bool, dir: &Path) {
     let start = std::time::Instant::now();
-    match bench::run_experiment(id) {
+    match bench::run_experiment_with(id, quick) {
         Some(fig) => {
             // Save before printing: stdout may be a pipe that closes
             // early (e.g. `repro fig4 | head`), and the JSON artifact

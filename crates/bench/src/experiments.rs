@@ -813,6 +813,7 @@ pub fn ablate_devirt() -> Figure {
         JitOptions::cpp(),
         JitOptions {
             config: translator::TransConfig::devirt(),
+            degrade: false,
         },
         JitOptions::wootinj(),
     ];
@@ -856,7 +857,15 @@ pub fn ablate_inline() -> Figure {
         let mut config = translator::TransConfig::devirt();
         config.opt = opt;
         let code = env
-            .jit(&runner, "invoke", &args, JitOptions { config })
+            .jit(
+                &runner,
+                "invoke",
+                &args,
+                JitOptions {
+                    config,
+                    degrade: false,
+                },
+            )
             .unwrap();
         s.push(limit as f64, code.invoke(&env).unwrap().vtime_cycles as f64);
     }
@@ -988,6 +997,122 @@ pub fn ablate_gpu() -> Figure {
     fig
 }
 
+/// Robustness experiment: the fault-injection matrix. One cell per
+/// (fault kind x rate x world size); the y value is an outcome code, not a
+/// time. Every cell uses a fixed seed, so the whole table is reproducible
+/// bit-for-bit across runs and machines.
+pub fn fault_matrix(quick: bool) -> Figure {
+    use wootinj::{FaultConfig, SimError, WjError};
+
+    const RING_REDUCE: &str = r#"
+        @WootinJ final class RingReduce {
+          RingReduce() { }
+          float run(int n, int steps) {
+            int rank = MPI.rank();
+            int size = MPI.size();
+            float[] sbuf = new float[n];
+            float[] rbuf = new float[n];
+            for (int i = 0; i < n; i++) { sbuf[i] = rank * n + i; }
+            int dest = (rank + 1) % size;
+            int src = (rank + size - 1) % size;
+            for (int s = 0; s < steps; s++) {
+              MPI.sendrecvF(sbuf, 0, n, dest, rbuf, 0, src, 7);
+              for (int i = 0; i < n; i++) { sbuf[i] = rbuf[i] * 0.5f; }
+            }
+            float local = 0f;
+            for (int i = 0; i < n; i++) { local += sbuf[i]; }
+            return MPI.allreduceSumF(local);
+          }
+        }
+    "#;
+
+    let mut fig = Figure::new(
+        "fault-matrix",
+        "fault injection matrix: outcome per (fault kind x rate x world size)",
+        "world size (ranks)",
+        "outcome code",
+    );
+    fig.note(
+        "outcome codes: 3 = completed, no fault fired; 2 = completed despite \
+         injected faults; 1 = typed failure (crash post-mortem, timeout, \
+         deadlock, or rank error); 0 = untyped failure (must never appear)",
+    );
+    fig.note("workload: ring sendrecv + allreduce over n floats per rank; fixed seeds per cell");
+
+    let rates: &[f64] = if quick { &[0.02] } else { &[0.005, 0.02, 0.1] };
+    let sizes: &[u32] = if quick { &[2, 4] } else { &[2, 4, 8] };
+    let n: i32 = if quick { 32 } else { 128 };
+    let steps: i32 = if quick { 16 } else { 40 };
+    fig.note(if quick {
+        "quick mode: n=32, 16 steps, rate 0.02, worlds {2,4}"
+    } else {
+        "full mode: n=128, 40 steps, rates {0.005,0.02,0.1}, worlds {2,4,8}"
+    });
+
+    let table = wootinj::build_table(&[("ring_reduce.jl", RING_REDUCE)]).unwrap();
+    let kinds = ["none", "delay", "corrupt", "fuel", "drop", "crash"];
+    for (ki, kind) in kinds.iter().enumerate() {
+        for (ri, &rate) in rates.iter().enumerate() {
+            // The fault-free control row is rate-independent; emit it once.
+            if *kind == "none" && ri > 0 {
+                continue;
+            }
+            let mut s = Series::new(if *kind == "none" {
+                "none".to_string()
+            } else {
+                format!("{kind}@{rate}")
+            });
+            for &size in sizes {
+                let mut cfg = FaultConfig::seeded(
+                    0xFA17_0000_0000_0000 | ((ki as u64) << 16) | ((ri as u64) << 8) | size as u64,
+                );
+                match *kind {
+                    "delay" => cfg.msg_delay = rate,
+                    "corrupt" => cfg.msg_corrupt = rate,
+                    "fuel" => cfg.fuel_exhaust = rate,
+                    "drop" => cfg.msg_drop = rate,
+                    "crash" => cfg.crash = rate,
+                    _ => {}
+                }
+
+                let mut env = WootinJ::new(&table).unwrap();
+                let app = env.new_instance("RingReduce", &[]).unwrap();
+                let mut code = env
+                    .jit(
+                        &app,
+                        "run",
+                        &[Value::Int(n), Value::Int(steps)],
+                        JitOptions::wootinj(),
+                    )
+                    .unwrap();
+                code.set_mpi(size, MpiCostModel::default());
+                code.set_faults(cfg);
+                code.set_timeout(50_000);
+                let outcome = match code.invoke(&env) {
+                    Ok(report) => {
+                        if report.resilience.injected() == 0 {
+                            3.0
+                        } else {
+                            2.0
+                        }
+                    }
+                    Err(WjError::Sim(
+                        SimError::Crash { .. }
+                        | SimError::Timeout { .. }
+                        | SimError::Deadlock { .. }
+                        | SimError::Rank { .. }
+                        | SimError::World { .. },
+                    )) => 1.0,
+                    Err(_) => 0.0,
+                };
+                s.push(size as f64, outcome);
+            }
+            fig.series.push(s);
+        }
+    }
+    fig
+}
+
 /// All figure/table ids, in paper order.
 pub fn all_ids() -> Vec<&'static str> {
     vec![
@@ -1015,11 +1140,18 @@ pub fn all_ids() -> Vec<&'static str> {
         "ablate-comm",
         "ablate-gpu",
         "ext-reduce",
+        "fault-matrix",
     ]
 }
 
-/// Dispatch by id.
+/// Dispatch by id (full-size variant of every experiment).
 pub fn run_experiment(id: &str) -> Option<Figure> {
+    run_experiment_with(id, false)
+}
+
+/// Dispatch by id; `quick` selects a smoke-test-sized variant where the
+/// experiment supports one (currently only `fault-matrix`).
+pub fn run_experiment_with(id: &str, quick: bool) -> Option<Figure> {
     Some(match id {
         "fig3" => fig3(),
         "fig4" => fig4(),
@@ -1045,6 +1177,7 @@ pub fn run_experiment(id: &str) -> Option<Figure> {
         "ablate-comm" => ablate_comm(),
         "ablate-gpu" => ablate_gpu(),
         "ext-reduce" => ext_reduce(),
+        "fault-matrix" => fault_matrix(quick),
         _ => return None,
     })
 }

@@ -15,5 +15,5 @@ pub mod experiments;
 pub mod series;
 pub mod timing;
 
-pub use experiments::{all_ids, run_experiment};
+pub use experiments::{all_ids, run_experiment, run_experiment_with};
 pub use series::{Figure, Point, Series};

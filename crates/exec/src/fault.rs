@@ -1,0 +1,349 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a seeded xorshift64\* stream of fault decisions that
+//! the execution engine (and the MPI scheduler above it) consults at
+//! well-defined points: slice starts, yield points, host-FFI attempts, and
+//! message sends. Because the cooperative schedulers are deterministic,
+//! the same [`FaultConfig`] produces the *same* faults at the same step
+//! counts on every run — a failing seed is a reproducer, not a flake.
+//!
+//! Every injected fault is counted in [`ResilienceStats`], which the
+//! runtimes thread through `WorldRun` / `RunReport` so resilience behavior
+//! is observable (and bit-for-bit comparable across runs).
+
+/// Deterministic xorshift64\* PRNG — the same in-repo idiom as the
+/// property-test suites; public so runtimes can derive per-rank streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRng(u64);
+
+impl FaultRng {
+    pub fn new(seed: u64) -> Self {
+        FaultRng(seed.max(1))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// One Bernoulli draw with probability `p`. Rates outside (0, 1)
+    /// short-circuit without consuming the stream, so zero-rate fault
+    /// kinds are free.
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        u < p
+    }
+}
+
+/// Injection rates and knobs for one run. All rates are probabilities per
+/// decision point; the default config injects nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Seed of the fault stream (per-rank streams are derived from it).
+    pub seed: u64,
+    /// Probability that a yield point kills the rank (rank crash).
+    pub crash: f64,
+    /// Probability that a scheduling slice's fuel is cut short.
+    pub fuel_exhaust: f64,
+    /// Probability that one host-FFI attempt transiently fails.
+    pub host_transient: f64,
+    /// Probability that an outgoing point-to-point message is dropped.
+    pub msg_drop: f64,
+    /// Probability that a message / collective payload is bit-corrupted.
+    pub msg_corrupt: f64,
+    /// Probability that a message / collective is delayed.
+    pub msg_delay: f64,
+    /// Extra virtual cycles a delayed message waits before delivery.
+    pub delay_cycles: u64,
+    /// Retry budget for transient host-FFI failures before giving up.
+    pub max_host_retries: u32,
+    /// Base virtual-cycle backoff charged per host-FFI retry (doubles
+    /// with each attempt).
+    pub retry_backoff_cycles: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0x5EED_FA17,
+            crash: 0.0,
+            fuel_exhaust: 0.0,
+            host_transient: 0.0,
+            msg_drop: 0.0,
+            msg_corrupt: 0.0,
+            msg_delay: 0.0,
+            delay_cycles: 50_000,
+            max_host_retries: 4,
+            retry_backoff_cycles: 1_000,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A no-fault config with the given seed (rates are then set by
+    /// struct update: `FaultConfig { msg_delay: 0.1, ..FaultConfig::seeded(7) }`).
+    pub fn seeded(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// Cumulative resilience counters: every injected fault, retry, timeout,
+/// and degradation, observable through `WorldRun` / `RunReport`.
+/// `Eq` on purpose — determinism tests compare these bit-for-bit.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Injected rank crashes.
+    pub crashes: u64,
+    /// Injected short fuel slices.
+    pub fuel_exhaustions: u64,
+    /// Injected transient host-FFI failures.
+    pub host_transients: u64,
+    /// Host-FFI retries performed (with virtual-time backoff).
+    pub host_retries: u64,
+    /// Point-to-point messages dropped in flight.
+    pub dropped_messages: u64,
+    /// Message / collective payloads bit-corrupted.
+    pub corrupted_messages: u64,
+    /// Messages / collectives delayed.
+    pub delayed_messages: u64,
+    /// Blocked states converted into typed timeouts.
+    pub timeouts: u64,
+    /// JIT requests served by a degraded translation mode.
+    pub degraded_jits: u64,
+}
+
+impl ResilienceStats {
+    /// Fold another counter set into this one (per-rank aggregation).
+    pub fn merge(&mut self, other: &ResilienceStats) {
+        self.crashes += other.crashes;
+        self.fuel_exhaustions += other.fuel_exhaustions;
+        self.host_transients += other.host_transients;
+        self.host_retries += other.host_retries;
+        self.dropped_messages += other.dropped_messages;
+        self.corrupted_messages += other.corrupted_messages;
+        self.delayed_messages += other.delayed_messages;
+        self.timeouts += other.timeouts;
+        self.degraded_jits += other.degraded_jits;
+    }
+
+    /// Total injected faults (not counting recovery actions).
+    pub fn injected(&self) -> u64 {
+        self.crashes
+            + self.fuel_exhaustions
+            + self.host_transients
+            + self.dropped_messages
+            + self.corrupted_messages
+            + self.delayed_messages
+    }
+}
+
+/// What happens to one outgoing message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgFault {
+    None,
+    /// The message is silently lost (the receiver keeps waiting).
+    Drop,
+    /// One element of the payload has a mantissa bit flipped.
+    Corrupt,
+    /// Delivery is pushed `cycles` into the virtual future.
+    Delay(u64),
+}
+
+/// Fuel granted to a slice when exhaustion is injected — small enough to
+/// visibly perturb scheduling, large enough to keep making progress.
+const EXHAUSTED_SLICE_FUEL: u64 = 128;
+
+/// A seeded, stateful fault decision stream for one execution context
+/// (one rank). Consulted by `exec::run` at slice starts and yield points
+/// and by the MPI scheduler at send/host-call sites.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    pub config: FaultConfig,
+    rng: FaultRng,
+    pub stats: ResilienceStats,
+}
+
+impl FaultPlan {
+    pub fn new(config: FaultConfig) -> Self {
+        FaultPlan {
+            config,
+            rng: FaultRng::new(config.seed),
+            stats: ResilienceStats::default(),
+        }
+    }
+
+    /// Derive the decorrelated per-rank stream of a world-level config.
+    pub fn for_rank(config: FaultConfig, rank: u32) -> Self {
+        let seed = config
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(rank as u64 + 1));
+        FaultPlan {
+            config,
+            rng: FaultRng::new(seed),
+            stats: ResilienceStats::default(),
+        }
+    }
+
+    /// Fuel the next scheduling slice may burn (injects fuel exhaustion).
+    pub fn slice_fuel(&mut self, fuel: u64) -> u64 {
+        if self.rng.chance(self.config.fuel_exhaust) {
+            self.stats.fuel_exhaustions += 1;
+            fuel.min(EXHAUSTED_SLICE_FUEL)
+        } else {
+            fuel
+        }
+    }
+
+    /// Does this yield point kill the rank?
+    pub fn crash_at_yield(&mut self) -> bool {
+        if self.rng.chance(self.config.crash) {
+            self.stats.crashes += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Does this host-FFI attempt transiently fail?
+    pub fn host_attempt_fails(&mut self) -> bool {
+        if self.rng.chance(self.config.host_transient) {
+            self.stats.host_transients += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Fate of one outgoing point-to-point message.
+    pub fn message_fault(&mut self) -> MsgFault {
+        if self.rng.chance(self.config.msg_drop) {
+            self.stats.dropped_messages += 1;
+            return MsgFault::Drop;
+        }
+        self.collective_fault()
+    }
+
+    /// Fate of one collective payload (collectives cannot be dropped —
+    /// a lost collective is a crash, not a message fault).
+    pub fn collective_fault(&mut self) -> MsgFault {
+        if self.rng.chance(self.config.msg_corrupt) {
+            self.stats.corrupted_messages += 1;
+            return MsgFault::Corrupt;
+        }
+        if self.rng.chance(self.config.msg_delay) {
+            self.stats.delayed_messages += 1;
+            return MsgFault::Delay(self.config.delay_cycles);
+        }
+        MsgFault::None
+    }
+
+    /// Virtual-cycle backoff before retry number `attempt` (1-based);
+    /// doubles per attempt, capped to keep virtual time bounded.
+    pub fn backoff_cycles(&self, attempt: u32) -> u64 {
+        self.config.retry_backoff_cycles << attempt.saturating_sub(1).min(8)
+    }
+}
+
+/// Flip a mantissa bit of one payload element — a detectable, non-NaN
+/// corruption (bit 22 keeps f32 exponents intact).
+pub fn corrupt_f32(payload: &mut [f32]) {
+    if payload.is_empty() {
+        return;
+    }
+    let i = payload.len() / 2;
+    payload[i] = f32::from_bits(payload[i].to_bits() ^ (1 << 21));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let cfg = FaultConfig {
+            crash: 0.1,
+            msg_drop: 0.2,
+            msg_corrupt: 0.2,
+            msg_delay: 0.3,
+            fuel_exhaust: 0.25,
+            ..FaultConfig::seeded(42)
+        };
+        let mut a = FaultPlan::for_rank(cfg, 3);
+        let mut b = FaultPlan::for_rank(cfg, 3);
+        for _ in 0..500 {
+            assert_eq!(a.crash_at_yield(), b.crash_at_yield());
+            assert_eq!(a.message_fault(), b.message_fault());
+            assert_eq!(a.slice_fuel(1_000_000), b.slice_fuel(1_000_000));
+        }
+        assert_eq!(a.stats, b.stats);
+        assert!(a.stats.injected() > 0, "rates ~0.2 must fire in 500 draws");
+    }
+
+    #[test]
+    fn ranks_get_decorrelated_streams() {
+        let cfg = FaultConfig {
+            crash: 0.5,
+            ..FaultConfig::seeded(7)
+        };
+        let mut a = FaultPlan::for_rank(cfg, 0);
+        let mut b = FaultPlan::for_rank(cfg, 1);
+        let da: Vec<bool> = (0..64).map(|_| a.crash_at_yield()).collect();
+        let db: Vec<bool> = (0..64).map(|_| b.crash_at_yield()).collect();
+        assert_ne!(da, db, "per-rank streams must differ");
+    }
+
+    #[test]
+    fn zero_rates_inject_nothing() {
+        let mut p = FaultPlan::new(FaultConfig::seeded(9));
+        for _ in 0..100 {
+            assert!(!p.crash_at_yield());
+            assert!(!p.host_attempt_fails());
+            assert_eq!(p.message_fault(), MsgFault::None);
+            assert_eq!(p.slice_fuel(500), 500);
+        }
+        assert_eq!(p.stats, ResilienceStats::default());
+    }
+
+    #[test]
+    fn fuel_exhaustion_caps_the_slice() {
+        let mut p = FaultPlan::new(FaultConfig {
+            fuel_exhaust: 1.0,
+            ..FaultConfig::seeded(1)
+        });
+        assert_eq!(p.slice_fuel(1_000_000), EXHAUSTED_SLICE_FUEL);
+        assert_eq!(p.slice_fuel(8), 8, "never grants more than asked");
+        assert_eq!(p.stats.fuel_exhaustions, 2);
+    }
+
+    #[test]
+    fn corruption_changes_exactly_one_element() {
+        let mut v = vec![1.0f32, 2.0, 3.0];
+        corrupt_f32(&mut v);
+        assert_eq!(v[0], 1.0);
+        assert_eq!(v[2], 3.0);
+        assert_ne!(v[1], 2.0);
+        assert!(v[1].is_finite(), "corruption must not produce NaN/inf");
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = FaultPlan::new(FaultConfig::seeded(1));
+        assert_eq!(p.backoff_cycles(1), 1_000);
+        assert_eq!(p.backoff_cycles(2), 2_000);
+        assert_eq!(p.backoff_cycles(3), 4_000);
+        assert_eq!(p.backoff_cycles(40), 1_000 << 8);
+    }
+}

@@ -22,6 +22,10 @@
 
 #![forbid(unsafe_code)]
 
+pub mod fault;
+
+pub use fault::{FaultConfig, FaultPlan, FaultRng, MsgFault, ResilienceStats};
+
 use jlang::ast::BinOp;
 use jlang::types::PrimKind;
 use nir::{ElemTy, FuncId, Instr, IntrinOp, Program, Reg};
@@ -309,6 +313,10 @@ pub struct Machine {
     pub globals: Vec<Val>,
     pub output: Vec<String>,
     pub counters: Counters,
+    /// Optional deterministic fault-injection stream; when set, [`run`]
+    /// consults it at slice starts (fuel exhaustion) and yield points
+    /// (rank crashes). `None` (the default) injects nothing.
+    pub fault: Option<FaultPlan>,
 }
 
 impl Machine {
@@ -363,6 +371,10 @@ pub enum Yield {
     /// A registered foreign (host) function call; the runtime services it
     /// through its [`HostRegistry`].
     Host { host: u32, args: Vec<Val> },
+    /// An injected fault killed this execution context at the given
+    /// retired-instruction count. The thread must not be resumed; the
+    /// surrounding runtime decides how the world degrades.
+    Crashed { step: u64 },
 }
 
 /// A registered foreign function: the reproduction's stand-in for a C
@@ -537,6 +549,15 @@ impl Thread {
     pub fn depth(&self) -> usize {
         self.frames.len()
     }
+
+    /// Function and pc of the innermost frame. While a yield is being
+    /// serviced the pc has already advanced past the yielding
+    /// instruction, so the *faulting* instruction is `pc - 1`; runtimes
+    /// use this to attach location context to errors raised outside the
+    /// interpreter loop (see [`ExecError::at`]).
+    pub fn frame_location(&self) -> Option<(FuncId, u32)> {
+        self.frames.last().map(|f| (f.func, f.pc))
+    }
 }
 
 /// Maximum call depth (the coding rules forbid recursion, so this only
@@ -553,6 +574,11 @@ pub fn run(
 ) -> Result<Yield, ExecError> {
     if thread.done {
         return Ok(Yield::Done(None));
+    }
+    // Fault injection: a slice may deterministically get its fuel cut
+    // short (the caller sees OutOfFuel earlier than expected).
+    if let Some(plan) = machine.fault.as_mut() {
+        fuel = plan.slice_fuel(fuel);
     }
     loop {
         if fuel == 0 {
@@ -586,6 +612,22 @@ pub fn run(
         macro_rules! bump {
             () => {
                 thread.frames.last_mut().unwrap().pc = pc + 1
+            };
+        }
+        // Fault injection: yield points are the places an execution
+        // context can crash. The draw happens *before* the yield is
+        // surfaced, so the runtime never services an op the crashed rank
+        // would not have issued.
+        macro_rules! crash_check {
+            () => {
+                if let Some(plan) = machine.fault.as_mut() {
+                    if plan.crash_at_yield() {
+                        thread.done = true;
+                        return Ok(Yield::Crashed {
+                            step: machine.counters.instrs,
+                        });
+                    }
+                }
             };
         }
 
@@ -667,6 +709,7 @@ pub fn run(
                 }
             }
             Instr::CallHost { host, args, dst } => {
+                crash_check!();
                 let argv: Vec<Val> = args.iter().map(|a| reg!(*a)).collect();
                 thread.pending_dst = *dst;
                 bump!();
@@ -908,6 +951,7 @@ pub fn run(
                     | IntrinOp::BlockIdx(_)
                     | IntrinOp::BlockDim(_)
                     | IntrinOp::GridDim(_) => {
+                        crash_check!();
                         thread.pending_dst = *dst;
                         bump!();
                         return Ok(Yield::GpuMem {
@@ -921,6 +965,7 @@ pub fn run(
                     | IntrinOp::CopyFromGpuRange
                     | IntrinOp::GpuAllocF32
                     | IntrinOp::GpuFree => {
+                        crash_check!();
                         thread.pending_dst = *dst;
                         bump!();
                         return Ok(Yield::GpuMem {
@@ -938,6 +983,7 @@ pub fn run(
                     | IntrinOp::MpiAllreduceSumF64
                     | IntrinOp::MpiAllreduceSumF32
                     | IntrinOp::MpiAllreduceMaxF64 => {
+                        crash_check!();
                         thread.pending_dst = *dst;
                         bump!();
                         return Ok(Yield::Mpi {
@@ -961,6 +1007,7 @@ pub fn run(
                         Ok(v as u32)
                     }
                 };
+                crash_check!();
                 let g = [rd(grid[0])?, rd(grid[1])?, rd(grid[2])?];
                 let b = [rd(block[0])?, rd(block[1])?, rd(block[2])?];
                 let argv: Vec<Val> = args.iter().map(|a| reg!(*a)).collect();
@@ -974,6 +1021,7 @@ pub fn run(
                 });
             }
             Instr::SharedAlloc { elem, len, dst } => {
+                crash_check!();
                 let n = reg!(*len).as_i32().map_err(err)?;
                 if n < 0 {
                     return Err(err(format!("negative shared allocation {n}").into()));
@@ -987,6 +1035,7 @@ pub fn run(
                 });
             }
             Instr::Sync => {
+                crash_check!();
                 bump!();
                 return Ok(Yield::Sync);
             }
@@ -1007,6 +1056,11 @@ pub fn run_to_completion(
         match run(&mut t, program, machine, u64::MAX)? {
             Yield::Done(v) => return Ok(v),
             Yield::OutOfFuel => {}
+            Yield::Crashed { step } => {
+                return Err(ExecError::msg(format!(
+                    "injected crash at step {step} (fault plan)"
+                )))
+            }
             other => {
                 return Err(ExecError {
                     message: format!(

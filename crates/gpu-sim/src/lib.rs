@@ -306,6 +306,14 @@ impl Gpu {
                             return Err(err("kernels cannot call host (foreign) functions"));
                         }
                         Yield::OutOfFuel => {}
+                        Yield::Crashed { step } => {
+                            // Kernel machines carry no fault plan today;
+                            // handle the variant anyway so a future
+                            // device-fault mode fails loudly, not UB.
+                            return Err(err(format!(
+                                "injected fault crashed a kernel thread at step {step}"
+                            )));
+                        }
                     }
                 }
             }

@@ -23,7 +23,10 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use exec::{run, ArrStore, ExecError, HostRegistry, Machine, Thread, Val, Yield};
+use exec::{
+    run, ArrStore, ExecError, FaultConfig, FaultPlan, HostRegistry, Machine, MsgFault,
+    ResilienceStats, Thread, Val, Yield,
+};
 use gpu_sim::{Gpu, GpuConfig};
 use nir::{FuncId, IntrinOp, Program};
 
@@ -50,18 +53,72 @@ impl Default for CostModel {
     }
 }
 
-/// Simulation error, tagged with the offending rank when known.
+/// Typed simulation error. Every failure mode of a world run has its own
+/// variant so callers (the wootinj facade, the bench fault matrix, the
+/// property suites) can classify outcomes without string matching.
 #[derive(Debug)]
-pub struct SimError {
-    pub message: String,
-    pub rank: Option<u32>,
+pub enum SimError {
+    /// One rank's execution or MPI protocol failed (with func/pc context
+    /// when the faulting frame is known).
+    Rank { rank: u32, message: String },
+    /// An injected fault crashed a rank; the world ran on until no
+    /// surviving rank could make progress, then failed with a full
+    /// post-mortem of every rank's state.
+    Crash {
+        rank: u32,
+        /// Retired-instruction count at which the rank died.
+        step: u64,
+        post_mortem: String,
+    },
+    /// A rank waited in one blocked state (recv or collective) past the
+    /// configured fuel bound — a would-be hang converted into an error.
+    Timeout {
+        rank: u32,
+        waited_rounds: u64,
+        report: String,
+    },
+    /// No rank can make progress and none is mid-collective.
+    Deadlock { report: String },
+    /// World-level inconsistency not attributable to one rank.
+    World { message: String },
+}
+
+impl SimError {
+    /// The offending rank, when one is attributable.
+    pub fn rank(&self) -> Option<u32> {
+        match self {
+            SimError::Rank { rank, .. }
+            | SimError::Crash { rank, .. }
+            | SimError::Timeout { rank, .. } => Some(*rank),
+            SimError::Deadlock { .. } | SimError::World { .. } => None,
+        }
+    }
 }
 
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self.rank {
-            Some(r) => write!(f, "mpi-sim error on rank {r}: {}", self.message),
-            None => write!(f, "mpi-sim error: {}", self.message),
+        match self {
+            SimError::Rank { rank, message } => {
+                write!(f, "mpi-sim error on rank {rank}: {message}")
+            }
+            SimError::Crash {
+                rank,
+                step,
+                post_mortem,
+            } => write!(
+                f,
+                "mpi-sim: rank {rank} crashed at step {step} (injected fault); world state:\n{post_mortem}"
+            ),
+            SimError::Timeout {
+                rank,
+                waited_rounds,
+                report,
+            } => write!(
+                f,
+                "mpi-sim: rank {rank} timed out after {waited_rounds} blocked rounds; world state:\n{report}"
+            ),
+            SimError::Deadlock { report } => write!(f, "mpi-sim: deadlock detected:\n{report}"),
+            SimError::World { message } => write!(f, "mpi-sim error: {message}"),
         }
     }
 }
@@ -69,9 +126,38 @@ impl std::fmt::Display for SimError {
 impl std::error::Error for SimError {}
 
 fn err_on(rank: u32, message: impl ToString) -> SimError {
-    SimError {
+    SimError::Rank {
+        rank,
         message: message.to_string(),
-        rank: Some(rank),
+    }
+}
+
+/// The (function, pc) of the instruction a yielded thread is stopped at —
+/// the yield bumped the pc first, so the faulting instruction is `pc - 1`.
+/// Used to give intrinsic-path errors the same location context the
+/// interpreter loop attaches to its own.
+fn yield_location(program: &Program, thread: &Thread) -> Option<(String, u32)> {
+    thread
+        .frame_location()
+        .map(|(f, pc)| (program.func(f).name.clone(), pc.saturating_sub(1)))
+}
+
+/// Attach a yield location to a context-free [`ExecError`].
+fn locate(e: impl Into<ExecError>, loc: &Option<(String, u32)>) -> ExecError {
+    let e = e.into();
+    match loc {
+        Some((func, pc)) => e.at(func, *pc),
+        None => e,
+    }
+}
+
+/// Flip a mantissa bit of a float contribution (deterministic payload
+/// corruption for collectives).
+fn corrupt_val(v: Val) -> Val {
+    match v {
+        Val::F32(x) => Val::F32(f32::from_bits(x.to_bits() ^ (1 << 21))),
+        Val::F64(x) => Val::F64(f64::from_bits(x.to_bits() ^ (1 << 40))),
+        other => other,
     }
 }
 
@@ -101,6 +187,10 @@ pub struct WorldRun {
     pub vtime: u64,
     /// Total executed cycles across ranks.
     pub total_cycles: u64,
+    /// Aggregated fault-injection / recovery counters across all ranks
+    /// (all-zero when no fault plan is configured). Deterministic: the
+    /// same `FaultConfig` seed yields a bit-identical value.
+    pub resilience: ResilienceStats,
 }
 
 /// (from, to, tag) -> FIFO of (payload, available_at).
@@ -142,6 +232,11 @@ struct Rank {
     last_cycles: u64,
     blocked: Option<Blocked>,
     done: Option<Option<Val>>,
+    /// Step count at which an injected fault killed this rank.
+    crashed: Option<u64>,
+    /// Consecutive scheduler rounds spent in the current blocked state
+    /// (the per-collective timeout clock).
+    blocked_rounds: u64,
 }
 
 /// A simulated MPI world over a translated program.
@@ -156,7 +251,20 @@ pub struct World<'p> {
     /// Registered foreign functions (the paper's FFI); `CallHost`
     /// instructions are resolved against this by key.
     pub host: Option<&'p HostRegistry>,
+    /// Deterministic fault injection; each rank derives its own stream
+    /// from this seed. `None` injects nothing.
+    pub fault: Option<FaultConfig>,
+    /// Per-collective fuel bound: a rank blocked in one recv/collective
+    /// for more than this many scheduler rounds (and, as a backstop, a
+    /// world exceeding it globally while any rank is blocked) fails with
+    /// [`SimError::Timeout`] instead of hanging. `None` disables it.
+    pub timeout_rounds: Option<u64>,
 }
+
+/// Default [`World::timeout_rounds`] once fault injection is enabled:
+/// generous enough for every in-repo workload, small enough that an
+/// injected would-be hang fails in bounded time.
+pub const DEFAULT_FAULT_TIMEOUT_ROUNDS: u64 = 100_000;
 
 impl<'p> World<'p> {
     pub fn new(program: &'p Program, size: u32) -> Self {
@@ -167,11 +275,29 @@ impl<'p> World<'p> {
             gpu: None,
             slice: 4_000_000,
             host: None,
+            fault: None,
+            timeout_rounds: None,
         }
     }
 
     pub fn with_host(mut self, host: &'p HostRegistry) -> Self {
         self.host = Some(host);
+        self
+    }
+
+    /// Enable deterministic fault injection. Also arms the timeout
+    /// backstop (at [`DEFAULT_FAULT_TIMEOUT_ROUNDS`]) unless one was set
+    /// explicitly — injected message loss must fail, not hang.
+    pub fn with_faults(mut self, fault: FaultConfig) -> Self {
+        self.fault = Some(fault);
+        self.timeout_rounds
+            .get_or_insert(DEFAULT_FAULT_TIMEOUT_ROUNDS);
+        self
+    }
+
+    /// Bound the rounds a rank may stay blocked in one recv/collective.
+    pub fn with_timeout(mut self, rounds: u64) -> Self {
+        self.timeout_rounds = Some(rounds);
         self
     }
 
@@ -199,6 +325,9 @@ impl<'p> World<'p> {
         let mut ranks: Vec<Rank> = Vec::with_capacity(self.size as usize);
         for r in 0..self.size {
             let mut machine = Machine::with_globals(self.program);
+            if let Some(cfg) = self.fault {
+                machine.fault = Some(FaultPlan::for_rank(cfg, r));
+            }
             let args = make_args(r, &mut machine)
                 .map_err(|m| err_on(r, format!("building entry args: {m}")))?;
             let thread =
@@ -213,6 +342,8 @@ impl<'p> World<'p> {
                 last_cycles: 0,
                 blocked: None,
                 done: None,
+                crashed: None,
+                blocked_rounds: 0,
             });
         }
 
@@ -222,6 +353,8 @@ impl<'p> World<'p> {
         let mut barrier_waiters: Vec<u32> = Vec::new();
         let mut allreduce: Vec<(u32, AllOp, Val)> = Vec::new();
         let mut bcast_waiters: Vec<u32> = Vec::new();
+        // Scheduler rounds so far (the global half of the timeout bound).
+        let mut rounds: u64 = 0;
 
         loop {
             let mut progress = false;
@@ -243,17 +376,21 @@ impl<'p> World<'p> {
                         let key = (src, r as u32, tag);
                         let ready = messages.get_mut(&key).and_then(|q| q.pop_front());
                         if let Some((payload, avail_at)) = ready {
+                            let loc = yield_location(self.program, &ranks[r].thread);
                             if payload.len() != count {
                                 return Err(err_on(
                                     r as u32,
-                                    format!(
-                                        "recv of {count} floats matched a message of {}",
-                                        payload.len()
+                                    locate(
+                                        format!(
+                                            "recv of {count} floats matched a message of {}",
+                                            payload.len()
+                                        ),
+                                        &loc,
                                     ),
                                 ));
                             }
                             write_floats(&mut ranks[r].machine, buf, off, &payload)
-                                .map_err(|m| err_on(r as u32, m))?;
+                                .map_err(|m| err_on(r as u32, locate(m, &loc)))?;
                             let rank = &mut ranks[r];
                             let arrival = rank.vclock.max(avail_at);
                             rank.comm_cycles += arrival - rank.vclock;
@@ -286,9 +423,8 @@ impl<'p> World<'p> {
                 let participants: Vec<u32> = allreduce.iter().map(|(r, _, _)| *r).collect();
                 let t = self.complete_collective(&mut ranks, &participants);
                 let op = allreduce[0].1;
-                let combined = combine(op, &allreduce).map_err(|m| SimError {
+                let combined = combine(op, &allreduce).map_err(|m| SimError::World {
                     message: m.to_string(),
-                    rank: None,
                 })?;
                 for &(r, _, _) in allreduce.iter() {
                     let rank = &mut ranks[r as usize];
@@ -305,32 +441,45 @@ impl<'p> World<'p> {
                     let Some(Blocked::Bcast { root, count, .. }) =
                         &ranks[bcast_waiters[0] as usize].blocked
                     else {
-                        return Err(SimError {
+                        return Err(SimError::World {
                             message: "inconsistent bcast state".into(),
-                            rank: None,
                         });
                     };
                     (*root, *count)
                 };
-                let payload = {
+                let mut payload = {
                     let Some(Blocked::Bcast { buf, off, .. }) = &ranks[root as usize].blocked
                     else {
                         return Err(err_on(root, "bcast root is not at the bcast"));
                     };
+                    let loc = yield_location(self.program, &ranks[root as usize].thread);
                     read_floats(&ranks[root as usize].machine, *buf, *off, count)
-                        .map_err(|m| err_on(root, m))?
+                        .map_err(|m| err_on(root, locate(m, &loc)))?
                 };
+                // Fault injection on the broadcast payload, drawn from
+                // the root's stream (collectives corrupt or delay — a
+                // dropped collective is a crash, not a message fault).
+                let mut extra_delay = 0;
+                if let Some(plan) = ranks[root as usize].machine.fault.as_mut() {
+                    match plan.collective_fault() {
+                        MsgFault::Corrupt => exec::fault::corrupt_f32(&mut payload),
+                        MsgFault::Delay(d) => extra_delay = d,
+                        MsgFault::None | MsgFault::Drop => {}
+                    }
+                }
                 let t = self.complete_collective(&mut ranks, &bcast_waiters)
-                    + self.msg_cost((count * 4) as u64);
+                    + self.msg_cost((count * 4) as u64)
+                    + extra_delay;
                 for &r in &bcast_waiters {
                     let rank = &mut ranks[r as usize];
+                    let loc = yield_location(self.program, &rank.thread);
                     if r != root {
                         let Some(Blocked::Bcast { buf, off, .. }) = &rank.blocked else {
                             unreachable!()
                         };
                         let (buf, off) = (*buf, *off);
                         write_floats(&mut rank.machine, buf, off, &payload)
-                            .map_err(|m| err_on(r, m))?;
+                            .map_err(|m| err_on(r, locate(m, &loc)))?;
                     }
                     rank.vclock = t;
                     rank.blocked = None;
@@ -342,7 +491,10 @@ impl<'p> World<'p> {
 
             // 3. Run runnable ranks for a slice.
             for r in 0..self.size as usize {
-                if ranks[r].done.is_some() || ranks[r].blocked.is_some() {
+                if ranks[r].done.is_some()
+                    || ranks[r].blocked.is_some()
+                    || ranks[r].crashed.is_some()
+                {
                     continue;
                 }
                 progress = true;
@@ -364,6 +516,12 @@ impl<'p> World<'p> {
                 match y {
                     Yield::Done(v) => ranks[r].done = Some(v),
                     Yield::OutOfFuel => {}
+                    Yield::Crashed { step } => {
+                        // The rank is dead. Let the survivors run on —
+                        // the world fails with a post-mortem once no one
+                        // can make progress (see below).
+                        ranks[r].crashed = Some(step);
+                    }
                     Yield::Sync | Yield::SharedAlloc { .. } => {
                         return Err(err_on(
                             r as u32,
@@ -391,29 +549,71 @@ impl<'p> World<'p> {
                     }
                     Yield::Host { host, args } => {
                         let rank = &mut ranks[r];
-                        let sig = self
-                            .program
-                            .host_fns
-                            .get(host as usize)
-                            .ok_or_else(|| err_on(r as u32, "unknown host function"))?;
+                        let loc = yield_location(self.program, &rank.thread);
+                        let sig = self.program.host_fns.get(host as usize).ok_or_else(|| {
+                            err_on(r as u32, locate("unknown host function", &loc))
+                        })?;
                         let registry = self.host.ok_or_else(|| {
                             err_on(
                                 r as u32,
-                                format!(
+                                locate(
+                                    format!(
                                     "foreign function `{}` called but no host registry configured",
                                     sig.name
+                                ),
+                                    &loc,
                                 ),
                             )
                         })?;
                         let id = registry.id_of(&sig.name).ok_or_else(|| {
                             err_on(
                                 r as u32,
-                                format!("foreign function `{}` is not registered", sig.name),
+                                locate(
+                                    format!("foreign function `{}` is not registered", sig.name),
+                                    &loc,
+                                ),
                             )
                         })?;
+                        // Transient host-FFI failures (injected) are
+                        // retried with exponential virtual-time backoff
+                        // up to the configured budget; the call itself
+                        // only runs once the attempt survives the draw.
+                        let mut attempt: u32 = 0;
+                        loop {
+                            let transient = rank
+                                .machine
+                                .fault
+                                .as_mut()
+                                .is_some_and(|p| p.host_attempt_fails());
+                            if !transient {
+                                break;
+                            }
+                            let plan = rank.machine.fault.as_mut().unwrap();
+                            if attempt >= plan.config.max_host_retries {
+                                return Err(err_on(
+                                    r as u32,
+                                    locate(
+                                        format!(
+                                            "foreign function `{}` failed {} times \
+                                             (injected transient errors, retry budget exhausted)",
+                                            sig.name,
+                                            attempt + 1
+                                        ),
+                                        &loc,
+                                    ),
+                                ));
+                            }
+                            attempt += 1;
+                            plan.stats.host_retries += 1;
+                            let backoff = plan.backoff_cycles(attempt);
+                            rank.vclock += backoff;
+                            rank.comm_cycles += backoff;
+                        }
                         let v = registry
                             .call(id, &args, &mut rank.machine.mem)
-                            .map_err(|m| err_on(r as u32, format!("in `{}`: {m}", sig.name)))?;
+                            .map_err(|m| {
+                                err_on(r as u32, format!("in `{}`: {}", sig.name, locate(m, &loc)))
+                            })?;
                         rank.thread.resume_with(v);
                     }
                     Yield::Mpi { op, args } => {
@@ -435,29 +635,61 @@ impl<'p> World<'p> {
                 break;
             }
             if !progress {
-                let states: Vec<String> = ranks
+                // A crashed rank explains the stall: fail with its
+                // post-mortem instead of reporting a plain deadlock.
+                if let Some((cr, step)) = ranks
                     .iter()
                     .enumerate()
-                    .map(|(i, r)| {
-                        format!(
-                            "rank {i}: {}",
-                            match (&r.done, &r.blocked) {
-                                (Some(_), _) => "done".to_string(),
-                                (_, Some(b)) => format!("blocked on {b:?}"),
-                                _ => "runnable?".to_string(),
-                            }
-                        )
-                    })
-                    .collect();
-                return Err(SimError {
-                    message: format!("deadlock detected:\n{}", states.join("\n")),
-                    rank: None,
+                    .find_map(|(i, rk)| rk.crashed.map(|s| (i as u32, s)))
+                {
+                    return Err(SimError::Crash {
+                        rank: cr,
+                        step,
+                        post_mortem: world_report(&ranks, &messages),
+                    });
+                }
+                return Err(SimError::Deadlock {
+                    report: world_report(&ranks, &messages),
                 });
+            }
+
+            // Per-collective timeout clock: rounds spent in the current
+            // blocked state. A would-be hang (e.g. a dropped message's
+            // receiver while its sender spins) becomes a typed Timeout.
+            rounds += 1;
+            for rank in ranks.iter_mut() {
+                if rank.blocked.is_some() {
+                    rank.blocked_rounds += 1;
+                } else {
+                    rank.blocked_rounds = 0;
+                }
+            }
+            if let Some(bound) = self.timeout_rounds {
+                let over = ranks
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, rk)| rk.blocked.is_some())
+                    .map(|(i, rk)| (i as u32, rk.blocked_rounds))
+                    .max_by_key(|&(_, w)| w)
+                    .filter(|&(_, w)| w > bound || rounds > bound);
+                if let Some((tr, waited)) = over {
+                    return Err(SimError::Timeout {
+                        rank: tr,
+                        waited_rounds: waited.max(rounds),
+                        report: world_report(&ranks, &messages),
+                    });
+                }
             }
         }
 
         let vtime = ranks.iter().map(|r| r.vclock).max().unwrap_or(0);
         let total_cycles = ranks.iter().map(|r| r.compute_cycles).sum();
+        let mut resilience = ResilienceStats::default();
+        for r in &ranks {
+            if let Some(plan) = &r.machine.fault {
+                resilience.merge(&plan.stats);
+            }
+        }
         Ok(WorldRun {
             ranks: ranks
                 .into_iter()
@@ -473,7 +705,55 @@ impl<'p> World<'p> {
                 .collect(),
             vtime,
             total_cycles,
+            resilience,
         })
+    }
+
+    /// Enqueue an outgoing point-to-point message, applying the sending
+    /// rank's injected message faults: dropped messages are lost in
+    /// flight (the sender still pays the cost — it cannot tell), corrupt
+    /// ones arrive with a flipped payload bit, delayed ones become
+    /// available later in virtual time.
+    fn post_message(
+        &self,
+        sender: &mut Rank,
+        from: u32,
+        dest: u32,
+        tag: i32,
+        mut payload: Vec<f32>,
+        messages: &mut MsgQueues,
+    ) {
+        let mut avail_at = sender.vclock;
+        if let Some(plan) = sender.machine.fault.as_mut() {
+            match plan.message_fault() {
+                MsgFault::Drop => return,
+                MsgFault::Corrupt => exec::fault::corrupt_f32(&mut payload),
+                MsgFault::Delay(d) => avail_at += d,
+                MsgFault::None => {}
+            }
+        }
+        messages
+            .entry((from, dest, tag))
+            .or_default()
+            .push_back((payload, avail_at));
+    }
+
+    /// An allreduce contribution, possibly corrupted or delayed by the
+    /// contributing rank's fault stream (delay pushes the rank's clock,
+    /// which delays the collective's completion time).
+    fn contribute(&self, rank: &mut Rank, v: Val) -> Val {
+        let Some(plan) = rank.machine.fault.as_mut() else {
+            return v;
+        };
+        match plan.collective_fault() {
+            MsgFault::Corrupt => corrupt_val(v),
+            MsgFault::Delay(d) => {
+                rank.vclock += d;
+                rank.comm_cycles += d;
+                v
+            }
+            MsgFault::None | MsgFault::Drop => v,
+        }
     }
 
     /// Collective completion time: max participant clock + base cost +
@@ -500,6 +780,7 @@ impl<'p> World<'p> {
         op: IntrinOp,
         args: Vec<Val>,
     ) -> Result<(), SimError> {
+        let loc = yield_location(self.program, &rank.thread);
         let gpu = rank.gpu.as_mut().ok_or_else(|| {
             err_on(
                 r,
@@ -509,58 +790,63 @@ impl<'p> World<'p> {
         let before = gpu.vtime;
         match op {
             IntrinOp::CopyToGpu => {
-                let host = args[0].as_arr().map_err(|m| err_on(r, m))?;
+                let host = args[0].as_arr().map_err(|m| err_on(r, locate(m, &loc)))?;
                 let store = rank
                     .machine
                     .mem
                     .arr(host)
-                    .map_err(|m| err_on(r, m))?
+                    .map_err(|m| err_on(r, locate(m, &loc)))?
                     .clone();
                 let dev = gpu.copy_in(&store).map_err(|e| err_on(r, e.to_string()))?;
                 rank.thread.resume_with(Val::Arr(dev));
             }
             IntrinOp::CopyFromGpu => {
-                let host = args[0].as_arr().map_err(|m| err_on(r, m))?;
-                let dev = args[1].as_arr().map_err(|m| err_on(r, m))?;
+                let host = args[0].as_arr().map_err(|m| err_on(r, locate(m, &loc)))?;
+                let dev = args[1].as_arr().map_err(|m| err_on(r, locate(m, &loc)))?;
                 let mut tmp = rank
                     .machine
                     .mem
                     .arr(host)
-                    .map_err(|m| err_on(r, m))?
+                    .map_err(|m| err_on(r, locate(m, &loc)))?
                     .clone();
                 gpu.copy_out(dev, &mut tmp)
                     .map_err(|e| err_on(r, e.to_string()))?;
-                *rank.machine.mem.arr_mut(host).map_err(|m| err_on(r, m))? = tmp;
+                *rank
+                    .machine
+                    .mem
+                    .arr_mut(host)
+                    .map_err(|m| err_on(r, locate(m, &loc)))? = tmp;
                 rank.thread.resume_with(Val::Unit);
             }
             IntrinOp::CopyToGpuRange => {
                 // (dev, devOff, host, hostOff, len)
-                let dev = args[0].as_arr().map_err(|m| err_on(r, m))?;
-                let doff = args[1].as_i32().map_err(|m| err_on(r, m))? as usize;
-                let host = args[2].as_arr().map_err(|m| err_on(r, m))?;
-                let hoff = args[3].as_i32().map_err(|m| err_on(r, m))? as usize;
-                let len = args[4].as_i32().map_err(|m| err_on(r, m))? as usize;
-                let payload =
-                    read_floats(&rank.machine, host, hoff, len).map_err(|m| err_on(r, m))?;
+                let dev = args[0].as_arr().map_err(|m| err_on(r, locate(m, &loc)))?;
+                let doff = args[1].as_i32().map_err(|m| err_on(r, locate(m, &loc)))? as usize;
+                let host = args[2].as_arr().map_err(|m| err_on(r, locate(m, &loc)))?;
+                let hoff = args[3].as_i32().map_err(|m| err_on(r, locate(m, &loc)))? as usize;
+                let len = args[4].as_i32().map_err(|m| err_on(r, locate(m, &loc)))? as usize;
+                let payload = read_floats(&rank.machine, host, hoff, len)
+                    .map_err(|m| err_on(r, locate(m, &loc)))?;
                 gpu.write_range(dev, doff, &payload)
                     .map_err(|e| err_on(r, e.to_string()))?;
                 rank.thread.resume_with(Val::Unit);
             }
             IntrinOp::CopyFromGpuRange => {
                 // (host, hostOff, dev, devOff, len)
-                let host = args[0].as_arr().map_err(|m| err_on(r, m))?;
-                let hoff = args[1].as_i32().map_err(|m| err_on(r, m))? as usize;
-                let dev = args[2].as_arr().map_err(|m| err_on(r, m))?;
-                let doff = args[3].as_i32().map_err(|m| err_on(r, m))? as usize;
-                let len = args[4].as_i32().map_err(|m| err_on(r, m))? as usize;
+                let host = args[0].as_arr().map_err(|m| err_on(r, locate(m, &loc)))?;
+                let hoff = args[1].as_i32().map_err(|m| err_on(r, locate(m, &loc)))? as usize;
+                let dev = args[2].as_arr().map_err(|m| err_on(r, locate(m, &loc)))?;
+                let doff = args[3].as_i32().map_err(|m| err_on(r, locate(m, &loc)))? as usize;
+                let len = args[4].as_i32().map_err(|m| err_on(r, locate(m, &loc)))? as usize;
                 let payload = gpu
                     .read_range(dev, doff, len)
                     .map_err(|e| err_on(r, e.to_string()))?;
-                write_floats(&mut rank.machine, host, hoff, &payload).map_err(|m| err_on(r, m))?;
+                write_floats(&mut rank.machine, host, hoff, &payload)
+                    .map_err(|m| err_on(r, locate(m, &loc)))?;
                 rank.thread.resume_with(Val::Unit);
             }
             IntrinOp::GpuAllocF32 => {
-                let n = args[0].as_i32().map_err(|m| err_on(r, m))?;
+                let n = args[0].as_i32().map_err(|m| err_on(r, locate(m, &loc)))?;
                 if n < 0 {
                     return Err(err_on(r, "negative device allocation"));
                 }
@@ -568,7 +854,7 @@ impl<'p> World<'p> {
                 rank.thread.resume_with(Val::Arr(dev));
             }
             IntrinOp::GpuFree => {
-                let dev = args[0].as_arr().map_err(|m| err_on(r, m))?;
+                let dev = args[0].as_arr().map_err(|m| err_on(r, locate(m, &loc)))?;
                 gpu.free(dev).map_err(|e| err_on(r, e.to_string()))?;
                 rank.thread.resume_with(Val::Unit);
             }
@@ -598,11 +884,15 @@ impl<'p> World<'p> {
         bcast_waiters: &mut Vec<u32>,
     ) -> Result<(), SimError> {
         let ri = r as usize;
+        let loc = yield_location(self.program, &ranks[ri].thread);
         let check_rank = |v: i32| -> Result<u32, SimError> {
             if v < 0 || v as u32 >= self.size {
                 Err(err_on(
                     r,
-                    format!("rank {v} out of range (world size {})", self.size),
+                    locate(
+                        format!("rank {v} out of range (world size {})", self.size),
+                        &loc,
+                    ),
                 ))
             } else {
                 Ok(v as u32)
@@ -621,29 +911,26 @@ impl<'p> World<'p> {
             }
             IntrinOp::MpiSendF32 => {
                 // sendF(buf, off, count, dest, tag)
-                let buf = args[0].as_arr().map_err(|m| err_on(r, m))?;
-                let off = args[1].as_i32().map_err(|m| err_on(r, m))? as usize;
-                let count = args[2].as_i32().map_err(|m| err_on(r, m))? as usize;
-                let dest = check_rank(args[3].as_i32().map_err(|m| err_on(r, m))?)?;
-                let tag = args[4].as_i32().map_err(|m| err_on(r, m))?;
-                let payload =
-                    read_floats(&ranks[ri].machine, buf, off, count).map_err(|m| err_on(r, m))?;
+                let buf = args[0].as_arr().map_err(|m| err_on(r, locate(m, &loc)))?;
+                let off = args[1].as_i32().map_err(|m| err_on(r, locate(m, &loc)))? as usize;
+                let count = args[2].as_i32().map_err(|m| err_on(r, locate(m, &loc)))? as usize;
+                let dest = check_rank(args[3].as_i32().map_err(|m| err_on(r, locate(m, &loc)))?)?;
+                let tag = args[4].as_i32().map_err(|m| err_on(r, locate(m, &loc)))?;
+                let payload = read_floats(&ranks[ri].machine, buf, off, count)
+                    .map_err(|m| err_on(r, locate(m, &loc)))?;
                 let cost = self.msg_cost((count * 4) as u64);
                 ranks[ri].vclock += cost;
                 ranks[ri].comm_cycles += cost;
-                messages
-                    .entry((r, dest, tag))
-                    .or_default()
-                    .push_back((payload, ranks[ri].vclock));
+                self.post_message(&mut ranks[ri], r, dest, tag, payload, messages);
                 ranks[ri].thread.resume_with(Val::Unit);
             }
             IntrinOp::MpiRecvF32 => {
                 // recvF(buf, off, count, src, tag)
-                let buf = args[0].as_arr().map_err(|m| err_on(r, m))?;
-                let off = args[1].as_i32().map_err(|m| err_on(r, m))? as usize;
-                let count = args[2].as_i32().map_err(|m| err_on(r, m))? as usize;
-                let src = check_rank(args[3].as_i32().map_err(|m| err_on(r, m))?)?;
-                let tag = args[4].as_i32().map_err(|m| err_on(r, m))?;
+                let buf = args[0].as_arr().map_err(|m| err_on(r, locate(m, &loc)))?;
+                let off = args[1].as_i32().map_err(|m| err_on(r, locate(m, &loc)))? as usize;
+                let count = args[2].as_i32().map_err(|m| err_on(r, locate(m, &loc)))? as usize;
+                let src = check_rank(args[3].as_i32().map_err(|m| err_on(r, locate(m, &loc)))?)?;
+                let tag = args[4].as_i32().map_err(|m| err_on(r, locate(m, &loc)))?;
                 ranks[ri].blocked = Some(Blocked::Recv {
                     buf,
                     off,
@@ -654,23 +941,20 @@ impl<'p> World<'p> {
             }
             IntrinOp::MpiSendRecvF32 => {
                 // sendrecvF(sbuf, soff, count, dest, rbuf, roff, src, tag)
-                let sbuf = args[0].as_arr().map_err(|m| err_on(r, m))?;
-                let soff = args[1].as_i32().map_err(|m| err_on(r, m))? as usize;
-                let count = args[2].as_i32().map_err(|m| err_on(r, m))? as usize;
-                let dest = check_rank(args[3].as_i32().map_err(|m| err_on(r, m))?)?;
-                let rbuf = args[4].as_arr().map_err(|m| err_on(r, m))?;
-                let roff = args[5].as_i32().map_err(|m| err_on(r, m))? as usize;
-                let src = check_rank(args[6].as_i32().map_err(|m| err_on(r, m))?)?;
-                let tag = args[7].as_i32().map_err(|m| err_on(r, m))?;
-                let payload =
-                    read_floats(&ranks[ri].machine, sbuf, soff, count).map_err(|m| err_on(r, m))?;
+                let sbuf = args[0].as_arr().map_err(|m| err_on(r, locate(m, &loc)))?;
+                let soff = args[1].as_i32().map_err(|m| err_on(r, locate(m, &loc)))? as usize;
+                let count = args[2].as_i32().map_err(|m| err_on(r, locate(m, &loc)))? as usize;
+                let dest = check_rank(args[3].as_i32().map_err(|m| err_on(r, locate(m, &loc)))?)?;
+                let rbuf = args[4].as_arr().map_err(|m| err_on(r, locate(m, &loc)))?;
+                let roff = args[5].as_i32().map_err(|m| err_on(r, locate(m, &loc)))? as usize;
+                let src = check_rank(args[6].as_i32().map_err(|m| err_on(r, locate(m, &loc)))?)?;
+                let tag = args[7].as_i32().map_err(|m| err_on(r, locate(m, &loc)))?;
+                let payload = read_floats(&ranks[ri].machine, sbuf, soff, count)
+                    .map_err(|m| err_on(r, locate(m, &loc)))?;
                 let cost = self.msg_cost((count * 4) as u64);
                 ranks[ri].vclock += cost;
                 ranks[ri].comm_cycles += cost;
-                messages
-                    .entry((r, dest, tag))
-                    .or_default()
-                    .push_back((payload, ranks[ri].vclock));
+                self.post_message(&mut ranks[ri], r, dest, tag, payload, messages);
                 ranks[ri].blocked = Some(Blocked::Recv {
                     buf: rbuf,
                     off: roff,
@@ -681,10 +965,10 @@ impl<'p> World<'p> {
             }
             IntrinOp::MpiBcastF32 => {
                 // bcastF(buf, off, count, root)
-                let buf = args[0].as_arr().map_err(|m| err_on(r, m))?;
-                let off = args[1].as_i32().map_err(|m| err_on(r, m))? as usize;
-                let count = args[2].as_i32().map_err(|m| err_on(r, m))? as usize;
-                let root = check_rank(args[3].as_i32().map_err(|m| err_on(r, m))?)?;
+                let buf = args[0].as_arr().map_err(|m| err_on(r, locate(m, &loc)))?;
+                let off = args[1].as_i32().map_err(|m| err_on(r, locate(m, &loc)))? as usize;
+                let count = args[2].as_i32().map_err(|m| err_on(r, locate(m, &loc)))? as usize;
+                let root = check_rank(args[3].as_i32().map_err(|m| err_on(r, locate(m, &loc)))?)?;
                 ranks[ri].blocked = Some(Blocked::Bcast {
                     buf,
                     off,
@@ -695,20 +979,67 @@ impl<'p> World<'p> {
             }
             IntrinOp::MpiAllreduceSumF64 => {
                 ranks[ri].blocked = Some(Blocked::Allreduce);
-                allreduce.push((r, AllOp::SumF64, args[0]));
+                let v = self.contribute(&mut ranks[ri], args[0]);
+                allreduce.push((r, AllOp::SumF64, v));
             }
             IntrinOp::MpiAllreduceSumF32 => {
                 ranks[ri].blocked = Some(Blocked::Allreduce);
-                allreduce.push((r, AllOp::SumF32, args[0]));
+                let v = self.contribute(&mut ranks[ri], args[0]);
+                allreduce.push((r, AllOp::SumF32, v));
             }
             IntrinOp::MpiAllreduceMaxF64 => {
                 ranks[ri].blocked = Some(Blocked::Allreduce);
-                allreduce.push((r, AllOp::MaxF64, args[0]));
+                let v = self.contribute(&mut ranks[ri], args[0]);
+                allreduce.push((r, AllOp::MaxF64, v));
             }
             other => return Err(err_on(r, format!("unexpected MPI op {other:?}"))),
         }
         Ok(())
     }
+}
+
+/// One line per rank describing its state — the post-mortem attached to
+/// deadlock, timeout, and crash errors. `Recv` lines include the
+/// waited-on source/tag and the pending queue depths, so a mismatched
+/// send/recv pair is diagnosable from the error text alone.
+fn world_report(ranks: &[Rank], messages: &MsgQueues) -> String {
+    ranks
+        .iter()
+        .enumerate()
+        .map(|(i, rk)| {
+            let state = if let Some(step) = rk.crashed {
+                format!("crashed at step {step} (injected fault)")
+            } else if rk.done.is_some() {
+                "done".to_string()
+            } else if let Some(b) = &rk.blocked {
+                match b {
+                    Blocked::Recv {
+                        src, tag, count, ..
+                    } => {
+                        let matching = messages.get(&(*src, i as u32, *tag)).map_or(0, |q| q.len());
+                        let inbound: usize = messages
+                            .iter()
+                            .filter(|(&(_, to, _), _)| to == i as u32)
+                            .map(|(_, q)| q.len())
+                            .sum();
+                        format!(
+                            "blocked on Recv {{ {count} floats from rank {src}, tag {tag} }} \
+                             ({matching} matching queued, {inbound} inbound total)"
+                        )
+                    }
+                    Blocked::Barrier => "blocked on Barrier".to_string(),
+                    Blocked::Allreduce => "blocked on Allreduce".to_string(),
+                    Blocked::Bcast { root, count, .. } => {
+                        format!("blocked on Bcast {{ {count} floats, root {root} }}")
+                    }
+                }
+            } else {
+                format!("runnable (vclock {})", rk.vclock)
+            };
+            format!("rank {i}: {state}")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 fn combine(op: AllOp, contributions: &[(u32, AllOp, Val)]) -> Result<Val, ExecError> {
@@ -1034,7 +1365,15 @@ mod tests {
         p.validate().unwrap();
         let world = World::new(&p, 2);
         let e = world.run(id, |_, _| Ok(vec![])).unwrap_err();
-        assert!(e.message.contains("deadlock"), "{e}");
+        let SimError::Deadlock { report } = &e else {
+            panic!("expected Deadlock, got {e}");
+        };
+        // The report names the waited-on source/tag and queue depths
+        // (rank 0 waits on rank 1, tag 0, nothing queued).
+        assert!(report.contains("rank 0: blocked on Recv"), "{report}");
+        assert!(report.contains("from rank 1, tag 0"), "{report}");
+        assert!(report.contains("0 matching queued"), "{report}");
+        assert!(report.contains("rank 1: done"), "{report}");
     }
 
     #[test]

@@ -341,5 +341,6 @@ fn rank_out_of_range_is_an_error() {
     let id = p.add_func(fb.finish().unwrap());
     let world = World::new(&p, 2);
     let e = world.run(id, |_, _| Ok(vec![])).unwrap_err();
-    assert!(e.message.contains("out of range"), "{e}");
+    assert!(matches!(e, mpi_sim::SimError::Rank { rank: 0, .. }), "{e}");
+    assert!(e.to_string().contains("out of range"), "{e}");
 }

@@ -31,16 +31,15 @@ use cache::{CacheKey, JitCache};
 use jlang::{ClassTable, DiagResult, SourceSet};
 use jvm::{Jvm, JvmError, Value};
 use mpi_sim::{CostModel, World};
-use translator::{
-    bind_entry_args, entry_spec, translate, Mode, TransConfig, TransError, Translated,
-};
+use translator::{bind_entry_args, entry_spec, translate, TransConfig, TransError, Translated};
 
 pub use cache::CacheStats;
-pub use exec::Val;
+pub use exec::{FaultConfig, ResilienceStats, Val};
 pub use gpu_sim::GpuConfig;
 pub use mpi_sim::CostModel as MpiCostModel;
+pub use mpi_sim::SimError;
 pub use nir::OptConfig;
-pub use translator::{Binding, EntrySpec, TransStats};
+pub use translator::{Binding, EntrySpec, Mode, TransStats};
 
 /// Compile prelude + user sources into a typed class table.
 ///
@@ -68,11 +67,14 @@ pub fn build_table(sources: &[(&str, &str)]) -> DiagResult<ClassTable> {
 }
 
 /// Framework error: anything from composition to translation to execution.
+/// The `Sim` variant carries the typed [`mpi_sim::SimError`], so callers
+/// can distinguish crashes, timeouts, and deadlocks without string
+/// matching (the bench fault matrix classifies outcomes this way).
 #[derive(Debug)]
 pub enum WjError {
     Jvm(JvmError),
     Translate(TransError),
-    Sim(String),
+    Sim(SimError),
 }
 
 impl std::fmt::Display for WjError {
@@ -80,7 +82,7 @@ impl std::fmt::Display for WjError {
         match self {
             WjError::Jvm(e) => write!(f, "{e}"),
             WjError::Translate(e) => write!(f, "{e}"),
-            WjError::Sim(m) => write!(f, "simulation error: {m}"),
+            WjError::Sim(e) => write!(f, "simulation error: {e}"),
         }
     }
 }
@@ -96,6 +98,12 @@ impl From<JvmError> for WjError {
 impl From<TransError> for WjError {
     fn from(e: TransError) -> Self {
         WjError::Translate(e)
+    }
+}
+
+impl From<SimError> for WjError {
+    fn from(e: SimError) -> Self {
+        WjError::Sim(e)
     }
 }
 
@@ -207,46 +215,72 @@ impl<'t> WootinJ<'t> {
         options: JitOptions,
     ) -> WjResult<JitCode> {
         let start = Instant::now();
-        let spec = entry_spec(
-            self.table,
-            &self.jvm,
-            recv,
-            method,
-            args,
-            options.config.mode,
-        )?;
-        let key = CacheKey {
-            spec,
-            config: options.config,
-            hosts: self.host.keys().map(str::to_string).collect(),
-        };
-        let cached = self.cache.borrow_mut().lookup(&key);
-        let translated = match cached {
-            Some(hit) => hit,
-            None => {
-                let t = Arc::new(translate(
-                    self.table,
-                    &self.jvm,
-                    recv,
-                    method,
-                    args,
-                    options.config,
-                )?);
-                self.cache.borrow_mut().insert(key, Arc::clone(&t));
-                t
+        let mut attempts: Vec<(Mode, String)> = Vec::new();
+        let mut config = options.config;
+        let translated = loop {
+            match self.jit_once(recv, method, args, config) {
+                Ok(t) => break t,
+                Err(e) => {
+                    let next = degrade_next(config).filter(|_| options.degrade);
+                    let Some(next) = next else { return Err(e) };
+                    attempts.push((config.mode, e.to_string()));
+                    config = next;
+                }
             }
         };
         let compile_time = start.elapsed();
+        let degrade = if attempts.is_empty() {
+            None
+        } else {
+            Some(DegradeReport {
+                attempts,
+                served: config.mode,
+            })
+        };
         Ok(JitCode {
             translated,
             compile_time,
             cache_stats: self.cache.borrow().stats(),
+            degrade,
             recv: recv.clone(),
             args: args.to_vec(),
             mpi_size: 1,
             cost: CostModel::default(),
             gpu: None,
+            fault: None,
+            timeout_rounds: None,
         })
+    }
+
+    /// One rung of [`Self::jit`]: key derivation, cache probe, and (on a
+    /// miss) translation under exactly one [`TransConfig`]. A failed
+    /// translation never populates the cache — the `Err` returns before
+    /// any insert, so a later corrected graph with the same key shape
+    /// misses and retranslates instead of hitting a poisoned entry.
+    fn jit_once(
+        &self,
+        recv: &Value,
+        method: &str,
+        args: &[Value],
+        config: TransConfig,
+    ) -> WjResult<Arc<Translated>> {
+        let spec = entry_spec(self.table, &self.jvm, recv, method, args, config.mode)?;
+        let key = CacheKey {
+            spec,
+            config,
+            hosts: self.host.keys().map(str::to_string).collect(),
+        };
+        let cached = self.cache.borrow_mut().lookup(&key);
+        match cached {
+            Some(hit) => Ok(hit),
+            None => {
+                let t = Arc::new(translate(
+                    self.table, &self.jvm, recv, method, args, config,
+                )?);
+                self.cache.borrow_mut().insert(key, Arc::clone(&t));
+                Ok(t)
+            }
+        }
     }
 
     /// Cumulative code-cache counters (hits / misses / evictions).
@@ -266,10 +300,41 @@ impl<'t> WootinJ<'t> {
     }
 }
 
+/// The next rung of the degradation ladder `Full → Devirt → Virtual`:
+/// each step gives up one specialization guarantee. The final rung is
+/// the C++-baseline configuration — virtual dispatch, heap objects, no
+/// rule check — which tolerates graphs (rule violations, null fields,
+/// object arrays) that the shaped modes reject.
+fn degrade_next(config: TransConfig) -> Option<TransConfig> {
+    match config.mode {
+        Mode::Full => Some(TransConfig {
+            mode: Mode::Devirt,
+            ..config
+        }),
+        Mode::Devirt => Some(TransConfig::virtual_dispatch()),
+        Mode::Virtual => None,
+    }
+}
+
+/// What the degradation ladder did for one `jit` call: every rung that
+/// failed (with its error) and the mode that finally served the request.
+#[derive(Debug, Clone)]
+pub struct DegradeReport {
+    /// `(mode, error)` for each failed attempt, in ladder order.
+    pub attempts: Vec<(Mode, String)>,
+    /// The mode whose translation was actually served.
+    pub served: Mode,
+}
+
 /// Options for [`WootinJ::jit`]; presets map onto the paper's series.
 #[derive(Debug, Clone, Copy)]
 pub struct JitOptions {
     pub config: TransConfig,
+    /// When set, a failed translation falls down the degradation ladder
+    /// (`Full → Devirt → Virtual`) instead of erroring; the served rung
+    /// is recorded in [`JitCode::degrade`]. Off by default: the paper's
+    /// series must fail loudly when their mode cannot translate.
+    pub degrade: bool,
 }
 
 impl JitOptions {
@@ -278,6 +343,7 @@ impl JitOptions {
     pub fn wootinj() -> Self {
         JitOptions {
             config: TransConfig::full(),
+            degrade: false,
         }
     }
 
@@ -285,6 +351,7 @@ impl JitOptions {
     pub fn cpp() -> Self {
         JitOptions {
             config: TransConfig::virtual_dispatch(),
+            degrade: false,
         }
     }
 
@@ -295,13 +362,17 @@ impl JitOptions {
     pub fn template() -> Self {
         let mut config = TransConfig::devirt();
         config.opt = OptConfig::aggressive();
-        JitOptions { config }
+        JitOptions {
+            config,
+            degrade: false,
+        }
     }
 
     /// The *Template w/o virt.* baseline: WootinJ + function inlining.
     pub fn template_no_virt() -> Self {
         JitOptions {
             config: TransConfig::template_no_virt(),
+            degrade: false,
         }
     }
 
@@ -312,6 +383,12 @@ impl JitOptions {
 
     pub fn unchecked(mut self) -> Self {
         self.config.check_rules = false;
+        self
+    }
+
+    /// Enable the graceful-degradation ladder for this `jit` call.
+    pub fn with_degradation(mut self) -> Self {
+        self.degrade = true;
         self
     }
 }
@@ -328,11 +405,16 @@ pub struct JitCode {
     pub compile_time: Duration,
     /// Snapshot of the env's cache counters when this code was minted.
     cache_stats: CacheStats,
+    /// What the degradation ladder did, when [`JitOptions::degrade`] was
+    /// set and the requested mode failed; `None` for a first-try success.
+    pub degrade: Option<DegradeReport>,
     recv: Value,
     args: Vec<Value>,
     mpi_size: u32,
     cost: CostModel,
     gpu: Option<GpuConfig>,
+    fault: Option<FaultConfig>,
+    timeout_rounds: Option<u64>,
 }
 
 impl JitCode {
@@ -345,6 +427,18 @@ impl JitCode {
     /// Give every rank a simulated GPU.
     pub fn set_gpu(&mut self, config: GpuConfig) {
         self.gpu = Some(config);
+    }
+
+    /// Enable deterministic fault injection for [`Self::invoke`] runs
+    /// (see [`FaultConfig`]; the same seed reproduces the same faults).
+    pub fn set_faults(&mut self, fault: FaultConfig) {
+        self.fault = Some(fault);
+    }
+
+    /// Bound the scheduler rounds a rank may stay blocked before the run
+    /// fails with a typed timeout instead of hanging.
+    pub fn set_timeout(&mut self, rounds: u64) {
+        self.timeout_rounds = Some(rounds);
     }
 
     /// The generated C/CUDA source (Listing 5 analogue).
@@ -374,6 +468,12 @@ impl JitCode {
         if let Some(g) = self.gpu {
             world = world.with_gpu(g);
         }
+        if let Some(f) = self.fault {
+            world = world.with_faults(f);
+        }
+        if let Some(t) = self.timeout_rounds {
+            world = world.with_timeout(t);
+        }
         let entry = self.translated.entry;
         let start = Instant::now();
         let run = world
@@ -387,8 +487,14 @@ impl JitCode {
                 )
                 .map_err(|e| e.message)
             })
-            .map_err(|e| WjError::Sim(e.to_string()))?;
+            .map_err(WjError::Sim)?;
         let wall = start.elapsed();
+        // Fold the jit-side degradation into the run's resilience view,
+        // so one struct answers "what did the stack absorb this run".
+        let mut resilience = run.resilience;
+        if self.degrade.is_some() {
+            resilience.degraded_jits += 1;
+        }
         Ok(RunReport {
             result: run.ranks.first().and_then(|r| r.result),
             results: run.ranks.iter().map(|r| r.result).collect(),
@@ -397,6 +503,7 @@ impl JitCode {
             wall,
             compile_wall: self.compile_time,
             outputs: run.ranks.iter().map(|r| r.output.clone()).collect(),
+            resilience,
             per_rank: run
                 .ranks
                 .iter()
@@ -436,6 +543,9 @@ pub struct RunReport {
     pub compile_wall: Duration,
     /// Per-rank `WJ.print*` output.
     pub outputs: Vec<Vec<String>>,
+    /// Aggregated fault/retry/degrade counters for this run (all-zero
+    /// without fault injection and with a first-try translation).
+    pub resilience: ResilienceStats,
     pub per_rank: Vec<PerRank>,
     /// The raw world run (rank memory spaces etc.).
     pub worlds: mpi_sim::WorldRun,

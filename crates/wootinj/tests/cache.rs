@@ -199,6 +199,55 @@ fn host_registry_changes_miss() {
 }
 
 #[test]
+fn failed_translation_creates_no_cache_entry() {
+    // `knob` is a non-final static (rule-5 violation): every checked
+    // translation of this table refuses, and none of those failures may
+    // leave a cache entry behind.
+    const BAD: &str = "
+        @WootinJ final class Calc {
+          static int knob = 2;
+          Calc() { }
+          float run(float x) { return x * knob; }
+        }";
+    let table = build_table(&[("calc.jl", BAD)]).unwrap();
+    let mut env = WootinJ::new(&table).unwrap();
+    let c = env.new_instance("Calc", &[]).unwrap();
+    for _ in 0..3 {
+        assert!(env
+            .jit(&c, "run", &[Value::Float(1.0)], JitOptions::wootinj())
+            .is_err());
+    }
+    assert_eq!(env.cache_len(), 0, "failures never populate the cache");
+    assert_eq!(env.cache_stats().hits, 0, "and can never be hit later");
+
+    // The corrected program — same class name, same method, same key shape
+    // (one float receiver field path, one float arg) — translates cleanly
+    // in a fresh env: a genuine miss first, then a pure hit.
+    const GOOD: &str = "
+        @WootinJ final class Calc {
+          static final int knob = 2;
+          Calc() { }
+          float run(float x) { return x * knob; }
+        }";
+    let table = build_table(&[("calc.jl", GOOD)]).unwrap();
+    let mut env = WootinJ::new(&table).unwrap();
+    let c = env.new_instance("Calc", &[]).unwrap();
+    let code = env
+        .jit(&c, "run", &[Value::Float(3.0)], JitOptions::wootinj())
+        .unwrap();
+    assert_eq!(
+        env.cache_stats().misses,
+        1,
+        "corrected graph translates once"
+    );
+    assert_eq!(code.invoke(&env).unwrap().result, Some(Val::F32(6.0)));
+    env.jit(&c, "run", &[Value::Float(3.0)], JitOptions::wootinj())
+        .unwrap();
+    assert_eq!(env.cache_stats().hits, 1, "and is a cache hit afterwards");
+    assert_eq!(env.cache_len(), 1);
+}
+
+#[test]
 fn lru_evicts_least_recently_used_first() {
     let table = build_table(&[("app.jl", APP)]).unwrap();
     let mut env = WootinJ::new(&table).unwrap();

@@ -1,0 +1,202 @@
+//! Graceful degradation end-to-end: a graph that violates the coding
+//! rules is still served — in Virtual (C++-baseline) mode with a populated
+//! `DegradeReport` — and the cache only ever holds successful rungs.
+//! Also: bounded retry of transient host-FFI faults at the facade level.
+
+use jvm::Value;
+use wootinj::{build_table, FaultConfig, JitOptions, Mode, SimError, Val, WjError, WootinJ};
+
+/// `knob` is a non-final static: a rule-5 violation, so Full and Devirt
+/// translation (check_rules=true) refuse the whole program — but the
+/// virtual-dispatch rung compiles it fine.
+const WOBBLY: &str = "
+    @WootinJ final class Wobbly {
+      static int knob = 3;
+      Wobbly() { }
+      float run(float x) { return x * knob; }
+    }";
+
+#[test]
+fn rule_violation_without_degradation_is_a_hard_error_and_never_cached() {
+    let table = build_table(&[("w.jl", WOBBLY)]).unwrap();
+    let mut env = WootinJ::new(&table).unwrap();
+    let w = env.new_instance("Wobbly", &[]).unwrap();
+    let err = match env.jit(&w, "run", &[Value::Float(2.0)], JitOptions::wootinj()) {
+        Err(e) => e,
+        Ok(_) => panic!("a rule-violating graph must not translate in Full mode"),
+    };
+    assert!(
+        err.to_string().contains("rule"),
+        "the error names the rule check: {err}"
+    );
+    assert_eq!(
+        env.cache_len(),
+        0,
+        "failed translations never populate the cache"
+    );
+}
+
+#[test]
+fn rule_violation_degrades_full_devirt_virtual_and_runs() {
+    let table = build_table(&[("w.jl", WOBBLY)]).unwrap();
+    let mut env = WootinJ::new(&table).unwrap();
+    let w = env.new_instance("Wobbly", &[]).unwrap();
+    let code = env
+        .jit(
+            &w,
+            "run",
+            &[Value::Float(2.0)],
+            JitOptions::wootinj().with_degradation(),
+        )
+        .unwrap();
+
+    assert_eq!(code.mode(), Mode::Virtual, "served on the last rung");
+    let report = code.degrade.as_ref().expect("degrade report populated");
+    assert_eq!(report.served, Mode::Virtual);
+    assert_eq!(
+        report.attempts.iter().map(|(m, _)| *m).collect::<Vec<_>>(),
+        vec![Mode::Full, Mode::Devirt],
+        "both checked rungs were attempted first"
+    );
+    for (_, why) in &report.attempts {
+        assert!(
+            why.contains("rule"),
+            "each attempt records its failure: {why}"
+        );
+    }
+
+    // The degraded code still runs and computes the right answer.
+    let run = code.invoke(&env).unwrap();
+    assert_eq!(run.result, Some(Val::F32(6.0)));
+    assert_eq!(
+        run.resilience.degraded_jits, 1,
+        "the degradation is folded into the run's resilience stats"
+    );
+}
+
+#[test]
+fn degraded_entry_is_cached_under_its_served_rung_only() {
+    let table = build_table(&[("w.jl", WOBBLY)]).unwrap();
+    let mut env = WootinJ::new(&table).unwrap();
+    let w = env.new_instance("Wobbly", &[]).unwrap();
+    env.jit(
+        &w,
+        "run",
+        &[Value::Float(1.0)],
+        JitOptions::wootinj().with_degradation(),
+    )
+    .unwrap();
+    assert_eq!(
+        env.cache_len(),
+        1,
+        "only the successful Virtual rung was inserted"
+    );
+
+    // The last rung *is* the C++-baseline config: a direct cpp() jit of the
+    // same graph must be a pure cache hit.
+    let hits_before = env.cache_stats().hits;
+    let code = env
+        .jit(&w, "run", &[Value::Float(4.0)], JitOptions::cpp())
+        .unwrap();
+    assert_eq!(env.cache_stats().hits, hits_before + 1);
+    assert_eq!(code.invoke(&env).unwrap().result, Some(Val::F32(12.0)));
+}
+
+#[test]
+fn clean_graph_with_degradation_enabled_stays_on_full_mode() {
+    const CLEAN: &str = "
+        @WootinJ final class Fine {
+          Fine() { }
+          float run(float x) { return x + 1f; }
+        }";
+    let table = build_table(&[("f.jl", CLEAN)]).unwrap();
+    let mut env = WootinJ::new(&table).unwrap();
+    let f = env.new_instance("Fine", &[]).unwrap();
+    let code = env
+        .jit(
+            &f,
+            "run",
+            &[Value::Float(41.0)],
+            JitOptions::wootinj().with_degradation(),
+        )
+        .unwrap();
+    assert_eq!(code.mode(), Mode::Full, "no failure, no degradation");
+    assert!(code.degrade.is_none(), "no report when nothing degraded");
+    let run = code.invoke(&env).unwrap();
+    assert_eq!(run.result, Some(Val::F32(42.0)));
+    assert_eq!(run.resilience.degraded_jits, 0);
+}
+
+const HOSTY: &str = "
+    @WootinJ final class Hosty {
+      Hosty() { }
+      @Native(\"ext.id\") static double idn(double x);
+      double run(int n) {
+        double s = 0.0;
+        for (int i = 0; i < n; i++) { s += idn(1.5); }
+        return s;
+      }
+    }";
+
+#[test]
+fn transient_host_ffi_faults_are_retried_to_success() {
+    let table = build_table(&[("h.jl", HOSTY)]).unwrap();
+    let mut env = WootinJ::new(&table).unwrap();
+    env.register_scalar_fn("ext.id", |x| x);
+    let h = env.new_instance("Hosty", &[]).unwrap();
+    let mut code = env
+        .jit(&h, "run", &[Value::Int(40)], JitOptions::wootinj())
+        .unwrap();
+    let mut cfg = FaultConfig::seeded(0xB0B);
+    cfg.host_transient = 0.2;
+    code.set_faults(cfg);
+
+    let run = code.invoke(&env).unwrap();
+    assert_eq!(
+        run.result,
+        Some(Val::F64(60.0)),
+        "retries preserve the result"
+    );
+    assert!(
+        run.resilience.host_transients > 0,
+        "the seed injects transients over 40 calls: {:?}",
+        run.resilience
+    );
+    assert!(run.resilience.host_retries > 0);
+
+    // Facade-level determinism: the same plan replays bit-identically.
+    let again = code.invoke(&env).unwrap();
+    assert_eq!(run.resilience, again.resilience);
+    assert_eq!(run.vtime_cycles, again.vtime_cycles);
+}
+
+#[test]
+fn persistent_host_ffi_faults_exhaust_the_retry_budget_typed() {
+    let table = build_table(&[("h.jl", HOSTY)]).unwrap();
+    let mut env = WootinJ::new(&table).unwrap();
+    env.register_scalar_fn("ext.id", |x| x);
+    let h = env.new_instance("Hosty", &[]).unwrap();
+    let mut code = env
+        .jit(&h, "run", &[Value::Int(3)], JitOptions::wootinj())
+        .unwrap();
+    let mut cfg = FaultConfig::seeded(9);
+    cfg.host_transient = 1.0;
+    code.set_faults(cfg);
+
+    match code.invoke(&env) {
+        Err(WjError::Sim(SimError::Rank { rank, message })) => {
+            assert_eq!(rank, 0);
+            assert!(
+                message.contains("retry budget exhausted"),
+                "typed rank error names the budget: {message}"
+            );
+            assert!(message.contains("ext.id"), "and the function: {message}");
+            assert!(
+                message.contains("at pc"),
+                "the error keeps its func/pc context: {message}"
+            );
+        }
+        Err(other) => panic!("expected a typed rank error, got {other}"),
+        Ok(_) => panic!("a certain host fault must not succeed"),
+    }
+}

@@ -17,4 +17,7 @@ cargo test -q --offline
 echo "== workspace tests =="
 cargo test --workspace -q --offline
 
+echo "== fault-matrix smoke run =="
+cargo run --release --offline -q -p bench --bin repro -- fault-matrix --quick
+
 echo "OK"
