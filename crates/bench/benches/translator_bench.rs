@@ -33,7 +33,7 @@ fn main() {
                 Value::Int(16),
                 Value::Int(2),
             ];
-            let code = env.jit(&runner, "invoke", &args, opts);
+            let code = env.jit(&runner, "invoke", &args, opts.clone());
             // The C++ baseline cannot translate GPU kernels (see §4);
             // measuring its failure path is still meaningful work.
             black_box(code.map(|c| c.translated.program.instr_count()).ok())
@@ -47,7 +47,7 @@ fn main() {
                 MatmulCalc::Simple,
             )
             .unwrap();
-            let code = env.jit(&app, "start", &[Value::Int(32)], opts);
+            let code = env.jit(&app, "start", &[Value::Int(32)], opts.clone());
             black_box(code.map(|c| c.translated.program.instr_count()).ok())
         });
     }

@@ -21,7 +21,11 @@
 
 #![forbid(unsafe_code)]
 
+pub mod shared;
+
 use std::collections::{HashMap, VecDeque};
+
+pub use shared::{SharedCache, SharedCacheStats};
 
 use exec::{
     run, ArrStore, ExecError, FaultConfig, FaultPlan, HostRegistry, Machine, MsgFault,
@@ -191,6 +195,11 @@ pub struct WorldRun {
     /// (all-zero when no fault plan is configured). Deterministic: the
     /// same `FaultConfig` seed yields a bit-identical value.
     pub resilience: ResilienceStats,
+    /// Per-world translate-once counters when the code driving this world
+    /// came through a shared (rank-0-owned) JIT cache — see
+    /// [`shared::SharedCache`]. All-zero for unshared runs; the `wootinj`
+    /// facade fills it in from the `jit4mpi` snapshot.
+    pub shared_jit: SharedCacheStats,
 }
 
 /// (from, to, tag) -> FIFO of (payload, available_at).
@@ -691,6 +700,7 @@ impl<'p> World<'p> {
             }
         }
         Ok(WorldRun {
+            shared_jit: SharedCacheStats::default(),
             ranks: ranks
                 .into_iter()
                 .map(|r| RankOutcome {

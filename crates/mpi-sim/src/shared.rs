@@ -1,0 +1,128 @@
+//! Rank-0-owned shared JIT artifact cache — the cross-rank half of the
+//! two-tier artifact store.
+//!
+//! A production MPI job compiles a kernel once (on rank 0, or on one rank
+//! per node) and broadcasts the compiled object; every other rank loads
+//! the bytes instead of invoking the compiler. This module models that
+//! pattern for WootinJ worlds whose ranks compose their object graphs
+//! independently: identical specialization keys must translate **once
+//! per world**, not once per rank.
+//!
+//! The cache itself is deliberately simulator-shaped: a map from the
+//! cross-process key fingerprint (`CacheKey::fingerprint()` — stable
+//! across processes, so also across simulated ranks) to the sealed
+//! artifact bytes a real job would put on the wire. The `wootinj` facade
+//! drives it from `jit4mpi`: rank 0 translates a missing key and
+//! [`publish`](SharedCache::publish)es the encoded artifact; every other
+//! rank [`lookup`](SharedCache::lookup)s the bytes and decodes — no
+//! translator or NIR-optimizer work anywhere but rank 0.
+
+use std::collections::HashMap;
+
+/// Per-world translate-once counters, surfaced on
+/// [`WorldRun`](crate::WorldRun) so scalability experiments can assert
+/// the broadcast pattern held.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SharedCacheStats {
+    /// Cold translations performed against this cache (exactly one per
+    /// distinct key, regardless of world size).
+    pub translations: u64,
+    /// Artifact decodes served from broadcast bytes instead of
+    /// translating (≥ `world size − 1` per key in a fanned-out world).
+    pub broadcast_decodes: u64,
+    /// Total artifact bytes "on the wire" (encoded size × receiving
+    /// ranks) — what a real job's broadcast would move.
+    pub broadcast_bytes: u64,
+}
+
+impl SharedCacheStats {
+    pub fn merge(&mut self, other: &SharedCacheStats) {
+        self.translations += other.translations;
+        self.broadcast_decodes += other.broadcast_decodes;
+        self.broadcast_bytes += other.broadcast_bytes;
+    }
+}
+
+/// A rank-0-owned map from key fingerprint to sealed artifact bytes.
+/// Outlives any single world (pass `&mut` to every `jit4mpi` call that
+/// should share), mirroring a job-lifetime broadcast cache.
+#[derive(Debug, Default)]
+pub struct SharedCache {
+    entries: HashMap<String, Vec<u8>>,
+    stats: SharedCacheStats,
+}
+
+impl SharedCache {
+    pub fn new() -> Self {
+        SharedCache::default()
+    }
+
+    /// The sealed artifact for `fingerprint`, if some world already
+    /// translated it.
+    pub fn lookup(&self, fingerprint: &str) -> Option<&[u8]> {
+        self.entries.get(fingerprint).map(Vec::as_slice)
+    }
+
+    /// Store the encoded artifact rank 0 just translated. Counts one
+    /// translation; later worlds (any size) hit [`Self::lookup`] instead.
+    pub fn publish(&mut self, fingerprint: impl Into<String>, artifact: Vec<u8>) {
+        self.stats.translations += 1;
+        self.entries.insert(fingerprint.into(), artifact);
+    }
+
+    /// Record that `ranks` ranks decoded `bytes_each` broadcast bytes
+    /// instead of translating.
+    pub fn record_broadcast(&mut self, ranks: u64, bytes_each: u64) {
+        self.stats.broadcast_decodes += ranks;
+        self.stats.broadcast_bytes += ranks * bytes_each;
+    }
+
+    pub fn stats(&self) -> SharedCacheStats {
+        self.stats
+    }
+
+    /// Distinct keys translated so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_then_lookup_counts_one_translation() {
+        let mut c = SharedCache::new();
+        assert!(c.lookup("wj01-abc").is_none());
+        c.publish("wj01-abc", vec![1, 2, 3]);
+        assert_eq!(c.lookup("wj01-abc"), Some(&[1u8, 2, 3][..]));
+        c.record_broadcast(7, 3);
+        let s = c.stats();
+        assert_eq!(s.translations, 1);
+        assert_eq!(s.broadcast_decodes, 7);
+        assert_eq!(s.broadcast_bytes, 21);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = SharedCacheStats {
+            translations: 1,
+            broadcast_decodes: 3,
+            broadcast_bytes: 300,
+        };
+        a.merge(&SharedCacheStats {
+            translations: 2,
+            broadcast_decodes: 5,
+            broadcast_bytes: 11,
+        });
+        assert_eq!(a.translations, 3);
+        assert_eq!(a.broadcast_decodes, 8);
+        assert_eq!(a.broadcast_bytes, 311);
+    }
+}

@@ -11,10 +11,12 @@
 
 #![forbid(unsafe_code)]
 
+pub mod codec;
 pub mod emit;
 pub mod ir;
 pub mod opt;
 
+pub use codec::{digest64, seal, unseal, CodecError, CodecResult, Reader, Writer};
 pub use emit::emit_c;
 pub use ir::{
     ClassMeta, ConstVal, ElemTy, FuncBuilder, FuncId, FuncKind, Function, Global, HostFnSig, Instr,

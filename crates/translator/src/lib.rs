@@ -17,6 +17,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod artifact;
 pub mod lower;
 pub mod shape;
 pub mod sheval;
@@ -27,6 +28,7 @@ use jlang::types::ClassId;
 use jvm::{ArrayData, Jvm, Value};
 use nir::{FuncId, Instr, IntrinOp, OptConfig, Program};
 
+pub use artifact::CacheKey;
 pub use lower::{Lowerer, TransStats};
 pub use shape::{leaf_paths, shape_of_value, LeafPath, Shape, TransError};
 pub use sheval::SpecKey;

@@ -1,44 +1,117 @@
-//! Specialization-keyed JIT code cache.
+//! The two-tier, specialization-keyed JIT artifact store.
 //!
-//! `WootinJ::jit` memoizes translation end-to-end: the key canonicalizes
-//! *everything the translation pipeline reads* — the exact dynamic type
-//! tuple of the live receiver/argument object graph ([`EntrySpec`], the
-//! same analysis that drives devirtualization), the full translator
-//! configuration (mode, optimizer config, rule-check flag), and a
-//! fingerprint of the host-FFI registry (translated programs resolve
-//! `@Native` keys against it). Two object graphs differing only in field
-//! *values* share an entry; differing in any exact type, array element
-//! type, `OptConfig`, or registered FFI key do not.
+//! `WootinJ::jit` memoizes translation end-to-end behind the
+//! [`CacheBackend`] trait. The key ([`CacheKey`], defined in `translator`)
+//! canonicalizes *everything the translation pipeline reads* — the exact
+//! dynamic type tuple of the live receiver/argument object graph
+//! ([`EntrySpec`](translator::EntrySpec), the same analysis that drives
+//! devirtualization), the full translator configuration, and the
+//! (sorted) host-FFI registry key set.
 //!
-//! The cache is LRU-bounded. Capacity 0 disables caching entirely (every
-//! call translates — the "uncached" series of `repro tab3-amortized`).
+//! Three backends:
+//!
+//! * [`MemoryLru`] — the classic in-process LRU memo table. Hits are
+//!   `Arc` clones: zero translator/NIR work. Capacity 0 disables caching
+//!   (the "uncached" series of `repro tab3-amortized`).
+//! * [`DiskStore`] — a directory of sealed artifacts, one
+//!   `<fingerprint>.wjar` file per key, written temp-then-rename so
+//!   readers never observe a half-written artifact. Size-bounded with
+//!   LRU-by-mtime eviction (hits refresh the file's mtime). Artifacts
+//!   that fail to decode — truncated, corrupted, version-skewed — count
+//!   as misses, are deleted, and the caller falls back to a cold
+//!   translate; decode never panics.
+//! * [`Tiered`] — memory in front of disk. A disk hit is decoded once and
+//!   *promoted* into the memory tier, so the decode cost is paid at most
+//!   once per process. This is what `JitOptions::with_disk_cache` wires
+//!   up, and what makes a second process warm-start.
+//!
+//! Failed translations never populate any tier: the facade only inserts
+//! after `translate` returns `Ok`.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::SystemTime;
 
-use translator::{EntrySpec, TransConfig, Translated};
+use translator::Translated;
 
-/// The canonical cache key (see the module docs).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct CacheKey {
-    pub spec: EntrySpec,
-    pub config: TransConfig,
-    /// Ordered list of registered host-FFI keys at translation time.
-    pub hosts: Vec<String>,
-}
+pub use translator::CacheKey;
 
-/// Cumulative cache counters.
+/// Cumulative counters across both tiers. The memory-tier triple
+/// (`hits`/`misses`/`evictions`) keeps its historical meaning; the
+/// `disk_*` counters, `promotions`, `decode_failures`, and
+/// `translations` were added with the persistent store.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
+    /// Memory-tier hits (an `Arc` clone; zero translator/NIR work).
     pub hits: u64,
+    /// Memory-tier misses.
     pub misses: u64,
+    /// Memory-tier LRU evictions.
     pub evictions: u64,
+    /// Disk-tier hits (artifact decoded from a `.wjar` file).
+    pub disk_hits: u64,
+    /// Disk-tier misses (no artifact file for the fingerprint).
+    pub disk_misses: u64,
+    /// Artifact files removed by the size-bounded LRU-by-mtime sweep.
+    pub disk_evictions: u64,
+    /// Disk hits promoted into the memory tier (decode paid once).
+    pub promotions: u64,
+    /// Artifacts rejected at decode time (corrupt/truncated/version-skew)
+    /// — each one degraded to a cold translate instead of panicking.
+    pub decode_failures: u64,
+    /// Actual `translate` runs this environment performed (the
+    /// zero-translator-work assertions key off this).
+    pub translations: u64,
 }
 
-/// An LRU-bounded memo table from [`CacheKey`] to translated programs.
-/// Entries are `Arc`-shared, so a hit is a pointer clone — no translator
-/// or NIR work.
-pub struct JitCache {
+/// Where `WootinJ::jit` keeps translated artifacts. Object-safe so the
+/// facade can swap backends at runtime (`with_disk_cache`).
+pub trait CacheBackend {
+    /// Probe for `key`, updating recency and counters.
+    fn lookup(&mut self, key: &CacheKey) -> Option<Arc<Translated>>;
+
+    /// Store a *successful* translation under `key`. Backends may drop it
+    /// (capacity 0) or evict others to make room.
+    fn insert(&mut self, key: &CacheKey, translated: &Arc<Translated>);
+
+    /// Cumulative counters (merged across tiers for [`Tiered`]).
+    fn stats(&self) -> CacheStats;
+
+    /// Entries currently resident (memory entries for tiered backends).
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Memory-tier LRU bound.
+    fn capacity(&self) -> usize;
+
+    /// Rebound the memory-tier LRU, evicting down immediately. Capacity 0
+    /// drops every entry and disables memory caching (counters are kept).
+    fn set_capacity(&mut self, cap: usize);
+
+    /// The disk directory this backend persists to, if any — the facade
+    /// uses it to recognize an already-configured `with_disk_cache` path.
+    fn disk_path(&self) -> Option<&Path> {
+        None
+    }
+
+    /// Record that the facade ran a real (cold) translation.
+    fn record_translation(&mut self);
+}
+
+/// Default memory-tier LRU bound: enough for every (figure × mode ×
+/// shape) tuple the bench harness cycles through, small enough to bound
+/// memory.
+pub const DEFAULT_CAPACITY: usize = 64;
+
+/// An LRU-bounded in-memory memo table from [`CacheKey`] to translated
+/// programs. Entries are `Arc`-shared, so a hit is a pointer clone — no
+/// translator or NIR work. This is the seed repo's `JitCache`, refactored
+/// onto [`CacheBackend`].
+pub struct MemoryLru {
     map: HashMap<CacheKey, Arc<Translated>>,
     /// Keys in recency order: least recently used first.
     order: Vec<CacheKey>,
@@ -46,19 +119,15 @@ pub struct JitCache {
     stats: CacheStats,
 }
 
-/// Default LRU bound: enough for every (figure × mode × shape) tuple the
-/// bench harness cycles through, small enough to bound memory.
-pub const DEFAULT_CAPACITY: usize = 64;
-
-impl Default for JitCache {
+impl Default for MemoryLru {
     fn default() -> Self {
-        JitCache::new(DEFAULT_CAPACITY)
+        MemoryLru::new(DEFAULT_CAPACITY)
     }
 }
 
-impl JitCache {
+impl MemoryLru {
     pub fn new(cap: usize) -> Self {
-        JitCache {
+        MemoryLru {
             map: HashMap::new(),
             order: Vec::new(),
             cap,
@@ -66,8 +135,18 @@ impl JitCache {
         }
     }
 
-    /// Look up `key`, marking it most-recently-used on a hit.
-    pub fn lookup(&mut self, key: &CacheKey) -> Option<Arc<Translated>> {
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Keys in recency order, least recently used first (test hook).
+    pub fn lru_order(&self) -> &[CacheKey] {
+        &self.order
+    }
+}
+
+impl CacheBackend for MemoryLru {
+    fn lookup(&mut self, key: &CacheKey) -> Option<Arc<Translated>> {
         match self.map.get(key) {
             Some(hit) => {
                 let hit = Arc::clone(hit);
@@ -85,44 +164,40 @@ impl JitCache {
         }
     }
 
-    /// Insert a freshly translated program, evicting the least recently
-    /// used entry if the bound is reached. No-op when capacity is 0.
-    pub fn insert(&mut self, key: CacheKey, translated: Arc<Translated>) {
+    fn insert(&mut self, key: &CacheKey, translated: &Arc<Translated>) {
         if self.cap == 0 {
             return;
         }
-        if self.map.insert(key.clone(), translated).is_none() {
+        if self
+            .map
+            .insert(key.clone(), Arc::clone(translated))
+            .is_none()
+        {
             while self.order.len() + 1 > self.cap {
                 let victim = self.order.remove(0);
                 self.map.remove(&victim);
                 self.stats.evictions += 1;
             }
-            self.order.push(key);
-        } else if let Some(i) = self.order.iter().position(|k| *k == key) {
+            self.order.push(key.clone());
+        } else if let Some(i) = self.order.iter().position(|k| k == key) {
             let k = self.order.remove(i);
             self.order.push(k);
         }
     }
 
-    pub fn stats(&self) -> CacheStats {
+    fn stats(&self) -> CacheStats {
         self.stats
     }
 
-    pub fn len(&self) -> usize {
+    fn len(&self) -> usize {
         self.map.len()
     }
 
-    pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
-    }
-
-    pub fn capacity(&self) -> usize {
+    fn capacity(&self) -> usize {
         self.cap
     }
 
-    /// Resize the LRU bound, evicting down to it immediately. Capacity 0
-    /// drops every entry and disables caching (counters are kept).
-    pub fn set_capacity(&mut self, cap: usize) {
+    fn set_capacity(&mut self, cap: usize) {
         self.cap = cap;
         while self.order.len() > self.cap {
             let victim = self.order.remove(0);
@@ -131,8 +206,257 @@ impl JitCache {
         }
     }
 
-    /// Keys in recency order, least recently used first (test hook).
-    pub fn lru_order(&self) -> &[CacheKey] {
-        &self.order
+    fn record_translation(&mut self) {
+        self.stats.translations += 1;
+    }
+}
+
+/// Default disk budget: generous for translated NIR artifacts (the golden
+/// fixture is under 1 KiB; real figures run a few KiB each).
+pub const DEFAULT_DISK_BUDGET: u64 = 256 * 1024 * 1024;
+
+/// A directory of sealed `.wjar` artifacts, one per key fingerprint.
+///
+/// Writes go to a `.tmp` sibling first and are renamed into place, so a
+/// concurrent reader (another process warm-starting from the same
+/// directory) never sees a torn artifact — at worst it sees the previous
+/// complete one or none. The store is size-bounded: after every insert,
+/// oldest-mtime artifacts are removed until the directory fits the
+/// budget; a hit refreshes the artifact's mtime, making eviction LRU.
+pub struct DiskStore {
+    dir: PathBuf,
+    max_bytes: u64,
+    stats: CacheStats,
+    /// Uniquifier for temp files within this store instance.
+    tmp_seq: u64,
+}
+
+impl DiskStore {
+    /// Open (creating if needed) an artifact directory.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(DiskStore {
+            dir,
+            max_bytes: DEFAULT_DISK_BUDGET,
+            stats: CacheStats::default(),
+            tmp_seq: 0,
+        })
+    }
+
+    /// Rebound the byte budget (evicts down on the next insert).
+    pub fn with_max_bytes(mut self, max_bytes: u64) -> Self {
+        self.max_bytes = max_bytes;
+        self
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn artifact_path(&self, key: &CacheKey) -> PathBuf {
+        self.dir.join(format!("{}.wjar", key.fingerprint()))
+    }
+
+    /// All resident artifacts as `(path, len, mtime)`, ignoring temp
+    /// files and unreadable entries (a concurrent evictor may race us).
+    fn artifacts(&self) -> Vec<(PathBuf, u64, SystemTime)> {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("wjar") {
+                continue;
+            }
+            let Ok(meta) = entry.metadata() else { continue };
+            let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+            out.push((path, meta.len(), mtime));
+        }
+        out
+    }
+
+    /// Remove oldest-mtime artifacts until the directory fits the budget.
+    fn evict_to_budget(&mut self) {
+        let mut files = self.artifacts();
+        let mut total: u64 = files.iter().map(|(_, len, _)| len).sum();
+        if total <= self.max_bytes {
+            return;
+        }
+        files.sort_by_key(|(_, _, mtime)| *mtime);
+        for (path, len, _) in files {
+            if total <= self.max_bytes {
+                break;
+            }
+            if std::fs::remove_file(&path).is_ok() {
+                total = total.saturating_sub(len);
+                self.stats.disk_evictions += 1;
+            }
+        }
+    }
+
+    /// Mark an artifact as recently used for the LRU-by-mtime sweep.
+    fn touch(path: &Path) {
+        if let Ok(f) = std::fs::File::options().write(true).open(path) {
+            let _ = f.set_modified(SystemTime::now());
+        }
+    }
+}
+
+impl CacheBackend for DiskStore {
+    /// Probe the directory. A decode failure (truncated / bit-flipped /
+    /// version-skewed artifact) is counted, the bad file is removed, and
+    /// the probe reports a miss — the caller translates cold. Never
+    /// panics on hostile files.
+    fn lookup(&mut self, key: &CacheKey) -> Option<Arc<Translated>> {
+        let path = self.artifact_path(key);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => {
+                self.stats.disk_misses += 1;
+                return None;
+            }
+        };
+        match Translated::decode(&bytes) {
+            Ok(t) => {
+                self.stats.disk_hits += 1;
+                Self::touch(&path);
+                Some(Arc::new(t))
+            }
+            Err(_) => {
+                self.stats.decode_failures += 1;
+                self.stats.disk_misses += 1;
+                let _ = std::fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, key: &CacheKey, translated: &Arc<Translated>) {
+        if self.max_bytes == 0 {
+            return;
+        }
+        let path = self.artifact_path(key);
+        self.tmp_seq += 1;
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}-{}",
+            std::process::id(),
+            self.tmp_seq,
+            path.file_name().and_then(|n| n.to_str()).unwrap_or("wjar")
+        ));
+        let bytes = translated.encode();
+        // Best-effort persistence: a full disk or permission error must
+        // not break the jit path — the artifact simply is not cached.
+        if std::fs::write(&tmp, &bytes).is_ok() && std::fs::rename(&tmp, &path).is_ok() {
+            self.evict_to_budget();
+        } else {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn len(&self) -> usize {
+        self.artifacts().len()
+    }
+
+    /// The disk tier is byte-bounded, not entry-bounded.
+    fn capacity(&self) -> usize {
+        usize::MAX
+    }
+
+    /// Entry-count bounds do not apply to the disk tier; use
+    /// [`DiskStore::with_max_bytes`] to change the byte budget.
+    fn set_capacity(&mut self, _cap: usize) {}
+
+    fn disk_path(&self) -> Option<&Path> {
+        Some(&self.dir)
+    }
+
+    fn record_translation(&mut self) {
+        self.stats.translations += 1;
+    }
+}
+
+/// Memory in front of disk: probes hit the [`MemoryLru`] first; a miss
+/// falls through to the [`DiskStore`], and a disk hit is decoded once
+/// then *promoted* into memory so this process never decodes it again.
+/// Inserts populate both tiers.
+pub struct Tiered {
+    mem: MemoryLru,
+    disk: DiskStore,
+    promotions: u64,
+    translations: u64,
+}
+
+impl Tiered {
+    pub fn new(mem: MemoryLru, disk: DiskStore) -> Self {
+        Tiered {
+            mem,
+            disk,
+            promotions: 0,
+            translations: 0,
+        }
+    }
+
+    /// Convenience: default memory LRU over a store at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        Ok(Tiered::new(MemoryLru::default(), DiskStore::open(dir)?))
+    }
+}
+
+impl CacheBackend for Tiered {
+    fn lookup(&mut self, key: &CacheKey) -> Option<Arc<Translated>> {
+        if let Some(hit) = self.mem.lookup(key) {
+            return Some(hit);
+        }
+        let from_disk = self.disk.lookup(key)?;
+        self.promotions += 1;
+        self.mem.insert(key, &from_disk);
+        Some(from_disk)
+    }
+
+    fn insert(&mut self, key: &CacheKey, translated: &Arc<Translated>) {
+        self.mem.insert(key, translated);
+        self.disk.insert(key, translated);
+    }
+
+    fn stats(&self) -> CacheStats {
+        let m = self.mem.stats();
+        let d = self.disk.stats();
+        CacheStats {
+            hits: m.hits,
+            misses: m.misses,
+            evictions: m.evictions,
+            disk_hits: d.disk_hits,
+            disk_misses: d.disk_misses,
+            disk_evictions: d.disk_evictions,
+            promotions: self.promotions,
+            decode_failures: d.decode_failures,
+            translations: self.translations,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.mem.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.mem.capacity()
+    }
+
+    fn set_capacity(&mut self, cap: usize) {
+        self.mem.set_capacity(cap);
+    }
+
+    fn disk_path(&self) -> Option<&Path> {
+        self.disk.disk_path()
+    }
+
+    fn record_translation(&mut self) {
+        self.translations += 1;
     }
 }

@@ -24,10 +24,11 @@ pub mod cache;
 pub mod prelude;
 
 use std::cell::RefCell;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use cache::{CacheKey, JitCache};
+use cache::{CacheBackend, CacheKey, MemoryLru, Tiered};
 use jlang::{ClassTable, DiagResult, SourceSet};
 use jvm::{Jvm, JvmError, Value};
 use mpi_sim::{CostModel, World};
@@ -38,6 +39,7 @@ pub use exec::{FaultConfig, ResilienceStats, Val};
 pub use gpu_sim::GpuConfig;
 pub use mpi_sim::CostModel as MpiCostModel;
 pub use mpi_sim::SimError;
+pub use mpi_sim::{SharedCache, SharedCacheStats};
 pub use nir::OptConfig;
 pub use translator::{Binding, EntrySpec, Mode, TransStats};
 
@@ -75,6 +77,11 @@ pub enum WjError {
     Jvm(JvmError),
     Translate(TransError),
     Sim(SimError),
+    /// Artifact-store configuration failure (e.g. the disk-cache
+    /// directory cannot be created). Note that *artifact* problems —
+    /// corrupt or version-skewed files — are never errors: they degrade
+    /// to a cold translate.
+    Cache(String),
 }
 
 impl std::fmt::Display for WjError {
@@ -83,6 +90,7 @@ impl std::fmt::Display for WjError {
             WjError::Jvm(e) => write!(f, "{e}"),
             WjError::Translate(e) => write!(f, "{e}"),
             WjError::Sim(e) => write!(f, "simulation error: {e}"),
+            WjError::Cache(m) => write!(f, "artifact store: {m}"),
         }
     }
 }
@@ -118,8 +126,10 @@ pub struct WootinJ<'t> {
     /// FFI: `@Native("key")` methods with unknown keys become direct host
     /// calls).
     pub host: exec::HostRegistry,
-    /// Specialization-keyed code cache consulted by [`Self::jit`].
-    cache: RefCell<JitCache>,
+    /// Specialization-keyed artifact store consulted by [`Self::jit`].
+    /// [`MemoryLru`] by default; [`JitOptions::with_disk_cache`] (or
+    /// [`Self::set_cache_backend`]) swaps in a [`Tiered`] store.
+    cache: RefCell<Box<dyn CacheBackend>>,
 }
 
 impl<'t> WootinJ<'t> {
@@ -128,8 +138,14 @@ impl<'t> WootinJ<'t> {
             table,
             jvm: Jvm::new(table)?,
             host: exec::HostRegistry::new(),
-            cache: RefCell::new(JitCache::default()),
+            cache: RefCell::new(Box::new(MemoryLru::default())),
         })
+    }
+
+    /// Replace the artifact-store backend (drops the old tiers' contents
+    /// from this env's view; disk artifacts stay on disk).
+    pub fn set_cache_backend(&self, backend: Box<dyn CacheBackend>) {
+        *self.cache.borrow_mut() = backend;
     }
 
     /// Register a foreign function for the *translated* execution path.
@@ -215,6 +231,9 @@ impl<'t> WootinJ<'t> {
         options: JitOptions,
     ) -> WjResult<JitCode> {
         let start = Instant::now();
+        if let Some(dir) = &options.disk_cache {
+            self.ensure_disk_cache(dir)?;
+        }
         let mut attempts: Vec<(Mode, String)> = Vec::new();
         let mut config = options.config;
         let translated = loop {
@@ -242,6 +261,7 @@ impl<'t> WootinJ<'t> {
             compile_time,
             cache_stats: self.cache.borrow().stats(),
             degrade,
+            shared_jit: SharedCacheStats::default(),
             recv: recv.clone(),
             args: args.to_vec(),
             mpi_size: 1,
@@ -264,12 +284,7 @@ impl<'t> WootinJ<'t> {
         args: &[Value],
         config: TransConfig,
     ) -> WjResult<Arc<Translated>> {
-        let spec = entry_spec(self.table, &self.jvm, recv, method, args, config.mode)?;
-        let key = CacheKey {
-            spec,
-            config,
-            hosts: self.host.keys().map(str::to_string).collect(),
-        };
+        let key = self.cache_key(recv, method, args, config)?;
         let cached = self.cache.borrow_mut().lookup(&key);
         match cached {
             Some(hit) => Ok(hit),
@@ -277,10 +292,116 @@ impl<'t> WootinJ<'t> {
                 let t = Arc::new(translate(
                     self.table, &self.jvm, recv, method, args, config,
                 )?);
-                self.cache.borrow_mut().insert(key, Arc::clone(&t));
+                let mut cache = self.cache.borrow_mut();
+                cache.record_translation();
+                cache.insert(&key, &t);
                 Ok(t)
             }
         }
+    }
+
+    /// Derive the canonical artifact-store key for `recv.method(args)`
+    /// under `config` (the pure half of [`Self::jit`]; also the id used
+    /// for cross-rank sharing in [`Self::jit4mpi`]).
+    fn cache_key(
+        &self,
+        recv: &Value,
+        method: &str,
+        args: &[Value],
+        config: TransConfig,
+    ) -> WjResult<CacheKey> {
+        let spec = entry_spec(self.table, &self.jvm, recv, method, args, config.mode)?;
+        Ok(CacheKey::new(
+            spec,
+            config,
+            self.host.keys().map(str::to_string).collect(),
+        ))
+    }
+
+    /// Idempotently switch the artifact store to a [`Tiered`] backend
+    /// persisting at `dir`. Already-tiered-at-`dir` envs keep their
+    /// (warm) backend; anything else is replaced.
+    fn ensure_disk_cache(&self, dir: &Path) -> WjResult<()> {
+        if self.cache.borrow().disk_path() == Some(dir) {
+            return Ok(());
+        }
+        let tiered = Tiered::open(dir)
+            .map_err(|e| WjError::Cache(format!("cannot open disk cache at {dir:?}: {e}")))?;
+        self.set_cache_backend(Box::new(tiered));
+        Ok(())
+    }
+
+    /// `WootinJ.jit4mpi` with cross-rank artifact sharing: translate
+    /// `recv.method(args)` for a `world_size`-rank world against a
+    /// job-lifetime, rank-0-owned [`SharedCache`].
+    ///
+    /// The broadcast pattern of production MPI jobs: if the shared cache
+    /// already holds the key's sealed artifact, **no rank translates** —
+    /// every rank decodes the broadcast bytes. Otherwise rank 0
+    /// translates exactly once (through this env's local artifact store,
+    /// including the degradation ladder when enabled), publishes the
+    /// encoded artifact, and the remaining `world_size − 1` ranks decode.
+    /// Each distinct key is therefore translated once per *job*,
+    /// regardless of world size or how many worlds share the cache.
+    ///
+    /// The returned code is already configured for `world_size` ranks
+    /// (tune the cost model with [`JitCode::set_mpi`]), and its runs
+    /// report the translate-once counters on `WorldRun::shared_jit`.
+    pub fn jit4mpi(
+        &self,
+        recv: &Value,
+        method: &str,
+        args: &[Value],
+        options: JitOptions,
+        world_size: u32,
+        shared: &mut SharedCache,
+    ) -> WjResult<JitCode> {
+        let world_size = world_size.max(1);
+        let start = Instant::now();
+        if let Some(dir) = &options.disk_cache {
+            self.ensure_disk_cache(dir)?;
+        }
+        let key = self.cache_key(recv, method, args, options.config)?;
+        let fingerprint = key.fingerprint();
+
+        if let Some(bytes) = shared.lookup(&fingerprint) {
+            // A previous world already translated this key: every rank of
+            // this world decodes the broadcast artifact. A corrupt entry
+            // degrades to the cold path below — never a panic.
+            let n = bytes.len() as u64;
+            if let Ok(t) = Translated::decode(bytes) {
+                shared.record_broadcast(u64::from(world_size), n);
+                return Ok(JitCode {
+                    translated: Arc::new(t),
+                    compile_time: start.elapsed(),
+                    cache_stats: self.cache.borrow().stats(),
+                    degrade: None,
+                    shared_jit: shared.stats(),
+                    recv: recv.clone(),
+                    args: args.to_vec(),
+                    mpi_size: world_size,
+                    cost: CostModel::default(),
+                    gpu: None,
+                    fault: None,
+                    timeout_rounds: None,
+                });
+            }
+        }
+
+        // Rank 0 translates (once per key per job) and broadcasts. The
+        // artifact is published under the *requested* key: if the
+        // degradation ladder served a lower rung, later worlds asking for
+        // the same options get the same degraded artifact.
+        let mut code = self.jit(recv, method, args, options)?;
+        let bytes = code.translated.encode();
+        let n = bytes.len() as u64;
+        shared.publish(fingerprint, bytes);
+        if world_size > 1 {
+            shared.record_broadcast(u64::from(world_size) - 1, n);
+        }
+        code.shared_jit = shared.stats();
+        code.mpi_size = world_size;
+        Ok(code)
     }
 
     /// Cumulative code-cache counters (hits / misses / evictions).
@@ -327,7 +448,7 @@ pub struct DegradeReport {
 }
 
 /// Options for [`WootinJ::jit`]; presets map onto the paper's series.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct JitOptions {
     pub config: TransConfig,
     /// When set, a failed translation falls down the degradation ladder
@@ -335,6 +456,11 @@ pub struct JitOptions {
     /// is recorded in [`JitCode::degrade`]. Off by default: the paper's
     /// series must fail loudly when their mode cannot translate.
     pub degrade: bool,
+    /// When set, the env's artifact store is (idempotently) switched to a
+    /// [`Tiered`] memory-over-disk backend persisting at this directory,
+    /// so translations survive the process and a later env warm-starts
+    /// without any translator work.
+    pub disk_cache: Option<PathBuf>,
 }
 
 impl JitOptions {
@@ -344,6 +470,7 @@ impl JitOptions {
         JitOptions {
             config: TransConfig::full(),
             degrade: false,
+            disk_cache: None,
         }
     }
 
@@ -352,6 +479,7 @@ impl JitOptions {
         JitOptions {
             config: TransConfig::virtual_dispatch(),
             degrade: false,
+            disk_cache: None,
         }
     }
 
@@ -365,6 +493,7 @@ impl JitOptions {
         JitOptions {
             config,
             degrade: false,
+            disk_cache: None,
         }
     }
 
@@ -373,6 +502,7 @@ impl JitOptions {
         JitOptions {
             config: TransConfig::template_no_virt(),
             degrade: false,
+            disk_cache: None,
         }
     }
 
@@ -389,6 +519,13 @@ impl JitOptions {
     /// Enable the graceful-degradation ladder for this `jit` call.
     pub fn with_degradation(mut self) -> Self {
         self.degrade = true;
+        self
+    }
+
+    /// Persist translated artifacts under `dir` and warm-start from any
+    /// already there (see [`JitOptions::disk_cache`]).
+    pub fn with_disk_cache(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.disk_cache = Some(dir.into());
         self
     }
 }
@@ -408,6 +545,10 @@ pub struct JitCode {
     /// What the degradation ladder did, when [`JitOptions::degrade`] was
     /// set and the requested mode failed; `None` for a first-try success.
     pub degrade: Option<DegradeReport>,
+    /// Snapshot of the job-wide translate-once counters at mint time
+    /// (all-zero unless this code came from [`WootinJ::jit4mpi`]);
+    /// surfaced on every run's `WorldRun::shared_jit`.
+    pub shared_jit: SharedCacheStats,
     recv: Value,
     args: Vec<Value>,
     mpi_size: u32,
@@ -476,7 +617,7 @@ impl JitCode {
         }
         let entry = self.translated.entry;
         let start = Instant::now();
-        let run = world
+        let mut run = world
             .run(entry, |_, machine| {
                 bind_entry_args(
                     &env.jvm,
@@ -488,6 +629,7 @@ impl JitCode {
                 .map_err(|e| e.message)
             })
             .map_err(WjError::Sim)?;
+        run.shared_jit = self.shared_jit;
         let wall = start.elapsed();
         // Fold the jit-side degradation into the run's resilience view,
         // so one struct answers "what did the stack absorb this run".

@@ -260,15 +260,20 @@ fn lru_evicts_least_recently_used_first() {
     let aggr = JitOptions::wootinj().with_opt(OptConfig::aggressive()); // key B
     let cpp = JitOptions::cpp(); // key C
 
-    env.jit(&r, "run", std::slice::from_ref(&a), full).unwrap(); // insert A
-    env.jit(&r, "run", std::slice::from_ref(&a), aggr).unwrap(); // insert B (cache: A, B)
-    env.jit(&r, "run", std::slice::from_ref(&a), full).unwrap(); // hit A (B is now LRU)
-    env.jit(&r, "run", std::slice::from_ref(&a), cpp).unwrap(); // insert C -> evicts B
+    env.jit(&r, "run", std::slice::from_ref(&a), full.clone())
+        .unwrap(); // insert A
+    env.jit(&r, "run", std::slice::from_ref(&a), aggr.clone())
+        .unwrap(); // insert B (cache: A, B)
+    env.jit(&r, "run", std::slice::from_ref(&a), full.clone())
+        .unwrap(); // hit A (B is now LRU)
+    env.jit(&r, "run", std::slice::from_ref(&a), cpp.clone())
+        .unwrap(); // insert C -> evicts B
     assert_eq!(env.cache_stats().evictions, 1);
     assert_eq!(env.cache_len(), 2);
 
     // A must still be resident (it was more recently used than B)...
-    env.jit(&r, "run", std::slice::from_ref(&a), full).unwrap();
+    env.jit(&r, "run", std::slice::from_ref(&a), full.clone())
+        .unwrap();
     assert_eq!(env.cache_stats().hits, 2);
     // ...while B was evicted and re-translates.
     let misses_before = env.cache_stats().misses;

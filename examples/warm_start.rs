@@ -1,0 +1,91 @@
+//! Cross-process warm start from the persistent artifact store.
+//!
+//! The first run against an empty cache directory translates the
+//! application and persists the sealed artifact; every later run — a
+//! brand-new process — decodes it from disk and does **zero**
+//! translator/optimizer work.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example warm_start -- /tmp/wj-cache
+//! cargo run --release --example warm_start -- /tmp/wj-cache --expect-warm
+//! ```
+//! The second invocation exits nonzero if anything had to be translated
+//! (i.e. the warm start did not happen), which is what
+//! `scripts/check.sh` uses as its round-trip smoke test.
+
+use std::process::ExitCode;
+
+use jvm::Value;
+use wootinj::{build_table, JitOptions, Val, WootinJ};
+
+const APP: &str = "
+    @WootinJ interface Flux { float at(float left, float mid, float right); }
+    @WootinJ final class Diffusion implements Flux {
+      float k;
+      Diffusion(float k0) { k = k0; }
+      float at(float left, float mid, float right) {
+        return mid + k * (left - 2f * mid + right);
+      }
+    }
+    @WootinJ final class Sweep {
+      Flux flux;
+      Sweep(Flux f) { flux = f; }
+      float run(float[] cells, int steps) {
+        for (int s = 0; s < steps; s++) {
+          for (int i = 1; i < cells.length - 1; i++) {
+            cells[i] = flux.at(cells[i - 1], cells[i], cells[i + 1]);
+          }
+        }
+        float sum = 0f;
+        for (int i = 0; i < cells.length; i++) { sum += cells[i]; }
+        return sum;
+      }
+    }";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cache_dir) = args.next() else {
+        eprintln!("usage: warm_start <cache-dir> [--expect-warm]");
+        return ExitCode::from(2);
+    };
+    let expect_warm = args.next().as_deref() == Some("--expect-warm");
+
+    let table = build_table(&[("diffusion.jl", APP)]).expect("compile");
+    let mut env = WootinJ::new(&table).expect("framework env");
+    let flux = env.new_instance("Diffusion", &[Value::Float(0.1)]).unwrap();
+    let sweep = env.new_instance("Sweep", &[flux]).unwrap();
+    let cells = env.new_f32_array(&[0.0, 0.0, 1.0, 0.0, 0.0]);
+
+    let code = env
+        .jit(
+            &sweep,
+            "run",
+            &[cells, Value::Int(8)],
+            JitOptions::wootinj().with_disk_cache(&cache_dir),
+        )
+        .expect("jit");
+    let stats = env.cache_stats();
+    println!(
+        "compile: {:?}  (translations={}, disk_hits={}, decode_failures={})",
+        code.compile_time, stats.translations, stats.disk_hits, stats.decode_failures
+    );
+    match code.invoke(&env).expect("invoke").result {
+        Some(Val::F32(v)) => println!("checksum = {v}"),
+        other => println!("unexpected result {other:?}"),
+    }
+
+    if stats.translations == 0 {
+        println!("warm start: artifact decoded from {cache_dir}, no translator work");
+    } else {
+        println!("cold start: translated and persisted to {cache_dir}");
+        if expect_warm {
+            eprintln!(
+                "error: --expect-warm but {} translation(s) ran",
+                stats.translations
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -20,4 +20,13 @@ cargo test --workspace -q --offline
 echo "== fault-matrix smoke run =="
 cargo run --release --offline -q -p bench --bin repro -- fault-matrix --quick
 
+echo "== disk-cache round-trip smoke =="
+# jit once (cold, persists the artifact), then re-jit from a fresh
+# process and assert zero translator work (--expect-warm exits nonzero
+# if anything translated).
+CACHE_DIR="$(mktemp -d)"
+trap 'rm -rf "$CACHE_DIR"' EXIT
+cargo run --release --offline -q --example warm_start -- "$CACHE_DIR"
+cargo run --release --offline -q --example warm_start -- "$CACHE_DIR" --expect-warm
+
 echo "OK"
