@@ -21,6 +21,17 @@ impl FaultRng {
         FaultRng(seed.max(1))
     }
 
+    /// The raw stream state — the "consumed cursor" a checkpoint captures
+    /// so a restored plan resumes exactly where the snapshot left off.
+    pub fn state(&self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild a stream at a previously captured [`FaultRng::state`].
+    pub fn from_state(state: u64) -> Self {
+        FaultRng(state.max(1))
+    }
+
     pub fn next_u64(&mut self) -> u64 {
         let mut x = self.0;
         x ^= x >> 12;
@@ -123,6 +134,10 @@ pub struct ResilienceStats {
     pub timeouts: u64,
     /// JIT requests served by a degraded translation mode.
     pub degraded_jits: u64,
+    /// Checkpoints taken at collective boundaries.
+    pub checkpoints_taken: u64,
+    /// Worlds rolled back to a checkpoint (or cold-restarted) and resumed.
+    pub restarts: u64,
 }
 
 impl ResilienceStats {
@@ -137,6 +152,8 @@ impl ResilienceStats {
         self.delayed_messages += other.delayed_messages;
         self.timeouts += other.timeouts;
         self.degraded_jits += other.degraded_jits;
+        self.checkpoints_taken += other.checkpoints_taken;
+        self.restarts += other.restarts;
     }
 
     /// Total injected faults (not counting recovery actions).
@@ -195,6 +212,33 @@ impl FaultPlan {
             rng: FaultRng::new(seed),
             stats: ResilienceStats::default(),
         }
+    }
+
+    /// The stream's consumed cursor, captured by checkpoints.
+    pub fn rng_state(&self) -> u64 {
+        self.rng.state()
+    }
+
+    /// Rebuild a plan exactly as a checkpoint captured it.
+    pub fn restore(config: FaultConfig, rng_state: u64, stats: ResilienceStats) -> Self {
+        FaultPlan {
+            config,
+            rng: FaultRng::from_state(rng_state),
+            stats,
+        }
+    }
+
+    /// Perturb the stream past its consumed cursor after a rollback.
+    /// Mixing the captured state with the restart ordinal keeps replay
+    /// deterministic while guaranteeing the decisions that killed the
+    /// previous attempt are not re-drawn identically forever.
+    pub fn reseed(&mut self, salt: u64) {
+        let mixed = self
+            .rng
+            .state()
+            .rotate_left(17)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(salt.max(1)));
+        self.rng = FaultRng::new(mixed);
     }
 
     /// Fuel the next scheduling slice may burn (injects fuel exhaustion).
@@ -336,6 +380,41 @@ mod tests {
         assert_eq!(v[2], 3.0);
         assert_ne!(v[1], 2.0);
         assert!(v[1].is_finite(), "corruption must not produce NaN/inf");
+    }
+
+    #[test]
+    fn restore_resumes_the_exact_cursor() {
+        let cfg = FaultConfig {
+            crash: 0.3,
+            ..FaultConfig::seeded(11)
+        };
+        let mut a = FaultPlan::for_rank(cfg, 2);
+        for _ in 0..10 {
+            a.crash_at_yield();
+        }
+        let mut b = FaultPlan::restore(a.config, a.rng_state(), a.stats);
+        for _ in 0..50 {
+            assert_eq!(a.crash_at_yield(), b.crash_at_yield());
+        }
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn reseed_diverges_but_stays_deterministic() {
+        let cfg = FaultConfig {
+            crash: 0.5,
+            ..FaultConfig::seeded(3)
+        };
+        let mut a = FaultPlan::for_rank(cfg, 0);
+        let mut b = a.clone();
+        let mut c = a.clone();
+        b.reseed(1);
+        c.reseed(1);
+        let da: Vec<bool> = (0..64).map(|_| a.crash_at_yield()).collect();
+        let db: Vec<bool> = (0..64).map(|_| b.crash_at_yield()).collect();
+        let dc: Vec<bool> = (0..64).map(|_| c.crash_at_yield()).collect();
+        assert_ne!(da, db, "reseed must move the stream");
+        assert_eq!(db, dc, "reseed must be deterministic");
     }
 
     #[test]

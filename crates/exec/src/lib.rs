@@ -22,8 +22,10 @@
 
 #![forbid(unsafe_code)]
 
+pub mod ckpt;
 pub mod fault;
 
+pub use ckpt::CkptError;
 pub use fault::{FaultConfig, FaultPlan, FaultRng, MsgFault, ResilienceStats};
 
 use jlang::ast::BinOp;

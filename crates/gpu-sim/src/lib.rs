@@ -22,7 +22,9 @@
 
 #![forbid(unsafe_code)]
 
-use exec::{run, ArrStore, ExecError, Machine, Thread, Val, Yield};
+use exec::{
+    run, ArrStore, ExecError, FaultConfig, FaultPlan, Machine, ResilienceStats, Thread, Val, Yield,
+};
 use nir::{FuncId, IntrinOp, Program};
 use std::collections::HashMap;
 
@@ -64,10 +66,33 @@ pub struct LaunchStats {
     pub kernel_time: u64,
 }
 
+/// Classification of a device error: fatal programming/configuration
+/// errors vs. injected faults that the checkpoint/restart path above the
+/// MPI layer can recover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GpuErrorKind {
+    /// Programming or configuration error; not recoverable.
+    #[default]
+    Fatal,
+    /// A per-SM fault stream killed a kernel thread. The MPI layer
+    /// converts this into a rank crash, which a checkpointed world rolls
+    /// back and resumes.
+    InjectedCrash { step: u64, sm: u32 },
+}
+
 /// Simulation error.
 #[derive(Debug)]
 pub struct GpuError {
     pub message: String,
+    pub kind: GpuErrorKind,
+}
+
+impl GpuError {
+    /// Was this failure injected by a device fault stream (and therefore
+    /// recoverable), as opposed to a programming error?
+    pub fn is_injected(&self) -> bool {
+        matches!(self.kind, GpuErrorKind::InjectedCrash { .. })
+    }
 }
 
 impl std::fmt::Display for GpuError {
@@ -82,6 +107,7 @@ impl From<ExecError> for GpuError {
     fn from(e: ExecError) -> Self {
         GpuError {
             message: e.to_string(),
+            kind: GpuErrorKind::Fatal,
         }
     }
 }
@@ -89,6 +115,7 @@ impl From<ExecError> for GpuError {
 fn err(message: impl Into<String>) -> GpuError {
     GpuError {
         message: message.into(),
+        kind: GpuErrorKind::Fatal,
     }
 }
 
@@ -101,6 +128,11 @@ pub struct Gpu {
     pub vtime: u64,
     /// Total bytes ever allocated on the device (for memory accounting).
     pub allocated_bytes: u64,
+    /// Per-SM fault decision streams (empty = no injection). Blocks are
+    /// scheduled round-robin over SMs, so each block draws from the
+    /// stream of the SM it lands on — decorrelated per SM, deterministic
+    /// per (config, launch order).
+    sm_plans: Vec<FaultPlan>,
 }
 
 impl Gpu {
@@ -110,6 +142,36 @@ impl Gpu {
             machine: Machine::new(),
             vtime: 0,
             allocated_bytes: 0,
+            sm_plans: Vec::new(),
+        }
+    }
+
+    /// Arm one decorrelated fault stream per SM — the device side of the
+    /// failure model. Kernel threads running on an armed device draw
+    /// crash checks at every yield point; an injected hit fails the
+    /// launch with [`GpuErrorKind::InjectedCrash`].
+    pub fn set_fault(&mut self, config: FaultConfig) {
+        self.sm_plans = (0..self.config.n_sms.max(1))
+            .map(|sm| FaultPlan::for_rank(config, sm))
+            .collect();
+    }
+
+    /// Merged fault counters across all SM streams.
+    pub fn fault_stats(&self) -> ResilienceStats {
+        let mut stats = ResilienceStats::default();
+        for plan in &self.sm_plans {
+            stats.merge(&plan.stats);
+        }
+        stats
+    }
+
+    /// Perturb every SM stream past its consumed cursor and zero its
+    /// counters — the rollback path, where pre-restart counters have
+    /// already been folded into the world's carried totals.
+    pub fn reseed_faults(&mut self, salt: u64) {
+        for plan in self.sm_plans.iter_mut() {
+            plan.stats = ResilienceStats::default();
+            plan.reseed(salt);
         }
     }
 
@@ -200,10 +262,36 @@ impl Gpu {
         }
         let start_cycles = self.machine.counters.cycles;
 
+        let mut linear: u64 = 0;
         for bz in 0..grid[2] {
             for by in 0..grid[1] {
                 for bx in 0..grid[0] {
-                    self.run_block(program, kernel, grid, block, [bx, by, bz], &args)?;
+                    // Round-robin block-to-SM assignment; the block's
+                    // threads draw fault decisions from that SM's stream
+                    // (installed as the machine's plan for the duration).
+                    let sm = (linear % self.sm_plans.len().max(1) as u64) as usize;
+                    let armed = !self.sm_plans.is_empty();
+                    let saved = self.machine.fault.take();
+                    if armed {
+                        self.machine.fault = Some(self.sm_plans[sm].clone());
+                    }
+                    let res = self.run_block(
+                        program,
+                        kernel,
+                        grid,
+                        block,
+                        [bx, by, bz],
+                        &args,
+                        sm as u32,
+                    );
+                    if armed {
+                        if let Some(plan) = self.machine.fault.take() {
+                            self.sm_plans[sm] = plan;
+                        }
+                    }
+                    self.machine.fault = saved;
+                    res?;
+                    linear += 1;
                 }
             }
         }
@@ -222,6 +310,7 @@ impl Gpu {
 
     /// Run one block's threads in lockstep phases separated by
     /// `__syncthreads`.
+    #[allow(clippy::too_many_arguments)]
     fn run_block(
         &mut self,
         program: &Program,
@@ -230,6 +319,7 @@ impl Gpu {
         block: [u32; 3],
         block_idx: [u32; 3],
         args: &[Val],
+        sm: u32,
     ) -> Result<(), GpuError> {
         #[derive(PartialEq)]
         enum St {
@@ -307,12 +397,12 @@ impl Gpu {
                         }
                         Yield::OutOfFuel => {}
                         Yield::Crashed { step } => {
-                            // Kernel machines carry no fault plan today;
-                            // handle the variant anyway so a future
-                            // device-fault mode fails loudly, not UB.
-                            return Err(err(format!(
-                                "injected fault crashed a kernel thread at step {step}"
-                            )));
+                            return Err(GpuError {
+                                message: format!(
+                                    "injected fault crashed a kernel thread on SM {sm} at step {step}"
+                                ),
+                                kind: GpuErrorKind::InjectedCrash { step, sm },
+                            });
                         }
                     }
                 }
@@ -615,6 +705,53 @@ mod tests {
             .launch(&p, k, [1, 1, 1], [2048, 1, 1], vec![Val::Arr(dev)])
             .unwrap_err();
         assert!(e.message.contains("1024"), "{e}");
+    }
+
+    #[test]
+    fn injected_device_crash_is_typed_and_deterministic() {
+        let mut p = Program::default();
+        let k = scale_kernel(&mut p);
+        p.validate().unwrap();
+        let run_once = || {
+            let mut gpu = Gpu::new(GpuConfig::default());
+            gpu.set_fault(FaultConfig {
+                crash: 1.0,
+                ..FaultConfig::seeded(77)
+            });
+            let dev = gpu.copy_in(&ArrStore::F32(vec![1.0; 16])).unwrap();
+            let e = gpu
+                .launch(&p, k, [2, 1, 1], [8, 1, 1], vec![Val::Arr(dev)])
+                .unwrap_err();
+            assert!(e.is_injected(), "{e}");
+            assert!(gpu.fault_stats().crashes >= 1);
+            let GpuErrorKind::InjectedCrash { step, sm } = e.kind else {
+                panic!("expected InjectedCrash, got {:?}", e.kind);
+            };
+            (step, sm)
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn zero_rate_device_plans_change_nothing() {
+        let mut p = Program::default();
+        let k = scale_kernel(&mut p);
+        p.validate().unwrap();
+        let mut armed = Gpu::new(GpuConfig::default());
+        armed.set_fault(FaultConfig::seeded(5));
+        let dev = armed
+            .copy_in(&ArrStore::F32((0..10).map(|i| i as f32).collect()))
+            .unwrap();
+        armed
+            .launch(&p, k, [3, 1, 1], [4, 1, 1], vec![Val::Arr(dev)])
+            .unwrap();
+        let mut out = ArrStore::F32(vec![0.0; 10]);
+        armed.copy_out(dev, &mut out).unwrap();
+        assert_eq!(
+            out,
+            ArrStore::F32((0..10).map(|i| 2.0 * i as f32).collect())
+        );
+        assert_eq!(armed.fault_stats(), ResilienceStats::default());
     }
 
     #[test]

@@ -24,14 +24,16 @@
 pub mod shared;
 
 use std::collections::{HashMap, VecDeque};
+use std::path::{Path, PathBuf};
 
 pub use shared::{SharedCache, SharedCacheStats};
 
+use exec::ckpt::{self, CkptError};
 use exec::{
     run, ArrStore, ExecError, FaultConfig, FaultPlan, HostRegistry, Machine, MsgFault,
     ResilienceStats, Thread, Val, Yield,
 };
-use gpu_sim::{Gpu, GpuConfig};
+use gpu_sim::{Gpu, GpuConfig, GpuErrorKind};
 use nir::{FuncId, IntrinOp, Program};
 
 /// Communication cost model (cycles).
@@ -200,10 +202,138 @@ pub struct WorldRun {
     /// [`shared::SharedCache`]. All-zero for unshared runs; the `wootinj`
     /// facade fills it in from the `jit4mpi` snapshot.
     pub shared_jit: SharedCacheStats,
+    /// Checkpoint/restart accounting; all-zero for plain [`World::run`].
+    pub restart: RestartStats,
+}
+
+/// When (and where) to checkpoint a world. Collective boundaries are the
+/// only safe cut points: completing a collective synchronizes every
+/// participant's clock and leaves no rank mid-protocol, so a snapshot
+/// there is globally consistent by construction (only already-posted
+/// point-to-point messages can be in flight, and those are captured too).
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointPolicy {
+    /// Take a checkpoint after every `every` completed collectives
+    /// (values below 1 behave as 1).
+    pub every: u32,
+    /// When set, the latest checkpoint also persists to this file
+    /// (written temp-then-rename), so a killed *process* can
+    /// warm-restart. By convention `<fingerprint>.wckpt` next to the JIT
+    /// disk store's artifacts.
+    pub persist: Option<PathBuf>,
+}
+
+impl CheckpointPolicy {
+    /// Checkpoint after every `every` completed collectives.
+    pub fn every(every: u32) -> Self {
+        CheckpointPolicy {
+            every,
+            persist: None,
+        }
+    }
+
+    /// Also persist the latest checkpoint to `path`.
+    pub fn with_persist(mut self, path: impl Into<PathBuf>) -> Self {
+        self.persist = Some(path.into());
+        self
+    }
+}
+
+/// Checkpoint/restart accounting for one [`World::run_with_restart`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RestartStats {
+    /// Checkpoints captured at collective boundaries.
+    pub checkpoints_taken: u64,
+    /// Rollback-and-resume cycles performed (0 = the first attempt ran
+    /// to completion).
+    pub restarts: u64,
+    /// Ranks restored from a checkpoint (or re-initialized cold),
+    /// summed over all restarts.
+    pub ranks_rolled_back: u64,
+    /// Virtual cycles discarded by rollbacks: failure-time clock minus
+    /// the restored checkpoint's clock, summed over all restarts.
+    pub virtual_time_lost: u64,
+}
+
+/// A sealed, checksummed snapshot of a whole world at a collective
+/// boundary: every rank's interpreter + machine state (including the
+/// fault-stream cursors and any device state) plus the in-flight message
+/// queues. Produced by [`World::run_with_restart`] per its
+/// [`CheckpointPolicy`]; the `bytes` are an `exec::ckpt` world payload.
+#[derive(Debug, Clone)]
+pub struct WorldCheckpoint {
+    /// Sealed container bytes (restorable only by a same-shaped world
+    /// over the same program).
+    pub bytes: Vec<u8>,
+    /// Max rank clock at capture (rollback bookkeeping).
+    pub vtime: u64,
 }
 
 /// (from, to, tag) -> FIFO of (payload, available_at).
 type MsgQueues = HashMap<(u32, u32, i32), VecDeque<(Vec<f32>, u64)>>;
+
+/// Per-rank entry-argument builder: rank id + its machine -> entry args.
+type ArgBuilder<'a> = &'a mut dyn FnMut(u32, &mut Machine) -> Result<Vec<Val>, String>;
+
+/// Live checkpointing state threaded through the scheduler by
+/// [`World::run_with_restart`].
+struct CkptState {
+    every: u64,
+    persist: Option<PathBuf>,
+    since_last: u64,
+    latest: Option<WorldCheckpoint>,
+    taken: u64,
+}
+
+impl CkptState {
+    /// Called by the scheduler immediately after a collective completes —
+    /// the only globally consistent cut points (see [`CheckpointPolicy`]).
+    fn collective_completed(&mut self, world: &World, ranks: &[Rank], messages: &MsgQueues) {
+        self.since_last += 1;
+        if self.since_last < self.every {
+            return;
+        }
+        self.since_last = 0;
+        let wc = world.capture_checkpoint(ranks, messages);
+        if let Some(path) = &self.persist {
+            persist_checkpoint(path, &wc.bytes);
+        }
+        self.latest = Some(wc);
+        self.taken += 1;
+    }
+}
+
+/// Persist checkpoint bytes via temp-then-rename so a reader (including a
+/// warm-restarting process) never observes a torn file. Best-effort: IO
+/// failures only cost the warm-restart capability, never the run.
+fn persist_checkpoint(path: &Path, bytes: &[u8]) {
+    static TMP_UNIQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let file_name = match path.file_name() {
+        Some(n) => n.to_os_string(),
+        None => return,
+    };
+    let uniq = TMP_UNIQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let mut tmp_name = std::ffi::OsString::from(format!(".tmp-{}-{uniq}-", std::process::id()));
+    tmp_name.push(&file_name);
+    let tmp = path.with_file_name(tmp_name);
+    if std::fs::write(&tmp, bytes).is_ok() && std::fs::rename(&tmp, path).is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+}
+
+/// Derive the device-side fault config for one rank: same rates as the
+/// host config, seed decorrelated from the host streams (which already
+/// decorrelate per rank via [`FaultPlan::for_rank`]) so a device crash
+/// and a host crash never fire in lockstep.
+fn device_fault_config(cfg: FaultConfig, rank: u32) -> FaultConfig {
+    FaultConfig {
+        seed: cfg
+            .seed
+            .rotate_left(29)
+            .wrapping_add(0xD1B5_4A32_D192_ED03u64.wrapping_mul(rank as u64 + 1)),
+        ..cfg
+    }
+}
 
 #[derive(Debug)]
 enum Blocked {
@@ -331,6 +461,112 @@ impl<'p> World<'p> {
         entry: FuncId,
         mut make_args: impl FnMut(u32, &mut Machine) -> Result<Vec<Val>, String>,
     ) -> Result<WorldRun, SimError> {
+        let mut ranks = self.init_ranks(entry, &mut make_args)?;
+        let mut messages: MsgQueues = HashMap::new();
+        self.drive(&mut ranks, &mut messages, None)
+    }
+
+    /// Like [`World::run`], but checkpoint every
+    /// [`CheckpointPolicy::every`] completed collectives and, on
+    /// [`SimError::Crash`] / [`SimError::Timeout`], roll every rank back
+    /// to the last checkpoint (cold-restart when none exists yet), reseed
+    /// every fault stream past its consumed cursor, and resume — up to
+    /// `max_restarts` times. Other errors, and restart-budget exhaustion,
+    /// propagate the typed error (with its last post-mortem) unchanged.
+    pub fn run_with_restart(
+        &self,
+        entry: FuncId,
+        mut make_args: impl FnMut(u32, &mut Machine) -> Result<Vec<Val>, String>,
+        policy: &CheckpointPolicy,
+        max_restarts: u32,
+    ) -> Result<WorldRun, SimError> {
+        let mut ck = CkptState {
+            every: policy.every.max(1) as u64,
+            persist: policy.persist.clone(),
+            since_last: 0,
+            latest: None,
+            taken: 0,
+        };
+        // Warm start: a killed process may have left a persisted
+        // checkpoint behind. An unreadable, corrupt, or mismatched file
+        // simply means a cold start — never an error, never a panic.
+        if let Some(path) = &ck.persist {
+            if let Ok(bytes) = std::fs::read(path) {
+                if let Ok((ranks, _)) = self.restore_checkpoint(&bytes) {
+                    let vtime = ranks.iter().map(|r| r.vclock).max().unwrap_or(0);
+                    ck.latest = Some(WorldCheckpoint { bytes, vtime });
+                }
+            }
+        }
+        let mut stats = RestartStats::default();
+        let mut carried = ResilienceStats::default();
+        loop {
+            let attempt = stats.restarts;
+            // Roll back to the latest checkpoint, degrading to a cold
+            // restart if it fails to decode.
+            let restored = match ck.latest.as_ref() {
+                Some(wc) => match self.restore_checkpoint(&wc.bytes) {
+                    Ok(rm) => Some(rm),
+                    Err(_) => {
+                        ck.latest = None;
+                        None
+                    }
+                },
+                None => None,
+            };
+            let (mut ranks, mut messages) = match restored {
+                Some(rm) => rm,
+                None => (self.init_ranks(entry, &mut make_args)?, MsgQueues::new()),
+            };
+            if attempt > 0 {
+                stats.ranks_rolled_back += ranks.iter().filter(|r| r.done.is_none()).count() as u64;
+                // Everything the failed attempt observed is already in
+                // `carried`; zero the counters and move every stream past
+                // its consumed cursor so the fault that killed the last
+                // attempt is not re-drawn identically forever.
+                for rank in ranks.iter_mut() {
+                    if let Some(plan) = rank.machine.fault.as_mut() {
+                        plan.stats = ResilienceStats::default();
+                        plan.reseed(attempt);
+                    }
+                    if let Some(gpu) = rank.gpu.as_mut() {
+                        gpu.reseed_faults(attempt);
+                    }
+                }
+            }
+            match self.drive(&mut ranks, &mut messages, Some(&mut ck)) {
+                Ok(mut run) => {
+                    stats.checkpoints_taken = ck.taken;
+                    run.resilience.merge(&carried);
+                    run.resilience.checkpoints_taken += ck.taken;
+                    run.resilience.restarts += stats.restarts;
+                    run.restart = stats;
+                    return Ok(run);
+                }
+                Err(err) => {
+                    let recoverable =
+                        matches!(err, SimError::Crash { .. } | SimError::Timeout { .. });
+                    if !recoverable || stats.restarts >= max_restarts as u64 {
+                        return Err(err);
+                    }
+                    for rank in ranks.iter() {
+                        if let Some(plan) = &rank.machine.fault {
+                            carried.merge(&plan.stats);
+                        }
+                        if let Some(gpu) = &rank.gpu {
+                            carried.merge(&gpu.fault_stats());
+                        }
+                    }
+                    let fail_vtime = ranks.iter().map(|r| r.vclock).max().unwrap_or(0);
+                    let base = ck.latest.as_ref().map(|wc| wc.vtime).unwrap_or(0);
+                    stats.virtual_time_lost += fail_vtime.saturating_sub(base);
+                    stats.restarts += 1;
+                }
+            }
+        }
+    }
+
+    fn init_ranks(&self, entry: FuncId, make_args: ArgBuilder<'_>) -> Result<Vec<Rank>, SimError> {
         let mut ranks: Vec<Rank> = Vec::with_capacity(self.size as usize);
         for r in 0..self.size {
             let mut machine = Machine::with_globals(self.program);
@@ -341,10 +577,14 @@ impl<'p> World<'p> {
                 .map_err(|m| err_on(r, format!("building entry args: {m}")))?;
             let thread =
                 Thread::new(self.program, entry, args).map_err(|e| err_on(r, e.to_string()))?;
+            let mut gpu = self.gpu.map(Gpu::new);
+            if let (Some(g), Some(cfg)) = (gpu.as_mut(), self.fault) {
+                g.set_fault(device_fault_config(cfg, r));
+            }
             ranks.push(Rank {
                 thread,
                 machine,
-                gpu: self.gpu.map(Gpu::new),
+                gpu,
                 vclock: 0,
                 compute_cycles: 0,
                 comm_cycles: 0,
@@ -355,9 +595,17 @@ impl<'p> World<'p> {
                 blocked_rounds: 0,
             });
         }
+        Ok(ranks)
+    }
 
-        // Message queues: (from, to, tag) -> FIFO of (payload, available_at).
-        let mut messages: MsgQueues = HashMap::new();
+    /// The cooperative scheduler: drives `ranks` to completion (or a
+    /// typed failure), optionally checkpointing at collective boundaries.
+    fn drive(
+        &self,
+        ranks: &mut Vec<Rank>,
+        messages: &mut MsgQueues,
+        mut ckpt: Option<&mut CkptState>,
+    ) -> Result<WorldRun, SimError> {
         // Collective rendezvous state.
         let mut barrier_waiters: Vec<u32> = Vec::new();
         let mut allreduce: Vec<(u32, AllOp, Val)> = Vec::new();
@@ -418,7 +666,7 @@ impl<'p> World<'p> {
             // 2. Complete collectives when everyone arrived.
             let live = ranks.iter().filter(|r| r.done.is_none()).count() as u32;
             if !barrier_waiters.is_empty() && barrier_waiters.len() as u32 == live {
-                let t = self.complete_collective(&mut ranks, &barrier_waiters);
+                let t = self.complete_collective(ranks, &barrier_waiters);
                 for &r in &barrier_waiters {
                     let rank = &mut ranks[r as usize];
                     rank.vclock = t;
@@ -427,10 +675,13 @@ impl<'p> World<'p> {
                 }
                 barrier_waiters.clear();
                 progress = true;
+                if let Some(ck) = ckpt.as_deref_mut() {
+                    ck.collective_completed(self, ranks, messages);
+                }
             }
             if !allreduce.is_empty() && allreduce.len() as u32 == live {
                 let participants: Vec<u32> = allreduce.iter().map(|(r, _, _)| *r).collect();
-                let t = self.complete_collective(&mut ranks, &participants);
+                let t = self.complete_collective(ranks, &participants);
                 let op = allreduce[0].1;
                 let combined = combine(op, &allreduce).map_err(|m| SimError::World {
                     message: m.to_string(),
@@ -443,6 +694,9 @@ impl<'p> World<'p> {
                 }
                 allreduce.clear();
                 progress = true;
+                if let Some(ck) = ckpt.as_deref_mut() {
+                    ck.collective_completed(self, ranks, messages);
+                }
             }
             if !bcast_waiters.is_empty() && bcast_waiters.len() as u32 == live {
                 // Copy the root's payload into everyone else's buffer.
@@ -476,7 +730,7 @@ impl<'p> World<'p> {
                         MsgFault::None | MsgFault::Drop => {}
                     }
                 }
-                let t = self.complete_collective(&mut ranks, &bcast_waiters)
+                let t = self.complete_collective(ranks, &bcast_waiters)
                     + self.msg_cost((count * 4) as u64)
                     + extra_delay;
                 for &r in &bcast_waiters {
@@ -496,6 +750,9 @@ impl<'p> World<'p> {
                 }
                 bcast_waiters.clear();
                 progress = true;
+                if let Some(ck) = ckpt.as_deref_mut() {
+                    ck.collective_completed(self, ranks, messages);
+                }
             }
 
             // 3. Run runnable ranks for a slice.
@@ -547,11 +804,22 @@ impl<'p> World<'p> {
                         let gpu = rank.gpu.as_mut().ok_or_else(|| {
                             err_on(r as u32, "kernel launch but no GPU configured for this run")
                         })?;
-                        let stats = gpu
-                            .launch(self.program, kernel, grid, block, args)
-                            .map_err(|e| err_on(r as u32, e.to_string()))?;
-                        rank.vclock += stats.kernel_time;
-                        rank.comm_cycles += stats.kernel_time;
+                        match gpu.launch(self.program, kernel, grid, block, args) {
+                            Ok(stats) => {
+                                rank.vclock += stats.kernel_time;
+                                rank.comm_cycles += stats.kernel_time;
+                            }
+                            // An injected device fault kills the rank
+                            // (typed), exactly like a host-side crash —
+                            // the restart path can recover it.
+                            Err(e) if e.is_injected() => {
+                                let GpuErrorKind::InjectedCrash { step, .. } = e.kind else {
+                                    unreachable!()
+                                };
+                                rank.crashed = Some(step);
+                            }
+                            Err(e) => return Err(err_on(r as u32, e.to_string())),
+                        }
                     }
                     Yield::GpuMem { op, args } => {
                         self.service_gpu_mem(&mut ranks[r], r as u32, op, args)?;
@@ -627,11 +895,11 @@ impl<'p> World<'p> {
                     }
                     Yield::Mpi { op, args } => {
                         self.service_mpi(
-                            &mut ranks,
+                            ranks,
                             r as u32,
                             op,
                             args,
-                            &mut messages,
+                            messages,
                             &mut barrier_waiters,
                             &mut allreduce,
                             &mut bcast_waiters,
@@ -654,11 +922,11 @@ impl<'p> World<'p> {
                     return Err(SimError::Crash {
                         rank: cr,
                         step,
-                        post_mortem: world_report(&ranks, &messages),
+                        post_mortem: world_report(ranks, messages),
                     });
                 }
                 return Err(SimError::Deadlock {
-                    report: world_report(&ranks, &messages),
+                    report: world_report(ranks, messages),
                 });
             }
 
@@ -685,7 +953,7 @@ impl<'p> World<'p> {
                     return Err(SimError::Timeout {
                         rank: tr,
                         waited_rounds: waited.max(rounds),
-                        report: world_report(&ranks, &messages),
+                        report: world_report(ranks, messages),
                     });
                 }
             }
@@ -694,14 +962,17 @@ impl<'p> World<'p> {
         let vtime = ranks.iter().map(|r| r.vclock).max().unwrap_or(0);
         let total_cycles = ranks.iter().map(|r| r.compute_cycles).sum();
         let mut resilience = ResilienceStats::default();
-        for r in &ranks {
+        for r in ranks.iter() {
             if let Some(plan) = &r.machine.fault {
                 resilience.merge(&plan.stats);
+            }
+            if let Some(gpu) = &r.gpu {
+                resilience.merge(&gpu.fault_stats());
             }
         }
         Ok(WorldRun {
             shared_jit: SharedCacheStats::default(),
-            ranks: ranks
+            ranks: std::mem::take(ranks)
                 .into_iter()
                 .map(|r| RankOutcome {
                     result: r.done.flatten(),
@@ -716,7 +987,155 @@ impl<'p> World<'p> {
             vtime,
             total_cycles,
             resilience,
+            restart: RestartStats::default(),
         })
+    }
+
+    /// Serialize every rank (threads, machines, device state) plus the
+    /// in-flight message queues into a sealed world checkpoint. Only ever
+    /// called at a collective boundary, where all live ranks' clocks are
+    /// synchronized and no collective is partially complete.
+    fn capture_checkpoint(&self, ranks: &[Rank], messages: &MsgQueues) -> WorldCheckpoint {
+        let mut w = ckpt::begin(ckpt::TAG_WORLD);
+        w.u32(self.size);
+        w.len(ranks.len());
+        for rank in ranks {
+            match &rank.done {
+                None => w.u8(0),
+                Some(None) => w.u8(1),
+                Some(Some(v)) => {
+                    w.u8(2);
+                    ckpt::write_val(&mut w, *v);
+                }
+            }
+            ckpt::write_thread(&mut w, &rank.thread);
+            ckpt::write_machine(&mut w, &rank.machine);
+            w.u64(rank.vclock);
+            w.u64(rank.compute_cycles);
+            w.u64(rank.comm_cycles);
+            w.u64(rank.last_cycles);
+            w.bool(rank.gpu.is_some());
+            if let Some(gpu) = &rank.gpu {
+                ckpt::write_machine(&mut w, &gpu.machine);
+                w.u64(gpu.vtime);
+                w.u64(gpu.allocated_bytes);
+            }
+        }
+        // HashMap iteration order is nondeterministic — sort the keys so
+        // identical worlds produce bit-identical checkpoints.
+        let mut keys: Vec<&(u32, u32, i32)> = messages.keys().collect();
+        keys.sort();
+        w.len(keys.len());
+        for key in keys {
+            let q = &messages[key];
+            w.u32(key.0);
+            w.u32(key.1);
+            w.i32(key.2);
+            w.len(q.len());
+            for (payload, avail_at) in q {
+                w.len(payload.len());
+                for &f in payload {
+                    w.f32(f);
+                }
+                w.u64(*avail_at);
+            }
+        }
+        let vtime = ranks.iter().map(|r| r.vclock).max().unwrap_or(0);
+        WorldCheckpoint {
+            bytes: ckpt::finish(w),
+            vtime,
+        }
+    }
+
+    /// Decode a world checkpoint back into runnable ranks and message
+    /// queues. Every failure mode — truncation, corruption, version or
+    /// topology skew — is a typed [`CkptError`], never a panic. Fault
+    /// plans are restored with their exact PRNG cursors; device-side
+    /// plans are re-armed from the world's fault config (their cursors
+    /// advance via [`Gpu::reseed_faults`] on restart instead).
+    fn restore_checkpoint(&self, bytes: &[u8]) -> Result<(Vec<Rank>, MsgQueues), CkptError> {
+        let mut r = ckpt::open(bytes, ckpt::TAG_WORLD)?;
+        let size = r.u32()?;
+        if size != self.size {
+            return Err(r
+                .corrupt(format!(
+                    "checkpoint is for a {size}-rank world, this world has {} ranks",
+                    self.size
+                ))
+                .into());
+        }
+        let n = r.len()?;
+        if n != self.size as usize {
+            return Err(r.corrupt("rank count does not match world size").into());
+        }
+        let mut ranks = Vec::with_capacity(n);
+        for rank_id in 0..n {
+            let done = match r.u8()? {
+                0 => None,
+                1 => Some(None),
+                2 => Some(Some(ckpt::read_val(&mut r)?)),
+                t => return Err(r.corrupt(format!("bad rank-done tag {t:#x}")).into()),
+            };
+            let thread = ckpt::read_thread(&mut r, self.program)?;
+            let machine = ckpt::read_machine(&mut r)?;
+            let vclock = r.u64()?;
+            let compute_cycles = r.u64()?;
+            let comm_cycles = r.u64()?;
+            let last_cycles = r.u64()?;
+            let gpu = if r.bool()? {
+                let Some(cfg) = self.gpu else {
+                    return Err(r
+                        .corrupt("checkpoint has device state but this world has no GPU")
+                        .into());
+                };
+                let mut g = Gpu::new(cfg);
+                g.machine = ckpt::read_machine(&mut r)?;
+                g.vtime = r.u64()?;
+                g.allocated_bytes = r.u64()?;
+                if let Some(fault) = self.fault {
+                    g.set_fault(device_fault_config(fault, rank_id as u32));
+                }
+                Some(g)
+            } else {
+                None
+            };
+            ranks.push(Rank {
+                thread,
+                machine,
+                gpu,
+                vclock,
+                compute_cycles,
+                comm_cycles,
+                last_cycles,
+                blocked: None,
+                done,
+                crashed: None,
+                blocked_rounds: 0,
+            });
+        }
+        let mut messages: MsgQueues = HashMap::new();
+        let n_queues = r.len()?;
+        for _ in 0..n_queues {
+            let from = r.u32()?;
+            let to = r.u32()?;
+            let tag = r.i32()?;
+            let n_msgs = r.len()?;
+            let mut q = VecDeque::with_capacity(n_msgs);
+            for _ in 0..n_msgs {
+                let n_floats = r.len()?;
+                let mut payload = Vec::with_capacity(n_floats);
+                for _ in 0..n_floats {
+                    payload.push(r.f32()?);
+                }
+                let avail_at = r.u64()?;
+                q.push_back((payload, avail_at));
+            }
+            messages.insert((from, to, tag), q);
+        }
+        if !r.is_at_end() {
+            return Err(r.corrupt("trailing bytes after world checkpoint").into());
+        }
+        Ok((ranks, messages))
     }
 
     /// Enqueue an outgoing point-to-point message, applying the sending
@@ -1448,5 +1867,222 @@ mod tests {
         assert_eq!(run.ranks[0].result, Some(Val::F32(0.0)));
         assert_eq!(run.ranks[1].result, Some(Val::F32(10.0)));
         assert_eq!(run.ranks[2].result, Some(Val::F32(20.0)));
+    }
+
+    /// Each rank allreduce-sums a value `steps` times, folding the result
+    /// back in each iteration: one collective boundary per step, so
+    /// checkpoints have places to land mid-run.
+    fn stepped_allreduce(steps: i32) -> (Program, FuncId) {
+        let mut fb = FuncBuilder::new("sar", vec![], Some(Ty::F64), FuncKind::Host);
+        let rank = fb.reg(Ty::I32);
+        let one = fb.reg(Ty::I32);
+        let limit = fb.reg(Ty::I32);
+        let i = fb.reg(Ty::I32);
+        let cond = fb.reg(Ty::Bool);
+        let x = fb.reg(Ty::F64);
+        let s = fb.reg(Ty::F64);
+        let bump = fb.reg(Ty::F64);
+        fb.emit(Instr::Intrin {
+            op: IntrinOp::MpiRank,
+            args: vec![],
+            dst: Some(rank),
+        });
+        fb.emit(Instr::Cast {
+            to: PrimKind::Double,
+            from: PrimKind::Int,
+            dst: x,
+            src: rank,
+        });
+        fb.emit(Instr::ConstI32(one, 1));
+        fb.emit(Instr::ConstI32(limit, steps));
+        fb.emit(Instr::ConstI32(i, 0));
+        fb.emit(Instr::ConstF64(bump, 1.0));
+        let head = fb.label();
+        let body = fb.label();
+        let done = fb.label();
+        fb.bind(head);
+        fb.emit(Instr::Bin {
+            op: BinOp::Lt,
+            kind: PrimKind::Int,
+            dst: cond,
+            lhs: i,
+            rhs: limit,
+        });
+        fb.br(cond, body, done);
+        fb.bind(body);
+        fb.emit(Instr::Intrin {
+            op: IntrinOp::MpiAllreduceSumF64,
+            args: vec![x],
+            dst: Some(s),
+        });
+        fb.emit(Instr::Bin {
+            op: BinOp::Add,
+            kind: PrimKind::Double,
+            dst: x,
+            lhs: s,
+            rhs: bump,
+        });
+        fb.emit(Instr::Bin {
+            op: BinOp::Add,
+            kind: PrimKind::Int,
+            dst: i,
+            lhs: i,
+            rhs: one,
+        });
+        fb.jmp(head);
+        fb.bind(done);
+        fb.emit(Instr::Ret(Some(x)));
+        let mut p = Program::default();
+        let id = p.add_func(fb.finish().unwrap());
+        p.validate().unwrap();
+        (p, id)
+    }
+
+    #[test]
+    fn checkpoint_capture_restore_capture_is_bit_identical() {
+        let (p, entry) = stepped_allreduce(3);
+        let mut cfg = FaultConfig::seeded(42);
+        cfg.crash = 0.001;
+        let world = World::new(&p, 3).with_faults(cfg);
+        let ranks = world.init_ranks(entry, &mut |_, _| Ok(vec![])).unwrap();
+        let messages = MsgQueues::new();
+        let first = world.capture_checkpoint(&ranks, &messages);
+        let (ranks2, messages2) = world.restore_checkpoint(&first.bytes).unwrap();
+        let second = world.capture_checkpoint(&ranks2, &messages2);
+        assert_eq!(first.bytes, second.bytes);
+        assert_eq!(first.vtime, second.vtime);
+    }
+
+    #[test]
+    fn restore_rejects_wrong_world_size_and_garbage() {
+        let (p, entry) = stepped_allreduce(2);
+        let world = World::new(&p, 3);
+        let ranks = world.init_ranks(entry, &mut |_, _| Ok(vec![])).unwrap();
+        let wc = world.capture_checkpoint(&ranks, &MsgQueues::new());
+        let smaller = World::new(&p, 2);
+        assert!(smaller.restore_checkpoint(&wc.bytes).is_err());
+        // Truncations and bit flips must come back typed, never panic.
+        for cut in 0..wc.bytes.len() {
+            assert!(world.restore_checkpoint(&wc.bytes[..cut]).is_err());
+        }
+        for i in 0..wc.bytes.len() {
+            let mut bad = wc.bytes.clone();
+            bad[i] ^= 0x10;
+            let _ = world.restore_checkpoint(&bad);
+        }
+    }
+
+    #[test]
+    fn restart_recovers_a_crashing_world_bit_identically() {
+        let (p, entry) = stepped_allreduce(10);
+        let clean: Vec<Option<Val>> = World::new(&p, 4)
+            .run(entry, |_, _| Ok(vec![]))
+            .unwrap()
+            .ranks
+            .into_iter()
+            .map(|r| r.result)
+            .collect();
+        // Find a seed whose crash-only plan kills the plain run, then show
+        // the checkpointed run completes with the fault-free answer.
+        let mut recovered = 0u32;
+        for seed in 0..64u64 {
+            let mut cfg = FaultConfig::seeded(0xC0DE + seed);
+            cfg.crash = 0.004;
+            let world = World::new(&p, 4).with_faults(cfg).with_timeout(5_000);
+            let Err(SimError::Crash { .. }) = world.run(entry, |_, _| Ok(vec![])) else {
+                continue;
+            };
+            let run = world
+                .run_with_restart(entry, |_, _| Ok(vec![]), &CheckpointPolicy::every(1), 64)
+                .expect("checkpointed world must recover from injected crashes");
+            let got: Vec<Option<Val>> = run.ranks.into_iter().map(|r| r.result).collect();
+            assert_eq!(got, clean, "seed {seed}: recovered result must match");
+            assert!(run.restart.restarts >= 1, "seed {seed}");
+            assert_eq!(run.restart.restarts, run.resilience.restarts);
+            assert!(run.restart.checkpoints_taken >= 1, "seed {seed}");
+            assert_eq!(
+                run.restart.checkpoints_taken,
+                run.resilience.checkpoints_taken
+            );
+            assert!(run.restart.ranks_rolled_back >= 1, "seed {seed}");
+            assert!(run.resilience.crashes >= 1, "seed {seed}");
+            recovered += 1;
+            if recovered >= 3 {
+                break;
+            }
+        }
+        assert!(recovered >= 1, "no seed produced a plain-run crash");
+    }
+
+    #[test]
+    fn restart_budget_exhaustion_returns_the_typed_error() {
+        let (p, entry) = stepped_allreduce(6);
+        let mut cfg = FaultConfig::seeded(5);
+        cfg.crash = 1.0; // every attempt dies at its first draw
+        let world = World::new(&p, 3).with_faults(cfg);
+        let err = world
+            .run_with_restart(entry, |_, _| Ok(vec![]), &CheckpointPolicy::every(1), 2)
+            .unwrap_err();
+        let SimError::Crash {
+            rank, post_mortem, ..
+        } = err
+        else {
+            panic!("expected Crash after budget exhaustion, got {err}");
+        };
+        assert!(rank < 3);
+        assert!(
+            post_mortem.contains("crashed at step"),
+            "the last post-mortem must survive: {post_mortem}"
+        );
+    }
+
+    #[test]
+    fn restart_is_a_no_op_for_healthy_worlds() {
+        let (p, entry) = stepped_allreduce(5);
+        let plain = World::new(&p, 4).run(entry, |_, _| Ok(vec![])).unwrap();
+        let ck = World::new(&p, 4)
+            .run_with_restart(entry, |_, _| Ok(vec![]), &CheckpointPolicy::every(2), 8)
+            .unwrap();
+        assert_eq!(ck.restart.restarts, 0);
+        assert_eq!(ck.restart.virtual_time_lost, 0);
+        assert!(ck.restart.checkpoints_taken >= 1);
+        let a: Vec<Option<Val>> = plain.ranks.into_iter().map(|r| r.result).collect();
+        let b: Vec<Option<Val>> = ck.ranks.into_iter().map(|r| r.result).collect();
+        assert_eq!(a, b);
+        assert_eq!(plain.vtime, ck.vtime);
+    }
+
+    #[test]
+    fn persisted_checkpoint_warm_restarts_and_corruption_degrades_cold() {
+        let dir = std::env::temp_dir().join(format!("wj-wckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("world.wckpt");
+        let (p, entry) = stepped_allreduce(6);
+        let policy = CheckpointPolicy::every(1).with_persist(&path);
+        let world = World::new(&p, 3);
+        let expect = world
+            .run_with_restart(entry, |_, _| Ok(vec![]), &policy, 4)
+            .unwrap();
+        assert!(path.exists(), "persist path must be written");
+        // A fresh "process" (same world shape) warm-starts from the file
+        // (the snapshot taken after the last collective) and must still
+        // land on the same answers.
+        let warm = world
+            .run_with_restart(entry, |_, _| Ok(vec![]), &policy, 4)
+            .unwrap();
+        let a: Vec<Option<Val>> = expect.ranks.into_iter().map(|r| r.result).collect();
+        let b: Vec<Option<Val>> = warm.ranks.into_iter().map(|r| r.result).collect();
+        assert_eq!(a, b);
+        // Corrupt the file: must degrade to a cold start, never panic.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let cold = world
+            .run_with_restart(entry, |_, _| Ok(vec![]), &policy, 4)
+            .unwrap();
+        let c: Vec<Option<Val>> = cold.ranks.into_iter().map(|r| r.result).collect();
+        assert_eq!(b, c);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

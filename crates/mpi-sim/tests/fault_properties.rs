@@ -367,3 +367,274 @@ fn surviving_runs_report_identical_nonzero_stats() {
         assert_eq!(x.vclock, y.vclock);
     }
 }
+
+/// Host program with a device kernel in its step loop: fill an array,
+/// copy it to the GPU, run `steps` rounds of (scale-by-2 kernel launch,
+/// allreduce barrier), copy back, return `arr[0]` (= 2^steps). The
+/// allreduce per step gives the checkpointing layer collective
+/// boundaries; the kernel gives the per-SM device fault streams yield
+/// points to crash at.
+fn gpu_step_program(steps: i32) -> (Program, FuncId) {
+    let mut p = Program::default();
+    // Kernel: a[gid] *= 2 for gid < len.
+    let mut kb = FuncBuilder::new("scale", vec![Ty::Arr(ElemTy::F32)], None, FuncKind::Kernel);
+    let tid = kb.reg(Ty::I32);
+    let bid = kb.reg(Ty::I32);
+    let bdim = kb.reg(Ty::I32);
+    let gid = kb.reg(Ty::I32);
+    let len = kb.reg(Ty::I32);
+    let inb = kb.reg(Ty::Bool);
+    let v = kb.reg(Ty::F32);
+    let two = kb.reg(Ty::F32);
+    let kbody = kb.label();
+    let kdone = kb.label();
+    kb.emit(Instr::Intrin {
+        op: IntrinOp::ThreadIdx(0),
+        args: vec![],
+        dst: Some(tid),
+    });
+    kb.emit(Instr::Intrin {
+        op: IntrinOp::BlockIdx(0),
+        args: vec![],
+        dst: Some(bid),
+    });
+    kb.emit(Instr::Intrin {
+        op: IntrinOp::BlockDim(0),
+        args: vec![],
+        dst: Some(bdim),
+    });
+    kb.emit(Instr::Bin {
+        op: BinOp::Mul,
+        kind: PrimKind::Int,
+        dst: gid,
+        lhs: bid,
+        rhs: bdim,
+    });
+    kb.emit(Instr::Bin {
+        op: BinOp::Add,
+        kind: PrimKind::Int,
+        dst: gid,
+        lhs: gid,
+        rhs: tid,
+    });
+    kb.emit(Instr::ArrLen { arr: 0, dst: len });
+    kb.emit(Instr::Bin {
+        op: BinOp::Lt,
+        kind: PrimKind::Int,
+        dst: inb,
+        lhs: gid,
+        rhs: len,
+    });
+    kb.br(inb, kbody, kdone);
+    kb.bind(kbody);
+    kb.emit(Instr::LdArr {
+        arr: 0,
+        idx: gid,
+        dst: v,
+    });
+    kb.emit(Instr::ConstF32(two, 2.0));
+    kb.emit(Instr::Bin {
+        op: BinOp::Mul,
+        kind: PrimKind::Float,
+        dst: v,
+        lhs: v,
+        rhs: two,
+    });
+    kb.emit(Instr::StArr {
+        arr: 0,
+        idx: gid,
+        src: v,
+    });
+    kb.jmp(kdone);
+    kb.bind(kdone);
+    kb.emit(Instr::Ret(None));
+    let kid = p.add_func(kb.finish().unwrap());
+
+    // Host driver.
+    let mut fb = FuncBuilder::new("run", vec![], Some(Ty::F32), FuncKind::Host);
+    let zero = fb.reg(Ty::I32);
+    let one = fb.reg(Ty::I32);
+    let two_i = fb.reg(Ty::I32);
+    let four = fb.reg(Ty::I32);
+    let n = fb.reg(Ty::I32);
+    let limit = fb.reg(Ty::I32);
+    let i = fb.reg(Ty::I32);
+    let cond = fb.reg(Ty::Bool);
+    let arr = fb.reg(Ty::Arr(ElemTy::F32));
+    let dev = fb.reg(Ty::Arr(ElemTy::F32));
+    let fone = fb.reg(Ty::F32);
+    let s = fb.reg(Ty::F32);
+    let out = fb.reg(Ty::F32);
+    fb.emit(Instr::ConstI32(zero, 0));
+    fb.emit(Instr::ConstI32(one, 1));
+    fb.emit(Instr::ConstI32(two_i, 2));
+    fb.emit(Instr::ConstI32(four, 4));
+    fb.emit(Instr::ConstI32(n, 8));
+    fb.emit(Instr::ConstI32(limit, steps));
+    fb.emit(Instr::ConstF32(fone, 1.0));
+    fb.emit(Instr::NewArr {
+        elem: ElemTy::F32,
+        len: n,
+        dst: arr,
+    });
+    // arr[j] = 1.0 for all j
+    fb.emit(Instr::ConstI32(i, 0));
+    let fhead = fb.label();
+    let fbody = fb.label();
+    let fdone = fb.label();
+    fb.bind(fhead);
+    fb.emit(Instr::Bin {
+        op: BinOp::Lt,
+        kind: PrimKind::Int,
+        dst: cond,
+        lhs: i,
+        rhs: n,
+    });
+    fb.br(cond, fbody, fdone);
+    fb.bind(fbody);
+    fb.emit(Instr::StArr {
+        arr,
+        idx: i,
+        src: fone,
+    });
+    fb.emit(Instr::Bin {
+        op: BinOp::Add,
+        kind: PrimKind::Int,
+        dst: i,
+        lhs: i,
+        rhs: one,
+    });
+    fb.jmp(fhead);
+    fb.bind(fdone);
+    fb.emit(Instr::Intrin {
+        op: IntrinOp::CopyToGpu,
+        args: vec![arr],
+        dst: Some(dev),
+    });
+    fb.emit(Instr::ConstI32(i, 0));
+    let head = fb.label();
+    let body = fb.label();
+    let done = fb.label();
+    fb.bind(head);
+    fb.emit(Instr::Bin {
+        op: BinOp::Lt,
+        kind: PrimKind::Int,
+        dst: cond,
+        lhs: i,
+        rhs: limit,
+    });
+    fb.br(cond, body, done);
+    fb.bind(body);
+    fb.emit(Instr::Launch {
+        kernel: kid,
+        grid: [two_i, one, one],
+        block: [four, one, one],
+        args: vec![dev],
+    });
+    fb.emit(Instr::Intrin {
+        op: IntrinOp::MpiAllreduceSumF32,
+        args: vec![fone],
+        dst: Some(s),
+    });
+    fb.emit(Instr::Bin {
+        op: BinOp::Add,
+        kind: PrimKind::Int,
+        dst: i,
+        lhs: i,
+        rhs: one,
+    });
+    fb.jmp(head);
+    fb.bind(done);
+    fb.emit(Instr::Intrin {
+        op: IntrinOp::CopyFromGpu,
+        args: vec![arr, dev],
+        dst: None,
+    });
+    fb.emit(Instr::LdArr {
+        arr,
+        idx: zero,
+        dst: out,
+    });
+    fb.emit(Instr::Ret(Some(out)));
+    let id = p.add_func(fb.finish().unwrap());
+    p.validate().unwrap();
+    (p, id)
+}
+
+/// Device-side fault plans: worlds with GPUs under injected crashes fail
+/// *typed* (never a panic, never an untyped rank error), reproducibly —
+/// and the kernel-heavy program gives the per-SM streams plenty of draws.
+#[test]
+fn device_faults_fail_typed_and_reproducibly() {
+    let (program, entry) = gpu_step_program(6);
+    let mut crashed = 0usize;
+    for seed in 0..24u64 {
+        let mut cfg = FaultConfig::seeded(0x6B0 + seed);
+        cfg.crash = 0.002;
+        let world = || {
+            World::new(&program, 2)
+                .with_gpu(gpu_sim::GpuConfig::default())
+                .with_faults(cfg)
+                .with_timeout(5_000)
+        };
+        let outcome = |w: World| match w.run(entry, |_, _| Ok(vec![])) {
+            Ok(run) => Ok(format!("{:?} vtime={}", run.resilience, run.vtime)),
+            Err(e) => Err(e.to_string()),
+        };
+        let first = outcome(world());
+        let second = outcome(world());
+        assert_eq!(first, second, "seed {seed} must reproduce");
+        if let Err(msg) = first {
+            assert!(
+                msg.contains("crashed") || msg.contains("timed out"),
+                "seed {seed}: unexpected failure {msg}"
+            );
+            crashed += 1;
+        }
+    }
+    assert!(
+        crashed > 0,
+        "no seed crashed — the device plans never fired"
+    );
+}
+
+/// The restart path recovers injected *device* crashes too: the world
+/// rolls back (device memory included), reseeds every per-SM stream, and
+/// completes with the fault-free answer (2^steps in every rank's buffer).
+#[test]
+fn restart_recovers_device_crashes_bit_identically() {
+    let (program, entry) = gpu_step_program(6);
+    let clean: Vec<_> = World::new(&program, 2)
+        .with_gpu(gpu_sim::GpuConfig::default())
+        .run(entry, |_, _| Ok(vec![]))
+        .unwrap()
+        .ranks
+        .into_iter()
+        .map(|r| r.result)
+        .collect();
+    assert_eq!(clean, vec![Some(Val::F32(64.0)); 2]); // 2^6
+    let mut recovered = 0usize;
+    for seed in 0..24u64 {
+        let mut cfg = FaultConfig::seeded(0x6B0 + seed);
+        cfg.crash = 0.002;
+        let world = World::new(&program, 2)
+            .with_gpu(gpu_sim::GpuConfig::default())
+            .with_faults(cfg)
+            .with_timeout(5_000);
+        let Err(mpi_sim::SimError::Crash { .. }) = world.run(entry, |_, _| Ok(vec![])) else {
+            continue;
+        };
+        let run = world
+            .run_with_restart(
+                entry,
+                |_, _| Ok(vec![]),
+                &mpi_sim::CheckpointPolicy::every(1),
+                128,
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let got: Vec<_> = run.ranks.into_iter().map(|r| r.result).collect();
+        assert_eq!(got, clean, "seed {seed}");
+        recovered += 1;
+    }
+    assert!(recovered > 0, "no crashing seed to recover");
+}

@@ -218,18 +218,22 @@ pub const DEFAULT_DISK_BUDGET: u64 = 256 * 1024 * 1024;
 /// A directory of sealed `.wjar` artifacts, one per key fingerprint.
 ///
 /// Writes go to a `.tmp` sibling first and are renamed into place, so a
-/// concurrent reader (another process warm-starting from the same
-/// directory) never sees a torn artifact — at worst it sees the previous
-/// complete one or none. The store is size-bounded: after every insert,
-/// oldest-mtime artifacts are removed until the directory fits the
-/// budget; a hit refreshes the artifact's mtime, making eviction LRU.
+/// concurrent reader — another process warm-starting from the same
+/// directory, or another store instance in this process — never sees a
+/// torn artifact: at worst it sees the previous complete one or none.
+/// Temp names are uniquified by pid *and* a process-wide counter, so two
+/// same-process stores writing the same fingerprint concurrently cannot
+/// collide on the staging file. The store is size-bounded: after every
+/// insert, oldest-mtime artifacts are removed until the directory fits
+/// the budget; a hit refreshes the artifact's mtime, making eviction LRU.
 pub struct DiskStore {
     dir: PathBuf,
     max_bytes: u64,
     stats: CacheStats,
-    /// Uniquifier for temp files within this store instance.
-    tmp_seq: u64,
 }
+
+/// Process-wide temp-file uniquifier (see [`DiskStore`] docs).
+static TMP_UNIQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 impl DiskStore {
     /// Open (creating if needed) an artifact directory.
@@ -240,7 +244,6 @@ impl DiskStore {
             dir,
             max_bytes: DEFAULT_DISK_BUDGET,
             stats: CacheStats::default(),
-            tmp_seq: 0,
         })
     }
 
@@ -338,11 +341,11 @@ impl CacheBackend for DiskStore {
             return;
         }
         let path = self.artifact_path(key);
-        self.tmp_seq += 1;
+        let uniq = TMP_UNIQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let tmp = self.dir.join(format!(
             ".tmp-{}-{}-{}",
             std::process::id(),
-            self.tmp_seq,
+            uniq,
             path.file_name().and_then(|n| n.to_str()).unwrap_or("wjar")
         ));
         let bytes = translated.encode();

@@ -35,10 +35,11 @@ use mpi_sim::{CostModel, World};
 use translator::{bind_entry_args, entry_spec, translate, TransConfig, TransError, Translated};
 
 pub use cache::CacheStats;
-pub use exec::{FaultConfig, ResilienceStats, Val};
+pub use exec::{CkptError, FaultConfig, ResilienceStats, Val};
 pub use gpu_sim::GpuConfig;
 pub use mpi_sim::CostModel as MpiCostModel;
 pub use mpi_sim::SimError;
+pub use mpi_sim::{CheckpointPolicy, RestartStats};
 pub use mpi_sim::{SharedCache, SharedCacheStats};
 pub use nir::OptConfig;
 pub use translator::{Binding, EntrySpec, Mode, TransStats};
@@ -234,6 +235,7 @@ impl<'t> WootinJ<'t> {
         if let Some(dir) = &options.disk_cache {
             self.ensure_disk_cache(dir)?;
         }
+        let checkpoint = self.resolve_checkpoint(&options, recv, method, args);
         let mut attempts: Vec<(Mode, String)> = Vec::new();
         let mut config = options.config;
         let translated = loop {
@@ -269,7 +271,34 @@ impl<'t> WootinJ<'t> {
             gpu: None,
             fault: None,
             timeout_rounds: None,
+            checkpoint,
+            max_restarts: DEFAULT_MAX_RESTARTS,
         })
+    }
+
+    /// Resolve the effective checkpoint policy for one `jit` call: when
+    /// checkpointing and a disk cache are both requested but no explicit
+    /// persist path is set, checkpoints persist next to the JIT artifacts
+    /// as `<dir>/<fingerprint>.wckpt` (same key derivation as the `.wjar`
+    /// files, so distinct specializations never clobber each other's
+    /// checkpoints — and the `.wckpt` suffix keeps them invisible to the
+    /// artifact store's eviction scan).
+    fn resolve_checkpoint(
+        &self,
+        options: &JitOptions,
+        recv: &Value,
+        method: &str,
+        args: &[Value],
+    ) -> Option<CheckpointPolicy> {
+        let mut policy = options.checkpoint.clone()?;
+        if policy.persist.is_none() {
+            if let Some(dir) = &options.disk_cache {
+                if let Ok(key) = self.cache_key(recv, method, args, options.config) {
+                    policy.persist = Some(dir.join(format!("{}.wckpt", key.fingerprint())));
+                }
+            }
+        }
+        Some(policy)
     }
 
     /// One rung of [`Self::jit`]: key derivation, cache probe, and (on a
@@ -371,6 +400,7 @@ impl<'t> WootinJ<'t> {
             let n = bytes.len() as u64;
             if let Ok(t) = Translated::decode(bytes) {
                 shared.record_broadcast(u64::from(world_size), n);
+                let checkpoint = self.resolve_checkpoint(&options, recv, method, args);
                 return Ok(JitCode {
                     translated: Arc::new(t),
                     compile_time: start.elapsed(),
@@ -384,6 +414,8 @@ impl<'t> WootinJ<'t> {
                     gpu: None,
                     fault: None,
                     timeout_rounds: None,
+                    checkpoint,
+                    max_restarts: DEFAULT_MAX_RESTARTS,
                 });
             }
         }
@@ -461,6 +493,14 @@ pub struct JitOptions {
     /// so translations survive the process and a later env warm-starts
     /// without any translator work.
     pub disk_cache: Option<PathBuf>,
+    /// When set, [`JitCode::invoke`] runs through
+    /// [`World::run_with_restart`]: the world checkpoints at collective
+    /// boundaries per this policy and rolls back + resumes on injected
+    /// crashes/timeouts instead of failing. With [`Self::with_disk_cache`]
+    /// also set (and no explicit persist path on the policy), the latest
+    /// checkpoint persists as `<dir>/<fingerprint>.wckpt` next to the JIT
+    /// artifacts, enabling process warm-restart.
+    pub checkpoint: Option<CheckpointPolicy>,
 }
 
 impl JitOptions {
@@ -471,6 +511,7 @@ impl JitOptions {
             config: TransConfig::full(),
             degrade: false,
             disk_cache: None,
+            checkpoint: None,
         }
     }
 
@@ -480,6 +521,7 @@ impl JitOptions {
             config: TransConfig::virtual_dispatch(),
             degrade: false,
             disk_cache: None,
+            checkpoint: None,
         }
     }
 
@@ -494,6 +536,7 @@ impl JitOptions {
             config,
             degrade: false,
             disk_cache: None,
+            checkpoint: None,
         }
     }
 
@@ -503,6 +546,7 @@ impl JitOptions {
             config: TransConfig::template_no_virt(),
             degrade: false,
             disk_cache: None,
+            checkpoint: None,
         }
     }
 
@@ -528,7 +572,18 @@ impl JitOptions {
         self.disk_cache = Some(dir.into());
         self
     }
+
+    /// Checkpoint at collective boundaries per `policy` and restart
+    /// crashed worlds instead of failing (see [`JitOptions::checkpoint`]).
+    pub fn with_checkpointing(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = Some(policy);
+        self
+    }
 }
+
+/// Restart budget for checkpointed [`JitCode::invoke`] runs (tunable via
+/// [`JitCode::set_max_restarts`]).
+pub const DEFAULT_MAX_RESTARTS: u32 = 16;
 
 /// A translated program with its recorded entry arguments — the paper's
 /// `JitCode`. Cheaply cloneable: the program is `Arc`-shared with the
@@ -556,6 +611,8 @@ pub struct JitCode {
     gpu: Option<GpuConfig>,
     fault: Option<FaultConfig>,
     timeout_rounds: Option<u64>,
+    checkpoint: Option<CheckpointPolicy>,
+    max_restarts: u32,
 }
 
 impl JitCode {
@@ -580,6 +637,19 @@ impl JitCode {
     /// fails with a typed timeout instead of hanging.
     pub fn set_timeout(&mut self, rounds: u64) {
         self.timeout_rounds = Some(rounds);
+    }
+
+    /// Enable (or replace) the checkpoint/restart policy for this code's
+    /// runs — the post-`jit` twin of [`JitOptions::with_checkpointing`].
+    pub fn set_checkpointing(&mut self, policy: CheckpointPolicy) {
+        self.checkpoint = Some(policy);
+    }
+
+    /// Bound how many rollback-and-resume cycles one `invoke` may spend
+    /// before the underlying typed error propagates
+    /// ([`DEFAULT_MAX_RESTARTS`] unless set).
+    pub fn set_max_restarts(&mut self, max_restarts: u32) {
+        self.max_restarts = max_restarts;
     }
 
     /// The generated C/CUDA source (Listing 5 analogue).
@@ -617,18 +687,21 @@ impl JitCode {
         }
         let entry = self.translated.entry;
         let start = Instant::now();
-        let mut run = world
-            .run(entry, |_, machine| {
-                bind_entry_args(
-                    &env.jvm,
-                    &self.recv,
-                    &self.args,
-                    &self.translated.bindings,
-                    machine,
-                )
-                .map_err(|e| e.message)
-            })
-            .map_err(WjError::Sim)?;
+        let make_args = |_: u32, machine: &mut exec::Machine| {
+            bind_entry_args(
+                &env.jvm,
+                &self.recv,
+                &self.args,
+                &self.translated.bindings,
+                machine,
+            )
+            .map_err(|e| e.message)
+        };
+        let mut run = match &self.checkpoint {
+            Some(policy) => world.run_with_restart(entry, make_args, policy, self.max_restarts),
+            None => world.run(entry, make_args),
+        }
+        .map_err(WjError::Sim)?;
         run.shared_jit = self.shared_jit;
         let wall = start.elapsed();
         // Fold the jit-side degradation into the run's resilience view,
@@ -646,6 +719,7 @@ impl JitCode {
             compile_wall: self.compile_time,
             outputs: run.ranks.iter().map(|r| r.output.clone()).collect(),
             resilience,
+            restart: run.restart,
             per_rank: run
                 .ranks
                 .iter()
@@ -688,6 +762,9 @@ pub struct RunReport {
     /// Aggregated fault/retry/degrade counters for this run (all-zero
     /// without fault injection and with a first-try translation).
     pub resilience: ResilienceStats,
+    /// Checkpoint/restart accounting (all-zero unless the code was jitted
+    /// with [`JitOptions::with_checkpointing`]).
+    pub restart: RestartStats,
     pub per_rank: Vec<PerRank>,
     /// The raw world run (rank memory spaces etc.).
     pub worlds: mpi_sim::WorldRun,

@@ -1,0 +1,116 @@
+//! Collective-boundary checkpoint/restart, end to end.
+//!
+//! The same seeded crash plan is run twice: once plain — the world dies
+//! with a typed post-mortem — and once under
+//! `JitOptions::with_checkpointing`, where the runtime snapshots every
+//! completed collective, rolls the world back on the crash, reseeds the
+//! fault streams, and resumes. Crash faults never corrupt surviving
+//! state, so the recovered answer matches the fault-free run
+//! bit-for-bit.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example restart
+//! ```
+
+use std::process::ExitCode;
+
+use jvm::Value;
+use wootinj::{
+    build_table, CheckpointPolicy, FaultConfig, JitOptions, MpiCostModel, SimError, Val, WjError,
+    WootinJ,
+};
+
+/// Ring sendrecv with one allreduce per step: every step ends at a
+/// collective, i.e. at a checkpointable cut point.
+const APP: &str = r#"
+    @WootinJ final class RingStepReduce {
+      RingStepReduce() { }
+      float run(int n, int steps) {
+        int rank = MPI.rank();
+        int size = MPI.size();
+        float[] sbuf = new float[n];
+        float[] rbuf = new float[n];
+        for (int i = 0; i < n; i++) { sbuf[i] = rank * n + i; }
+        int dest = (rank + 1) % size;
+        int src = (rank + size - 1) % size;
+        float acc = 0f;
+        for (int s = 0; s < steps; s++) {
+          MPI.sendrecvF(sbuf, 0, n, dest, rbuf, 0, src, 7);
+          for (int i = 0; i < n; i++) { sbuf[i] = rbuf[i] * 0.5f; }
+          acc += MPI.allreduceSumF(sbuf[0]);
+        }
+        return acc;
+      }
+    }
+"#;
+
+const WORLD: u32 = 4;
+const SEED: u64 = 0xFACA_DE2E;
+
+fn run(faulty: bool, checkpointed: bool) -> Result<(f32, u64, u64), WjError> {
+    let table = build_table(&[("ring_step_reduce.jl", APP)]).expect("compile");
+    let mut env = WootinJ::new(&table).expect("framework env");
+    let app = env.new_instance("RingStepReduce", &[]).unwrap();
+    let mut opts = JitOptions::wootinj();
+    if checkpointed {
+        opts = opts.with_checkpointing(CheckpointPolicy::every(1));
+    }
+    let mut code = env
+        .jit(&app, "run", &[Value::Int(16), Value::Int(12)], opts)
+        .expect("jit");
+    code.set_mpi(WORLD, MpiCostModel::default());
+    if faulty {
+        let mut cfg = FaultConfig::seeded(SEED);
+        cfg.crash = 0.02;
+        code.set_faults(cfg);
+    }
+    let report = code.invoke(&env)?;
+    let value = match report.result {
+        Some(Val::F32(v)) => v,
+        other => panic!("unexpected result {other:?}"),
+    };
+    Ok((
+        value,
+        report.restart.restarts,
+        report.restart.virtual_time_lost,
+    ))
+}
+
+fn main() -> ExitCode {
+    let (clean, _, _) = run(false, false).expect("fault-free run");
+    println!("fault-free answer: {clean}");
+
+    match run(true, false) {
+        Err(WjError::Sim(e @ SimError::Crash { .. })) => {
+            println!("\nplain faulted run dies typed:\n{e}\n");
+        }
+        other => {
+            eprintln!("expected a typed crash, got {other:?}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    match run(true, true) {
+        Ok((value, restarts, lost)) => {
+            println!(
+                "checkpointed run completes: {value} after {restarts} restart(s), \
+                 {lost} virtual cycles rolled back"
+            );
+            if value.to_bits() != clean.to_bits() {
+                eprintln!("recovered answer diverged from the fault-free run");
+                return ExitCode::FAILURE;
+            }
+            if restarts == 0 {
+                eprintln!("no restart happened; pick a seed that actually crashes");
+                return ExitCode::FAILURE;
+            }
+            println!("bit-identical to the fault-free answer");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("checkpointed run failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

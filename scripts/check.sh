@@ -20,6 +20,9 @@ cargo test --workspace -q --offline
 echo "== fault-matrix smoke run =="
 cargo run --release --offline -q -p bench --bin repro -- fault-matrix --quick
 
+echo "== restart-cost smoke run =="
+cargo run --release --offline -q -p bench --bin repro -- restart-cost --quick
+
 echo "== disk-cache round-trip smoke =="
 # jit once (cold, persists the artifact), then re-jit from a fresh
 # process and assert zero translator work (--expect-warm exits nonzero
