@@ -1509,6 +1509,192 @@ pub fn restart_cost(quick: bool) -> Figure {
     fig
 }
 
+/// The `backend-matrix` workload: integer-valued f64 arithmetic,
+/// block-partitioned by rank and reduced with `allreduceSumD`. Integer
+/// sums below 2^53 are exact in f64, so associativity — and therefore
+/// the platform's world size and scheduling — cannot perturb the bits:
+/// every platform must produce the *same* f64, bit for bit.
+const BLOCK_SUM: &str = r#"
+    @WootinJ final class BlockSum {
+      BlockSum() { }
+      double run(int total, int steps) {
+        int rank = MPI.rank();
+        int size = MPI.size();
+        int per = total / size;
+        int lo = rank * per;
+        double acc = 0.0;
+        for (int s = 0; s < steps; s++) {
+          double local = 0.0;
+          for (int i = lo; i < lo + per; i++) {
+            local = local + (i % 97) * 3.0 + s;
+          }
+          acc = acc + MPI.allreduceSumD(local);
+        }
+        return acc;
+      }
+    }
+"#;
+
+/// The multiplatform acceptance sweep: the same workload on **every
+/// registered platform** (`platform::registry()`), asserting bit-identical
+/// result agreement — fault-free, under crash injection with
+/// checkpoint/restart, and (between device-bearing platforms) for a GPU
+/// kernel workload. Any divergence panics, which is what lets
+/// `scripts/check.sh` gate on this experiment.
+pub fn backend_matrix(quick: bool) -> Figure {
+    use platform::registry;
+    use std::sync::Arc;
+    use wootinj::{CheckpointPolicy, FaultConfig};
+
+    let mut fig = Figure::new(
+        "backend-matrix",
+        "cross-backend agreement: one workload, every registered platform",
+        "platform index (registry order)",
+        "see series",
+    );
+    fig.note("platforms: 0=interp, 1=gpu-sim, 2=mpi-sim, 3=host-mt (platform::registry order)");
+    fig.note(
+        "agree / recovered-agree are 1 when the platform's f64 result bits match the \
+         exact ground truth; any mismatch panics (check.sh fails on divergence)",
+    );
+
+    let (total, steps, nseeds) = if quick { (240, 8, 3u64) } else { (960, 24, 10) };
+    fig.note(if quick {
+        "quick mode: total=240, 8 steps, 3 crash seeds per platform"
+    } else {
+        "full mode: total=960, 24 steps, 10 crash seeds per platform"
+    });
+
+    // Exact ground truth, computed independently in Rust.
+    let mut truth = 0.0f64;
+    for s in 0..steps {
+        for i in 0..total {
+            truth += (i % 97) as f64 * 3.0 + s as f64;
+        }
+    }
+    let truth = truth.to_bits();
+
+    let table = wootinj::build_table(&[("block_sum.jl", BLOCK_SUM)]).unwrap();
+    let args = [Value::Int(total), Value::Int(steps)];
+    let run_on = |plat: &Arc<dyn platform::Platform>,
+                  seed: Option<u64>,
+                  ckpt: bool|
+     -> Result<wootinj::RunReport, wootinj::WjError> {
+        let mut env = WootinJ::new(&table).unwrap();
+        let app = env.new_instance("BlockSum", &[]).unwrap();
+        let mut opts = JitOptions::wootinj();
+        if ckpt {
+            opts = opts.with_checkpointing(CheckpointPolicy::adaptive(4));
+        }
+        let mut code = env
+            .jit_on(Arc::clone(plat), &app, "run", &args, opts)
+            .unwrap();
+        if let Some(seed) = seed {
+            let mut cfg = FaultConfig::seeded(seed);
+            cfg.crash = 0.05;
+            code.set_faults(cfg);
+        }
+        code.set_timeout(50_000);
+        code.invoke(&env)
+    };
+    let f64_bits = |report: &wootinj::RunReport| -> u64 {
+        match report.result {
+            Some(Val::F64(v)) => v.to_bits(),
+            other => panic!("expected f64 result, got {other:?}"),
+        }
+    };
+
+    let mut agree = Series::new("agree");
+    let mut recovered = Series::new("recovered-agree");
+    let mut restarts = Series::new("restarts");
+    let mut vtime = Series::new("vtime-cycles");
+    let mut parallelism = Series::new("parallelism");
+    for (idx, plat) in registry().iter().enumerate() {
+        let id = plat.id();
+        let x = idx as f64;
+
+        let clean = run_on(plat, None, false)
+            .unwrap_or_else(|e| panic!("backend-matrix: `{id}` failed fault-free: {e}"));
+        let bits = f64_bits(&clean);
+        assert!(
+            bits == truth,
+            "backend-matrix DIVERGENCE: `{id}` returned {bits:#018x}, ground truth {truth:#018x}"
+        );
+        agree.push(x, 1.0);
+        vtime.push(x, clean.vtime_cycles as f64);
+        parallelism.push(x, plat.caps().parallelism as f64);
+
+        // Crash injection + adaptive checkpointing: every seed must
+        // complete and still land on the exact answer, on every backend
+        // — the fault/checkpoint machinery is shared through the trait.
+        let mut rs = 0u64;
+        for s in 0..nseeds {
+            let seed = 0xBAC2_0000_0000_0000 | ((idx as u64) << 32) | s;
+            let report = run_on(plat, Some(seed), true).unwrap_or_else(|e| {
+                panic!("backend-matrix: `{id}` seed {seed:#x} failed under checkpointing: {e}")
+            });
+            let rbits = f64_bits(&report);
+            assert!(
+                rbits == truth,
+                "backend-matrix DIVERGENCE: `{id}` recovered run returned {rbits:#018x}, \
+                 ground truth {truth:#018x}"
+            );
+            rs += report.restart.restarts;
+        }
+        recovered.push(x, 1.0);
+        restarts.push(x, rs as f64);
+    }
+
+    // Device-bearing platforms additionally agree on a kernel workload.
+    let kernel_table = hpclib::matmul_table(&[]).unwrap();
+    let mut kernel_bits: Vec<(String, u32)> = Vec::new();
+    for plat in registry() {
+        if !plat.caps().global_kernels {
+            continue;
+        }
+        let mut env = WootinJ::new(&kernel_table).unwrap();
+        let app = MatmulApp::compose(
+            &mut env,
+            MatmulThread::Gpu,
+            MatmulBody::GpuNaive,
+            MatmulCalc::Optimized,
+        )
+        .unwrap();
+        let code = env
+            .jit_on(
+                Arc::clone(&plat),
+                &app,
+                "start",
+                &[Value::Int(16)],
+                JitOptions::wootinj(),
+            )
+            .unwrap();
+        let report = code.invoke(&env).unwrap();
+        let checksum = match report.result {
+            Some(Val::F32(v)) => v.to_bits(),
+            other => panic!("expected f32 kernel checksum, got {other:?}"),
+        };
+        kernel_bits.push((plat.id().to_string(), checksum));
+    }
+    let mut kernel = Series::new("kernel-agree");
+    if let Some((first_id, first)) = kernel_bits.first().cloned() {
+        for (i, (id, bits)) in kernel_bits.iter().enumerate() {
+            assert!(
+                *bits == first,
+                "backend-matrix DIVERGENCE: kernel checksum `{id}` {bits:#010x} != \
+                 `{first_id}` {first:#010x}"
+            );
+            kernel.push(i as f64, 1.0);
+        }
+    }
+    fig.note("kernel-agree covers the global_kernels-capable platforms (gpu-sim, mpi-sim)");
+
+    for s in [agree, recovered, restarts, vtime, parallelism, kernel] {
+        fig.series.push(s);
+    }
+    fig
+}
+
 /// All figure/table ids, in paper order.
 pub fn all_ids() -> Vec<&'static str> {
     vec![
@@ -1539,6 +1725,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "ext-reduce",
         "fault-matrix",
         "restart-cost",
+        "backend-matrix",
     ]
 }
 
@@ -1548,7 +1735,8 @@ pub fn run_experiment(id: &str) -> Option<Figure> {
 }
 
 /// Dispatch by id; `quick` selects a smoke-test-sized variant where the
-/// experiment supports one (`fault-matrix` and `restart-cost`).
+/// experiment supports one (`fault-matrix`, `restart-cost`, and
+/// `backend-matrix`).
 pub fn run_experiment_with(id: &str, quick: bool) -> Option<Figure> {
     Some(match id {
         "fig3" => fig3(),
@@ -1578,6 +1766,7 @@ pub fn run_experiment_with(id: &str, quick: bool) -> Option<Figure> {
         "ext-reduce" => ext_reduce(),
         "fault-matrix" => fault_matrix(quick),
         "restart-cost" => restart_cost(quick),
+        "backend-matrix" => backend_matrix(quick),
         _ => return None,
     })
 }

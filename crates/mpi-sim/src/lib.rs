@@ -59,6 +59,34 @@ impl Default for CostModel {
     }
 }
 
+/// The order in which runnable ranks are serviced each scheduler round.
+///
+/// Results are schedule-independent by construction — clocks are computed
+/// from per-rank virtual times and allreduce combines contributions in
+/// rank order — so this knob exists to *prove* that, and to model
+/// platforms whose workers are genuinely unordered (the `host-mt` thread
+/// pool backend, where the OS scheduler would pick any interleaving).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Schedule {
+    /// Service runnable ranks in rank-id order (the historical behavior).
+    #[default]
+    RankOrder,
+    /// Service runnable ranks in a seeded per-round permutation — a
+    /// deterministic stand-in for an OS thread scheduler. The same seed
+    /// reproduces the same interleaving bit-for-bit.
+    Seeded(u64),
+}
+
+/// xorshift64* step for the seeded scheduler permutation.
+fn sched_next(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
 /// Typed simulation error. Every failure mode of a world run has its own
 /// variant so callers (the wootinj facade, the bench fault matrix, the
 /// property suites) can classify outcomes without string matching.
@@ -221,6 +249,14 @@ pub struct CheckpointPolicy {
     /// warm-restart. By convention `<fingerprint>.wckpt` next to the JIT
     /// disk store's artifacts.
     pub persist: Option<PathBuf>,
+    /// When set, the cadence *tightens after every restart* — halved
+    /// (floor 1) each time a rollback happens. A healthy world pays the
+    /// coarse cadence's low overhead; a crashing one converges toward
+    /// cadence 1, bounding the virtual time each further crash can
+    /// discard. `repro restart-cost` motivates this: cadence 16 exhausts
+    /// restart budgets that cadence 1 survives, but costs ~16× fewer
+    /// snapshots when nothing goes wrong.
+    pub adaptive: bool,
 }
 
 impl CheckpointPolicy {
@@ -229,6 +265,17 @@ impl CheckpointPolicy {
         CheckpointPolicy {
             every,
             persist: None,
+            adaptive: false,
+        }
+    }
+
+    /// Start at cadence `start`, halving (floor 1) after each restart —
+    /// see [`CheckpointPolicy::adaptive`].
+    pub fn adaptive(start: u32) -> Self {
+        CheckpointPolicy {
+            every: start,
+            persist: None,
+            adaptive: true,
         }
     }
 
@@ -398,6 +445,8 @@ pub struct World<'p> {
     /// world exceeding it globally while any rank is blocked) fails with
     /// [`SimError::Timeout`] instead of hanging. `None` disables it.
     pub timeout_rounds: Option<u64>,
+    /// Service order for runnable ranks each round (see [`Schedule`]).
+    pub schedule: Schedule,
 }
 
 /// Default [`World::timeout_rounds`] once fault injection is enabled:
@@ -416,7 +465,14 @@ impl<'p> World<'p> {
             host: None,
             fault: None,
             timeout_rounds: None,
+            schedule: Schedule::RankOrder,
         }
+    }
+
+    /// Pick the per-round service order for runnable ranks.
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
     }
 
     pub fn with_host(mut self, host: &'p HostRegistry) -> Self {
@@ -561,6 +617,13 @@ impl<'p> World<'p> {
                     let base = ck.latest.as_ref().map(|wc| wc.vtime).unwrap_or(0);
                     stats.virtual_time_lost += fail_vtime.saturating_sub(base);
                     stats.restarts += 1;
+                    // Adaptive cadence: each restart halves the interval
+                    // (floor 1), so a world that keeps crashing pays for
+                    // snapshots exactly when they earn their keep.
+                    if policy.adaptive {
+                        ck.every = (ck.every / 2).max(1);
+                        ck.since_last = 0;
+                    }
                 }
             }
         }
@@ -612,6 +675,13 @@ impl<'p> World<'p> {
         let mut bcast_waiters: Vec<u32> = Vec::new();
         // Scheduler rounds so far (the global half of the timeout bound).
         let mut rounds: u64 = 0;
+        // PRNG for `Schedule::Seeded` (fresh per drive, so every restart
+        // attempt replays the same interleaving for the same seed).
+        let mut sched_rng = match self.schedule {
+            Schedule::RankOrder => 0,
+            Schedule::Seeded(seed) => seed | 1,
+        };
+        let mut order: Vec<usize> = (0..self.size as usize).collect();
 
         loop {
             let mut progress = false;
@@ -755,8 +825,17 @@ impl<'p> World<'p> {
                 }
             }
 
-            // 3. Run runnable ranks for a slice.
-            for r in 0..self.size as usize {
+            // 3. Run runnable ranks for a slice. Under `Seeded`, the
+            // service order is a fresh Fisher–Yates permutation each
+            // round — the deterministic analogue of an OS thread
+            // scheduler picking workers in arbitrary order.
+            if let Schedule::Seeded(_) = self.schedule {
+                for i in (1..order.len()).rev() {
+                    let j = (sched_next(&mut sched_rng) % (i as u64 + 1)) as usize;
+                    order.swap(i, j);
+                }
+            }
+            for &r in &order {
                 if ranks[r].done.is_some()
                     || ranks[r].blocked.is_some()
                     || ranks[r].crashed.is_some()
@@ -1471,7 +1550,15 @@ fn world_report(ranks: &[Rank], messages: &MsgQueues) -> String {
         .join("\n")
 }
 
+/// Fold allreduce contributions **in rank order**, not arrival order.
+/// Ranks reach the collective in schedule-dependent order; sorting by
+/// rank id first makes the float reduction's association (and so its
+/// exact bits) a function of the world alone — the property the
+/// backend-matrix sweep asserts across schedules and platforms.
 fn combine(op: AllOp, contributions: &[(u32, AllOp, Val)]) -> Result<Val, ExecError> {
+    let mut contributions: Vec<(u32, AllOp, Val)> = contributions.to_vec();
+    contributions.sort_by_key(|(r, _, _)| *r);
+    let contributions = &contributions;
     match op {
         AllOp::SumF64 => {
             let mut s = 0.0f64;

@@ -357,6 +357,9 @@ pub struct CacheKey {
     pub spec: EntrySpec,
     pub config: TransConfig,
     hosts: Vec<String>,
+    /// Platform salt (see [`CacheKey::with_platform_salt`]). Zero means
+    /// "portable artifact" and is what the legacy facade paths use.
+    salt: u64,
 }
 
 impl CacheKey {
@@ -369,7 +372,25 @@ impl CacheKey {
             spec,
             config,
             hosts,
+            salt: 0,
         }
+    }
+
+    /// Scope this key to one execution platform. Translated NIR is
+    /// portable across the in-repo backends, but artifacts minted *for* a
+    /// platform carry different run-time companions (most concretely the
+    /// `<fingerprint>.wckpt` world checkpoint, whose topology is
+    /// platform-shaped), so per-platform keys keep them from clobbering
+    /// each other. Salt 0 is the unscoped/portable key and leaves the
+    /// fingerprint exactly as before — existing stores stay warm.
+    pub fn with_platform_salt(mut self, salt: u64) -> Self {
+        self.salt = salt;
+        self
+    }
+
+    /// The platform salt this key is scoped to (0 = portable).
+    pub fn platform_salt(&self) -> u64 {
+        self.salt
     }
 
     /// The canonicalized (sorted) host-FFI key list.
@@ -391,6 +412,11 @@ impl CacheKey {
         w.len(self.hosts.len());
         for h in &self.hosts {
             w.str(h);
+        }
+        // Salt 0 stays out of the digest so unscoped fingerprints (and
+        // the artifacts persisted under them) are unchanged.
+        if self.salt != 0 {
+            w.u64(self.salt);
         }
         let bytes = w.into_bytes();
         let a = codec::digest64(&bytes, 0x9E37_79B9_7F4A_7C15);
@@ -440,6 +466,25 @@ mod tests {
         // Stable across calls and usable as a filename.
         assert_eq!(fp, base.fingerprint());
         assert!(fp.chars().all(|c| c.is_ascii_alphanumeric() || c == '-'));
+    }
+
+    #[test]
+    fn platform_salt_scopes_the_fingerprint_and_zero_is_identity() {
+        let base = CacheKey::new(opaque(1, 0, 2), TransConfig::full(), vec!["ffi.a".into()]);
+        let zero = base.clone().with_platform_salt(0);
+        assert_eq!(base, zero, "salt 0 is the unscoped key");
+        assert_eq!(base.fingerprint(), zero.fingerprint());
+
+        let a = base.clone().with_platform_salt(0x1111);
+        let b = base.clone().with_platform_salt(0x2222);
+        assert_ne!(a, b);
+        assert_ne!(a.fingerprint(), base.fingerprint());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // Same salt, same key: stable across calls.
+        assert_eq!(
+            a.fingerprint(),
+            base.clone().with_platform_salt(0x1111).fingerprint()
+        );
     }
 
     #[test]

@@ -63,6 +63,10 @@ pub struct CacheStats {
     /// Actual `translate` runs this environment performed (the
     /// zero-translator-work assertions key off this).
     pub translations: u64,
+    /// Persisted world checkpoints (`.wckpt`) removed by the
+    /// checkpoint-budget sweep — aged out oldest-mtime-first so a
+    /// long-lived cache directory stays bounded.
+    pub ckpt_evictions: u64,
 }
 
 /// Where `WootinJ::jit` keeps translated artifacts. Object-safe so the
@@ -215,6 +219,12 @@ impl CacheBackend for MemoryLru {
 /// fixture is under 1 KiB; real figures run a few KiB each).
 pub const DEFAULT_DISK_BUDGET: u64 = 256 * 1024 * 1024;
 
+/// Default byte budget for persisted world checkpoints (`.wckpt`) living
+/// beside the artifacts. Checkpoints are transient restart state, not
+/// cached work product, so they get their own (smaller) budget and are
+/// aged out oldest-first rather than accumulating forever.
+pub const DEFAULT_CKPT_BUDGET: u64 = 64 * 1024 * 1024;
+
 /// A directory of sealed `.wjar` artifacts, one per key fingerprint.
 ///
 /// Writes go to a `.tmp` sibling first and are renamed into place, so a
@@ -229,6 +239,7 @@ pub const DEFAULT_DISK_BUDGET: u64 = 256 * 1024 * 1024;
 pub struct DiskStore {
     dir: PathBuf,
     max_bytes: u64,
+    ckpt_budget: u64,
     stats: CacheStats,
 }
 
@@ -236,20 +247,34 @@ pub struct DiskStore {
 static TMP_UNIQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 impl DiskStore {
-    /// Open (creating if needed) an artifact directory.
+    /// Open (creating if needed) an artifact directory. Opening sweeps
+    /// stale `.wckpt` checkpoints down to the checkpoint budget, so a
+    /// long-lived cache directory stays bounded even across processes
+    /// that only ever read it.
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(DiskStore {
+        let mut store = DiskStore {
             dir,
             max_bytes: DEFAULT_DISK_BUDGET,
+            ckpt_budget: DEFAULT_CKPT_BUDGET,
             stats: CacheStats::default(),
-        })
+        };
+        store.evict_ckpts_to_budget();
+        Ok(store)
     }
 
     /// Rebound the byte budget (evicts down on the next insert).
     pub fn with_max_bytes(mut self, max_bytes: u64) -> Self {
         self.max_bytes = max_bytes;
+        self
+    }
+
+    /// Rebound the persisted-checkpoint (`.wckpt`) byte budget, sweeping
+    /// immediately.
+    pub fn with_ckpt_budget(mut self, max_bytes: u64) -> Self {
+        self.ckpt_budget = max_bytes;
+        self.evict_ckpts_to_budget();
         self
     }
 
@@ -261,16 +286,17 @@ impl DiskStore {
         self.dir.join(format!("{}.wjar", key.fingerprint()))
     }
 
-    /// All resident artifacts as `(path, len, mtime)`, ignoring temp
-    /// files and unreadable entries (a concurrent evictor may race us).
-    fn artifacts(&self) -> Vec<(PathBuf, u64, SystemTime)> {
+    /// All resident files with `ext` as `(path, len, mtime)`, ignoring
+    /// temp files and unreadable entries (a concurrent evictor may race
+    /// us).
+    fn files_with_ext(&self, ext: &str) -> Vec<(PathBuf, u64, SystemTime)> {
         let Ok(entries) = std::fs::read_dir(&self.dir) else {
             return Vec::new();
         };
         let mut out = Vec::new();
         for entry in entries.flatten() {
             let path = entry.path();
-            if path.extension().and_then(|e| e.to_str()) != Some("wjar") {
+            if path.extension().and_then(|e| e.to_str()) != Some(ext) {
                 continue;
             }
             let Ok(meta) = entry.metadata() else { continue };
@@ -280,23 +306,45 @@ impl DiskStore {
         out
     }
 
-    /// Remove oldest-mtime artifacts until the directory fits the budget.
-    fn evict_to_budget(&mut self) {
-        let mut files = self.artifacts();
+    /// All resident artifacts as `(path, len, mtime)`.
+    fn artifacts(&self) -> Vec<(PathBuf, u64, SystemTime)> {
+        self.files_with_ext("wjar")
+    }
+
+    /// Remove oldest-mtime files until their total fits `budget`.
+    /// Returns the number of files removed.
+    fn sweep(files: Vec<(PathBuf, u64, SystemTime)>, budget: u64) -> u64 {
+        let mut files = files;
         let mut total: u64 = files.iter().map(|(_, len, _)| len).sum();
-        if total <= self.max_bytes {
-            return;
+        if total <= budget {
+            return 0;
         }
         files.sort_by_key(|(_, _, mtime)| *mtime);
+        let mut removed = 0;
         for (path, len, _) in files {
-            if total <= self.max_bytes {
+            if total <= budget {
                 break;
             }
             if std::fs::remove_file(&path).is_ok() {
                 total = total.saturating_sub(len);
-                self.stats.disk_evictions += 1;
+                removed += 1;
             }
         }
+        removed
+    }
+
+    /// Remove oldest-mtime artifacts until the directory fits the budget.
+    fn evict_to_budget(&mut self) {
+        self.stats.disk_evictions += Self::sweep(self.artifacts(), self.max_bytes);
+    }
+
+    /// Age out persisted world checkpoints (`.wckpt`) beyond their own
+    /// byte budget, oldest-mtime first. Runs at open and after every
+    /// insert, so checkpoint turnover cannot grow the directory without
+    /// bound even though checkpoints are written by the restart
+    /// machinery, not through this store.
+    fn evict_ckpts_to_budget(&mut self) {
+        self.stats.ckpt_evictions += Self::sweep(self.files_with_ext("wckpt"), self.ckpt_budget);
     }
 
     /// Mark an artifact as recently used for the LRU-by-mtime sweep.
@@ -353,6 +401,7 @@ impl CacheBackend for DiskStore {
         // not break the jit path — the artifact simply is not cached.
         if std::fs::write(&tmp, &bytes).is_ok() && std::fs::rename(&tmp, &path).is_ok() {
             self.evict_to_budget();
+            self.evict_ckpts_to_budget();
         } else {
             let _ = std::fs::remove_file(&tmp);
         }
@@ -440,6 +489,7 @@ impl CacheBackend for Tiered {
             promotions: self.promotions,
             decode_failures: d.decode_failures,
             translations: self.translations,
+            ckpt_evictions: d.ckpt_evictions,
         }
     }
 

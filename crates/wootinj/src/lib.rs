@@ -31,7 +31,7 @@ use std::time::{Duration, Instant};
 use cache::{CacheBackend, CacheKey, MemoryLru, Tiered};
 use jlang::{ClassTable, DiagResult, SourceSet};
 use jvm::{Jvm, JvmError, Value};
-use mpi_sim::{CostModel, World};
+use mpi_sim::CostModel;
 use translator::{bind_entry_args, entry_spec, translate, TransConfig, TransError, Translated};
 
 pub use cache::CacheStats;
@@ -39,9 +39,13 @@ pub use exec::{CkptError, FaultConfig, ResilienceStats, Val};
 pub use gpu_sim::GpuConfig;
 pub use mpi_sim::CostModel as MpiCostModel;
 pub use mpi_sim::SimError;
-pub use mpi_sim::{CheckpointPolicy, RestartStats};
+pub use mpi_sim::{CheckpointPolicy, RestartStats, Schedule};
 pub use mpi_sim::{SharedCache, SharedCacheStats};
 pub use nir::OptConfig;
+pub use platform::{
+    by_id as platform_by_id, registry as platform_registry, Caps, GpuSimPlatform, HostMtPlatform,
+    InterpPlatform, MpiSimPlatform, Needs, Platform, PlatformError, RunOutcome, RunRequest,
+};
 pub use translator::{Binding, EntrySpec, Mode, TransStats};
 
 /// Compile prelude + user sources into a typed class table.
@@ -83,6 +87,11 @@ pub enum WjError {
     /// corrupt or version-skewed files — are never errors: they degrade
     /// to a cold translate.
     Cache(String),
+    /// Capability mismatch on the [`WootinJ::jit_on`] path: the chosen
+    /// platform cannot run what the translation needs (e.g. `global`
+    /// kernels on a device-less backend). Typed and raised at JIT time,
+    /// before any world is built.
+    Platform(PlatformError),
 }
 
 impl std::fmt::Display for WjError {
@@ -92,6 +101,7 @@ impl std::fmt::Display for WjError {
             WjError::Translate(e) => write!(f, "{e}"),
             WjError::Sim(e) => write!(f, "simulation error: {e}"),
             WjError::Cache(m) => write!(f, "artifact store: {m}"),
+            WjError::Platform(e) => write!(f, "{e}"),
         }
     }
 }
@@ -113,6 +123,12 @@ impl From<TransError> for WjError {
 impl From<SimError> for WjError {
     fn from(e: SimError) -> Self {
         WjError::Sim(e)
+    }
+}
+
+impl From<PlatformError> for WjError {
+    fn from(e: PlatformError) -> Self {
+        WjError::Platform(e)
     }
 }
 
@@ -231,15 +247,55 @@ impl<'t> WootinJ<'t> {
         args: &[Value],
         options: JitOptions,
     ) -> WjResult<JitCode> {
+        // Salt 0 is the unscoped legacy namespace (identical fingerprints
+        // to every release before the platform layer existed).
+        self.jit_salted(recv, method, args, options, 0)
+    }
+
+    /// `WootinJ.jit` retargeted: JIT for a specific [`Platform`]. The
+    /// platform's salt scopes the artifact-store key (and any persisted
+    /// `.wckpt` checkpoint) to the target, its capability surface is
+    /// checked against what the translation needs (typed
+    /// [`WjError::Platform`] on mismatch, raised here — not deep inside a
+    /// run), and [`JitCode::invoke`] drives the platform's own
+    /// [`Platform::run`]. This is the one path all backends share;
+    /// [`Self::jit`]/[`Self::jit4mpi`] are thin wrappers over the same
+    /// machinery with the built-in platforms selected from the legacy
+    /// knobs.
+    pub fn jit_on(
+        &self,
+        platform: Arc<dyn Platform>,
+        recv: &Value,
+        method: &str,
+        args: &[Value],
+        options: JitOptions,
+    ) -> WjResult<JitCode> {
+        let mut code = self.jit_salted(recv, method, args, options, platform.fingerprint_salt())?;
+        platform.check(needs_of(&code.translated))?;
+        code.platform = Some(platform);
+        Ok(code)
+    }
+
+    /// The shared body of [`Self::jit`]/[`Self::jit_on`]: the degradation
+    /// ladder over [`Self::jit_once`] with the artifact-store key scoped
+    /// by `salt` (0 = unscoped).
+    fn jit_salted(
+        &self,
+        recv: &Value,
+        method: &str,
+        args: &[Value],
+        options: JitOptions,
+        salt: u64,
+    ) -> WjResult<JitCode> {
         let start = Instant::now();
         if let Some(dir) = &options.disk_cache {
             self.ensure_disk_cache(dir)?;
         }
-        let checkpoint = self.resolve_checkpoint(&options, recv, method, args);
+        let checkpoint = self.resolve_checkpoint(&options, recv, method, args, salt);
         let mut attempts: Vec<(Mode, String)> = Vec::new();
         let mut config = options.config;
         let translated = loop {
-            match self.jit_once(recv, method, args, config) {
+            match self.jit_once(recv, method, args, config, salt) {
                 Ok(t) => break t,
                 Err(e) => {
                     let next = degrade_next(config).filter(|_| options.degrade);
@@ -266,6 +322,7 @@ impl<'t> WootinJ<'t> {
             shared_jit: SharedCacheStats::default(),
             recv: recv.clone(),
             args: args.to_vec(),
+            platform: None,
             mpi_size: 1,
             cost: CostModel::default(),
             gpu: None,
@@ -289,11 +346,12 @@ impl<'t> WootinJ<'t> {
         recv: &Value,
         method: &str,
         args: &[Value],
+        salt: u64,
     ) -> Option<CheckpointPolicy> {
         let mut policy = options.checkpoint.clone()?;
         if policy.persist.is_none() {
             if let Some(dir) = &options.disk_cache {
-                if let Ok(key) = self.cache_key(recv, method, args, options.config) {
+                if let Ok(key) = self.cache_key(recv, method, args, options.config, salt) {
                     policy.persist = Some(dir.join(format!("{}.wckpt", key.fingerprint())));
                 }
             }
@@ -312,8 +370,9 @@ impl<'t> WootinJ<'t> {
         method: &str,
         args: &[Value],
         config: TransConfig,
+        salt: u64,
     ) -> WjResult<Arc<Translated>> {
-        let key = self.cache_key(recv, method, args, config)?;
+        let key = self.cache_key(recv, method, args, config, salt)?;
         let cached = self.cache.borrow_mut().lookup(&key);
         match cached {
             Some(hit) => Ok(hit),
@@ -338,13 +397,13 @@ impl<'t> WootinJ<'t> {
         method: &str,
         args: &[Value],
         config: TransConfig,
+        salt: u64,
     ) -> WjResult<CacheKey> {
         let spec = entry_spec(self.table, &self.jvm, recv, method, args, config.mode)?;
-        Ok(CacheKey::new(
-            spec,
-            config,
-            self.host.keys().map(str::to_string).collect(),
-        ))
+        Ok(
+            CacheKey::new(spec, config, self.host.keys().map(str::to_string).collect())
+                .with_platform_salt(salt),
+        )
     }
 
     /// Idempotently switch the artifact store to a [`Tiered`] backend
@@ -390,7 +449,7 @@ impl<'t> WootinJ<'t> {
         if let Some(dir) = &options.disk_cache {
             self.ensure_disk_cache(dir)?;
         }
-        let key = self.cache_key(recv, method, args, options.config)?;
+        let key = self.cache_key(recv, method, args, options.config, 0)?;
         let fingerprint = key.fingerprint();
 
         if let Some(bytes) = shared.lookup(&fingerprint) {
@@ -400,7 +459,7 @@ impl<'t> WootinJ<'t> {
             let n = bytes.len() as u64;
             if let Ok(t) = Translated::decode(bytes) {
                 shared.record_broadcast(u64::from(world_size), n);
-                let checkpoint = self.resolve_checkpoint(&options, recv, method, args);
+                let checkpoint = self.resolve_checkpoint(&options, recv, method, args, 0);
                 return Ok(JitCode {
                     translated: Arc::new(t),
                     compile_time: start.elapsed(),
@@ -409,6 +468,7 @@ impl<'t> WootinJ<'t> {
                     shared_jit: shared.stats(),
                     recv: recv.clone(),
                     args: args.to_vec(),
+                    platform: None,
                     mpi_size: world_size,
                     cost: CostModel::default(),
                     gpu: None,
@@ -450,6 +510,28 @@ impl<'t> WootinJ<'t> {
     /// disables caching (every `jit` call translates from scratch).
     pub fn set_cache_capacity(&self, cap: usize) {
         self.cache.borrow_mut().set_capacity(cap);
+    }
+}
+
+/// What a translation needs from its platform, read off the translated
+/// program (the [`Platform::check`] input on the [`WootinJ::jit_on`]
+/// path).
+fn needs_of(translated: &Translated) -> Needs {
+    Needs {
+        kernels: translated.uses_gpu,
+        collectives: translated.uses_mpi,
+        host_ffi: !translated.program.host_fns.is_empty(),
+    }
+}
+
+/// Map the legacy `set_mpi`/`set_gpu` knobs onto a built-in platform —
+/// exactly the world shapes `invoke` built by hand before the platform
+/// layer existed, so the wrapper paths stay bit-identical.
+fn select_platform(mpi_size: u32, cost: CostModel, gpu: Option<GpuConfig>) -> Arc<dyn Platform> {
+    match (mpi_size, gpu) {
+        (0 | 1, None) => Arc::new(InterpPlatform { cost }),
+        (0 | 1, Some(gpu)) => Arc::new(GpuSimPlatform { gpu, cost }),
+        (ranks, gpu) => Arc::new(MpiSimPlatform { ranks, cost, gpu }),
     }
 }
 
@@ -606,6 +688,11 @@ pub struct JitCode {
     pub shared_jit: SharedCacheStats,
     recv: Value,
     args: Vec<Value>,
+    /// The platform [`Self::invoke`] runs on. `Some` when minted by
+    /// [`WootinJ::jit_on`]; `None` means "select a built-in from the
+    /// legacy knobs below" (and [`Self::set_mpi`]/[`Self::set_gpu`] reset
+    /// to that mode, since those knobs describe the built-in shapes).
+    platform: Option<Arc<dyn Platform>>,
     mpi_size: u32,
     cost: CostModel,
     gpu: Option<GpuConfig>,
@@ -616,15 +703,30 @@ pub struct JitCode {
 }
 
 impl JitCode {
-    /// `code.set4MPI(size, nodeList)` — configure the MPI world.
+    /// `code.set4MPI(size, nodeList)` — configure the MPI world. Resets
+    /// any [`WootinJ::jit_on`] platform choice: the legacy knobs select
+    /// among the built-in shapes.
     pub fn set_mpi(&mut self, size: u32, cost: CostModel) {
         self.mpi_size = size.max(1);
         self.cost = cost;
+        self.platform = None;
     }
 
-    /// Give every rank a simulated GPU.
+    /// Give every rank a simulated GPU. Resets any [`WootinJ::jit_on`]
+    /// platform choice (see [`Self::set_mpi`]).
     pub fn set_gpu(&mut self, config: GpuConfig) {
         self.gpu = Some(config);
+        self.platform = None;
+    }
+
+    /// The platform [`Self::invoke`] will run on: the explicit
+    /// [`WootinJ::jit_on`] choice, or the built-in selected from the
+    /// legacy `set_mpi`/`set_gpu` knobs.
+    pub fn platform(&self) -> Arc<dyn Platform> {
+        match &self.platform {
+            Some(p) => Arc::clone(p),
+            None => select_platform(self.mpi_size, self.cost, self.gpu),
+        }
     }
 
     /// Enable deterministic fault injection for [`Self::invoke`] runs
@@ -673,21 +775,21 @@ impl JitCode {
     /// Execute the translated program with the recorded arguments —
     /// `code.invoke()`.
     pub fn invoke(&self, env: &WootinJ<'_>) -> WjResult<RunReport> {
-        let mut world = World::new(&self.translated.program, self.mpi_size)
-            .with_cost(self.cost)
-            .with_host(&env.host);
-        if let Some(g) = self.gpu {
-            world = world.with_gpu(g);
-        }
-        if let Some(f) = self.fault {
-            world = world.with_faults(f);
-        }
-        if let Some(t) = self.timeout_rounds {
-            world = world.with_timeout(t);
-        }
-        let entry = self.translated.entry;
+        // One uniform run path for every backend: the platform owns the
+        // world shape (size, device, link costs, scheduling); the request
+        // carries everything else (faults, timeout, checkpoint/restart).
+        let platform = self.platform();
+        let req = RunRequest {
+            program: &self.translated.program,
+            entry: self.translated.entry,
+            host: Some(&env.host),
+            fault: self.fault,
+            timeout_rounds: self.timeout_rounds,
+            checkpoint: self.checkpoint.clone(),
+            max_restarts: self.max_restarts,
+        };
         let start = Instant::now();
-        let make_args = |_: u32, machine: &mut exec::Machine| {
+        let mut make_args = |_: u32, machine: &mut exec::Machine| {
             bind_entry_args(
                 &env.jvm,
                 &self.recv,
@@ -697,11 +799,7 @@ impl JitCode {
             )
             .map_err(|e| e.message)
         };
-        let mut run = match &self.checkpoint {
-            Some(policy) => world.run_with_restart(entry, make_args, policy, self.max_restarts),
-            None => world.run(entry, make_args),
-        }
-        .map_err(WjError::Sim)?;
+        let mut run = platform.run(req, &mut make_args).map_err(WjError::Sim)?;
         run.shared_jit = self.shared_jit;
         let wall = start.elapsed();
         // Fold the jit-side degradation into the run's resilience view,

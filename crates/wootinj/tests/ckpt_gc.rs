@@ -1,0 +1,129 @@
+//! Persisted-checkpoint garbage collection: `.wckpt` files live beside
+//! the sealed artifacts but are transient restart state, so the
+//! `DiskStore` ages them out under their own byte budget. A long-lived
+//! cache directory must stay bounded no matter how many distinct
+//! checkpointed workloads churn through it.
+
+use std::path::Path;
+
+use wootinj::cache::{CacheBackend, DiskStore, MemoryLru, Tiered, DEFAULT_CKPT_BUDGET};
+use wootinj::{build_table, CheckpointPolicy, JitOptions, WootinJ};
+
+use jvm::Value;
+
+fn ckpt_bytes(dir: &Path) -> u64 {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .flatten()
+        .filter(|e| e.path().extension().and_then(|x| x.to_str()) == Some("wckpt"))
+        .map(|e| e.metadata().map(|m| m.len()).unwrap_or(0))
+        .sum()
+}
+
+fn write_ckpt(dir: &Path, name: &str, len: usize) {
+    std::fs::write(dir.join(format!("{name}.wckpt")), vec![0xCCu8; len]).unwrap();
+}
+
+#[test]
+fn opening_a_store_sweeps_stale_checkpoints_to_the_budget() {
+    let dir = std::env::temp_dir().join(format!("wj-ckpt-gc-open-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // A long-lived directory accumulated checkpoint debris…
+    for i in 0..16 {
+        write_ckpt(&dir, &format!("wj01-stale-{i}"), 1024);
+    }
+    assert_eq!(ckpt_bytes(&dir), 16 * 1024);
+
+    // …and merely *opening* a store bounded at 4 KiB sweeps it down.
+    let store = DiskStore::open(&dir).unwrap().with_ckpt_budget(4 * 1024);
+    assert!(
+        ckpt_bytes(&dir) <= 4 * 1024,
+        "open + budget must bound the checkpoint bytes"
+    );
+    assert!(store.stats().ckpt_evictions >= 12);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn long_lived_cache_dir_stays_bounded_under_checkpoint_churn() {
+    let dir = std::env::temp_dir().join(format!("wj-ckpt-gc-churn-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+
+    const BUDGET: u64 = 8 * 1024;
+    let table = build_table(&[(
+        "probe.jl",
+        "@WootinJ final class Probe { Probe() { } int run(int x) { return x + 1; } }",
+    )])
+    .unwrap();
+
+    // Simulate a job mix: every round some restart machinery drops a
+    // fresh checkpoint (distinct fingerprints — distinct workloads), and
+    // a JIT insert lands. The insert is the GC hook: after each one, the
+    // checkpoint bytes must be back under budget.
+    for round in 0..12u32 {
+        for k in 0..4u32 {
+            write_ckpt(&dir, &format!("wj01-churn-{round}-{k}"), 1024);
+        }
+        let mut env = WootinJ::new(&table).unwrap();
+        let app = env.new_instance("Probe", &[]).unwrap();
+        let store = DiskStore::open(&dir).unwrap().with_ckpt_budget(BUDGET);
+        env.set_cache_backend(Box::new(Tiered::new(MemoryLru::default(), store)));
+        env.jit(
+            &app,
+            "run",
+            &[Value::Int(round as i32)],
+            JitOptions::wootinj(),
+        )
+        .unwrap();
+        assert!(
+            ckpt_bytes(&dir) <= BUDGET,
+            "round {round}: checkpoint bytes exceeded the budget"
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn facade_checkpoints_stay_within_the_default_budget_and_artifacts_survive() {
+    // End-to-end: a checkpointed facade run persists a `.wckpt`; the
+    // sweep must not touch it (it is far under the default budget), and
+    // must never count `.wjar` artifacts against the checkpoint budget.
+    let dir = std::env::temp_dir().join(format!("wj-ckpt-gc-facade-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    let table = build_table(&[(
+        "probe.jl",
+        "@WootinJ final class Probe { Probe() { } int run(int x) { return x * 2; } }",
+    )])
+    .unwrap();
+    let mut env = WootinJ::new(&table).unwrap();
+    let app = env.new_instance("Probe", &[]).unwrap();
+    let opts = JitOptions::wootinj()
+        .with_disk_cache(&dir)
+        .with_checkpointing(CheckpointPolicy::every(1));
+    let code = env.jit(&app, "run", &[Value::Int(21)], opts).unwrap();
+    code.invoke(&env).unwrap();
+
+    assert!(
+        ckpt_bytes(&dir) <= DEFAULT_CKPT_BUDGET,
+        "a single run's checkpoint must sit far under the default budget"
+    );
+    let exts: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .flatten()
+        .filter_map(|e| {
+            e.path()
+                .extension()
+                .and_then(|x| x.to_str())
+                .map(str::to_string)
+        })
+        .collect();
+    assert!(exts.iter().any(|e| e == "wjar"), "artifact must persist");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

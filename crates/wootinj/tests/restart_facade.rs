@@ -7,8 +7,8 @@
 
 use jvm::Value;
 use wootinj::{
-    build_table, CheckpointPolicy, FaultConfig, JitOptions, MpiCostModel, RunReport, SimError, Val,
-    WjError, WootinJ,
+    build_table, CheckpointPolicy, FaultConfig, JitOptions, MpiCostModel, RunReport, SharedCache,
+    SimError, Val, WjError, WootinJ,
 };
 
 /// Ring sendrecv + one allreduce per step: every step ends at a
@@ -92,6 +92,146 @@ fn checkpointing_recovers_a_crashed_world_through_the_facade() {
     assert_eq!(report.resilience.restarts, report.restart.restarts);
     assert!(report.restart.checkpoints_taken >= 1);
     assert!(report.resilience.crashes >= 1, "no crash was ever injected");
+}
+
+/// `CheckpointPolicy::adaptive(16)` must beat fixed cadence-16 on the
+/// crash sweep: starting sparse and halving after every restart loses
+/// strictly less virtual time than staying sparse, summed over seeds,
+/// while both recover the fault-free answer bit-for-bit.
+#[test]
+fn adaptive_cadence_beats_fixed_16_on_the_crash_sweep() {
+    let clean = run(None, JitOptions::wootinj()).expect("fault-free control");
+    let clean_bits = f32_bits(&clean);
+
+    let mut fixed_lost = 0u64;
+    let mut adaptive_lost = 0u64;
+    let mut multi_restart_seeds = 0u64;
+    for s in 0..12u64 {
+        let seed = 0xADA9_7000 + s;
+        let fixed = run(
+            Some(seed),
+            JitOptions::wootinj().with_checkpointing(CheckpointPolicy::every(16)),
+        )
+        .expect("fixed-cadence run must complete");
+        let adaptive = run(
+            Some(seed),
+            JitOptions::wootinj().with_checkpointing(CheckpointPolicy::adaptive(16)),
+        )
+        .expect("adaptive-cadence run must complete");
+
+        assert_eq!(
+            f32_bits(&fixed),
+            clean_bits,
+            "seed {seed:#x}: fixed diverged"
+        );
+        assert_eq!(
+            f32_bits(&adaptive),
+            clean_bits,
+            "seed {seed:#x}: adaptive diverged"
+        );
+        fixed_lost += fixed.restart.virtual_time_lost;
+        adaptive_lost += adaptive.restart.virtual_time_lost;
+        if fixed.restart.restarts >= 2 {
+            multi_restart_seeds += 1;
+        }
+    }
+    assert!(
+        multi_restart_seeds >= 1,
+        "sweep never restarted twice — the comparison is vacuous"
+    );
+    assert!(
+        adaptive_lost < fixed_lost,
+        "adaptive cadence must lose less virtual time than fixed-16 \
+         (adaptive {adaptive_lost} vs fixed {fixed_lost})"
+    );
+}
+
+/// The warm-restart satellite: with the `SharedCache` persisted beside
+/// the `.wckpt`, a fresh process resumes *fully warm* — no rank anywhere
+/// translates (the broadcast artifact reloads from disk), the world
+/// checkpoint is already in place, and the resumed run still lands on
+/// the fault-free answer bit-for-bit.
+#[test]
+fn persistent_shared_cache_makes_a_process_warm_restart_fully_warm() {
+    let dir = std::env::temp_dir().join(format!("wj-warm-restart-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let clean_bits = f32_bits(&run(None, JitOptions::wootinj()).expect("control"));
+    let seed = crashing_seed();
+
+    let table = build_table(&[("ring_step_reduce.jl", APP)]).unwrap();
+    let opts = || {
+        JitOptions::wootinj()
+            .with_disk_cache(&dir)
+            .with_checkpointing(CheckpointPolicy::every(1))
+    };
+    let run4mpi = |env: &WootinJ<'_>, app: &Value, shared: &mut SharedCache| {
+        let mut code = env
+            .jit4mpi(
+                app,
+                "run",
+                &[Value::Int(N), Value::Int(STEPS)],
+                opts(),
+                SIZE,
+                shared,
+            )
+            .unwrap();
+        code.set_mpi(SIZE, MpiCostModel::default());
+        let mut cfg = FaultConfig::seeded(seed);
+        cfg.crash = 0.02;
+        code.set_faults(cfg);
+        code.set_timeout(50_000);
+        code.invoke(env).expect("checkpointed run must complete")
+    };
+
+    // "Process" 1: cold translate, publish beside the artifacts, crash
+    // and recover (persisting the world checkpoint as it goes).
+    {
+        let mut env = WootinJ::new(&table).unwrap();
+        let app = env.new_instance("RingStepReduce", &[]).unwrap();
+        let mut shared = SharedCache::persistent(&dir).unwrap();
+        let report = run4mpi(&env, &app, &mut shared);
+        assert_eq!(f32_bits(&report), clean_bits);
+        assert_eq!(
+            env.cache_stats().translations,
+            1,
+            "exactly one cold translate"
+        );
+        assert!(
+            report.restart.restarts >= 1,
+            "seed must crash: vacuous otherwise"
+        );
+    }
+    let has = |ext: &str| {
+        std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .any(|e| e.path().extension().and_then(|x| x.to_str()) == Some(ext))
+    };
+    assert!(has("wjar"), "broadcast artifact must persist beside…");
+    assert!(has("wckpt"), "…the world checkpoint");
+
+    // "Process" 2: fresh env, fresh persistent shared cache — fully
+    // warm. Zero translator work anywhere; the artifact reloads from
+    // disk and the persisted checkpoint warm-starts the world.
+    {
+        let mut env = WootinJ::new(&table).unwrap();
+        let app = env.new_instance("RingStepReduce", &[]).unwrap();
+        let mut shared = SharedCache::persistent(&dir).unwrap();
+        let report = run4mpi(&env, &app, &mut shared);
+        assert_eq!(f32_bits(&report), clean_bits);
+        assert_eq!(
+            env.cache_stats().translations,
+            0,
+            "warm restart must do zero translator work"
+        );
+        let stats = shared.stats();
+        assert_eq!(
+            stats.disk_loads, 1,
+            "artifact must reload from the persist dir"
+        );
+        assert_eq!(stats.translations, 0, "no rank translates on warm restart");
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

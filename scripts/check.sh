@@ -23,6 +23,9 @@ cargo run --release --offline -q -p bench --bin repro -- fault-matrix --quick
 echo "== restart-cost smoke run =="
 cargo run --release --offline -q -p bench --bin repro -- restart-cost --quick
 
+echo "== backend-matrix smoke run (fails on cross-backend divergence) =="
+cargo run --release --offline -q -p bench --bin repro -- backend-matrix --quick
+
 echo "== disk-cache round-trip smoke =="
 # jit once (cold, persists the artifact), then re-jit from a fresh
 # process and assert zero translator work (--expect-warm exits nonzero

@@ -1,0 +1,353 @@
+//! The shared backend-conformance suite: one property set instantiated
+//! for **every registered platform** (`platform::registry()`), replacing
+//! per-crate near-duplicate tests. A platform that registers itself is
+//! automatically held to:
+//!
+//! 1. **Semantics** — the reference workload produces the *bit-identical*
+//!    answer on every platform, whatever its world shape. The workload is
+//!    built for that: integer-valued `double` arithmetic block-partitioned
+//!    by rank and reduced with `MPI.allreduceSumD` (integer sums below
+//!    2^53 are exact, so associativity — and therefore partitioning and
+//!    scheduling — cannot perturb the bits).
+//! 2. **Typed faults** — seeded crash injection surfaces as
+//!    `WjError::Sim(SimError::Crash)` on every platform, never a panic or
+//!    a hang.
+//! 3. **Checkpoint roundtrip** — the same crashing seed completes under
+//!    `CheckpointPolicy::every(1)` with the fault-free answer, restarting
+//!    at least once. The restart machinery is shared through the
+//!    `Platform` trait, not reimplemented per backend.
+//! 4. **Cache scoping** — re-JIT on the same platform hits the artifact
+//!    store; JIT on a *different* platform misses (platform-salted keys),
+//!    and `interp` shares the unscoped legacy namespace with plain
+//!    `jit()`.
+//! 5. **Capability checks** — kernel workloads fail *typed at JIT time*
+//!    on device-less platforms ([`wootinj::WjError::Platform`]).
+//!
+//! Plus the `host-mt`-specific property: results are independent of the
+//! worker-scheduling seed.
+
+use std::sync::Arc;
+
+use jvm::Value;
+use wootinj::{
+    build_table, platform_by_id, platform_registry, CheckpointPolicy, FaultConfig, GpuSimPlatform,
+    HostMtPlatform, InterpPlatform, JitOptions, MpiSimPlatform, Platform, PlatformError, RunReport,
+    SimError, Val, WjError, WootinJ,
+};
+
+/// The cross-platform reference workload. Each rank sums an
+/// integer-valued series over its own block of a global index range and
+/// the blocks are combined with one allreduce per step — so the global
+/// answer is the same whether one worker does everything (interp,
+/// gpu-sim) or four split it (mpi-sim, host-mt). All values are exact
+/// integers in f64, far below 2^53.
+const BLOCK_SUM: &str = r#"
+    @WootinJ final class BlockSum {
+      BlockSum() { }
+      double run(int total, int steps) {
+        int rank = MPI.rank();
+        int size = MPI.size();
+        int per = total / size;
+        int lo = rank * per;
+        double acc = 0.0;
+        for (int s = 0; s < steps; s++) {
+          double local = 0.0;
+          for (int i = lo; i < lo + per; i++) {
+            local = local + (i % 97) * 3.0 + s;
+          }
+          acc = acc + MPI.allreduceSumD(local);
+        }
+        return acc;
+      }
+    }
+"#;
+
+/// Divisible by every registered world size (1 and 4).
+const TOTAL: i32 = 240;
+const STEPS: i32 = 8;
+
+/// Ground truth, computed independently in Rust with the same exact
+/// integer arithmetic.
+fn block_sum_truth() -> f64 {
+    let mut acc = 0.0f64;
+    for s in 0..STEPS {
+        let mut global = 0.0f64;
+        for i in 0..TOTAL {
+            global += (i % 97) as f64 * 3.0 + s as f64;
+        }
+        acc += global;
+    }
+    acc
+}
+
+fn run_on(
+    platform: Arc<dyn Platform>,
+    seed: Option<u64>,
+    options: JitOptions,
+) -> Result<RunReport, WjError> {
+    let table = build_table(&[("block_sum.jl", BLOCK_SUM)]).unwrap();
+    let mut env = WootinJ::new(&table).unwrap();
+    let app = env.new_instance("BlockSum", &[]).unwrap();
+    let mut code = env
+        .jit_on(
+            platform,
+            &app,
+            "run",
+            &[Value::Int(TOTAL), Value::Int(STEPS)],
+            options,
+        )
+        .unwrap();
+    if let Some(seed) = seed {
+        let mut cfg = FaultConfig::seeded(seed);
+        cfg.crash = 0.05;
+        code.set_faults(cfg);
+    }
+    code.set_timeout(50_000);
+    code.invoke(&env)
+}
+
+fn f64_bits(report: &RunReport) -> u64 {
+    match report.result {
+        Some(Val::F64(v)) => v.to_bits(),
+        other => panic!("expected f64 result, got {other:?}"),
+    }
+}
+
+/// Find a seed whose plain run crashes typed on this platform.
+fn crashing_seed_on(platform: &Arc<dyn Platform>) -> u64 {
+    for s in 0..64u64 {
+        let seed = 0xC0FF_0000 + s;
+        match run_on(Arc::clone(platform), Some(seed), JitOptions::wootinj()) {
+            Err(WjError::Sim(SimError::Crash { .. })) => return seed,
+            Ok(_) | Err(_) => continue,
+        }
+    }
+    panic!(
+        "no crashing seed for `{}` in the sweep — the fixture lost its teeth",
+        platform.id()
+    );
+}
+
+#[test]
+fn semantics_agree_bit_identically_across_all_platforms() {
+    let truth = block_sum_truth().to_bits();
+    for platform in platform_registry() {
+        let id = platform.id();
+        let report = run_on(platform, None, JitOptions::wootinj())
+            .unwrap_or_else(|e| panic!("`{id}` failed the reference workload: {e}"));
+        assert_eq!(
+            f64_bits(&report),
+            truth,
+            "`{id}` diverged from the exact ground truth"
+        );
+    }
+}
+
+#[test]
+fn typed_faults_surface_uniformly() {
+    for platform in platform_registry() {
+        // The sweep itself asserts: it panics if no seed produces a
+        // typed crash, and any panic/hang inside a run fails the test.
+        let seed = crashing_seed_on(&platform);
+        match run_on(Arc::clone(&platform), Some(seed), JitOptions::wootinj()) {
+            Err(WjError::Sim(SimError::Crash { .. })) => {}
+            Ok(_) => panic!("`{}` seed {seed:#x} stopped crashing", platform.id()),
+            Err(e) => panic!("`{}` seed {seed:#x} failed untyped: {e}", platform.id()),
+        }
+    }
+}
+
+#[test]
+fn checkpoint_roundtrip_recovers_bit_identically_on_every_platform() {
+    for platform in platform_registry() {
+        let id = platform.id();
+        let clean = run_on(Arc::clone(&platform), None, JitOptions::wootinj())
+            .unwrap_or_else(|e| panic!("`{id}` fault-free control failed: {e}"));
+        let seed = crashing_seed_on(&platform);
+
+        let opts = JitOptions::wootinj().with_checkpointing(CheckpointPolicy::every(1));
+        let report = run_on(Arc::clone(&platform), Some(seed), opts)
+            .unwrap_or_else(|e| panic!("`{id}` checkpointed run must complete: {e}"));
+
+        assert_eq!(
+            f64_bits(&report),
+            f64_bits(&clean),
+            "`{id}` recovered run must match the fault-free answer bit-for-bit"
+        );
+        assert!(
+            report.restart.restarts >= 1,
+            "`{id}`: no restart happened — vacuous recovery"
+        );
+        assert!(
+            report.restart.checkpoints_taken >= 1,
+            "`{id}`: no checkpoints"
+        );
+    }
+}
+
+#[test]
+fn artifact_cache_keys_are_platform_scoped() {
+    let table = build_table(&[("block_sum.jl", BLOCK_SUM)]).unwrap();
+    let mut env = WootinJ::new(&table).unwrap();
+    let app = env.new_instance("BlockSum", &[]).unwrap();
+    let args = [Value::Int(TOTAL), Value::Int(STEPS)];
+
+    // Cold translate on host-mt…
+    let host_mt = platform_by_id("host-mt").unwrap();
+    env.jit_on(
+        Arc::clone(&host_mt),
+        &app,
+        "run",
+        &args,
+        JitOptions::wootinj(),
+    )
+    .unwrap();
+    assert_eq!(env.cache_stats().translations, 1);
+
+    // …repeat JIT on the same platform is a pure cache hit…
+    env.jit_on(host_mt, &app, "run", &args, JitOptions::wootinj())
+        .unwrap();
+    let stats = env.cache_stats();
+    assert_eq!(stats.translations, 1, "same platform must hit the cache");
+    assert!(stats.hits >= 1);
+
+    // …but a different platform misses: its salt scopes the key.
+    let mpi = platform_by_id("mpi-sim").unwrap();
+    env.jit_on(mpi, &app, "run", &args, JitOptions::wootinj())
+        .unwrap();
+    assert_eq!(
+        env.cache_stats().translations,
+        2,
+        "platform change must retranslate (platform-salted key)"
+    );
+
+    // `interp` owns the unscoped legacy namespace: plain `jit()` and
+    // `jit_on(interp)` share artifacts.
+    env.jit(&app, "run", &args, JitOptions::wootinj()).unwrap();
+    assert_eq!(env.cache_stats().translations, 3);
+    let interp = platform_by_id("interp").unwrap();
+    env.jit_on(interp, &app, "run", &args, JitOptions::wootinj())
+        .unwrap();
+    assert_eq!(
+        env.cache_stats().translations,
+        3,
+        "jit_on(interp) must reuse the legacy jit() artifact"
+    );
+}
+
+#[test]
+fn kernel_workloads_fail_typed_on_deviceless_platforms() {
+    use hpclib::{MatmulApp, MatmulBody, MatmulCalc, MatmulThread};
+
+    let table = hpclib::matmul_table(&[]).unwrap();
+    let n = 16;
+
+    for (id, should_run) in [
+        ("interp", false),
+        ("host-mt", false),
+        ("gpu-sim", true),
+        ("mpi-sim", true), // the registry entry carries a device per rank
+    ] {
+        let mut env = WootinJ::new(&table).unwrap();
+        let app = MatmulApp::compose(
+            &mut env,
+            MatmulThread::Gpu,
+            MatmulBody::GpuNaive,
+            MatmulCalc::Optimized,
+        )
+        .unwrap();
+        let platform = platform_by_id(id).unwrap();
+        let result = env.jit_on(
+            platform,
+            &app,
+            "start",
+            &[Value::Int(n)],
+            JitOptions::wootinj(),
+        );
+        if should_run {
+            let code = result.unwrap_or_else(|e| panic!("`{id}` must accept kernels: {e}"));
+            code.invoke(&env)
+                .unwrap_or_else(|e| panic!("`{id}` must run the kernel workload: {e}"));
+        } else {
+            match result {
+                Err(WjError::Platform(PlatformError::Unsupported { platform, feature })) => {
+                    assert_eq!(platform, id);
+                    assert_eq!(feature, "global kernels");
+                }
+                Ok(_) => panic!("`{id}` must reject kernels typed at JIT time, but accepted"),
+                Err(e) => panic!("`{id}` must reject kernels typed, got untyped: {e}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn host_mt_results_are_independent_of_the_scheduling_seed() {
+    let reference = block_sum_truth().to_bits();
+    for seed in [1u64, 0xDEAD_BEEF, u64::MAX] {
+        let platform: Arc<dyn Platform> = Arc::new(HostMtPlatform::new(4).with_seed(seed));
+        let report = run_on(platform, None, JitOptions::wootinj()).unwrap();
+        assert_eq!(
+            f64_bits(&report),
+            reference,
+            "host-mt diverged under scheduling seed {seed:#x}"
+        );
+    }
+}
+
+#[test]
+fn adding_a_platform_needs_only_a_trait_impl() {
+    // The ISSUE's acceptance property, executable: a brand-new platform
+    // defined *here in a test file* — no translator, facade, or registry
+    // edits — immediately passes the core conformance properties.
+    #[derive(Debug, Clone, Copy)]
+    struct WideHostMt;
+
+    impl Platform for WideHostMt {
+        fn id(&self) -> &'static str {
+            "host-mt-wide"
+        }
+        fn caps(&self) -> wootinj::Caps {
+            HostMtPlatform::new(8).caps()
+        }
+        fn run(
+            &self,
+            req: wootinj::RunRequest<'_>,
+            make_args: &mut dyn FnMut(u32, &mut exec::Machine) -> Result<Vec<Val>, String>,
+        ) -> Result<wootinj::RunOutcome, SimError> {
+            HostMtPlatform::new(8).with_seed(7).run(req, make_args)
+        }
+    }
+
+    let report = run_on(Arc::new(WideHostMt), None, JitOptions::wootinj()).unwrap();
+    assert_eq!(f64_bits(&report), block_sum_truth().to_bits());
+}
+
+#[test]
+fn registry_capability_table_is_coherent() {
+    // Sanity over the table DESIGN.md/README document: ids are unique,
+    // every platform claims collectives (size-1 worlds run them as
+    // identities), and exactly the device-bearing ones claim kernels.
+    let reg = platform_registry();
+    assert_eq!(reg.len(), 4);
+    for p in &reg {
+        assert!(
+            p.caps().collectives,
+            "`{}` must support collectives",
+            p.id()
+        );
+        assert!(p.caps().host_ffi, "`{}` must support host FFI", p.id());
+        assert!(p.caps().parallelism >= 1);
+    }
+    let kernels: Vec<&str> = reg
+        .iter()
+        .filter(|p| p.caps().global_kernels)
+        .map(|p| p.id())
+        .collect();
+    assert_eq!(kernels, ["gpu-sim", "mpi-sim"]);
+
+    // The concrete types are part of the public API surface.
+    let _: Arc<dyn Platform> = Arc::new(InterpPlatform::default());
+    let _: Arc<dyn Platform> = Arc::new(GpuSimPlatform::default());
+    let _: Arc<dyn Platform> = Arc::new(MpiSimPlatform::new(2));
+}
