@@ -1695,6 +1695,253 @@ pub fn backend_matrix(quick: bool) -> Figure {
     fig
 }
 
+/// One `Stage{i}` class for the incremental-churn workload: a heavy
+/// straight-line float body so per-body typeck + lowering cost is
+/// visible. `salt` perturbs one literal (a "value edit"); `extra_stmt`
+/// adds a statement (a "body edit"); `extra_method` adds a method (a
+/// "signature edit" — the item tree changes, the body does not).
+fn incr_stage(i: usize, salt: u64, extra_stmt: bool, extra_method: bool) -> String {
+    let mut body = format!("    float a = x * {}.{}f + k;\n", 1 + i % 3, salt % 10);
+    for j in 0..192 {
+        body.push_str(&format!(
+            "    a = a * 1.000{}f + {}f + x * 0.{}f;\n",
+            1 + j % 4,
+            (i * 31 + j * 7) % 13,
+            1 + (i + j) % 9,
+        ));
+    }
+    if extra_stmt {
+        body.push_str("    a = a + a * 0.125f;\n");
+    }
+    let method = if extra_method {
+        format!("  float probe{salt}(float x) {{ return x; }}\n")
+    } else {
+        String::new()
+    };
+    format!(
+        "@WootinJ final class Stage{i} {{\n  float k;\n  Stage{i}(float k0) {{ k = k0; }}\n\
+         {method}  float f(float x) {{\n{body}    return a;\n  }}\n}}\n"
+    )
+}
+
+/// The full source set: `k` stage files plus an `App` entry summing
+/// every stage over the data array.
+fn incr_sources(k: usize) -> Vec<(String, String)> {
+    let mut files: Vec<(String, String)> = (0..k)
+        .map(|i| (format!("stage{i}.jl"), incr_stage(i, 0, false, false)))
+        .collect();
+    let fields: String = (0..k).map(|i| format!("  Stage{i} s{i};\n")).collect();
+    let params: Vec<String> = (0..k).map(|i| format!("Stage{i} a{i}")).collect();
+    let inits: String = (0..k).map(|i| format!("    s{i} = a{i};\n")).collect();
+    let calls: String = (0..k)
+        .map(|i| format!("      acc += s{i}.f(x);\n"))
+        .collect();
+    files.push((
+        "app.jl".into(),
+        format!(
+            "@WootinJ final class App {{\n{fields}  App({}) {{\n{inits}  }}\n\
+             \x20 float run(float[] data) {{\n    float acc = 0f;\n\
+             \x20   for (int i = 0; i < data.length; i++) {{\n      float x = data[i];\n\
+             {calls}    }}\n    return acc;\n  }}\n}}\n",
+            params.join(", "),
+        ),
+    ));
+    files
+}
+
+/// The `incremental` experiment: re-JIT latency after source churn,
+/// cold vs incremental (ISSUE 6). A `Workspace` holds the memoized
+/// query database; each probe edits one of `k` stage classes and
+/// re-JITs through a fresh env (so the memory code-cache never helps —
+/// the measured win is pure query reuse). Four churn kinds: value edit
+/// (one literal), body edit (one statement added), signature edit (one
+/// method added — invalidates callers), new class (trailing file).
+///
+/// Asserted here (and therefore by `scripts/check.sh`, which runs the
+/// quick variant): the incremental body edit executes strictly fewer
+/// queries than a cold build, the incremental artifact is bit-identical
+/// to a from-scratch build of the same sources, and the median body-edit
+/// re-JIT is ≥10× faster than cold.
+pub fn incremental(quick: bool) -> Figure {
+    use wootinj::Workspace;
+
+    let k = if quick { 24 } else { 40 };
+    let probes = if quick { 3 } else { 7 };
+    let mut files = incr_sources(k);
+
+    let build = |files: &[(String, String)]| -> Workspace {
+        let mut ws = Workspace::new();
+        for (name, text) in files {
+            ws.set_source(name, text)
+                .unwrap_or_else(|d| panic!("incremental: workload does not compile: {d:?}"));
+        }
+        ws
+    };
+    // JIT `App.run(data)` through a fresh env; returns the translated
+    // program so callers can assert bit-identity (encoding happens
+    // outside the timed regions — it is not part of re-JIT latency).
+    let jit = |ws: &Workspace| -> std::sync::Arc<translator::Translated> {
+        let mut env = ws.env().unwrap();
+        let stages: Vec<Value> = (0..k)
+            .map(|i| {
+                env.new_instance(&format!("Stage{i}"), &[Value::Float(i as f32)])
+                    .unwrap()
+            })
+            .collect();
+        let app = env.new_instance("App", &stages).unwrap();
+        let data = env.new_f32_array(&[0.5, 1.0, 1.5, 2.0]);
+        let code = env
+            .jit(&app, "run", &[data], JitOptions::wootinj())
+            .unwrap();
+        std::sync::Arc::clone(&code.translated)
+    };
+    let upsert = |files: &mut Vec<(String, String)>, name: &str, text: String| match files
+        .iter_mut()
+        .find(|(n, _)| n == name)
+    {
+        Some((_, t)) => *t = text,
+        None => files.push((name.to_string(), text)),
+    };
+
+    // Cold baseline: median full build (parse + typeck + lower every
+    // body) across fresh workspaces, and its executed-query count.
+    let mut cold_walls: Vec<Duration> = Vec::new();
+    for _ in 0..probes.max(3) {
+        let t0 = std::time::Instant::now();
+        let ws = build(&files);
+        std::hint::black_box(jit(&ws));
+        cold_walls.push(t0.elapsed());
+    }
+    cold_walls.sort();
+    let cold_wall = cold_walls[cold_walls.len() / 2];
+    let cold_ws = build(&files);
+    std::hint::black_box(jit(&cold_ws));
+    let cold_executed = cold_ws.query_stats().executed();
+    drop(cold_ws);
+
+    // The persistent workspace every incremental probe edits.
+    let mut ws = build(&files);
+    std::hint::black_box(jit(&ws));
+
+    let mut fig = Figure::new(
+        "incremental",
+        "incremental re-JIT latency after source churn (cold vs query reuse)",
+        "probe index",
+        "re-JIT wall time (ms)",
+    );
+    fig.note(format!(
+        "{k} stage classes + App entry; every re-JIT goes through a fresh env, so the \
+         memory code-cache never hits — the speedup is pure query-memo reuse"
+    ));
+    fig.note(
+        "asserted: body-edit executes strictly fewer queries than cold, incremental \
+         artifact is bit-identical to from-scratch, median body-edit speedup >= 10x",
+    );
+
+    let mut cold_series = Series::new("cold-ms");
+    for (n, w) in cold_walls.iter().enumerate() {
+        cold_series.push(n as f64, w.as_secs_f64() * 1e3);
+    }
+    fig.series.push(cold_series);
+
+    // One churn series per edit kind. Each probe edits a different
+    // stage class (spread over the program) with a per-probe salt so
+    // no two probes produce identical text.
+    type EditFn = Box<dyn Fn(usize, u64) -> (String, String)>;
+    let kinds: [(&str, EditFn); 4] = [
+        (
+            "value-edit-ms",
+            Box::new(|i, salt| (format!("stage{i}.jl"), incr_stage(i, salt, false, false))),
+        ),
+        (
+            "body-edit-ms",
+            Box::new(|i, salt| (format!("stage{i}.jl"), incr_stage(i, salt, true, false))),
+        ),
+        (
+            "signature-edit-ms",
+            Box::new(|i, salt| (format!("stage{i}.jl"), incr_stage(i, salt, false, true))),
+        ),
+        (
+            "new-class-ms",
+            Box::new(|_, salt| {
+                (
+                    format!("extra{salt}.jl"),
+                    format!(
+                        "@WootinJ final class Extra{salt} {{ Extra{salt}() {{ }} \
+                         float e(float x) {{ return x + {salt}f; }} }}\n"
+                    ),
+                )
+            }),
+        ),
+    ];
+
+    let mut body_edit_walls: Vec<Duration> = Vec::new();
+    let mut body_edit_executed: Vec<u64> = Vec::new();
+    for (kind_idx, (name, make)) in kinds.iter().enumerate() {
+        let mut series = Series::new(*name);
+        for n in 0..probes {
+            let salt = (kind_idx * probes + n + 1) as u64;
+            let (file, text) = make(1 + (n * 5) % k, salt);
+            upsert(&mut files, &file, text.clone());
+            let before = ws.query_stats();
+            let t0 = std::time::Instant::now();
+            ws.edit(&file, &text)
+                .or_else(|_| ws.set_source(&file, &text))
+                .unwrap();
+            let program = jit(&ws);
+            let wall = t0.elapsed();
+            series.push(n as f64, wall.as_secs_f64() * 1e3);
+            if *name == "body-edit-ms" {
+                body_edit_walls.push(wall);
+                body_edit_executed.push(ws.query_stats().since(&before).executed());
+                // Determinism contract: bit-identical to from-scratch.
+                let scratch = jit(&build(&files));
+                assert_eq!(
+                    program.encode_semantic(),
+                    scratch.encode_semantic(),
+                    "incremental: artifact diverged from from-scratch after body edit {n}"
+                );
+            } else {
+                std::hint::black_box(program);
+            }
+        }
+        fig.series.push(series);
+    }
+
+    body_edit_walls.sort();
+    let body_wall = body_edit_walls[body_edit_walls.len() / 2];
+    let speedup = cold_wall.as_secs_f64() / body_wall.as_secs_f64();
+    let mut sp = Series::new("body-edit-speedup");
+    sp.push(0.0, speedup);
+    fig.series.push(sp);
+    let mut qx = Series::new("queries-executed");
+    qx.push(0.0, cold_executed as f64);
+    qx.push(1.0, *body_edit_executed.iter().max().unwrap() as f64);
+    fig.series.push(qx);
+    fig.note(format!(
+        "cold {:?} vs median body-edit re-JIT {:?} ({speedup:.1}x); queries executed \
+         cold {} vs body-edit max {}",
+        cold_wall,
+        body_wall,
+        cold_executed,
+        body_edit_executed.iter().max().unwrap(),
+    ));
+
+    for &executed in &body_edit_executed {
+        assert!(
+            executed < cold_executed,
+            "incremental: body edit executed {executed} queries, cold {cold_executed} — \
+             incremental must do strictly less work"
+        );
+    }
+    assert!(
+        speedup >= 10.0,
+        "incremental: median body-edit re-JIT must be >= 10x faster than cold: \
+         cold {cold_wall:?}, incremental {body_wall:?} ({speedup:.1}x)"
+    );
+    fig
+}
+
 /// All figure/table ids, in paper order.
 pub fn all_ids() -> Vec<&'static str> {
     vec![
@@ -1726,6 +1973,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "fault-matrix",
         "restart-cost",
         "backend-matrix",
+        "incremental",
     ]
 }
 
@@ -1735,8 +1983,8 @@ pub fn run_experiment(id: &str) -> Option<Figure> {
 }
 
 /// Dispatch by id; `quick` selects a smoke-test-sized variant where the
-/// experiment supports one (`fault-matrix`, `restart-cost`, and
-/// `backend-matrix`).
+/// experiment supports one (`fault-matrix`, `restart-cost`,
+/// `backend-matrix`, and `incremental`).
 pub fn run_experiment_with(id: &str, quick: bool) -> Option<Figure> {
     Some(match id {
         "fig3" => fig3(),
@@ -1767,6 +2015,7 @@ pub fn run_experiment_with(id: &str, quick: bool) -> Option<Figure> {
         "fault-matrix" => fault_matrix(quick),
         "restart-cost" => restart_cost(quick),
         "backend-matrix" => backend_matrix(quick),
+        "incremental" => incremental(quick),
         _ => return None,
     })
 }

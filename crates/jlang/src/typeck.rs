@@ -9,6 +9,12 @@ use crate::tast::*;
 use crate::types::{ClassId, PrimKind, Type, OBJECT};
 
 /// Type check all bodies in `table`, storing typed bodies back into it.
+///
+/// This is a driver over the per-body entry points below
+/// ([`check_field_init`], [`check_method_body`], [`check_ctor`]), which
+/// the incremental query layer calls one body at a time against a table
+/// snapshot. The driver preserves batch semantics: every body is
+/// checked and all diagnostics are collected before failing.
 pub fn check(table: &mut ClassTable) -> DiagResult<()> {
     let mut diags = Vec::new();
     let mut method_results: Vec<(ClassId, usize, TBlock, u32)> = Vec::new();
@@ -19,84 +25,39 @@ pub fn check(table: &mut ClassTable) -> DiagResult<()> {
     for id in ids {
         let info = table.class(id).clone();
 
-        // Instance field initializers are checked in constructor context.
         for (i, f) in info.fields.iter().enumerate() {
-            if let Some(init) = &f.ast_init {
-                let mut ck = Checker::new(table, id, false, f.ty.clone());
-                if let Ok(e) = ck.expr(init) {
-                    if let Ok(e) = ck.coerce(e, &f.ty) {
-                        field_results.push((id, false, i, e))
-                    }
+            if f.ast_init.is_some() {
+                match check_field_init(table, id, false, i) {
+                    Ok(e) => field_results.push((id, false, i, e)),
+                    Err(mut d) => diags.append(&mut d),
                 }
-                diags.append(&mut ck.diags);
             }
         }
         for (i, f) in info.statics.iter().enumerate() {
-            if let Some(init) = &f.ast_init {
-                let mut ck = Checker::new(table, id, true, f.ty.clone());
-                if let Ok(e) = ck.expr(init) {
-                    if let Ok(e) = ck.coerce(e, &f.ty) {
-                        field_results.push((id, true, i, e))
-                    }
+            if f.ast_init.is_some() {
+                match check_field_init(table, id, true, i) {
+                    Ok(e) => field_results.push((id, true, i, e)),
+                    Err(mut d) => diags.append(&mut d),
                 }
-                diags.append(&mut ck.diags);
             }
         }
 
         for (mi, m) in info.methods.iter().enumerate() {
-            let Some(body) = &m.ast_body else { continue };
-            let mut ck = Checker::new(table, id, m.is_static, m.ret.clone());
-            for p in &m.params {
-                ck.scope.declare(&p.name, p.ty.clone(), p.is_final);
+            if m.ast_body.is_none() {
+                continue;
             }
-            let tb = ck.block(body);
-            // Non-void methods must return on every path.
-            if m.ret != Type::Void && !block_always_returns(&tb) {
-                ck.diags.push(Diagnostic::error(
-                    "typeck",
-                    m.span,
-                    format!(
-                        "method `{}::{}` may finish without returning a value",
-                        info.name, m.name
-                    ),
-                ));
+            match check_method_body(table, id, mi) {
+                Ok((tb, frame)) => method_results.push((id, mi, tb, frame)),
+                Err(mut d) => diags.append(&mut d),
             }
-            let frame = ck.scope.max_slot;
-            diags.append(&mut ck.diags);
-            method_results.push((id, mi, tb, frame));
         }
 
         if let Some(ctor) = &info.ctor {
-            if let Some(body) = &ctor.ast_body {
-                let mut ck = Checker::new(table, id, false, Type::Void);
-                ck.in_ctor = true;
-                for p in &ctor.params {
-                    ck.scope.declare(&p.name, p.ty.clone(), p.is_final);
+            if ctor.ast_body.is_some() {
+                match check_ctor(table, id) {
+                    Ok((sargs, tb, frame)) => ctor_results.push((id, sargs, tb, frame)),
+                    Err(mut d) => diags.append(&mut d),
                 }
-                // super(...) arguments against the superclass constructor.
-                let mut targs_out = Vec::new();
-                let sup = info.superclass.clone();
-                match (&ctor.ast_super_args, sup) {
-                    (Some(args), Some((sid, sargs))) if sid != OBJECT => {
-                        targs_out = ck.super_ctor_args(sid, &sargs, args, ctor.span);
-                    }
-                    (Some(args), _) if !args.is_empty() => {
-                        ck.diags.push(Diagnostic::error(
-                            "typeck",
-                            ctor.span,
-                            "explicit super(...) arguments but superclass is Object",
-                        ));
-                    }
-                    (None, Some((sid, sargs))) if sid != OBJECT => {
-                        // Implicit super(): the super ctor must take no args.
-                        targs_out = ck.super_ctor_args(sid, &sargs, &[], ctor.span);
-                    }
-                    _ => {}
-                }
-                let tb = ck.block(body);
-                let frame = ck.scope.max_slot;
-                diags.append(&mut ck.diags);
-                ctor_results.push((id, targs_out, tb, frame));
             }
         }
     }
@@ -129,6 +90,136 @@ pub fn check(table: &mut ClassTable) -> DiagResult<()> {
         f.ast_init = None;
     }
     Ok(())
+}
+
+/// Type check one field initializer of class `id` against a table
+/// snapshot (the table is only read; the caller installs the result).
+/// Requires the untyped initializer (`ast_init`) to still be present.
+pub fn check_field_init(
+    table: &ClassTable,
+    id: ClassId,
+    is_static: bool,
+    fi: usize,
+) -> DiagResult<TExpr> {
+    let info = table.class(id);
+    let f = if is_static {
+        &info.statics[fi]
+    } else {
+        &info.fields[fi]
+    };
+    let init = f
+        .ast_init
+        .as_ref()
+        .expect("check_field_init: untyped initializer already consumed");
+    let ty = f.ty.clone();
+    // Instance field initializers are checked in constructor context.
+    let mut ck = Checker::new(table, id, is_static, ty.clone());
+    let typed = match ck.expr(init) {
+        Ok(e) => ck.coerce(e, &ty).ok(),
+        Err(()) => None,
+    };
+    finish_body(
+        ck.diags,
+        typed,
+        f.span,
+        "field initializer failed to type check",
+    )
+}
+
+/// Type check one method body of class `id` against a table snapshot.
+/// Returns the typed body and its frame size (max local slot count).
+pub fn check_method_body(table: &ClassTable, id: ClassId, mi: usize) -> DiagResult<(TBlock, u32)> {
+    let info = table.class(id);
+    let m = &info.methods[mi];
+    let body = m
+        .ast_body
+        .as_ref()
+        .expect("check_method_body: untyped body already consumed");
+    let mut ck = Checker::new(table, id, m.is_static, m.ret.clone());
+    for p in &m.params {
+        ck.scope.declare(&p.name, p.ty.clone(), p.is_final);
+    }
+    let tb = ck.block(body);
+    // Non-void methods must return on every path.
+    if m.ret != Type::Void && !block_always_returns(&tb) {
+        ck.diags.push(Diagnostic::error(
+            "typeck",
+            m.span,
+            format!(
+                "method `{}::{}` may finish without returning a value",
+                info.name, m.name
+            ),
+        ));
+    }
+    let frame = ck.scope.max_slot;
+    finish_body(
+        ck.diags,
+        Some((tb, frame)),
+        m.span,
+        "method body failed to type check",
+    )
+}
+
+/// Type check the constructor of class `id` (super(...) arguments plus
+/// the body) against a table snapshot. Returns the typed super-call
+/// arguments, the typed body, and the frame size.
+pub fn check_ctor(table: &ClassTable, id: ClassId) -> DiagResult<(Vec<TExpr>, TBlock, u32)> {
+    let info = table.class(id);
+    let ctor = info.ctor.as_ref().expect("check_ctor: class has no ctor");
+    let body = ctor
+        .ast_body
+        .as_ref()
+        .expect("check_ctor: untyped body already consumed");
+    let mut ck = Checker::new(table, id, false, Type::Void);
+    ck.in_ctor = true;
+    for p in &ctor.params {
+        ck.scope.declare(&p.name, p.ty.clone(), p.is_final);
+    }
+    // super(...) arguments against the superclass constructor.
+    let mut targs_out = Vec::new();
+    let sup = info.superclass.clone();
+    match (&ctor.ast_super_args, sup) {
+        (Some(args), Some((sid, sargs))) if sid != OBJECT => {
+            targs_out = ck.super_ctor_args(sid, &sargs, args, ctor.span);
+        }
+        (Some(args), _) if !args.is_empty() => {
+            ck.diags.push(Diagnostic::error(
+                "typeck",
+                ctor.span,
+                "explicit super(...) arguments but superclass is Object",
+            ));
+        }
+        (None, Some((sid, sargs))) if sid != OBJECT => {
+            // Implicit super(): the super ctor must take no args.
+            targs_out = ck.super_ctor_args(sid, &sargs, &[], ctor.span);
+        }
+        _ => {}
+    }
+    let tb = ck.block(body);
+    let frame = ck.scope.max_slot;
+    finish_body(
+        ck.diags,
+        Some((targs_out, tb, frame)),
+        ctor.span,
+        "constructor failed to type check",
+    )
+}
+
+/// Per-body result policy: any diagnostic fails the body; a silent
+/// failure still produces a diagnostic so drivers never lose an error.
+fn finish_body<T>(
+    diags: Vec<Diagnostic>,
+    result: Option<T>,
+    span: Span,
+    fallback: &str,
+) -> DiagResult<T> {
+    if !diags.is_empty() {
+        return Err(diags);
+    }
+    match result {
+        Some(t) => Ok(t),
+        None => Err(vec![Diagnostic::error("typeck", span, fallback)]),
+    }
 }
 
 /// Conservative "always returns" analysis used for the missing-return check.

@@ -87,23 +87,7 @@ impl std::error::Error for CodecError {}
 
 pub type CodecResult<T> = Result<T, CodecError>;
 
-/// Content digest: a xorshift64\* stream absorbing one byte per step.
-/// Not cryptographic — it detects accidental corruption (bit flips,
-/// truncated tails hidden by padding), which is all a local artifact
-/// store needs. Different `seed`s give independent digests, so a pair of
-/// seeded digests serves as a 128-bit fingerprint.
-pub fn digest64(bytes: &[u8], seed: u64) -> u64 {
-    let mut h = seed | 1;
-    for &b in bytes {
-        h ^= u64::from(b).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        // xorshift64* step.
-        h ^= h >> 12;
-        h ^= h << 25;
-        h ^= h >> 27;
-        h = h.wrapping_mul(0x2545_F491_4F6C_DD1D);
-    }
-    h
-}
+pub use crate::hash::digest64;
 
 /// Seed of the container checksum.
 const SEAL_SEED: u64 = 0x57_4A_41_52_00_00_00_01; // "WJAR" | version 1

@@ -13,13 +13,15 @@
 
 pub mod codec;
 pub mod emit;
+pub mod hash;
 pub mod ir;
 pub mod opt;
 
 pub use codec::{digest64, seal, unseal, CodecError, CodecResult, Reader, Writer};
 pub use emit::emit_c;
+pub use hash::{fnv1a64, Fingerprint};
 pub use ir::{
     ClassMeta, ConstVal, ElemTy, FuncBuilder, FuncId, FuncKind, Function, Global, HostFnSig, Instr,
     IntrinOp, Label, Program, Reg, Ty,
 };
-pub use opt::{optimize, OptConfig, PassProfile};
+pub use opt::{optimize, optimize_fn, OptConfig, PassProfile};

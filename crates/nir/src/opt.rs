@@ -133,6 +133,50 @@ pub fn optimize(program: &mut Program, config: OptConfig) -> Vec<PassProfile> {
         pass: "sroa",
         ..Default::default()
     };
+    for f in &mut program.funcs {
+        optimize_fn_into(f, config, &mut fold_p, &mut dce_p, &mut sroa_p);
+    }
+    for p in [fold_p, dce_p, sroa_p] {
+        if p.instrs_before > 0 || p.instrs_after > 0 {
+            profiles.push(p);
+        }
+    }
+    profiles
+}
+
+/// Run the local (per-function) passes over one function. This is the
+/// loop body of [`optimize`]: for configurations without inlining
+/// (`inline_limit == 0`) applying it to every function is *exactly*
+/// whole-program optimization, which is what lets the incremental query
+/// layer optimize only freshly lowered functions and reuse memoized,
+/// already-optimized ones. Returns the per-pass profiles that ran.
+pub fn optimize_fn(f: &mut Function, config: OptConfig) -> Vec<PassProfile> {
+    let mut fold_p = PassProfile {
+        pass: "fold",
+        ..Default::default()
+    };
+    let mut dce_p = PassProfile {
+        pass: "dce",
+        ..Default::default()
+    };
+    let mut sroa_p = PassProfile {
+        pass: "sroa",
+        ..Default::default()
+    };
+    optimize_fn_into(f, config, &mut fold_p, &mut dce_p, &mut sroa_p);
+    [fold_p, dce_p, sroa_p]
+        .into_iter()
+        .filter(|p| p.instrs_before > 0 || p.instrs_after > 0)
+        .collect()
+}
+
+fn optimize_fn_into(
+    f: &mut Function,
+    config: OptConfig,
+    fold_p: &mut PassProfile,
+    dce_p: &mut PassProfile,
+    sroa_p: &mut PassProfile,
+) {
     let accumulate =
         |acc: &mut PassProfile, f: &mut Function, body: fn(&mut Function, OptConfig), config| {
             let (p, ()) =
@@ -141,32 +185,24 @@ pub fn optimize(program: &mut Program, config: OptConfig) -> Vec<PassProfile> {
             acc.instrs_before += p.instrs_before;
             acc.instrs_after += p.instrs_after;
         };
-    for f in &mut program.funcs {
-        // First round: propagate copies so that inline-call argument
-        // aliases dissolve, then drop the dead moves...
+    // First round: propagate copies so that inline-call argument
+    // aliases dissolve, then drop the dead moves...
+    if config.const_fold || config.copy_prop {
+        accumulate(fold_p, f, local_fold, config);
+    }
+    if config.dce {
+        accumulate(dce_p, f, |f, _| dce(f), config);
+    }
+    // ...so scalar replacement sees unaliased temporaries.
+    if config.sroa {
+        accumulate(sroa_p, f, |f, _| sroa(f), config);
         if config.const_fold || config.copy_prop {
-            accumulate(&mut fold_p, f, local_fold, config);
+            accumulate(fold_p, f, local_fold, config);
         }
         if config.dce {
-            accumulate(&mut dce_p, f, |f, _| dce(f), config);
-        }
-        // ...so scalar replacement sees unaliased temporaries.
-        if config.sroa {
-            accumulate(&mut sroa_p, f, |f, _| sroa(f), config);
-            if config.const_fold || config.copy_prop {
-                accumulate(&mut fold_p, f, local_fold, config);
-            }
-            if config.dce {
-                accumulate(&mut dce_p, f, |f, _| dce(f), config);
-            }
+            accumulate(dce_p, f, |f, _| dce(f), config);
         }
     }
-    for p in [fold_p, dce_p, sroa_p] {
-        if p.instrs_before > 0 || p.instrs_after > 0 {
-            profiles.push(p);
-        }
-    }
-    profiles
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]

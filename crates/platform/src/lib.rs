@@ -184,16 +184,9 @@ pub trait Platform {
     fn run(&self, req: RunRequest<'_>, make_args: ArgBuilder<'_>) -> Result<RunOutcome, SimError>;
 }
 
-/// FNV-1a 64-bit — the platform-salt hash. Stable across processes and
-/// releases (it is baked into on-disk fingerprints).
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
-}
+// The platform-salt hash is the workspace-wide stable FNV-1a from
+// `nir::hash` — one implementation, baked into on-disk fingerprints.
+use nir::hash::fnv1a64;
 
 /// Apply the request's shared surface (host/fault/timeout) to a world,
 /// in the facade's historical builder order so behavior is

@@ -249,6 +249,29 @@ impl Translated {
     /// and `encode(decode(x)) == x` bit-for-bit (the golden-fixture
     /// property).
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_with(&self.stats)
+    }
+
+    /// Serialize with volatile observability stripped: pass profiles
+    /// (wall times) and facade-filled cache counters are zeroed, so two
+    /// semantically equal translations — e.g. an incremental re-JIT and
+    /// a from-scratch translate at the same revision — produce
+    /// byte-identical output. This is the determinism contract the
+    /// incremental property tests assert.
+    pub fn encode_semantic(&self) -> Vec<u8> {
+        let stats = TransStats {
+            passes: Vec::new(),
+            cache_hits: 0,
+            cache_misses: 0,
+            queries_executed: 0,
+            queries_reused: 0,
+            early_cutoffs: 0,
+            ..self.stats.clone()
+        };
+        self.encode_with(&stats)
+    }
+
+    fn encode_with(&self, stats: &TransStats) -> Vec<u8> {
         let mut w = Writer::new();
         codec::write_program(&mut w, &self.program);
         w.u32(self.entry.0);
@@ -257,15 +280,15 @@ impl Translated {
             write_binding(&mut w, b);
         }
         w.u8(mode_tag(self.mode));
-        w.u32(self.stats.specializations);
-        w.u32(self.stats.devirtualized_calls);
-        w.u32(self.stats.virtual_calls);
-        w.u32(self.stats.inlined_ctors);
-        w.u32(self.stats.inlined_calls);
-        w.u32(self.stats.kernels);
-        codec::write_pass_profiles(&mut w, &self.stats.passes);
-        w.u64(self.stats.cache_hits);
-        w.u64(self.stats.cache_misses);
+        w.u32(stats.specializations);
+        w.u32(stats.devirtualized_calls);
+        w.u32(stats.virtual_calls);
+        w.u32(stats.inlined_ctors);
+        w.u32(stats.inlined_calls);
+        w.u32(stats.kernels);
+        codec::write_pass_profiles(&mut w, &stats.passes);
+        w.u64(stats.cache_hits);
+        w.u64(stats.cache_misses);
         w.bool(self.uses_mpi);
         w.bool(self.uses_gpu);
         w.len(self.warnings.len());
@@ -302,6 +325,8 @@ impl Translated {
             passes: codec::read_pass_profiles(&mut r)?,
             cache_hits: r.u64()?,
             cache_misses: r.u64()?,
+            // Query counters are facade-side observability, never encoded.
+            ..TransStats::default()
         };
         let uses_mpi = r.bool()?;
         let uses_gpu = r.bool()?;
@@ -360,6 +385,9 @@ pub struct CacheKey {
     /// Platform salt (see [`CacheKey::with_platform_salt`]). Zero means
     /// "portable artifact" and is what the legacy facade paths use.
     salt: u64,
+    /// Source fingerprint (see [`CacheKey::with_source_fingerprint`]).
+    /// Zero means "no source revisioning" — the legacy namespace.
+    source: u64,
 }
 
 impl CacheKey {
@@ -373,6 +401,7 @@ impl CacheKey {
             config,
             hosts,
             salt: 0,
+            source: 0,
         }
     }
 
@@ -391,6 +420,24 @@ impl CacheKey {
     /// The platform salt this key is scoped to (0 = portable).
     pub fn platform_salt(&self) -> u64 {
         self.salt
+    }
+
+    /// Scope this key to a source revision: the query database's stable
+    /// fingerprint over every file's item trees and body hashes
+    /// (whitespace- and comment-insensitive). Entry specs only capture
+    /// shapes, so without this a `jit` after `edit` could serve code
+    /// translated from the previous revision. Zero — the value used by
+    /// every non-incremental environment — leaves the fingerprint
+    /// byte-identical to the legacy encoding, so existing disk and
+    /// shared stores stay warm across the upgrade.
+    pub fn with_source_fingerprint(mut self, fp: u64) -> Self {
+        self.source = fp;
+        self
+    }
+
+    /// The source-revision fingerprint this key is scoped to (0 = none).
+    pub fn source_fingerprint(&self) -> u64 {
+        self.source
     }
 
     /// The canonicalized (sorted) host-FFI key list.
@@ -417,6 +464,13 @@ impl CacheKey {
         // the artifacts persisted under them) are unchanged.
         if self.salt != 0 {
             w.u64(self.salt);
+        }
+        // Likewise source revision 0. The tag byte keeps a salted key
+        // from ever colliding with a source-fingerprinted one (the salt
+        // extends the stream by 8 bytes, this by 9).
+        if self.source != 0 {
+            w.u8(2);
+            w.u64(self.source);
         }
         let bytes = w.into_bytes();
         let a = codec::digest64(&bytes, 0x9E37_79B9_7F4A_7C15);

@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 
 pub mod artifact;
+pub mod incr;
 pub mod lower;
 pub mod shape;
 pub mod sheval;
@@ -29,6 +30,7 @@ use jvm::{ArrayData, Jvm, Value};
 use nir::{FuncId, Instr, IntrinOp, OptConfig, Program};
 
 pub use artifact::CacheKey;
+pub use incr::{BodyRef, CalleeEdge, FnMemo, FnRec, MemberRef, ReplayState, TraceState};
 pub use lower::{Lowerer, TransStats};
 pub use shape::{leaf_paths, shape_of_value, LeafPath, Shape, TransError};
 pub use sheval::SpecKey;
@@ -259,27 +261,7 @@ pub fn translate(
                     ))
                 }
             };
-            let mut bindings = Vec::new();
-            if flatten {
-                if let Some(recv_shape) = &key.recv {
-                    for leaf in leaf_paths(recv_shape) {
-                        bindings.push(Binding::RecvLeaf { path: leaf.path });
-                    }
-                }
-                for (i, s) in key.args.iter().enumerate() {
-                    for leaf in leaf_paths(s) {
-                        bindings.push(Binding::ArgLeaf {
-                            arg: i,
-                            path: leaf.path,
-                        });
-                    }
-                }
-            } else {
-                bindings.push(Binding::RecvObj);
-                for i in 0..args.len() {
-                    bindings.push(Binding::ArgWhole(i));
-                }
-            }
+            let bindings = shaped_bindings(key, flatten, args.len());
             (lw.program, entry, bindings, lw.stats, Vec::new())
         }
     };
@@ -290,6 +272,52 @@ pub fn translate(
         .validate()
         .map_err(|m| TransError::new(format!("internal error: generated program invalid: {m}")))?;
 
+    let (uses_mpi, uses_gpu) = scan_uses(&program);
+
+    Ok(Translated {
+        program,
+        entry,
+        bindings,
+        mode: config.mode,
+        stats,
+        uses_mpi,
+        uses_gpu,
+        warnings,
+    })
+}
+
+/// Entry-argument bindings for a shape-specialized entry: per-leaf in
+/// flattened (Full) mode, whole-value in heap (Devirt) mode. Shared by
+/// the classic [`translate`] path and the incremental query pipeline so
+/// both derive identical [`Translated`] artifacts.
+pub fn shaped_bindings(key: &SpecKey, flatten: bool, nargs: usize) -> Vec<Binding> {
+    let mut bindings = Vec::new();
+    if flatten {
+        if let Some(recv_shape) = &key.recv {
+            for leaf in leaf_paths(recv_shape) {
+                bindings.push(Binding::RecvLeaf { path: leaf.path });
+            }
+        }
+        for (i, s) in key.args.iter().enumerate() {
+            for leaf in leaf_paths(s) {
+                bindings.push(Binding::ArgLeaf {
+                    arg: i,
+                    path: leaf.path,
+                });
+            }
+        }
+    } else {
+        bindings.push(Binding::RecvObj);
+        for i in 0..nargs {
+            bindings.push(Binding::ArgWhole(i));
+        }
+    }
+    bindings
+}
+
+/// Scan a lowered program for the platform capabilities it exercises:
+/// `(uses_mpi, uses_gpu)`. Shared with the incremental pipeline.
+pub fn scan_uses(program: &nir::Program) -> (bool, bool) {
     let mut uses_mpi = false;
     let mut uses_gpu = false;
     for f in &program.funcs {
@@ -321,17 +349,7 @@ pub fn translate(
             }
         }
     }
-
-    Ok(Translated {
-        program,
-        entry,
-        bindings,
-        mode: config.mode,
-        stats,
-        uses_mpi,
-        uses_gpu,
-        warnings,
-    })
+    (uses_mpi, uses_gpu)
 }
 
 /// Build the entry argument vector for the translated program from live

@@ -25,6 +25,7 @@ use nir::{
     ConstVal, ElemTy, FuncBuilder, FuncId, FuncKind, Instr, IntrinOp, Label, Program, Reg, Ty,
 };
 
+use crate::incr;
 use crate::shape::{elem_ty_of, Shape, TransError};
 use crate::sheval::{field_shape, shape_from_decl, ShapeEval, SpecKey};
 use crate::TResult;
@@ -46,6 +47,14 @@ pub struct TransStats {
     /// code cache at the time the stats were read.
     pub cache_hits: u64,
     pub cache_misses: u64,
+    /// Incremental-query counters, filled in by the `wootinj` facade
+    /// from the query database for the jit call that produced these
+    /// stats (zero when no database is attached). Like the cache
+    /// counters these are observability fields — they are not encoded
+    /// into sealed artifacts.
+    pub queries_executed: u64,
+    pub queries_reused: u64,
+    pub early_cutoffs: u64,
 }
 
 /// How a specialization is made available to call sites.
@@ -113,6 +122,12 @@ pub struct Lowerer<'t> {
     spec_stack: Vec<(SpecKey, bool)>,
     inline_stack: Vec<SpecKey>,
     pub stats: TransStats,
+    /// Dependency-trace collector for the incremental query layer
+    /// (`None` in the classic whole-program path — zero overhead).
+    pub trace: Option<incr::TraceState>,
+    /// Validated memos to replay instead of re-lowering.
+    pub replay: Option<incr::ReplayState>,
+    replay_stack: Vec<(SpecKey, bool, bool)>,
 }
 
 impl<'t> Lowerer<'t> {
@@ -138,13 +153,189 @@ impl<'t> Lowerer<'t> {
             spec_stack: Vec::new(),
             inline_stack: Vec::new(),
             stats: TransStats::default(),
+            trace: None,
+            replay: None,
+            replay_stack: Vec::new(),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental trace & replay (see `crate::incr`)
+    // ------------------------------------------------------------------
+
+    fn stats6(&self) -> incr::StatsDelta {
+        [
+            self.stats.specializations,
+            self.stats.devirtualized_calls,
+            self.stats.virtual_calls,
+            self.stats.inlined_ctors,
+            self.stats.inlined_calls,
+            self.stats.kernels,
+        ]
+    }
+
+    fn add_stats6(&mut self, d: incr::StatsDelta) {
+        self.stats.specializations += d[0];
+        self.stats.devirtualized_calls += d[1];
+        self.stats.virtual_calls += d[2];
+        self.stats.inlined_ctors += d[3];
+        self.stats.inlined_calls += d[4];
+        self.stats.kernels += d[5];
+    }
+
+    fn trace_push(&mut self, key: &SpecKey, device: bool, kernel: bool) {
+        let base = self.stats6();
+        if let Some(tr) = &mut self.trace {
+            tr.frames.push(incr::Frame {
+                key: key.clone(),
+                device,
+                kernel,
+                callees: Vec::new(),
+                bodies: Vec::new(),
+                base,
+                child: [0; 6],
+            });
+        }
+    }
+
+    /// Complete the innermost frame into a harvestable record.
+    fn trace_pop_fresh(&mut self, id: FuncId, ret: &Option<Shape>) {
+        let now = self.stats6();
+        if let Some(tr) = &mut self.trace {
+            let fr = tr.frames.pop().expect("trace frame underflow");
+            let incl = incr::sub6(now, fr.base);
+            if let Some(p) = tr.frames.last_mut() {
+                p.child = incr::add6(p.child, incl);
+            }
+            let excl = incr::sub6(incl, fr.child);
+            tr.recs.push(incr::FnRec {
+                key: fr.key,
+                device: fr.device,
+                kernel: fr.kernel,
+                id,
+                ret: ret.clone(),
+                callees: fr.callees,
+                bodies: fr.bodies,
+                excl,
+            });
+        }
+    }
+
+    /// Drop the innermost frame (replayed or failed specialization),
+    /// still propagating its inclusive delta to the parent so exclusive
+    /// attribution stays exact.
+    fn trace_pop_discard(&mut self) {
+        let now = self.stats6();
+        if let Some(tr) = &mut self.trace {
+            let fr = tr.frames.pop().expect("trace frame underflow");
+            let incl = incr::sub6(now, fr.base);
+            if let Some(p) = tr.frames.last_mut() {
+                p.child = incr::add6(p.child, incl);
+            }
+        }
+    }
+
+    /// Record a call edge into the innermost open frame.
+    fn trace_edge(&mut self, key: &SpecKey, device: bool, kernel: bool, expect: FuncId) {
+        if let Some(tr) = &mut self.trace {
+            if let Some(fr) = tr.frames.last_mut() {
+                fr.callees.push(incr::CalleeEdge {
+                    key: key.clone(),
+                    device,
+                    kernel,
+                    expect,
+                });
+            }
+        }
+    }
+
+    /// Record a typed-body read into the innermost open frame.
+    fn trace_body(&mut self, class: ClassId, member: incr::MemberRef) {
+        if let Some(tr) = &mut self.trace {
+            if let Some(fr) = tr.frames.last_mut() {
+                let r = incr::BodyRef { class, member };
+                if !fr.bodies.contains(&r) {
+                    fr.bodies.push(r);
+                }
+            }
+        }
+    }
+
+    /// Attempt to serve `key` from a validated memo. On success the
+    /// memoized function is injected at its recorded id; on any drift
+    /// the attempt unwinds and the caller lowers freshly. Children
+    /// ensured during a failed attempt stay — they are canonical either
+    /// way (replayed at verified ids or freshly lowered in DFS order).
+    fn try_replay(
+        &mut self,
+        key: &SpecKey,
+        device: bool,
+        kernel: bool,
+    ) -> TResult<Option<(FuncId, Option<Shape>)>> {
+        let memo = match &self.replay {
+            Some(rp) => match rp.memos.get(&(key.clone(), device, kernel)) {
+                Some(m) => m.clone(),
+                None => return Ok(None),
+            },
+            None => return Ok(None),
+        };
+        let frame_key = (key.clone(), device, kernel);
+        if self.replay_stack.contains(&frame_key) {
+            return Ok(None); // corrupt memo cycle; lower freshly
+        }
+        self.replay_stack.push(frame_key);
+        self.trace_push(key, device, kernel);
+        let ready = self.replay_children(&memo);
+        self.replay_stack.pop();
+        match ready {
+            Err(e) => {
+                self.trace_pop_discard();
+                Err(e)
+            }
+            Ok(false) => {
+                self.trace_pop_discard();
+                Ok(None)
+            }
+            Ok(true) => {
+                let id = self.program.add_func(memo.func.clone());
+                debug_assert_eq!(id, memo.id, "replay id drift");
+                self.add_stats6(memo.excl);
+                if let Some(rp) = &mut self.replay {
+                    rp.replayed.push(id);
+                    rp.reused += 1;
+                }
+                self.trace_pop_discard();
+                Ok(Some((id, memo.ret.clone())))
+            }
+        }
+    }
+
+    /// Ensure every recorded callee of `memo` exists at its recorded id.
+    fn replay_children(&mut self, memo: &incr::FnMemo) -> TResult<bool> {
+        for e in &memo.callees {
+            let actual = if e.kernel {
+                self.lower_kernel(&e.key)?
+            } else {
+                match self.lower_spec(&e.key, e.device)? {
+                    SpecResult::Func { id, .. } => id,
+                    SpecResult::InlineOnly { .. } => return Ok(false),
+                }
+            };
+            if actual != e.expect {
+                return Ok(false);
+            }
+        }
+        Ok(self.program.funcs.len() == memo.id.0 as usize)
     }
 
     /// Lower (or fetch) the specialization of `key` for host or device.
     pub fn lower_spec(&mut self, key: &SpecKey, device: bool) -> TResult<SpecResult> {
         if let Some(r) = self.specs.get(&(key.clone(), device)) {
-            return Ok(r.clone());
+            let r = r.clone();
+            if let SpecResult::Func { id, .. } = &r {
+                self.trace_edge(key, device, false, *id);
+            }
+            return Ok(r);
         }
         if self.spec_stack.contains(&(key.clone(), device)) {
             return Err(TransError::new(format!(
@@ -152,6 +343,15 @@ impl<'t> Lowerer<'t> {
                 self.table.name(key.class),
                 self.table.method(key.class, key.method).name
             )));
+        }
+        // Replay a still-valid memo from a previous revision, if any.
+        // Memos exist only for `Func` results, so this happens before
+        // the InlineOnly shortcut (whose recompute is cheap anyway).
+        if let Some((id, ret)) = self.try_replay(key, device, false)? {
+            let r = SpecResult::Func { id, ret };
+            self.specs.insert((key.clone(), device), r.clone());
+            self.trace_edge(key, device, false, id);
+            return Ok(r);
         }
         let flatten = self.flatten_objects || device;
         let ret_shape = self.sheval.method_return(key)?;
@@ -167,10 +367,21 @@ impl<'t> Lowerer<'t> {
             }
         }
         self.spec_stack.push((key.clone(), device));
+        self.trace_push(key, device, false);
         let result = self.lower_spec_inner(key, device, flatten, ret_shape);
         self.spec_stack.pop();
+        match &result {
+            Ok(SpecResult::Func { id, ret }) => {
+                let (id, ret) = (*id, ret.clone());
+                self.trace_pop_fresh(id, &ret);
+            }
+            _ => self.trace_pop_discard(),
+        }
         let r = result?;
         self.specs.insert((key.clone(), device), r.clone());
+        if let SpecResult::Func { id, .. } = &r {
+            self.trace_edge(key, device, false, *id);
+        }
         Ok(r)
     }
 
@@ -215,6 +426,7 @@ impl<'t> Lowerer<'t> {
                 m.name
             )));
         };
+        self.trace_body(key.class, incr::MemberRef::Method(key.method));
         let name = self.mangle(key, device, false);
         // Parameter layout.
         let mut params = Vec::new();
@@ -293,7 +505,14 @@ impl<'t> Lowerer<'t> {
     /// Lower a `@Global` kernel specialization (always flattened).
     pub fn lower_kernel(&mut self, key: &SpecKey) -> TResult<FuncId> {
         if let Some(id) = self.kernel_specs.get(key) {
-            return Ok(*id);
+            let id = *id;
+            self.trace_edge(key, true, true, id);
+            return Ok(id);
+        }
+        if let Some((id, _)) = self.try_replay(key, true, true)? {
+            self.kernel_specs.insert(key.clone(), id);
+            self.trace_edge(key, true, true, id);
+            return Ok(id);
         }
         let m = self.table.method(key.class, key.method).clone();
         if m.ret != Type::Void {
@@ -347,12 +566,24 @@ impl<'t> Lowerer<'t> {
             ret: RetMode::Function,
             loops: Vec::new(),
         };
-        self.block(&mut fx, body)?;
-        let f = fx.fb.finish().map_err(TransError::new)?;
+        self.trace_push(key, true, true);
+        self.trace_body(key.class, incr::MemberRef::Method(key.method));
+        let finished = self
+            .block(&mut fx, body)
+            .and_then(|()| fx.fb.finish().map_err(TransError::new));
+        let f = match finished {
+            Ok(f) => f,
+            Err(e) => {
+                self.trace_pop_discard();
+                return Err(e);
+            }
+        };
         let id = self.program.add_func(f);
         self.kernel_specs.insert(key.clone(), id);
         self.stats.kernels += 1;
         self.stats.specializations += 1;
+        self.trace_pop_fresh(id, &None);
+        self.trace_edge(key, true, true, id);
         Ok(id)
     }
 
@@ -1099,6 +1330,7 @@ impl<'t> Lowerer<'t> {
         let Some(body) = &m.body else {
             return Err(TransError::new("cannot inline a body-less method"));
         };
+        self.trace_body(key.class, incr::MemberRef::Method(key.method));
         self.inline_stack.push(key.clone());
         self.stats.inlined_calls += 1;
 
@@ -1457,6 +1689,7 @@ impl<'t> Lowerer<'t> {
                 info.name
             )));
         };
+        self.trace_body(class, incr::MemberRef::Ctor);
         if ctor.params.len() != args.len() {
             return Err(TransError::new(format!(
                 "constructor of `{}` arity mismatch",

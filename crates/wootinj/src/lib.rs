@@ -46,6 +46,7 @@ pub use platform::{
     by_id as platform_by_id, registry as platform_registry, Caps, GpuSimPlatform, HostMtPlatform,
     InterpPlatform, MpiSimPlatform, Needs, Platform, PlatformError, RunOutcome, RunRequest,
 };
+pub use querydb::{Database, QueryStats};
 pub use translator::{Binding, EntrySpec, Mode, TransStats};
 
 /// Compile prelude + user sources into a typed class table.
@@ -71,6 +72,85 @@ pub fn build_table(sources: &[(&str, &str)]) -> DiagResult<ClassTable> {
         set.add(*name, *src);
     }
     jlang::compile(&set)
+}
+
+/// An editable WootinJ program: the incremental-compilation entry point.
+///
+/// Owns a [`Database`] of memoized queries (pre-seeded with the prelude,
+/// mirroring [`build_table`]) and hands out environments borrowing the
+/// current revision's table. [`Self::set_source`] / [`Self::edit`] bump
+/// the revision; a subsequent [`Self::env`] + `jit` re-translates
+/// incrementally, re-executing only the queries the edit invalidated —
+/// and produces an artifact bit-identical to a from-scratch build.
+///
+/// ```
+/// use wootinj::{JitOptions, Workspace};
+/// use jvm::Value;
+///
+/// let mut ws = Workspace::new();
+/// ws.set_source("d.jl", "@WootinJ final class D { D() { } int run(int x) { return x * 2; } }")
+///     .unwrap();
+/// {
+///     let mut env = ws.env().unwrap();
+///     let d = env.new_instance("D", &[]).unwrap();
+///     let code = env.jit(&d, "run", &[Value::Int(21)], JitOptions::wootinj()).unwrap();
+///     assert_eq!(code.invoke(&env).unwrap().result, Some(wootinj::Val::I32(42)));
+/// } // drop the env (it borrows the revision's table) before editing
+/// ws.edit("d.jl", "@WootinJ final class D { D() { } int run(int x) { return x * 3; } }")
+///     .unwrap();
+/// let mut env = ws.env().unwrap();
+/// let d = env.new_instance("D", &[]).unwrap();
+/// let code = env.jit(&d, "run", &[Value::Int(21)], JitOptions::wootinj()).unwrap();
+/// assert_eq!(code.invoke(&env).unwrap().result, Some(wootinj::Val::I32(63)));
+/// ```
+#[derive(Default)]
+pub struct Workspace {
+    db: Database,
+}
+
+impl Workspace {
+    /// Empty workspace: the prelude is added lazily with the first
+    /// user source, so a fresh workspace has revision 0 and no snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set (or add) a source file and recompile incrementally. The first
+    /// call also seeds the prelude (as file 0, matching [`build_table`]'s
+    /// class-id assignment). Returns the new revision.
+    pub fn set_source(&mut self, name: &str, text: &str) -> DiagResult<u64> {
+        if self.db.revision() == 0 {
+            self.db.set_source("<prelude>", prelude::PRELUDE)?;
+        }
+        self.db.set_source(name, text)
+    }
+
+    /// Edit an existing source file (see [`Database::edit`]).
+    pub fn edit(&mut self, name: &str, text: &str) -> DiagResult<u64> {
+        self.db.edit(name, text)
+    }
+
+    pub fn revision(&self) -> u64 {
+        self.db.revision()
+    }
+
+    /// Cumulative query counters (see [`Database::stats`]).
+    pub fn query_stats(&self) -> QueryStats {
+        self.db.stats()
+    }
+
+    /// Direct access to the query database (e.g. for
+    /// [`Database::source_fingerprint`]).
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Build an environment at the current revision. The env borrows the
+    /// workspace, so the borrow checker forces all envs (and their
+    /// heaps) to be dropped before the next [`Self::edit`].
+    pub fn env(&self) -> WjResult<WootinJ<'_>> {
+        WootinJ::from_db(&self.db)
+    }
 }
 
 /// Framework error: anything from composition to translation to execution.
@@ -147,6 +227,11 @@ pub struct WootinJ<'t> {
     /// [`MemoryLru`] by default; [`JitOptions::with_disk_cache`] (or
     /// [`Self::set_cache_backend`]) swaps in a [`Tiered`] store.
     cache: RefCell<Box<dyn CacheBackend>>,
+    /// Incremental query database this env was built from
+    /// ([`Self::from_db`]): `jit` consults its memoized per-function
+    /// lowering queries instead of translating from scratch, and cache
+    /// keys gain the database's source fingerprint.
+    incr: Option<&'t Database>,
 }
 
 impl<'t> WootinJ<'t> {
@@ -156,7 +241,22 @@ impl<'t> WootinJ<'t> {
             jvm: Jvm::new(table)?,
             host: exec::HostRegistry::new(),
             cache: RefCell::new(Box::new(MemoryLru::default())),
+            incr: None,
         })
+    }
+
+    /// Build an environment on an incremental query [`Database`] (see
+    /// [`Workspace`] for the usual entry point). The env borrows the
+    /// database's table at its current revision, so the borrow checker
+    /// enforces the edit discipline: drop the env (and its heap, whose
+    /// layouts came from this table) before the next `edit`.
+    pub fn from_db(db: &'t Database) -> WjResult<Self> {
+        let table = db.table().ok_or_else(|| {
+            WjError::Cache("query database has no compiled snapshot; call set_source first".into())
+        })?;
+        let mut env = Self::new(table)?;
+        env.incr = Some(db);
+        Ok(env)
     }
 
     /// Replace the artifact-store backend (drops the old tiers' contents
@@ -288,6 +388,7 @@ impl<'t> WootinJ<'t> {
         salt: u64,
     ) -> WjResult<JitCode> {
         let start = Instant::now();
+        let q0 = self.incr.map(|db| db.stats());
         if let Some(dir) = &options.disk_cache {
             self.ensure_disk_cache(dir)?;
         }
@@ -318,6 +419,11 @@ impl<'t> WootinJ<'t> {
             translated,
             compile_time,
             cache_stats: self.cache.borrow().stats(),
+            query_delta: self
+                .incr
+                .zip(q0)
+                .map(|(db, q0)| db.stats().since(&q0))
+                .unwrap_or_default(),
             degrade,
             shared_jit: SharedCacheStats::default(),
             recv: recv.clone(),
@@ -377,9 +483,10 @@ impl<'t> WootinJ<'t> {
         match cached {
             Some(hit) => Ok(hit),
             None => {
-                let t = Arc::new(translate(
-                    self.table, &self.jvm, recv, method, args, config,
-                )?);
+                let t = Arc::new(match self.incr {
+                    Some(db) => db.translate(&self.jvm, recv, method, args, config)?,
+                    None => translate(self.table, &self.jvm, recv, method, args, config)?,
+                });
                 let mut cache = self.cache.borrow_mut();
                 cache.record_translation();
                 cache.insert(&key, &t);
@@ -400,9 +507,14 @@ impl<'t> WootinJ<'t> {
         salt: u64,
     ) -> WjResult<CacheKey> {
         let spec = entry_spec(self.table, &self.jvm, recv, method, args, config.mode)?;
+        // With a query database attached, the key also carries the
+        // whitespace-insensitive source fingerprint: a semantic edit
+        // re-keys the artifact, a formatting-only edit keeps hitting.
+        let src = self.incr.map_or(0, |db| db.source_fingerprint());
         Ok(
             CacheKey::new(spec, config, self.host.keys().map(str::to_string).collect())
-                .with_platform_salt(salt),
+                .with_platform_salt(salt)
+                .with_source_fingerprint(src),
         )
     }
 
@@ -464,6 +576,7 @@ impl<'t> WootinJ<'t> {
                     translated: Arc::new(t),
                     compile_time: start.elapsed(),
                     cache_stats: self.cache.borrow().stats(),
+                    query_delta: QueryStats::default(),
                     degrade: None,
                     shared_jit: shared.stats(),
                     recv: recv.clone(),
@@ -679,6 +792,9 @@ pub struct JitCode {
     pub compile_time: Duration,
     /// Snapshot of the env's cache counters when this code was minted.
     cache_stats: CacheStats,
+    /// Query-database counter deltas for this `jit` call (all-zero
+    /// without an attached [`Database`]).
+    query_delta: QueryStats,
     /// What the degradation ladder did, when [`JitOptions::degrade`] was
     /// set and the requested mode failed; `None` for a first-try success.
     pub degrade: Option<DegradeReport>,
@@ -763,13 +879,21 @@ impl JitCode {
         self.translated.mode
     }
 
-    /// Translation statistics, with the env's cache counters (as of this
-    /// `jit` call) merged in.
+    /// Translation statistics, with the env's cache counters and the
+    /// query-database counters (as of this `jit` call) merged in.
     pub fn stats(&self) -> TransStats {
         let mut stats = self.translated.stats.clone();
         stats.cache_hits = self.cache_stats.hits;
         stats.cache_misses = self.cache_stats.misses;
+        stats.queries_executed = self.query_delta.executed();
+        stats.queries_reused = self.query_delta.reused();
+        stats.early_cutoffs = self.query_delta.early_cutoffs;
         stats
+    }
+
+    /// The raw query-database counter deltas for this `jit` call.
+    pub fn query_stats(&self) -> QueryStats {
+        self.query_delta
     }
 
     /// Execute the translated program with the recorded arguments —
@@ -828,6 +952,7 @@ impl JitCode {
                     gpu_time: r.gpu_time,
                 })
                 .collect(),
+            trans: self.stats(),
             worlds: run,
         })
     }
@@ -864,6 +989,11 @@ pub struct RunReport {
     /// with [`JitOptions::with_checkpointing`]).
     pub restart: RestartStats,
     pub per_rank: Vec<PerRank>,
+    /// Translation statistics for the code that ran, including the
+    /// artifact-cache counters (`cache_hits`/`cache_misses`) and the
+    /// incremental-query counters (`queries_executed`/`queries_reused`/
+    /// `early_cutoffs`).
+    pub trans: TransStats,
     /// The raw world run (rank memory spaces etc.).
     pub worlds: mpi_sim::WorldRun,
 }

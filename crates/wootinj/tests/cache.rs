@@ -11,7 +11,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use jvm::Value;
-use wootinj::{build_table, JitOptions, OptConfig, Val, WootinJ};
+use wootinj::{build_table, JitOptions, OptConfig, Val, WootinJ, Workspace};
 
 const APP: &str = "
     @WootinJ interface Op { float f(float x); }
@@ -370,4 +370,131 @@ fn warm_jit_does_zero_translation_work_and_is_much_faster() {
     // The warm code is the same program object — zero translator/NIR work.
     let warm = env.jit(&r, "run", &[a], JitOptions::wootinj()).unwrap();
     assert!(Arc::ptr_eq(&cold.translated, &warm.translated));
+}
+
+/// Scratch dir for the disk-tier tests (removed on drop).
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "wootinj-cache-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Database-backed cache keys must be stable across a process restart:
+/// the key's source fingerprint is derived from query fingerprints of
+/// the source text (not table addresses or revision numbers), so a
+/// brand-new `Workspace` over the same sources finds the artifact a
+/// previous "process" persisted to the disk tier — and a whitespace
+/// edit, which leaves every query fingerprint unchanged, keeps hitting
+/// it, while a semantic edit moves to a fresh key namespace.
+#[test]
+fn db_backed_disk_artifacts_survive_restart_and_whitespace_edits() {
+    const SRC: &str = "@WootinJ final class Calc {
+          float k; Calc(float k0) { k = k0; }
+          float run(float x) { return k * x + 1f; }
+        }";
+    let tmp = TempDir::new("db-restart");
+    let opts = || JitOptions::wootinj().with_disk_cache(&tmp.0);
+    let jit = |ws: &Workspace, expect_translations: u64, expect_disk_hits: u64| {
+        let mut env = ws.env().unwrap();
+        let c = env.new_instance("Calc", &[Value::Float(3.0)]).unwrap();
+        let code = env.jit(&c, "run", &[Value::Float(2.0)], opts()).unwrap();
+        let stats = env.cache_stats();
+        assert_eq!(stats.translations, expect_translations);
+        assert_eq!(stats.disk_hits, expect_disk_hits);
+        code.invoke(&env).unwrap().result
+    };
+
+    // "Process" 1: cold translate, artifact persisted.
+    let mut ws1 = Workspace::new();
+    ws1.set_source("calc.jl", SRC).unwrap();
+    let cold = jit(&ws1, 1, 0);
+    assert_eq!(cold, Some(Val::F32(7.0)));
+
+    // "Process" 2: a brand-new workspace over the same sources decodes
+    // the persisted artifact — zero translator work after the restart.
+    let mut ws2 = Workspace::new();
+    ws2.set_source("calc.jl", SRC).unwrap();
+    assert_eq!(
+        ws2.db().source_fingerprint(),
+        ws1.db().source_fingerprint(),
+        "source fingerprint must be process-independent"
+    );
+    assert_eq!(jit(&ws2, 0, 1), cold);
+
+    // A whitespace edit keeps every fingerprint — still a disk hit.
+    ws2.edit("calc.jl", &format!("{SRC}\n// formatting only\n"))
+        .unwrap();
+    assert_eq!(jit(&ws2, 0, 1), cold);
+
+    // A semantic edit changes the source fingerprint: new namespace,
+    // cold translate, and the old artifact stays behind for rollbacks.
+    ws2.edit("calc.jl", &SRC.replace("+ 1f", "+ 2f")).unwrap();
+    assert_eq!(jit(&ws2, 1, 0), Some(Val::F32(8.0)));
+    let artifacts = std::fs::read_dir(&tmp.0)
+        .unwrap()
+        .flatten()
+        .filter(|e| e.path().extension().and_then(|x| x.to_str()) == Some("wjar"))
+        .count();
+    assert_eq!(artifacts, 2, "edit writes beside the old artifact");
+
+    // Rolling the edit back returns to the original namespace: the
+    // first artifact is still served without retranslation.
+    ws2.edit("calc.jl", SRC).unwrap();
+    assert_eq!(jit(&ws2, 0, 1), cold);
+}
+
+/// Legacy (table-built) envs and database-backed envs must not collide
+/// in the artifact store: the legacy path keys with source fingerprint
+/// 0, the db path with the real query fingerprint.
+#[test]
+fn db_and_legacy_envs_use_disjoint_key_namespaces() {
+    const SRC: &str = "@WootinJ final class Calc {
+          Calc() { }
+          float run(float x) { return x + 41f; }
+        }";
+    let tmp = TempDir::new("db-namespaces");
+    let opts = || JitOptions::wootinj().with_disk_cache(&tmp.0);
+
+    let table = build_table(&[("calc.jl", SRC)]).unwrap();
+    let mut legacy = WootinJ::new(&table).unwrap();
+    let c = legacy.new_instance("Calc", &[]).unwrap();
+    let legacy_code = legacy.jit(&c, "run", &[Value::Float(1.0)], opts()).unwrap();
+    assert_eq!(legacy.cache_stats().translations, 1);
+
+    let mut ws = Workspace::new();
+    ws.set_source("calc.jl", SRC).unwrap();
+    let mut env = ws.env().unwrap();
+    let c = env.new_instance("Calc", &[]).unwrap();
+    let db_code = env.jit(&c, "run", &[Value::Float(1.0)], opts()).unwrap();
+    let stats = env.cache_stats();
+    assert_eq!(
+        (stats.translations, stats.disk_hits),
+        (1, 0),
+        "db-backed env must not decode the legacy artifact"
+    );
+
+    // Different namespaces, identical semantics.
+    assert_eq!(
+        legacy_code.translated.encode_semantic(),
+        db_code.translated.encode_semantic()
+    );
+    assert_eq!(
+        legacy_code.invoke(&legacy).unwrap().result,
+        db_code.invoke(&env).unwrap().result
+    );
 }

@@ -26,6 +26,10 @@ cargo run --release --offline -q -p bench --bin repro -- restart-cost --quick
 echo "== backend-matrix smoke run (fails on cross-backend divergence) =="
 cargo run --release --offline -q -p bench --bin repro -- backend-matrix --quick
 
+echo "== incremental re-JIT smoke run (asserts >=10x body-edit speedup, =="
+echo "==   strictly fewer queries than cold, bit-identical artifacts)   =="
+cargo run --release --offline -q -p bench --bin repro -- incremental --quick
+
 echo "== disk-cache round-trip smoke =="
 # jit once (cold, persists the artifact), then re-jit from a fresh
 # process and assert zero translator work (--expect-warm exits nonzero

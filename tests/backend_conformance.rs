@@ -351,3 +351,65 @@ fn registry_capability_table_is_coherent() {
     let _: Arc<dyn Platform> = Arc::new(GpuSimPlatform::default());
     let _: Arc<dyn Platform> = Arc::new(MpiSimPlatform::new(2));
 }
+
+/// Cache-scoping property 4 holds for database-backed (incremental)
+/// envs too: the key combines the platform salt with the query-derived
+/// source fingerprint, so same-platform re-JIT hits, cross-platform
+/// JIT misses, and a whitespace edit (same fingerprints) still hits
+/// after the revision bump.
+#[test]
+fn db_backed_cache_keys_are_platform_scoped() {
+    let mut ws = wootinj::Workspace::new();
+    ws.set_source("block_sum.jl", BLOCK_SUM).unwrap();
+    let args = [Value::Int(TOTAL), Value::Int(STEPS)];
+
+    {
+        let mut env = ws.env().unwrap();
+        let app = env.new_instance("BlockSum", &[]).unwrap();
+
+        let host_mt = platform_by_id("host-mt").unwrap();
+        env.jit_on(
+            Arc::clone(&host_mt),
+            &app,
+            "run",
+            &args,
+            JitOptions::wootinj(),
+        )
+        .unwrap();
+        assert_eq!(env.cache_stats().translations, 1);
+
+        env.jit_on(host_mt, &app, "run", &args, JitOptions::wootinj())
+            .unwrap();
+        let stats = env.cache_stats();
+        assert_eq!(stats.translations, 1, "same platform must hit the cache");
+        assert!(stats.hits >= 1);
+
+        let mpi = platform_by_id("mpi-sim").unwrap();
+        env.jit_on(mpi, &app, "run", &args, JitOptions::wootinj())
+            .unwrap();
+        assert_eq!(
+            env.cache_stats().translations,
+            2,
+            "platform change must retranslate (platform-salted key)"
+        );
+    } // envs borrow the workspace's table: drop before editing
+
+    // A whitespace edit bumps the revision but not the fingerprints: a
+    // fresh env's memory tier is empty, yet the translator does only
+    // replay work (no fresh lowering) and the key namespace is stable.
+    let fp = ws.db().source_fingerprint();
+    ws.edit("block_sum.jl", &format!("{BLOCK_SUM}\n// comment\n"))
+        .unwrap();
+    assert_eq!(ws.db().source_fingerprint(), fp);
+    let mut env = ws.env().unwrap();
+    let app = env.new_instance("BlockSum", &[]).unwrap();
+    let host_mt = platform_by_id("host-mt").unwrap();
+    let code = env
+        .jit_on(host_mt, &app, "run", &args, JitOptions::wootinj())
+        .unwrap();
+    assert_eq!(
+        code.query_stats().lower_executed,
+        0,
+        "whitespace edit must replay every function memo"
+    );
+}
