@@ -1391,39 +1391,47 @@ pub fn fault_matrix(quick: bool) -> Figure {
     fig
 }
 
+/// The restart/chaos workload. Unlike `RING_REDUCE`, every step ends in
+/// an allreduce: collectives are the checkpoint cut points, so cadence
+/// sweeps need one per step to have anything to vary. The `mesh` array
+/// (16n floats, written once) models the mostly-constant rank heap of a
+/// real mesh code — the shape delta checkpoints exist for: full
+/// snapshots re-serialize it at every cut point, deltas never do.
+const RING_STEP_REDUCE: &str = r#"
+    @WootinJ final class RingStepReduce {
+      RingStepReduce() { }
+      float run(int n, int steps) {
+        int rank = MPI.rank();
+        int size = MPI.size();
+        float[] sbuf = new float[n];
+        float[] rbuf = new float[n];
+        float[] mesh = new float[n * 16];
+        for (int i = 0; i < n; i++) { sbuf[i] = rank * n + i; }
+        for (int i = 0; i < n * 16; i++) { mesh[i] = i * 0.25f; }
+        int dest = (rank + 1) % size;
+        int src = (rank + size - 1) % size;
+        float acc = 0f;
+        for (int s = 0; s < steps; s++) {
+          MPI.sendrecvF(sbuf, 0, n, dest, rbuf, 0, src, 7);
+          for (int i = 0; i < n; i++) { sbuf[i] = rbuf[i] * 0.5f; }
+          acc += mesh[s] + MPI.allreduceSumF(sbuf[0]);
+        }
+        return acc;
+      }
+    }
+"#;
+
 /// Robustness experiment: checkpoint cadence vs. the cost of crash
 /// recovery. One seed sweep, crash-only faults, four cadences (every 1,
 /// 4, or 16 collectives, and checkpointing off). Crash-only faults
 /// never perturb surviving state, so every completed run must reproduce
 /// the fault-free answer bit-for-bit — counted in the `bit-identical`
-/// series.
+/// series. Each cadence also runs in delta-chain mode on the same seeds:
+/// the outcome must be identical (the fault stream does not depend on
+/// the checkpoint encoding), and the `ckpt-bytes-*` series track the
+/// bytes-written win, which must be strict at cadence 1.
 pub fn restart_cost(quick: bool) -> Figure {
     use wootinj::{CheckpointPolicy, FaultConfig, RestartStats};
-
-    // Unlike `RING_REDUCE`, every step ends in an allreduce: collectives
-    // are the checkpoint cut points, so the cadence sweep needs one per
-    // step to have anything to vary.
-    const RING_STEP_REDUCE: &str = r#"
-        @WootinJ final class RingStepReduce {
-          RingStepReduce() { }
-          float run(int n, int steps) {
-            int rank = MPI.rank();
-            int size = MPI.size();
-            float[] sbuf = new float[n];
-            float[] rbuf = new float[n];
-            for (int i = 0; i < n; i++) { sbuf[i] = rank * n + i; }
-            int dest = (rank + 1) % size;
-            int src = (rank + size - 1) % size;
-            float acc = 0f;
-            for (int s = 0; s < steps; s++) {
-              MPI.sendrecvF(sbuf, 0, n, dest, rbuf, 0, src, 7);
-              for (int i = 0; i < n; i++) { sbuf[i] = rbuf[i] * 0.5f; }
-              acc += MPI.allreduceSumF(sbuf[0]);
-            }
-            return acc;
-          }
-        }
-    "#;
 
     let mut fig = Figure::new(
         "restart-cost",
@@ -1437,6 +1445,11 @@ pub fn restart_cost(quick: bool) -> Figure {
     fig.note(
         "completed / bit-identical count seeds; restarts, checkpoints and \
          vtime-lost are totals across the sweep",
+    );
+    fig.note(
+        "ckpt-bytes-full / ckpt-bytes-delta: total checkpoint bytes written \
+         across the sweep — full snapshots vs delta chains (rebase every 8) \
+         at the same cadence; delta must win strictly at cadence 1",
     );
 
     let (n, steps, size, nseeds) = if quick {
@@ -1452,12 +1465,13 @@ pub fn restart_cost(quick: bool) -> Figure {
 
     let table = wootinj::build_table(&[("ring_step_reduce.jl", RING_STEP_REDUCE)]).unwrap();
     let args = [Value::Int(n), Value::Int(steps)];
-    let run_one = |faults: Option<u64>, cadence: u32| -> (Option<f32>, RestartStats) {
+    let run_one = |faults: Option<u64>, cadence: u32, rebase: u32| -> (Option<f32>, RestartStats) {
         let mut env = WootinJ::new(&table).unwrap();
         let app = env.new_instance("RingStepReduce", &[]).unwrap();
         let mut opts = JitOptions::wootinj();
         if cadence > 0 {
-            opts = opts.with_checkpointing(CheckpointPolicy::every(cadence));
+            opts =
+                opts.with_checkpointing(CheckpointPolicy::every(cadence).with_rebase_every(rebase));
         }
         let mut code = env.jit(&app, "run", &args, opts).unwrap();
         code.set_mpi(size, MpiCostModel::default());
@@ -1476,7 +1490,7 @@ pub fn restart_cost(quick: bool) -> Figure {
         }
     };
 
-    let (fault_free, _) = run_one(None, 0);
+    let (fault_free, _) = run_one(None, 0, 0);
     let fault_free = fault_free.expect("the fault-free control run must complete");
 
     let mut completed = Series::new("completed");
@@ -1484,10 +1498,14 @@ pub fn restart_cost(quick: bool) -> Figure {
     let mut restarts = Series::new("restarts");
     let mut checkpoints = Series::new("checkpoints");
     let mut lost = Series::new("vtime-lost");
+    let mut bytes_full = Series::new("ckpt-bytes-full");
+    let mut bytes_delta = Series::new("ckpt-bytes-delta");
     for &cadence in &[1u32, 4, 16, 0] {
         let (mut done, mut same, mut rs, mut cps, mut vl) = (0u64, 0u64, 0u64, 0u64, 0u64);
+        let (mut bf, mut bd) = (0u64, 0u64);
         for s in 0..nseeds {
-            let (result, stats) = run_one(Some(0xC057_0000_0000_0000 | s), cadence);
+            let seed = 0xC057_0000_0000_0000 | s;
+            let (result, stats) = run_one(Some(seed), cadence, 0);
             if let Some(v) = result {
                 done += 1;
                 same += u64::from(v.to_bits() == fault_free.to_bits());
@@ -1495,6 +1513,16 @@ pub fn restart_cost(quick: bool) -> Figure {
             rs += stats.restarts;
             cps += stats.checkpoints_taken;
             vl += stats.virtual_time_lost;
+            bf += stats.ckpt_bytes_written;
+            if cadence > 0 {
+                let (dresult, dstats) = run_one(Some(seed), cadence, 8);
+                assert_eq!(
+                    dresult.map(f32::to_bits),
+                    result.map(f32::to_bits),
+                    "cadence {cadence} seed {s}: delta chains must not change the outcome"
+                );
+                bd += dstats.ckpt_bytes_written;
+            }
         }
         let x = cadence as f64;
         completed.push(x, done as f64);
@@ -1502,10 +1530,260 @@ pub fn restart_cost(quick: bool) -> Figure {
         restarts.push(x, rs as f64);
         checkpoints.push(x, cps as f64);
         lost.push(x, vl as f64);
+        bytes_full.push(x, bf as f64);
+        bytes_delta.push(x, bd as f64);
     }
-    for s in [completed, identical, restarts, checkpoints, lost] {
+    // The tracked cost win (acceptance gate): at cadence 1 — a checkpoint
+    // at every collective — delta chains must write strictly fewer bytes
+    // than full snapshots.
+    let (f1, d1) = (bytes_full.points[0].y, bytes_delta.points[0].y);
+    assert!(
+        d1 > 0.0 && d1 < f1,
+        "delta chains must strictly beat full snapshots on bytes written \
+         at cadence 1: delta {d1} vs full {f1}"
+    );
+    for s in [
+        completed,
+        identical,
+        restarts,
+        checkpoints,
+        lost,
+        bytes_full,
+        bytes_delta,
+    ] {
         fig.series.push(s);
     }
+    fig
+}
+
+/// The chaos soak gate: seeded fault storms (crashes, checkpoint-write
+/// I/O faults) × cadence × rebase interval, plus a persisted-chain
+/// damage pass (seeded truncation and bit-flips with warm restarts).
+/// Every world must complete bit-identically to the fault-free control
+/// or fail typed — outcome code 0 must never appear — and at cadence 1
+/// delta chains must strictly beat full snapshots on both bytes written
+/// and virtual time lost, under a write-cost model that charges for the
+/// bytes each snapshot moves.
+pub fn chaos(quick: bool) -> Figure {
+    use wootinj::{probe_chain, CheckpointPolicy, FaultConfig, RestartStats, WjError};
+
+    let mut fig = Figure::new(
+        "chaos",
+        "chaos soak: fault storms x cadence x rebase interval",
+        "seed index",
+        "outcome code",
+    );
+    fig.note(
+        "outcome codes: 2 = completed bit-identical to the fault-free \
+         control; 1 = typed failure; 0 = anything else (must never appear)",
+    );
+    fig.note(
+        "storms: crash-only and crash + checkpoint-write I/O faults, each \
+         run in full-snapshot and delta-chain mode on the same seeds; \
+         chain-damage rows corrupt one persisted link, then warm-restart",
+    );
+    fig.note(
+        "gate: at cadence 1, delta chains must strictly beat full \
+         snapshots on bytes written and on virtual time lost (write cost: \
+         200 cycles flat + 1 per 32 bytes)",
+    );
+
+    let (n, steps, size, nseeds) = if quick {
+        (16, 12, 4u32, 5u64)
+    } else {
+        (48, 24, 4, 12)
+    };
+    let cadences: &[u32] = if quick { &[1, 4] } else { &[1, 4, 16] };
+    fig.note(if quick {
+        "quick mode: n=16, 12 steps, world 4, 5 seeds per cell, cadences {1,4}"
+    } else {
+        "full mode: n=48, 24 steps, world 4, 12 seeds per cell, cadences {1,4,16}"
+    });
+
+    let table = wootinj::build_table(&[("ring_step_reduce.jl", RING_STEP_REDUCE)]).unwrap();
+    let args = [Value::Int(n), Value::Int(steps)];
+
+    enum Run {
+        Done(f32),
+        Typed,
+        Untyped,
+    }
+    let run_one = |seed: Option<u64>,
+                   ckpt_fail: f64,
+                   policy: Option<CheckpointPolicy>|
+     -> (Run, RestartStats) {
+        let mut env = WootinJ::new(&table).unwrap();
+        let app = env.new_instance("RingStepReduce", &[]).unwrap();
+        let mut opts = JitOptions::wootinj();
+        if let Some(p) = policy {
+            opts = opts.with_checkpointing(p);
+        }
+        let mut code = env.jit(&app, "run", &args, opts).unwrap();
+        code.set_mpi(size, MpiCostModel::default());
+        if let Some(seed) = seed {
+            let mut cfg = FaultConfig::seeded(seed);
+            cfg.crash = 0.02;
+            cfg.ckpt_write_fail = ckpt_fail;
+            code.set_faults(cfg);
+        }
+        code.set_timeout(200_000);
+        match code.invoke(&env) {
+            Ok(report) => match report.result {
+                Some(Val::F32(v)) => (Run::Done(v), report.restart),
+                other => panic!("expected f32 result, got {other:?}"),
+            },
+            Err(WjError::Sim(_)) => (Run::Typed, RestartStats::default()),
+            Err(_) => (Run::Untyped, RestartStats::default()),
+        }
+    };
+    let control = match run_one(None, 0.0, None).0 {
+        Run::Done(v) => v,
+        _ => panic!("the fault-free control run must complete"),
+    };
+    let grade = |r: &Run| match r {
+        Run::Done(v) if v.to_bits() == control.to_bits() => 2.0,
+        Run::Done(_) | Run::Untyped => 0.0,
+        Run::Typed => 1.0,
+    };
+
+    // Fault storms. Full and delta modes run the same seed; fault draws
+    // are per-event, not per-cycle, so the outcome class (and the restart
+    // pattern) must not depend on the checkpoint encoding.
+    let storms: &[(&str, f64)] = &[("crash", 0.0), ("crash+ckpt-io", 0.25)];
+    let (mut bytes_full, mut bytes_delta) = (0u64, 0u64);
+    let (mut vt_full, mut vt_delta) = (0u64, 0u64);
+    let (mut restarts_full, mut restarts_delta) = (0u64, 0u64);
+    for (si, (storm, ckpt_fail)) in storms.iter().enumerate() {
+        for &cadence in cadences {
+            let mut s_full = Series::new(format!("{storm} c{cadence} full"));
+            let mut s_delta = Series::new(format!("{storm} c{cadence} delta"));
+            for s in 0..nseeds {
+                let seed =
+                    0xC4A0_0000_0000_0000 | ((si as u64) << 24) | (u64::from(cadence) << 16) | s;
+                let policy = |rebase: u32| {
+                    CheckpointPolicy::every(cadence)
+                        .with_rebase_every(rebase)
+                        .with_write_cost(200, 32)
+                };
+                let (rf, stf) = run_one(Some(seed), *ckpt_fail, Some(policy(0)));
+                let (rd, std) = run_one(Some(seed), *ckpt_fail, Some(policy(8)));
+                let (gf, gd) = (grade(&rf), grade(&rd));
+                assert!(
+                    gf > 0.0 && gd > 0.0,
+                    "{storm} c{cadence} seed {s}: every world must complete \
+                     bit-identically or fail typed (full {gf}, delta {gd})"
+                );
+                assert_eq!(
+                    gf, gd,
+                    "{storm} c{cadence} seed {s}: the checkpoint encoding \
+                     must not change the outcome class"
+                );
+                s_full.push(s as f64, gf);
+                s_delta.push(s as f64, gd);
+                if cadence == 1 {
+                    bytes_full += stf.ckpt_bytes_written;
+                    vt_full += stf.virtual_time_lost;
+                    restarts_full += stf.restarts;
+                    bytes_delta += std.ckpt_bytes_written;
+                    vt_delta += std.virtual_time_lost;
+                    restarts_delta += std.restarts;
+                }
+            }
+            fig.series.push(s_full);
+            fig.series.push(s_delta);
+        }
+    }
+
+    // The cadence-1 cost gate. Restart parity first: a vacuous vtime
+    // comparison (no restarts) or a skewed one (different restart
+    // patterns) would make the win meaningless.
+    assert!(
+        restarts_full >= 1,
+        "chaos sweep produced no cadence-1 restarts — the vtime gate is vacuous"
+    );
+    assert_eq!(
+        restarts_full, restarts_delta,
+        "restart pattern must not depend on the checkpoint encoding"
+    );
+    assert!(
+        bytes_delta > 0 && bytes_delta < bytes_full,
+        "delta cadence-1 must strictly beat full cadence-1 on bytes \
+         written: delta {bytes_delta} vs full {bytes_full}"
+    );
+    assert!(
+        vt_delta < vt_full,
+        "delta cadence-1 must strictly beat full cadence-1 on virtual \
+         time lost: delta {vt_delta} vs full {vt_full}"
+    );
+    let mut c1_bytes = Series::new("c1-bytes-written (x: 0=full, 1=delta)");
+    c1_bytes.push(0.0, bytes_full as f64);
+    c1_bytes.push(1.0, bytes_delta as f64);
+    let mut c1_vtime = Series::new("c1-vtime-lost (x: 0=full, 1=delta)");
+    c1_vtime.push(0.0, vt_full as f64);
+    c1_vtime.push(1.0, vt_delta as f64);
+    fig.series.push(c1_bytes);
+    fig.series.push(c1_vtime);
+
+    // Chain-damage pass: lay a persisted delta chain, corrupt one seeded
+    // link (alternating truncation and bit-flips, walking the link
+    // index), and warm-restart over the damage. The probe must stop at
+    // the damaged link; the rerun must land on the deepest valid
+    // ancestor — dropping exactly the damaged tail — and still finish
+    // bit-identically.
+    let dir = std::env::temp_dir().join(format!("wj-chaos-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut s_damage = Series::new("chain-damage warm restart");
+    for d in 0..nseeds {
+        let base = dir.join(format!("chaos-{d}.wckpt"));
+        let policy = CheckpointPolicy::every(1)
+            .with_rebase_every(64)
+            .with_persist(&base);
+        match run_one(None, 0.0, Some(policy.clone())).0 {
+            Run::Done(v) if v.to_bits() == control.to_bits() => {}
+            _ => panic!("chain-damage seed {d}: chain-laying run must complete"),
+        }
+        let links = probe_chain(&base).links_found;
+        assert!(links >= 2, "chain-damage seed {d}: need a base plus deltas");
+        let k = (d as usize) % links;
+        let file = if k == 0 {
+            base.clone()
+        } else {
+            dir.join(format!("chaos-{d}.d{k}.wckpt"))
+        };
+        let good = std::fs::read(&file).unwrap();
+        let damaged = if d % 2 == 0 {
+            good[..good.len() / 2].to_vec()
+        } else {
+            let mut b = good;
+            let mid = b.len() / 2;
+            b[mid] ^= 0x04;
+            b
+        };
+        std::fs::write(&file, &damaged).unwrap();
+        let probe = probe_chain(&base);
+        assert_eq!(
+            probe.links_valid, k,
+            "chain-damage seed {d}: probe must stop at the damaged link"
+        );
+        assert!(
+            probe.error.is_some(),
+            "chain-damage seed {d}: damage must surface a typed error"
+        );
+        let (rerun, stats) = run_one(None, 0.0, Some(policy));
+        match rerun {
+            Run::Done(v) if v.to_bits() == control.to_bits() => {}
+            _ => panic!("chain-damage seed {d}: warm restart must finish bit-identically"),
+        }
+        assert_eq!(
+            stats.chain_links_dropped,
+            (links - k) as u64,
+            "chain-damage seed {d}: dropped-link accounting"
+        );
+        s_damage.push(d as f64, 2.0);
+    }
+    fig.series.push(s_damage);
+    std::fs::remove_dir_all(&dir).ok();
     fig
 }
 
@@ -1972,6 +2250,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "ext-reduce",
         "fault-matrix",
         "restart-cost",
+        "chaos",
         "backend-matrix",
         "incremental",
     ]
@@ -1983,7 +2262,7 @@ pub fn run_experiment(id: &str) -> Option<Figure> {
 }
 
 /// Dispatch by id; `quick` selects a smoke-test-sized variant where the
-/// experiment supports one (`fault-matrix`, `restart-cost`,
+/// experiment supports one (`fault-matrix`, `restart-cost`, `chaos`,
 /// `backend-matrix`, and `incremental`).
 pub fn run_experiment_with(id: &str, quick: bool) -> Option<Figure> {
     Some(match id {
@@ -2014,6 +2293,7 @@ pub fn run_experiment_with(id: &str, quick: bool) -> Option<Figure> {
         "ext-reduce" => ext_reduce(),
         "fault-matrix" => fault_matrix(quick),
         "restart-cost" => restart_cost(quick),
+        "chaos" => chaos(quick),
         "backend-matrix" => backend_matrix(quick),
         "incremental" => incremental(quick),
         _ => return None,

@@ -18,13 +18,22 @@ use nir::codec::{seal, unseal, CodecError, Reader, Writer};
 use nir::{FuncId, Program};
 
 /// Version byte of the checkpoint payload (inside the sealed container,
-/// independent of the container's own version).
-pub const CKPT_VERSION: u8 = 1;
+/// independent of the container's own version). v2 added the
+/// checkpoint-write fault counters and the delta-chain payload kinds;
+/// v1 snapshots degrade to a cold restart by design.
+pub const CKPT_VERSION: u8 = 2;
 
 /// Payload kind: a single [`Machine`] snapshot.
 pub const TAG_MACHINE: u8 = 0xA1;
 /// Payload kind: a whole-world checkpoint (written by `mpi-sim`).
 pub const TAG_WORLD: u8 = 0xB7;
+/// Payload kind: the base link of a delta checkpoint chain.
+pub const TAG_CHAIN_BASE: u8 = 0xC1;
+/// Payload kind: a delta link encoded against its parent in the chain.
+pub const TAG_CHAIN_DELTA: u8 = 0xC3;
+
+#[path = "ckpt_chain.rs"]
+pub mod chain;
 
 /// Why a checkpoint failed to decode. Mirrors `nir::codec::CodecError`
 /// so checkpoint consumers never need to name the lower layer.
@@ -38,6 +47,9 @@ pub enum CkptError {
     VersionSkew { found: u8, expected: u8 },
     /// Checksum failure or structurally invalid content.
     Corrupt { offset: usize, message: String },
+    /// A delta-chain link does not connect to its parent (wrong parent
+    /// digest or out-of-order sequence number).
+    ChainBroken { seq: u64, message: String },
 }
 
 impl std::fmt::Display for CkptError {
@@ -52,6 +64,9 @@ impl std::fmt::Display for CkptError {
             }
             CkptError::Corrupt { offset, message } => {
                 write!(f, "corrupt checkpoint at byte {offset}: {message}")
+            }
+            CkptError::ChainBroken { seq, message } => {
+                write!(f, "checkpoint chain broken at link {seq}: {message}")
             }
         }
     }
@@ -267,6 +282,7 @@ fn write_fault_plan(w: &mut Writer, plan: &FaultPlan) {
     w.f64(c.msg_drop);
     w.f64(c.msg_corrupt);
     w.f64(c.msg_delay);
+    w.f64(c.ckpt_write_fail);
     w.u64(c.delay_cycles);
     w.u32(c.max_host_retries);
     w.u64(c.retry_backoff_cycles);
@@ -279,6 +295,7 @@ fn write_fault_plan(w: &mut Writer, plan: &FaultPlan) {
     w.u64(s.dropped_messages);
     w.u64(s.corrupted_messages);
     w.u64(s.delayed_messages);
+    w.u64(s.ckpt_write_failures);
     w.u64(s.timeouts);
     w.u64(s.degraded_jits);
     w.u64(s.checkpoints_taken);
@@ -294,6 +311,7 @@ fn read_fault_plan(r: &mut Reader) -> Result<FaultPlan, CkptError> {
         msg_drop: r.f64()?,
         msg_corrupt: r.f64()?,
         msg_delay: r.f64()?,
+        ckpt_write_fail: r.f64()?,
         delay_cycles: r.u64()?,
         max_host_retries: r.u32()?,
         retry_backoff_cycles: r.u64()?,
@@ -307,6 +325,7 @@ fn read_fault_plan(r: &mut Reader) -> Result<FaultPlan, CkptError> {
         dropped_messages: r.u64()?,
         corrupted_messages: r.u64()?,
         delayed_messages: r.u64()?,
+        ckpt_write_failures: r.u64()?,
         timeouts: r.u64()?,
         degraded_jits: r.u64()?,
         checkpoints_taken: r.u64()?,
@@ -322,6 +341,27 @@ pub fn write_machine(w: &mut Writer, m: &Machine) {
     for a in &m.mem.arrays {
         write_arr(w, a);
     }
+    write_machine_rest(w, m);
+}
+
+/// One standalone payload per heap array — the unit of delta encoding
+/// for checkpoint chains (each array becomes its own chain section, so
+/// an untouched mesh costs nothing in a delta link).
+pub fn machine_array_sections(m: &Machine) -> Vec<Vec<u8>> {
+    m.mem
+        .arrays
+        .iter()
+        .map(|a| {
+            let mut w = Writer::new();
+            write_arr(&mut w, a);
+            w.into_bytes()
+        })
+        .collect()
+}
+
+/// Everything in [`write_machine`] except the heap arrays: object heap,
+/// globals, captured output, counters, and the fault-stream cursor.
+pub fn write_machine_rest(w: &mut Writer, m: &Machine) {
     w.len(m.objs.objects.len());
     for (class, fields) in &m.objs.objects {
         w.u32(*class);
@@ -349,6 +389,12 @@ pub fn read_machine(r: &mut Reader) -> Result<Machine, CkptError> {
     for _ in 0..n_arrays {
         arrays.push(read_arr(r)?);
     }
+    read_machine_rest(r, arrays)
+}
+
+/// Inverse of [`write_machine_rest`], reassembling the machine around
+/// separately decoded heap arrays.
+pub fn read_machine_rest(r: &mut Reader, arrays: Vec<ArrStore>) -> Result<Machine, CkptError> {
     let n_objs = r.len()?;
     let mut objects = Vec::with_capacity(n_objs);
     for _ in 0..n_objs {

@@ -74,6 +74,9 @@ pub struct FaultConfig {
     pub msg_corrupt: f64,
     /// Probability that a message / collective is delayed.
     pub msg_delay: f64,
+    /// Probability that writing one checkpoint fails (I/O fault). The
+    /// world keeps running on its previous snapshot.
+    pub ckpt_write_fail: f64,
     /// Extra virtual cycles a delayed message waits before delivery.
     pub delay_cycles: u64,
     /// Retry budget for transient host-FFI failures before giving up.
@@ -93,6 +96,7 @@ impl Default for FaultConfig {
             msg_drop: 0.0,
             msg_corrupt: 0.0,
             msg_delay: 0.0,
+            ckpt_write_fail: 0.0,
             delay_cycles: 50_000,
             max_host_retries: 4,
             retry_backoff_cycles: 1_000,
@@ -130,6 +134,8 @@ pub struct ResilienceStats {
     pub corrupted_messages: u64,
     /// Messages / collectives delayed.
     pub delayed_messages: u64,
+    /// Checkpoint writes that failed with an injected I/O fault.
+    pub ckpt_write_failures: u64,
     /// Blocked states converted into typed timeouts.
     pub timeouts: u64,
     /// JIT requests served by a degraded translation mode.
@@ -150,6 +156,7 @@ impl ResilienceStats {
         self.dropped_messages += other.dropped_messages;
         self.corrupted_messages += other.corrupted_messages;
         self.delayed_messages += other.delayed_messages;
+        self.ckpt_write_failures += other.ckpt_write_failures;
         self.timeouts += other.timeouts;
         self.degraded_jits += other.degraded_jits;
         self.checkpoints_taken += other.checkpoints_taken;
@@ -164,6 +171,33 @@ impl ResilienceStats {
             + self.dropped_messages
             + self.corrupted_messages
             + self.delayed_messages
+            + self.ckpt_write_failures
+    }
+}
+
+impl std::fmt::Display for ResilienceStats {
+    /// Compact one-line resilience picture for bench output and
+    /// post-mortems.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "injected {} (crash {}, fuel {}, ffi {}, drop {}, corrupt {}, \
+             delay {}, ckpt-io {}) · retries {} · timeouts {} · degraded {} \
+             · ckpts {} · restarts {}",
+            self.injected(),
+            self.crashes,
+            self.fuel_exhaustions,
+            self.host_transients,
+            self.dropped_messages,
+            self.corrupted_messages,
+            self.delayed_messages,
+            self.ckpt_write_failures,
+            self.host_retries,
+            self.timeouts,
+            self.degraded_jits,
+            self.checkpoints_taken,
+            self.restarts,
+        )
     }
 }
 
@@ -271,6 +305,16 @@ impl FaultPlan {
         }
     }
 
+    /// Does this checkpoint write fail with an injected I/O fault?
+    pub fn ckpt_write_fails(&mut self) -> bool {
+        if self.rng.chance(self.config.ckpt_write_fail) {
+            self.stats.ckpt_write_failures += 1;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Fate of one outgoing point-to-point message.
     pub fn message_fault(&mut self) -> MsgFault {
         if self.rng.chance(self.config.msg_drop) {
@@ -355,10 +399,43 @@ mod tests {
         for _ in 0..100 {
             assert!(!p.crash_at_yield());
             assert!(!p.host_attempt_fails());
+            assert!(!p.ckpt_write_fails());
             assert_eq!(p.message_fault(), MsgFault::None);
             assert_eq!(p.slice_fuel(500), 500);
         }
         assert_eq!(p.stats, ResilienceStats::default());
+    }
+
+    #[test]
+    fn ckpt_write_faults_are_seeded_and_counted() {
+        let cfg = FaultConfig {
+            ckpt_write_fail: 0.4,
+            ..FaultConfig::seeded(21)
+        };
+        let mut a = FaultPlan::for_rank(cfg, 0);
+        let mut b = FaultPlan::for_rank(cfg, 0);
+        let da: Vec<bool> = (0..200).map(|_| a.ckpt_write_fails()).collect();
+        let db: Vec<bool> = (0..200).map(|_| b.ckpt_write_fails()).collect();
+        assert_eq!(da, db, "same seed, same checkpoint I/O faults");
+        let fired = da.iter().filter(|&&x| x).count() as u64;
+        assert!(fired > 0, "rate 0.4 must fire in 200 draws");
+        assert_eq!(a.stats.ckpt_write_failures, fired);
+        assert_eq!(a.stats.injected(), fired);
+    }
+
+    #[test]
+    fn stats_display_is_one_line() {
+        let s = ResilienceStats {
+            crashes: 2,
+            ckpt_write_failures: 1,
+            restarts: 3,
+            ..ResilienceStats::default()
+        };
+        let line = s.to_string();
+        assert!(!line.contains('\n'));
+        assert!(line.contains("crash 2"));
+        assert!(line.contains("ckpt-io 1"));
+        assert!(line.contains("restarts 3"));
     }
 
     #[test]

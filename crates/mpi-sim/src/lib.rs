@@ -28,12 +28,14 @@ use std::path::{Path, PathBuf};
 
 pub use shared::{SharedCache, SharedCacheStats};
 
-use exec::ckpt::{self, CkptError};
+pub use exec::ckpt::CkptError;
+use exec::ckpt::{self, chain};
 use exec::{
     run, ArrStore, ExecError, FaultConfig, FaultPlan, HostRegistry, Machine, MsgFault,
     ResilienceStats, Thread, Val, Yield,
 };
 use gpu_sim::{Gpu, GpuConfig, GpuErrorKind};
+use nir::codec::{Reader, Writer};
 use nir::{FuncId, IntrinOp, Program};
 
 /// Communication cost model (cycles).
@@ -257,6 +259,22 @@ pub struct CheckpointPolicy {
     /// restart budgets that cadence 1 survives, but costs ~16× fewer
     /// snapshots when nothing goes wrong.
     pub adaptive: bool,
+    /// Delta checkpointing: 0 (default) captures a full snapshot every
+    /// time; N > 0 captures delta links against the previous snapshot
+    /// and starts a fresh base every N deltas (the rebase interval).
+    /// Deltas form a verified chain (`base + delta*`, each link carrying
+    /// its parent's digest); a damaged link degrades rollback to the
+    /// deepest valid ancestor, and persisted chains are
+    /// `<name>.wckpt` + `<name>.d1.wckpt`, `<name>.d2.wckpt`, …
+    pub rebase_every: u32,
+    /// Fixed virtual-cycle latency charged to every live rank per
+    /// checkpoint write (0 = checkpoints are free, the historic model).
+    pub write_alpha: u64,
+    /// Checkpoint write bandwidth in bytes per virtual cycle (0 =
+    /// infinite). Together with `write_alpha` this makes
+    /// `virtual_time_lost` reflect snapshot size, so delta chains pay
+    /// off in time as well as bytes.
+    pub write_bytes_per_cycle: u64,
 }
 
 impl CheckpointPolicy {
@@ -264,8 +282,7 @@ impl CheckpointPolicy {
     pub fn every(every: u32) -> Self {
         CheckpointPolicy {
             every,
-            persist: None,
-            adaptive: false,
+            ..CheckpointPolicy::default()
         }
     }
 
@@ -274,14 +291,30 @@ impl CheckpointPolicy {
     pub fn adaptive(start: u32) -> Self {
         CheckpointPolicy {
             every: start,
-            persist: None,
             adaptive: true,
+            ..CheckpointPolicy::default()
         }
     }
 
     /// Also persist the latest checkpoint to `path`.
     pub fn with_persist(mut self, path: impl Into<PathBuf>) -> Self {
         self.persist = Some(path.into());
+        self
+    }
+
+    /// Capture deltas against the previous snapshot, rebasing (fresh
+    /// full base) every `rebase_every` deltas.
+    pub fn with_rebase_every(mut self, rebase_every: u32) -> Self {
+        self.rebase_every = rebase_every;
+        self
+    }
+
+    /// Model checkpoint writes in virtual time: `alpha` fixed cycles
+    /// plus size / `bytes_per_cycle` cycles, charged to every live rank
+    /// after each capture.
+    pub fn with_write_cost(mut self, alpha: u64, bytes_per_cycle: u64) -> Self {
+        self.write_alpha = alpha;
+        self.write_bytes_per_cycle = bytes_per_cycle;
         self
     }
 }
@@ -300,6 +333,36 @@ pub struct RestartStats {
     /// Virtual cycles discarded by rollbacks: failure-time clock minus
     /// the restored checkpoint's clock, summed over all restarts.
     pub virtual_time_lost: u64,
+    /// Checkpoints captured as delta links (subset of
+    /// `checkpoints_taken`; the rest were full bases).
+    pub delta_checkpoints: u64,
+    /// Fresh bases started because the rebase interval elapsed.
+    pub rebases: u64,
+    /// Total sealed checkpoint bytes produced (bases + deltas) — the
+    /// number delta chains exist to shrink.
+    pub ckpt_bytes_written: u64,
+    /// Damaged/unusable chain links discarded while rolling back or
+    /// warm-starting (each drop moves one snapshot deeper in history).
+    pub chain_links_dropped: u64,
+}
+
+impl std::fmt::Display for RestartStats {
+    /// Compact one-line summary for bench output and post-mortems.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ckpts {} ({} delta, {} rebases, {} B) · restarts {} · ranks \
+             rolled back {} · vtime lost {} · links dropped {}",
+            self.checkpoints_taken,
+            self.delta_checkpoints,
+            self.rebases,
+            self.ckpt_bytes_written,
+            self.restarts,
+            self.ranks_rolled_back,
+            self.virtual_time_lost,
+            self.chain_links_dropped,
+        )
+    }
 }
 
 /// A sealed, checksummed snapshot of a whole world at a collective
@@ -323,30 +386,208 @@ type MsgQueues = HashMap<(u32, u32, i32), VecDeque<(Vec<f32>, u64)>>;
 type ArgBuilder<'a> = &'a mut dyn FnMut(u32, &mut Machine) -> Result<Vec<Val>, String>;
 
 /// Live checkpointing state threaded through the scheduler by
-/// [`World::run_with_restart`].
+/// [`World::run_with_restart`]: the current chain epoch (sealed links,
+/// base first) plus the incremental encoder positioned at its head.
 struct CkptState {
     every: u64,
+    rebase_every: u64,
+    write_alpha: u64,
+    write_bytes_per_cycle: u64,
     persist: Option<PathBuf>,
     since_last: u64,
-    latest: Option<WorldCheckpoint>,
+    chain: chain::ChainState,
+    links: Vec<Vec<u8>>,
+    deltas_since_base: u64,
+    latest_vtime: Option<u64>,
     taken: u64,
+    deltas: u64,
+    rebases: u64,
+    bytes_written: u64,
+    links_dropped: u64,
 }
 
 impl CkptState {
+    fn new(policy: &CheckpointPolicy) -> Self {
+        CkptState {
+            every: policy.every.max(1) as u64,
+            rebase_every: policy.rebase_every as u64,
+            write_alpha: policy.write_alpha,
+            write_bytes_per_cycle: policy.write_bytes_per_cycle,
+            persist: policy.persist.clone(),
+            since_last: 0,
+            chain: chain::ChainState::new(),
+            links: Vec::new(),
+            deltas_since_base: 0,
+            latest_vtime: None,
+            taken: 0,
+            deltas: 0,
+            rebases: 0,
+            bytes_written: 0,
+            links_dropped: 0,
+        }
+    }
+
     /// Called by the scheduler immediately after a collective completes —
     /// the only globally consistent cut points (see [`CheckpointPolicy`]).
-    fn collective_completed(&mut self, world: &World, ranks: &[Rank], messages: &MsgQueues) {
+    fn collective_completed(&mut self, world: &World, ranks: &mut [Rank], messages: &MsgQueues) {
         self.since_last += 1;
         if self.since_last < self.every {
             return;
         }
         self.since_last = 0;
-        let wc = world.capture_checkpoint(ranks, messages);
-        if let Some(path) = &self.persist {
-            persist_checkpoint(path, &wc.bytes);
+        // Injected checkpoint-write I/O fault — a world-level decision
+        // drawn from the first live fault stream (rank 0). The write is
+        // skipped; the world keeps running on its previous snapshot.
+        // Drawn before capture so full and delta modes see identical
+        // streams.
+        if let Some(plan) = ranks.iter_mut().find_map(|r| r.machine.fault.as_mut()) {
+            if plan.ckpt_write_fails() {
+                return;
+            }
         }
-        self.latest = Some(wc);
+        let sections = world.world_sections(ranks, messages);
+        let force_base = self.rebase_every == 0
+            || self.links.is_empty()
+            || self.deltas_since_base >= self.rebase_every;
+        let link = self.chain.push(sections, force_base);
+        self.bytes_written += link.bytes.len() as u64;
+        if link.is_base {
+            if !self.links.is_empty() && self.rebase_every > 0 {
+                self.rebases += 1;
+            }
+            if let Some(path) = &self.persist {
+                // Old-epoch deltas go first so a crash mid-rebase leaves
+                // either the old base alone (a valid, older ancestor) or
+                // the new base alone — never a base with foreign deltas
+                // (parent digests would reject those anyway).
+                remove_persisted_deltas(path);
+                persist_checkpoint(path, &link.bytes);
+            }
+            self.links.clear();
+            self.deltas_since_base = 0;
+        } else {
+            self.deltas += 1;
+            self.deltas_since_base += 1;
+            if let Some(path) = &self.persist {
+                persist_checkpoint(&delta_path(path, link.seq), &link.bytes);
+            }
+        }
+        let link_len = link.bytes.len() as u64;
+        self.links.push(link.bytes);
+        self.latest_vtime = Some(ranks.iter().map(|r| r.vclock).max().unwrap_or(0));
         self.taken += 1;
+        // Charge the write cost after capture: the snapshot itself is
+        // pre-cost, so a rollback also re-pays the time spent writing —
+        // exactly the term delta chains shrink.
+        // bytes_per_cycle == 0 means "size is free" (the default).
+        let cost = self.write_alpha
+            + link_len
+                .checked_div(self.write_bytes_per_cycle)
+                .unwrap_or(0);
+        if cost > 0 {
+            for rank in ranks.iter_mut().filter(|r| r.done.is_none()) {
+                rank.vclock += cost;
+                rank.comm_cycles += cost;
+            }
+        }
+    }
+
+    /// Resolve the current chain into runnable world state, degrading to
+    /// the deepest valid ancestor: any damaged or undecodable tail link
+    /// is dropped (counted) and the next-older snapshot is tried. `None`
+    /// means the base itself is gone — a cold restart.
+    fn restore_latest(&mut self, world: &World) -> Option<(Vec<Rank>, MsgQueues)> {
+        loop {
+            if self.links.is_empty() {
+                self.latest_vtime = None;
+                self.deltas_since_base = 0;
+                return None;
+            }
+            let out = chain::resolve_prefix(&self.links);
+            if out.valid_links == self.links.len() {
+                match world.world_from_sections(&out.sections) {
+                    Ok(rm) => {
+                        let head = self.links.last().expect("non-empty chain");
+                        self.chain =
+                            chain::ChainState::resume(out.sections, head, self.links.len() as u64);
+                        self.deltas_since_base = (self.links.len() - 1) as u64;
+                        self.latest_vtime = Some(rm.0.iter().map(|r| r.vclock).max().unwrap_or(0));
+                        return Some(rm);
+                    }
+                    Err(_) => {
+                        // Chain-valid but not decodable by this world
+                        // (program/topology skew): try one link deeper.
+                        self.links.pop();
+                        self.links_dropped += 1;
+                    }
+                }
+            } else {
+                self.links_dropped += (self.links.len() - out.valid_links) as u64;
+                self.links.truncate(out.valid_links);
+            }
+        }
+    }
+}
+
+/// Path of delta link `seq` beside its chain's base file:
+/// `world.wckpt` → `world.d3.wckpt`.
+fn delta_path(base: &Path, seq: u64) -> PathBuf {
+    let name = base
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("chain.wckpt");
+    let stem = name.strip_suffix(".wckpt").unwrap_or(name);
+    base.with_file_name(format!("{stem}.d{seq}.wckpt"))
+}
+
+/// Load a persisted chain: the base file, then `d1`, `d2`, … until the
+/// first missing file (deltas are written densely, so a gap means the
+/// rest of the chain is orphaned). Missing base = no chain.
+fn load_chain_files(base: &Path) -> Vec<Vec<u8>> {
+    let mut links = Vec::new();
+    match std::fs::read(base) {
+        Ok(bytes) => links.push(bytes),
+        Err(_) => return links,
+    }
+    let mut seq = 1u64;
+    while let Ok(bytes) = std::fs::read(delta_path(base, seq)) {
+        links.push(bytes);
+        seq += 1;
+    }
+    links
+}
+
+/// Remove the dense run of persisted delta files (rebase cleanup).
+fn remove_persisted_deltas(base: &Path) {
+    let mut seq = 1u64;
+    while std::fs::remove_file(delta_path(base, seq)).is_ok() {
+        seq += 1;
+    }
+}
+
+/// Offline inspection of a persisted checkpoint chain: how many link
+/// files exist, how many validate (version, checksum, sequence, parent
+/// digest), and the typed error at the first bad hop. World-independent —
+/// tests and tooling use it to observe exactly which ancestor a
+/// warm start will land on.
+#[derive(Debug)]
+pub struct ChainProbe {
+    /// Link files found on disk (base + dense delta run).
+    pub links_found: usize,
+    /// Leading links that validate and apply cleanly.
+    pub links_valid: usize,
+    /// Why validation stopped, when `links_valid < links_found`.
+    pub error: Option<CkptError>,
+}
+
+/// Probe the persisted chain rooted at `base` (see [`ChainProbe`]).
+pub fn probe_chain(base: &Path) -> ChainProbe {
+    let links = load_chain_files(base);
+    let out = chain::resolve_prefix(&links);
+    ChainProbe {
+        links_found: links.len(),
+        links_valid: out.valid_links,
+        error: out.error,
     }
 }
 
@@ -536,40 +777,21 @@ impl<'p> World<'p> {
         policy: &CheckpointPolicy,
         max_restarts: u32,
     ) -> Result<WorldRun, SimError> {
-        let mut ck = CkptState {
-            every: policy.every.max(1) as u64,
-            persist: policy.persist.clone(),
-            since_last: 0,
-            latest: None,
-            taken: 0,
-        };
-        // Warm start: a killed process may have left a persisted
-        // checkpoint behind. An unreadable, corrupt, or mismatched file
-        // simply means a cold start — never an error, never a panic.
-        if let Some(path) = &ck.persist {
-            if let Ok(bytes) = std::fs::read(path) {
-                if let Ok((ranks, _)) = self.restore_checkpoint(&bytes) {
-                    let vtime = ranks.iter().map(|r| r.vclock).max().unwrap_or(0);
-                    ck.latest = Some(WorldCheckpoint { bytes, vtime });
-                }
-            }
+        let mut ck = CkptState::new(policy);
+        // Warm start: a killed process may have left a persisted chain
+        // behind. Unreadable, corrupt, or mismatched links simply shorten
+        // the chain (deepest valid ancestor); a bad base means a cold
+        // start — never an error, never a panic.
+        if let Some(path) = ck.persist.clone() {
+            ck.links = load_chain_files(&path);
         }
         let mut stats = RestartStats::default();
         let mut carried = ResilienceStats::default();
         loop {
             let attempt = stats.restarts;
-            // Roll back to the latest checkpoint, degrading to a cold
-            // restart if it fails to decode.
-            let restored = match ck.latest.as_ref() {
-                Some(wc) => match self.restore_checkpoint(&wc.bytes) {
-                    Ok(rm) => Some(rm),
-                    Err(_) => {
-                        ck.latest = None;
-                        None
-                    }
-                },
-                None => None,
-            };
+            // Roll back to the deepest valid snapshot in the chain,
+            // degrading link by link and to a cold restart at the end.
+            let restored = ck.restore_latest(self);
             let (mut ranks, mut messages) = match restored {
                 Some(rm) => rm,
                 None => (self.init_ranks(entry, &mut make_args)?, MsgQueues::new()),
@@ -593,6 +815,10 @@ impl<'p> World<'p> {
             match self.drive(&mut ranks, &mut messages, Some(&mut ck)) {
                 Ok(mut run) => {
                     stats.checkpoints_taken = ck.taken;
+                    stats.delta_checkpoints = ck.deltas;
+                    stats.rebases = ck.rebases;
+                    stats.ckpt_bytes_written = ck.bytes_written;
+                    stats.chain_links_dropped = ck.links_dropped;
                     run.resilience.merge(&carried);
                     run.resilience.checkpoints_taken += ck.taken;
                     run.resilience.restarts += stats.restarts;
@@ -614,7 +840,7 @@ impl<'p> World<'p> {
                         }
                     }
                     let fail_vtime = ranks.iter().map(|r| r.vclock).max().unwrap_or(0);
-                    let base = ck.latest.as_ref().map(|wc| wc.vtime).unwrap_or(0);
+                    let base = ck.latest_vtime.unwrap_or(0);
                     stats.virtual_time_lost += fail_vtime.saturating_sub(base);
                     stats.restarts += 1;
                     // Adaptive cadence: each restart halves the interval
@@ -1070,107 +1296,152 @@ impl<'p> World<'p> {
         })
     }
 
-    /// Serialize every rank (threads, machines, device state) plus the
-    /// in-flight message queues into a sealed world checkpoint. Only ever
-    /// called at a collective boundary, where all live ranks' clocks are
-    /// synchronized and no collective is partially complete.
-    fn capture_checkpoint(&self, ranks: &[Rank], messages: &MsgQueues) -> WorldCheckpoint {
-        let mut w = ckpt::begin(ckpt::TAG_WORLD);
-        w.u32(self.size);
-        w.len(ranks.len());
+    /// Decompose the world into the ordered byte sections a checkpoint
+    /// chain diffs over: one header section (sizes, clocks, completion),
+    /// then per rank a call-stack section, one section *per heap array*
+    /// (so an untouched mesh costs nothing in a delta link), the rest of
+    /// the machine (objects, globals, output, counters, fault-PRNG
+    /// cursor), and any device state — and finally the in-flight message
+    /// queues. Only ever called at a collective boundary, where all live
+    /// ranks' clocks are synchronized and no collective is partially
+    /// complete.
+    fn world_sections(&self, ranks: &[Rank], messages: &MsgQueues) -> Vec<Vec<u8>> {
+        let mut header = Writer::new();
+        header.u32(self.size);
+        header.len(ranks.len());
+        let mut body: Vec<Vec<u8>> = Vec::new();
         for rank in ranks {
             match &rank.done {
-                None => w.u8(0),
-                Some(None) => w.u8(1),
+                None => header.u8(0),
+                Some(None) => header.u8(1),
                 Some(Some(v)) => {
-                    w.u8(2);
-                    ckpt::write_val(&mut w, *v);
+                    header.u8(2);
+                    ckpt::write_val(&mut header, *v);
                 }
             }
-            ckpt::write_thread(&mut w, &rank.thread);
-            ckpt::write_machine(&mut w, &rank.machine);
-            w.u64(rank.vclock);
-            w.u64(rank.compute_cycles);
-            w.u64(rank.comm_cycles);
-            w.u64(rank.last_cycles);
-            w.bool(rank.gpu.is_some());
+            header.u64(rank.vclock);
+            header.u64(rank.compute_cycles);
+            header.u64(rank.comm_cycles);
+            header.u64(rank.last_cycles);
+            header.bool(rank.gpu.is_some());
+            let arrays = ckpt::machine_array_sections(&rank.machine);
+            // Count of sections elsewhere — not a same-buffer length, so
+            // it must not go through the reader's `len()` sanity bound.
+            header.u32(arrays.len() as u32);
+            let mut t = Writer::new();
+            ckpt::write_thread(&mut t, &rank.thread);
+            body.push(t.into_bytes());
+            body.extend(arrays);
+            let mut m = Writer::new();
+            ckpt::write_machine_rest(&mut m, &rank.machine);
+            body.push(m.into_bytes());
             if let Some(gpu) = &rank.gpu {
-                ckpt::write_machine(&mut w, &gpu.machine);
-                w.u64(gpu.vtime);
-                w.u64(gpu.allocated_bytes);
+                let mut g = Writer::new();
+                ckpt::write_machine(&mut g, &gpu.machine);
+                g.u64(gpu.vtime);
+                g.u64(gpu.allocated_bytes);
+                body.push(g.into_bytes());
             }
         }
         // HashMap iteration order is nondeterministic — sort the keys so
         // identical worlds produce bit-identical checkpoints.
+        let mut msgs = Writer::new();
         let mut keys: Vec<&(u32, u32, i32)> = messages.keys().collect();
         keys.sort();
-        w.len(keys.len());
+        msgs.len(keys.len());
         for key in keys {
             let q = &messages[key];
-            w.u32(key.0);
-            w.u32(key.1);
-            w.i32(key.2);
-            w.len(q.len());
+            msgs.u32(key.0);
+            msgs.u32(key.1);
+            msgs.i32(key.2);
+            msgs.len(q.len());
             for (payload, avail_at) in q {
-                w.len(payload.len());
+                msgs.len(payload.len());
                 for &f in payload {
-                    w.f32(f);
+                    msgs.f32(f);
                 }
-                w.u64(*avail_at);
+                msgs.u64(*avail_at);
             }
         }
-        let vtime = ranks.iter().map(|r| r.vclock).max().unwrap_or(0);
-        WorldCheckpoint {
-            bytes: ckpt::finish(w),
-            vtime,
-        }
+        let mut sections = Vec::with_capacity(body.len() + 2);
+        sections.push(header.into_bytes());
+        sections.append(&mut body);
+        sections.push(msgs.into_bytes());
+        sections
     }
 
-    /// Decode a world checkpoint back into runnable ranks and message
-    /// queues. Every failure mode — truncation, corruption, version or
-    /// topology skew — is a typed [`CkptError`], never a panic. Fault
-    /// plans are restored with their exact PRNG cursors; device-side
-    /// plans are re-armed from the world's fault config (their cursors
-    /// advance via [`Gpu::reseed_faults`] on restart instead).
-    fn restore_checkpoint(&self, bytes: &[u8]) -> Result<(Vec<Rank>, MsgQueues), CkptError> {
-        let mut r = ckpt::open(bytes, ckpt::TAG_WORLD)?;
-        let size = r.u32()?;
-        if size != self.size {
-            return Err(r
-                .corrupt(format!(
-                    "checkpoint is for a {size}-rank world, this world has {} ranks",
-                    self.size
-                ))
-                .into());
+    /// Decode resolved chain sections back into runnable ranks and
+    /// message queues. Every failure mode — truncation, corruption,
+    /// version or topology skew — is a typed [`CkptError`], never a
+    /// panic. Fault plans are restored with their exact PRNG cursors;
+    /// device-side plans are re-armed from the world's fault config
+    /// (their cursors advance via [`Gpu::reseed_faults`] on restart
+    /// instead).
+    fn world_from_sections(
+        &self,
+        sections: &[Vec<u8>],
+    ) -> Result<(Vec<Rank>, MsgQueues), CkptError> {
+        fn bad(message: impl Into<String>) -> CkptError {
+            CkptError::Corrupt {
+                offset: 0,
+                message: message.into(),
+            }
         }
-        let n = r.len()?;
+        let mut it = sections.iter();
+        let mut h = Reader::new(it.next().ok_or_else(|| bad("empty snapshot"))?);
+        let size = h.u32()?;
+        if size != self.size {
+            return Err(bad(format!(
+                "checkpoint is for a {size}-rank world, this world has {} ranks",
+                self.size
+            )));
+        }
+        let n = h.len()?;
         if n != self.size as usize {
-            return Err(r.corrupt("rank count does not match world size").into());
+            return Err(bad("rank count does not match world size"));
         }
         let mut ranks = Vec::with_capacity(n);
         for rank_id in 0..n {
-            let done = match r.u8()? {
+            let done = match h.u8()? {
                 0 => None,
                 1 => Some(None),
-                2 => Some(Some(ckpt::read_val(&mut r)?)),
-                t => return Err(r.corrupt(format!("bad rank-done tag {t:#x}")).into()),
+                2 => Some(Some(ckpt::read_val(&mut h)?)),
+                t => return Err(bad(format!("bad rank-done tag {t:#x}"))),
             };
-            let thread = ckpt::read_thread(&mut r, self.program)?;
-            let machine = ckpt::read_machine(&mut r)?;
-            let vclock = r.u64()?;
-            let compute_cycles = r.u64()?;
-            let comm_cycles = r.u64()?;
-            let last_cycles = r.u64()?;
-            let gpu = if r.bool()? {
+            let vclock = h.u64()?;
+            let compute_cycles = h.u64()?;
+            let comm_cycles = h.u64()?;
+            let last_cycles = h.u64()?;
+            let has_gpu = h.bool()?;
+            let n_arrays = h.u32()? as usize;
+            if n_arrays > sections.len() {
+                return Err(bad(format!(
+                    "rank {rank_id} claims {n_arrays} arrays in a {}-section snapshot",
+                    sections.len()
+                )));
+            }
+            let mut section = |what: &str| {
+                it.next()
+                    .ok_or_else(|| bad(format!("missing {what} section of rank {rank_id}")))
+            };
+            let mut t = Reader::new(section("thread")?);
+            let thread = ckpt::read_thread(&mut t, self.program)?;
+            let mut arrays = Vec::with_capacity(n_arrays);
+            for i in 0..n_arrays {
+                let mut a = Reader::new(section(&format!("array {i}"))?);
+                arrays.push(ckpt::read_arr(&mut a)?);
+            }
+            let mut m = Reader::new(section("machine")?);
+            let machine = ckpt::read_machine_rest(&mut m, arrays)?;
+            let gpu = if has_gpu {
                 let Some(cfg) = self.gpu else {
-                    return Err(r
-                        .corrupt("checkpoint has device state but this world has no GPU")
-                        .into());
+                    return Err(bad("checkpoint has device state but this world has no GPU"));
                 };
+                let mut gr = Reader::new(section("device")?);
                 let mut g = Gpu::new(cfg);
-                g.machine = ckpt::read_machine(&mut r)?;
-                g.vtime = r.u64()?;
-                g.allocated_bytes = r.u64()?;
+                g.machine = ckpt::read_machine(&mut gr)?;
+                g.vtime = gr.u64()?;
+                g.allocated_bytes = gr.u64()?;
                 if let Some(fault) = self.fault {
                     g.set_fault(device_fault_config(fault, rank_id as u32));
                 }
@@ -1193,6 +1464,7 @@ impl<'p> World<'p> {
             });
         }
         let mut messages: MsgQueues = HashMap::new();
+        let mut r = Reader::new(it.next().ok_or_else(|| bad("missing message section"))?);
         let n_queues = r.len()?;
         for _ in 0..n_queues {
             let from = r.u32()?;
@@ -1212,9 +1484,35 @@ impl<'p> World<'p> {
             messages.insert((from, to, tag), q);
         }
         if !r.is_at_end() {
-            return Err(r.corrupt("trailing bytes after world checkpoint").into());
+            return Err(bad("trailing bytes after message queues"));
+        }
+        if it.next().is_some() {
+            return Err(bad("trailing sections after world snapshot"));
         }
         Ok((ranks, messages))
+    }
+
+    /// Serialize the world as a standalone full snapshot — a single-link
+    /// chain (one sealed base).
+    #[cfg(test)]
+    fn capture_checkpoint(&self, ranks: &[Rank], messages: &MsgQueues) -> WorldCheckpoint {
+        let sections = self.world_sections(ranks, messages);
+        let vtime = ranks.iter().map(|r| r.vclock).max().unwrap_or(0);
+        WorldCheckpoint {
+            bytes: chain::base_link(&sections),
+            vtime,
+        }
+    }
+
+    /// Decode a standalone full snapshot ([`World::capture_checkpoint`]).
+    #[cfg(test)]
+    fn restore_checkpoint(&self, bytes: &[u8]) -> Result<(Vec<Rank>, MsgQueues), CkptError> {
+        let links = [bytes.to_vec()];
+        let out = chain::resolve_prefix(&links);
+        if let Some(e) = out.error {
+            return Err(e);
+        }
+        self.world_from_sections(&out.sections)
     }
 
     /// Enqueue an outgoing point-to-point message, applying the sending

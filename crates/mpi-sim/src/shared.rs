@@ -116,7 +116,15 @@ impl SharedCache {
         if let Some(dir) = &self.persist_dir {
             let path = dir.join(format!("{fingerprint}.wjar"));
             if !path.exists() {
-                let tmp = dir.join(format!(".tmp-shared-{}-{fingerprint}", std::process::id()));
+                // PID separates processes sharing the cache dir; the
+                // process-wide counter separates threads within one.
+                static TMP_UNIQ: std::sync::atomic::AtomicU64 =
+                    std::sync::atomic::AtomicU64::new(0);
+                let uniq = TMP_UNIQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let tmp = dir.join(format!(
+                    ".tmp-shared-{}-{uniq}-{fingerprint}",
+                    std::process::id()
+                ));
                 if std::fs::write(&tmp, &artifact).is_ok() && std::fs::rename(&tmp, &path).is_err()
                 {
                     let _ = std::fs::remove_file(&tmp);

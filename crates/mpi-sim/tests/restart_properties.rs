@@ -9,10 +9,12 @@
 //! No proptest/quickcheck: cases are driven by the same xorshift64* idiom
 //! the fault plans themselves use, so the whole suite is deterministic.
 
+use std::path::PathBuf;
+
 use exec::{FaultConfig, Val};
 use jlang::ast::BinOp;
 use jlang::types::PrimKind;
-use mpi_sim::{CheckpointPolicy, SimError, World, WorldRun};
+use mpi_sim::{probe_chain, CheckpointPolicy, CkptError, SimError, World, WorldRun};
 use nir::{ElemTy, FuncBuilder, FuncId, FuncKind, Instr, IntrinOp, Program, Ty};
 
 /// Each rank seeds `buf[0] = rank`, then runs `steps` iterations of: ring
@@ -21,6 +23,13 @@ use nir::{ElemTy, FuncBuilder, FuncId, FuncKind, Instr, IntrinOp, Program, Ty};
 /// checkpoints places to land; the p2p traffic keeps message queues in
 /// play; the value depends on every iteration completing in order.
 fn ring_step_allreduce(steps: i32) -> (Program, FuncId) {
+    ring_step_allreduce_mesh(steps, 2)
+}
+
+/// Like [`ring_step_allreduce`] but with `mesh`-element rank arrays of
+/// which only element 0 ever changes — the mostly-constant heap shape
+/// delta checkpoints exist for.
+fn ring_step_allreduce_mesh(steps: i32, mesh: i32) -> (Program, FuncId) {
     let mut fb = FuncBuilder::new("rsa", vec![], Some(Ty::F32), FuncKind::Host);
     let rank = fb.reg(Ty::I32);
     let size = fb.reg(Ty::I32);
@@ -32,6 +41,7 @@ fn ring_step_allreduce(steps: i32) -> (Program, FuncId) {
     let i = fb.reg(Ty::I32);
     let dest = fb.reg(Ty::I32);
     let src = fb.reg(Ty::I32);
+    let mlen = fb.reg(Ty::I32);
     let buf = fb.reg(Ty::Arr(ElemTy::F32));
     let rbuf = fb.reg(Ty::Arr(ElemTy::F32));
     let cond = fb.reg(Ty::Bool);
@@ -54,14 +64,15 @@ fn ring_step_allreduce(steps: i32) -> (Program, FuncId) {
     fb.emit(Instr::ConstI32(tag, 5));
     fb.emit(Instr::ConstI32(limit, steps));
     fb.emit(Instr::ConstI32(i, 0));
+    fb.emit(Instr::ConstI32(mlen, mesh.max(2)));
     fb.emit(Instr::NewArr {
         elem: ElemTy::F32,
-        len: n,
+        len: mlen,
         dst: buf,
     });
     fb.emit(Instr::NewArr {
         elem: ElemTy::F32,
-        len: n,
+        len: mlen,
         dst: rbuf,
     });
     fb.emit(Instr::Cast {
@@ -308,6 +319,186 @@ fn corrupt_persisted_checkpoints_degrade_to_cold_restart() {
             .unwrap_or_else(|e| panic!("damage case {i}: cold restart failed: {e}"));
         assert_eq!(results(run), clean, "damage case {i}");
     }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Delta chains answer exactly like full snapshots on a crashing seed —
+/// the fault stream is policy-independent, so even the restart pattern
+/// matches — while writing far fewer checkpoint bytes when rank heaps
+/// are mostly constant (the common mesh-plus-halo shape).
+#[test]
+fn delta_chains_match_full_snapshots_and_write_fewer_bytes() {
+    const SIZE: u32 = 3;
+    let (program, entry) = ring_step_allreduce_mesh(8, 2048);
+    let clean = results(
+        World::new(&program, SIZE)
+            .run(entry, |_, _| Ok(vec![]))
+            .unwrap(),
+    );
+    let seed = (0..64u64)
+        .find(|&s| {
+            let mut cfg = FaultConfig::seeded(0xDE17A ^ s);
+            cfg.crash = 0.003;
+            matches!(
+                World::new(&program, SIZE)
+                    .with_faults(cfg)
+                    .with_timeout(5_000)
+                    .run(entry, |_, _| Ok(vec![])),
+                Err(SimError::Crash { .. })
+            )
+        })
+        .expect("no crashing seed in the sweep");
+    let mut cfg = FaultConfig::seeded(0xDE17A ^ seed);
+    cfg.crash = 0.003;
+    let mut stats = Vec::new();
+    for rebase_every in [0u32, 4] {
+        let run = World::new(&program, SIZE)
+            .with_faults(cfg)
+            .with_timeout(5_000)
+            .run_with_restart(
+                entry,
+                |_, _| Ok(vec![]),
+                &CheckpointPolicy::every(1).with_rebase_every(rebase_every),
+                128,
+            )
+            .unwrap_or_else(|e| panic!("rebase_every {rebase_every}: {e}"));
+        stats.push(run.restart);
+        assert_eq!(results(run), clean, "rebase_every {rebase_every}");
+    }
+    let (full, delta) = (&stats[0], &stats[1]);
+    assert_eq!(
+        full.delta_checkpoints, 0,
+        "rebase_every 0 is full snapshots"
+    );
+    assert!(delta.delta_checkpoints > 0, "delta mode must take deltas");
+    assert_eq!(
+        full.restarts, delta.restarts,
+        "the fault stream must not depend on the checkpoint encoding"
+    );
+    assert!(
+        delta.ckpt_bytes_written < full.ckpt_bytes_written,
+        "deltas over a mostly-constant mesh must write fewer bytes: \
+         delta {} vs full {}",
+        delta.ckpt_bytes_written,
+        full.ckpt_bytes_written
+    );
+}
+
+/// The chain-corruption sweep: damage each persisted link in turn
+/// (truncation and a flipped bit), and require the probe to stop at
+/// exactly that link with a typed error, and a warm restart to roll back
+/// to the deepest valid ancestor — counting precisely the dropped tail,
+/// finishing bit-identically, never panicking. Deleting a middle link
+/// cuts the chain at the gap; deleting the base degrades to cold.
+#[test]
+fn chain_corruption_sweep_degrades_to_the_deepest_valid_ancestor() {
+    let dir = std::env::temp_dir().join(format!("wj-chain-sweep-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = dir.join("world.wckpt");
+    let (program, entry) = ring_step_allreduce(6);
+    let world = World::new(&program, 3);
+    let policy = CheckpointPolicy::every(1)
+        .with_persist(&base)
+        .with_rebase_every(64);
+    let clean = results(world.run(entry, |_, _| Ok(vec![])).unwrap());
+
+    // Lay down a pristine chain, then snapshot every link file.
+    let run = world
+        .run_with_restart(entry, |_, _| Ok(vec![]), &policy, 8)
+        .unwrap();
+    assert_eq!(results(run), clean);
+    let n = {
+        let p = probe_chain(&base);
+        assert_eq!(p.links_valid, p.links_found, "pristine chain must validate");
+        assert!(p.error.is_none(), "pristine chain: {:?}", p.error);
+        p.links_found
+    };
+    assert!(n >= 3, "need a base plus deltas to sweep, got {n} links");
+    let link_file = |k: usize| -> PathBuf {
+        if k == 0 {
+            base.clone()
+        } else {
+            dir.join(format!("world.d{k}.wckpt"))
+        }
+    };
+    let pristine: Vec<Vec<u8>> = (0..n)
+        .map(|k| std::fs::read(link_file(k)).unwrap())
+        .collect();
+    let restore_all = || {
+        for (k, bytes) in pristine.iter().enumerate() {
+            std::fs::write(link_file(k), bytes).unwrap();
+        }
+    };
+
+    for (k, good) in pristine.iter().enumerate() {
+        for mode in ["truncate", "bitflip"] {
+            restore_all();
+            let damaged = if mode == "truncate" {
+                good[..good.len() / 2].to_vec()
+            } else {
+                let mut b = good.clone();
+                let mid = b.len() / 2;
+                b[mid] ^= 0x10;
+                b
+            };
+            std::fs::write(link_file(k), &damaged).unwrap();
+            let p = probe_chain(&base);
+            assert_eq!(p.links_found, n, "{mode} at link {k}");
+            assert_eq!(
+                p.links_valid, k,
+                "{mode} at link {k}: probe must stop at the damaged link"
+            );
+            match p.error {
+                None => panic!("{mode} at link {k}: expected a typed error"),
+                Some(CkptError::Corrupt { .. })
+                | Some(CkptError::Truncated { .. })
+                | Some(CkptError::ChainBroken { .. }) => {}
+                Some(other) => panic!("{mode} at link {k}: unexpected error {other}"),
+            }
+            // Warm restart over the damaged chain: rolls back to link k-1,
+            // counts exactly the dropped tail, finishes with the clean
+            // answer.
+            let run = world
+                .run_with_restart(entry, |_, _| Ok(vec![]), &policy, 8)
+                .unwrap_or_else(|e| panic!("{mode} at link {k}: {e}"));
+            assert_eq!(
+                run.restart.chain_links_dropped,
+                (n - k) as u64,
+                "{mode} at link {k}: dropped-link accounting"
+            );
+            assert_eq!(results(run), clean, "{mode} at link {k}");
+        }
+    }
+
+    // A deleted middle link cuts the chain at the gap (deltas are dense,
+    // so everything past the gap is orphaned, not an error).
+    restore_all();
+    std::fs::remove_file(link_file(1)).unwrap();
+    let p = probe_chain(&base);
+    assert_eq!(p.links_found, 1, "gap must end the dense run");
+    assert_eq!(p.links_valid, 1);
+    assert!(p.error.is_none(), "a gap is not damage: {:?}", p.error);
+    let run = world
+        .run_with_restart(entry, |_, _| Ok(vec![]), &policy, 8)
+        .unwrap();
+    assert_eq!(results(run), clean, "gapped chain");
+
+    // A missing base is a cold start — still the right answer, and
+    // nothing counted as dropped (there was no chain to drop from).
+    restore_all();
+    std::fs::remove_file(&base).unwrap();
+    let p = probe_chain(&base);
+    assert_eq!(p.links_found, 0, "missing base means no chain");
+    let run = world
+        .run_with_restart(entry, |_, _| Ok(vec![]), &policy, 8)
+        .unwrap();
+    assert_eq!(
+        run.restart.chain_links_dropped, 0,
+        "cold start drops nothing"
+    );
+    assert_eq!(results(run), clean, "cold start");
+
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -223,6 +223,11 @@ impl Writer {
         self.len(s.len());
         self.buf.extend_from_slice(s.as_bytes());
     }
+
+    /// Raw bytes, unframed — the caller writes its own length prefix.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
 }
 
 /// Bounds-checked cursor over an artifact payload.
@@ -314,6 +319,11 @@ impl<'a> Reader<'a> {
             )));
         }
         Ok(n)
+    }
+
+    /// Raw bytes, unframed — pairs with [`Writer::bytes`].
+    pub fn bytes(&mut self, n: usize) -> CodecResult<&'a [u8]> {
+        self.take(n)
     }
 
     pub fn str(&mut self) -> CodecResult<String> {

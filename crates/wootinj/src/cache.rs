@@ -339,12 +339,68 @@ impl DiskStore {
     }
 
     /// Age out persisted world checkpoints (`.wckpt`) beyond their own
-    /// byte budget, oldest-mtime first. Runs at open and after every
-    /// insert, so checkpoint turnover cannot grow the directory without
-    /// bound even though checkpoints are written by the restart
-    /// machinery, not through this store.
+    /// byte budget. Runs at open and after every insert, so checkpoint
+    /// turnover cannot grow the directory without bound even though
+    /// checkpoints are written by the restart machinery, not through
+    /// this store.
+    ///
+    /// Checkpoints form delta chains (`name.wckpt` + `name.dN.wckpt`),
+    /// so eviction is *chain-aware*: files are grouped by chain and whole
+    /// chains are evicted coldest-first (by newest member's mtime) —
+    /// never a base out from under live deltas, never orphaned deltas.
     fn evict_ckpts_to_budget(&mut self) {
-        self.stats.ckpt_evictions += Self::sweep(self.files_with_ext("wckpt"), self.ckpt_budget);
+        self.stats.ckpt_evictions +=
+            Self::sweep_chains(self.files_with_ext("wckpt"), self.ckpt_budget);
+    }
+
+    /// The chain a checkpoint file belongs to: `x.wckpt` and
+    /// `x.d3.wckpt` both map to `x`.
+    fn chain_stem(path: &Path) -> String {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        let stem = name.strip_suffix(".wckpt").unwrap_or(name);
+        match stem.rsplit_once(".d") {
+            Some((base, seq)) if !seq.is_empty() && seq.bytes().all(|b| b.is_ascii_digit()) => {
+                base.to_string()
+            }
+            _ => stem.to_string(),
+        }
+    }
+
+    /// Remove whole checkpoint chains, coldest first, until their total
+    /// fits `budget`. Returns the number of files removed.
+    fn sweep_chains(files: Vec<(PathBuf, u64, SystemTime)>, budget: u64) -> u64 {
+        let mut total: u64 = files.iter().map(|(_, len, _)| len).sum();
+        if total <= budget {
+            return 0;
+        }
+        let mut chains: HashMap<String, (u64, SystemTime, Vec<PathBuf>)> = HashMap::new();
+        for (path, len, mtime) in files {
+            let entry = chains.entry(Self::chain_stem(&path)).or_insert((
+                0,
+                SystemTime::UNIX_EPOCH,
+                Vec::new(),
+            ));
+            entry.0 += len;
+            entry.1 = entry.1.max(mtime);
+            entry.2.push(path);
+        }
+        // Coldest chain = the one whose *newest* member is oldest; the
+        // stem tiebreak keeps eviction order deterministic.
+        let mut chains: Vec<_> = chains.into_iter().collect();
+        chains.sort_by(|a, b| (a.1 .1, &a.0).cmp(&(b.1 .1, &b.0)));
+        let mut removed = 0;
+        for (_, (len, _, paths)) in chains {
+            if total <= budget {
+                break;
+            }
+            for path in paths {
+                if std::fs::remove_file(&path).is_ok() {
+                    removed += 1;
+                }
+            }
+            total = total.saturating_sub(len);
+        }
+        removed
     }
 
     /// Mark an artifact as recently used for the LRU-by-mtime sweep.

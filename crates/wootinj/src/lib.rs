@@ -39,7 +39,7 @@ pub use exec::{CkptError, FaultConfig, ResilienceStats, Val};
 pub use gpu_sim::GpuConfig;
 pub use mpi_sim::CostModel as MpiCostModel;
 pub use mpi_sim::SimError;
-pub use mpi_sim::{CheckpointPolicy, RestartStats, Schedule};
+pub use mpi_sim::{probe_chain, ChainProbe, CheckpointPolicy, RestartStats, Schedule};
 pub use mpi_sim::{SharedCache, SharedCacheStats};
 pub use nir::OptConfig;
 pub use platform::{

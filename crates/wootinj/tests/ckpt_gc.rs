@@ -89,6 +89,53 @@ fn long_lived_cache_dir_stays_bounded_under_checkpoint_churn() {
 }
 
 #[test]
+fn chains_are_evicted_wholesale_never_orphaning_deltas() {
+    let dir = std::env::temp_dir().join(format!("wj-ckpt-gc-chain-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Three delta chains of different ages, each base + two deltas. The
+    // budget forces eviction; a delta whose base is gone is unreadable,
+    // so the sweep must take (or keep) each chain as a unit.
+    for (age, stem) in ["old", "mid", "new"].iter().enumerate() {
+        write_ckpt(&dir, &format!("wj01-{stem}"), 1024);
+        write_ckpt(&dir, &format!("wj01-{stem}.d1"), 256);
+        write_ckpt(&dir, &format!("wj01-{stem}.d2"), 256);
+        // Order recency via mtime: rewrite the newest chain's newest
+        // member last after a beat so mtimes are distinguishable.
+        std::thread::sleep(std::time::Duration::from_millis(20 * (age as u64 + 1)));
+    }
+
+    // Budget fits two chains (2 * 1536 = 3072) but not three.
+    let _store = DiskStore::open(&dir).unwrap().with_ckpt_budget(3 * 1024);
+    assert!(ckpt_bytes(&dir) <= 3 * 1024);
+
+    let names: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .flatten()
+        .filter_map(|e| e.file_name().to_str().map(str::to_string))
+        .filter(|n| n.ends_with(".wckpt"))
+        .collect();
+    // Wholesale invariant: any surviving delta implies its base survived,
+    // and any surviving base kept all of its deltas.
+    for stem in ["old", "mid", "new"] {
+        let base = names.iter().any(|n| n == &format!("wj01-{stem}.wckpt"));
+        let d1 = names.iter().any(|n| n == &format!("wj01-{stem}.d1.wckpt"));
+        let d2 = names.iter().any(|n| n == &format!("wj01-{stem}.d2.wckpt"));
+        assert_eq!(base, d1, "chain {stem} split: base={base} d1={d1}");
+        assert_eq!(base, d2, "chain {stem} split: base={base} d2={d2}");
+    }
+    // At least one chain was evicted, and at least one survived.
+    let bases = names.iter().filter(|n| !n.contains(".d")).count();
+    assert!(
+        (1..=2).contains(&bases),
+        "expected 1–2 surviving chains, got {bases}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn facade_checkpoints_stay_within_the_default_budget_and_artifacts_survive() {
     // End-to-end: a checkpointed facade run persists a `.wckpt`; the
     // sweep must not touch it (it is far under the default budget), and

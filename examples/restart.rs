@@ -1,12 +1,13 @@
 //! Collective-boundary checkpoint/restart, end to end.
 //!
-//! The same seeded crash plan is run twice: once plain — the world dies
-//! with a typed post-mortem — and once under
-//! `JitOptions::with_checkpointing`, where the runtime snapshots every
-//! completed collective, rolls the world back on the crash, reseeds the
-//! fault streams, and resumes. Crash faults never corrupt surviving
-//! state, so the recovered answer matches the fault-free run
-//! bit-for-bit.
+//! The same seeded crash plan is run three times: once plain — the world
+//! dies with a typed post-mortem — once under
+//! `JitOptions::with_checkpointing` with full snapshots, and once with
+//! delta chains (`with_rebase_every`), where each checkpoint encodes
+//! only the sections that changed since its parent. Crash faults never
+//! corrupt surviving state, so both recovered answers match the
+//! fault-free run bit-for-bit — and the delta run writes a fraction of
+//! the checkpoint bytes.
 //!
 //! Run with:
 //! ```text
@@ -17,12 +18,14 @@ use std::process::ExitCode;
 
 use jvm::Value;
 use wootinj::{
-    build_table, CheckpointPolicy, FaultConfig, JitOptions, MpiCostModel, SimError, Val, WjError,
-    WootinJ,
+    build_table, CheckpointPolicy, FaultConfig, JitOptions, MpiCostModel, ResilienceStats,
+    RestartStats, SimError, Val, WjError, WootinJ,
 };
 
 /// Ring sendrecv with one allreduce per step: every step ends at a
-/// collective, i.e. at a checkpointable cut point.
+/// collective, i.e. at a checkpointable cut point. The `mesh` array is
+/// written once and never again — the mostly-constant heap shape delta
+/// chains pay for once per base instead of once per checkpoint.
 const APP: &str = r#"
     @WootinJ final class RingStepReduce {
       RingStepReduce() { }
@@ -31,14 +34,16 @@ const APP: &str = r#"
         int size = MPI.size();
         float[] sbuf = new float[n];
         float[] rbuf = new float[n];
+        float[] mesh = new float[n * 16];
         for (int i = 0; i < n; i++) { sbuf[i] = rank * n + i; }
+        for (int i = 0; i < n * 16; i++) { mesh[i] = i * 0.25f; }
         int dest = (rank + 1) % size;
         int src = (rank + size - 1) % size;
         float acc = 0f;
         for (int s = 0; s < steps; s++) {
           MPI.sendrecvF(sbuf, 0, n, dest, rbuf, 0, src, 7);
           for (int i = 0; i < n; i++) { sbuf[i] = rbuf[i] * 0.5f; }
-          acc += MPI.allreduceSumF(sbuf[0]);
+          acc += mesh[s] + MPI.allreduceSumF(sbuf[0]);
         }
         return acc;
       }
@@ -48,13 +53,22 @@ const APP: &str = r#"
 const WORLD: u32 = 4;
 const SEED: u64 = 0xFACA_DE2E;
 
-fn run(faulty: bool, checkpointed: bool) -> Result<(f32, u64, u64), WjError> {
+#[derive(Debug)]
+struct Outcome {
+    value: f32,
+    restart: RestartStats,
+    resilience: ResilienceStats,
+}
+
+/// `rebase_every` = 0 means full snapshots; N means a delta chain with a
+/// fresh base every N deltas.
+fn run(faulty: bool, checkpointed: bool, rebase_every: u32) -> Result<Outcome, WjError> {
     let table = build_table(&[("ring_step_reduce.jl", APP)]).expect("compile");
     let mut env = WootinJ::new(&table).expect("framework env");
     let app = env.new_instance("RingStepReduce", &[]).unwrap();
     let mut opts = JitOptions::wootinj();
     if checkpointed {
-        opts = opts.with_checkpointing(CheckpointPolicy::every(1));
+        opts = opts.with_checkpointing(CheckpointPolicy::every(1).with_rebase_every(rebase_every));
     }
     let mut code = env
         .jit(&app, "run", &[Value::Int(16), Value::Int(12)], opts)
@@ -70,18 +84,18 @@ fn run(faulty: bool, checkpointed: bool) -> Result<(f32, u64, u64), WjError> {
         Some(Val::F32(v)) => v,
         other => panic!("unexpected result {other:?}"),
     };
-    Ok((
+    Ok(Outcome {
         value,
-        report.restart.restarts,
-        report.restart.virtual_time_lost,
-    ))
+        restart: report.restart,
+        resilience: report.resilience,
+    })
 }
 
 fn main() -> ExitCode {
-    let (clean, _, _) = run(false, false).expect("fault-free run");
+    let clean = run(false, false, 0).expect("fault-free run").value;
     println!("fault-free answer: {clean}");
 
-    match run(true, false) {
+    match run(true, false, 0) {
         Err(WjError::Sim(e @ SimError::Crash { .. })) => {
             println!("\nplain faulted run dies typed:\n{e}\n");
         }
@@ -91,26 +105,41 @@ fn main() -> ExitCode {
         }
     }
 
-    match run(true, true) {
-        Ok((value, restarts, lost)) => {
-            println!(
-                "checkpointed run completes: {value} after {restarts} restart(s), \
-                 {lost} virtual cycles rolled back"
-            );
-            if value.to_bits() != clean.to_bits() {
-                eprintln!("recovered answer diverged from the fault-free run");
+    let mut bytes = Vec::new();
+    for (label, rebase_every) in [("full snapshots", 0u32), ("delta chain (rebase 4)", 4)] {
+        match run(true, true, rebase_every) {
+            Ok(out) => {
+                println!("{label}:");
+                println!("  restart:    {}", out.restart);
+                println!("  resilience: {}", out.resilience);
+                if out.value.to_bits() != clean.to_bits() {
+                    eprintln!("{label}: recovered answer diverged from the fault-free run");
+                    return ExitCode::FAILURE;
+                }
+                if out.restart.restarts == 0 {
+                    eprintln!("{label}: no restart happened; pick a seed that crashes");
+                    return ExitCode::FAILURE;
+                }
+                bytes.push(out.restart.ckpt_bytes_written);
+            }
+            Err(e) => {
+                eprintln!("{label}: checkpointed run failed: {e}");
                 return ExitCode::FAILURE;
             }
-            if restarts == 0 {
-                eprintln!("no restart happened; pick a seed that actually crashes");
-                return ExitCode::FAILURE;
-            }
-            println!("bit-identical to the fault-free answer");
-            ExitCode::SUCCESS
-        }
-        Err(e) => {
-            eprintln!("checkpointed run failed: {e}");
-            ExitCode::FAILURE
         }
     }
+    if bytes[1] >= bytes[0] {
+        eprintln!(
+            "delta chain wrote {} B, full snapshots {} B — expected a strict win",
+            bytes[1], bytes[0]
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "\nboth recoveries bit-identical; delta chain wrote {} B vs {} B full ({}% saved)",
+        bytes[1],
+        bytes[0],
+        100 - bytes[1] * 100 / bytes[0].max(1)
+    );
+    ExitCode::SUCCESS
 }

@@ -20,8 +20,11 @@ cargo test --workspace -q --offline
 echo "== fault-matrix smoke run =="
 cargo run --release --offline -q -p bench --bin repro -- fault-matrix --quick
 
-echo "== restart-cost smoke run =="
+echo "== restart-cost smoke run (asserts delta < full ckpt bytes at cadence 1) =="
 cargo run --release --offline -q -p bench --bin repro -- restart-cost --quick
+
+echo "== chaos soak (fault storms x cadence x rebase; bit-identical or typed) =="
+cargo run --release --offline -q -p bench --bin repro -- chaos --quick
 
 echo "== backend-matrix smoke run (fails on cross-backend divergence) =="
 cargo run --release --offline -q -p bench --bin repro -- backend-matrix --quick
