@@ -12,6 +12,12 @@
 use std::path::Path;
 
 fn main() {
+    // The `dist` experiment spawns one OS process per rank by
+    // re-executing this binary: if the spawn environment is set, this
+    // invocation *is* a rank worker — serve and exit, never parse args.
+    if dist::worker::run_if_spawned() {
+        return;
+    }
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let quick = if let Some(i) = args.iter().position(|a| a == "--quick") {
         args.remove(i);

@@ -1564,8 +1564,13 @@ pub fn restart_cost(quick: bool) -> Figure {
 /// delta chains must strictly beat full snapshots on both bytes written
 /// and virtual time lost, under a write-cost model that charges for the
 /// bytes each snapshot moves.
+/// A chaos storm: a named mutation layered onto the base crash config.
+type Storm = fn(&mut wootinj::FaultConfig);
+
 pub fn chaos(quick: bool) -> Figure {
-    use wootinj::{probe_chain, CheckpointPolicy, FaultConfig, RestartStats, WjError};
+    use wootinj::{
+        probe_chain, CheckpointPolicy, FaultConfig, ResilienceStats, RestartStats, WjError,
+    };
 
     let mut fig = Figure::new(
         "chaos",
@@ -1578,9 +1583,11 @@ pub fn chaos(quick: bool) -> Figure {
          control; 1 = typed failure; 0 = anything else (must never appear)",
     );
     fig.note(
-        "storms: crash-only and crash + checkpoint-write I/O faults, each \
-         run in full-snapshot and delta-chain mode on the same seeds; \
-         chain-damage rows corrupt one persisted link, then warm-restart",
+        "storms: crash-only, crash + checkpoint-write I/O faults, and \
+         crash + socket-transport faults (connect refusal, frame \
+         truncation, delayed ack), each run in full-snapshot and \
+         delta-chain mode on the same seeds; chain-damage rows corrupt \
+         one persisted link, then warm-restart",
     );
     fig.note(
         "gate: at cadence 1, delta chains must strictly beat full \
@@ -1609,9 +1616,9 @@ pub fn chaos(quick: bool) -> Figure {
         Untyped,
     }
     let run_one = |seed: Option<u64>,
-                   ckpt_fail: f64,
+                   storm: Storm,
                    policy: Option<CheckpointPolicy>|
-     -> (Run, RestartStats) {
+     -> (Run, RestartStats, ResilienceStats) {
         let mut env = WootinJ::new(&table).unwrap();
         let app = env.new_instance("RingStepReduce", &[]).unwrap();
         let mut opts = JitOptions::wootinj();
@@ -1623,20 +1630,29 @@ pub fn chaos(quick: bool) -> Figure {
         if let Some(seed) = seed {
             let mut cfg = FaultConfig::seeded(seed);
             cfg.crash = 0.02;
-            cfg.ckpt_write_fail = ckpt_fail;
+            storm(&mut cfg);
             code.set_faults(cfg);
         }
         code.set_timeout(200_000);
         match code.invoke(&env) {
             Ok(report) => match report.result {
-                Some(Val::F32(v)) => (Run::Done(v), report.restart),
+                Some(Val::F32(v)) => (Run::Done(v), report.restart, report.resilience),
                 other => panic!("expected f32 result, got {other:?}"),
             },
-            Err(WjError::Sim(_)) => (Run::Typed, RestartStats::default()),
-            Err(_) => (Run::Untyped, RestartStats::default()),
+            Err(WjError::Sim(_)) => (
+                Run::Typed,
+                RestartStats::default(),
+                ResilienceStats::default(),
+            ),
+            Err(_) => (
+                Run::Untyped,
+                RestartStats::default(),
+                ResilienceStats::default(),
+            ),
         }
     };
-    let control = match run_one(None, 0.0, None).0 {
+    let no_storm: Storm = |_| {};
+    let control = match run_one(None, no_storm, None).0 {
         Run::Done(v) => v,
         _ => panic!("the fault-free control run must complete"),
     };
@@ -1649,11 +1665,23 @@ pub fn chaos(quick: bool) -> Figure {
     // Fault storms. Full and delta modes run the same seed; fault draws
     // are per-event, not per-cycle, so the outcome class (and the restart
     // pattern) must not depend on the checkpoint encoding.
-    let storms: &[(&str, f64)] = &[("crash", 0.0), ("crash+ckpt-io", 0.25)];
+    let storms: &[(&str, Storm)] = &[
+        ("crash", |_| {}),
+        ("crash+ckpt-io", |c| c.ckpt_write_fail = 0.25),
+        // Truncation rates are per-frame and a lost frame costs a full
+        // timeout + rollback, so the rate is kept low enough that the
+        // restart budget converges while every counter still fires.
+        ("crash+transport", |c| {
+            c.connect_refuse = 0.02;
+            c.frame_truncate = 0.01;
+            c.ack_delay = 0.05;
+        }),
+    ];
     let (mut bytes_full, mut bytes_delta) = (0u64, 0u64);
     let (mut vt_full, mut vt_delta) = (0u64, 0u64);
     let (mut restarts_full, mut restarts_delta) = (0u64, 0u64);
-    for (si, (storm, ckpt_fail)) in storms.iter().enumerate() {
+    let mut transport_events = 0u64;
+    for (si, (storm, mutator)) in storms.iter().enumerate() {
         for &cadence in cadences {
             let mut s_full = Series::new(format!("{storm} c{cadence} full"));
             let mut s_delta = Series::new(format!("{storm} c{cadence} delta"));
@@ -1665,8 +1693,16 @@ pub fn chaos(quick: bool) -> Figure {
                         .with_rebase_every(rebase)
                         .with_write_cost(200, 32)
                 };
-                let (rf, stf) = run_one(Some(seed), *ckpt_fail, Some(policy(0)));
-                let (rd, std) = run_one(Some(seed), *ckpt_fail, Some(policy(8)));
+                let (rf, stf, resf) = run_one(Some(seed), *mutator, Some(policy(0)));
+                let (rd, std, resd) = run_one(Some(seed), *mutator, Some(policy(8)));
+                if *storm == "crash+transport" {
+                    transport_events += resf.truncated_frames
+                        + resf.delayed_acks
+                        + resf.connect_refusals
+                        + resd.truncated_frames
+                        + resd.delayed_acks
+                        + resd.connect_refusals;
+                }
                 let (gf, gd) = (grade(&rf), grade(&rd));
                 assert!(
                     gf > 0.0 && gd > 0.0,
@@ -1693,6 +1729,17 @@ pub fn chaos(quick: bool) -> Figure {
             fig.series.push(s_delta);
         }
     }
+
+    // The transport storm must actually land transport faults — the
+    // seeded draws are per-event, so a silent zero here would mean the
+    // injection points fell out of the message/reconnect paths.
+    assert!(
+        transport_events > 0,
+        "the crash+transport storm produced no transport fault events"
+    );
+    let mut s_transport = Series::new("transport fault events (crash+transport storm)");
+    s_transport.push(0.0, transport_events as f64);
+    fig.series.push(s_transport);
 
     // The cadence-1 cost gate. Restart parity first: a vacuous vtime
     // comparison (no restarts) or a skewed one (different restart
@@ -1739,7 +1786,7 @@ pub fn chaos(quick: bool) -> Figure {
         let policy = CheckpointPolicy::every(1)
             .with_rebase_every(64)
             .with_persist(&base);
-        match run_one(None, 0.0, Some(policy.clone())).0 {
+        match run_one(None, no_storm, Some(policy.clone())).0 {
             Run::Done(v) if v.to_bits() == control.to_bits() => {}
             _ => panic!("chain-damage seed {d}: chain-laying run must complete"),
         }
@@ -1770,7 +1817,7 @@ pub fn chaos(quick: bool) -> Figure {
             probe.error.is_some(),
             "chain-damage seed {d}: damage must surface a typed error"
         );
-        let (rerun, stats) = run_one(None, 0.0, Some(policy));
+        let (rerun, stats, _) = run_one(None, no_storm, Some(policy));
         match rerun {
             Run::Done(v) if v.to_bits() == control.to_bits() => {}
             _ => panic!("chain-damage seed {d}: warm restart must finish bit-identically"),
@@ -1830,7 +1877,10 @@ pub fn backend_matrix(quick: bool) -> Figure {
         "platform index (registry order)",
         "see series",
     );
-    fig.note("platforms: 0=interp, 1=gpu-sim, 2=mpi-sim, 3=host-mt (platform::registry order)");
+    fig.note(
+        "platforms: 0=interp, 1=gpu-sim, 2=mpi-sim, 3=host-mt, 4=dist \
+         (platform::registry order)",
+    );
     fig.note(
         "agree / recovered-agree are 1 when the platform's f64 result bits match the \
          exact ground truth; any mismatch panics (check.sh fails on divergence)",
@@ -2220,6 +2270,139 @@ pub fn incremental(quick: bool) -> Figure {
     fig
 }
 
+/// The `dist` acceptance sweep: RING_STEP_REDUCE on the socket-backed
+/// backend in both launch modes — in-process worker threads and real
+/// per-rank OS processes (the `repro` binary re-executing itself
+/// through `dist::worker::run_if_spawned`) — held bit-identical to
+/// `mpi-sim` at every world size, plus a seeded crash-recovery pass
+/// through the shared checkpoint chain on real processes. Rendezvous
+/// ports are ephemeral (`127.0.0.1:0`) and every wire wait is
+/// deadline-bounded, so the experiment cannot hang `scripts/check.sh`.
+pub fn dist_processes(quick: bool) -> Figure {
+    use std::sync::Arc;
+    use wootinj::{CheckpointPolicy, DistPlatform, FaultConfig, MpiSimPlatform};
+
+    let mut fig = Figure::new(
+        "dist",
+        "dist backend: socket-connected ranks vs mpi-sim, threads and OS processes",
+        "world size",
+        "see series",
+    );
+    fig.note(
+        "identical-threads / identical-procs are 1 when the dist run matches \
+         mpi-sim bit-for-bit on result, vtime, and per-rank clocks; any \
+         mismatch panics (check.sh fails on divergence)",
+    );
+
+    let (n, steps, sizes, nseeds): (i32, i32, &[u32], u64) = if quick {
+        (12, 6, &[2, 4], 2)
+    } else {
+        (32, 12, &[2, 4, 8], 5)
+    };
+    fig.note(if quick {
+        "quick mode: n=12, 6 steps, sizes {2,4}, 2 recovery seeds"
+    } else {
+        "full mode: n=32, 12 steps, sizes {2,4,8}, 5 recovery seeds"
+    });
+
+    let table = wootinj::build_table(&[("ring_step_reduce.jl", RING_STEP_REDUCE)]).unwrap();
+    let args = [Value::Int(n), Value::Int(steps)];
+    let worker_exe = std::env::current_exe().expect("dist experiment: current_exe");
+    let run_on =
+        |plat: Arc<dyn platform::Platform>, seed: Option<u64>, ckpt: bool| -> wootinj::RunReport {
+            let id = plat.id();
+            let mut env = WootinJ::new(&table).unwrap();
+            let app = env.new_instance("RingStepReduce", &[]).unwrap();
+            let mut opts = JitOptions::wootinj();
+            if ckpt {
+                opts = opts.with_checkpointing(CheckpointPolicy::every(1));
+            }
+            let mut code = env.jit_on(plat, &app, "run", &args, opts).unwrap();
+            if let Some(seed) = seed {
+                let mut cfg = FaultConfig::seeded(seed);
+                cfg.crash = 0.05;
+                code.set_faults(cfg);
+            }
+            code.set_timeout(200_000);
+            code.invoke(&env)
+                .unwrap_or_else(|e| panic!("dist experiment: `{id}` run failed: {e}"))
+        };
+    let assert_identical = |a: &wootinj::RunReport, b: &wootinj::RunReport, what: &str| {
+        let (ab, bb) = (format!("{:?}", a.results), format!("{:?}", b.results));
+        assert!(ab == bb, "dist DIVERGENCE ({what}): results {ab} vs {bb}");
+        assert!(
+            a.vtime_cycles == b.vtime_cycles && a.total_cycles == b.total_cycles,
+            "dist DIVERGENCE ({what}): vtime {} vs {}, cycles {} vs {}",
+            a.vtime_cycles,
+            b.vtime_cycles,
+            a.total_cycles,
+            b.total_cycles
+        );
+        for (r, (x, y)) in a.per_rank.iter().zip(&b.per_rank).enumerate() {
+            assert!(
+                x.vclock == y.vclock
+                    && x.compute_cycles == y.compute_cycles
+                    && x.comm_cycles == y.comm_cycles,
+                "dist DIVERGENCE ({what}): rank {r} clocks differ"
+            );
+        }
+    };
+
+    let procs = |size: u32| {
+        Arc::new(
+            DistPlatform::new(size).with_launch(dist::Launch::Processes {
+                exe: worker_exe.clone(),
+                args: vec![],
+            }),
+        )
+    };
+
+    let mut s_threads = Series::new("identical-threads");
+    let mut s_procs = Series::new("identical-procs");
+    let mut s_vtime = Series::new("vtime-cycles (mpi-sim == dist)");
+    for &size in sizes {
+        let reference = run_on(Arc::new(MpiSimPlatform::new(size)), None, false);
+        let threads = run_on(Arc::new(DistPlatform::new(size)), None, false);
+        assert_identical(&reference, &threads, &format!("threads, size {size}"));
+        s_threads.push(size as f64, 1.0);
+        let processes = run_on(procs(size), None, false);
+        assert_identical(&reference, &processes, &format!("procs, size {size}"));
+        s_procs.push(size as f64, 1.0);
+        s_vtime.push(size as f64, reference.vtime_cycles as f64);
+    }
+    fig.series.push(s_threads);
+    fig.series.push(s_procs);
+    fig.series.push(s_vtime);
+
+    // Crash recovery on real processes: seeded crashes under cadence-1
+    // checkpointing must land on the fault-free answer, bit for bit,
+    // through the same chain-rollback machinery as every other backend.
+    let size = 4u32;
+    let clean = run_on(Arc::new(MpiSimPlatform::new(size)), None, false);
+    let mut s_recover = Series::new("procs recovered-identical");
+    let mut s_restarts = Series::new("procs restarts");
+    let mut restarts = 0u64;
+    for s in 0..nseeds {
+        let seed = 0xD157_0000_0000_0000 | s;
+        let report = run_on(procs(size), Some(seed), true);
+        assert_eq!(
+            format!("{:?}", report.results),
+            format!("{:?}", clean.results),
+            "dist DIVERGENCE: recovered process run, seed {seed:#x}"
+        );
+        s_recover.push(s as f64, 1.0);
+        restarts += report.restart.restarts;
+    }
+    assert!(
+        restarts >= 1,
+        "dist crash seeds produced no restarts — the recovery gate is vacuous"
+    );
+    s_restarts.push(0.0, restarts as f64);
+    fig.series.push(s_recover);
+    fig.series.push(s_restarts);
+    fig
+}
+
 /// All figure/table ids, in paper order.
 pub fn all_ids() -> Vec<&'static str> {
     vec![
@@ -2253,6 +2436,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "chaos",
         "backend-matrix",
         "incremental",
+        "dist",
     ]
 }
 
@@ -2296,6 +2480,7 @@ pub fn run_experiment_with(id: &str, quick: bool) -> Option<Figure> {
         "chaos" => chaos(quick),
         "backend-matrix" => backend_matrix(quick),
         "incremental" => incremental(quick),
+        "dist" => dist_processes(quick),
         _ => return None,
     })
 }

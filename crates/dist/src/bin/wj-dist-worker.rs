@@ -1,0 +1,13 @@
+//! Standalone rank-worker executable for the `dist` backend's own
+//! process-mode tests. Real applications re-execute themselves instead:
+//! call [`dist::worker::run_if_spawned`] first thing in `main`.
+
+fn main() {
+    if !dist::worker::run_if_spawned() {
+        eprintln!(
+            "wj-dist-worker: not spawned by a dist coordinator \
+             (WJ_DIST_RANK/WJ_DIST_PORT/WJ_DIST_TOKEN unset)"
+        );
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,767 @@
+//! # dist — the socket-backed distributed backend
+//!
+//! One OS process per rank over loopback TCP, driven by the *same*
+//! transport-agnostic rank runtime ([`mpi_sim::runtime`]) that powers
+//! the in-process `mpi-sim` backend. The coordinator (rank-0 side) is
+//! the rendezvous point and spawner: it binds an ephemeral loopback
+//! port, launches one worker per rank, seeds each worker's initial
+//! state from its own argument builder (so initialization is
+//! byte-identical to `mpi-sim`'s), and then drives the shared step
+//! loop, reaching each rank through a typed, length-prefixed,
+//! checksummed frame protocol ([`proto`]).
+//!
+//! Because every scheduling, cost-model, and fault-stream decision is
+//! made in the shared runtime on the coordinator side, and the worker
+//! executes rank code through the identical [`LocalPool`] engine, a
+//! `dist` world is bit-identical to an `mpi-sim` world of the same
+//! size on every workload — the conformance suite holds it to that.
+//!
+//! Crash recovery is inherited whole: a worker process that dies
+//! mid-protocol surfaces as a typed [`SimError::Crash`] for its rank,
+//! and `run_with_restart` rolls every rank back to the last
+//! collective-boundary delta checkpoint, respawns the dead process,
+//! and resumes.
+//!
+//! [`LocalPool`]: mpi_sim::LocalPool
+
+#![forbid(unsafe_code)]
+
+pub mod proto;
+pub mod worker;
+
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use exec::ckpt::{self, CkptError};
+use exec::{FaultConfig, MsgFault, ResilienceStats, TransportFault, Val};
+use gpu_sim::GpuConfig;
+use mpi_sim::{
+    read_frame, run_world, run_world_with_restart, write_frame, ArgBuilder, CheckpointPolicy,
+    CostModel, DeviceOutcome, InMemTransport, RankCtl, RankOutcome, RankPool, RankSnapshot,
+    RankYield, RunCfg, Schedule, SimError, TransportError, WorldRun, DEFAULT_FAULT_TIMEOUT_ROUNDS,
+};
+use nir::codec::{write_program, Reader, Writer};
+use nir::{FuncId, Program};
+
+use proto::{Request, Resp, PROTO_VERSION};
+
+/// How a [`RemotePool`] brings its rank workers into existence.
+#[derive(Debug, Clone)]
+pub enum Launch {
+    /// Each rank is a thread of this process that dials the rendezvous
+    /// port and runs the full worker protocol (program bytes and all)
+    /// over real loopback TCP. Default: full wire fidelity without
+    /// needing a worker executable on disk.
+    Threads,
+    /// Each rank is a spawned OS process running `exe args...`, which
+    /// must call [`worker::run_if_spawned`] before doing anything else.
+    Processes { exe: PathBuf, args: Vec<String> },
+}
+
+/// Wall-clock bound for the rendezvous: every spawned worker must dial
+/// in and complete its `Hello` within this window.
+const ACCEPT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Per-response read bound on the coordinator side: no worker reply
+/// within this window means the rank is treated as dead (typed
+/// [`SimError::Crash`]), never a hang.
+const RPC_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Process-unique rendezvous token source (pid-salted so tokens differ
+/// across concurrently testing processes too).
+static TOKEN_SEQ: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_token() -> u64 {
+    let seq = TOKEN_SEQ.fetch_add(1, Ordering::Relaxed);
+    (u64::from(std::process::id()) << 32) ^ (seq.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+struct Worker {
+    stream: TcpStream,
+    /// The rank's OS process under `Launch::Processes` (threads detach).
+    child: Option<Child>,
+}
+
+impl Worker {
+    fn rpc(&mut self, req: &Request) -> Result<Resp, TransportError> {
+        write_frame(&mut self.stream, &proto::encode_req(req))?;
+        proto::decode_resp(&read_frame(&mut self.stream)?)
+    }
+
+    fn dispose(mut self) {
+        // Best-effort: ask nicely, then make sure the process is gone.
+        let _ = self.rpc(&Request::Shutdown);
+        if let Some(mut child) = self.child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// The distributed rank pool: the coordinator-side half of the
+/// [`RankPool`] seam. Owns the rendezvous listener, the worker
+/// connections, and the chaos knobs.
+pub struct RemotePool<'p, 'a> {
+    program: &'p Program,
+    program_bytes: Vec<u8>,
+    size: u32,
+    entry: FuncId,
+    make_args: ArgBuilder<'a>,
+    gpu: Option<GpuConfig>,
+    fault: Option<FaultConfig>,
+    launch: Launch,
+    listener: TcpListener,
+    port: u16,
+    token: u64,
+    workers: Vec<Option<Worker>>,
+    /// Kill the given rank's worker after it has served this many run
+    /// slices — consumed once (respawned workers never inherit it), so
+    /// recovery is observable instead of an infinite kill loop.
+    kill_rank_after: Option<(u32, u64)>,
+}
+
+fn world_err(message: impl Into<String>) -> SimError {
+    SimError::World {
+        message: message.into(),
+    }
+}
+
+impl<'p, 'a> RemotePool<'p, 'a> {
+    #[allow(clippy::too_many_arguments)] // mirrors LocalPool::new plus the launch/chaos knobs
+    pub fn new(
+        program: &'p Program,
+        size: u32,
+        entry: FuncId,
+        make_args: ArgBuilder<'a>,
+        gpu: Option<GpuConfig>,
+        fault: Option<FaultConfig>,
+        launch: Launch,
+        kill_rank_after: Option<(u32, u64)>,
+    ) -> Result<Self, SimError> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))
+            .map_err(|e| world_err(format!("dist: binding rendezvous port: {e}")))?;
+        let port = listener
+            .local_addr()
+            .map_err(|e| world_err(format!("dist: rendezvous address: {e}")))?
+            .port();
+        let mut w = Writer::new();
+        write_program(&mut w, program);
+        Ok(RemotePool {
+            program,
+            program_bytes: w.into_bytes(),
+            size,
+            entry,
+            make_args,
+            gpu,
+            fault,
+            launch,
+            listener,
+            port,
+            token: fresh_token(),
+            workers: (0..size).map(|_| None).collect(),
+            kill_rank_after,
+        })
+    }
+
+    /// Spawn + rendezvous + `Init` every rank that has no live worker.
+    fn ensure_workers(&mut self) -> Result<(), SimError> {
+        let missing: Vec<u32> = (0..self.size)
+            .filter(|&r| self.workers[r as usize].is_none())
+            .collect();
+        if missing.is_empty() {
+            return Ok(());
+        }
+        let mut children: Vec<Option<Child>> = Vec::new();
+        for &r in &missing {
+            children.push(self.spawn(r)?);
+        }
+        self.rendezvous(&missing, &mut children)?;
+        for &r in &missing {
+            let kill_after_runs = match self.kill_rank_after {
+                Some((kr, n)) if kr == r => {
+                    self.kill_rank_after = None;
+                    Some(n)
+                }
+                _ => None,
+            };
+            let init = Request::Init {
+                size: self.size,
+                entry: self.entry.0,
+                program: self.program_bytes.clone(),
+                fault: self.fault,
+                gpu: self.gpu,
+                kill_after_runs,
+            };
+            match self.rpc(r, &init)? {
+                Resp::Ok => {}
+                Resp::Err(e) => return Err(e),
+                other => {
+                    return Err(world_err(format!(
+                        "dist: rank {r} answered Init with {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn spawn(&self, r: u32) -> Result<Option<Child>, SimError> {
+        match &self.launch {
+            Launch::Threads => {
+                let port = self.port;
+                let token = self.token;
+                std::thread::Builder::new()
+                    .name(format!("wj-dist-rank{r}"))
+                    .spawn(move || {
+                        if let Ok(stream) = TcpStream::connect(("127.0.0.1", port)) {
+                            let _ = worker::serve_on(stream, r, token);
+                        }
+                    })
+                    .map_err(|e| world_err(format!("dist: spawning rank {r} thread: {e}")))?;
+                Ok(None)
+            }
+            Launch::Processes { exe, args } => {
+                let child = Command::new(exe)
+                    .args(args)
+                    .env(worker::ENV_RANK, r.to_string())
+                    .env(worker::ENV_PORT, self.port.to_string())
+                    .env(worker::ENV_TOKEN, self.token.to_string())
+                    .stdin(Stdio::null())
+                    .spawn()
+                    .map_err(|e| world_err(format!("dist: spawning rank {r} process: {e}")))?;
+                Ok(Some(child))
+            }
+        }
+    }
+
+    /// Accept `Hello`s until every rank in `want` has connected (they
+    /// arrive in arbitrary order), within a wall-clock bound.
+    fn rendezvous(&mut self, want: &[u32], children: &mut [Option<Child>]) -> Result<(), SimError> {
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| world_err(format!("dist: rendezvous listener: {e}")))?;
+        let deadline = Instant::now() + ACCEPT_TIMEOUT;
+        let mut connected = 0usize;
+        while connected < want.len() {
+            if Instant::now() > deadline {
+                return Err(world_err(format!(
+                    "dist: rendezvous timed out with {connected}/{} workers connected",
+                    want.len()
+                )));
+            }
+            let mut stream = match self.listener.accept() {
+                Ok((s, _)) => s,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                    continue;
+                }
+                Err(e) => return Err(world_err(format!("dist: accept: {e}"))),
+            };
+            let _ = stream.set_nodelay(true);
+            if stream.set_read_timeout(Some(RPC_TIMEOUT)).is_err() {
+                continue;
+            }
+            let hello = match read_frame(&mut stream).and_then(|b| proto::decode_hello(&b)) {
+                Ok(h) => h,
+                Err(_) => continue, // stray dialer: drop it, keep waiting
+            };
+            if hello.token != self.token
+                || hello.proto != PROTO_VERSION
+                || !want.contains(&hello.rank)
+                || self.workers[hello.rank as usize].is_some()
+            {
+                // Wrong token/version/rank: refuse before any state moves.
+                let _ = write_frame(
+                    &mut stream,
+                    &proto::encode_resp(&Resp::Err(world_err(format!(
+                        "dist: rendezvous refused (proto {}, expected {PROTO_VERSION})",
+                        hello.proto
+                    )))),
+                );
+                continue;
+            }
+            write_frame(&mut stream, &proto::encode_resp(&Resp::Ok))
+                .map_err(|e| world_err(format!("dist: acking rank {}: {e}", hello.rank)))?;
+            let child = want
+                .iter()
+                .position(|&r| r == hello.rank)
+                .and_then(|i| children[i].take());
+            self.workers[hello.rank as usize] = Some(Worker { stream, child });
+            connected += 1;
+        }
+        Ok(())
+    }
+
+    /// One request/response round to rank `r`'s worker. A wire failure
+    /// buries the worker and surfaces as a typed, *recoverable* crash
+    /// for that rank — the restart machinery respawns it.
+    fn rpc(&mut self, r: u32, req: &Request) -> Result<Resp, SimError> {
+        let worker = self
+            .workers
+            .get_mut(r as usize)
+            .and_then(Option::as_mut)
+            .ok_or_else(|| world_err(format!("dist: rank {r} has no live worker")))?;
+        match worker.rpc(req) {
+            Ok(resp) => Ok(resp),
+            Err(e) => {
+                if let Some(w) = self.workers[r as usize].take() {
+                    if let Some(mut child) = { w }.child {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                    }
+                }
+                Err(SimError::Crash {
+                    rank: r,
+                    step: 0,
+                    post_mortem: format!("dist: worker for rank {r} died mid-protocol: {e}"),
+                })
+            }
+        }
+    }
+
+    /// Unwrap a worker reply that should be `Ok`.
+    fn expect_ok(&mut self, r: u32, req: &Request) -> Result<(), SimError> {
+        match self.rpc(r, req)? {
+            Resp::Ok => Ok(()),
+            Resp::Err(e) => Err(e),
+            other => Err(world_err(format!(
+                "dist: rank {r} sent mismatched reply {other:?}"
+            ))),
+        }
+    }
+}
+
+impl RankPool for RemotePool<'_, '_> {
+    fn reinit(&mut self) -> Result<(), SimError> {
+        self.ensure_workers()?;
+        // Build the pristine rank states with the *in-process* engine —
+        // same argument builder, same fault derivation, same machine
+        // layout — and ship them over as restores. A dist cold start is
+        // therefore byte-identical to an mpi-sim cold start.
+        let mut seed = mpi_sim::LocalPool::new(
+            self.program,
+            self.size,
+            self.entry,
+            &mut *self.make_args,
+            self.gpu,
+            self.fault,
+            None,
+        );
+        seed.reinit()?;
+        let snaps: Vec<RankSnapshot> = (0..self.size)
+            .map(|r| seed.capture_rank(r))
+            .collect::<Result<_, _>>()?;
+        drop(seed);
+        for (r, snap) in (0..self.size).zip(snaps) {
+            let n_arrays = snap.sections.len() - 2 - usize::from(snap.has_gpu);
+            let req = Request::Restore {
+                last_cycles: snap.last_cycles,
+                has_gpu: snap.has_gpu,
+                n_arrays: n_arrays as u64,
+                sections: snap.sections,
+            };
+            match self.rpc(r, &req)? {
+                Resp::Ok => {}
+                Resp::CkptErr(e) => return Err(world_err(format!("dist: seeding rank {r}: {e}"))),
+                Resp::Err(e) => return Err(e),
+                other => {
+                    return Err(world_err(format!(
+                        "dist: rank {r} answered Restore with {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn prepare_resume(&mut self) -> Result<(), SimError> {
+        self.ensure_workers()
+    }
+
+    fn run_slice(&mut self, r: u32, slice: u64) -> Result<(RankYield, u64), SimError> {
+        match self.rpc(r, &Request::Run { slice })? {
+            Resp::Yielded { y, delta } => Ok((y, delta)),
+            Resp::Err(e) => Err(e),
+            other => Err(world_err(format!(
+                "dist: rank {r} answered Run with {other:?}"
+            ))),
+        }
+    }
+
+    fn resume(&mut self, r: u32, v: Val) -> Result<(), SimError> {
+        self.expect_ok(r, &Request::Resume { v })
+    }
+
+    fn service_device(&mut self, r: u32) -> Result<DeviceOutcome, SimError> {
+        match self.rpc(r, &Request::ServiceDevice)? {
+            Resp::Device(outcome) => Ok(outcome),
+            Resp::Err(e) => Err(e),
+            other => Err(world_err(format!(
+                "dist: rank {r} answered ServiceDevice with {other:?}"
+            ))),
+        }
+    }
+
+    fn service_host(&mut self, r: u32) -> Result<u64, SimError> {
+        match self.rpc(r, &Request::ServiceHost)? {
+            Resp::U64(backoff) => Ok(backoff),
+            Resp::Err(e) => Err(e),
+            other => Err(world_err(format!(
+                "dist: rank {r} answered ServiceHost with {other:?}"
+            ))),
+        }
+    }
+
+    fn read_floats(
+        &mut self,
+        r: u32,
+        buf: u32,
+        off: usize,
+        count: usize,
+    ) -> Result<Vec<f32>, SimError> {
+        match self.rpc(
+            r,
+            &Request::ReadFloats {
+                buf,
+                off: off as u64,
+                count: count as u64,
+            },
+        )? {
+            Resp::Floats(fs) => Ok(fs),
+            Resp::Err(e) => Err(e),
+            other => Err(world_err(format!(
+                "dist: rank {r} answered ReadFloats with {other:?}"
+            ))),
+        }
+    }
+
+    fn write_floats(
+        &mut self,
+        r: u32,
+        buf: u32,
+        off: usize,
+        payload: &[f32],
+    ) -> Result<(), SimError> {
+        self.expect_ok(
+            r,
+            &Request::WriteFloats {
+                buf,
+                off: off as u64,
+                payload: payload.to_vec(),
+            },
+        )
+    }
+
+    fn location(&mut self, r: u32) -> Option<(String, u32)> {
+        match self.rpc(r, &Request::Location) {
+            Ok(Resp::Loc(loc)) => loc,
+            _ => None,
+        }
+    }
+
+    fn has_fault_plan(&self, r: u32) -> bool {
+        let _ = r;
+        self.fault.is_some()
+    }
+
+    fn message_fault(&mut self, r: u32) -> Result<MsgFault, SimError> {
+        match self.rpc(r, &Request::MessageFault)? {
+            Resp::Msg(f) => Ok(f),
+            Resp::Err(e) => Err(e),
+            other => Err(world_err(format!(
+                "dist: rank {r} answered MessageFault with {other:?}"
+            ))),
+        }
+    }
+
+    fn collective_fault(&mut self, r: u32) -> Result<MsgFault, SimError> {
+        match self.rpc(r, &Request::CollectiveFault)? {
+            Resp::Msg(f) => Ok(f),
+            Resp::Err(e) => Err(e),
+            other => Err(world_err(format!(
+                "dist: rank {r} answered CollectiveFault with {other:?}"
+            ))),
+        }
+    }
+
+    fn transport_fault(&mut self, r: u32) -> Result<TransportFault, SimError> {
+        match self.rpc(r, &Request::TransportFaultDraw)? {
+            Resp::Transport(f) => Ok(f),
+            Resp::Err(e) => Err(e),
+            other => Err(world_err(format!(
+                "dist: rank {r} answered TransportFaultDraw with {other:?}"
+            ))),
+        }
+    }
+
+    fn connect_delay(&mut self, r: u32) -> Result<u64, SimError> {
+        match self.rpc(r, &Request::ConnectDelay)? {
+            Resp::U64(total) => Ok(total),
+            Resp::Err(e) => Err(e),
+            other => Err(world_err(format!(
+                "dist: rank {r} answered ConnectDelay with {other:?}"
+            ))),
+        }
+    }
+
+    fn ckpt_write_fails(&mut self, r: u32) -> Result<bool, SimError> {
+        match self.rpc(r, &Request::CkptWriteFails)? {
+            Resp::Bool(fails) => Ok(fails),
+            Resp::Err(e) => Err(e),
+            other => Err(world_err(format!(
+                "dist: rank {r} answered CkptWriteFails with {other:?}"
+            ))),
+        }
+    }
+
+    fn capture_rank(&mut self, r: u32) -> Result<RankSnapshot, SimError> {
+        match self.rpc(r, &Request::Capture)? {
+            Resp::Snapshot(snap) => Ok(snap),
+            Resp::Err(e) => Err(e),
+            other => Err(world_err(format!(
+                "dist: rank {r} answered Capture with {other:?}"
+            ))),
+        }
+    }
+
+    fn restore_rank(
+        &mut self,
+        r: u32,
+        last_cycles: u64,
+        has_gpu: bool,
+        n_arrays: usize,
+        sections: &[Vec<u8>],
+    ) -> Result<(), CkptError> {
+        let req = Request::Restore {
+            last_cycles,
+            has_gpu,
+            n_arrays: n_arrays as u64,
+            sections: sections.to_vec(),
+        };
+        match self.rpc(r, &req) {
+            Ok(Resp::Ok) => Ok(()),
+            Ok(Resp::CkptErr(e)) => Err(e),
+            Ok(other) => Err(CkptError::Corrupt {
+                offset: 0,
+                message: format!("dist: rank {r} answered Restore with {other:?}"),
+            }),
+            // A dead worker degrades the chain link like a corrupt one:
+            // the restart loop falls back to a deeper ancestor (or a
+            // cold start) after prepare_resume has respawned the rank.
+            Err(e) => Err(CkptError::Corrupt {
+                offset: 0,
+                message: format!("dist: restoring rank {r}: {e}"),
+            }),
+        }
+    }
+
+    fn reseed(&mut self, r: u32, attempt: u64) -> Result<(), SimError> {
+        self.expect_ok(r, &Request::Reseed { attempt })
+    }
+
+    fn stats(&mut self, r: u32) -> Result<ResilienceStats, SimError> {
+        match self.rpc(r, &Request::Stats)? {
+            Resp::Stats(s) => Ok(s),
+            Resp::Err(e) => Err(e),
+            other => Err(world_err(format!(
+                "dist: rank {r} answered Stats with {other:?}"
+            ))),
+        }
+    }
+
+    fn finish(&mut self, ctls: &[RankCtl]) -> Result<Vec<RankOutcome>, SimError> {
+        let mut out = Vec::with_capacity(ctls.len());
+        for (r, ctl) in ctls.iter().enumerate() {
+            let r = r as u32;
+            let req = Request::Finish {
+                done: ctl.done.flatten(),
+                vclock: ctl.vclock,
+                compute_cycles: ctl.compute_cycles,
+                comm_cycles: ctl.comm_cycles,
+            };
+            match self.rpc(r, &req)? {
+                Resp::Outcome {
+                    output,
+                    gpu_time,
+                    machine,
+                } => {
+                    let machine = ckpt::read_machine(&mut Reader::new(&machine))
+                        .map_err(|e| world_err(format!("dist: rank {r} final machine: {e}")))?;
+                    out.push(RankOutcome {
+                        result: ctl.done.flatten(),
+                        vclock: ctl.vclock,
+                        compute_cycles: ctl.compute_cycles,
+                        comm_cycles: ctl.comm_cycles,
+                        output,
+                        gpu_time,
+                        machine,
+                    });
+                }
+                Resp::Err(e) => return Err(e),
+                other => {
+                    return Err(world_err(format!(
+                        "dist: rank {r} answered Finish with {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Drop for RemotePool<'_, '_> {
+    fn drop(&mut self) {
+        for worker in self.workers.iter_mut().filter_map(Option::take) {
+            worker.dispose();
+        }
+    }
+}
+
+/// A distributed world: the `dist` analogue of [`mpi_sim::World`],
+/// mirroring its builder surface (no host FFI — foreign function
+/// pointers cannot cross a process boundary).
+pub struct DistWorld<'p> {
+    pub program: &'p Program,
+    pub size: u32,
+    pub cost: CostModel,
+    pub gpu: Option<GpuConfig>,
+    pub slice: u64,
+    pub fault: Option<FaultConfig>,
+    pub timeout_rounds: Option<u64>,
+    pub schedule: Schedule,
+    pub ckpt_salt: u64,
+    launch: Launch,
+    kill_rank_after: Option<(u32, u64)>,
+}
+
+impl<'p> DistWorld<'p> {
+    pub fn new(program: &'p Program, size: u32) -> Self {
+        DistWorld {
+            program,
+            size,
+            cost: CostModel::default(),
+            gpu: None,
+            slice: 4_000_000,
+            fault: None,
+            timeout_rounds: None,
+            schedule: Schedule::RankOrder,
+            ckpt_salt: 0,
+            launch: Launch::Threads,
+            kill_rank_after: None,
+        }
+    }
+
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    pub fn with_gpu(mut self, gpu: GpuConfig) -> Self {
+        self.gpu = Some(gpu);
+        self
+    }
+
+    /// Enable deterministic fault injection — same semantics as
+    /// [`mpi_sim::World::with_faults`], including the timeout backstop.
+    pub fn with_faults(mut self, fault: FaultConfig) -> Self {
+        self.fault = Some(fault);
+        self.timeout_rounds
+            .get_or_insert(DEFAULT_FAULT_TIMEOUT_ROUNDS);
+        self
+    }
+
+    pub fn with_timeout(mut self, rounds: u64) -> Self {
+        self.timeout_rounds = Some(rounds);
+        self
+    }
+
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Stamp checkpoints with a platform namespace salt (see
+    /// [`mpi_sim::World::with_ckpt_salt`]).
+    pub fn with_ckpt_salt(mut self, salt: u64) -> Self {
+        self.ckpt_salt = salt;
+        self
+    }
+
+    /// Choose how rank workers are launched (default:
+    /// [`Launch::Threads`]).
+    pub fn with_launch(mut self, launch: Launch) -> Self {
+        self.launch = launch;
+        self
+    }
+
+    /// Chaos knob: kill `rank`'s worker after it has served
+    /// `run_slices` slices. Consumed by the first spawn only, so the
+    /// respawned worker survives and recovery completes.
+    pub fn kill_rank_after(mut self, rank: u32, run_slices: u64) -> Self {
+        self.kill_rank_after = Some((rank, run_slices));
+        self
+    }
+
+    fn run_cfg(&self) -> RunCfg {
+        RunCfg {
+            size: self.size,
+            cost: self.cost,
+            slice: self.slice,
+            timeout_rounds: self.timeout_rounds,
+            schedule: self.schedule,
+            ckpt_salt: self.ckpt_salt,
+        }
+    }
+
+    fn pool<'a>(&self, make_args: ArgBuilder<'a>) -> Result<RemotePool<'p, 'a>, SimError> {
+        RemotePool::new(
+            self.program,
+            self.size,
+            FuncId(0), // overwritten below; entry is per-run
+            make_args,
+            self.gpu,
+            self.fault,
+            self.launch.clone(),
+            self.kill_rank_after,
+        )
+    }
+
+    /// Run `entry` on every rank — the distributed analogue of
+    /// [`mpi_sim::World::run`], bit-identical to it by construction.
+    pub fn run(
+        &self,
+        entry: FuncId,
+        mut make_args: impl FnMut(u32, &mut exec::Machine) -> Result<Vec<Val>, String>,
+    ) -> Result<WorldRun, SimError> {
+        let mut pool = self.pool(&mut make_args)?;
+        pool.entry = entry;
+        let mut transport = InMemTransport::new();
+        run_world(&self.run_cfg(), &mut pool, &mut transport)
+    }
+
+    /// Run with collective-boundary checkpoints and crash recovery —
+    /// the distributed analogue of [`mpi_sim::World::run_with_restart`].
+    /// A worker process that dies mid-run is respawned and rolled back
+    /// with everyone else.
+    pub fn run_with_restart(
+        &self,
+        entry: FuncId,
+        mut make_args: impl FnMut(u32, &mut exec::Machine) -> Result<Vec<Val>, String>,
+        policy: &CheckpointPolicy,
+        max_restarts: u32,
+    ) -> Result<WorldRun, SimError> {
+        let mut pool = self.pool(&mut make_args)?;
+        pool.entry = entry;
+        let mut transport = InMemTransport::new();
+        run_world_with_restart(
+            &self.run_cfg(),
+            &mut pool,
+            &mut transport,
+            policy,
+            max_restarts,
+        )
+    }
+}

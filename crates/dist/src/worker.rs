@@ -1,0 +1,224 @@
+//! # worker — one rank in its own OS process (or thread)
+//!
+//! A worker dials the coordinator's loopback rendezvous port,
+//! identifies itself with a token-bearing `Hello`, receives the program
+//! and world configuration in `Init`, and then answers one
+//! [`RankPool`]-shaped request at a time. The execution engine is the
+//! *same* [`LocalPool`] the in-process `mpi-sim` backend uses, holding
+//! exactly one live rank — so every instruction, fault draw, cost
+//! charge, and checkpoint byte is produced by the identical code path
+//! on both sides of the process boundary. Bit-identity with `mpi-sim`
+//! is by construction, not by test luck.
+//!
+//! [`RankPool`]: mpi_sim::RankPool
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use exec::{Machine, Val};
+use mpi_sim::{read_frame, write_frame, LocalPool, RankCtl, RankPool, SimError, TransportError};
+use nir::codec::{read_program, Reader};
+use nir::FuncId;
+
+use crate::proto::{self, Hello, Request, Resp, PROTO_VERSION};
+
+/// Environment variables a spawned worker process reads its identity
+/// from (see [`run_if_spawned`]).
+pub const ENV_RANK: &str = "WJ_DIST_RANK";
+pub const ENV_PORT: &str = "WJ_DIST_PORT";
+pub const ENV_TOKEN: &str = "WJ_DIST_TOKEN";
+
+/// How long a worker waits for the next request before concluding the
+/// coordinator is gone and exiting — the orphan backstop that keeps a
+/// killed coordinator from leaking rank processes.
+const IDLE_TIMEOUT: Duration = Duration::from_secs(60);
+
+fn corrupt(message: impl Into<String>) -> TransportError {
+    TransportError::Corrupt {
+        message: message.into(),
+    }
+}
+
+/// Entry guard for re-executed binaries: if the spawn environment
+/// ([`ENV_RANK`]/[`ENV_PORT`]/[`ENV_TOKEN`]) is set, serve as a rank
+/// worker and return `true` (the caller should exit immediately —
+/// it is a worker, not whatever the binary normally does). Returns
+/// `false` untouched when the environment is absent.
+pub fn run_if_spawned() -> bool {
+    let (Ok(rank), Ok(port), Ok(token)) = (
+        std::env::var(ENV_RANK),
+        std::env::var(ENV_PORT),
+        std::env::var(ENV_TOKEN),
+    ) else {
+        return false;
+    };
+    let parsed = (|| -> Option<(u32, u16, u64)> {
+        Some((rank.parse().ok()?, port.parse().ok()?, token.parse().ok()?))
+    })();
+    let Some((rank, port, token)) = parsed else {
+        eprintln!("wj-dist-worker: malformed spawn environment");
+        return true;
+    };
+    match TcpStream::connect(("127.0.0.1", port)) {
+        Ok(stream) => {
+            if let Err(e) = serve_on(stream, rank, token) {
+                eprintln!("wj-dist-worker rank {rank}: {e}");
+            }
+        }
+        Err(e) => eprintln!("wj-dist-worker rank {rank}: connect: {e}"),
+    }
+    true
+}
+
+/// Serve one rank over an established coordinator connection until
+/// `Shutdown`, a simulated kill, coordinator disappearance, or a wire
+/// error. Used by spawned processes ([`run_if_spawned`]) and by the
+/// in-process `Launch::Threads` mode — the same full protocol (program
+/// bytes and all) runs either way.
+pub fn serve_on(mut stream: TcpStream, rank: u32, token: u64) -> Result<(), TransportError> {
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_read_timeout(Some(IDLE_TIMEOUT))
+        .map_err(|e| corrupt(format!("set_read_timeout: {e}")))?;
+    write_frame(
+        &mut stream,
+        &proto::encode_hello(&Hello {
+            token,
+            rank,
+            proto: PROTO_VERSION,
+        }),
+    )?;
+    match proto::decode_resp(&read_frame(&mut stream)?)? {
+        Resp::Ok => {}
+        other => return Err(corrupt(format!("rendezvous rejected: {other:?}"))),
+    }
+    let init = proto::decode_req(&read_frame(&mut stream)?)?;
+    let Request::Init {
+        size,
+        entry,
+        program,
+        fault,
+        gpu,
+        kill_after_runs,
+    } = init
+    else {
+        return Err(corrupt("first request after Hello must be Init"));
+    };
+    let program = read_program(&mut Reader::new(&program))
+        .map_err(|e| corrupt(format!("decoding program: {e}")))?;
+    // Entry arguments never originate here: the coordinator seeds every
+    // rank with a Restore built from its own arg-builder, so worker and
+    // in-process ranks start from byte-identical state.
+    let mut no_args = |_: u32, _: &mut Machine| -> Result<Vec<Val>, String> {
+        Err("dist worker: rank state is seeded by the coordinator".into())
+    };
+    let mut pool = LocalPool::new(
+        &program,
+        size,
+        FuncId(entry),
+        &mut no_args,
+        gpu,
+        fault,
+        None,
+    );
+    // Ack Init: the coordinator blocks on this before seeding state.
+    write_frame(&mut stream, &proto::encode_resp(&Resp::Ok))?;
+    serve_pool(&mut stream, rank, &mut pool, kill_after_runs)
+}
+
+fn serve_pool(
+    stream: &mut TcpStream,
+    rank: u32,
+    pool: &mut LocalPool<'_, '_>,
+    mut kill_after_runs: Option<u64>,
+) -> Result<(), TransportError> {
+    loop {
+        let req = proto::decode_req(&read_frame(stream)?)?;
+        let resp = match req {
+            Request::Init { .. } => Resp::Err(SimError::World {
+                message: format!("dist worker rank {rank}: duplicate Init"),
+            }),
+            Request::Run { slice } => {
+                if let Some(left) = kill_after_runs.as_mut() {
+                    if *left == 0 {
+                        // The chaos knob: die mid-protocol, request
+                        // unanswered — exactly what a SIGKILLed rank
+                        // looks like from the coordinator.
+                        return Ok(());
+                    }
+                    *left -= 1;
+                }
+                match pool.run_slice(rank, slice) {
+                    Ok((y, delta)) => Resp::Yielded { y, delta },
+                    Err(e) => Resp::Err(e),
+                }
+            }
+            Request::Resume { v } => reply(pool.resume(rank, v).map(|()| Resp::Ok)),
+            Request::ServiceDevice => reply(pool.service_device(rank).map(Resp::Device)),
+            Request::ServiceHost => reply(pool.service_host(rank).map(Resp::U64)),
+            Request::ReadFloats { buf, off, count } => reply(
+                pool.read_floats(rank, buf, off as usize, count as usize)
+                    .map(Resp::Floats),
+            ),
+            Request::WriteFloats { buf, off, payload } => reply(
+                pool.write_floats(rank, buf, off as usize, &payload)
+                    .map(|()| Resp::Ok),
+            ),
+            Request::Location => Resp::Loc(pool.location(rank)),
+            Request::MessageFault => reply(pool.message_fault(rank).map(Resp::Msg)),
+            Request::CollectiveFault => reply(pool.collective_fault(rank).map(Resp::Msg)),
+            Request::TransportFaultDraw => reply(pool.transport_fault(rank).map(Resp::Transport)),
+            Request::ConnectDelay => reply(pool.connect_delay(rank).map(Resp::U64)),
+            Request::CkptWriteFails => reply(pool.ckpt_write_fails(rank).map(Resp::Bool)),
+            Request::Capture => reply(pool.capture_rank(rank).map(Resp::Snapshot)),
+            Request::Restore {
+                last_cycles,
+                has_gpu,
+                n_arrays,
+                sections,
+            } => {
+                match pool.restore_rank(rank, last_cycles, has_gpu, n_arrays as usize, &sections) {
+                    Ok(()) => Resp::Ok,
+                    Err(e) => Resp::CkptErr(e),
+                }
+            }
+            Request::Reseed { attempt } => reply(pool.reseed(rank, attempt).map(|()| Resp::Ok)),
+            Request::Stats => reply(pool.stats(rank).map(Resp::Stats)),
+            Request::Finish {
+                done,
+                vclock,
+                compute_cycles,
+                comm_cycles,
+            } => {
+                let ctl = RankCtl {
+                    vclock,
+                    compute_cycles,
+                    comm_cycles,
+                    done: Some(done),
+                    ..RankCtl::default()
+                };
+                match pool.finish_rank(rank, &ctl) {
+                    Ok(outcome) => {
+                        let mut w = nir::codec::Writer::new();
+                        exec::ckpt::write_machine(&mut w, &outcome.machine);
+                        Resp::Outcome {
+                            output: outcome.output,
+                            gpu_time: outcome.gpu_time,
+                            machine: w.into_bytes(),
+                        }
+                    }
+                    Err(e) => Resp::Err(e),
+                }
+            }
+            Request::Shutdown => {
+                let _ = write_frame(stream, &proto::encode_resp(&Resp::Ok));
+                return Ok(());
+            }
+        };
+        write_frame(stream, &proto::encode_resp(&resp))?;
+    }
+}
+
+fn reply(r: Result<Resp, SimError>) -> Resp {
+    r.unwrap_or_else(Resp::Err)
+}

@@ -18,10 +18,11 @@ use nir::codec::{seal, unseal, CodecError, Reader, Writer};
 use nir::{FuncId, Program};
 
 /// Version byte of the checkpoint payload (inside the sealed container,
-/// independent of the container's own version). v2 added the
-/// checkpoint-write fault counters and the delta-chain payload kinds;
-/// v1 snapshots degrade to a cold restart by design.
-pub const CKPT_VERSION: u8 = 2;
+/// independent of the container's own version). v3 added the
+/// socket-transport fault knobs/counters to the fault-plan record; v2
+/// added the checkpoint-write fault counters and the delta-chain payload
+/// kinds. Older snapshots degrade to a cold restart by design.
+pub const CKPT_VERSION: u8 = 3;
 
 /// Payload kind: a single [`Machine`] snapshot.
 pub const TAG_MACHINE: u8 = 0xA1;
@@ -50,6 +51,10 @@ pub enum CkptError {
     /// A delta-chain link does not connect to its parent (wrong parent
     /// digest or out-of-order sequence number).
     ChainBroken { seq: u64, message: String },
+    /// The checkpoint belongs to a different platform namespace (its
+    /// fingerprint salt does not match the restoring world's) — a `dist`
+    /// chain must never restore into an `mpi-sim` world, and vice versa.
+    ScopeMismatch { expected: u64, found: u64 },
 }
 
 impl std::fmt::Display for CkptError {
@@ -68,6 +73,11 @@ impl std::fmt::Display for CkptError {
             CkptError::ChainBroken { seq, message } => {
                 write!(f, "checkpoint chain broken at link {seq}: {message}")
             }
+            CkptError::ScopeMismatch { expected, found } => write!(
+                f,
+                "checkpoint belongs to platform namespace {found:#018x}, \
+                 this world restores only {expected:#018x}"
+            ),
         }
     }
 }
@@ -283,7 +293,11 @@ fn write_fault_plan(w: &mut Writer, plan: &FaultPlan) {
     w.f64(c.msg_corrupt);
     w.f64(c.msg_delay);
     w.f64(c.ckpt_write_fail);
+    w.f64(c.connect_refuse);
+    w.f64(c.frame_truncate);
+    w.f64(c.ack_delay);
     w.u64(c.delay_cycles);
+    w.u64(c.ack_delay_cycles);
     w.u32(c.max_host_retries);
     w.u64(c.retry_backoff_cycles);
     w.u64(plan.rng_state());
@@ -296,6 +310,9 @@ fn write_fault_plan(w: &mut Writer, plan: &FaultPlan) {
     w.u64(s.corrupted_messages);
     w.u64(s.delayed_messages);
     w.u64(s.ckpt_write_failures);
+    w.u64(s.connect_refusals);
+    w.u64(s.truncated_frames);
+    w.u64(s.delayed_acks);
     w.u64(s.timeouts);
     w.u64(s.degraded_jits);
     w.u64(s.checkpoints_taken);
@@ -312,7 +329,11 @@ fn read_fault_plan(r: &mut Reader) -> Result<FaultPlan, CkptError> {
         msg_corrupt: r.f64()?,
         msg_delay: r.f64()?,
         ckpt_write_fail: r.f64()?,
+        connect_refuse: r.f64()?,
+        frame_truncate: r.f64()?,
+        ack_delay: r.f64()?,
         delay_cycles: r.u64()?,
+        ack_delay_cycles: r.u64()?,
         max_host_retries: r.u32()?,
         retry_backoff_cycles: r.u64()?,
     };
@@ -326,6 +347,9 @@ fn read_fault_plan(r: &mut Reader) -> Result<FaultPlan, CkptError> {
         corrupted_messages: r.u64()?,
         delayed_messages: r.u64()?,
         ckpt_write_failures: r.u64()?,
+        connect_refusals: r.u64()?,
+        truncated_frames: r.u64()?,
+        delayed_acks: r.u64()?,
         timeouts: r.u64()?,
         degraded_jits: r.u64()?,
         checkpoints_taken: r.u64()?,

@@ -77,8 +77,22 @@ pub struct FaultConfig {
     /// Probability that writing one checkpoint fails (I/O fault). The
     /// world keeps running on its previous snapshot.
     pub ckpt_write_fail: f64,
+    /// Probability that a rank's transport connection attempt is refused
+    /// (the rank re-dials with backoff; the refusals are counted and the
+    /// retry latency is charged to its clock).
+    pub connect_refuse: f64,
+    /// Probability that one framed transport message is truncated in
+    /// flight. Truncation is *detected* (length prefix + checksum), so
+    /// the frame is discarded typed — the receiver waits on, exactly like
+    /// a dropped message, and the timeout/restart machinery recovers.
+    pub frame_truncate: f64,
+    /// Probability that a frame's acknowledgement is delayed, pushing the
+    /// message's delivery `ack_delay_cycles` into the virtual future.
+    pub ack_delay: f64,
     /// Extra virtual cycles a delayed message waits before delivery.
     pub delay_cycles: u64,
+    /// Extra virtual cycles a delayed transport acknowledgement adds.
+    pub ack_delay_cycles: u64,
     /// Retry budget for transient host-FFI failures before giving up.
     pub max_host_retries: u32,
     /// Base virtual-cycle backoff charged per host-FFI retry (doubles
@@ -97,7 +111,11 @@ impl Default for FaultConfig {
             msg_corrupt: 0.0,
             msg_delay: 0.0,
             ckpt_write_fail: 0.0,
+            connect_refuse: 0.0,
+            frame_truncate: 0.0,
+            ack_delay: 0.0,
             delay_cycles: 50_000,
+            ack_delay_cycles: 20_000,
             max_host_retries: 4,
             retry_backoff_cycles: 1_000,
         }
@@ -136,6 +154,13 @@ pub struct ResilienceStats {
     pub delayed_messages: u64,
     /// Checkpoint writes that failed with an injected I/O fault.
     pub ckpt_write_failures: u64,
+    /// Transport connection attempts refused (each one re-dialed).
+    pub connect_refusals: u64,
+    /// Framed transport messages truncated in flight (detected typed by
+    /// the length prefix + checksum and discarded).
+    pub truncated_frames: u64,
+    /// Transport acknowledgements delayed in virtual time.
+    pub delayed_acks: u64,
     /// Blocked states converted into typed timeouts.
     pub timeouts: u64,
     /// JIT requests served by a degraded translation mode.
@@ -157,6 +182,9 @@ impl ResilienceStats {
         self.corrupted_messages += other.corrupted_messages;
         self.delayed_messages += other.delayed_messages;
         self.ckpt_write_failures += other.ckpt_write_failures;
+        self.connect_refusals += other.connect_refusals;
+        self.truncated_frames += other.truncated_frames;
+        self.delayed_acks += other.delayed_acks;
         self.timeouts += other.timeouts;
         self.degraded_jits += other.degraded_jits;
         self.checkpoints_taken += other.checkpoints_taken;
@@ -172,6 +200,9 @@ impl ResilienceStats {
             + self.corrupted_messages
             + self.delayed_messages
             + self.ckpt_write_failures
+            + self.connect_refusals
+            + self.truncated_frames
+            + self.delayed_acks
     }
 }
 
@@ -182,7 +213,8 @@ impl std::fmt::Display for ResilienceStats {
         write!(
             f,
             "injected {} (crash {}, fuel {}, ffi {}, drop {}, corrupt {}, \
-             delay {}, ckpt-io {}) · retries {} · timeouts {} · degraded {} \
+             delay {}, ckpt-io {}, refuse {}, trunc {}, ack-delay {}) · \
+             retries {} · timeouts {} · degraded {} \
              · ckpts {} · restarts {}",
             self.injected(),
             self.crashes,
@@ -192,6 +224,9 @@ impl std::fmt::Display for ResilienceStats {
             self.corrupted_messages,
             self.delayed_messages,
             self.ckpt_write_failures,
+            self.connect_refusals,
+            self.truncated_frames,
+            self.delayed_acks,
             self.host_retries,
             self.timeouts,
             self.degraded_jits,
@@ -211,6 +246,20 @@ pub enum MsgFault {
     Corrupt,
     /// Delivery is pushed `cycles` into the virtual future.
     Delay(u64),
+}
+
+/// What happens to one framed transport message (drawn *after* the
+/// payload-level [`MsgFault`], so armies of zero-rate configs keep their
+/// historical streams bit-identical).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportFault {
+    None,
+    /// The frame is truncated in flight; the checksum rejects it typed
+    /// and the message is lost (the receiver keeps waiting).
+    Truncate,
+    /// The frame's acknowledgement is late; delivery lands `cycles`
+    /// later in virtual time.
+    DelayAck(u64),
 }
 
 /// Fuel granted to a slice when exhaustion is injected — small enough to
@@ -338,6 +387,32 @@ impl FaultPlan {
         MsgFault::None
     }
 
+    /// Is this transport connection attempt refused? Each refusal is
+    /// counted; callers re-dial with [`FaultPlan::backoff_cycles`].
+    pub fn connect_refused(&mut self) -> bool {
+        if self.rng.chance(self.config.connect_refuse) {
+            self.stats.connect_refusals += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Fate of one framed transport message, drawn after its payload
+    /// fault. Zero rates consume nothing, so configs predating the
+    /// socket-transport faults keep bit-identical streams.
+    pub fn transport_fault(&mut self) -> TransportFault {
+        if self.rng.chance(self.config.frame_truncate) {
+            self.stats.truncated_frames += 1;
+            return TransportFault::Truncate;
+        }
+        if self.rng.chance(self.config.ack_delay) {
+            self.stats.delayed_acks += 1;
+            return TransportFault::DelayAck(self.config.ack_delay_cycles);
+        }
+        TransportFault::None
+    }
+
     /// Virtual-cycle backoff before retry number `attempt` (1-based);
     /// doubles per attempt, capped to keep virtual time bounded.
     pub fn backoff_cycles(&self, attempt: u32) -> u64 {
@@ -421,6 +496,51 @@ mod tests {
         assert!(fired > 0, "rate 0.4 must fire in 200 draws");
         assert_eq!(a.stats.ckpt_write_failures, fired);
         assert_eq!(a.stats.injected(), fired);
+    }
+
+    #[test]
+    fn transport_faults_are_seeded_counted_and_stream_safe() {
+        // Zero transport rates must not consume the stream: interleaving
+        // the new draws with crash draws leaves the crash stream of a
+        // pre-transport config bit-identical.
+        let cfg = FaultConfig {
+            crash: 0.3,
+            ..FaultConfig::seeded(5)
+        };
+        let mut a = FaultPlan::for_rank(cfg, 0);
+        let mut b = FaultPlan::for_rank(cfg, 0);
+        let da: Vec<bool> = (0..64).map(|_| a.crash_at_yield()).collect();
+        let db: Vec<bool> = (0..64)
+            .map(|_| {
+                assert_eq!(b.transport_fault(), TransportFault::None);
+                assert!(!b.connect_refused());
+                b.crash_at_yield()
+            })
+            .collect();
+        assert_eq!(da, db, "zero-rate transport draws must be stream-free");
+
+        let cfg = FaultConfig {
+            frame_truncate: 0.3,
+            ack_delay: 0.3,
+            connect_refuse: 0.5,
+            ..FaultConfig::seeded(6)
+        };
+        let mut a = FaultPlan::for_rank(cfg, 1);
+        let mut b = FaultPlan::for_rank(cfg, 1);
+        let fa: Vec<TransportFault> = (0..200).map(|_| a.transport_fault()).collect();
+        let fb: Vec<TransportFault> = (0..200).map(|_| b.transport_fault()).collect();
+        assert_eq!(fa, fb, "same seed, same transport faults");
+        assert!(a.stats.truncated_frames > 0, "truncate rate 0.3 must fire");
+        assert!(a.stats.delayed_acks > 0, "ack-delay rate 0.3 must fire");
+        let refusals = (0..64).filter(|_| a.connect_refused()).count() as u64;
+        assert!(refusals > 0, "refuse rate 0.5 must fire in 64 draws");
+        assert_eq!(a.stats.connect_refusals, refusals);
+        assert_eq!(
+            a.stats.injected(),
+            a.stats.truncated_frames + a.stats.delayed_acks + refusals
+        );
+        let line = a.stats.to_string();
+        assert!(line.contains("refuse") && line.contains("trunc"));
     }
 
     #[test]

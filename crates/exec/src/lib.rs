@@ -26,7 +26,7 @@ pub mod ckpt;
 pub mod fault;
 
 pub use ckpt::CkptError;
-pub use fault::{FaultConfig, FaultPlan, FaultRng, MsgFault, ResilienceStats};
+pub use fault::{FaultConfig, FaultPlan, FaultRng, MsgFault, ResilienceStats, TransportFault};
 
 use jlang::ast::BinOp;
 use jlang::types::PrimKind;

@@ -21,22 +21,27 @@
 
 #![forbid(unsafe_code)]
 
+pub mod runtime;
 pub mod shared;
+pub mod transport;
 
-use std::collections::{HashMap, VecDeque};
 use std::path::{Path, PathBuf};
 
-pub use shared::{SharedCache, SharedCacheStats};
-
-pub use exec::ckpt::CkptError;
-use exec::ckpt::{self, chain};
-use exec::{
-    run, ArrStore, ExecError, FaultConfig, FaultPlan, HostRegistry, Machine, MsgFault,
-    ResilienceStats, Thread, Val, Yield,
+pub use runtime::{
+    run_world, run_world_with_restart, service_device_yield, service_host_yield, ArgBuilder,
+    Blocked, DeviceOutcome, LocalPool, RankCtl, RankPool, RankSnapshot, RankYield, RunCfg,
 };
-use gpu_sim::{Gpu, GpuConfig, GpuErrorKind};
-use nir::codec::{Reader, Writer};
-use nir::{FuncId, IntrinOp, Program};
+pub use shared::{SharedCache, SharedCacheStats};
+pub use transport::{
+    read_frame, write_frame, InMemTransport, MsgQueues, Transport, TransportError, FRAME_MAGIC,
+    MAX_FRAME_LEN, WIRE_VERSION,
+};
+
+use exec::ckpt::chain;
+pub use exec::ckpt::CkptError;
+use exec::{FaultConfig, HostRegistry, Machine, ResilienceStats, Val};
+use gpu_sim::GpuConfig;
+use nir::{FuncId, Program};
 
 /// Communication cost model (cycles).
 #[derive(Debug, Clone, Copy)]
@@ -79,16 +84,6 @@ pub enum Schedule {
     Seeded(u64),
 }
 
-/// xorshift64* step for the seeded scheduler permutation.
-fn sched_next(state: &mut u64) -> u64 {
-    let mut x = *state;
-    x ^= x >> 12;
-    x ^= x << 25;
-    x ^= x >> 27;
-    *state = x;
-    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
-}
-
 /// Typed simulation error. Every failure mode of a world run has its own
 /// variant so callers (the wootinj facade, the bench fault matrix, the
 /// property suites) can classify outcomes without string matching.
@@ -115,6 +110,10 @@ pub enum SimError {
     },
     /// No rank can make progress and none is mid-collective.
     Deadlock { report: String },
+    /// A persisted checkpoint chain belongs to a different platform
+    /// namespace (fingerprint salt): a `dist` chain must never
+    /// warm-start an `mpi-sim` world, and vice versa.
+    CheckpointScope { expected: u64, found: u64 },
     /// World-level inconsistency not attributable to one rank.
     World { message: String },
 }
@@ -126,7 +125,9 @@ impl SimError {
             SimError::Rank { rank, .. }
             | SimError::Crash { rank, .. }
             | SimError::Timeout { rank, .. } => Some(*rank),
-            SimError::Deadlock { .. } | SimError::World { .. } => None,
+            SimError::Deadlock { .. }
+            | SimError::CheckpointScope { .. }
+            | SimError::World { .. } => None,
         }
     }
 }
@@ -154,6 +155,11 @@ impl std::fmt::Display for SimError {
                 "mpi-sim: rank {rank} timed out after {waited_rounds} blocked rounds; world state:\n{report}"
             ),
             SimError::Deadlock { report } => write!(f, "mpi-sim: deadlock detected:\n{report}"),
+            SimError::CheckpointScope { expected, found } => write!(
+                f,
+                "mpi-sim: persisted checkpoint chain belongs to platform namespace \
+                 {found:#018x}; this world restores only {expected:#018x} — refusing to warm-start"
+            ),
             SimError::World { message } => write!(f, "mpi-sim error: {message}"),
         }
     }
@@ -161,39 +167,11 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-fn err_on(rank: u32, message: impl ToString) -> SimError {
+/// A [`SimError::Rank`] attributed to one rank.
+pub fn err_on(rank: u32, message: impl ToString) -> SimError {
     SimError::Rank {
         rank,
         message: message.to_string(),
-    }
-}
-
-/// The (function, pc) of the instruction a yielded thread is stopped at —
-/// the yield bumped the pc first, so the faulting instruction is `pc - 1`.
-/// Used to give intrinsic-path errors the same location context the
-/// interpreter loop attaches to its own.
-fn yield_location(program: &Program, thread: &Thread) -> Option<(String, u32)> {
-    thread
-        .frame_location()
-        .map(|(f, pc)| (program.func(f).name.clone(), pc.saturating_sub(1)))
-}
-
-/// Attach a yield location to a context-free [`ExecError`].
-fn locate(e: impl Into<ExecError>, loc: &Option<(String, u32)>) -> ExecError {
-    let e = e.into();
-    match loc {
-        Some((func, pc)) => e.at(func, *pc),
-        None => e,
-    }
-}
-
-/// Flip a mantissa bit of a float contribution (deterministic payload
-/// corruption for collectives).
-fn corrupt_val(v: Val) -> Val {
-    match v {
-        Val::F32(x) => Val::F32(f32::from_bits(x.to_bits() ^ (1 << 21))),
-        Val::F64(x) => Val::F64(f64::from_bits(x.to_bits() ^ (1 << 40))),
-        other => other,
     }
 }
 
@@ -379,159 +357,9 @@ pub struct WorldCheckpoint {
     pub vtime: u64,
 }
 
-/// (from, to, tag) -> FIFO of (payload, available_at).
-type MsgQueues = HashMap<(u32, u32, i32), VecDeque<(Vec<f32>, u64)>>;
-
-/// Per-rank entry-argument builder: rank id + its machine -> entry args.
-type ArgBuilder<'a> = &'a mut dyn FnMut(u32, &mut Machine) -> Result<Vec<Val>, String>;
-
-/// Live checkpointing state threaded through the scheduler by
-/// [`World::run_with_restart`]: the current chain epoch (sealed links,
-/// base first) plus the incremental encoder positioned at its head.
-struct CkptState {
-    every: u64,
-    rebase_every: u64,
-    write_alpha: u64,
-    write_bytes_per_cycle: u64,
-    persist: Option<PathBuf>,
-    since_last: u64,
-    chain: chain::ChainState,
-    links: Vec<Vec<u8>>,
-    deltas_since_base: u64,
-    latest_vtime: Option<u64>,
-    taken: u64,
-    deltas: u64,
-    rebases: u64,
-    bytes_written: u64,
-    links_dropped: u64,
-}
-
-impl CkptState {
-    fn new(policy: &CheckpointPolicy) -> Self {
-        CkptState {
-            every: policy.every.max(1) as u64,
-            rebase_every: policy.rebase_every as u64,
-            write_alpha: policy.write_alpha,
-            write_bytes_per_cycle: policy.write_bytes_per_cycle,
-            persist: policy.persist.clone(),
-            since_last: 0,
-            chain: chain::ChainState::new(),
-            links: Vec::new(),
-            deltas_since_base: 0,
-            latest_vtime: None,
-            taken: 0,
-            deltas: 0,
-            rebases: 0,
-            bytes_written: 0,
-            links_dropped: 0,
-        }
-    }
-
-    /// Called by the scheduler immediately after a collective completes —
-    /// the only globally consistent cut points (see [`CheckpointPolicy`]).
-    fn collective_completed(&mut self, world: &World, ranks: &mut [Rank], messages: &MsgQueues) {
-        self.since_last += 1;
-        if self.since_last < self.every {
-            return;
-        }
-        self.since_last = 0;
-        // Injected checkpoint-write I/O fault — a world-level decision
-        // drawn from the first live fault stream (rank 0). The write is
-        // skipped; the world keeps running on its previous snapshot.
-        // Drawn before capture so full and delta modes see identical
-        // streams.
-        if let Some(plan) = ranks.iter_mut().find_map(|r| r.machine.fault.as_mut()) {
-            if plan.ckpt_write_fails() {
-                return;
-            }
-        }
-        let sections = world.world_sections(ranks, messages);
-        let force_base = self.rebase_every == 0
-            || self.links.is_empty()
-            || self.deltas_since_base >= self.rebase_every;
-        let link = self.chain.push(sections, force_base);
-        self.bytes_written += link.bytes.len() as u64;
-        if link.is_base {
-            if !self.links.is_empty() && self.rebase_every > 0 {
-                self.rebases += 1;
-            }
-            if let Some(path) = &self.persist {
-                // Old-epoch deltas go first so a crash mid-rebase leaves
-                // either the old base alone (a valid, older ancestor) or
-                // the new base alone — never a base with foreign deltas
-                // (parent digests would reject those anyway).
-                remove_persisted_deltas(path);
-                persist_checkpoint(path, &link.bytes);
-            }
-            self.links.clear();
-            self.deltas_since_base = 0;
-        } else {
-            self.deltas += 1;
-            self.deltas_since_base += 1;
-            if let Some(path) = &self.persist {
-                persist_checkpoint(&delta_path(path, link.seq), &link.bytes);
-            }
-        }
-        let link_len = link.bytes.len() as u64;
-        self.links.push(link.bytes);
-        self.latest_vtime = Some(ranks.iter().map(|r| r.vclock).max().unwrap_or(0));
-        self.taken += 1;
-        // Charge the write cost after capture: the snapshot itself is
-        // pre-cost, so a rollback also re-pays the time spent writing —
-        // exactly the term delta chains shrink.
-        // bytes_per_cycle == 0 means "size is free" (the default).
-        let cost = self.write_alpha
-            + link_len
-                .checked_div(self.write_bytes_per_cycle)
-                .unwrap_or(0);
-        if cost > 0 {
-            for rank in ranks.iter_mut().filter(|r| r.done.is_none()) {
-                rank.vclock += cost;
-                rank.comm_cycles += cost;
-            }
-        }
-    }
-
-    /// Resolve the current chain into runnable world state, degrading to
-    /// the deepest valid ancestor: any damaged or undecodable tail link
-    /// is dropped (counted) and the next-older snapshot is tried. `None`
-    /// means the base itself is gone — a cold restart.
-    fn restore_latest(&mut self, world: &World) -> Option<(Vec<Rank>, MsgQueues)> {
-        loop {
-            if self.links.is_empty() {
-                self.latest_vtime = None;
-                self.deltas_since_base = 0;
-                return None;
-            }
-            let out = chain::resolve_prefix(&self.links);
-            if out.valid_links == self.links.len() {
-                match world.world_from_sections(&out.sections) {
-                    Ok(rm) => {
-                        let head = self.links.last().expect("non-empty chain");
-                        self.chain =
-                            chain::ChainState::resume(out.sections, head, self.links.len() as u64);
-                        self.deltas_since_base = (self.links.len() - 1) as u64;
-                        self.latest_vtime = Some(rm.0.iter().map(|r| r.vclock).max().unwrap_or(0));
-                        return Some(rm);
-                    }
-                    Err(_) => {
-                        // Chain-valid but not decodable by this world
-                        // (program/topology skew): try one link deeper.
-                        self.links.pop();
-                        self.links_dropped += 1;
-                    }
-                }
-            } else {
-                self.links_dropped += (self.links.len() - out.valid_links) as u64;
-                self.links.truncate(out.valid_links);
-            }
-        }
-    }
-}
-
 /// Path of delta link `seq` beside its chain's base file:
 /// `world.wckpt` → `world.d3.wckpt`.
-fn delta_path(base: &Path, seq: u64) -> PathBuf {
+pub(crate) fn delta_path(base: &Path, seq: u64) -> PathBuf {
     let name = base
         .file_name()
         .and_then(|n| n.to_str())
@@ -543,7 +371,7 @@ fn delta_path(base: &Path, seq: u64) -> PathBuf {
 /// Load a persisted chain: the base file, then `d1`, `d2`, … until the
 /// first missing file (deltas are written densely, so a gap means the
 /// rest of the chain is orphaned). Missing base = no chain.
-fn load_chain_files(base: &Path) -> Vec<Vec<u8>> {
+pub(crate) fn load_chain_files(base: &Path) -> Vec<Vec<u8>> {
     let mut links = Vec::new();
     match std::fs::read(base) {
         Ok(bytes) => links.push(bytes),
@@ -558,7 +386,7 @@ fn load_chain_files(base: &Path) -> Vec<Vec<u8>> {
 }
 
 /// Remove the dense run of persisted delta files (rebase cleanup).
-fn remove_persisted_deltas(base: &Path) {
+pub(crate) fn remove_persisted_deltas(base: &Path) {
     let mut seq = 1u64;
     while std::fs::remove_file(delta_path(base, seq)).is_ok() {
         seq += 1;
@@ -594,7 +422,7 @@ pub fn probe_chain(base: &Path) -> ChainProbe {
 /// Persist checkpoint bytes via temp-then-rename so a reader (including a
 /// warm-restarting process) never observes a torn file. Best-effort: IO
 /// failures only cost the warm-restart capability, never the run.
-fn persist_checkpoint(path: &Path, bytes: &[u8]) {
+pub(crate) fn persist_checkpoint(path: &Path, bytes: &[u8]) {
     static TMP_UNIQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
     let file_name = match path.file_name() {
         Some(n) => n.to_os_string(),
@@ -613,7 +441,7 @@ fn persist_checkpoint(path: &Path, bytes: &[u8]) {
 /// host config, seed decorrelated from the host streams (which already
 /// decorrelate per rank via [`FaultPlan::for_rank`]) so a device crash
 /// and a host crash never fire in lockstep.
-fn device_fault_config(cfg: FaultConfig, rank: u32) -> FaultConfig {
+pub(crate) fn device_fault_config(cfg: FaultConfig, rank: u32) -> FaultConfig {
     FaultConfig {
         seed: cfg
             .seed
@@ -621,49 +449,6 @@ fn device_fault_config(cfg: FaultConfig, rank: u32) -> FaultConfig {
             .wrapping_add(0xD1B5_4A32_D192_ED03u64.wrapping_mul(rank as u64 + 1)),
         ..cfg
     }
-}
-
-#[derive(Debug)]
-enum Blocked {
-    Recv {
-        buf: u32,
-        off: usize,
-        count: usize,
-        src: u32,
-        tag: i32,
-    },
-    Barrier,
-    Allreduce,
-    Bcast {
-        buf: u32,
-        off: usize,
-        count: usize,
-        root: u32,
-    },
-}
-
-#[derive(Debug, Clone, Copy)]
-enum AllOp {
-    SumF64,
-    SumF32,
-    MaxF64,
-}
-
-struct Rank {
-    thread: Thread,
-    machine: Machine,
-    gpu: Option<Gpu>,
-    vclock: u64,
-    compute_cycles: u64,
-    comm_cycles: u64,
-    last_cycles: u64,
-    blocked: Option<Blocked>,
-    done: Option<Option<Val>>,
-    /// Step count at which an injected fault killed this rank.
-    crashed: Option<u64>,
-    /// Consecutive scheduler rounds spent in the current blocked state
-    /// (the per-collective timeout clock).
-    blocked_rounds: u64,
 }
 
 /// A simulated MPI world over a translated program.
@@ -688,6 +473,10 @@ pub struct World<'p> {
     pub timeout_rounds: Option<u64>,
     /// Service order for runnable ranks each round (see [`Schedule`]).
     pub schedule: Schedule,
+    /// Platform namespace stamp for checkpoints (see
+    /// [`World::with_ckpt_salt`]). 0 is the historical `mpi-sim`
+    /// namespace.
+    pub ckpt_salt: u64,
 }
 
 /// Default [`World::timeout_rounds`] once fault injection is enabled:
@@ -707,6 +496,7 @@ impl<'p> World<'p> {
             fault: None,
             timeout_rounds: None,
             schedule: Schedule::RankOrder,
+            ckpt_salt: 0,
         }
     }
 
@@ -747,8 +537,25 @@ impl<'p> World<'p> {
         self
     }
 
-    fn msg_cost(&self, bytes: u64) -> u64 {
-        self.cost.alpha + (bytes as f64 * self.cost.beta) as u64
+    /// Stamp checkpoints from this world with a platform namespace salt
+    /// (see [`RunCfg::ckpt_salt`]). Platform backends pass their
+    /// fingerprint salt so a persisted chain can never warm-start a
+    /// world on a different platform.
+    pub fn with_ckpt_salt(mut self, salt: u64) -> Self {
+        self.ckpt_salt = salt;
+        self
+    }
+
+    /// This world's scheduler-facing configuration slice.
+    pub(crate) fn run_cfg(&self) -> RunCfg {
+        RunCfg {
+            size: self.size,
+            cost: self.cost,
+            slice: self.slice,
+            timeout_rounds: self.timeout_rounds,
+            schedule: self.schedule,
+            ckpt_salt: self.ckpt_salt,
+        }
     }
 
     /// Run `entry` on every rank. `make_args` builds each rank's entry
@@ -758,9 +565,17 @@ impl<'p> World<'p> {
         entry: FuncId,
         mut make_args: impl FnMut(u32, &mut Machine) -> Result<Vec<Val>, String>,
     ) -> Result<WorldRun, SimError> {
-        let mut ranks = self.init_ranks(entry, &mut make_args)?;
-        let mut messages: MsgQueues = HashMap::new();
-        self.drive(&mut ranks, &mut messages, None)
+        let mut pool = LocalPool::new(
+            self.program,
+            self.size,
+            entry,
+            &mut make_args,
+            self.gpu,
+            self.fault,
+            self.host,
+        );
+        let mut transport = InMemTransport::new();
+        runtime::run_world(&self.run_cfg(), &mut pool, &mut transport)
     }
 
     /// Like [`World::run`], but checkpoint every
@@ -777,1161 +592,52 @@ impl<'p> World<'p> {
         policy: &CheckpointPolicy,
         max_restarts: u32,
     ) -> Result<WorldRun, SimError> {
-        let mut ck = CkptState::new(policy);
-        // Warm start: a killed process may have left a persisted chain
-        // behind. Unreadable, corrupt, or mismatched links simply shorten
-        // the chain (deepest valid ancestor); a bad base means a cold
-        // start — never an error, never a panic.
-        if let Some(path) = ck.persist.clone() {
-            ck.links = load_chain_files(&path);
-        }
-        let mut stats = RestartStats::default();
-        let mut carried = ResilienceStats::default();
-        loop {
-            let attempt = stats.restarts;
-            // Roll back to the deepest valid snapshot in the chain,
-            // degrading link by link and to a cold restart at the end.
-            let restored = ck.restore_latest(self);
-            let (mut ranks, mut messages) = match restored {
-                Some(rm) => rm,
-                None => (self.init_ranks(entry, &mut make_args)?, MsgQueues::new()),
-            };
-            if attempt > 0 {
-                stats.ranks_rolled_back += ranks.iter().filter(|r| r.done.is_none()).count() as u64;
-                // Everything the failed attempt observed is already in
-                // `carried`; zero the counters and move every stream past
-                // its consumed cursor so the fault that killed the last
-                // attempt is not re-drawn identically forever.
-                for rank in ranks.iter_mut() {
-                    if let Some(plan) = rank.machine.fault.as_mut() {
-                        plan.stats = ResilienceStats::default();
-                        plan.reseed(attempt);
-                    }
-                    if let Some(gpu) = rank.gpu.as_mut() {
-                        gpu.reseed_faults(attempt);
-                    }
-                }
-            }
-            match self.drive(&mut ranks, &mut messages, Some(&mut ck)) {
-                Ok(mut run) => {
-                    stats.checkpoints_taken = ck.taken;
-                    stats.delta_checkpoints = ck.deltas;
-                    stats.rebases = ck.rebases;
-                    stats.ckpt_bytes_written = ck.bytes_written;
-                    stats.chain_links_dropped = ck.links_dropped;
-                    run.resilience.merge(&carried);
-                    run.resilience.checkpoints_taken += ck.taken;
-                    run.resilience.restarts += stats.restarts;
-                    run.restart = stats;
-                    return Ok(run);
-                }
-                Err(err) => {
-                    let recoverable =
-                        matches!(err, SimError::Crash { .. } | SimError::Timeout { .. });
-                    if !recoverable || stats.restarts >= max_restarts as u64 {
-                        return Err(err);
-                    }
-                    for rank in ranks.iter() {
-                        if let Some(plan) = &rank.machine.fault {
-                            carried.merge(&plan.stats);
-                        }
-                        if let Some(gpu) = &rank.gpu {
-                            carried.merge(&gpu.fault_stats());
-                        }
-                    }
-                    let fail_vtime = ranks.iter().map(|r| r.vclock).max().unwrap_or(0);
-                    let base = ck.latest_vtime.unwrap_or(0);
-                    stats.virtual_time_lost += fail_vtime.saturating_sub(base);
-                    stats.restarts += 1;
-                    // Adaptive cadence: each restart halves the interval
-                    // (floor 1), so a world that keeps crashing pays for
-                    // snapshots exactly when they earn their keep.
-                    if policy.adaptive {
-                        ck.every = (ck.every / 2).max(1);
-                        ck.since_last = 0;
-                    }
-                }
-            }
-        }
-    }
-
-    fn init_ranks(&self, entry: FuncId, make_args: ArgBuilder<'_>) -> Result<Vec<Rank>, SimError> {
-        let mut ranks: Vec<Rank> = Vec::with_capacity(self.size as usize);
-        for r in 0..self.size {
-            let mut machine = Machine::with_globals(self.program);
-            if let Some(cfg) = self.fault {
-                machine.fault = Some(FaultPlan::for_rank(cfg, r));
-            }
-            let args = make_args(r, &mut machine)
-                .map_err(|m| err_on(r, format!("building entry args: {m}")))?;
-            let thread =
-                Thread::new(self.program, entry, args).map_err(|e| err_on(r, e.to_string()))?;
-            let mut gpu = self.gpu.map(Gpu::new);
-            if let (Some(g), Some(cfg)) = (gpu.as_mut(), self.fault) {
-                g.set_fault(device_fault_config(cfg, r));
-            }
-            ranks.push(Rank {
-                thread,
-                machine,
-                gpu,
-                vclock: 0,
-                compute_cycles: 0,
-                comm_cycles: 0,
-                last_cycles: 0,
-                blocked: None,
-                done: None,
-                crashed: None,
-                blocked_rounds: 0,
-            });
-        }
-        Ok(ranks)
-    }
-
-    /// The cooperative scheduler: drives `ranks` to completion (or a
-    /// typed failure), optionally checkpointing at collective boundaries.
-    fn drive(
-        &self,
-        ranks: &mut Vec<Rank>,
-        messages: &mut MsgQueues,
-        mut ckpt: Option<&mut CkptState>,
-    ) -> Result<WorldRun, SimError> {
-        // Collective rendezvous state.
-        let mut barrier_waiters: Vec<u32> = Vec::new();
-        let mut allreduce: Vec<(u32, AllOp, Val)> = Vec::new();
-        let mut bcast_waiters: Vec<u32> = Vec::new();
-        // Scheduler rounds so far (the global half of the timeout bound).
-        let mut rounds: u64 = 0;
-        // PRNG for `Schedule::Seeded` (fresh per drive, so every restart
-        // attempt replays the same interleaving for the same seed).
-        let mut sched_rng = match self.schedule {
-            Schedule::RankOrder => 0,
-            Schedule::Seeded(seed) => seed | 1,
-        };
-        let mut order: Vec<usize> = (0..self.size as usize).collect();
-
-        loop {
-            let mut progress = false;
-
-            // 1. Try to unblock receivers / collectives.
-            #[allow(clippy::needless_range_loop)] // r is also a rank id
-            for r in 0..self.size as usize {
-                let Some(blocked) = ranks[r].blocked.as_ref() else {
-                    continue;
-                };
-                match *blocked {
-                    Blocked::Recv {
-                        buf,
-                        off,
-                        count,
-                        src,
-                        tag,
-                    } => {
-                        let key = (src, r as u32, tag);
-                        let ready = messages.get_mut(&key).and_then(|q| q.pop_front());
-                        if let Some((payload, avail_at)) = ready {
-                            let loc = yield_location(self.program, &ranks[r].thread);
-                            if payload.len() != count {
-                                return Err(err_on(
-                                    r as u32,
-                                    locate(
-                                        format!(
-                                            "recv of {count} floats matched a message of {}",
-                                            payload.len()
-                                        ),
-                                        &loc,
-                                    ),
-                                ));
-                            }
-                            write_floats(&mut ranks[r].machine, buf, off, &payload)
-                                .map_err(|m| err_on(r as u32, locate(m, &loc)))?;
-                            let rank = &mut ranks[r];
-                            let arrival = rank.vclock.max(avail_at);
-                            rank.comm_cycles += arrival - rank.vclock;
-                            rank.vclock = arrival;
-                            rank.blocked = None;
-                            rank.thread.resume_with(Val::Unit);
-                            progress = true;
-                        }
-                    }
-                    Blocked::Barrier => {}
-                    Blocked::Allreduce => {}
-                    Blocked::Bcast { .. } => {}
-                }
-            }
-
-            // 2. Complete collectives when everyone arrived.
-            let live = ranks.iter().filter(|r| r.done.is_none()).count() as u32;
-            if !barrier_waiters.is_empty() && barrier_waiters.len() as u32 == live {
-                let t = self.complete_collective(ranks, &barrier_waiters);
-                for &r in &barrier_waiters {
-                    let rank = &mut ranks[r as usize];
-                    rank.vclock = t;
-                    rank.blocked = None;
-                    rank.thread.resume_with(Val::Unit);
-                }
-                barrier_waiters.clear();
-                progress = true;
-                if let Some(ck) = ckpt.as_deref_mut() {
-                    ck.collective_completed(self, ranks, messages);
-                }
-            }
-            if !allreduce.is_empty() && allreduce.len() as u32 == live {
-                let participants: Vec<u32> = allreduce.iter().map(|(r, _, _)| *r).collect();
-                let t = self.complete_collective(ranks, &participants);
-                let op = allreduce[0].1;
-                let combined = combine(op, &allreduce).map_err(|m| SimError::World {
-                    message: m.to_string(),
-                })?;
-                for &(r, _, _) in allreduce.iter() {
-                    let rank = &mut ranks[r as usize];
-                    rank.vclock = t;
-                    rank.blocked = None;
-                    rank.thread.resume_with(combined);
-                }
-                allreduce.clear();
-                progress = true;
-                if let Some(ck) = ckpt.as_deref_mut() {
-                    ck.collective_completed(self, ranks, messages);
-                }
-            }
-            if !bcast_waiters.is_empty() && bcast_waiters.len() as u32 == live {
-                // Copy the root's payload into everyone else's buffer.
-                let (root, count) = {
-                    let Some(Blocked::Bcast { root, count, .. }) =
-                        &ranks[bcast_waiters[0] as usize].blocked
-                    else {
-                        return Err(SimError::World {
-                            message: "inconsistent bcast state".into(),
-                        });
-                    };
-                    (*root, *count)
-                };
-                let mut payload = {
-                    let Some(Blocked::Bcast { buf, off, .. }) = &ranks[root as usize].blocked
-                    else {
-                        return Err(err_on(root, "bcast root is not at the bcast"));
-                    };
-                    let loc = yield_location(self.program, &ranks[root as usize].thread);
-                    read_floats(&ranks[root as usize].machine, *buf, *off, count)
-                        .map_err(|m| err_on(root, locate(m, &loc)))?
-                };
-                // Fault injection on the broadcast payload, drawn from
-                // the root's stream (collectives corrupt or delay — a
-                // dropped collective is a crash, not a message fault).
-                let mut extra_delay = 0;
-                if let Some(plan) = ranks[root as usize].machine.fault.as_mut() {
-                    match plan.collective_fault() {
-                        MsgFault::Corrupt => exec::fault::corrupt_f32(&mut payload),
-                        MsgFault::Delay(d) => extra_delay = d,
-                        MsgFault::None | MsgFault::Drop => {}
-                    }
-                }
-                let t = self.complete_collective(ranks, &bcast_waiters)
-                    + self.msg_cost((count * 4) as u64)
-                    + extra_delay;
-                for &r in &bcast_waiters {
-                    let rank = &mut ranks[r as usize];
-                    let loc = yield_location(self.program, &rank.thread);
-                    if r != root {
-                        let Some(Blocked::Bcast { buf, off, .. }) = &rank.blocked else {
-                            unreachable!()
-                        };
-                        let (buf, off) = (*buf, *off);
-                        write_floats(&mut rank.machine, buf, off, &payload)
-                            .map_err(|m| err_on(r, locate(m, &loc)))?;
-                    }
-                    rank.vclock = t;
-                    rank.blocked = None;
-                    rank.thread.resume_with(Val::Unit);
-                }
-                bcast_waiters.clear();
-                progress = true;
-                if let Some(ck) = ckpt.as_deref_mut() {
-                    ck.collective_completed(self, ranks, messages);
-                }
-            }
-
-            // 3. Run runnable ranks for a slice. Under `Seeded`, the
-            // service order is a fresh Fisher–Yates permutation each
-            // round — the deterministic analogue of an OS thread
-            // scheduler picking workers in arbitrary order.
-            if let Schedule::Seeded(_) = self.schedule {
-                for i in (1..order.len()).rev() {
-                    let j = (sched_next(&mut sched_rng) % (i as u64 + 1)) as usize;
-                    order.swap(i, j);
-                }
-            }
-            for &r in &order {
-                if ranks[r].done.is_some()
-                    || ranks[r].blocked.is_some()
-                    || ranks[r].crashed.is_some()
-                {
-                    continue;
-                }
-                progress = true;
-                let y = {
-                    let rank = &mut ranks[r];
-                    let y = run(
-                        &mut rank.thread,
-                        self.program,
-                        &mut rank.machine,
-                        self.slice,
-                    )
-                    .map_err(|e| err_on(r as u32, e.to_string()))?;
-                    let delta = rank.machine.counters.cycles - rank.last_cycles;
-                    rank.last_cycles = rank.machine.counters.cycles;
-                    rank.vclock += delta;
-                    rank.compute_cycles += delta;
-                    y
-                };
-                match y {
-                    Yield::Done(v) => ranks[r].done = Some(v),
-                    Yield::OutOfFuel => {}
-                    Yield::Crashed { step } => {
-                        // The rank is dead. Let the survivors run on —
-                        // the world fails with a post-mortem once no one
-                        // can make progress (see below).
-                        ranks[r].crashed = Some(step);
-                    }
-                    Yield::Sync | Yield::SharedAlloc { .. } => {
-                        return Err(err_on(
-                            r as u32,
-                            "__syncthreads / __shared__ outside a kernel launch",
-                        ));
-                    }
-                    Yield::Launch {
-                        kernel,
-                        grid,
-                        block,
-                        args,
-                    } => {
-                        let rank = &mut ranks[r];
-                        let gpu = rank.gpu.as_mut().ok_or_else(|| {
-                            err_on(r as u32, "kernel launch but no GPU configured for this run")
-                        })?;
-                        match gpu.launch(self.program, kernel, grid, block, args) {
-                            Ok(stats) => {
-                                rank.vclock += stats.kernel_time;
-                                rank.comm_cycles += stats.kernel_time;
-                            }
-                            // An injected device fault kills the rank
-                            // (typed), exactly like a host-side crash —
-                            // the restart path can recover it.
-                            Err(e) if e.is_injected() => {
-                                let GpuErrorKind::InjectedCrash { step, .. } = e.kind else {
-                                    unreachable!()
-                                };
-                                rank.crashed = Some(step);
-                            }
-                            Err(e) => return Err(err_on(r as u32, e.to_string())),
-                        }
-                    }
-                    Yield::GpuMem { op, args } => {
-                        self.service_gpu_mem(&mut ranks[r], r as u32, op, args)?;
-                    }
-                    Yield::Host { host, args } => {
-                        let rank = &mut ranks[r];
-                        let loc = yield_location(self.program, &rank.thread);
-                        let sig = self.program.host_fns.get(host as usize).ok_or_else(|| {
-                            err_on(r as u32, locate("unknown host function", &loc))
-                        })?;
-                        let registry = self.host.ok_or_else(|| {
-                            err_on(
-                                r as u32,
-                                locate(
-                                    format!(
-                                    "foreign function `{}` called but no host registry configured",
-                                    sig.name
-                                ),
-                                    &loc,
-                                ),
-                            )
-                        })?;
-                        let id = registry.id_of(&sig.name).ok_or_else(|| {
-                            err_on(
-                                r as u32,
-                                locate(
-                                    format!("foreign function `{}` is not registered", sig.name),
-                                    &loc,
-                                ),
-                            )
-                        })?;
-                        // Transient host-FFI failures (injected) are
-                        // retried with exponential virtual-time backoff
-                        // up to the configured budget; the call itself
-                        // only runs once the attempt survives the draw.
-                        let mut attempt: u32 = 0;
-                        loop {
-                            let transient = rank
-                                .machine
-                                .fault
-                                .as_mut()
-                                .is_some_and(|p| p.host_attempt_fails());
-                            if !transient {
-                                break;
-                            }
-                            let plan = rank.machine.fault.as_mut().unwrap();
-                            if attempt >= plan.config.max_host_retries {
-                                return Err(err_on(
-                                    r as u32,
-                                    locate(
-                                        format!(
-                                            "foreign function `{}` failed {} times \
-                                             (injected transient errors, retry budget exhausted)",
-                                            sig.name,
-                                            attempt + 1
-                                        ),
-                                        &loc,
-                                    ),
-                                ));
-                            }
-                            attempt += 1;
-                            plan.stats.host_retries += 1;
-                            let backoff = plan.backoff_cycles(attempt);
-                            rank.vclock += backoff;
-                            rank.comm_cycles += backoff;
-                        }
-                        let v = registry
-                            .call(id, &args, &mut rank.machine.mem)
-                            .map_err(|m| {
-                                err_on(r as u32, format!("in `{}`: {}", sig.name, locate(m, &loc)))
-                            })?;
-                        rank.thread.resume_with(v);
-                    }
-                    Yield::Mpi { op, args } => {
-                        self.service_mpi(
-                            ranks,
-                            r as u32,
-                            op,
-                            args,
-                            messages,
-                            &mut barrier_waiters,
-                            &mut allreduce,
-                            &mut bcast_waiters,
-                        )?;
-                    }
-                }
-            }
-
-            if ranks.iter().all(|r| r.done.is_some()) {
-                break;
-            }
-            if !progress {
-                // A crashed rank explains the stall: fail with its
-                // post-mortem instead of reporting a plain deadlock.
-                if let Some((cr, step)) = ranks
-                    .iter()
-                    .enumerate()
-                    .find_map(|(i, rk)| rk.crashed.map(|s| (i as u32, s)))
-                {
-                    return Err(SimError::Crash {
-                        rank: cr,
-                        step,
-                        post_mortem: world_report(ranks, messages),
-                    });
-                }
-                return Err(SimError::Deadlock {
-                    report: world_report(ranks, messages),
-                });
-            }
-
-            // Per-collective timeout clock: rounds spent in the current
-            // blocked state. A would-be hang (e.g. a dropped message's
-            // receiver while its sender spins) becomes a typed Timeout.
-            rounds += 1;
-            for rank in ranks.iter_mut() {
-                if rank.blocked.is_some() {
-                    rank.blocked_rounds += 1;
-                } else {
-                    rank.blocked_rounds = 0;
-                }
-            }
-            if let Some(bound) = self.timeout_rounds {
-                let over = ranks
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, rk)| rk.blocked.is_some())
-                    .map(|(i, rk)| (i as u32, rk.blocked_rounds))
-                    .max_by_key(|&(_, w)| w)
-                    .filter(|&(_, w)| w > bound || rounds > bound);
-                if let Some((tr, waited)) = over {
-                    return Err(SimError::Timeout {
-                        rank: tr,
-                        waited_rounds: waited.max(rounds),
-                        report: world_report(ranks, messages),
-                    });
-                }
-            }
-        }
-
-        let vtime = ranks.iter().map(|r| r.vclock).max().unwrap_or(0);
-        let total_cycles = ranks.iter().map(|r| r.compute_cycles).sum();
-        let mut resilience = ResilienceStats::default();
-        for r in ranks.iter() {
-            if let Some(plan) = &r.machine.fault {
-                resilience.merge(&plan.stats);
-            }
-            if let Some(gpu) = &r.gpu {
-                resilience.merge(&gpu.fault_stats());
-            }
-        }
-        Ok(WorldRun {
-            shared_jit: SharedCacheStats::default(),
-            ranks: std::mem::take(ranks)
-                .into_iter()
-                .map(|r| RankOutcome {
-                    result: r.done.flatten(),
-                    vclock: r.vclock,
-                    compute_cycles: r.compute_cycles,
-                    comm_cycles: r.comm_cycles,
-                    output: r.machine.output.clone(),
-                    gpu_time: r.gpu.as_ref().map(|g| g.vtime).unwrap_or(0),
-                    machine: r.machine,
-                })
-                .collect(),
-            vtime,
-            total_cycles,
-            resilience,
-            restart: RestartStats::default(),
-        })
-    }
-
-    /// Decompose the world into the ordered byte sections a checkpoint
-    /// chain diffs over: one header section (sizes, clocks, completion),
-    /// then per rank a call-stack section, one section *per heap array*
-    /// (so an untouched mesh costs nothing in a delta link), the rest of
-    /// the machine (objects, globals, output, counters, fault-PRNG
-    /// cursor), and any device state — and finally the in-flight message
-    /// queues. Only ever called at a collective boundary, where all live
-    /// ranks' clocks are synchronized and no collective is partially
-    /// complete.
-    fn world_sections(&self, ranks: &[Rank], messages: &MsgQueues) -> Vec<Vec<u8>> {
-        let mut header = Writer::new();
-        header.u32(self.size);
-        header.len(ranks.len());
-        let mut body: Vec<Vec<u8>> = Vec::new();
-        for rank in ranks {
-            match &rank.done {
-                None => header.u8(0),
-                Some(None) => header.u8(1),
-                Some(Some(v)) => {
-                    header.u8(2);
-                    ckpt::write_val(&mut header, *v);
-                }
-            }
-            header.u64(rank.vclock);
-            header.u64(rank.compute_cycles);
-            header.u64(rank.comm_cycles);
-            header.u64(rank.last_cycles);
-            header.bool(rank.gpu.is_some());
-            let arrays = ckpt::machine_array_sections(&rank.machine);
-            // Count of sections elsewhere — not a same-buffer length, so
-            // it must not go through the reader's `len()` sanity bound.
-            header.u32(arrays.len() as u32);
-            let mut t = Writer::new();
-            ckpt::write_thread(&mut t, &rank.thread);
-            body.push(t.into_bytes());
-            body.extend(arrays);
-            let mut m = Writer::new();
-            ckpt::write_machine_rest(&mut m, &rank.machine);
-            body.push(m.into_bytes());
-            if let Some(gpu) = &rank.gpu {
-                let mut g = Writer::new();
-                ckpt::write_machine(&mut g, &gpu.machine);
-                g.u64(gpu.vtime);
-                g.u64(gpu.allocated_bytes);
-                body.push(g.into_bytes());
-            }
-        }
-        // HashMap iteration order is nondeterministic — sort the keys so
-        // identical worlds produce bit-identical checkpoints.
-        let mut msgs = Writer::new();
-        let mut keys: Vec<&(u32, u32, i32)> = messages.keys().collect();
-        keys.sort();
-        msgs.len(keys.len());
-        for key in keys {
-            let q = &messages[key];
-            msgs.u32(key.0);
-            msgs.u32(key.1);
-            msgs.i32(key.2);
-            msgs.len(q.len());
-            for (payload, avail_at) in q {
-                msgs.len(payload.len());
-                for &f in payload {
-                    msgs.f32(f);
-                }
-                msgs.u64(*avail_at);
-            }
-        }
-        let mut sections = Vec::with_capacity(body.len() + 2);
-        sections.push(header.into_bytes());
-        sections.append(&mut body);
-        sections.push(msgs.into_bytes());
-        sections
-    }
-
-    /// Decode resolved chain sections back into runnable ranks and
-    /// message queues. Every failure mode — truncation, corruption,
-    /// version or topology skew — is a typed [`CkptError`], never a
-    /// panic. Fault plans are restored with their exact PRNG cursors;
-    /// device-side plans are re-armed from the world's fault config
-    /// (their cursors advance via [`Gpu::reseed_faults`] on restart
-    /// instead).
-    fn world_from_sections(
-        &self,
-        sections: &[Vec<u8>],
-    ) -> Result<(Vec<Rank>, MsgQueues), CkptError> {
-        fn bad(message: impl Into<String>) -> CkptError {
-            CkptError::Corrupt {
-                offset: 0,
-                message: message.into(),
-            }
-        }
-        let mut it = sections.iter();
-        let mut h = Reader::new(it.next().ok_or_else(|| bad("empty snapshot"))?);
-        let size = h.u32()?;
-        if size != self.size {
-            return Err(bad(format!(
-                "checkpoint is for a {size}-rank world, this world has {} ranks",
-                self.size
-            )));
-        }
-        let n = h.len()?;
-        if n != self.size as usize {
-            return Err(bad("rank count does not match world size"));
-        }
-        let mut ranks = Vec::with_capacity(n);
-        for rank_id in 0..n {
-            let done = match h.u8()? {
-                0 => None,
-                1 => Some(None),
-                2 => Some(Some(ckpt::read_val(&mut h)?)),
-                t => return Err(bad(format!("bad rank-done tag {t:#x}"))),
-            };
-            let vclock = h.u64()?;
-            let compute_cycles = h.u64()?;
-            let comm_cycles = h.u64()?;
-            let last_cycles = h.u64()?;
-            let has_gpu = h.bool()?;
-            let n_arrays = h.u32()? as usize;
-            if n_arrays > sections.len() {
-                return Err(bad(format!(
-                    "rank {rank_id} claims {n_arrays} arrays in a {}-section snapshot",
-                    sections.len()
-                )));
-            }
-            let mut section = |what: &str| {
-                it.next()
-                    .ok_or_else(|| bad(format!("missing {what} section of rank {rank_id}")))
-            };
-            let mut t = Reader::new(section("thread")?);
-            let thread = ckpt::read_thread(&mut t, self.program)?;
-            let mut arrays = Vec::with_capacity(n_arrays);
-            for i in 0..n_arrays {
-                let mut a = Reader::new(section(&format!("array {i}"))?);
-                arrays.push(ckpt::read_arr(&mut a)?);
-            }
-            let mut m = Reader::new(section("machine")?);
-            let machine = ckpt::read_machine_rest(&mut m, arrays)?;
-            let gpu = if has_gpu {
-                let Some(cfg) = self.gpu else {
-                    return Err(bad("checkpoint has device state but this world has no GPU"));
-                };
-                let mut gr = Reader::new(section("device")?);
-                let mut g = Gpu::new(cfg);
-                g.machine = ckpt::read_machine(&mut gr)?;
-                g.vtime = gr.u64()?;
-                g.allocated_bytes = gr.u64()?;
-                if let Some(fault) = self.fault {
-                    g.set_fault(device_fault_config(fault, rank_id as u32));
-                }
-                Some(g)
-            } else {
-                None
-            };
-            ranks.push(Rank {
-                thread,
-                machine,
-                gpu,
-                vclock,
-                compute_cycles,
-                comm_cycles,
-                last_cycles,
-                blocked: None,
-                done,
-                crashed: None,
-                blocked_rounds: 0,
-            });
-        }
-        let mut messages: MsgQueues = HashMap::new();
-        let mut r = Reader::new(it.next().ok_or_else(|| bad("missing message section"))?);
-        let n_queues = r.len()?;
-        for _ in 0..n_queues {
-            let from = r.u32()?;
-            let to = r.u32()?;
-            let tag = r.i32()?;
-            let n_msgs = r.len()?;
-            let mut q = VecDeque::with_capacity(n_msgs);
-            for _ in 0..n_msgs {
-                let n_floats = r.len()?;
-                let mut payload = Vec::with_capacity(n_floats);
-                for _ in 0..n_floats {
-                    payload.push(r.f32()?);
-                }
-                let avail_at = r.u64()?;
-                q.push_back((payload, avail_at));
-            }
-            messages.insert((from, to, tag), q);
-        }
-        if !r.is_at_end() {
-            return Err(bad("trailing bytes after message queues"));
-        }
-        if it.next().is_some() {
-            return Err(bad("trailing sections after world snapshot"));
-        }
-        Ok((ranks, messages))
-    }
-
-    /// Serialize the world as a standalone full snapshot — a single-link
-    /// chain (one sealed base).
-    #[cfg(test)]
-    fn capture_checkpoint(&self, ranks: &[Rank], messages: &MsgQueues) -> WorldCheckpoint {
-        let sections = self.world_sections(ranks, messages);
-        let vtime = ranks.iter().map(|r| r.vclock).max().unwrap_or(0);
-        WorldCheckpoint {
-            bytes: chain::base_link(&sections),
-            vtime,
-        }
-    }
-
-    /// Decode a standalone full snapshot ([`World::capture_checkpoint`]).
-    #[cfg(test)]
-    fn restore_checkpoint(&self, bytes: &[u8]) -> Result<(Vec<Rank>, MsgQueues), CkptError> {
-        let links = [bytes.to_vec()];
-        let out = chain::resolve_prefix(&links);
-        if let Some(e) = out.error {
-            return Err(e);
-        }
-        self.world_from_sections(&out.sections)
-    }
-
-    /// Enqueue an outgoing point-to-point message, applying the sending
-    /// rank's injected message faults: dropped messages are lost in
-    /// flight (the sender still pays the cost — it cannot tell), corrupt
-    /// ones arrive with a flipped payload bit, delayed ones become
-    /// available later in virtual time.
-    fn post_message(
-        &self,
-        sender: &mut Rank,
-        from: u32,
-        dest: u32,
-        tag: i32,
-        mut payload: Vec<f32>,
-        messages: &mut MsgQueues,
-    ) {
-        let mut avail_at = sender.vclock;
-        if let Some(plan) = sender.machine.fault.as_mut() {
-            match plan.message_fault() {
-                MsgFault::Drop => return,
-                MsgFault::Corrupt => exec::fault::corrupt_f32(&mut payload),
-                MsgFault::Delay(d) => avail_at += d,
-                MsgFault::None => {}
-            }
-        }
-        messages
-            .entry((from, dest, tag))
-            .or_default()
-            .push_back((payload, avail_at));
-    }
-
-    /// An allreduce contribution, possibly corrupted or delayed by the
-    /// contributing rank's fault stream (delay pushes the rank's clock,
-    /// which delays the collective's completion time).
-    fn contribute(&self, rank: &mut Rank, v: Val) -> Val {
-        let Some(plan) = rank.machine.fault.as_mut() else {
-            return v;
-        };
-        match plan.collective_fault() {
-            MsgFault::Corrupt => corrupt_val(v),
-            MsgFault::Delay(d) => {
-                rank.vclock += d;
-                rank.comm_cycles += d;
-                v
-            }
-            MsgFault::None | MsgFault::Drop => v,
-        }
-    }
-
-    /// Collective completion time: max participant clock + base cost +
-    /// a log2(size) latency term.
-    fn complete_collective(&self, ranks: &mut [Rank], participants: &[u32]) -> u64 {
-        let max = participants
-            .iter()
-            .map(|&r| ranks[r as usize].vclock)
-            .max()
-            .unwrap_or(0);
-        let log2 = 32 - (self.size.max(1)).leading_zeros() as u64;
-        let t = max + self.cost.collective_alpha + self.cost.alpha * log2;
-        for &r in participants {
-            let rank = &mut ranks[r as usize];
-            rank.comm_cycles += t - rank.vclock;
-        }
-        t
-    }
-
-    fn service_gpu_mem(
-        &self,
-        rank: &mut Rank,
-        r: u32,
-        op: IntrinOp,
-        args: Vec<Val>,
-    ) -> Result<(), SimError> {
-        let loc = yield_location(self.program, &rank.thread);
-        let gpu = rank.gpu.as_mut().ok_or_else(|| {
-            err_on(
-                r,
-                format!("GPU operation {op:?} but no GPU configured for this run"),
-            )
-        })?;
-        let before = gpu.vtime;
-        match op {
-            IntrinOp::CopyToGpu => {
-                let host = args[0].as_arr().map_err(|m| err_on(r, locate(m, &loc)))?;
-                let store = rank
-                    .machine
-                    .mem
-                    .arr(host)
-                    .map_err(|m| err_on(r, locate(m, &loc)))?
-                    .clone();
-                let dev = gpu.copy_in(&store).map_err(|e| err_on(r, e.to_string()))?;
-                rank.thread.resume_with(Val::Arr(dev));
-            }
-            IntrinOp::CopyFromGpu => {
-                let host = args[0].as_arr().map_err(|m| err_on(r, locate(m, &loc)))?;
-                let dev = args[1].as_arr().map_err(|m| err_on(r, locate(m, &loc)))?;
-                let mut tmp = rank
-                    .machine
-                    .mem
-                    .arr(host)
-                    .map_err(|m| err_on(r, locate(m, &loc)))?
-                    .clone();
-                gpu.copy_out(dev, &mut tmp)
-                    .map_err(|e| err_on(r, e.to_string()))?;
-                *rank
-                    .machine
-                    .mem
-                    .arr_mut(host)
-                    .map_err(|m| err_on(r, locate(m, &loc)))? = tmp;
-                rank.thread.resume_with(Val::Unit);
-            }
-            IntrinOp::CopyToGpuRange => {
-                // (dev, devOff, host, hostOff, len)
-                let dev = args[0].as_arr().map_err(|m| err_on(r, locate(m, &loc)))?;
-                let doff = args[1].as_i32().map_err(|m| err_on(r, locate(m, &loc)))? as usize;
-                let host = args[2].as_arr().map_err(|m| err_on(r, locate(m, &loc)))?;
-                let hoff = args[3].as_i32().map_err(|m| err_on(r, locate(m, &loc)))? as usize;
-                let len = args[4].as_i32().map_err(|m| err_on(r, locate(m, &loc)))? as usize;
-                let payload = read_floats(&rank.machine, host, hoff, len)
-                    .map_err(|m| err_on(r, locate(m, &loc)))?;
-                gpu.write_range(dev, doff, &payload)
-                    .map_err(|e| err_on(r, e.to_string()))?;
-                rank.thread.resume_with(Val::Unit);
-            }
-            IntrinOp::CopyFromGpuRange => {
-                // (host, hostOff, dev, devOff, len)
-                let host = args[0].as_arr().map_err(|m| err_on(r, locate(m, &loc)))?;
-                let hoff = args[1].as_i32().map_err(|m| err_on(r, locate(m, &loc)))? as usize;
-                let dev = args[2].as_arr().map_err(|m| err_on(r, locate(m, &loc)))?;
-                let doff = args[3].as_i32().map_err(|m| err_on(r, locate(m, &loc)))? as usize;
-                let len = args[4].as_i32().map_err(|m| err_on(r, locate(m, &loc)))? as usize;
-                let payload = gpu
-                    .read_range(dev, doff, len)
-                    .map_err(|e| err_on(r, e.to_string()))?;
-                write_floats(&mut rank.machine, host, hoff, &payload)
-                    .map_err(|m| err_on(r, locate(m, &loc)))?;
-                rank.thread.resume_with(Val::Unit);
-            }
-            IntrinOp::GpuAllocF32 => {
-                let n = args[0].as_i32().map_err(|m| err_on(r, locate(m, &loc)))?;
-                if n < 0 {
-                    return Err(err_on(r, "negative device allocation"));
-                }
-                let dev = gpu.alloc_f32(n as usize);
-                rank.thread.resume_with(Val::Arr(dev));
-            }
-            IntrinOp::GpuFree => {
-                let dev = args[0].as_arr().map_err(|m| err_on(r, locate(m, &loc)))?;
-                gpu.free(dev).map_err(|e| err_on(r, e.to_string()))?;
-                rank.thread.resume_with(Val::Unit);
-            }
-            other => {
-                return Err(err_on(
-                    r,
-                    format!("CUDA thread register {other:?} read outside a kernel"),
-                ))
-            }
-        }
-        let delta = gpu.vtime - before;
-        rank.vclock += delta;
-        rank.comm_cycles += delta;
-        Ok(())
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn service_mpi(
-        &self,
-        ranks: &mut [Rank],
-        r: u32,
-        op: IntrinOp,
-        args: Vec<Val>,
-        messages: &mut MsgQueues,
-        barrier_waiters: &mut Vec<u32>,
-        allreduce: &mut Vec<(u32, AllOp, Val)>,
-        bcast_waiters: &mut Vec<u32>,
-    ) -> Result<(), SimError> {
-        let ri = r as usize;
-        let loc = yield_location(self.program, &ranks[ri].thread);
-        let check_rank = |v: i32| -> Result<u32, SimError> {
-            if v < 0 || v as u32 >= self.size {
-                Err(err_on(
-                    r,
-                    locate(
-                        format!("rank {v} out of range (world size {})", self.size),
-                        &loc,
-                    ),
-                ))
-            } else {
-                Ok(v as u32)
-            }
-        };
-        match op {
-            IntrinOp::MpiRank => {
-                ranks[ri].thread.resume_with(Val::I32(r as i32));
-            }
-            IntrinOp::MpiSize => {
-                ranks[ri].thread.resume_with(Val::I32(self.size as i32));
-            }
-            IntrinOp::MpiBarrier => {
-                ranks[ri].blocked = Some(Blocked::Barrier);
-                barrier_waiters.push(r);
-            }
-            IntrinOp::MpiSendF32 => {
-                // sendF(buf, off, count, dest, tag)
-                let buf = args[0].as_arr().map_err(|m| err_on(r, locate(m, &loc)))?;
-                let off = args[1].as_i32().map_err(|m| err_on(r, locate(m, &loc)))? as usize;
-                let count = args[2].as_i32().map_err(|m| err_on(r, locate(m, &loc)))? as usize;
-                let dest = check_rank(args[3].as_i32().map_err(|m| err_on(r, locate(m, &loc)))?)?;
-                let tag = args[4].as_i32().map_err(|m| err_on(r, locate(m, &loc)))?;
-                let payload = read_floats(&ranks[ri].machine, buf, off, count)
-                    .map_err(|m| err_on(r, locate(m, &loc)))?;
-                let cost = self.msg_cost((count * 4) as u64);
-                ranks[ri].vclock += cost;
-                ranks[ri].comm_cycles += cost;
-                self.post_message(&mut ranks[ri], r, dest, tag, payload, messages);
-                ranks[ri].thread.resume_with(Val::Unit);
-            }
-            IntrinOp::MpiRecvF32 => {
-                // recvF(buf, off, count, src, tag)
-                let buf = args[0].as_arr().map_err(|m| err_on(r, locate(m, &loc)))?;
-                let off = args[1].as_i32().map_err(|m| err_on(r, locate(m, &loc)))? as usize;
-                let count = args[2].as_i32().map_err(|m| err_on(r, locate(m, &loc)))? as usize;
-                let src = check_rank(args[3].as_i32().map_err(|m| err_on(r, locate(m, &loc)))?)?;
-                let tag = args[4].as_i32().map_err(|m| err_on(r, locate(m, &loc)))?;
-                ranks[ri].blocked = Some(Blocked::Recv {
-                    buf,
-                    off,
-                    count,
-                    src,
-                    tag,
-                });
-            }
-            IntrinOp::MpiSendRecvF32 => {
-                // sendrecvF(sbuf, soff, count, dest, rbuf, roff, src, tag)
-                let sbuf = args[0].as_arr().map_err(|m| err_on(r, locate(m, &loc)))?;
-                let soff = args[1].as_i32().map_err(|m| err_on(r, locate(m, &loc)))? as usize;
-                let count = args[2].as_i32().map_err(|m| err_on(r, locate(m, &loc)))? as usize;
-                let dest = check_rank(args[3].as_i32().map_err(|m| err_on(r, locate(m, &loc)))?)?;
-                let rbuf = args[4].as_arr().map_err(|m| err_on(r, locate(m, &loc)))?;
-                let roff = args[5].as_i32().map_err(|m| err_on(r, locate(m, &loc)))? as usize;
-                let src = check_rank(args[6].as_i32().map_err(|m| err_on(r, locate(m, &loc)))?)?;
-                let tag = args[7].as_i32().map_err(|m| err_on(r, locate(m, &loc)))?;
-                let payload = read_floats(&ranks[ri].machine, sbuf, soff, count)
-                    .map_err(|m| err_on(r, locate(m, &loc)))?;
-                let cost = self.msg_cost((count * 4) as u64);
-                ranks[ri].vclock += cost;
-                ranks[ri].comm_cycles += cost;
-                self.post_message(&mut ranks[ri], r, dest, tag, payload, messages);
-                ranks[ri].blocked = Some(Blocked::Recv {
-                    buf: rbuf,
-                    off: roff,
-                    count,
-                    src,
-                    tag,
-                });
-            }
-            IntrinOp::MpiBcastF32 => {
-                // bcastF(buf, off, count, root)
-                let buf = args[0].as_arr().map_err(|m| err_on(r, locate(m, &loc)))?;
-                let off = args[1].as_i32().map_err(|m| err_on(r, locate(m, &loc)))? as usize;
-                let count = args[2].as_i32().map_err(|m| err_on(r, locate(m, &loc)))? as usize;
-                let root = check_rank(args[3].as_i32().map_err(|m| err_on(r, locate(m, &loc)))?)?;
-                ranks[ri].blocked = Some(Blocked::Bcast {
-                    buf,
-                    off,
-                    count,
-                    root,
-                });
-                bcast_waiters.push(r);
-            }
-            IntrinOp::MpiAllreduceSumF64 => {
-                ranks[ri].blocked = Some(Blocked::Allreduce);
-                let v = self.contribute(&mut ranks[ri], args[0]);
-                allreduce.push((r, AllOp::SumF64, v));
-            }
-            IntrinOp::MpiAllreduceSumF32 => {
-                ranks[ri].blocked = Some(Blocked::Allreduce);
-                let v = self.contribute(&mut ranks[ri], args[0]);
-                allreduce.push((r, AllOp::SumF32, v));
-            }
-            IntrinOp::MpiAllreduceMaxF64 => {
-                ranks[ri].blocked = Some(Blocked::Allreduce);
-                let v = self.contribute(&mut ranks[ri], args[0]);
-                allreduce.push((r, AllOp::MaxF64, v));
-            }
-            other => return Err(err_on(r, format!("unexpected MPI op {other:?}"))),
-        }
-        Ok(())
+        let mut pool = LocalPool::new(
+            self.program,
+            self.size,
+            entry,
+            &mut make_args,
+            self.gpu,
+            self.fault,
+            self.host,
+        );
+        let mut transport = InMemTransport::new();
+        runtime::run_world_with_restart(
+            &self.run_cfg(),
+            &mut pool,
+            &mut transport,
+            policy,
+            max_restarts,
+        )
     }
 }
-
-/// One line per rank describing its state — the post-mortem attached to
-/// deadlock, timeout, and crash errors. `Recv` lines include the
-/// waited-on source/tag and the pending queue depths, so a mismatched
-/// send/recv pair is diagnosable from the error text alone.
-fn world_report(ranks: &[Rank], messages: &MsgQueues) -> String {
-    ranks
-        .iter()
-        .enumerate()
-        .map(|(i, rk)| {
-            let state = if let Some(step) = rk.crashed {
-                format!("crashed at step {step} (injected fault)")
-            } else if rk.done.is_some() {
-                "done".to_string()
-            } else if let Some(b) = &rk.blocked {
-                match b {
-                    Blocked::Recv {
-                        src, tag, count, ..
-                    } => {
-                        let matching = messages.get(&(*src, i as u32, *tag)).map_or(0, |q| q.len());
-                        let inbound: usize = messages
-                            .iter()
-                            .filter(|(&(_, to, _), _)| to == i as u32)
-                            .map(|(_, q)| q.len())
-                            .sum();
-                        format!(
-                            "blocked on Recv {{ {count} floats from rank {src}, tag {tag} }} \
-                             ({matching} matching queued, {inbound} inbound total)"
-                        )
-                    }
-                    Blocked::Barrier => "blocked on Barrier".to_string(),
-                    Blocked::Allreduce => "blocked on Allreduce".to_string(),
-                    Blocked::Bcast { root, count, .. } => {
-                        format!("blocked on Bcast {{ {count} floats, root {root} }}")
-                    }
-                }
-            } else {
-                format!("runnable (vclock {})", rk.vclock)
-            };
-            format!("rank {i}: {state}")
-        })
-        .collect::<Vec<_>>()
-        .join("\n")
-}
-
-/// Fold allreduce contributions **in rank order**, not arrival order.
-/// Ranks reach the collective in schedule-dependent order; sorting by
-/// rank id first makes the float reduction's association (and so its
-/// exact bits) a function of the world alone — the property the
-/// backend-matrix sweep asserts across schedules and platforms.
-fn combine(op: AllOp, contributions: &[(u32, AllOp, Val)]) -> Result<Val, ExecError> {
-    let mut contributions: Vec<(u32, AllOp, Val)> = contributions.to_vec();
-    contributions.sort_by_key(|(r, _, _)| *r);
-    let contributions = &contributions;
-    match op {
-        AllOp::SumF64 => {
-            let mut s = 0.0f64;
-            for (_, _, v) in contributions {
-                s += v.as_f64()?;
-            }
-            Ok(Val::F64(s))
-        }
-        AllOp::SumF32 => {
-            let mut s = 0.0f32;
-            for (_, _, v) in contributions {
-                s += v.as_f32()?;
-            }
-            Ok(Val::F32(s))
-        }
-        AllOp::MaxF64 => {
-            let mut m = f64::NEG_INFINITY;
-            for (_, _, v) in contributions {
-                m = m.max(v.as_f64()?);
-            }
-            Ok(Val::F64(m))
-        }
-    }
-}
-
-fn read_floats(
-    machine: &Machine,
-    buf: u32,
-    off: usize,
-    count: usize,
-) -> Result<Vec<f32>, ExecError> {
-    match machine.mem.arr(buf)? {
-        ArrStore::F32(v) => v.get(off..off + count).map(|s| s.to_vec()).ok_or_else(|| {
-            ExecError::msg(format!(
-                "send range {off}..{} out of bounds (len {})",
-                off + count,
-                v.len()
-            ))
-        }),
-        other => Err(ExecError::msg(format!(
-            "MPI float op on non-float array {other:?}"
-        ))),
-    }
-}
-
-fn write_floats(
-    machine: &mut Machine,
-    buf: u32,
-    off: usize,
-    payload: &[f32],
-) -> Result<(), ExecError> {
-    match machine.mem.arr_mut(buf)? {
-        ArrStore::F32(v) => {
-            let vlen = v.len();
-            let tgt = v.get_mut(off..off + payload.len()).ok_or_else(|| {
-                ExecError::msg(format!(
-                    "recv range {off}..{} out of bounds (len {vlen})",
-                    off + payload.len()
-                ))
-            })?;
-            tgt.copy_from_slice(payload);
-            Ok(())
-        }
-        other => Err(ExecError::msg(format!(
-            "MPI float op on non-float array {other:?}"
-        ))),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use exec::ArrStore;
     use jlang::ast::BinOp;
     use jlang::types::PrimKind;
-    use nir::{ElemTy, FuncBuilder, FuncKind, Instr, Ty};
+    use nir::{ElemTy, FuncBuilder, FuncKind, Instr, IntrinOp, Ty};
+
+    /// A fresh local pool + empty scheduler state for checkpoint tests.
+    fn test_pool<'p, 'a>(
+        world: &World<'p>,
+        entry: FuncId,
+        make_args: ArgBuilder<'a>,
+    ) -> (LocalPool<'p, 'a>, Vec<RankCtl>, InMemTransport) {
+        let mut pool = LocalPool::new(
+            world.program,
+            world.size,
+            entry,
+            make_args,
+            world.gpu,
+            world.fault,
+            world.host,
+        );
+        pool.reinit().unwrap();
+        let ctls = vec![RankCtl::default(); world.size as usize];
+        (pool, ctls, InMemTransport::new())
+    }
 
     /// Program: each rank fills a buffer with its rank, sends it right
     /// (ring), receives from the left, returns received[0].
@@ -2329,11 +1035,12 @@ mod tests {
         let mut cfg = FaultConfig::seeded(42);
         cfg.crash = 0.001;
         let world = World::new(&p, 3).with_faults(cfg);
-        let ranks = world.init_ranks(entry, &mut |_, _| Ok(vec![])).unwrap();
-        let messages = MsgQueues::new();
-        let first = world.capture_checkpoint(&ranks, &messages);
-        let (ranks2, messages2) = world.restore_checkpoint(&first.bytes).unwrap();
-        let second = world.capture_checkpoint(&ranks2, &messages2);
+        let mut args = |_: u32, _: &mut Machine| Ok(vec![]);
+        let (mut pool, ctls, mut transport) = test_pool(&world, entry, &mut args);
+        let rc = world.run_cfg();
+        let first = runtime::capture_world(&rc, &mut pool, &ctls, &transport).unwrap();
+        let ctls2 = runtime::restore_world(&rc, &mut pool, &mut transport, &first.bytes).unwrap();
+        let second = runtime::capture_world(&rc, &mut pool, &ctls2, &transport).unwrap();
         assert_eq!(first.bytes, second.bytes);
         assert_eq!(first.vtime, second.vtime);
     }
@@ -2342,19 +1049,77 @@ mod tests {
     fn restore_rejects_wrong_world_size_and_garbage() {
         let (p, entry) = stepped_allreduce(2);
         let world = World::new(&p, 3);
-        let ranks = world.init_ranks(entry, &mut |_, _| Ok(vec![])).unwrap();
-        let wc = world.capture_checkpoint(&ranks, &MsgQueues::new());
+        let mut args = |_: u32, _: &mut Machine| Ok(vec![]);
+        let (mut pool, ctls, mut transport) = test_pool(&world, entry, &mut args);
+        let rc = world.run_cfg();
+        let wc = runtime::capture_world(&rc, &mut pool, &ctls, &transport).unwrap();
         let smaller = World::new(&p, 2);
-        assert!(smaller.restore_checkpoint(&wc.bytes).is_err());
+        let mut args2 = |_: u32, _: &mut Machine| Ok(vec![]);
+        let (mut pool2, _, mut transport2) = test_pool(&smaller, entry, &mut args2);
+        assert!(
+            runtime::restore_world(&smaller.run_cfg(), &mut pool2, &mut transport2, &wc.bytes)
+                .is_err()
+        );
         // Truncations and bit flips must come back typed, never panic.
         for cut in 0..wc.bytes.len() {
-            assert!(world.restore_checkpoint(&wc.bytes[..cut]).is_err());
+            assert!(
+                runtime::restore_world(&rc, &mut pool, &mut transport, &wc.bytes[..cut]).is_err()
+            );
         }
         for i in 0..wc.bytes.len() {
             let mut bad = wc.bytes.clone();
             bad[i] ^= 0x10;
-            let _ = world.restore_checkpoint(&bad);
+            let _ = runtime::restore_world(&rc, &mut pool, &mut transport, &bad);
         }
+    }
+
+    #[test]
+    fn restore_rejects_a_foreign_platform_salt() {
+        // A checkpoint captured under one platform namespace must never
+        // restore into a world stamped with another — the typed
+        // ScopeMismatch, not a decode attempt.
+        let (p, entry) = stepped_allreduce(2);
+        let dist_like = World::new(&p, 2).with_ckpt_salt(0xD157_0000_0000_0001);
+        let mut args = |_: u32, _: &mut Machine| Ok(vec![]);
+        let (mut pool, ctls, mut transport) = test_pool(&dist_like, entry, &mut args);
+        let wc =
+            runtime::capture_world(&dist_like.run_cfg(), &mut pool, &ctls, &transport).unwrap();
+        let mpi_like = World::new(&p, 2);
+        let err = runtime::restore_world(&mpi_like.run_cfg(), &mut pool, &mut transport, &wc.bytes)
+            .unwrap_err();
+        let CkptError::ScopeMismatch { expected, found } = err else {
+            panic!("expected ScopeMismatch, got {err}");
+        };
+        assert_eq!(expected, 0);
+        assert_eq!(found, 0xD157_0000_0000_0001);
+    }
+
+    #[test]
+    fn warm_start_refuses_a_foreign_platform_chain() {
+        // A *valid* persisted chain from another platform namespace must
+        // fail fast (typed), not be restored and not be overwritten.
+        let dir = std::env::temp_dir().join(format!("wj-scope-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("world.wckpt");
+        let (p, entry) = stepped_allreduce(4);
+        let policy = CheckpointPolicy::every(1).with_persist(&path);
+        let salted = World::new(&p, 3).with_ckpt_salt(7);
+        salted
+            .run_with_restart(entry, |_, _| Ok(vec![]), &policy, 4)
+            .unwrap();
+        let before = std::fs::read(&path).unwrap();
+        let foreign = World::new(&p, 3);
+        let err = foreign
+            .run_with_restart(entry, |_, _| Ok(vec![]), &policy, 4)
+            .unwrap_err();
+        let SimError::CheckpointScope { expected, found } = err else {
+            panic!("expected CheckpointScope, got {err}");
+        };
+        assert_eq!(expected, 0);
+        assert_eq!(found, 7);
+        // The foreign chain file survives untouched.
+        assert_eq!(std::fs::read(&path).unwrap(), before);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -181,6 +181,7 @@ fn run_case(
             | SimError::Crash { .. }
             | SimError::Timeout { .. }
             | SimError::Deadlock { .. }
+            | SimError::CheckpointScope { .. }
             | SimError::World { .. }),
         ) => Err(e.to_string()),
     }

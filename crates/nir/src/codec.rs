@@ -476,7 +476,10 @@ fn binop_of(tag: u8, r: &Reader<'_>) -> CodecResult<BinOp> {
     })
 }
 
-fn intrin_tag(op: IntrinOp) -> (u8, u8) {
+/// Stable wire tag of an intrinsic op (tag, axis). Public so runtime
+/// wire protocols (the `dist` rank protocol) encode yielded intrinsics
+/// with the same tags the program codec bakes into `.wjar` artifacts.
+pub fn intrin_tag(op: IntrinOp) -> (u8, u8) {
     match op {
         IntrinOp::SqrtF64 => (0, 0),
         IntrinOp::SqrtF32 => (1, 0),
@@ -518,7 +521,8 @@ fn intrin_tag(op: IntrinOp) -> (u8, u8) {
     }
 }
 
-fn intrin_of(tag: u8, axis: u8, r: &Reader<'_>) -> CodecResult<IntrinOp> {
+/// Inverse of [`intrin_tag`]; unknown tags fail typed.
+pub fn intrin_of(tag: u8, axis: u8, r: &Reader<'_>) -> CodecResult<IntrinOp> {
     if matches!(tag, 17..=20) && axis > 2 {
         return Err(r.corrupt(format!("CUDA register axis {axis}")));
     }

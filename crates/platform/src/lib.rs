@@ -22,7 +22,7 @@
 //!   tests and the `repro backend-matrix` sweep can instantiate the
 //!   same property set per backend.
 //!
-//! Four built-ins prove the seam:
+//! Five built-ins prove the seam:
 //!
 //! | id         | backend                | world shape                |
 //! |------------|------------------------|----------------------------|
@@ -30,14 +30,24 @@
 //! | `gpu-sim`  | [`GpuSimPlatform`]     | 1 rank + simulated GPU     |
 //! | `mpi-sim`  | [`MpiSimPlatform`]     | N ranks (optional GPU)     |
 //! | `host-mt`  | [`HostMtPlatform`]     | N workers, seeded schedule |
+//! | `dist`     | [`DistPlatform`]       | N socket-connected workers |
 //!
-//! `host-mt` is the newcomer: a deterministic multi-threaded host
-//! backend modeled as a fixed worker pool over shared-memory-grade
-//! link costs, with a *seeded* per-round worker service order
-//! ([`Schedule::Seeded`]) standing in for an OS scheduler's arbitrary
-//! interleaving. It needs only this trait impl — zero translator or
-//! facade edits — and still gets fault plans, checkpoints, and restart
-//! for free through [`RunRequest`].
+//! `host-mt` is a deterministic multi-threaded host backend modeled as
+//! a fixed worker pool over shared-memory-grade link costs, with a
+//! *seeded* per-round worker service order ([`Schedule::Seeded`])
+//! standing in for an OS scheduler's arbitrary interleaving. It needs
+//! only this trait impl — zero translator or facade edits — and still
+//! gets fault plans, checkpoints, and restart for free through
+//! [`RunRequest`].
+//!
+//! `dist` is the newcomer and the first *real-concurrency* backend:
+//! each rank runs the same `LocalPool` engine behind a typed,
+//! length-prefixed loopback-TCP wire protocol (threads by default, one
+//! OS process per rank via [`dist::Launch::Processes`]), coordinated by
+//! the shared transport-agnostic rank runtime. It is held to
+//! bit-identity with `mpi-sim` by the conformance suite, and it cannot
+//! offer host FFI — foreign function pointers do not cross a process
+//! boundary.
 //!
 //! All backends here are simulators by design (see DESIGN.md): worlds
 //! execute NIR cooperatively under virtual time, which is what makes
@@ -137,7 +147,8 @@ pub type ArgBuilder<'a> = &'a mut dyn FnMut(u32, &mut Machine) -> Result<Vec<Val
 /// device, link costs, scheduling) and nothing else: programs, faults,
 /// checkpoints, and argument binding all arrive via [`RunRequest`].
 pub trait Platform {
-    /// Stable target id (`interp`, `gpu-sim`, `mpi-sim`, `host-mt`).
+    /// Stable target id (`interp`, `gpu-sim`, `mpi-sim`, `host-mt`,
+    /// `dist`).
     fn id(&self) -> &'static str;
 
     /// Capability surface used by [`Platform::check`] and the docs.
@@ -190,8 +201,10 @@ use nir::hash::fnv1a64;
 
 /// Apply the request's shared surface (host/fault/timeout) to a world,
 /// in the facade's historical builder order so behavior is
-/// bit-identical to the pre-platform code path.
-fn apply_request<'p>(mut world: World<'p>, req: &RunRequest<'p>) -> World<'p> {
+/// bit-identical to the pre-platform code path — then stamp the
+/// platform's fingerprint salt so every `.wckpt` chain this world
+/// persists is scoped to the platform that wrote it.
+fn apply_request<'p>(mut world: World<'p>, req: &RunRequest<'p>, salt: u64) -> World<'p> {
     if let Some(h) = req.host {
         world = world.with_host(h);
     }
@@ -201,7 +214,7 @@ fn apply_request<'p>(mut world: World<'p>, req: &RunRequest<'p>) -> World<'p> {
     if let Some(t) = req.timeout_rounds {
         world = world.with_timeout(t);
     }
-    world
+    world.with_ckpt_salt(salt)
 }
 
 /// Drive the world, routing through checkpoint/restart when requested.
@@ -247,7 +260,11 @@ impl Platform for InterpPlatform {
     }
 
     fn run(&self, req: RunRequest<'_>, make_args: ArgBuilder<'_>) -> Result<RunOutcome, SimError> {
-        let world = apply_request(World::new(req.program, 1).with_cost(self.cost), &req);
+        let world = apply_request(
+            World::new(req.program, 1).with_cost(self.cost),
+            &req,
+            self.fingerprint_salt(),
+        );
         drive(world, &req, make_args)
     }
 }
@@ -282,6 +299,7 @@ impl Platform for GpuSimPlatform {
                 .with_cost(self.cost)
                 .with_gpu(self.gpu),
             &req,
+            self.fingerprint_salt(),
         );
         drive(world, &req, make_args)
     }
@@ -331,7 +349,7 @@ impl Platform for MpiSimPlatform {
         if let Some(g) = self.gpu {
             world = world.with_gpu(g);
         }
-        let world = apply_request(world, &req);
+        let world = apply_request(world, &req, self.fingerprint_salt());
         drive(world, &req, make_args)
     }
 }
@@ -400,8 +418,90 @@ impl Platform for HostMtPlatform {
                 .with_cost(self.cost)
                 .with_schedule(Schedule::Seeded(self.seed)),
             &req,
+            self.fingerprint_salt(),
         );
         drive(world, &req, make_args)
+    }
+}
+
+/// The fifth backend: socket-connected rank workers (`dist`).
+///
+/// Every rank lives behind the typed, length-prefixed loopback-TCP
+/// wire protocol of the `dist` crate and executes through the same
+/// `LocalPool` engine as `mpi-sim` — the conformance suite holds the
+/// two backends to bit-identical outcomes on every workload. Workers
+/// are threads by default ([`dist::Launch::Threads`]: full wire
+/// fidelity, no executable needed); real per-rank OS processes arrive
+/// via [`DistPlatform::with_launch`]. Host FFI is structurally
+/// unavailable — foreign function pointers cannot cross a process
+/// boundary — so `caps().host_ffi` is `false` and a [`RunRequest`]
+/// carrying a host registry fails typed before any worker spawns.
+#[derive(Debug, Clone)]
+pub struct DistPlatform {
+    /// World size (one socket-connected worker per rank).
+    pub ranks: u32,
+    pub cost: CostModel,
+    launch: dist::Launch,
+}
+
+impl DistPlatform {
+    pub fn new(ranks: u32) -> Self {
+        DistPlatform {
+            ranks,
+            cost: CostModel::default(),
+            launch: dist::Launch::Threads,
+        }
+    }
+
+    /// Choose how rank workers launch (default: in-process threads
+    /// speaking the full wire protocol over real loopback sockets).
+    pub fn with_launch(mut self, launch: dist::Launch) -> Self {
+        self.launch = launch;
+        self
+    }
+}
+
+impl Platform for DistPlatform {
+    fn id(&self) -> &'static str {
+        "dist"
+    }
+
+    fn caps(&self) -> Caps {
+        Caps {
+            global_kernels: false,
+            shared_memory: false,
+            collectives: true,
+            host_ffi: false,
+            parallelism: self.ranks,
+        }
+    }
+
+    fn run(&self, req: RunRequest<'_>, make_args: ArgBuilder<'_>) -> Result<RunOutcome, SimError> {
+        // The facade hands every run its host registry; an *empty* one
+        // is harmless (nothing to call). Bound natives are not: their
+        // function pointers cannot cross the worker boundary, so fail
+        // typed here instead of deep inside a rank.
+        if req.host.is_some_and(|h| h.keys().next().is_some()) {
+            return Err(SimError::World {
+                message: "platform `dist` cannot run with host FFI bindings: \
+                          foreign function pointers do not cross a process boundary"
+                    .into(),
+            });
+        }
+        let mut world = dist::DistWorld::new(req.program, self.ranks)
+            .with_cost(self.cost)
+            .with_launch(self.launch.clone())
+            .with_ckpt_salt(self.fingerprint_salt());
+        if let Some(f) = req.fault {
+            world = world.with_faults(f);
+        }
+        if let Some(t) = req.timeout_rounds {
+            world = world.with_timeout(t);
+        }
+        match &req.checkpoint {
+            Some(policy) => world.run_with_restart(req.entry, make_args, policy, req.max_restarts),
+            None => world.run(req.entry, make_args),
+        }
     }
 }
 
@@ -415,6 +515,7 @@ pub fn registry() -> Vec<Arc<dyn Platform>> {
         Arc::new(GpuSimPlatform::default()),
         Arc::new(MpiSimPlatform::new(4).with_gpu(GpuConfig::default())),
         Arc::new(HostMtPlatform::new(4)),
+        Arc::new(DistPlatform::new(4)),
     ]
 }
 
@@ -430,7 +531,7 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_complete() {
         let ids: Vec<&str> = registry().iter().map(|p| p.id()).collect();
-        assert_eq!(ids, ["interp", "gpu-sim", "mpi-sim", "host-mt"]);
+        assert_eq!(ids, ["interp", "gpu-sim", "mpi-sim", "host-mt", "dist"]);
         for p in registry() {
             assert_eq!(by_id(p.id()).unwrap().id(), p.id());
         }
@@ -443,12 +544,13 @@ mod tests {
         assert_eq!(salts[0], 0, "interp owns the unscoped legacy namespace");
         salts.sort_unstable();
         salts.dedup();
-        assert_eq!(salts.len(), 4, "every platform gets a distinct salt");
+        assert_eq!(salts.len(), 5, "every platform gets a distinct salt");
         // Salts are baked into on-disk fingerprints: pin them.
         assert_eq!(
             by_id("host-mt").unwrap().fingerprint_salt(),
             fnv1a64(b"host-mt")
         );
+        assert_eq!(by_id("dist").unwrap().fingerprint_salt(), fnv1a64(b"dist"));
     }
 
     #[test]
@@ -478,5 +580,22 @@ mod tests {
                 ..Needs::default()
             })
             .is_ok());
+        let dist = DistPlatform::new(4);
+        assert!(dist
+            .check(Needs {
+                collectives: true,
+                ..Needs::default()
+            })
+            .is_ok());
+        match dist.check(Needs {
+            host_ffi: true,
+            ..Needs::default()
+        }) {
+            Err(PlatformError::Unsupported { platform, feature }) => {
+                assert_eq!(platform, "dist");
+                assert_eq!(feature, "host FFI");
+            }
+            other => panic!("expected typed Unsupported for dist FFI, got {other:?}"),
+        }
     }
 }

@@ -43,8 +43,9 @@ pub use mpi_sim::{probe_chain, ChainProbe, CheckpointPolicy, RestartStats, Sched
 pub use mpi_sim::{SharedCache, SharedCacheStats};
 pub use nir::OptConfig;
 pub use platform::{
-    by_id as platform_by_id, registry as platform_registry, Caps, GpuSimPlatform, HostMtPlatform,
-    InterpPlatform, MpiSimPlatform, Needs, Platform, PlatformError, RunOutcome, RunRequest,
+    by_id as platform_by_id, registry as platform_registry, Caps, DistPlatform, GpuSimPlatform,
+    HostMtPlatform, InterpPlatform, MpiSimPlatform, Needs, Platform, PlatformError, RunOutcome,
+    RunRequest,
 };
 pub use querydb::{Database, QueryStats};
 pub use translator::{Binding, EntrySpec, Mode, TransStats};

@@ -1,0 +1,140 @@
+//! The `dist` backend, end to end: real OS rank processes.
+//!
+//! The same ring-exchange workload runs three times — on the in-process
+//! `mpi-sim` backend, on `dist` with worker *threads* speaking the full
+//! loopback-TCP wire protocol, and on `dist` with one spawned OS
+//! *process* per rank (this example re-executes itself as the worker:
+//! note the `run_if_spawned` guard at the top of `main`). All three
+//! must agree bit-for-bit on the result, the virtual time, and every
+//! rank's clocks — the socket transport is a transparent seam, not a
+//! different machine.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example dist_ring
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use jvm::Value;
+use wootinj::{
+    build_table, DistPlatform, JitOptions, MpiSimPlatform, Platform, RunReport, Val, WootinJ,
+};
+
+/// Ring sendrecv with one allreduce per step — one collective boundary
+/// (checkpoint cut point) per iteration, plus enough point-to-point
+/// traffic to exercise the message path on every backend.
+const APP: &str = r#"
+    @WootinJ final class RingStepReduce {
+      RingStepReduce() { }
+      float run(int n, int steps) {
+        int rank = MPI.rank();
+        int size = MPI.size();
+        float[] sbuf = new float[n];
+        float[] rbuf = new float[n];
+        for (int i = 0; i < n; i++) { sbuf[i] = rank * n + i; }
+        int dest = (rank + 1) % size;
+        int src = (rank + size - 1) % size;
+        float acc = 0f;
+        for (int s = 0; s < steps; s++) {
+          MPI.sendrecvF(sbuf, 0, n, dest, rbuf, 0, src, 7);
+          for (int i = 0; i < n; i++) { sbuf[i] = rbuf[i] * 0.5f; }
+          acc += MPI.allreduceSumF(sbuf[0]);
+        }
+        return acc;
+      }
+    }
+"#;
+
+const WORLD: u32 = 4;
+
+fn run_on(platform: Arc<dyn Platform>) -> RunReport {
+    let table = build_table(&[("ring_step_reduce.jl", APP)]).unwrap();
+    let mut env = WootinJ::new(&table).unwrap();
+    let app = env.new_instance("RingStepReduce", &[]).unwrap();
+    let args = [Value::Int(24), Value::Int(10)];
+    let id = platform.id();
+    let code = env
+        .jit_on(platform, &app, "run", &args, JitOptions::wootinj())
+        .unwrap();
+    code.invoke(&env)
+        .unwrap_or_else(|e| panic!("{id}: run failed: {e}"))
+}
+
+fn value_of(report: &RunReport) -> f32 {
+    match report.result {
+        Some(Val::F32(v)) => v,
+        other => panic!("expected f32 result, got {other:?}"),
+    }
+}
+
+fn diverged(a: &RunReport, b: &RunReport, what: &str) -> bool {
+    let mut bad = false;
+    if value_of(a).to_bits() != value_of(b).to_bits() {
+        eprintln!(
+            "DIVERGENCE ({what}): result {} vs {}",
+            value_of(a),
+            value_of(b)
+        );
+        bad = true;
+    }
+    if a.vtime_cycles != b.vtime_cycles || a.total_cycles != b.total_cycles {
+        eprintln!(
+            "DIVERGENCE ({what}): vtime {} vs {}, cycles {} vs {}",
+            a.vtime_cycles, b.vtime_cycles, a.total_cycles, b.total_cycles
+        );
+        bad = true;
+    }
+    for (r, (x, y)) in a.per_rank.iter().zip(&b.per_rank).enumerate() {
+        if x.vclock != y.vclock
+            || x.compute_cycles != y.compute_cycles
+            || x.comm_cycles != y.comm_cycles
+        {
+            eprintln!("DIVERGENCE ({what}): rank {r} clocks differ");
+            bad = true;
+        }
+    }
+    bad
+}
+
+fn main() -> ExitCode {
+    // If the spawn environment is set, this invocation is one of our own
+    // rank workers: serve the wire protocol and exit.
+    if dist::worker::run_if_spawned() {
+        return ExitCode::SUCCESS;
+    }
+
+    let reference = run_on(Arc::new(MpiSimPlatform::new(WORLD)));
+    println!(
+        "mpi-sim (in-process):   result {:>12.3}, vtime {} cycles",
+        value_of(&reference),
+        reference.vtime_cycles
+    );
+
+    let threads = run_on(Arc::new(DistPlatform::new(WORLD)));
+    println!(
+        "dist (worker threads):  result {:>12.3}, vtime {} cycles",
+        value_of(&threads),
+        threads.vtime_cycles
+    );
+
+    let exe = std::env::current_exe().expect("current_exe");
+    let processes = run_on(Arc::new(
+        DistPlatform::new(WORLD).with_launch(dist::Launch::Processes { exe, args: vec![] }),
+    ));
+    println!(
+        "dist (OS processes):    result {:>12.3}, vtime {} cycles",
+        value_of(&processes),
+        processes.vtime_cycles
+    );
+
+    if diverged(&reference, &threads, "threads") || diverged(&reference, &processes, "processes") {
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "\nall three backends agree bit-for-bit across {WORLD} ranks \
+         (result, virtual time, per-rank clocks)"
+    );
+    ExitCode::SUCCESS
+}

@@ -29,6 +29,10 @@ cargo run --release --offline -q -p bench --bin repro -- chaos --quick
 echo "== backend-matrix smoke run (fails on cross-backend divergence) =="
 cargo run --release --offline -q -p bench --bin repro -- backend-matrix --quick
 
+echo "== dist smoke run (socket ranks: threads + OS processes vs mpi-sim, =="
+echo "==   ephemeral loopback ports, every wire wait deadline-bounded)    =="
+cargo run --release --offline -q -p bench --bin repro -- dist --quick
+
 echo "== incremental re-JIT smoke run (asserts >=10x body-edit speedup, =="
 echo "==   strictly fewer queries than cold, bit-identical artifacts)   =="
 cargo run --release --offline -q -p bench --bin repro -- incremental --quick

@@ -245,6 +245,7 @@ fn kernel_workloads_fail_typed_on_deviceless_platforms() {
     for (id, should_run) in [
         ("interp", false),
         ("host-mt", false),
+        ("dist", false),
         ("gpu-sim", true),
         ("mpi-sim", true), // the registry entry carries a device per rank
     ] {
@@ -329,16 +330,24 @@ fn registry_capability_table_is_coherent() {
     // every platform claims collectives (size-1 worlds run them as
     // identities), and exactly the device-bearing ones claim kernels.
     let reg = platform_registry();
-    assert_eq!(reg.len(), 4);
+    assert_eq!(reg.len(), 5);
     for p in &reg {
         assert!(
             p.caps().collectives,
             "`{}` must support collectives",
             p.id()
         );
-        assert!(p.caps().host_ffi, "`{}` must support host FFI", p.id());
         assert!(p.caps().parallelism >= 1);
     }
+    // Host FFI is universal except where it is structurally impossible:
+    // `dist` workers live across a (real or simulated) process boundary
+    // and cannot share the coordinator's function pointers.
+    let ffi: Vec<&str> = reg
+        .iter()
+        .filter(|p| p.caps().host_ffi)
+        .map(|p| p.id())
+        .collect();
+    assert_eq!(ffi, ["interp", "gpu-sim", "mpi-sim", "host-mt"]);
     let kernels: Vec<&str> = reg
         .iter()
         .filter(|p| p.caps().global_kernels)
@@ -350,6 +359,7 @@ fn registry_capability_table_is_coherent() {
     let _: Arc<dyn Platform> = Arc::new(InterpPlatform::default());
     let _: Arc<dyn Platform> = Arc::new(GpuSimPlatform::default());
     let _: Arc<dyn Platform> = Arc::new(MpiSimPlatform::new(2));
+    let _: Arc<dyn Platform> = Arc::new(wootinj::DistPlatform::new(2));
 }
 
 /// Cache-scoping property 4 holds for database-backed (incremental)
