@@ -30,7 +30,7 @@ pub mod proto;
 pub mod worker;
 
 use std::net::{TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -46,7 +46,17 @@ use mpi_sim::{
 use nir::codec::{write_program, Reader, Writer};
 use nir::{FuncId, Program};
 
-use proto::{Request, Resp, PROTO_VERSION};
+use proto::{Request, Resp, WarmProgram, PROTO_VERSION};
+
+/// Digest seed for warm program images (`.wprog` files) — namespaced
+/// away from the artifact-seal and frame-checksum digests so a file of
+/// one kind never verifies as another.
+pub const WARM_DIGEST_SEED: u64 = 0x5750_5247; // "WPRG"
+
+/// Where a program image with `digest` lives inside a warm directory.
+pub fn warm_program_path(dir: &Path, digest: u64) -> PathBuf {
+    dir.join(format!("{digest:016x}.wprog"))
+}
 
 /// How a [`RemotePool`] brings its rank workers into existence.
 #[derive(Debug, Clone)]
@@ -121,6 +131,13 @@ pub struct RemotePool<'p, 'a> {
     /// slices — consumed once (respawned workers never inherit it), so
     /// recovery is observable instead of an infinite kill loop.
     kill_rank_after: Option<(u32, u64)>,
+    /// Warm program store: when set, the program bytes are persisted
+    /// once as `<dir>/<digest:016x>.wprog` and every `Init` ships a
+    /// 16-byte digest reference instead of the program (workers verify
+    /// the digest; any failure falls back to inline bytes, typed).
+    warm_dir: Option<PathBuf>,
+    /// Digest of `program_bytes` under [`WARM_DIGEST_SEED`].
+    program_digest: u64,
 }
 
 fn world_err(message: impl Into<String>) -> SimError {
@@ -140,6 +157,7 @@ impl<'p, 'a> RemotePool<'p, 'a> {
         fault: Option<FaultConfig>,
         launch: Launch,
         kill_rank_after: Option<(u32, u64)>,
+        warm_dir: Option<PathBuf>,
     ) -> Result<Self, SimError> {
         let listener = TcpListener::bind(("127.0.0.1", 0))
             .map_err(|e| world_err(format!("dist: binding rendezvous port: {e}")))?;
@@ -149,9 +167,11 @@ impl<'p, 'a> RemotePool<'p, 'a> {
             .port();
         let mut w = Writer::new();
         write_program(&mut w, program);
+        let program_bytes = w.into_bytes();
+        let program_digest = nir::digest64(&program_bytes, WARM_DIGEST_SEED);
         Ok(RemotePool {
             program,
-            program_bytes: w.into_bytes(),
+            program_bytes,
             size,
             entry,
             make_args,
@@ -163,7 +183,40 @@ impl<'p, 'a> RemotePool<'p, 'a> {
             token: fresh_token(),
             workers: (0..size).map(|_| None).collect(),
             kill_rank_after,
+            warm_dir,
+            program_digest,
         })
+    }
+
+    /// Persist the program image into the warm directory (idempotent:
+    /// the file is content-addressed by digest, written temp-then-rename
+    /// so concurrent coordinators sharing the directory never tear it).
+    /// Returns the warm reference to ship, or `None` when persistence
+    /// failed — the caller then ships the program inline, untyped
+    /// I/O trouble degrades, it never breaks the world.
+    fn publish_warm_program(&self) -> Option<WarmProgram> {
+        let dir = self.warm_dir.as_deref()?;
+        let path = warm_program_path(dir, self.program_digest);
+        let warm = WarmProgram {
+            dir: dir.to_string_lossy().into_owned(),
+            digest: self.program_digest,
+        };
+        if path.is_file() {
+            return Some(warm);
+        }
+        std::fs::create_dir_all(dir).ok()?;
+        let tmp = dir.join(format!(
+            ".tmp-{}-{:016x}.wprog",
+            std::process::id(),
+            self.program_digest
+        ));
+        if std::fs::write(&tmp, &self.program_bytes).is_ok() && std::fs::rename(&tmp, &path).is_ok()
+        {
+            Some(warm)
+        } else {
+            let _ = std::fs::remove_file(&tmp);
+            None
+        }
     }
 
     /// Spawn + rendezvous + `Init` every rank that has no live worker.
@@ -179,6 +232,7 @@ impl<'p, 'a> RemotePool<'p, 'a> {
             children.push(self.spawn(r)?);
         }
         self.rendezvous(&missing, &mut children)?;
+        let warm = self.publish_warm_program();
         for &r in &missing {
             let kill_after_runs = match self.kill_rank_after {
                 Some((kr, n)) if kr == r => {
@@ -187,21 +241,42 @@ impl<'p, 'a> RemotePool<'p, 'a> {
                 }
                 _ => None,
             };
-            let init = Request::Init {
+            // Warm path first: ship a digest reference instead of the
+            // program image. A worker that cannot resolve it (missing
+            // file, digest mismatch) answers a typed Err and keeps its
+            // Init loop open, so we retry once with the bytes inline.
+            let mut attempts: Vec<Request> = Vec::new();
+            if let Some(warm) = warm.clone() {
+                attempts.push(Request::Init {
+                    size: self.size,
+                    entry: self.entry.0,
+                    program: Vec::new(),
+                    fault: self.fault.map(Box::new),
+                    gpu: self.gpu,
+                    kill_after_runs,
+                    warm: Some(warm),
+                });
+            }
+            attempts.push(Request::Init {
                 size: self.size,
                 entry: self.entry.0,
                 program: self.program_bytes.clone(),
-                fault: self.fault,
+                fault: self.fault.map(Box::new),
                 gpu: self.gpu,
                 kill_after_runs,
-            };
-            match self.rpc(r, &init)? {
-                Resp::Ok => {}
-                Resp::Err(e) => return Err(e),
-                other => {
-                    return Err(world_err(format!(
-                        "dist: rank {r} answered Init with {other:?}"
-                    )))
+                warm: None,
+            });
+            let last = attempts.len() - 1;
+            for (i, init) in attempts.into_iter().enumerate() {
+                match self.rpc(r, &init)? {
+                    Resp::Ok => break,
+                    Resp::Err(e) if i == last => return Err(e),
+                    Resp::Err(_) => {} // warm miss: fall through to inline
+                    other => {
+                        return Err(world_err(format!(
+                            "dist: rank {r} answered Init with {other:?}"
+                        )))
+                    }
                 }
             }
         }
@@ -216,8 +291,10 @@ impl<'p, 'a> RemotePool<'p, 'a> {
                 std::thread::Builder::new()
                     .name(format!("wj-dist-rank{r}"))
                     .spawn(move || {
-                        if let Ok(stream) = TcpStream::connect(("127.0.0.1", port)) {
-                            let _ = worker::serve_on(stream, r, token);
+                        let (dial, retries) =
+                            worker::connect_with_retry(port, token ^ u64::from(r));
+                        if let Ok(stream) = dial {
+                            let _ = worker::serve_on(stream, r, token, retries);
                         }
                     })
                     .map_err(|e| world_err(format!("dist: spawning rank {r} thread: {e}")))?;
@@ -635,6 +712,7 @@ pub struct DistWorld<'p> {
     pub ckpt_salt: u64,
     launch: Launch,
     kill_rank_after: Option<(u32, u64)>,
+    warm_dir: Option<PathBuf>,
 }
 
 impl<'p> DistWorld<'p> {
@@ -651,6 +729,7 @@ impl<'p> DistWorld<'p> {
             ckpt_salt: 0,
             launch: Launch::Threads,
             kill_rank_after: None,
+            warm_dir: None,
         }
     }
 
@@ -697,6 +776,18 @@ impl<'p> DistWorld<'p> {
         self
     }
 
+    /// Share the program image with spawned workers through `dir`
+    /// instead of streaming it inline over the Init frame: the
+    /// coordinator persists it once (content-addressed by digest,
+    /// temp-then-rename) and every worker — including respawns after a
+    /// crash — loads and digest-verifies it from disk. A worker that
+    /// cannot resolve the warm reference answers a typed error and the
+    /// coordinator falls back to the inline image automatically.
+    pub fn with_warm_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.warm_dir = Some(dir.into());
+        self
+    }
+
     /// Chaos knob: kill `rank`'s worker after it has served
     /// `run_slices` slices. Consumed by the first spawn only, so the
     /// respawned worker survives and recovery completes.
@@ -726,6 +817,7 @@ impl<'p> DistWorld<'p> {
             self.fault,
             self.launch.clone(),
             self.kill_rank_after,
+            self.warm_dir.clone(),
         )
     }
 

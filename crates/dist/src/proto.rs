@@ -21,7 +21,23 @@ use nir::codec::{intrin_of, intrin_tag, CodecError, Reader, Writer};
 /// Version of the request/response payload layout (independent of the
 /// frame-level [`mpi_sim::WIRE_VERSION`]). Carried in the `Hello`
 /// handshake; a skew refuses the worker before any state moves.
-pub const PROTO_VERSION: u32 = 1;
+///
+/// v2: `Init` gained the warm-program reference ([`WarmProgram`]), the
+/// fault-config codec gained `translate_fail`, and the resilience codec
+/// gained `connect_retries` / `translate_failures`.
+pub const PROTO_VERSION: u32 = 2;
+
+/// A reference to program bytes persisted in a warm artifact directory
+/// shared between coordinator and workers (same host — the spawn is
+/// loopback-local by construction). The worker loads
+/// `<dir>/<digest:016x>.wprog` and verifies the digest before trusting
+/// it; any failure is a typed `Resp::Err` and the coordinator falls
+/// back to re-sending the program inline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarmProgram {
+    pub dir: String,
+    pub digest: u64,
+}
 
 /// The first frame on a fresh worker connection: identify the rank and
 /// prove the worker was spawned by *this* coordinator (the token is
@@ -39,14 +55,18 @@ pub struct Hello {
 pub enum Request {
     /// Program + per-world configuration. Sent once per connection,
     /// before anything else; `kill_after_runs` is the chaos knob that
-    /// makes the worker die mid-protocol after that many `Run`s.
+    /// makes the worker die mid-protocol after that many `Run`s. When
+    /// `warm` is set the program bytes may be empty: the worker loads
+    /// them from the warm directory instead (digest-verified), so warm
+    /// restarts ship a 16-byte reference instead of the whole program.
     Init {
         size: u32,
         entry: u32,
         program: Vec<u8>,
-        fault: Option<FaultConfig>,
+        fault: Option<Box<FaultConfig>>,
         gpu: Option<GpuConfig>,
         kill_after_runs: Option<u64>,
+        warm: Option<WarmProgram>,
     },
     Run {
         slice: u64,
@@ -169,6 +189,7 @@ fn write_fault_config(w: &mut Writer, c: &FaultConfig) {
     w.f64(c.connect_refuse);
     w.f64(c.frame_truncate);
     w.f64(c.ack_delay);
+    w.f64(c.translate_fail);
     w.u64(c.delay_cycles);
     w.u64(c.ack_delay_cycles);
     w.u32(c.max_host_retries);
@@ -187,6 +208,7 @@ fn read_fault_config(r: &mut Reader) -> Result<FaultConfig, TransportError> {
     c.connect_refuse = r.f64().map_err(from_codec)?;
     c.frame_truncate = r.f64().map_err(from_codec)?;
     c.ack_delay = r.f64().map_err(from_codec)?;
+    c.translate_fail = r.f64().map_err(from_codec)?;
     c.delay_cycles = r.u64().map_err(from_codec)?;
     c.ack_delay_cycles = r.u64().map_err(from_codec)?;
     c.max_host_retries = r.u32().map_err(from_codec)?;
@@ -465,6 +487,8 @@ fn write_resilience(w: &mut Writer, s: &ResilienceStats) {
     w.u64(s.connect_refusals);
     w.u64(s.truncated_frames);
     w.u64(s.delayed_acks);
+    w.u64(s.connect_retries);
+    w.u64(s.translate_failures);
     w.u64(s.timeouts);
     w.u64(s.degraded_jits);
     w.u64(s.checkpoints_taken);
@@ -485,6 +509,8 @@ fn read_resilience(r: &mut Reader) -> Result<ResilienceStats, TransportError> {
         connect_refusals: u()?,
         truncated_frames: u()?,
         delayed_acks: u()?,
+        connect_retries: u()?,
+        translate_failures: u()?,
         timeouts: u()?,
         degraded_jits: u()?,
         checkpoints_taken: u()?,
@@ -525,6 +551,7 @@ pub fn encode_req(req: &Request) -> Vec<u8> {
             fault,
             gpu,
             kill_after_runs,
+            warm,
         } => {
             w.u8(1);
             w.u32(*size);
@@ -549,6 +576,14 @@ pub fn encode_req(req: &Request) -> Vec<u8> {
                 Some(n) => {
                     w.bool(true);
                     w.u64(*n);
+                }
+                None => w.bool(false),
+            }
+            match warm {
+                Some(wp) => {
+                    w.bool(true);
+                    w.str(&wp.dir);
+                    w.u64(wp.digest);
                 }
                 None => w.bool(false),
             }
@@ -628,7 +663,7 @@ pub fn decode_req(bytes: &[u8]) -> Result<Request, TransportError> {
             let plen = r.len().map_err(from_codec)?;
             let program = r.bytes(plen).map_err(from_codec)?.to_vec();
             let fault = if r.bool().map_err(from_codec)? {
-                Some(read_fault_config(&mut r)?)
+                Some(Box::new(read_fault_config(&mut r)?))
             } else {
                 None
             };
@@ -642,6 +677,14 @@ pub fn decode_req(bytes: &[u8]) -> Result<Request, TransportError> {
             } else {
                 None
             };
+            let warm = if r.bool().map_err(from_codec)? {
+                Some(WarmProgram {
+                    dir: r.str().map_err(from_codec)?,
+                    digest: r.u64().map_err(from_codec)?,
+                })
+            } else {
+                None
+            };
             Request::Init {
                 size,
                 entry,
@@ -649,6 +692,7 @@ pub fn decode_req(bytes: &[u8]) -> Result<Request, TransportError> {
                 fault,
                 gpu,
                 kill_after_runs,
+                warm,
             }
         }
         2 => Request::Run {
@@ -876,14 +920,28 @@ mod tests {
         let mut cfg = FaultConfig::seeded(42);
         cfg.crash = 0.25;
         cfg.frame_truncate = 0.5;
+        cfg.translate_fail = 0.1;
         let reqs = [
             Request::Init {
                 size: 4,
                 entry: 7,
                 program: vec![1, 2, 3],
-                fault: Some(cfg),
+                fault: Some(Box::new(cfg)),
                 gpu: Some(GpuConfig::default()),
                 kill_after_runs: Some(9),
+                warm: None,
+            },
+            Request::Init {
+                size: 2,
+                entry: 0,
+                program: vec![],
+                fault: None,
+                gpu: None,
+                kill_after_runs: None,
+                warm: Some(WarmProgram {
+                    dir: "/tmp/warm".into(),
+                    digest: 0xDEAD_BEEF,
+                }),
             },
             Request::Run { slice: 4_000_000 },
             Request::Resume { v: Val::F32(1.5) },
@@ -940,6 +998,8 @@ mod tests {
                 crashes: 1,
                 truncated_frames: 2,
                 delayed_acks: 3,
+                connect_retries: 4,
+                translate_failures: 5,
                 ..ResilienceStats::default()
             }),
             Resp::Err(SimError::Crash {

@@ -13,14 +13,15 @@
 //! [`RankPool`]: mpi_sim::RankPool
 
 use std::net::TcpStream;
+use std::path::Path;
 use std::time::Duration;
 
-use exec::{Machine, Val};
+use exec::{FaultRng, Machine, Val};
 use mpi_sim::{read_frame, write_frame, LocalPool, RankCtl, RankPool, SimError, TransportError};
 use nir::codec::{read_program, Reader};
 use nir::FuncId;
 
-use crate::proto::{self, Hello, Request, Resp, PROTO_VERSION};
+use crate::proto::{self, Hello, Request, Resp, WarmProgram, PROTO_VERSION};
 
 /// Environment variables a spawned worker process reads its identity
 /// from (see [`run_if_spawned`]).
@@ -32,6 +33,49 @@ pub const ENV_TOKEN: &str = "WJ_DIST_TOKEN";
 /// coordinator is gone and exiting — the orphan backstop that keeps a
 /// killed coordinator from leaking rank processes.
 const IDLE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Dial attempts before a worker gives up on the rendezvous port. With
+/// the backoff schedule below the whole budget is well under a second —
+/// enough to ride out a coordinator that is still binding its listener
+/// (or an injected refusal), small enough that a truly absent
+/// coordinator still fails fast and typed.
+pub const MAX_CONNECT_ATTEMPTS: u32 = 8;
+
+/// Wall-clock backoff before re-dial number `attempt` (1-based):
+/// exponential base (2 ms doubling, capped at 128 ms) plus a seeded
+/// jitter draw in `[0, base)` so simultaneously-refused workers do not
+/// re-dial in lockstep. Pure in `(seed, attempt)` — the schedule is a
+/// reproducible function of the spawn identity, and it never touches
+/// the [`exec::FaultPlan`] streams, so legacy fault seeds stay
+/// bit-identical.
+pub fn retry_backoff_ms(seed: u64, attempt: u32) -> u64 {
+    let base = 2u64 << attempt.saturating_sub(1).min(6);
+    let jitter = FaultRng::new(seed ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .next_u64()
+        % base;
+    base + jitter
+}
+
+/// Dial the coordinator with bounded, seeded backoff-and-jitter retries.
+/// Returns the stream (or the last connect error, typed by the caller)
+/// plus how many re-dials were needed — the count lands in
+/// [`exec::ResilienceStats::connect_retries`] via the `Stats` reply.
+pub fn connect_with_retry(port: u16, seed: u64) -> (std::io::Result<TcpStream>, u64) {
+    let mut retries = 0u64;
+    loop {
+        match TcpStream::connect(("127.0.0.1", port)) {
+            Ok(stream) => return (Ok(stream), retries),
+            Err(e) => {
+                let attempt = retries as u32 + 1;
+                if attempt >= MAX_CONNECT_ATTEMPTS {
+                    return (Err(e), retries);
+                }
+                std::thread::sleep(Duration::from_millis(retry_backoff_ms(seed, attempt)));
+                retries += 1;
+            }
+        }
+    }
+}
 
 fn corrupt(message: impl Into<String>) -> TransportError {
     TransportError::Corrupt {
@@ -59,23 +103,59 @@ pub fn run_if_spawned() -> bool {
         eprintln!("wj-dist-worker: malformed spawn environment");
         return true;
     };
-    match TcpStream::connect(("127.0.0.1", port)) {
+    let (dial, retries) = connect_with_retry(port, token ^ u64::from(rank));
+    match dial {
         Ok(stream) => {
-            if let Err(e) = serve_on(stream, rank, token) {
+            if let Err(e) = serve_on(stream, rank, token, retries) {
                 eprintln!("wj-dist-worker rank {rank}: {e}");
             }
         }
-        Err(e) => eprintln!("wj-dist-worker rank {rank}: connect: {e}"),
+        Err(e) => eprintln!(
+            "wj-dist-worker rank {rank}: connect after {} attempts: {e}",
+            retries + 1
+        ),
     }
     true
+}
+
+/// Resolve an `Init`'s program bytes: inline bytes win; an empty program
+/// with a [`WarmProgram`] reference loads `<dir>/<digest:016x>.wprog`
+/// and verifies the digest before trusting a byte of it. Every failure
+/// is a typed message — the coordinator falls back to inline bytes.
+fn resolve_program_bytes(program: Vec<u8>, warm: Option<WarmProgram>) -> Result<Vec<u8>, String> {
+    if !program.is_empty() {
+        return Ok(program);
+    }
+    let Some(warm) = warm else {
+        return Err("Init carried neither program bytes nor a warm reference".into());
+    };
+    let path = crate::warm_program_path(Path::new(&warm.dir), warm.digest);
+    let bytes =
+        std::fs::read(&path).map_err(|e| format!("warm program {}: {e}", path.display()))?;
+    let found = nir::digest64(&bytes, crate::WARM_DIGEST_SEED);
+    if found != warm.digest {
+        return Err(format!(
+            "warm program {}: digest mismatch (stored {:#018x}, computed {found:#018x})",
+            path.display(),
+            warm.digest
+        ));
+    }
+    Ok(bytes)
 }
 
 /// Serve one rank over an established coordinator connection until
 /// `Shutdown`, a simulated kill, coordinator disappearance, or a wire
 /// error. Used by spawned processes ([`run_if_spawned`]) and by the
 /// in-process `Launch::Threads` mode — the same full protocol (program
-/// bytes and all) runs either way.
-pub fn serve_on(mut stream: TcpStream, rank: u32, token: u64) -> Result<(), TransportError> {
+/// bytes and all) runs either way. `connect_retries` is how many
+/// re-dials [`connect_with_retry`] spent reaching the coordinator; it
+/// is folded into every `Stats` reply.
+pub fn serve_on(
+    mut stream: TcpStream,
+    rank: u32,
+    token: u64,
+    connect_retries: u64,
+) -> Result<(), TransportError> {
     let _ = stream.set_nodelay(true);
     stream
         .set_read_timeout(Some(IDLE_TIMEOUT))
@@ -92,19 +172,38 @@ pub fn serve_on(mut stream: TcpStream, rank: u32, token: u64) -> Result<(), Tran
         Resp::Ok => {}
         other => return Err(corrupt(format!("rendezvous rejected: {other:?}"))),
     }
-    let init = proto::decode_req(&read_frame(&mut stream)?)?;
-    let Request::Init {
-        size,
-        entry,
-        program,
-        fault,
-        gpu,
-        kill_after_runs,
-    } = init
-    else {
-        return Err(corrupt("first request after Hello must be Init"));
+    // A warm-reference Init that fails to resolve (missing/corrupt
+    // `.wprog`) is answered with a typed error; the coordinator then
+    // re-sends Init with the program inline, so the loop admits a
+    // second attempt — never a split-brain, never a hang.
+    let mut init = proto::decode_req(&read_frame(&mut stream)?)?;
+    let (size, entry, program_bytes, fault, gpu, kill_after_runs) = loop {
+        let Request::Init {
+            size,
+            entry,
+            program,
+            fault,
+            gpu,
+            kill_after_runs,
+            warm,
+        } = init
+        else {
+            return Err(corrupt("first request after Hello must be Init"));
+        };
+        match resolve_program_bytes(program, warm) {
+            Ok(bytes) => break (size, entry, bytes, fault, gpu, kill_after_runs),
+            Err(message) => {
+                write_frame(
+                    &mut stream,
+                    &proto::encode_resp(&Resp::Err(SimError::World {
+                        message: format!("dist worker rank {rank}: {message}"),
+                    })),
+                )?;
+                init = proto::decode_req(&read_frame(&mut stream)?)?;
+            }
+        }
     };
-    let program = read_program(&mut Reader::new(&program))
+    let program = read_program(&mut Reader::new(&program_bytes))
         .map_err(|e| corrupt(format!("decoding program: {e}")))?;
     // Entry arguments never originate here: the coordinator seeds every
     // rank with a Restore built from its own arg-builder, so worker and
@@ -118,12 +217,18 @@ pub fn serve_on(mut stream: TcpStream, rank: u32, token: u64) -> Result<(), Tran
         FuncId(entry),
         &mut no_args,
         gpu,
-        fault,
+        fault.map(|b| *b),
         None,
     );
     // Ack Init: the coordinator blocks on this before seeding state.
     write_frame(&mut stream, &proto::encode_resp(&Resp::Ok))?;
-    serve_pool(&mut stream, rank, &mut pool, kill_after_runs)
+    serve_pool(
+        &mut stream,
+        rank,
+        &mut pool,
+        kill_after_runs,
+        connect_retries,
+    )
 }
 
 fn serve_pool(
@@ -131,6 +236,7 @@ fn serve_pool(
     rank: u32,
     pool: &mut LocalPool<'_, '_>,
     mut kill_after_runs: Option<u64>,
+    connect_retries: u64,
 ) -> Result<(), TransportError> {
     loop {
         let req = proto::decode_req(&read_frame(stream)?)?;
@@ -183,7 +289,10 @@ fn serve_pool(
                 }
             }
             Request::Reseed { attempt } => reply(pool.reseed(rank, attempt).map(|()| Resp::Ok)),
-            Request::Stats => reply(pool.stats(rank).map(Resp::Stats)),
+            Request::Stats => reply(pool.stats(rank).map(|mut s| {
+                s.connect_retries += connect_retries;
+                Resp::Stats(s)
+            })),
             Request::Finish {
                 done,
                 vclock,

@@ -5,12 +5,31 @@
 //! collective-boundary checkpoint chain with a typed outcome — no
 //! panic, no hang (every wire wait is deadline-bounded).
 
-use dist::{DistWorld, Launch};
+use dist::{warm_program_path, DistWorld, Launch, WARM_DIGEST_SEED};
 use jlang::ast::BinOp;
 use jlang::types::PrimKind;
 use mpi_sim::{SimError, World};
 use nir::{ElemTy, FuncBuilder, FuncId, FuncKind, Instr, IntrinOp, Program, Ty};
 use std::path::PathBuf;
+
+/// A fresh scratch directory under the system temp root, removed on
+/// drop so repeated test runs never see stale warm images.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("wj-dist-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
 
 fn worker_launch() -> Launch {
     Launch::Processes {
@@ -308,6 +327,126 @@ fn thread_workers_speak_the_same_wire_protocol() {
     let local = World::new(&p, 4).run(entry, |_, _| Ok(vec![])).unwrap();
     let remote = DistWorld::new(&p, 4).run(entry, |_, _| Ok(vec![])).unwrap();
     assert_runs_identical(&local, &remote, "threads");
+}
+
+#[test]
+fn warm_dir_workers_are_bit_identical_and_persist_the_program_once() {
+    let scratch = ScratchDir::new("warm");
+    let (p, entry) = ring_step_reduce(8, 4);
+    let local = World::new(&p, 4).run(entry, |_, _| Ok(vec![])).unwrap();
+    let world = DistWorld::new(&p, 4)
+        .with_launch(worker_launch())
+        .with_warm_dir(&scratch.0);
+    let first = world.run(entry, |_, _| Ok(vec![])).unwrap();
+    assert_runs_identical(&local, &first, "warm first boot");
+
+    // Exactly one content-addressed image on disk, digest-verifiable.
+    let images: Vec<_> = std::fs::read_dir(&scratch.0)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "wprog"))
+        .collect();
+    assert_eq!(images.len(), 1, "one warm image expected: {images:?}");
+    let bytes = std::fs::read(&images[0]).unwrap();
+    let digest = nir::digest64(&bytes, WARM_DIGEST_SEED);
+    assert_eq!(
+        images[0],
+        warm_program_path(&scratch.0, digest),
+        "warm image path is addressed by its own digest"
+    );
+
+    // A second world over the same directory boots warm — no re-publish
+    // (mtime untouched) and still bit-identical results.
+    let stamp = std::fs::metadata(&images[0]).unwrap().modified().unwrap();
+    let second = DistWorld::new(&p, 4)
+        .with_launch(worker_launch())
+        .with_warm_dir(&scratch.0)
+        .run(entry, |_, _| Ok(vec![]))
+        .unwrap();
+    assert_runs_identical(&local, &second, "warm restart");
+    assert_eq!(
+        std::fs::metadata(&images[0]).unwrap().modified().unwrap(),
+        stamp,
+        "warm restart must reuse the published image, not rewrite it"
+    );
+}
+
+#[test]
+fn a_corrupt_warm_image_falls_back_to_inline_init() {
+    let scratch = ScratchDir::new("warm-corrupt");
+    let (p, entry) = ring_step_reduce(6, 3);
+    let local = World::new(&p, 4).run(entry, |_, _| Ok(vec![])).unwrap();
+
+    // Publish the warm image with a clean probe run, then overwrite it
+    // with garbage at the exact path the coordinator will advertise:
+    // workers digest-verify, answer a typed Err, and the coordinator
+    // must re-Init inline — the run still completes bit-identically.
+    let probe = DistWorld::new(&p, 4).with_warm_dir(&scratch.0);
+    let good = probe.run(entry, |_, _| Ok(vec![])).unwrap();
+    assert_runs_identical(&local, &good, "probe run");
+    let images: Vec<_> = std::fs::read_dir(&scratch.0)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "wprog"))
+        .collect();
+    assert_eq!(images.len(), 1);
+    std::fs::write(&images[0], b"not a program image").unwrap();
+
+    let run = DistWorld::new(&p, 4)
+        .with_launch(worker_launch())
+        .with_warm_dir(&scratch.0)
+        .run(entry, |_, _| Ok(vec![]))
+        .unwrap();
+    assert_runs_identical(&local, &run, "corrupt warm image fallback");
+}
+
+#[test]
+fn connect_retry_is_bounded_seeded_and_survives_a_late_listener() {
+    use dist::worker::{connect_with_retry, retry_backoff_ms, MAX_CONNECT_ATTEMPTS};
+    use std::net::TcpListener;
+
+    // The schedule is a pure function of (seed, attempt): deterministic,
+    // exponential with a cap, jitter strictly below one extra base.
+    for attempt in 1..=MAX_CONNECT_ATTEMPTS {
+        let base = 2u64 << (attempt - 1).min(6);
+        let a = retry_backoff_ms(0xFEED, attempt);
+        let b = retry_backoff_ms(0xFEED, attempt);
+        assert_eq!(a, b, "backoff must be deterministic");
+        assert!((base..2 * base).contains(&a), "attempt {attempt}: {a}ms");
+    }
+    assert_ne!(
+        retry_backoff_ms(1, 3),
+        retry_backoff_ms(2, 3),
+        "different seeds must decorrelate the jitter"
+    );
+
+    // A dead port fails typed after a bounded number of re-dials.
+    let dead = {
+        let l = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        l.local_addr().unwrap().port()
+        // listener dropped: the port refuses connections
+    };
+    let (dial, retries) = connect_with_retry(dead, 7);
+    assert!(dial.is_err(), "a dead port must surface the connect error");
+    assert_eq!(retries, u64::from(MAX_CONNECT_ATTEMPTS) - 1);
+
+    // A listener that appears while redialing is eventually reached.
+    let port = {
+        let l = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        l.local_addr().unwrap().port()
+    };
+    let binder = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let l = TcpListener::bind(("127.0.0.1", port)).unwrap();
+        l.accept().ok();
+    });
+    let (dial, retries) = connect_with_retry(port, 7);
+    binder.join().unwrap();
+    assert!(dial.is_ok(), "late listener must be reachable via retries");
+    assert!(
+        retries > 0,
+        "the late bind must have cost at least one re-dial"
+    );
 }
 
 #[test]

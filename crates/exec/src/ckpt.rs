@@ -22,7 +22,7 @@ use nir::{FuncId, Program};
 /// socket-transport fault knobs/counters to the fault-plan record; v2
 /// added the checkpoint-write fault counters and the delta-chain payload
 /// kinds. Older snapshots degrade to a cold restart by design.
-pub const CKPT_VERSION: u8 = 3;
+pub const CKPT_VERSION: u8 = 4;
 
 /// Payload kind: a single [`Machine`] snapshot.
 pub const TAG_MACHINE: u8 = 0xA1;
@@ -296,6 +296,7 @@ fn write_fault_plan(w: &mut Writer, plan: &FaultPlan) {
     w.f64(c.connect_refuse);
     w.f64(c.frame_truncate);
     w.f64(c.ack_delay);
+    w.f64(c.translate_fail);
     w.u64(c.delay_cycles);
     w.u64(c.ack_delay_cycles);
     w.u32(c.max_host_retries);
@@ -313,6 +314,8 @@ fn write_fault_plan(w: &mut Writer, plan: &FaultPlan) {
     w.u64(s.connect_refusals);
     w.u64(s.truncated_frames);
     w.u64(s.delayed_acks);
+    w.u64(s.connect_retries);
+    w.u64(s.translate_failures);
     w.u64(s.timeouts);
     w.u64(s.degraded_jits);
     w.u64(s.checkpoints_taken);
@@ -332,6 +335,7 @@ fn read_fault_plan(r: &mut Reader) -> Result<FaultPlan, CkptError> {
         connect_refuse: r.f64()?,
         frame_truncate: r.f64()?,
         ack_delay: r.f64()?,
+        translate_fail: r.f64()?,
         delay_cycles: r.u64()?,
         ack_delay_cycles: r.u64()?,
         max_host_retries: r.u32()?,
@@ -350,6 +354,8 @@ fn read_fault_plan(r: &mut Reader) -> Result<FaultPlan, CkptError> {
         connect_refusals: r.u64()?,
         truncated_frames: r.u64()?,
         delayed_acks: r.u64()?,
+        connect_retries: r.u64()?,
+        translate_failures: r.u64()?,
         timeouts: r.u64()?,
         degraded_jits: r.u64()?,
         checkpoints_taken: r.u64()?,

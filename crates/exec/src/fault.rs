@@ -89,6 +89,11 @@ pub struct FaultConfig {
     /// Probability that a frame's acknowledgement is delayed, pushing the
     /// message's delivery `ack_delay_cycles` into the virtual future.
     pub ack_delay: f64,
+    /// Probability that one JIT-service translation attempt fails with an
+    /// injected typed error (the `jitd` daemon's service-loop fault: the
+    /// requesting client gets a typed failure reply, never a hang, and
+    /// single-flight followers are released with the same typed error).
+    pub translate_fail: f64,
     /// Extra virtual cycles a delayed message waits before delivery.
     pub delay_cycles: u64,
     /// Extra virtual cycles a delayed transport acknowledgement adds.
@@ -114,6 +119,7 @@ impl Default for FaultConfig {
             connect_refuse: 0.0,
             frame_truncate: 0.0,
             ack_delay: 0.0,
+            translate_fail: 0.0,
             delay_cycles: 50_000,
             ack_delay_cycles: 20_000,
             max_host_retries: 4,
@@ -161,6 +167,13 @@ pub struct ResilienceStats {
     pub truncated_frames: u64,
     /// Transport acknowledgements delayed in virtual time.
     pub delayed_acks: u64,
+    /// Real (wall-clock) transport connection attempts that were retried
+    /// with seeded backoff + jitter before succeeding — the `dist`
+    /// worker's re-dial loop, a recovery action like `host_retries`.
+    pub connect_retries: u64,
+    /// JIT-service translation attempts failed with an injected fault
+    /// (the requesting client received a typed error reply).
+    pub translate_failures: u64,
     /// Blocked states converted into typed timeouts.
     pub timeouts: u64,
     /// JIT requests served by a degraded translation mode.
@@ -185,6 +198,8 @@ impl ResilienceStats {
         self.connect_refusals += other.connect_refusals;
         self.truncated_frames += other.truncated_frames;
         self.delayed_acks += other.delayed_acks;
+        self.connect_retries += other.connect_retries;
+        self.translate_failures += other.translate_failures;
         self.timeouts += other.timeouts;
         self.degraded_jits += other.degraded_jits;
         self.checkpoints_taken += other.checkpoints_taken;
@@ -203,6 +218,7 @@ impl ResilienceStats {
             + self.connect_refusals
             + self.truncated_frames
             + self.delayed_acks
+            + self.translate_failures
     }
 }
 
@@ -213,9 +229,9 @@ impl std::fmt::Display for ResilienceStats {
         write!(
             f,
             "injected {} (crash {}, fuel {}, ffi {}, drop {}, corrupt {}, \
-             delay {}, ckpt-io {}, refuse {}, trunc {}, ack-delay {}) · \
-             retries {} · timeouts {} · degraded {} \
-             · ckpts {} · restarts {}",
+             delay {}, ckpt-io {}, refuse {}, trunc {}, ack-delay {}, \
+             xlate-fail {}) · retries {} · redials {} · timeouts {} \
+             · degraded {} · ckpts {} · restarts {}",
             self.injected(),
             self.crashes,
             self.fuel_exhaustions,
@@ -227,7 +243,9 @@ impl std::fmt::Display for ResilienceStats {
             self.connect_refusals,
             self.truncated_frames,
             self.delayed_acks,
+            self.translate_failures,
             self.host_retries,
+            self.connect_retries,
             self.timeouts,
             self.degraded_jits,
             self.checkpoints_taken,
@@ -398,6 +416,18 @@ impl FaultPlan {
         }
     }
 
+    /// Does this JIT-service translation attempt fail with an injected
+    /// typed error? A zero rate consumes nothing, so configs predating
+    /// the service daemon keep bit-identical streams.
+    pub fn translate_fails(&mut self) -> bool {
+        if self.rng.chance(self.config.translate_fail) {
+            self.stats.translate_failures += 1;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Fate of one framed transport message, drawn after its payload
     /// fault. Zero rates consume nothing, so configs predating the
     /// socket-transport faults keep bit-identical streams.
@@ -541,6 +571,41 @@ mod tests {
         );
         let line = a.stats.to_string();
         assert!(line.contains("refuse") && line.contains("trunc"));
+    }
+
+    #[test]
+    fn translate_faults_are_seeded_counted_and_stream_safe() {
+        // Zero-rate translate draws must not consume the stream: a config
+        // predating the service daemon keeps bit-identical crash draws.
+        let cfg = FaultConfig {
+            crash: 0.3,
+            ..FaultConfig::seeded(13)
+        };
+        let mut a = FaultPlan::for_rank(cfg, 0);
+        let mut b = FaultPlan::for_rank(cfg, 0);
+        let da: Vec<bool> = (0..64).map(|_| a.crash_at_yield()).collect();
+        let db: Vec<bool> = (0..64)
+            .map(|_| {
+                assert!(!b.translate_fails());
+                b.crash_at_yield()
+            })
+            .collect();
+        assert_eq!(da, db, "zero-rate translate draws must be stream-free");
+
+        let cfg = FaultConfig {
+            translate_fail: 0.4,
+            ..FaultConfig::seeded(14)
+        };
+        let mut a = FaultPlan::new(cfg);
+        let mut b = FaultPlan::new(cfg);
+        let fa: Vec<bool> = (0..200).map(|_| a.translate_fails()).collect();
+        let fb: Vec<bool> = (0..200).map(|_| b.translate_fails()).collect();
+        assert_eq!(fa, fb, "same seed, same translate faults");
+        let fired = fa.iter().filter(|&&x| x).count() as u64;
+        assert!(fired > 0, "rate 0.4 must fire in 200 draws");
+        assert_eq!(a.stats.translate_failures, fired);
+        assert_eq!(a.stats.injected(), fired);
+        assert!(a.stats.to_string().contains("xlate-fail"));
     }
 
     #[test]

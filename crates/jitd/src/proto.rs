@@ -1,0 +1,646 @@
+//! # proto — the client <-> daemon service wire protocol
+//!
+//! Typed request/reply payloads carried inside the length-prefixed,
+//! checksummed `WFR1` frames of [`mpi_sim::transport`] — the same frame
+//! layer the `dist` backend speaks, so truncation, corruption, and
+//! version skew all surface as typed [`TransportError`]s, never as
+//! panics or hangs.
+//!
+//! The conversation per connection:
+//!
+//! ```text
+//! client                          daemon
+//!   Hello { proto, tenant } ───────▶
+//!        ◀─────────────────── Reply::HelloOk
+//!   Request::Jit(..) ──────────────▶
+//!        ◀──── Reply::Done | Reply::Shed | Reply::Err
+//!   ... (any number of requests) ...
+//!   Request::Shutdown ─────────────▶      (drains the daemon)
+//!        ◀─────────────────── Reply::Bye
+//! ```
+//!
+//! Every admitted request ends in exactly one reply; every rejected
+//! request ends in a typed [`Reply::Shed`] naming the policy that
+//! refused it. The daemon never silently drops a decodable request.
+
+use exec::{ResilienceStats, Val};
+use mpi_sim::TransportError;
+use nir::codec::{CodecError, Reader, Writer};
+
+/// Version of the service payload layout (independent of the frame-level
+/// [`mpi_sim::WIRE_VERSION`]). Carried in `Hello`; a skew is refused
+/// with a typed error before any state moves.
+pub const SERVICE_PROTO: u32 = 1;
+
+fn corrupt(message: impl Into<String>) -> TransportError {
+    TransportError::Corrupt {
+        message: message.into(),
+    }
+}
+
+fn codec(e: CodecError) -> TransportError {
+    corrupt(format!("jitd payload: {e}"))
+}
+
+/// The first frame on a fresh connection: protocol version plus the
+/// tenant every subsequent request on this connection is billed to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hello {
+    pub proto: u32,
+    pub tenant: String,
+}
+
+/// One entry argument, by value. The service boundary is a process
+/// boundary: arguments are data, never heap handles.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arg {
+    I32(i32),
+    F32(f32),
+    F32Arr(Vec<f32>),
+}
+
+/// A jit-and-invoke request: compile `source`, instantiate `class`
+/// (nullary constructor), JIT `method` against `args`, run it, and
+/// reply with the result — all within `deadline_ms`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JitRequest {
+    /// Source file name (keys the compile; diagnostics point at it).
+    pub file: String,
+    /// jlang source text.
+    pub source: String,
+    pub class: String,
+    pub method: String,
+    pub args: Vec<Arg>,
+    /// Wall-clock budget for the whole request (queue wait + translate +
+    /// run), measured from the instant the daemon decodes the frame.
+    /// 0 means "use the daemon's default".
+    pub deadline_ms: u64,
+    /// Chaos knob: keep holding the worker slot for this long after the
+    /// reply is computed — a deterministic way for tests and the bench
+    /// storm to occupy capacity and force queueing/shedding downstream.
+    pub hold_ms: u64,
+}
+
+/// A client -> daemon request (after `Hello`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    Jit(JitRequest),
+    /// Snapshot the service counters.
+    Stats,
+    /// Begin a graceful drain: admission stops (new work is shed as
+    /// `Draining`), in-flight requests flush, the daemon then exits.
+    Shutdown,
+}
+
+/// Why an admission was refused. Every variant is a *policy* outcome —
+/// the request was understood, considered, and deliberately rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The bounded admission queue is full (overload).
+    QueueFull,
+    /// The daemon is draining after a `Shutdown`.
+    Draining,
+    /// The tenant's artifact store is at its byte quota and this
+    /// request would need a new translation. Warm keys still serve.
+    OverQuota,
+    /// The request's deadline expired before it could be served
+    /// (in queue, waiting on a translation, or before the run).
+    Deadline,
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShedReason::QueueFull => write!(f, "queue-full"),
+            ShedReason::Draining => write!(f, "draining"),
+            ShedReason::OverQuota => write!(f, "over-quota"),
+            ShedReason::Deadline => write!(f, "deadline"),
+        }
+    }
+}
+
+/// The successful outcome of one [`Request::Jit`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outcome {
+    /// Rank 0's return value (the scalar subset crosses the wire;
+    /// `Arr`/`Obj` handles are meaningless across processes and are
+    /// reported as `Unit`).
+    pub result: Option<Val>,
+    /// This request translated the artifact itself (single-flight
+    /// leader on a cold key).
+    pub translated: bool,
+    /// This request was served the sealed artifact published by a
+    /// concurrent leader (single-flight follower).
+    pub followed: bool,
+    pub compile_us: u64,
+    pub run_us: u64,
+}
+
+/// Aggregated per-pass optimizer totals across every translation the
+/// daemon performed (the service-level view of `nir::PassProfile`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PassTotals {
+    pub pass: String,
+    pub wall_us: u64,
+    pub instrs_before: u64,
+    pub instrs_after: u64,
+}
+
+/// Service counters: admission, shedding, artifact reuse, and the
+/// observed-fault tallies. Every path a request can take increments
+/// exactly one terminal counter (`completed`, one `shed_*`, or
+/// `request_errors`), so `admitted + sheds + errors` accounts for every
+/// decodable request the daemon ever saw.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServiceStats {
+    /// Requests that passed admission (got a worker slot).
+    pub admitted: u64,
+    /// Admitted requests that ended in a `Done` reply.
+    pub completed: u64,
+    /// Actual translator runs (single-flight leaders on cold keys).
+    pub translations: u64,
+    /// Requests served from a tenant's on-disk artifact store.
+    pub warm_hits: u64,
+    /// Requests served a concurrent leader's sealed artifact.
+    pub follower_serves: u64,
+    pub shed_queue_full: u64,
+    pub shed_draining: u64,
+    pub shed_over_quota: u64,
+    pub shed_deadline: u64,
+    /// Admitted requests that ended in a typed `Err` reply (compile
+    /// failure, run failure, injected translate fault, ...).
+    pub request_errors: u64,
+    /// Clients observed dead while the daemon was writing their reply.
+    pub disconnects: u64,
+    /// Connections dropped on an undecodable frame (truncation,
+    /// corruption, version skew).
+    pub bad_frames: u64,
+    /// Fault counters, including injected translate failures.
+    pub resilience: ResilienceStats,
+    /// Per-pass optimizer totals across all leader translations.
+    pub passes: Vec<PassTotals>,
+}
+
+impl ServiceStats {
+    /// Total typed rejections across every shed policy.
+    pub fn sheds(&self) -> u64 {
+        self.shed_queue_full + self.shed_draining + self.shed_over_quota + self.shed_deadline
+    }
+}
+
+/// A daemon -> client reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Handshake accepted.
+    HelloOk {
+        proto: u32,
+    },
+    Done(Outcome),
+    /// Typed rejection: the request was *not* served, and this is why.
+    Shed {
+        reason: ShedReason,
+        message: String,
+    },
+    /// The request was admitted but failed; the message carries the
+    /// typed source error's rendering.
+    Err {
+        message: String,
+    },
+    Stats(Box<ServiceStats>),
+    /// Drain acknowledged; the daemon exits once in-flight work flushes.
+    Bye,
+}
+
+// ---------------------------------------------------------------------
+// codec
+// ---------------------------------------------------------------------
+
+pub fn encode_hello(h: &Hello) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u32(h.proto);
+    w.str(&h.tenant);
+    w.into_bytes()
+}
+
+pub fn decode_hello(buf: &[u8]) -> Result<Hello, TransportError> {
+    let mut r = Reader::new(buf);
+    Ok(Hello {
+        proto: r.u32().map_err(codec)?,
+        tenant: r.str().map_err(codec)?,
+    })
+}
+
+fn write_args(w: &mut Writer, args: &[Arg]) {
+    w.u64(args.len() as u64);
+    for a in args {
+        match a {
+            Arg::I32(v) => {
+                w.u8(0);
+                w.i32(*v);
+            }
+            Arg::F32(v) => {
+                w.u8(1);
+                w.f32(*v);
+            }
+            Arg::F32Arr(xs) => {
+                w.u8(2);
+                w.u64(xs.len() as u64);
+                for x in xs {
+                    w.f32(*x);
+                }
+            }
+        }
+    }
+}
+
+fn read_args(r: &mut Reader) -> Result<Vec<Arg>, CodecError> {
+    let n = r.u64()? as usize;
+    let mut args = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        args.push(match r.u8()? {
+            0 => Arg::I32(r.i32()?),
+            1 => Arg::F32(r.f32()?),
+            2 => {
+                let k = r.u64()? as usize;
+                let mut xs = Vec::with_capacity(k.min(1 << 20));
+                for _ in 0..k {
+                    xs.push(r.f32()?);
+                }
+                Arg::F32Arr(xs)
+            }
+            t => {
+                return Err(CodecError::Corrupt {
+                    offset: 0,
+                    message: format!("unknown arg tag {t}"),
+                })
+            }
+        });
+    }
+    Ok(args)
+}
+
+pub fn encode_request(q: &Request) -> Vec<u8> {
+    let mut w = Writer::new();
+    match q {
+        Request::Jit(j) => {
+            w.u8(0);
+            w.str(&j.file);
+            w.str(&j.source);
+            w.str(&j.class);
+            w.str(&j.method);
+            write_args(&mut w, &j.args);
+            w.u64(j.deadline_ms);
+            w.u64(j.hold_ms);
+        }
+        Request::Stats => w.u8(1),
+        Request::Shutdown => w.u8(2),
+    }
+    w.into_bytes()
+}
+
+pub fn decode_request(buf: &[u8]) -> Result<Request, TransportError> {
+    let mut r = Reader::new(buf);
+    let go = |r: &mut Reader| -> Result<Request, CodecError> {
+        Ok(match r.u8()? {
+            0 => Request::Jit(JitRequest {
+                file: r.str()?,
+                source: r.str()?,
+                class: r.str()?,
+                method: r.str()?,
+                args: read_args(r)?,
+                deadline_ms: r.u64()?,
+                hold_ms: r.u64()?,
+            }),
+            1 => Request::Stats,
+            2 => Request::Shutdown,
+            t => {
+                return Err(CodecError::Corrupt {
+                    offset: 0,
+                    message: format!("unknown request tag {t}"),
+                })
+            }
+        })
+    };
+    go(&mut r).map_err(codec)
+}
+
+fn write_val(w: &mut Writer, v: Option<Val>) {
+    match v {
+        None => w.u8(0),
+        Some(Val::I32(x)) => {
+            w.u8(1);
+            w.i32(x);
+        }
+        Some(Val::I64(x)) => {
+            w.u8(2);
+            w.u64(x as u64);
+        }
+        Some(Val::F32(x)) => {
+            w.u8(3);
+            w.f32(x);
+        }
+        Some(Val::F64(x)) => {
+            w.u8(4);
+            w.f64(x);
+        }
+        Some(Val::Bool(x)) => {
+            w.u8(5);
+            w.bool(x);
+        }
+        // Heap handles don't survive the process boundary.
+        Some(Val::Arr(_) | Val::Obj(_) | Val::Unit) => w.u8(6),
+    }
+}
+
+fn read_val(r: &mut Reader) -> Result<Option<Val>, CodecError> {
+    Ok(match r.u8()? {
+        0 => None,
+        1 => Some(Val::I32(r.i32()?)),
+        2 => Some(Val::I64(r.u64()? as i64)),
+        3 => Some(Val::F32(r.f32()?)),
+        4 => Some(Val::F64(r.f64()?)),
+        5 => Some(Val::Bool(r.bool()?)),
+        6 => Some(Val::Unit),
+        t => {
+            return Err(CodecError::Corrupt {
+                offset: 0,
+                message: format!("unknown val tag {t}"),
+            })
+        }
+    })
+}
+
+fn shed_tag(reason: ShedReason) -> u8 {
+    match reason {
+        ShedReason::QueueFull => 0,
+        ShedReason::Draining => 1,
+        ShedReason::OverQuota => 2,
+        ShedReason::Deadline => 3,
+    }
+}
+
+fn shed_of(tag: u8) -> Result<ShedReason, CodecError> {
+    Ok(match tag {
+        0 => ShedReason::QueueFull,
+        1 => ShedReason::Draining,
+        2 => ShedReason::OverQuota,
+        3 => ShedReason::Deadline,
+        t => {
+            return Err(CodecError::Corrupt {
+                offset: 0,
+                message: format!("unknown shed tag {t}"),
+            })
+        }
+    })
+}
+
+fn write_resilience(w: &mut Writer, s: &ResilienceStats) {
+    w.u64(s.crashes);
+    w.u64(s.fuel_exhaustions);
+    w.u64(s.host_transients);
+    w.u64(s.host_retries);
+    w.u64(s.dropped_messages);
+    w.u64(s.corrupted_messages);
+    w.u64(s.delayed_messages);
+    w.u64(s.ckpt_write_failures);
+    w.u64(s.connect_refusals);
+    w.u64(s.truncated_frames);
+    w.u64(s.delayed_acks);
+    w.u64(s.connect_retries);
+    w.u64(s.translate_failures);
+    w.u64(s.timeouts);
+    w.u64(s.degraded_jits);
+    w.u64(s.checkpoints_taken);
+    w.u64(s.restarts);
+}
+
+fn read_resilience(r: &mut Reader) -> Result<ResilienceStats, CodecError> {
+    Ok(ResilienceStats {
+        crashes: r.u64()?,
+        fuel_exhaustions: r.u64()?,
+        host_transients: r.u64()?,
+        host_retries: r.u64()?,
+        dropped_messages: r.u64()?,
+        corrupted_messages: r.u64()?,
+        delayed_messages: r.u64()?,
+        ckpt_write_failures: r.u64()?,
+        connect_refusals: r.u64()?,
+        truncated_frames: r.u64()?,
+        delayed_acks: r.u64()?,
+        connect_retries: r.u64()?,
+        translate_failures: r.u64()?,
+        timeouts: r.u64()?,
+        degraded_jits: r.u64()?,
+        checkpoints_taken: r.u64()?,
+        restarts: r.u64()?,
+    })
+}
+
+fn write_stats(w: &mut Writer, s: &ServiceStats) {
+    w.u64(s.admitted);
+    w.u64(s.completed);
+    w.u64(s.translations);
+    w.u64(s.warm_hits);
+    w.u64(s.follower_serves);
+    w.u64(s.shed_queue_full);
+    w.u64(s.shed_draining);
+    w.u64(s.shed_over_quota);
+    w.u64(s.shed_deadline);
+    w.u64(s.request_errors);
+    w.u64(s.disconnects);
+    w.u64(s.bad_frames);
+    write_resilience(w, &s.resilience);
+    w.u64(s.passes.len() as u64);
+    for p in &s.passes {
+        w.str(&p.pass);
+        w.u64(p.wall_us);
+        w.u64(p.instrs_before);
+        w.u64(p.instrs_after);
+    }
+}
+
+fn read_stats(r: &mut Reader) -> Result<ServiceStats, CodecError> {
+    let mut s = ServiceStats {
+        admitted: r.u64()?,
+        completed: r.u64()?,
+        translations: r.u64()?,
+        warm_hits: r.u64()?,
+        follower_serves: r.u64()?,
+        shed_queue_full: r.u64()?,
+        shed_draining: r.u64()?,
+        shed_over_quota: r.u64()?,
+        shed_deadline: r.u64()?,
+        request_errors: r.u64()?,
+        disconnects: r.u64()?,
+        bad_frames: r.u64()?,
+        resilience: read_resilience(r)?,
+        passes: Vec::new(),
+    };
+    let n = r.u64()? as usize;
+    for _ in 0..n.min(1024) {
+        s.passes.push(PassTotals {
+            pass: r.str()?,
+            wall_us: r.u64()?,
+            instrs_before: r.u64()?,
+            instrs_after: r.u64()?,
+        });
+    }
+    Ok(s)
+}
+
+pub fn encode_reply(p: &Reply) -> Vec<u8> {
+    let mut w = Writer::new();
+    match p {
+        Reply::HelloOk { proto } => {
+            w.u8(0);
+            w.u32(*proto);
+        }
+        Reply::Done(o) => {
+            w.u8(1);
+            write_val(&mut w, o.result);
+            w.bool(o.translated);
+            w.bool(o.followed);
+            w.u64(o.compile_us);
+            w.u64(o.run_us);
+        }
+        Reply::Shed { reason, message } => {
+            w.u8(2);
+            w.u8(shed_tag(*reason));
+            w.str(message);
+        }
+        Reply::Err { message } => {
+            w.u8(3);
+            w.str(message);
+        }
+        Reply::Stats(s) => {
+            w.u8(4);
+            write_stats(&mut w, s);
+        }
+        Reply::Bye => w.u8(5),
+    }
+    w.into_bytes()
+}
+
+pub fn decode_reply(buf: &[u8]) -> Result<Reply, TransportError> {
+    let mut r = Reader::new(buf);
+    let go = |r: &mut Reader| -> Result<Reply, CodecError> {
+        Ok(match r.u8()? {
+            0 => Reply::HelloOk { proto: r.u32()? },
+            1 => Reply::Done(Outcome {
+                result: read_val(r)?,
+                translated: r.bool()?,
+                followed: r.bool()?,
+                compile_us: r.u64()?,
+                run_us: r.u64()?,
+            }),
+            2 => Reply::Shed {
+                reason: shed_of(r.u8()?)?,
+                message: r.str()?,
+            },
+            3 => Reply::Err { message: r.str()? },
+            4 => Reply::Stats(Box::new(read_stats(r)?)),
+            5 => Reply::Bye,
+            t => {
+                return Err(CodecError::Corrupt {
+                    offset: 0,
+                    message: format!("unknown reply tag {t}"),
+                })
+            }
+        })
+    };
+    go(&mut r).map_err(codec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_message_round_trips() {
+        let hello = Hello {
+            proto: SERVICE_PROTO,
+            tenant: "acme".into(),
+        };
+        assert_eq!(decode_hello(&encode_hello(&hello)).unwrap(), hello);
+
+        let reqs = [
+            Request::Jit(JitRequest {
+                file: "a.jl".into(),
+                source: "class A { }".into(),
+                class: "A".into(),
+                method: "run".into(),
+                args: vec![Arg::I32(7), Arg::F32(1.5), Arg::F32Arr(vec![1.0, 2.0])],
+                deadline_ms: 2_000,
+                hold_ms: 10,
+            }),
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for q in &reqs {
+            assert_eq!(&decode_request(&encode_request(q)).unwrap(), q);
+        }
+
+        let mut stats = ServiceStats {
+            admitted: 10,
+            completed: 8,
+            translations: 1,
+            warm_hits: 3,
+            follower_serves: 4,
+            shed_queue_full: 2,
+            shed_draining: 1,
+            shed_over_quota: 1,
+            shed_deadline: 1,
+            request_errors: 2,
+            disconnects: 1,
+            bad_frames: 1,
+            resilience: ResilienceStats::default(),
+            passes: vec![PassTotals {
+                pass: "inline".into(),
+                wall_us: 120,
+                instrs_before: 40,
+                instrs_after: 22,
+            }],
+        };
+        stats.resilience.translate_failures = 2;
+        stats.resilience.connect_retries = 3;
+        let replies = [
+            Reply::HelloOk {
+                proto: SERVICE_PROTO,
+            },
+            Reply::Done(Outcome {
+                result: Some(Val::I32(42)),
+                translated: true,
+                followed: false,
+                compile_us: 900,
+                run_us: 50,
+            }),
+            Reply::Done(Outcome {
+                result: Some(Val::F64(2.5)),
+                translated: false,
+                followed: true,
+                compile_us: 0,
+                run_us: 51,
+            }),
+            Reply::Shed {
+                reason: ShedReason::QueueFull,
+                message: "admission queue is full (8 queued)".into(),
+            },
+            Reply::Err {
+                message: "injected translate failure".into(),
+            },
+            Reply::Stats(Box::new(stats)),
+            Reply::Bye,
+        ];
+        for p in &replies {
+            assert_eq!(&decode_reply(&encode_reply(p)).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn junk_decodes_to_typed_errors() {
+        for buf in [&b""[..], &b"\xFF"[..], &b"\x09garbage"[..]] {
+            assert!(decode_request(buf).is_err());
+            assert!(decode_reply(buf).is_err());
+        }
+    }
+}

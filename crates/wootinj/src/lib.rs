@@ -498,8 +498,9 @@ impl<'t> WootinJ<'t> {
 
     /// Derive the canonical artifact-store key for `recv.method(args)`
     /// under `config` (the pure half of [`Self::jit`]; also the id used
-    /// for cross-rank sharing in [`Self::jit4mpi`]).
-    fn cache_key(
+    /// for cross-rank sharing in [`Self::jit4mpi`] and for single-flight
+    /// deduplication in the `jitd` service daemon).
+    pub fn cache_key(
         &self,
         recv: &Value,
         method: &str,
@@ -608,6 +609,38 @@ impl<'t> WootinJ<'t> {
         code.shared_jit = shared.stats();
         code.mpi_size = world_size;
         Ok(code)
+    }
+
+    /// Wrap an already-sealed artifact as runnable [`JitCode`] without
+    /// translating: the follower half of out-of-process artifact sharing
+    /// (the `jitd` daemon's single-flight path decodes the leader's
+    /// broadcast bytes on every waiting connection through this). The
+    /// code starts in the single-rank interpreter shape — callers tune
+    /// it with `set_mpi`/`set_gpu`/`set_timeout` as usual.
+    pub fn code_from_artifact(
+        &self,
+        translated: Arc<Translated>,
+        recv: &Value,
+        args: &[Value],
+    ) -> JitCode {
+        JitCode {
+            translated,
+            compile_time: Duration::ZERO,
+            cache_stats: self.cache.borrow().stats(),
+            query_delta: QueryStats::default(),
+            degrade: None,
+            shared_jit: SharedCacheStats::default(),
+            recv: recv.clone(),
+            args: args.to_vec(),
+            platform: None,
+            mpi_size: 1,
+            cost: CostModel::default(),
+            gpu: None,
+            fault: None,
+            timeout_rounds: None,
+            checkpoint: None,
+            max_restarts: DEFAULT_MAX_RESTARTS,
+        }
     }
 
     /// Cumulative code-cache counters (hits / misses / evictions).

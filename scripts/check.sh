@@ -33,6 +33,10 @@ echo "== dist smoke run (socket ranks: threads + OS processes vs mpi-sim, =="
 echo "==   ephemeral loopback ports, every wire wait deadline-bounded)    =="
 cargo run --release --offline -q -p bench --bin repro -- dist --quick
 
+echo "== service smoke run (jitd daemon: in-process boot, seeded client  =="
+echo "==   storm; every request ends in a reply or typed shed in-deadline) =="
+cargo run --release --offline -q -p bench --bin repro -- service --quick
+
 echo "== incremental re-JIT smoke run (asserts >=10x body-edit speedup, =="
 echo "==   strictly fewer queries than cold, bit-identical artifacts)   =="
 cargo run --release --offline -q -p bench --bin repro -- incremental --quick
