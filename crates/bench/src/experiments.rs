@@ -938,6 +938,10 @@ pub fn pass_profile() -> Figure {
     );
     fig.note("per workload: '<name> wall ms' and '<name> instr delta' series");
     fig.note("instr delta = instrs_after - instrs_before (negative = the pass shrank the program)");
+    fig.note(
+        "profiles are merged per pass name into canonical order (nir::merge_profiles), \
+         so the report is order-stable no matter who optimized which function",
+    );
 
     let mut profiled: Vec<(&str, Vec<nir::PassProfile>)> = Vec::new();
     {
@@ -958,7 +962,10 @@ pub fn pass_profile() -> Figure {
         let code = env
             .jit(&runner, "invoke", &args, JitOptions::wootinj())
             .unwrap();
-        profiled.push(("diffusion", code.translated.stats.passes.clone()));
+        profiled.push((
+            "diffusion",
+            nir::merge_profiles(code.translated.stats.passes.clone()),
+        ));
     }
     {
         let table = hpclib::matmul_table(&[]).unwrap();
@@ -973,7 +980,52 @@ pub fn pass_profile() -> Figure {
         let code = env
             .jit(&app, "start", &[Value::Int(32)], JitOptions::wootinj())
             .unwrap();
-        profiled.push(("matmul-fox", code.translated.stats.passes.clone()));
+        profiled.push((
+            "matmul-fox",
+            nir::merge_profiles(code.translated.stats.passes.clone()),
+        ));
+    }
+
+    // Order-stability gate: lowering the same workload with parallel
+    // per-function passes must merge to the same profile shape — pass
+    // names and instruction counts bit-equal to serial; only the wall
+    // times (which reflect the measuring thread) may differ.
+    {
+        let table = hpclib::stencil_table(&[]).unwrap();
+        let mut env = WootinJ::new(&table).unwrap();
+        let runner = StencilApp::compose(
+            &mut env,
+            StencilPlatform::CpuMpi,
+            StencilApp::default_model(),
+        )
+        .unwrap();
+        let args = [
+            Value::Int(16),
+            Value::Int(16),
+            Value::Int(16),
+            Value::Int(2),
+        ];
+        let mut opts = JitOptions::wootinj();
+        opts.config.parallel_lowering = true;
+        let code = env.jit(&runner, "invoke", &args, opts).unwrap();
+        let par = nir::merge_profiles(code.translated.stats.passes.clone());
+        let serial = &profiled[0].1;
+        assert!(
+            par.len() == serial.len(),
+            "pass-profile: parallel lowering changed the pass set ({} vs {})",
+            par.len(),
+            serial.len()
+        );
+        for (p, s) in par.iter().zip(serial) {
+            assert!(
+                p.pass == s.pass
+                    && p.instrs_before == s.instrs_before
+                    && p.instrs_after == s.instrs_after,
+                "pass-profile: parallel lowering diverged on `{}`",
+                s.pass
+            );
+        }
+        fig.note("parallel-lowering parity: merged profile shape identical to serial (asserted)");
     }
 
     for (name, passes) in &profiled {
@@ -1088,6 +1140,7 @@ pub fn ablate_devirt() -> Figure {
             degrade: false,
             disk_cache: None,
             checkpoint: None,
+            executor: wootinj::ExecutorCfg::Sim,
         },
         JitOptions::wootinj(),
     ];
@@ -1140,6 +1193,7 @@ pub fn ablate_inline() -> Figure {
                     degrade: false,
                     disk_cache: None,
                     checkpoint: None,
+                    executor: wootinj::ExecutorCfg::Sim,
                 },
             )
             .unwrap();
@@ -1885,6 +1939,10 @@ pub fn backend_matrix(quick: bool) -> Figure {
         "agree / recovered-agree are 1 when the platform's f64 result bits match the \
          exact ground truth; any mismatch panics (check.sh fails on divergence)",
     );
+    fig.note(
+        "vtime-cycles / wall-ms are the paired virtual and real costs of the \
+         fault-free run on each platform",
+    );
 
     let (total, steps, nseeds) = if quick { (240, 8, 3u64) } else { (960, 24, 10) };
     fig.note(if quick {
@@ -1936,6 +1994,7 @@ pub fn backend_matrix(quick: bool) -> Figure {
     let mut recovered = Series::new("recovered-agree");
     let mut restarts = Series::new("restarts");
     let mut vtime = Series::new("vtime-cycles");
+    let mut wallms = Series::new("wall-ms");
     let mut parallelism = Series::new("parallelism");
     for (idx, plat) in registry().iter().enumerate() {
         let id = plat.id();
@@ -1950,6 +2009,7 @@ pub fn backend_matrix(quick: bool) -> Figure {
         );
         agree.push(x, 1.0);
         vtime.push(x, clean.vtime_cycles as f64);
+        wallms.push(x, clean.wall_ms);
         parallelism.push(x, plat.caps().parallelism as f64);
 
         // Crash injection + adaptive checkpointing: every seed must
@@ -2017,8 +2077,252 @@ pub fn backend_matrix(quick: bool) -> Figure {
     }
     fig.note("kernel-agree covers the global_kernels-capable platforms (gpu-sim, mpi-sim)");
 
-    for s in [agree, recovered, restarts, vtime, parallelism, kernel] {
+    for s in [
+        agree,
+        recovered,
+        restarts,
+        vtime,
+        wallms,
+        parallelism,
+        kernel,
+    ] {
         fig.series.push(s);
+    }
+    fig
+}
+
+/// The executor-seam acceptance gate. Three claims, in escalating
+/// strength:
+///
+/// 1. **Replay ≡ sim, bit for bit.** OS-thread workers in replay mode
+///    must reproduce the cooperative loop exactly — results, virtual
+///    time, and per-rank clocks — across worker counts, with crash
+///    injection and checkpoint/restart included. Any divergence panics
+///    (`scripts/check.sh` gates on this experiment).
+/// 2. **Free-running stays value-identical** on the exact-arithmetic
+///    ring workload: completion-order hand-off is just another service
+///    permutation, the same family the seeded-shuffle conformance
+///    tests already quantify over.
+/// 3. **Free-running buys real time** on the matmul/stencil sweep:
+///    median wall time at 4 workers must beat 1 worker by ≥ 1.5×.
+///    This gate only arms when `available_parallelism() >= 4` — on
+///    smaller hosts the sweep still runs and reports, but physics is
+///    not asserted.
+pub fn wallclock(quick: bool) -> Figure {
+    use crate::timing;
+    use std::sync::Arc;
+    use wootinj::{CheckpointPolicy, ExecMode, ExecutorCfg, FaultConfig, MpiSimPlatform};
+
+    let mut fig = Figure::new(
+        "wallclock",
+        "executor seam: threads-replay == sim bit-identity, free-running throughput",
+        "worker count",
+        "see series",
+    );
+    fig.note(
+        "replay-identical / replay-identical-faults are 1 when the threads-replay \
+         run matches sim bit-for-bit on result, vtime, and per-rank clocks; any \
+         mismatch panics (check.sh fails on divergence)",
+    );
+
+    let (n, steps, nseeds, workers): (i32, i32, u64, &[u32]) = if quick {
+        (12, 6, 2, &[2, 4])
+    } else {
+        (24, 10, 4, &[1, 2, 4, 8])
+    };
+    fig.note(if quick {
+        "quick mode: n=12, 6 steps, 2 fault seeds, workers {2,4}"
+    } else {
+        "full mode: n=24, 10 steps, 4 fault seeds, workers {1,2,4,8}"
+    });
+
+    let size = 4u32;
+    let table = wootinj::build_table(&[("ring_step_reduce.jl", RING_STEP_REDUCE)]).unwrap();
+    let args = [Value::Int(n), Value::Int(steps)];
+    let run_cfg = |cfg: ExecutorCfg, seed: Option<u64>| -> wootinj::RunReport {
+        let mut env = WootinJ::new(&table).unwrap();
+        let app = env.new_instance("RingStepReduce", &[]).unwrap();
+        let mut opts = JitOptions::wootinj().with_executor(cfg);
+        if seed.is_some() {
+            opts = opts.with_checkpointing(CheckpointPolicy::every(1));
+        }
+        let mut code = env
+            .jit_on(
+                Arc::new(MpiSimPlatform::new(size)),
+                &app,
+                "run",
+                &args,
+                opts,
+            )
+            .unwrap();
+        if let Some(seed) = seed {
+            let mut fcfg = FaultConfig::seeded(seed);
+            fcfg.crash = 0.05;
+            code.set_faults(fcfg);
+        }
+        code.set_timeout(200_000);
+        code.invoke(&env)
+            .unwrap_or_else(|e| panic!("wallclock: run under {cfg:?} failed: {e}"))
+    };
+    let assert_identical = |a: &wootinj::RunReport, b: &wootinj::RunReport, what: &str| {
+        let (ab, bb) = (format!("{:?}", a.results), format!("{:?}", b.results));
+        assert!(
+            ab == bb,
+            "wallclock DIVERGENCE ({what}): results {ab} vs {bb}"
+        );
+        assert!(
+            a.vtime_cycles == b.vtime_cycles && a.total_cycles == b.total_cycles,
+            "wallclock DIVERGENCE ({what}): vtime {} vs {}, cycles {} vs {}",
+            a.vtime_cycles,
+            b.vtime_cycles,
+            a.total_cycles,
+            b.total_cycles
+        );
+        for (r, (x, y)) in a.per_rank.iter().zip(&b.per_rank).enumerate() {
+            assert!(
+                x.vclock == y.vclock
+                    && x.compute_cycles == y.compute_cycles
+                    && x.comm_cycles == y.comm_cycles,
+                "wallclock DIVERGENCE ({what}): rank {r} clocks differ"
+            );
+        }
+    };
+
+    let reference = run_cfg(ExecutorCfg::Sim, None);
+    let mut s_replay = Series::new("replay-identical");
+    let mut s_replay_faults = Series::new("replay-identical-faults");
+    for &w in workers {
+        let cfg = ExecutorCfg::Threads {
+            workers: w,
+            mode: ExecMode::Replay,
+        };
+        let rep = run_cfg(cfg, None);
+        assert_identical(&reference, &rep, &format!("fault-free, {w} workers"));
+        s_replay.push(w as f64, 1.0);
+        for s in 0..nseeds {
+            let seed = 0x3A11_0000_0000_0000 | ((w as u64) << 32) | s;
+            let sim = run_cfg(ExecutorCfg::Sim, Some(seed));
+            let rep = run_cfg(cfg, Some(seed));
+            assert_identical(&sim, &rep, &format!("seed {seed:#x}, {w} workers"));
+            assert!(
+                sim.restart.restarts == rep.restart.restarts,
+                "wallclock DIVERGENCE: restart counts differ under seed {seed:#x}"
+            );
+        }
+        s_replay_faults.push(w as f64, 1.0);
+    }
+    fig.series.push(s_replay);
+    fig.series.push(s_replay_faults);
+
+    // Free-running value identity on the exact-arithmetic workload:
+    // virtual timing may legitimately drift (and is not compared), but
+    // the values must not.
+    let free = run_cfg(
+        ExecutorCfg::Threads {
+            workers: 4,
+            mode: ExecMode::Free,
+        },
+        None,
+    );
+    assert!(
+        format!("{:?}", free.results) == format!("{:?}", reference.results),
+        "wallclock DIVERGENCE: free-running values drifted on exact arithmetic"
+    );
+    let mut s_free = Series::new("free-value-identical");
+    s_free.push(4.0, 1.0);
+    fig.series.push(s_free);
+
+    // Throughput sweep: matmul Fox and the diffusion stencil,
+    // free-running, 1 worker vs 4. min/median/max wall ms land in the
+    // JSON so noise stays visible; the speedup gate compares medians.
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let (msize, sdim, ssteps) = if quick { (16, 12, 2) } else { (32, 16, 4) };
+    let mat_table = hpclib::matmul_table(&[]).unwrap();
+    let sten_table = hpclib::stencil_table(&[]).unwrap();
+    let bench_workload = |g: &mut timing::Group, which: &str, w: u32| -> (timing::Stats, String) {
+        let cfg = ExecutorCfg::Threads {
+            workers: w,
+            mode: ExecMode::Free,
+        };
+        let opts = JitOptions::wootinj().with_executor(cfg);
+        let label = format!("{which}/free-w{w}");
+        if which == "matmul-fox" {
+            let mut env = WootinJ::new(&mat_table).unwrap();
+            let app = MatmulApp::compose(
+                &mut env,
+                MatmulThread::Mpi,
+                MatmulBody::Fox,
+                MatmulCalc::Simple,
+            )
+            .unwrap();
+            let code = env.jit(&app, "start", &[Value::Int(msize)], opts).unwrap();
+            let probe = format!("{:?}", code.invoke(&env).unwrap().result);
+            (g.bench_stats(&label, || code.invoke(&env).unwrap()), probe)
+        } else {
+            let mut env = WootinJ::new(&sten_table).unwrap();
+            let runner = StencilApp::compose(
+                &mut env,
+                StencilPlatform::CpuMpi,
+                StencilApp::default_model(),
+            )
+            .unwrap();
+            let sargs = [
+                Value::Int(sdim),
+                Value::Int(sdim),
+                Value::Int(sdim),
+                Value::Int(ssteps),
+            ];
+            let code = env.jit(&runner, "invoke", &sargs, opts).unwrap();
+            let probe = format!("{:?}", code.invoke(&env).unwrap().result);
+            (g.bench_stats(&label, || code.invoke(&env).unwrap()), probe)
+        }
+    };
+
+    let mut g = timing::Group::new("wallclock");
+    g.sample_size(if quick { 3 } else { 7 }).warmup(1);
+    let mut s_speedup = Series::new("free-speedup-4w-over-1w");
+    for (wi, which) in ["matmul-fox", "diffusion"].iter().enumerate() {
+        let mut s_min = Series::new(format!("{which} wall-ms min"));
+        let mut s_med = Series::new(format!("{which} wall-ms median"));
+        let mut s_max = Series::new(format!("{which} wall-ms max"));
+        let (base, base_val) = bench_workload(&mut g, which, 1);
+        let (par, par_val) = bench_workload(&mut g, which, 4);
+        assert!(
+            base_val == par_val,
+            "wallclock DIVERGENCE: {which} free-running value drifted across worker counts \
+             ({base_val} vs {par_val})"
+        );
+        for (w, st) in [(1.0, &base), (4.0, &par)] {
+            s_min.push(w, st.min_ms());
+            s_med.push(w, st.median_ms());
+            s_max.push(w, st.max_ms());
+        }
+        fig.series.push(s_min);
+        fig.series.push(s_med);
+        fig.series.push(s_max);
+        let speedup = base.median_ms() / par.median_ms();
+        s_speedup.push(wi as f64, speedup);
+        if cores >= 4 {
+            assert!(
+                speedup >= 1.5,
+                "wallclock: {which} free-running speedup {speedup:.2}x < 1.5x \
+                 with {cores} cores available"
+            );
+        }
+    }
+    fig.series.push(s_speedup);
+    if cores >= 4 {
+        fig.note(format!(
+            "speedup gate ARMED: available_parallelism()={cores}, \
+             median 4-worker wall must beat 1-worker by >=1.5x"
+        ));
+    } else {
+        fig.note(format!(
+            "speedup gate SKIPPED: available_parallelism()={cores} < 4 \
+             (sweep still reported above)"
+        ));
     }
     fig
 }
@@ -2360,6 +2664,7 @@ pub fn dist_processes(quick: bool) -> Figure {
     let mut s_threads = Series::new("identical-threads");
     let mut s_procs = Series::new("identical-procs");
     let mut s_vtime = Series::new("vtime-cycles (mpi-sim == dist)");
+    let mut s_overlap = Series::new("overlapped-rounds");
     for &size in sizes {
         let reference = run_on(Arc::new(MpiSimPlatform::new(size)), None, false);
         let threads = run_on(Arc::new(DistPlatform::new(size)), None, false);
@@ -2369,10 +2674,26 @@ pub fn dist_processes(quick: bool) -> Figure {
         assert_identical(&reference, &processes, &format!("procs, size {size}"));
         s_procs.push(size as f64, 1.0);
         s_vtime.push(size as f64, reference.vtime_cycles as f64);
+        // The coordinator broadcasts Init, Restore, and Finish with an
+        // overlapped fan-out (all requests written, then replies
+        // awaited). Stats are drained before the Finish broadcast, so
+        // a clean run reports the Init and Restore rounds; the
+        // in-process backend never fans out at all.
+        assert!(
+            reference.resilience.overlapped_rounds == 0,
+            "dist: mpi-sim counted overlapped fan-out rounds"
+        );
+        assert!(
+            threads.resilience.overlapped_rounds >= 2,
+            "dist: expected >=2 overlapped rounds (Init/Restore), got {}",
+            threads.resilience.overlapped_rounds
+        );
+        s_overlap.push(size as f64, threads.resilience.overlapped_rounds as f64);
     }
     fig.series.push(s_threads);
     fig.series.push(s_procs);
     fig.series.push(s_vtime);
+    fig.series.push(s_overlap);
 
     // Crash recovery on real processes: seeded crashes under cadence-1
     // checkpointing must land on the fault-free answer, bit for bit,
@@ -2793,6 +3114,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "restart-cost",
         "chaos",
         "backend-matrix",
+        "wallclock",
         "incremental",
         "dist",
         "service",
@@ -2806,7 +3128,7 @@ pub fn run_experiment(id: &str) -> Option<Figure> {
 
 /// Dispatch by id; `quick` selects a smoke-test-sized variant where the
 /// experiment supports one (`fault-matrix`, `restart-cost`, `chaos`,
-/// `backend-matrix`, `incremental`, `dist`, and `service`).
+/// `backend-matrix`, `wallclock`, `incremental`, `dist`, and `service`).
 pub fn run_experiment_with(id: &str, quick: bool) -> Option<Figure> {
     Some(match id {
         "fig3" => fig3(),
@@ -2838,6 +3160,7 @@ pub fn run_experiment_with(id: &str, quick: bool) -> Option<Figure> {
         "restart-cost" => restart_cost(quick),
         "chaos" => chaos(quick),
         "backend-matrix" => backend_matrix(quick),
+        "wallclock" => wallclock(quick),
         "incremental" => incremental(quick),
         "dist" => dist_processes(quick),
         "service" => service(quick),

@@ -36,8 +36,23 @@ impl Group {
         self
     }
 
+    /// Number of warmup (untimed) iterations per benchmark (default 3).
+    pub fn warmup(&mut self, n: usize) -> &mut Self {
+        self.warmup = n;
+        self
+    }
+
     /// Time `f`, printing one table row. Returns the median sample.
-    pub fn bench<R>(&mut self, label: &str, mut f: impl FnMut() -> R) -> Duration {
+    pub fn bench<R>(&mut self, label: &str, f: impl FnMut() -> R) -> Duration {
+        self.bench_stats(label, f).median
+    }
+
+    /// Time `f` with warmup + median-of-N, printing one table row and
+    /// returning the full min/median/max spread. Wall-clock assertions
+    /// (`repro wallclock`) compare *medians* so one descheduled
+    /// iteration on a loaded machine cannot flake the gate, and the
+    /// JSON series carry the spread so noise stays visible.
+    pub fn bench_stats<R>(&mut self, label: &str, mut f: impl FnMut() -> R) -> Stats {
         for _ in 0..self.warmup {
             std::hint::black_box(f());
         }
@@ -49,17 +64,43 @@ impl Group {
             })
             .collect();
         times.sort();
-        let min = times[0];
-        let median = times[times.len() / 2];
+        let stats = Stats {
+            min: times[0],
+            median: times[times.len() / 2],
+            max: times[times.len() - 1],
+        };
         let mean = times.iter().sum::<Duration>() / times.len() as u32;
         println!(
             "{:<32}{:>14}{:>14}{:>14}",
             format!("{}/{label}", self.name),
-            fmt_dur(min),
-            fmt_dur(median),
+            fmt_dur(stats.min),
+            fmt_dur(stats.median),
             fmt_dur(mean)
         );
-        median
+        stats
+    }
+}
+
+/// The spread of one benchmark's timed samples.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    pub min: Duration,
+    pub median: Duration,
+    pub max: Duration,
+}
+
+impl Stats {
+    /// Median milliseconds — the number the JSON series plot.
+    pub fn median_ms(&self) -> f64 {
+        self.median.as_secs_f64() * 1e3
+    }
+
+    pub fn min_ms(&self) -> f64 {
+        self.min.as_secs_f64() * 1e3
+    }
+
+    pub fn max_ms(&self) -> f64 {
+        self.max.as_secs_f64() * 1e3
     }
 }
 
@@ -86,6 +127,15 @@ mod tests {
         g.sample_size(5);
         let d = g.bench("noop", || 1 + 1);
         assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn bench_stats_orders_the_spread() {
+        let mut g = Group::new("t2");
+        g.sample_size(7).warmup(1);
+        let s = g.bench_stats("spin", || std::hint::black_box((0..1000).sum::<u64>()));
+        assert!(s.min <= s.median && s.median <= s.max);
+        assert!(s.min_ms() <= s.median_ms() && s.median_ms() <= s.max_ms());
     }
 
     #[test]

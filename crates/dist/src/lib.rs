@@ -138,6 +138,11 @@ pub struct RemotePool<'p, 'a> {
     warm_dir: Option<PathBuf>,
     /// Digest of `program_bytes` under [`WARM_DIGEST_SEED`].
     program_digest: u64,
+    /// Coordinator-side count of overlapped RPC fan-out rounds (see
+    /// [`Self::rpc_fanout`]); drained into rank 0's
+    /// [`ResilienceStats`] reply so the restart loop's per-attempt
+    /// stats reads never double-count it.
+    overlapped_rounds: u64,
 }
 
 fn world_err(message: impl Into<String>) -> SimError {
@@ -185,6 +190,7 @@ impl<'p, 'a> RemotePool<'p, 'a> {
             kill_rank_after,
             warm_dir,
             program_digest,
+            overlapped_rounds: 0,
         })
     }
 
@@ -233,45 +239,68 @@ impl<'p, 'a> RemotePool<'p, 'a> {
         }
         self.rendezvous(&missing, &mut children)?;
         let warm = self.publish_warm_program();
-        for &r in &missing {
-            let kill_after_runs = match self.kill_rank_after {
+        let kills: Vec<Option<u64>> = missing
+            .iter()
+            .map(|&r| match self.kill_rank_after {
                 Some((kr, n)) if kr == r => {
                     self.kill_rank_after = None;
                     Some(n)
                 }
                 _ => None,
-            };
-            // Warm path first: ship a digest reference instead of the
-            // program image. A worker that cannot resolve it (missing
-            // file, digest mismatch) answers a typed Err and keeps its
-            // Init loop open, so we retry once with the bytes inline.
-            let mut attempts: Vec<Request> = Vec::new();
-            if let Some(warm) = warm.clone() {
-                attempts.push(Request::Init {
-                    size: self.size,
-                    entry: self.entry.0,
-                    program: Vec::new(),
-                    fault: self.fault.map(Box::new),
-                    gpu: self.gpu,
-                    kill_after_runs,
-                    warm: Some(warm),
-                });
+            })
+            .collect();
+        // Warm path first: ship a digest reference instead of the
+        // program image. A worker that cannot resolve it (missing
+        // file, digest mismatch) answers a typed Err and keeps its
+        // Init loop open, so that rank is retried with the bytes
+        // inline. Both rounds fan out overlapped: every Init frame is
+        // written before any reply is awaited, so a cold start pays
+        // one round-trip latency instead of one per rank.
+        let init_req = |pool: &Self, kill: Option<u64>, warm: Option<WarmProgram>| {
+            let inline = warm.is_none();
+            Request::Init {
+                size: pool.size,
+                entry: pool.entry.0,
+                program: if inline {
+                    pool.program_bytes.clone()
+                } else {
+                    Vec::new()
+                },
+                fault: pool.fault.map(Box::new),
+                gpu: pool.gpu,
+                kill_after_runs: kill,
+                warm,
             }
-            attempts.push(Request::Init {
-                size: self.size,
-                entry: self.entry.0,
-                program: self.program_bytes.clone(),
-                fault: self.fault.map(Box::new),
-                gpu: self.gpu,
-                kill_after_runs,
-                warm: None,
-            });
-            let last = attempts.len() - 1;
-            for (i, init) in attempts.into_iter().enumerate() {
-                match self.rpc(r, &init)? {
-                    Resp::Ok => break,
-                    Resp::Err(e) if i == last => return Err(e),
-                    Resp::Err(_) => {} // warm miss: fall through to inline
+        };
+        let first: Vec<(u32, Request)> = missing
+            .iter()
+            .zip(&kills)
+            .map(|(&r, &kill)| (r, init_req(self, kill, warm.clone())))
+            .collect();
+        let mut retry: Vec<(u32, Request)> = Vec::new();
+        for ((r, resp), &kill) in self.rpc_fanout(&first)?.into_iter().zip(&kills) {
+            match resp {
+                Resp::Ok => {}
+                Resp::Err(e) => {
+                    if warm.is_some() {
+                        // Warm miss: queue the inline retry.
+                        retry.push((r, init_req(self, kill, None)));
+                    } else {
+                        return Err(e);
+                    }
+                }
+                other => {
+                    return Err(world_err(format!(
+                        "dist: rank {r} answered Init with {other:?}"
+                    )))
+                }
+            }
+        }
+        if !retry.is_empty() {
+            for (r, resp) in self.rpc_fanout(&retry)? {
+                match resp {
+                    Resp::Ok => {}
+                    Resp::Err(e) => return Err(e),
                     other => {
                         return Err(world_err(format!(
                             "dist: rank {r} answered Init with {other:?}"
@@ -372,30 +401,89 @@ impl<'p, 'a> RemotePool<'p, 'a> {
         Ok(())
     }
 
+    /// Tear down rank `r`'s worker after a wire failure and type it as
+    /// a *recoverable* crash — the restart machinery respawns it.
+    fn bury(&mut self, r: u32, e: TransportError) -> SimError {
+        if let Some(w) = self.workers[r as usize].take() {
+            if let Some(mut child) = { w }.child {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+        SimError::Crash {
+            rank: r,
+            step: 0,
+            post_mortem: format!("dist: worker for rank {r} died mid-protocol: {e}"),
+        }
+    }
+
+    /// Write one request frame to rank `r` without awaiting the reply.
+    fn worker_write(&mut self, r: u32, req: &Request) -> Result<(), SimError> {
+        let res = {
+            let worker = self
+                .workers
+                .get_mut(r as usize)
+                .and_then(Option::as_mut)
+                .ok_or_else(|| world_err(format!("dist: rank {r} has no live worker")))?;
+            write_frame(&mut worker.stream, &proto::encode_req(req))
+        };
+        res.map_err(|e| self.bury(r, e))
+    }
+
+    /// Await the one pending reply from rank `r`.
+    fn worker_read(&mut self, r: u32) -> Result<Resp, SimError> {
+        let res = {
+            let worker = self
+                .workers
+                .get_mut(r as usize)
+                .and_then(Option::as_mut)
+                .ok_or_else(|| world_err(format!("dist: rank {r} has no live worker")))?;
+            read_frame(&mut worker.stream).and_then(|b| proto::decode_resp(&b))
+        };
+        res.map_err(|e| self.bury(r, e))
+    }
+
     /// One request/response round to rank `r`'s worker. A wire failure
     /// buries the worker and surfaces as a typed, *recoverable* crash
     /// for that rank — the restart machinery respawns it.
     fn rpc(&mut self, r: u32, req: &Request) -> Result<Resp, SimError> {
-        let worker = self
-            .workers
-            .get_mut(r as usize)
-            .and_then(Option::as_mut)
-            .ok_or_else(|| world_err(format!("dist: rank {r} has no live worker")))?;
-        match worker.rpc(req) {
-            Ok(resp) => Ok(resp),
-            Err(e) => {
-                if let Some(w) = self.workers[r as usize].take() {
-                    if let Some(mut child) = { w }.child {
-                        let _ = child.kill();
-                        let _ = child.wait();
-                    }
+        self.worker_write(r, req)?;
+        self.worker_read(r)
+    }
+
+    /// Overlapped fan-out: write *every* request frame back to back,
+    /// then await the replies in the same rank order — the whole world
+    /// pays one round-trip latency instead of one per rank. A wire
+    /// failure buries its rank exactly as [`Self::rpc`] does, but the
+    /// remaining replies are still drained first so surviving workers
+    /// stay in strict lockstep (no stale reply can desynchronize a
+    /// later request); the first failure surfaces after the drain.
+    fn rpc_fanout(&mut self, reqs: &[(u32, Request)]) -> Result<Vec<(u32, Resp)>, SimError> {
+        if reqs.len() > 1 {
+            self.overlapped_rounds += 1;
+        }
+        let mut first_err: Option<SimError> = None;
+        let mut written: Vec<u32> = Vec::with_capacity(reqs.len());
+        for (r, req) in reqs {
+            match self.worker_write(*r, req) {
+                Ok(()) => written.push(*r),
+                Err(e) => {
+                    first_err.get_or_insert(e);
                 }
-                Err(SimError::Crash {
-                    rank: r,
-                    step: 0,
-                    post_mortem: format!("dist: worker for rank {r} died mid-protocol: {e}"),
-                })
             }
+        }
+        let mut out = Vec::with_capacity(written.len());
+        for r in written {
+            match self.worker_read(r) {
+                Ok(resp) => out.push((r, resp)),
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        match first_err {
+            None => Ok(out),
+            Some(e) => Err(e),
         }
     }
 
@@ -432,15 +520,21 @@ impl RankPool for RemotePool<'_, '_> {
             .map(|r| seed.capture_rank(r))
             .collect::<Result<_, _>>()?;
         drop(seed);
-        for (r, snap) in (0..self.size).zip(snaps) {
-            let n_arrays = snap.sections.len() - 2 - usize::from(snap.has_gpu);
-            let req = Request::Restore {
-                last_cycles: snap.last_cycles,
-                has_gpu: snap.has_gpu,
-                n_arrays: n_arrays as u64,
-                sections: snap.sections,
-            };
-            match self.rpc(r, &req)? {
+        let reqs: Vec<(u32, Request)> = (0..self.size)
+            .zip(snaps)
+            .map(|(r, snap)| {
+                let n_arrays = snap.sections.len() - 2 - usize::from(snap.has_gpu);
+                let req = Request::Restore {
+                    last_cycles: snap.last_cycles,
+                    has_gpu: snap.has_gpu,
+                    n_arrays: n_arrays as u64,
+                    sections: snap.sections,
+                };
+                (r, req)
+            })
+            .collect();
+        for (r, resp) in self.rpc_fanout(&reqs)? {
+            match resp {
                 Resp::Ok => {}
                 Resp::CkptErr(e) => return Err(world_err(format!("dist: seeding rank {r}: {e}"))),
                 Resp::Err(e) => return Err(e),
@@ -641,7 +735,16 @@ impl RankPool for RemotePool<'_, '_> {
 
     fn stats(&mut self, r: u32) -> Result<ResilienceStats, SimError> {
         match self.rpc(r, &Request::Stats)? {
-            Resp::Stats(s) => Ok(s),
+            Resp::Stats(mut s) => {
+                if r == 0 {
+                    // The coordinator's fan-out counter rides on rank
+                    // 0's reply, drained so the restart loop's
+                    // per-attempt reads never double-count it.
+                    s.overlapped_rounds += self.overlapped_rounds;
+                    self.overlapped_rounds = 0;
+                }
+                Ok(s)
+            }
             Resp::Err(e) => Err(e),
             other => Err(world_err(format!(
                 "dist: rank {r} answered Stats with {other:?}"
@@ -650,16 +753,22 @@ impl RankPool for RemotePool<'_, '_> {
     }
 
     fn finish(&mut self, ctls: &[RankCtl]) -> Result<Vec<RankOutcome>, SimError> {
+        let reqs: Vec<(u32, Request)> = ctls
+            .iter()
+            .enumerate()
+            .map(|(r, ctl)| {
+                let req = Request::Finish {
+                    done: ctl.done.flatten(),
+                    vclock: ctl.vclock,
+                    compute_cycles: ctl.compute_cycles,
+                    comm_cycles: ctl.comm_cycles,
+                };
+                (r as u32, req)
+            })
+            .collect();
         let mut out = Vec::with_capacity(ctls.len());
-        for (r, ctl) in ctls.iter().enumerate() {
-            let r = r as u32;
-            let req = Request::Finish {
-                done: ctl.done.flatten(),
-                vclock: ctl.vclock,
-                compute_cycles: ctl.compute_cycles,
-                comm_cycles: ctl.comm_cycles,
-            };
-            match self.rpc(r, &req)? {
+        for ((r, resp), ctl) in self.rpc_fanout(&reqs)?.into_iter().zip(ctls) {
+            match resp {
                 Resp::Outcome {
                     output,
                     gpu_time,

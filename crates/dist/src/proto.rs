@@ -25,7 +25,9 @@ use nir::codec::{intrin_of, intrin_tag, CodecError, Reader, Writer};
 /// v2: `Init` gained the warm-program reference ([`WarmProgram`]), the
 /// fault-config codec gained `translate_fail`, and the resilience codec
 /// gained `connect_retries` / `translate_failures`.
-pub const PROTO_VERSION: u32 = 2;
+///
+/// v3: the resilience codec gained `overlapped_rounds`.
+pub const PROTO_VERSION: u32 = 3;
 
 /// A reference to program bytes persisted in a warm artifact directory
 /// shared between coordinator and workers (same host — the spawn is
@@ -493,6 +495,7 @@ fn write_resilience(w: &mut Writer, s: &ResilienceStats) {
     w.u64(s.degraded_jits);
     w.u64(s.checkpoints_taken);
     w.u64(s.restarts);
+    w.u64(s.overlapped_rounds);
 }
 
 fn read_resilience(r: &mut Reader) -> Result<ResilienceStats, TransportError> {
@@ -515,6 +518,7 @@ fn read_resilience(r: &mut Reader) -> Result<ResilienceStats, TransportError> {
         degraded_jits: u()?,
         checkpoints_taken: u()?,
         restarts: u()?,
+        overlapped_rounds: u()?,
     })
 }
 

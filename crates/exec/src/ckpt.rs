@@ -22,7 +22,7 @@ use nir::{FuncId, Program};
 /// socket-transport fault knobs/counters to the fault-plan record; v2
 /// added the checkpoint-write fault counters and the delta-chain payload
 /// kinds. Older snapshots degrade to a cold restart by design.
-pub const CKPT_VERSION: u8 = 4;
+pub const CKPT_VERSION: u8 = 5;
 
 /// Payload kind: a single [`Machine`] snapshot.
 pub const TAG_MACHINE: u8 = 0xA1;
@@ -320,6 +320,7 @@ fn write_fault_plan(w: &mut Writer, plan: &FaultPlan) {
     w.u64(s.degraded_jits);
     w.u64(s.checkpoints_taken);
     w.u64(s.restarts);
+    w.u64(s.overlapped_rounds);
 }
 
 fn read_fault_plan(r: &mut Reader) -> Result<FaultPlan, CkptError> {
@@ -360,6 +361,7 @@ fn read_fault_plan(r: &mut Reader) -> Result<FaultPlan, CkptError> {
         degraded_jits: r.u64()?,
         checkpoints_taken: r.u64()?,
         restarts: r.u64()?,
+        overlapped_rounds: r.u64()?,
     };
     Ok(FaultPlan::restore(config, rng_state, stats))
 }

@@ -182,6 +182,10 @@ pub struct ResilienceStats {
     pub checkpoints_taken: u64,
     /// Worlds rolled back to a checkpoint (or cold-restarted) and resumed.
     pub restarts: u64,
+    /// Coordinator RPC rounds fanned out overlapped (all request frames
+    /// written before any reply is awaited) instead of rank-serially —
+    /// the `dist` backend's Init/Restore/Finish broadcasts.
+    pub overlapped_rounds: u64,
 }
 
 impl ResilienceStats {
@@ -204,6 +208,7 @@ impl ResilienceStats {
         self.degraded_jits += other.degraded_jits;
         self.checkpoints_taken += other.checkpoints_taken;
         self.restarts += other.restarts;
+        self.overlapped_rounds += other.overlapped_rounds;
     }
 
     /// Total injected faults (not counting recovery actions).
@@ -231,7 +236,7 @@ impl std::fmt::Display for ResilienceStats {
             "injected {} (crash {}, fuel {}, ffi {}, drop {}, corrupt {}, \
              delay {}, ckpt-io {}, refuse {}, trunc {}, ack-delay {}, \
              xlate-fail {}) · retries {} · redials {} · timeouts {} \
-             · degraded {} · ckpts {} · restarts {}",
+             · degraded {} · ckpts {} · restarts {} · overlapped {}",
             self.injected(),
             self.crashes,
             self.fuel_exhaustions,
@@ -250,6 +255,7 @@ impl std::fmt::Display for ResilienceStats {
             self.degraded_jits,
             self.checkpoints_taken,
             self.restarts,
+            self.overlapped_rounds,
         )
     }
 }

@@ -24,9 +24,11 @@
 
 pub mod ckpt;
 pub mod fault;
+pub mod pool;
 
 pub use ckpt::CkptError;
 pub use fault::{FaultConfig, FaultPlan, FaultRng, MsgFault, ResilienceStats, TransportFault};
+pub use pool::{ExecMode, Executor, ExecutorCfg, SimExecutor, ThreadExecutor};
 
 use jlang::ast::BinOp;
 use jlang::types::PrimKind;

@@ -1,0 +1,210 @@
+//! Parallel per-function lowering is an execution strategy, not a
+//! translation identity: across the example corpus (stencil, matmul,
+//! reduce, and a plain table-built app) the artifact bytes produced
+//! with `TransConfig::parallel_lowering` must be byte-equal to serial
+//! (`encode_semantic()`), and — because the flag is excluded from
+//! `TransConfig`'s `Eq`/`Hash` — a warm cache keyed by a serial
+//! translate must *hit* when re-jitted with the flag flipped, in both
+//! the memory and disk tiers.
+
+use std::sync::Arc;
+
+use hpclib::{
+    MatmulApp, MatmulBody, MatmulCalc, MatmulThread, ReduceApp, ReduceOp, ReducePlatform,
+    StencilApp, StencilPlatform,
+};
+use jvm::Value;
+use wootinj::{build_table, JitOptions, Val, WootinJ};
+
+const APP: &str = "
+    @WootinJ final class Calc {
+      Calc() { }
+      float run(float[] a) {
+        float s = 0f;
+        for (int i = 0; i < a.length; i++) { s += a[i] * 2f + 1f; }
+        return s;
+      }
+    }";
+
+fn par_opts() -> JitOptions {
+    let mut opts = JitOptions::wootinj();
+    opts.config.parallel_lowering = true;
+    opts
+}
+
+/// The corpus property: serial and parallel lowering of the same
+/// workload produce byte-identical semantic artifacts. Each workload
+/// is jitted in two *fresh* environments so nothing is shared but the
+/// class table.
+#[test]
+fn parallel_lowering_is_byte_identical_across_the_corpus() {
+    // (name, table, compose-and-jit) — compose runs per env, so each
+    // closure receives the env and the options to jit with.
+    type Jit = Box<dyn Fn(JitOptions) -> Vec<u8>>;
+    let corpus: Vec<(&str, Jit)> = vec![
+        (
+            "stencil-diffusion-mpi",
+            Box::new(|opts| {
+                let table = hpclib::stencil_table(&[]).unwrap();
+                let mut env = WootinJ::new(&table).unwrap();
+                let runner = StencilApp::compose(
+                    &mut env,
+                    StencilPlatform::CpuMpi,
+                    StencilApp::default_model(),
+                )
+                .unwrap();
+                let args = [
+                    Value::Int(12),
+                    Value::Int(12),
+                    Value::Int(12),
+                    Value::Int(2),
+                ];
+                let code = env.jit(&runner, "invoke", &args, opts).unwrap();
+                code.translated.encode_semantic()
+            }),
+        ),
+        (
+            "matmul-fox-mpi",
+            Box::new(|opts| {
+                let table = hpclib::matmul_table(&[]).unwrap();
+                let mut env = WootinJ::new(&table).unwrap();
+                let app = MatmulApp::compose(
+                    &mut env,
+                    MatmulThread::Mpi,
+                    MatmulBody::Fox,
+                    MatmulCalc::Simple,
+                )
+                .unwrap();
+                let code = env.jit(&app, "start", &[Value::Int(16)], opts).unwrap();
+                code.translated.encode_semantic()
+            }),
+        ),
+        (
+            "reduce-square-mpi",
+            Box::new(|opts| {
+                let table = hpclib::reduce_table(&[]).unwrap();
+                let mut env = WootinJ::new(&table).unwrap();
+                let app =
+                    ReduceApp::compose(&mut env, ReducePlatform::Mpi, ReduceOp::Square, 0.125)
+                        .unwrap();
+                let code = env.jit(&app, "reduce", &[Value::Int(64)], opts).unwrap();
+                code.translated.encode_semantic()
+            }),
+        ),
+        (
+            "plain-calc",
+            Box::new(|opts| {
+                let table = build_table(&[("calc.jl", APP)]).unwrap();
+                let mut env = WootinJ::new(&table).unwrap();
+                let c = env.new_instance("Calc", &[]).unwrap();
+                let a = env.new_f32_array(&[1.0, 2.0, 3.0]);
+                let code = env.jit(&c, "run", &[a], opts).unwrap();
+                code.translated.encode_semantic()
+            }),
+        ),
+    ];
+    for (name, jit) in &corpus {
+        let serial = jit(JitOptions::wootinj());
+        let parallel = jit(par_opts());
+        assert_eq!(
+            serial, parallel,
+            "{name}: parallel lowering changed the semantic artifact bytes"
+        );
+    }
+}
+
+/// Warm-cache key equality, memory tier: a serial translate primes the
+/// cache; re-jitting the same graph with `parallel_lowering` flipped
+/// must be a pure hit sharing the same translated program — the flag
+/// is not part of the key.
+#[test]
+fn parallel_lowering_hits_the_warm_memory_cache() {
+    let table = build_table(&[("calc.jl", APP)]).unwrap();
+    let mut env = WootinJ::new(&table).unwrap();
+    let c = env.new_instance("Calc", &[]).unwrap();
+    let a = env.new_f32_array(&[1.0, 2.0, 3.0]);
+
+    let cold = env
+        .jit(&c, "run", std::slice::from_ref(&a), JitOptions::wootinj())
+        .unwrap();
+    let warm = env
+        .jit(&c, "run", std::slice::from_ref(&a), par_opts())
+        .unwrap();
+
+    let stats = env.cache_stats();
+    assert_eq!(
+        (stats.misses, stats.hits, stats.translations),
+        (1, 1, 1),
+        "flipping parallel_lowering must not change the cache key"
+    );
+    assert!(
+        Arc::ptr_eq(&cold.translated, &warm.translated),
+        "warm jit must reuse the serially-translated program"
+    );
+    assert_eq!(
+        warm.invoke(&env).unwrap().result,
+        Some(Val::F32(2.0 + 1.0 + 4.0 + 1.0 + 6.0 + 1.0))
+    );
+}
+
+/// Warm-cache key equality, disk tier: an artifact persisted by a
+/// serial env must be served (zero translations) to a fresh env that
+/// asks with `parallel_lowering` on — the on-disk fingerprint excludes
+/// the flag just like the in-memory key.
+#[test]
+fn parallel_lowering_hits_the_warm_disk_cache() {
+    let tmp = TempDir::new("parallel-lowering");
+
+    let table = build_table(&[("calc.jl", APP)]).unwrap();
+    let serial_bytes = {
+        let mut env = WootinJ::new(&table).unwrap();
+        let c = env.new_instance("Calc", &[]).unwrap();
+        let a = env.new_f32_array(&[4.0, 5.0]);
+        let code = env
+            .jit(
+                &c,
+                "run",
+                &[a],
+                JitOptions::wootinj().with_disk_cache(&tmp.0),
+            )
+            .unwrap();
+        assert_eq!(env.cache_stats().translations, 1);
+        code.translated.encode_semantic()
+    };
+
+    let mut env = WootinJ::new(&table).unwrap();
+    let c = env.new_instance("Calc", &[]).unwrap();
+    let a = env.new_f32_array(&[4.0, 5.0]);
+    let code = env
+        .jit(&c, "run", &[a], par_opts().with_disk_cache(&tmp.0))
+        .unwrap();
+    let stats = env.cache_stats();
+    assert_eq!(
+        (stats.disk_hits, stats.translations),
+        (1, 0),
+        "the parallel-lowering env must decode the serial env's artifact"
+    );
+    assert_eq!(code.translated.encode_semantic(), serial_bytes);
+}
+
+/// Scratch dir for the disk-tier test (removed on drop).
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "wootinj-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}

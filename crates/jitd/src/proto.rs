@@ -30,7 +30,7 @@ use nir::codec::{CodecError, Reader, Writer};
 /// Version of the service payload layout (independent of the frame-level
 /// [`mpi_sim::WIRE_VERSION`]). Carried in `Hello`; a skew is refused
 /// with a typed error before any state moves.
-pub const SERVICE_PROTO: u32 = 1;
+pub const SERVICE_PROTO: u32 = 2;
 
 fn corrupt(message: impl Into<String>) -> TransportError {
     TransportError::Corrupt {
@@ -412,6 +412,7 @@ fn write_resilience(w: &mut Writer, s: &ResilienceStats) {
     w.u64(s.degraded_jits);
     w.u64(s.checkpoints_taken);
     w.u64(s.restarts);
+    w.u64(s.overlapped_rounds);
 }
 
 fn read_resilience(r: &mut Reader) -> Result<ResilienceStats, CodecError> {
@@ -433,6 +434,7 @@ fn read_resilience(r: &mut Reader) -> Result<ResilienceStats, CodecError> {
         degraded_jits: r.u64()?,
         checkpoints_taken: r.u64()?,
         restarts: r.u64()?,
+        overlapped_rounds: r.u64()?,
     })
 }
 

@@ -39,6 +39,7 @@ pub use transport::{
 
 use exec::ckpt::chain;
 pub use exec::ckpt::CkptError;
+pub use exec::pool::{ExecMode, ExecutorCfg};
 use exec::{FaultConfig, HostRegistry, Machine, ResilienceStats, Val};
 use gpu_sim::GpuConfig;
 use nir::{FuncId, Program};
@@ -477,6 +478,11 @@ pub struct World<'p> {
     /// [`World::with_ckpt_salt`]). 0 is the historical `mpi-sim`
     /// namespace.
     pub ckpt_salt: u64,
+    /// Who executes ready slices each round (see [`exec::pool`]):
+    /// the in-process serial loop by default, real OS threads when
+    /// configured. Replay-mode threads are bit-identical to the serial
+    /// loop, so this never perturbs results or checkpoint identity.
+    pub executor: ExecutorCfg,
 }
 
 /// Default [`World::timeout_rounds`] once fault injection is enabled:
@@ -497,7 +503,16 @@ impl<'p> World<'p> {
             timeout_rounds: None,
             schedule: Schedule::RankOrder,
             ckpt_salt: 0,
+            executor: ExecutorCfg::Sim,
         }
+    }
+
+    /// Choose who burns the cycles of each scheduling slice: the
+    /// in-process serial loop ([`ExecutorCfg::Sim`], the default) or
+    /// real OS-thread workers ([`ExecutorCfg::Threads`]).
+    pub fn with_executor(mut self, executor: ExecutorCfg) -> Self {
+        self.executor = executor;
+        self
     }
 
     /// Pick the per-round service order for runnable ranks.
@@ -573,7 +588,8 @@ impl<'p> World<'p> {
             self.gpu,
             self.fault,
             self.host,
-        );
+        )
+        .with_executor(self.executor);
         let mut transport = InMemTransport::new();
         runtime::run_world(&self.run_cfg(), &mut pool, &mut transport)
     }
@@ -600,7 +616,8 @@ impl<'p> World<'p> {
             self.gpu,
             self.fault,
             self.host,
-        );
+        )
+        .with_executor(self.executor);
         let mut transport = InMemTransport::new();
         runtime::run_world_with_restart(
             &self.run_cfg(),

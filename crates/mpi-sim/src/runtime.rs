@@ -23,9 +23,10 @@
 use std::path::PathBuf;
 
 use exec::ckpt::{self, chain, CkptError};
+use exec::pool::{SliceDone, SliceJob};
 use exec::{
-    run, ArrStore, ExecError, FaultConfig, FaultPlan, HostRegistry, Machine, MsgFault,
-    ResilienceStats, Thread, TransportFault, Val, Yield,
+    run, ArrStore, ExecError, Executor, ExecutorCfg, FaultConfig, FaultPlan, HostRegistry, Machine,
+    MsgFault, ResilienceStats, Thread, TransportFault, Val, Yield,
 };
 use gpu_sim::{Gpu, GpuConfig, GpuErrorKind};
 use nir::codec::{Reader, Writer};
@@ -171,6 +172,26 @@ pub trait RankPool {
     /// Run rank `r` for one fuel slice; returns its yield and the cycles
     /// retired (already watermarked pool-side).
     fn run_slice(&mut self, r: u32, slice: u64) -> Result<(RankYield, u64), SimError>;
+    /// Run one scheduler round's ready ranks, returning `(rank, yield,
+    /// delta)` in *service order* — the order the scheduler must apply
+    /// the yields in. The default is the historical serial loop (run
+    /// each rank in the given order), which is exactly what every
+    /// remote pool wants; executor-backed pools override this to fan
+    /// slice execution out over OS threads. Sound because a slice only
+    /// touches its own rank's state — all cross-rank effects happen
+    /// when the *scheduler* services the returned yields.
+    fn run_slices(
+        &mut self,
+        ranks: &[u32],
+        slice: u64,
+    ) -> Result<Vec<(u32, RankYield, u64)>, SimError> {
+        let mut out = Vec::with_capacity(ranks.len());
+        for &r in ranks {
+            let (y, delta) = self.run_slice(r, slice)?;
+            out.push((r, y, delta));
+        }
+        Ok(out)
+    }
     /// Resume a blocked/yielded rank with a value.
     fn resume(&mut self, r: u32, v: Val) -> Result<(), SimError>;
     /// Service the pending device yield stashed by
@@ -1308,12 +1329,23 @@ fn drive(
                 order.swap(i, j);
             }
         }
-        for &r in &order {
-            if ctls[r].done.is_some() || ctls[r].blocked.is_some() || ctls[r].crashed.is_some() {
-                continue;
-            }
+        // Ready ranks in service order. Slice *execution* crosses the
+        // executor seam as one batch (a slice only touches its own
+        // rank's state); the yields come back in service order and are
+        // applied here exactly as the historical run-one-service-one
+        // loop did — bit-identical by construction.
+        let ready: Vec<u32> = order
+            .iter()
+            .filter(|&&r| {
+                ctls[r].done.is_none() && ctls[r].blocked.is_none() && ctls[r].crashed.is_none()
+            })
+            .map(|&r| r as u32)
+            .collect();
+        if !ready.is_empty() {
             progress = true;
-            let (y, delta) = pool.run_slice(r as u32, cfg.slice)?;
+        }
+        for (r, y, delta) in pool.run_slices(&ready, cfg.slice)? {
+            let r = r as usize;
             {
                 let ctl = &mut ctls[r];
                 ctl.vclock += delta;
@@ -1608,6 +1640,9 @@ pub struct LocalPool<'p, 'a> {
     /// Device / host-call yields parked between `run_slice` and their
     /// `service_*` call.
     pending: Vec<Option<Yield>>,
+    /// OS-thread executor for batched slice execution; `None` keeps the
+    /// historical in-process serial loop (the `run_slices` default).
+    executor: Option<Box<dyn Executor>>,
 }
 
 impl<'p, 'a> LocalPool<'p, 'a> {
@@ -1630,7 +1665,19 @@ impl<'p, 'a> LocalPool<'p, 'a> {
             host,
             ranks: Vec::new(),
             pending: Vec::new(),
+            executor: None,
         }
+    }
+
+    /// Attach an executor. [`ExecutorCfg::Sim`] keeps the serial loop
+    /// (no boxed indirection on the hot path); thread configurations
+    /// batch slice execution over OS workers.
+    pub fn with_executor(mut self, cfg: ExecutorCfg) -> Self {
+        self.executor = match cfg {
+            ExecutorCfg::Sim => None,
+            threads => Some(threads.build()),
+        };
+        self
     }
 
     fn rank_mut(&mut self, r: u32) -> Result<&mut LocalRank, SimError> {
@@ -1718,6 +1765,90 @@ impl RankPool for LocalPool<'_, '_> {
             }
         };
         Ok((ry, delta))
+    }
+
+    fn run_slices(
+        &mut self,
+        ranks: &[u32],
+        slice: u64,
+    ) -> Result<Vec<(u32, RankYield, u64)>, SimError> {
+        let Some(executor) = self.executor.as_ref() else {
+            // No executor attached: the historical serial loop.
+            let mut out = Vec::with_capacity(ranks.len());
+            for &r in ranks {
+                let (y, delta) = self.run_slice(r, slice)?;
+                out.push((r, y, delta));
+            }
+            return Ok(out);
+        };
+        // Move each ready rank's execution state into a job. The device
+        // and the cycle watermark stay pool-side — slices never touch
+        // them (device yields are serviced after the batch).
+        let mut parked: Vec<(u32, Option<Gpu>, u64)> = Vec::with_capacity(ranks.len());
+        let mut jobs = Vec::with_capacity(ranks.len());
+        for &r in ranks {
+            let lr = self
+                .ranks
+                .get_mut(r as usize)
+                .and_then(|o| o.take())
+                .ok_or_else(|| SimError::World {
+                    message: format!("rank {r} is not live in the local pool"),
+                })?;
+            parked.push((r, lr.gpu, lr.last_cycles));
+            jobs.push(SliceJob {
+                rank: r,
+                thread: lr.thread,
+                machine: lr.machine,
+                slice,
+            });
+        }
+        let results = executor.run_batch(self.program, jobs);
+        // Reinstall every rank before surfacing any error so no state
+        // is stranded, then classify yields in the executor's returned
+        // (service) order.
+        let mut classified = Vec::with_capacity(results.len());
+        for done in results {
+            let SliceDone {
+                rank: r,
+                thread,
+                machine,
+                outcome,
+            } = done;
+            let slot = parked
+                .iter()
+                .position(|(pr, _, _)| *pr == r)
+                .expect("executor returned a rank it was never given");
+            let (_, gpu, last_cycles) = parked.swap_remove(slot);
+            let cycles = machine.counters.cycles;
+            self.ranks[r as usize] = Some(LocalRank {
+                thread,
+                machine,
+                gpu,
+                last_cycles: cycles,
+            });
+            classified.push((r, outcome, cycles - last_cycles));
+        }
+        let mut out = Vec::with_capacity(classified.len());
+        for (r, outcome, delta) in classified {
+            let y = outcome.map_err(|e| err_on(r, e.to_string()))?;
+            let ry = match y {
+                Yield::Done(v) => RankYield::Done(v),
+                Yield::OutOfFuel => RankYield::OutOfFuel,
+                Yield::Crashed { step } => RankYield::Crashed { step },
+                Yield::Sync | Yield::SharedAlloc { .. } => RankYield::Misplaced,
+                Yield::Mpi { op, args } => RankYield::Mpi { op, args },
+                y @ (Yield::Launch { .. } | Yield::GpuMem { .. }) => {
+                    self.pending[r as usize] = Some(y);
+                    RankYield::Device
+                }
+                y @ Yield::Host { .. } => {
+                    self.pending[r as usize] = Some(y);
+                    RankYield::HostCall
+                }
+            };
+            out.push((r, ry, delta));
+        }
+        Ok(out)
     }
 
     fn resume(&mut self, r: u32, v: Val) -> Result<(), SimError> {

@@ -170,6 +170,41 @@ pub fn optimize_fn(f: &mut Function, config: OptConfig) -> Vec<PassProfile> {
         .collect()
 }
 
+/// Canonical pipeline order of the optimizer passes — the order
+/// [`optimize`] executes (and reports) them in.
+pub const PASS_ORDER: [&str; 4] = ["inline", "fold", "dce", "sroa"];
+
+/// Deterministically aggregate pass profiles collected out of order —
+/// per-function profiles from parallel lowering, or per-thread shards:
+/// one entry per pass name, durations and instruction counts summed,
+/// sorted into canonical [`PASS_ORDER`], zero-work passes dropped.
+/// Feeding it the per-function profiles of every function yields
+/// exactly the aggregation [`optimize`] computes serially (wall times
+/// are summed the same way; only their values reflect the measuring
+/// thread), so `repro pass-profile` output is order-stable no matter
+/// who optimized which function.
+pub fn merge_profiles(parts: impl IntoIterator<Item = PassProfile>) -> Vec<PassProfile> {
+    let mut merged: Vec<PassProfile> = Vec::new();
+    for p in parts {
+        match merged.iter_mut().find(|m| m.pass == p.pass) {
+            Some(m) => {
+                m.wall += p.wall;
+                m.instrs_before += p.instrs_before;
+                m.instrs_after += p.instrs_after;
+            }
+            None => merged.push(p),
+        }
+    }
+    merged.sort_by_key(|p| {
+        PASS_ORDER
+            .iter()
+            .position(|&n| n == p.pass)
+            .unwrap_or(PASS_ORDER.len())
+    });
+    merged.retain(|p| p.instrs_before > 0 || p.instrs_after > 0);
+    merged
+}
+
 fn optimize_fn_into(
     f: &mut Function,
     config: OptConfig,

@@ -56,7 +56,7 @@
 
 #![forbid(unsafe_code)]
 
-use exec::{FaultConfig, HostRegistry, Machine, Val};
+use exec::{ExecMode, ExecutorCfg, FaultConfig, HostRegistry, Machine, Val};
 use gpu_sim::GpuConfig;
 use mpi_sim::{CheckpointPolicy, CostModel, Schedule, SimError, World, WorldRun};
 use nir::{FuncId, Program};
@@ -132,6 +132,12 @@ pub struct RunRequest<'p> {
     pub checkpoint: Option<CheckpointPolicy>,
     /// Restart budget when `checkpoint` is set.
     pub max_restarts: u32,
+    /// Who executes ready slices each round (see `exec::pool`):
+    /// the in-process cooperative loop ([`ExecutorCfg::Sim`], the
+    /// default) or real OS-thread workers. Platforms with their own
+    /// executor preference (see [`HostMtPlatform::with_executor`])
+    /// apply it only when the request keeps the default.
+    pub executor: ExecutorCfg,
 }
 
 /// What a run produces — the full world outcome (per-rank results,
@@ -214,7 +220,7 @@ fn apply_request<'p>(mut world: World<'p>, req: &RunRequest<'p>, salt: u64) -> W
     if let Some(t) = req.timeout_rounds {
         world = world.with_timeout(t);
     }
-    world.with_ckpt_salt(salt)
+    world.with_executor(req.executor).with_ckpt_salt(salt)
 }
 
 /// Drive the world, routing through checkpoint/restart when requested.
@@ -374,6 +380,12 @@ pub struct HostMtPlatform {
     /// Scheduling seed for the per-round worker permutation.
     pub seed: u64,
     pub cost: CostModel,
+    /// Who executes slices: the cooperative loop by default, real OS
+    /// threads via [`HostMtPlatform::with_executor`]. Replay-mode
+    /// threads are bit-identical to the loop and keep the platform's
+    /// fingerprint salt (warm caches survive); free-running mode can
+    /// legitimately change virtual timing, so it gets its own salt.
+    pub executor: ExecutorCfg,
 }
 
 impl HostMtPlatform {
@@ -388,11 +400,20 @@ impl HostMtPlatform {
                 beta: 0.05,
                 collective_alpha: 200,
             },
+            executor: ExecutorCfg::Sim,
         }
     }
 
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Back this platform with a specific executor (real OS threads in
+    /// replay or free-running mode). A non-default executor on the
+    /// [`RunRequest`] still wins over this platform-level choice.
+    pub fn with_executor(mut self, executor: ExecutorCfg) -> Self {
+        self.executor = executor;
         self
     }
 }
@@ -412,14 +433,35 @@ impl Platform for HostMtPlatform {
         }
     }
 
+    /// Replay-mode (and sim) execution keeps the historical `host-mt`
+    /// salt — results are bit-identical, so warm artifacts and `.wckpt`
+    /// chains stay valid. Free-running mode can change virtual timing,
+    /// which is semantic for checkpoint chains: distinct salt.
+    fn fingerprint_salt(&self) -> u64 {
+        match self.executor {
+            ExecutorCfg::Threads {
+                mode: ExecMode::Free,
+                ..
+            } => fnv1a64(b"host-mt-free"),
+            _ => fnv1a64(b"host-mt"),
+        }
+    }
+
     fn run(&self, req: RunRequest<'_>, make_args: ArgBuilder<'_>) -> Result<RunOutcome, SimError> {
+        // The request's executor wins when set; otherwise the
+        // platform-level choice applies.
+        let effective = match req.executor {
+            ExecutorCfg::Sim => self.executor,
+            e => e,
+        };
         let world = apply_request(
             World::new(req.program, self.workers)
                 .with_cost(self.cost)
                 .with_schedule(Schedule::Seeded(self.seed)),
             &req,
             self.fingerprint_salt(),
-        );
+        )
+        .with_executor(effective);
         drive(world, &req, make_args)
     }
 }
@@ -551,6 +593,20 @@ mod tests {
             fnv1a64(b"host-mt")
         );
         assert_eq!(by_id("dist").unwrap().fingerprint_salt(), fnv1a64(b"dist"));
+        // Replay-mode threads are bit-identical to the cooperative
+        // loop, so warm caches must survive the executor switch; only
+        // free-running mode (which may change virtual timing) gets its
+        // own namespace.
+        let replay = HostMtPlatform::new(4).with_executor(ExecutorCfg::Threads {
+            workers: 4,
+            mode: ExecMode::Replay,
+        });
+        assert_eq!(replay.fingerprint_salt(), fnv1a64(b"host-mt"));
+        let free = HostMtPlatform::new(4).with_executor(ExecutorCfg::Threads {
+            workers: 4,
+            mode: ExecMode::Free,
+        });
+        assert_eq!(free.fingerprint_salt(), fnv1a64(b"host-mt-free"));
     }
 
     #[test]

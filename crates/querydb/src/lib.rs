@@ -717,22 +717,19 @@ impl Database {
         if config.opt.inline_limit == 0 {
             // Per-function optimization is exactly whole-program
             // optimization here, so replayed functions (stored
-            // post-optimization) are final and only fresh ones run.
-            let mut passes = Vec::new();
-            for rec in &trace.recs {
-                passes.extend(nir::optimize_fn(
-                    &mut program.funcs[rec.id.0 as usize],
-                    config.opt,
-                ));
-            }
-            stats.passes = passes;
+            // post-optimization) are final and only fresh ones run —
+            // serially or fanned out per function when the config asks
+            // for parallel lowering (bodies and memos are identical
+            // either way; results come back in rec order).
+            let indices: Vec<usize> = trace.recs.iter().map(|rec| rec.id.0 as usize).collect();
+            stats.passes = translator::optimize_functions(&mut program, &indices, &config);
             self.harvest(snap, &config, &trace, &program);
         } else {
             // Cross-function inlining: memos hold *pre*-optimization
             // functions and the optimizer reruns over the whole program,
             // exactly like the from-scratch path.
             self.harvest(snap, &config, &trace, &program);
-            stats.passes = nir::optimize(&mut program, config.opt);
+            stats.passes = translator::optimize_program(&mut program, &config);
         }
 
         program.validate().map_err(|m| {

@@ -186,6 +186,8 @@ fn read_config(r: &mut Reader<'_>) -> CodecResult<TransConfig> {
             sroa: r.bool()?,
         },
         check_rules: r.bool()?,
+        // Not persisted: execution strategy, not translation identity.
+        parallel_lowering: false,
     })
 }
 

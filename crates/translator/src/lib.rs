@@ -49,8 +49,14 @@ pub enum Mode {
 }
 
 /// Translator configuration. `Eq`/`Hash` make it usable as part of a
-/// code-cache key: every field here changes what translation emits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// code-cache key: every field that changes what translation emits
+/// participates in identity. [`TransConfig::parallel_lowering`] is
+/// deliberately *excluded* (manual `PartialEq`/`Hash` below, and it is
+/// never written into artifact fingerprints): it changes which thread
+/// optimizes each function, never the bytes emitted, so serial and
+/// parallel translations of the same entry must share one cache slot
+/// and one on-disk artifact.
+#[derive(Debug, Clone, Copy)]
 pub struct TransConfig {
     pub mode: Mode,
     /// NIR optimizer setting — the Table 1/2 analogue. `aggressive()`
@@ -59,6 +65,30 @@ pub struct TransConfig {
     /// Enforce the eight coding rules before translating (the paper's
     /// `@WootinJ` contract). On by default.
     pub check_rules: bool,
+    /// Dispatch independent per-function optimization onto OS threads
+    /// (the `exec::pool` work pool). Inlining still runs serially first
+    /// (it rewrites callers against the whole function table); the
+    /// local passes then fan out per function and their profiles merge
+    /// deterministically in canonical pass order, so function bodies,
+    /// FuncIds, and `encode_semantic()` bytes are identical to serial.
+    pub parallel_lowering: bool,
+}
+
+impl PartialEq for TransConfig {
+    fn eq(&self, other: &Self) -> bool {
+        // `parallel_lowering` is not part of translation identity.
+        self.mode == other.mode && self.opt == other.opt && self.check_rules == other.check_rules
+    }
+}
+
+impl Eq for TransConfig {}
+
+impl std::hash::Hash for TransConfig {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.mode.hash(state);
+        self.opt.hash(state);
+        self.check_rules.hash(state);
+    }
 }
 
 impl TransConfig {
@@ -67,6 +97,7 @@ impl TransConfig {
             mode: Mode::Full,
             opt: OptConfig::standard(),
             check_rules: true,
+            parallel_lowering: false,
         }
     }
 
@@ -75,6 +106,7 @@ impl TransConfig {
             mode: Mode::Devirt,
             opt: OptConfig::standard(),
             check_rules: true,
+            parallel_lowering: false,
         }
     }
 
@@ -83,6 +115,7 @@ impl TransConfig {
             mode: Mode::Virtual,
             opt: OptConfig::standard(),
             check_rules: false,
+            parallel_lowering: false,
         }
     }
 
@@ -92,7 +125,16 @@ impl TransConfig {
             mode: Mode::Full,
             opt: OptConfig::aggressive(),
             check_rules: true,
+            parallel_lowering: false,
         }
+    }
+
+    /// Fan per-function optimization out over OS threads (see
+    /// [`TransConfig::parallel_lowering`]). Output bytes and cache
+    /// identity are unchanged — only who does the work.
+    pub fn with_parallel_lowering(mut self) -> Self {
+        self.parallel_lowering = true;
+        self
     }
 }
 
@@ -267,7 +309,7 @@ pub fn translate(
     };
 
     program.entry = Some(entry);
-    stats.passes = nir::optimize(&mut program, config.opt);
+    stats.passes = optimize_program(&mut program, &config);
     program
         .validate()
         .map_err(|m| TransError::new(format!("internal error: generated program invalid: {m}")))?;
@@ -284,6 +326,90 @@ pub fn translate(
         uses_gpu,
         warnings,
     })
+}
+
+/// Run the NIR optimizer over a freshly lowered program, honoring
+/// [`TransConfig::parallel_lowering`]: serial is the historical
+/// whole-program pipeline; parallel runs inlining serially first (it
+/// rewrites callers against the whole function table), then fans the
+/// local passes out per function on the `exec::pool` work pool and
+/// merges their profiles deterministically in canonical pass order.
+/// Function bodies — and therefore `encode_semantic()` bytes — are
+/// identical either way: per-function local passes are *exactly*
+/// whole-program optimization once inlining has run (see
+/// [`nir::optimize_fn`]), and results return in function-index order.
+pub fn optimize_program(program: &mut Program, config: &TransConfig) -> Vec<nir::PassProfile> {
+    let workers = exec::pool::default_workers();
+    if !config.parallel_lowering || workers < 2 || program.funcs.len() < 2 {
+        return nir::optimize(program, config.opt);
+    }
+    let mut profiles = Vec::new();
+    if config.opt.inline_limit > 0 {
+        let mut inline_only = OptConfig::none();
+        inline_only.inline_limit = config.opt.inline_limit;
+        profiles.extend(nir::optimize(program, inline_only));
+    }
+    let mut local = config.opt;
+    local.inline_limit = 0;
+    let funcs = std::mem::take(&mut program.funcs);
+    let optimized = exec::pool::parallel_map(workers, funcs, |_, mut f| {
+        let prof = nir::optimize_fn(&mut f, local);
+        (f, prof)
+    });
+    let mut parts = Vec::new();
+    for (f, prof) in optimized {
+        program.funcs.push(f);
+        parts.extend(prof);
+    }
+    profiles.extend(nir::merge_profiles(parts));
+    profiles
+}
+
+/// Optimize the functions at `indices` with the local (per-function)
+/// passes — the incremental query layer's counterpart of
+/// [`optimize_program`], for the `inline_limit == 0` path where only
+/// freshly lowered functions need optimizing. Honors
+/// [`TransConfig::parallel_lowering`]; either way the profiles return
+/// concatenated in the given index order, exactly as the serial loop
+/// produces them, so `TransStats::passes` is shape-identical.
+pub fn optimize_functions(
+    program: &mut Program,
+    indices: &[usize],
+    config: &TransConfig,
+) -> Vec<nir::PassProfile> {
+    let workers = exec::pool::default_workers();
+    if !config.parallel_lowering || workers < 2 || indices.len() < 2 {
+        let mut passes = Vec::new();
+        for &i in indices {
+            passes.extend(nir::optimize_fn(&mut program.funcs[i], config.opt));
+        }
+        return passes;
+    }
+    // Move the scattered functions out (cheap stub swap — no body
+    // copies), optimize in parallel, reinstall by index.
+    let stub = || nir::Function {
+        name: String::new(),
+        params: Vec::new(),
+        ret: None,
+        regs: Vec::new(),
+        code: Vec::new(),
+        kind: nir::FuncKind::Host,
+    };
+    let opt = config.opt;
+    let fresh: Vec<(usize, nir::Function)> = indices
+        .iter()
+        .map(|&i| (i, std::mem::replace(&mut program.funcs[i], stub())))
+        .collect();
+    let optimized = exec::pool::parallel_map(workers, fresh, |_, (i, mut f)| {
+        let prof = nir::optimize_fn(&mut f, opt);
+        (i, f, prof)
+    });
+    let mut passes = Vec::new();
+    for (i, f, prof) in optimized {
+        program.funcs[i] = f;
+        passes.extend(prof);
+    }
+    passes
 }
 
 /// Entry-argument bindings for a shape-specialized entry: per-leaf in
@@ -492,6 +618,7 @@ mod tests {
                 mode,
                 opt,
                 check_rules: true,
+                parallel_lowering: false,
             },
         )
         .unwrap();

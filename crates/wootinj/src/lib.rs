@@ -35,7 +35,7 @@ use mpi_sim::CostModel;
 use translator::{bind_entry_args, entry_spec, translate, TransConfig, TransError, Translated};
 
 pub use cache::CacheStats;
-pub use exec::{CkptError, FaultConfig, ResilienceStats, Val};
+pub use exec::{CkptError, ExecMode, ExecutorCfg, FaultConfig, ResilienceStats, Val};
 pub use gpu_sim::GpuConfig;
 pub use mpi_sim::CostModel as MpiCostModel;
 pub use mpi_sim::SimError;
@@ -437,6 +437,7 @@ impl<'t> WootinJ<'t> {
             timeout_rounds: None,
             checkpoint,
             max_restarts: DEFAULT_MAX_RESTARTS,
+            executor: options.executor,
         })
     }
 
@@ -591,6 +592,7 @@ impl<'t> WootinJ<'t> {
                     timeout_rounds: None,
                     checkpoint,
                     max_restarts: DEFAULT_MAX_RESTARTS,
+                    executor: options.executor,
                 });
             }
         }
@@ -640,6 +642,7 @@ impl<'t> WootinJ<'t> {
             timeout_rounds: None,
             checkpoint: None,
             max_restarts: DEFAULT_MAX_RESTARTS,
+            executor: ExecutorCfg::Sim,
         }
     }
 
@@ -730,6 +733,14 @@ pub struct JitOptions {
     /// checkpoint persists as `<dir>/<fingerprint>.wckpt` next to the JIT
     /// artifacts, enabling process warm-restart.
     pub checkpoint: Option<CheckpointPolicy>,
+    /// Who executes ready slices each world round: the in-process
+    /// cooperative loop ([`ExecutorCfg::Sim`], the default) or real
+    /// OS-thread workers ([`ExecutorCfg::Threads`]). Replay-mode
+    /// threads are bit-identical to the loop, so flipping this never
+    /// changes results or cache identity. The `WJ_EXECUTOR=threads`
+    /// environment override (checked at [`JitCode::invoke`]) wins over
+    /// this option.
+    pub executor: ExecutorCfg,
 }
 
 impl JitOptions {
@@ -741,6 +752,7 @@ impl JitOptions {
             degrade: false,
             disk_cache: None,
             checkpoint: None,
+            executor: ExecutorCfg::Sim,
         }
     }
 
@@ -751,6 +763,7 @@ impl JitOptions {
             degrade: false,
             disk_cache: None,
             checkpoint: None,
+            executor: ExecutorCfg::Sim,
         }
     }
 
@@ -766,6 +779,7 @@ impl JitOptions {
             degrade: false,
             disk_cache: None,
             checkpoint: None,
+            executor: ExecutorCfg::Sim,
         }
     }
 
@@ -776,6 +790,7 @@ impl JitOptions {
             degrade: false,
             disk_cache: None,
             checkpoint: None,
+            executor: ExecutorCfg::Sim,
         }
     }
 
@@ -806,6 +821,13 @@ impl JitOptions {
     /// crashed worlds instead of failing (see [`JitOptions::checkpoint`]).
     pub fn with_checkpointing(mut self, policy: CheckpointPolicy) -> Self {
         self.checkpoint = Some(policy);
+        self
+    }
+
+    /// Execute world slices on real OS threads (or explicitly keep the
+    /// cooperative loop) — see [`JitOptions::executor`].
+    pub fn with_executor(mut self, executor: ExecutorCfg) -> Self {
+        self.executor = executor;
         self
     }
 }
@@ -850,6 +872,7 @@ pub struct JitCode {
     timeout_rounds: Option<u64>,
     checkpoint: Option<CheckpointPolicy>,
     max_restarts: u32,
+    executor: ExecutorCfg,
 }
 
 impl JitCode {
@@ -904,6 +927,13 @@ impl JitCode {
         self.max_restarts = max_restarts;
     }
 
+    /// Execute this code's world slices on real OS threads (or back on
+    /// the cooperative loop) — the post-`jit` twin of
+    /// [`JitOptions::with_executor`].
+    pub fn set_executor(&mut self, executor: ExecutorCfg) {
+        self.executor = executor;
+    }
+
     /// The generated C/CUDA source (Listing 5 analogue).
     pub fn c_source(&self) -> String {
         self.translated.c_source()
@@ -945,6 +975,10 @@ impl JitCode {
             timeout_rounds: self.timeout_rounds,
             checkpoint: self.checkpoint.clone(),
             max_restarts: self.max_restarts,
+            // `WJ_EXECUTOR=threads` flips any run onto replay-mode OS
+            // threads (bit-identical), so the whole test suite can be
+            // exercised through the thread path with one env var.
+            executor: self.executor.from_env_or(),
         };
         let start = Instant::now();
         let mut make_args = |_: u32, machine: &mut exec::Machine| {
@@ -972,6 +1006,7 @@ impl JitCode {
             vtime_cycles: run.vtime,
             total_cycles: run.total_cycles,
             wall,
+            wall_ms: wall.as_secs_f64() * 1e3,
             compile_wall: self.compile_time,
             outputs: run.ranks.iter().map(|r| r.output.clone()).collect(),
             resilience,
@@ -1012,6 +1047,10 @@ pub struct RunReport {
     pub total_cycles: u64,
     /// Host wall-clock time of the simulation run.
     pub wall: Duration,
+    /// [`RunReport::wall`] in milliseconds — the measured-time column
+    /// the backend matrix and `repro wallclock` report next to the
+    /// virtual-cost figures.
+    pub wall_ms: f64,
     /// Wall-clock translation time (Table 3).
     pub compile_wall: Duration,
     /// Per-rank `WJ.print*` output.

@@ -17,6 +17,10 @@ cargo test -q --offline
 echo "== workspace tests =="
 cargo test --workspace -q --offline
 
+echo "== workspace tests again on real OS threads (WJ_EXECUTOR=threads; =="
+echo "==   replay mode, so every assertion must hold bit-for-bit)       =="
+WJ_EXECUTOR=threads cargo test -q --offline
+
 echo "== fault-matrix smoke run =="
 cargo run --release --offline -q -p bench --bin repro -- fault-matrix --quick
 
@@ -28,6 +32,10 @@ cargo run --release --offline -q -p bench --bin repro -- chaos --quick
 
 echo "== backend-matrix smoke run (fails on cross-backend divergence) =="
 cargo run --release --offline -q -p bench --bin repro -- backend-matrix --quick
+
+echo "== wallclock smoke run (executor seam: thread-replay bit-identity =="
+echo "==   with faults+restarts, free-run value identity, speedup gate)  =="
+cargo run --release --offline -q -p bench --bin repro -- wallclock --quick
 
 echo "== dist smoke run (socket ranks: threads + OS processes vs mpi-sim, =="
 echo "==   ephemeral loopback ports, every wire wait deadline-bounded)    =="
